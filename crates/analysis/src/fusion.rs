@@ -1,0 +1,286 @@
+//! Multi-parameter fusion — the paper's stated future work (§VIII:
+//! *"future work should also investigate whether the fingerprinting
+//! method can be improved by combining several network parameters"*).
+//!
+//! Each parameter produces its own similarity vector per candidate window
+//! (Algorithm 1); fusion averages the per-parameter similarities with
+//! configurable weights before applying the similarity/identification
+//! tests. Candidates below the observation floor for *any* fused
+//! parameter are skipped, so every fused score averages the same
+//! parameter set.
+
+use std::collections::BTreeMap;
+
+use wifiprint_core::metrics::{identification_points, similarity_curve, MatchSet};
+use wifiprint_core::{
+    EvalOutcome, NetworkParameter, ReferenceDb, SignatureBuilder, SimilarityMeasure,
+    WindowedSignatures,
+};
+use wifiprint_ieee80211::{MacAddr, Nanos};
+use wifiprint_radiotap::CapturedFrame;
+
+use crate::pipeline::PipelineConfig;
+
+/// A weighted set of parameters to fuse.
+#[derive(Debug, Clone)]
+pub struct FusionSpec {
+    /// `(parameter, weight)` pairs; weights need not be normalised.
+    pub parameters: Vec<(NetworkParameter, f64)>,
+}
+
+impl FusionSpec {
+    /// The combination the paper's results suggest: the three timing
+    /// parameters that lead its rankings, equally weighted.
+    pub fn timing_trio() -> Self {
+        FusionSpec {
+            parameters: vec![
+                (NetworkParameter::InterArrivalTime, 1.0),
+                (NetworkParameter::TransmissionTime, 1.0),
+                (NetworkParameter::MediumAccessTime, 1.0),
+            ],
+        }
+    }
+
+    /// All five parameters, equally weighted.
+    pub fn all_equal() -> Self {
+        FusionSpec {
+            parameters: NetworkParameter::ALL.iter().map(|&p| (p, 1.0)).collect(),
+        }
+    }
+}
+
+/// Streaming fusion evaluator: like
+/// [`StreamingEvaluator`](crate::StreamingEvaluator) but scoring the fused
+/// similarity.
+#[derive(Debug)]
+pub struct FusionEvaluator {
+    spec: FusionSpec,
+    measure: SimilarityMeasure,
+    train_duration: Nanos,
+    origin: Option<Nanos>,
+    trainers: Vec<SignatureBuilder>,
+    validators: Vec<WindowedSignatures>,
+}
+
+impl FusionEvaluator {
+    /// A fusion evaluator over `spec`, sharing `pipeline`'s split, window
+    /// and observation floor.
+    pub fn new(pipeline: &PipelineConfig, spec: FusionSpec) -> Self {
+        let configs: Vec<_> = spec
+            .parameters
+            .iter()
+            .map(|&(p, _)| {
+                let mut cfg = wifiprint_core::EvalConfig::for_parameter(p)
+                    .with_min_observations(pipeline.min_observations)
+                    .with_measure(pipeline.measure);
+                cfg.window = pipeline.window;
+                cfg
+            })
+            .collect();
+        FusionEvaluator {
+            spec,
+            measure: pipeline.measure,
+            train_duration: pipeline.train_duration,
+            origin: None,
+            trainers: configs.iter().map(SignatureBuilder::new).collect(),
+            validators: configs.iter().map(WindowedSignatures::new).collect(),
+        }
+    }
+
+    /// Processes one captured frame.
+    pub fn push(&mut self, frame: &CapturedFrame) {
+        let origin = *self.origin.get_or_insert(frame.t_end);
+        if frame.t_end.saturating_sub(origin) < self.train_duration {
+            for t in &mut self.trainers {
+                t.push(frame);
+            }
+        } else {
+            for v in &mut self.validators {
+                v.push(frame);
+            }
+        }
+    }
+
+    /// Finalises: fuses per-parameter similarities and computes both
+    /// tests.
+    pub fn finish(self) -> EvalOutcome {
+        let weights: Vec<f64> = self.spec.parameters.iter().map(|&(_, w)| w).collect();
+        let weight_sum: f64 = weights.iter().sum::<f64>().max(f64::MIN_POSITIVE);
+
+        let dbs: Vec<ReferenceDb> =
+            self.trainers.into_iter().map(|t| ReferenceDb::from_signatures(t.finish())).collect();
+        // Devices must be enrolled for every fused parameter.
+        let enrolled: Vec<MacAddr> = match dbs.first() {
+            Some(first) => {
+                first.devices().filter(|d| dbs.iter().all(|db| db.contains(d))).collect()
+            }
+            None => Vec::new(),
+        };
+
+        // Collect candidate signatures per parameter, keyed by
+        // (window, device).
+        let mut per_key: BTreeMap<(usize, MacAddr), Vec<Option<wifiprint_core::Signature>>> =
+            BTreeMap::new();
+        let n_params = self.validators.len();
+        for (i, validator) in self.validators.into_iter().enumerate() {
+            for cand in validator.finish() {
+                per_key
+                    .entry((cand.index, cand.device))
+                    .or_insert_with(|| vec![None; n_params])[i] = Some(cand.signature);
+            }
+        }
+
+        let mut sets = Vec::new();
+        for ((_window, device), sigs) in per_key {
+            if !enrolled.contains(&device) || sigs.iter().any(Option::is_none) {
+                continue;
+            }
+            // Fused similarity per enrolled reference.
+            let mut fused: BTreeMap<MacAddr, f64> =
+                enrolled.iter().map(|&d| (d, 0.0)).collect();
+            for (i, sig) in sigs.iter().enumerate() {
+                let outcome =
+                    dbs[i].match_signature(sig.as_ref().expect("checked"), self.measure);
+                for &(dev, sim) in outcome.similarities() {
+                    if let Some(acc) = fused.get_mut(&dev) {
+                        *acc += weights[i] * sim / weight_sum;
+                    }
+                }
+            }
+            let true_sim = fused[&device];
+            let mut wrong = Vec::with_capacity(fused.len().saturating_sub(1));
+            let mut best_dev = device;
+            let mut best_sim = f64::MIN;
+            for (&dev, &sim) in &fused {
+                if sim > best_sim {
+                    best_sim = sim;
+                    best_dev = dev;
+                }
+                if dev != device {
+                    wrong.push(sim);
+                }
+            }
+            sets.push(MatchSet {
+                true_device: device,
+                true_sim,
+                wrong_sims: wrong,
+                best_is_true: best_dev == device,
+                best_sim,
+            });
+        }
+
+        EvalOutcome {
+            curve: similarity_curve(&sets, 512),
+            ident_points: identification_points(&sets, 512),
+            instances: sets.len(),
+            unknown_candidates: 0,
+        }
+    }
+}
+
+/// Convenience: runs fusion over an in-memory frame sequence.
+pub fn evaluate_fusion<'a>(
+    pipeline: &PipelineConfig,
+    spec: FusionSpec,
+    frames: impl IntoIterator<Item = &'a CapturedFrame>,
+) -> EvalOutcome {
+    let mut ev = FusionEvaluator::new(pipeline, spec);
+    for f in frames {
+        ev.push(f);
+    }
+    ev.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wifiprint_ieee80211::{Frame, Rate};
+
+    /// Devices distinguishable only by combining parameters: pairs share
+    /// inter-arrival periods, other pairs share sizes.
+    fn trace() -> Vec<CapturedFrame> {
+        let ap = MacAddr::from_index(99);
+        let mut frames = Vec::new();
+        // (period µs, payload) — no single column is unique, the pair is.
+        let spec = [(400u64, 200usize), (400, 600), (700, 200), (700, 600)];
+        for (dev, &(period, payload)) in spec.iter().enumerate() {
+            let addr = MacAddr::from_index(dev as u64 + 1);
+            let mut t = 1000 + dev as u64 * 53;
+            while t < 40_000_000 {
+                let f = Frame::data_to_ds(addr, ap, ap, payload);
+                frames.push(CapturedFrame::from_frame(
+                    &f,
+                    Rate::R54M,
+                    Nanos::from_micros(t),
+                    -50,
+                ));
+                t += period;
+            }
+        }
+        frames.sort_by_key(|f| f.t_end);
+        frames
+    }
+
+    fn pipeline() -> PipelineConfig {
+        PipelineConfig::miniature(10, 5, 30)
+    }
+
+    #[test]
+    fn fusion_beats_single_parameters_on_complementary_devices() {
+        let frames = trace();
+        let single_ia = evaluate_fusion(
+            &pipeline(),
+            FusionSpec { parameters: vec![(NetworkParameter::InterArrivalTime, 1.0)] },
+            &frames,
+        );
+        let single_fs = evaluate_fusion(
+            &pipeline(),
+            FusionSpec { parameters: vec![(NetworkParameter::FrameSize, 1.0)] },
+            &frames,
+        );
+        let fused = evaluate_fusion(
+            &pipeline(),
+            FusionSpec {
+                parameters: vec![
+                    (NetworkParameter::InterArrivalTime, 1.0),
+                    (NetworkParameter::FrameSize, 1.0),
+                ],
+            },
+            &frames,
+        );
+        let ident = |o: &EvalOutcome| o.identification_at_fpr(0.1);
+        // Frame size alone confuses the size-clone pairs; the fusion must
+        // rescue it, and must not fall below its strongest member.
+        assert!(
+            ident(&fused) > ident(&single_fs),
+            "fusion {:.2} did not rescue frame size {:.2}",
+            ident(&fused),
+            ident(&single_fs)
+        );
+        assert!(
+            ident(&fused) + 0.05 >= ident(&single_ia),
+            "fusion {:.2} fell below inter-arrival {:.2}",
+            ident(&fused),
+            ident(&single_ia)
+        );
+        assert!(fused.auc() > 0.95, "fused auc = {}", fused.auc());
+        assert!(ident(&fused) > 0.9, "fused ident = {}", ident(&fused));
+    }
+
+    #[test]
+    fn fusion_requires_all_parameters_enrolled() {
+        let frames = trace();
+        let outcome = evaluate_fusion(&pipeline(), FusionSpec::all_equal(), &frames);
+        // The synthetic trace has no rate variation or medium-access
+        // structure, but every candidate still passes the floor for all
+        // five parameters (same observations, different projections).
+        assert!(outcome.instances > 0);
+        assert!((0.0..=1.0).contains(&outcome.auc()));
+    }
+
+    #[test]
+    fn specs_have_expected_shapes() {
+        assert_eq!(FusionSpec::timing_trio().parameters.len(), 3);
+        assert_eq!(FusionSpec::all_equal().parameters.len(), 5);
+    }
+}

@@ -1,0 +1,26 @@
+//! Evaluation pipeline, tables, plots and baselines for the wifiprint
+//! suite — the harness behind §V of the paper.
+//!
+//! * [`PipelineConfig`] / [`StreamingEvaluator`] — the train/validate
+//!   split, detection windows and per-parameter scoring of §V-A,
+//! * [`tables`] — formatters regenerating Tables I, II and III,
+//! * [`plot`] — ASCII histograms and TPR/FPR curves plus CSV export
+//!   (Figs. 2–8),
+//! * [`baseline`] — the Pang-et-al-style broadcast-size identifier the
+//!   paper compares against in §V-B2,
+//! * [`fusion`] — multi-parameter combination (the paper's §VIII future
+//!   work),
+//! * [`attacks`] — the §VII-A mimicry attacker and its evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attacks;
+pub mod baseline;
+pub mod fusion;
+mod pipeline;
+pub mod plot;
+pub mod tables;
+
+pub use pipeline::{evaluate_frames, PipelineConfig, StreamingEvaluator, TraceEvaluation};

@@ -1,0 +1,144 @@
+//! ASCII rendering and CSV export of histograms and similarity curves.
+
+use std::fmt::Write as _;
+
+use wifiprint_core::{CurvePoint, Histogram};
+
+/// Renders a histogram as horizontal ASCII bars, in the spirit of the
+/// paper's density plots (Figs. 2, 4–8).
+///
+/// Only bins inside `[min_x, max_x]` are shown; `rows` caps the number of
+/// printed lines by merging adjacent bins when needed.
+pub fn histogram_bars(hist: &Histogram, min_x: f64, max_x: f64, rows: usize, width: usize) -> String {
+    let points: Vec<(f64, f64)> =
+        hist.points().filter(|(x, _)| *x >= min_x && *x <= max_x).collect();
+    if points.is_empty() {
+        return String::from("(no observations in range)\n");
+    }
+    let merge = points.len().div_ceil(rows.max(1));
+    let merged: Vec<(f64, f64)> = points
+        .chunks(merge)
+        .map(|chunk| {
+            let x = chunk[0].0;
+            let y: f64 = chunk.iter().map(|(_, y)| y).sum();
+            (x, y)
+        })
+        .collect();
+    let y_max = merged.iter().map(|(_, y)| *y).fold(f64::MIN_POSITIVE, f64::max);
+    let mut out = String::new();
+    for (x, y) in merged {
+        let bar_len = ((y / y_max) * width as f64).round() as usize;
+        let _ = writeln!(out, "{x:>9.0} µs | {:<width$} {:.4}", "#".repeat(bar_len), y);
+    }
+    out
+}
+
+/// Renders a TPR-vs-FPR similarity curve as a fixed-size ASCII grid
+/// (Fig. 3's panels).
+pub fn curve_plot(points: &[CurvePoint], width: usize, height: usize) -> String {
+    let mut grid = vec![vec![b' '; width]; height];
+    // Diagonal for reference.
+    for i in 0..width.min(height * 2) {
+        let x = i;
+        let y = height - 1 - (i * height / width).min(height - 1);
+        grid[y][x] = b'.';
+    }
+    for p in points {
+        if !p.fpr.is_finite() || !p.tpr.is_finite() {
+            continue;
+        }
+        let x = ((p.fpr * (width - 1) as f64).round() as usize).min(width - 1);
+        let y_up = ((p.tpr * (height - 1) as f64).round() as usize).min(height - 1);
+        let y = height - 1 - y_up;
+        grid[y][x] = b'*';
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "TPR");
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            "1.0"
+        } else if i == height - 1 {
+            "0.0"
+        } else {
+            "   "
+        };
+        let _ = writeln!(out, "{label} |{}|", String::from_utf8_lossy(row));
+    }
+    let _ = writeln!(out, "    0.0{}1.0  FPR", " ".repeat(width.saturating_sub(6)));
+    out
+}
+
+/// Serialises a similarity curve as CSV (`threshold,fpr,tpr`).
+pub fn curve_csv(points: &[CurvePoint]) -> String {
+    let mut out = String::from("threshold,fpr,tpr\n");
+    for p in points {
+        let _ = writeln!(out, "{},{},{}", p.threshold, p.fpr, p.tpr);
+    }
+    out
+}
+
+/// Serialises a histogram as CSV (`bin_center,frequency`).
+pub fn histogram_csv(hist: &Histogram) -> String {
+    let mut out = String::from("bin_center,frequency\n");
+    for (x, y) in hist.points() {
+        let _ = writeln!(out, "{x},{y}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wifiprint_core::BinSpec;
+
+    fn sample_hist() -> Histogram {
+        let mut h = Histogram::new(BinSpec::uniform_to(1000.0, 100.0));
+        for v in [50.0, 150.0, 150.0, 150.0, 850.0] {
+            h.add(v);
+        }
+        h
+    }
+
+    #[test]
+    fn bars_scale_to_peak() {
+        let out = histogram_bars(&sample_hist(), 0.0, 1000.0, 20, 30);
+        let lines: Vec<&str> = out.lines().collect();
+        // 10 regular bins + the overflow bin at the range edge.
+        assert_eq!(lines.len(), 11);
+        // The 150 µs bin is the peak: its bar must be the longest.
+        let bar_len = |line: &str| line.matches('#').count();
+        let peak = lines.iter().map(|l| bar_len(l)).max().unwrap();
+        assert_eq!(bar_len(lines[1]), peak);
+        assert_eq!(bar_len(lines[1]), 30);
+    }
+
+    #[test]
+    fn bars_handle_empty_range() {
+        let out = histogram_bars(&sample_hist(), 5000.0, 6000.0, 10, 20);
+        assert!(out.contains("no observations"));
+    }
+
+    #[test]
+    fn curve_plot_marks_endpoints() {
+        let points = vec![
+            CurvePoint { threshold: 1.0, fpr: 0.0, tpr: 0.0 },
+            CurvePoint { threshold: 0.5, fpr: 0.2, tpr: 0.9 },
+            CurvePoint { threshold: 0.0, fpr: 1.0, tpr: 1.0 },
+        ];
+        let out = curve_plot(&points, 40, 10);
+        assert!(out.contains('*'));
+        assert!(out.lines().count() >= 11);
+        // Top-right corner: the (1,1) point.
+        let first_row = out.lines().nth(1).unwrap();
+        assert!(first_row.contains('*'));
+    }
+
+    #[test]
+    fn csv_outputs_parse_back() {
+        let csv = curve_csv(&[CurvePoint { threshold: 0.5, fpr: 0.25, tpr: 0.75 }]);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.lines().nth(1).unwrap().starts_with("0.5,0.25,0.75"));
+        let hcsv = histogram_csv(&sample_hist());
+        assert_eq!(hcsv.lines().count(), 12); // header + 10 bins + overflow
+    }
+}

@@ -1,0 +1,177 @@
+//! Formatting of the paper's tables from pipeline results.
+
+use std::fmt::Write as _;
+
+use wifiprint_core::NetworkParameter;
+
+use crate::pipeline::TraceEvaluation;
+
+/// A named trace evaluation, e.g. `("Conf. 1", eval)`.
+pub type NamedEval<'a> = (&'a str, &'a TraceEvaluation);
+
+/// Table I-style trace features.
+#[derive(Debug, Clone)]
+pub struct TraceFeatures {
+    /// Trace name (e.g. "Office 1").
+    pub name: String,
+    /// Total duration description (e.g. "7 hours").
+    pub total: String,
+    /// Reference (training) duration description.
+    pub reference: String,
+    /// Candidate (validation) duration description.
+    pub candidate: String,
+    /// Encryption description.
+    pub encryption: String,
+    /// Number of reference devices at the 50-observation floor.
+    pub ref_devices: usize,
+}
+
+/// Renders Table I (evaluation trace features).
+pub fn table1(rows: &[TraceFeatures]) -> String {
+    let mut cols: Vec<Vec<String>> = vec![vec!["".into()]];
+    for label in ["Total duration", "Ref. duration", "Cand. duration", "Encryption", "# ref. devices"]
+    {
+        cols[0].push(label.to_owned());
+    }
+    for row in rows {
+        cols.push(vec![
+            row.name.clone(),
+            row.total.clone(),
+            row.reference.clone(),
+            row.candidate.clone(),
+            row.encryption.clone(),
+            row.ref_devices.to_string(),
+        ]);
+    }
+    render_columns(&cols)
+}
+
+/// Renders Table II (AUC of the similarity test, % per parameter × trace).
+pub fn table2(evals: &[NamedEval<'_>]) -> String {
+    let mut cols: Vec<Vec<String>> = Vec::new();
+    let mut first = vec!["Network parameter".to_owned()];
+    for p in NetworkParameter::ALL {
+        first.push(capitalise(p.label()));
+    }
+    cols.push(first);
+    for (name, eval) in evals {
+        let mut col = vec![(*name).to_owned()];
+        for p in NetworkParameter::ALL {
+            col.push(format!("{:.1}%", 100.0 * eval.auc(p)));
+        }
+        cols.push(col);
+    }
+    render_columns(&cols)
+}
+
+/// Renders Table III (identification ratios at FPR 0.01 and 0.1).
+pub fn table3(evals: &[NamedEval<'_>]) -> String {
+    let mut cols: Vec<Vec<String>> = Vec::new();
+    let mut first = vec!["Network parameter, FPR".to_owned()];
+    for p in NetworkParameter::ALL {
+        for fpr in ["0.01", "0.1"] {
+            first.push(format!("{}, {fpr}", capitalise(p.label())));
+        }
+    }
+    cols.push(first);
+    for (name, eval) in evals {
+        let mut col = vec![(*name).to_owned()];
+        for p in NetworkParameter::ALL {
+            for fpr in [0.01, 0.1] {
+                col.push(format!("{:.1}%", 100.0 * eval.identification(p, fpr)));
+            }
+        }
+        cols.push(col);
+    }
+    render_columns(&cols)
+}
+
+fn capitalise(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Renders columns (each a vec of equally many cells) as an aligned text
+/// table with a header separator.
+///
+/// # Panics
+///
+/// Panics if columns have differing lengths.
+pub fn render_columns(cols: &[Vec<String>]) -> String {
+    assert!(!cols.is_empty());
+    let rows = cols[0].len();
+    for c in cols {
+        assert_eq!(c.len(), rows, "ragged table columns");
+    }
+    let widths: Vec<usize> =
+        cols.iter().map(|c| c.iter().map(String::len).max().unwrap_or(0)).collect();
+    let mut out = String::new();
+    for r in 0..rows {
+        for (c, col) in cols.iter().enumerate() {
+            if c == 0 {
+                let _ = write!(out, "{:<width$}", col[r], width = widths[0]);
+            } else {
+                let _ = write!(out, "  {:>width$}", col[r], width = widths[c]);
+            }
+        }
+        out.push('\n');
+        if r == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols.len() - 1);
+            let _ = writeln!(out, "{}", "-".repeat(total));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_columns_aligns() {
+        let cols = vec![
+            vec!["Param".to_owned(), "alpha".to_owned(), "b".to_owned()],
+            vec!["T1".to_owned(), "1.0%".to_owned(), "22.5%".to_owned()],
+        ];
+        let out = render_columns(&cols);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Param"));
+        assert!(lines[1].starts_with("---"));
+        // Right-aligned numeric column.
+        assert!(lines[2].ends_with("1.0%"));
+        assert!(lines[3].ends_with("22.5%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_columns_panic() {
+        render_columns(&[vec!["a".into()], vec!["b".into(), "c".into()]]);
+    }
+
+    #[test]
+    fn table1_contains_features() {
+        let rows = vec![TraceFeatures {
+            name: "Office 1".into(),
+            total: "7 hours".into(),
+            reference: "1 hour".into(),
+            candidate: "6 hours".into(),
+            encryption: "WPA".into(),
+            ref_devices: 158,
+        }];
+        let out = table1(&rows);
+        assert!(out.contains("Office 1"));
+        assert!(out.contains("158"));
+        assert!(out.contains("WPA"));
+        assert!(out.contains("# ref. devices"));
+    }
+
+    #[test]
+    fn capitalise_first_letter() {
+        assert_eq!(capitalise("inter-arrival time"), "Inter-arrival time");
+        assert_eq!(capitalise(""), "");
+    }
+}

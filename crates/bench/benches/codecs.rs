@@ -1,0 +1,83 @@
+//! Codec throughput: 802.11 frame serialisation, Radiotap headers and
+//! pcap record I/O.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use wifiprint_ieee80211::{Frame, MacAddr, Rate};
+use wifiprint_pcap::{LinkType, Reader, Record, Writer};
+use wifiprint_radiotap::{RxFlags, RxInfo};
+
+fn bench_frame_codec(c: &mut Criterion) {
+    let frame = Frame::data_to_ds(
+        MacAddr::from_index(1),
+        MacAddr::from_index(2),
+        MacAddr::from_index(3),
+        1460,
+    );
+    let bytes = frame.to_bytes();
+    let mut group = c.benchmark_group("frame_codec");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("serialise_1460B", |b| b.iter(|| black_box(frame.to_bytes())));
+    group.bench_function("parse_1460B", |b| {
+        b.iter(|| black_box(Frame::parse(black_box(&bytes)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_radiotap(c: &mut Criterion) {
+    let info = RxInfo {
+        tsft_us: Some(123_456_789),
+        rate: Some(Rate::R54M),
+        channel_mhz: Some(2437),
+        signal_dbm: Some(-52),
+        noise_dbm: Some(-95),
+        antenna: Some(0),
+        flags: RxFlags::FCS_INCLUDED,
+    };
+    let header = info.to_radiotap();
+    c.bench_function("radiotap_encode", |b| b.iter(|| black_box(info.to_radiotap())));
+    c.bench_function("radiotap_parse", |b| {
+        b.iter(|| black_box(RxInfo::from_radiotap(black_box(&header)).unwrap()))
+    });
+}
+
+fn bench_pcap(c: &mut Criterion) {
+    let records: Vec<Record> =
+        (0..1000).map(|i| Record::from_micros(i * 100, vec![0xAB; 200])).collect();
+    let mut file = Vec::new();
+    let mut w = Writer::new(&mut file, LinkType::Ieee80211Radiotap).unwrap();
+    for r in &records {
+        w.write_record(r).unwrap();
+    }
+    let mut group = c.benchmark_group("pcap");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("write_1000_records", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(file.len());
+            let mut w = Writer::new(&mut buf, LinkType::Ieee80211Radiotap).unwrap();
+            for r in &records {
+                w.write_record(r).unwrap();
+            }
+            black_box(buf)
+        })
+    });
+    group.bench_function("read_1000_records", |b| {
+        b.iter(|| {
+            let reader = Reader::new(black_box(&file[..])).unwrap();
+            let n = reader.count();
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(30).warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_frame_codec, bench_radiotap, bench_pcap
+}
+criterion_main!(benches);

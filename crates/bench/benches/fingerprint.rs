@@ -1,0 +1,94 @@
+//! Microbenchmarks of the fingerprinting pipeline: signature
+//! construction, histogram similarity, and Algorithm 1 matching as a
+//! function of reference-database size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wifiprint_core::{
+    EvalConfig, NetworkParameter, ReferenceDb, Signature, SignatureBuilder, SimilarityMeasure,
+};
+use wifiprint_ieee80211::{Frame, FrameKind, MacAddr, Nanos, Rate};
+use wifiprint_radiotap::CapturedFrame;
+
+fn synthetic_frames(n: usize, devices: u64) -> Vec<CapturedFrame> {
+    let ap = MacAddr::from_index(0xFFFF);
+    (0..n)
+        .map(|i| {
+            let dev = MacAddr::from_index(1 + (i as u64 % devices));
+            let f = Frame::data_to_ds(dev, ap, ap, 200 + (i % 7) * 100);
+            CapturedFrame::from_frame(
+                &f,
+                Rate::R54M,
+                Nanos::from_micros(300 * (i as u64 + 1)),
+                -50,
+            )
+        })
+        .collect()
+}
+
+fn synthetic_signature(seed: u64, obs: u64) -> Signature {
+    let cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime);
+    let mut sig = Signature::new();
+    for i in 0..obs {
+        let v = ((seed * 131 + i * 37) % 2400) as f64;
+        sig.record(FrameKind::Data, v, &cfg);
+        if i % 5 == 0 {
+            sig.record(FrameKind::ProbeReq, (seed * 17 % 500) as f64, &cfg);
+        }
+    }
+    sig
+}
+
+fn bench_signature_build(c: &mut Criterion) {
+    let frames = synthetic_frames(20_000, 20);
+    let cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
+        .with_min_observations(10);
+    c.bench_function("signature_build_20k_frames", |b| {
+        b.iter(|| {
+            let mut builder = SignatureBuilder::new(&cfg);
+            for f in &frames {
+                builder.push(black_box(f));
+            }
+            black_box(builder.finish())
+        })
+    });
+}
+
+fn bench_similarity_measures(c: &mut Criterion) {
+    let a = synthetic_signature(1, 2_000);
+    let bvec = a.histogram(FrameKind::Data).unwrap().frequencies();
+    let avec = bvec.clone();
+    let mut group = c.benchmark_group("similarity_250bins");
+    for m in SimilarityMeasure::ALL {
+        group.bench_function(m.to_string(), |b| {
+            b.iter(|| black_box(m.compute(black_box(&avec), black_box(&bvec))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("match_one_candidate");
+    for db_size in [10u64, 50, 200] {
+        let mut db = ReferenceDb::new();
+        for d in 0..db_size {
+            db.insert(MacAddr::from_index(d), synthetic_signature(d, 500));
+        }
+        let candidate = synthetic_signature(3, 500);
+        group.bench_with_input(BenchmarkId::from_parameter(db_size), &db_size, |b, _| {
+            b.iter(|| black_box(db.match_signature(&candidate, SimilarityMeasure::Cosine)))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_signature_build, bench_similarity_measures, bench_matching_scaling
+}
+criterion_main!(benches);

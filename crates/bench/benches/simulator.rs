@@ -1,0 +1,37 @@
+//! Simulator throughput: events and captured frames per second for the
+//! office and conference scenario generators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wifiprint_scenarios::{ConferenceScenario, OfficeScenario};
+
+fn bench_office(c: &mut Criterion) {
+    c.bench_function("office_20s_12dev", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            OfficeScenario::small(7, 20, 12).run_streaming(&mut |_| n += 1);
+            black_box(n)
+        })
+    });
+}
+
+fn bench_conference(c: &mut Criterion) {
+    c.bench_function("conference_20s_20dev", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            ConferenceScenario::small(7, 20, 20).run_streaming(&mut |_| n += 1);
+            black_box(n)
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_office, bench_conference
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! End-to-end table/figure regeneration at reduced scale: times the full
+//! pipeline (scenario → extraction → matching → metrics) behind each of
+//! the paper's tables, plus the figure rigs. Absolute accuracy numbers
+//! come from the `repro` binary; these benches track the cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wifiprint_analysis::{PipelineConfig, StreamingEvaluator};
+use wifiprint_bench::figures;
+use wifiprint_scenarios::{ConferenceScenario, OfficeScenario};
+
+/// Tables I–III share one pipeline pass; bench it on miniature traces.
+fn bench_tables_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables_pipeline");
+    group.bench_function("office_mini", |b| {
+        b.iter(|| {
+            let cfg = PipelineConfig::miniature(30, 15, 30);
+            let mut ev = StreamingEvaluator::new(&cfg);
+            OfficeScenario::small(3, 90, 10).run_streaming(&mut |f| ev.push(f));
+            black_box(ev.finish())
+        })
+    });
+    group.bench_function("conference_mini", |b| {
+        b.iter(|| {
+            let cfg = PipelineConfig::miniature(30, 15, 30);
+            let mut ev = StreamingEvaluator::new(&cfg);
+            ConferenceScenario::small(3, 90, 14).run_streaming(&mut |f| ev.push(f));
+            black_box(ev.finish())
+        })
+    });
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_rigs");
+    group.bench_function("fig4_backoff", |b| b.iter(|| black_box(figures::fig4_backoff(1))));
+    group.bench_function("fig5_rts", |b| b.iter(|| black_box(figures::fig5_rts(1))));
+    group.bench_function("fig6_rates", |b| b.iter(|| black_box(figures::fig6_rates(1))));
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tables_pipeline, bench_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Shared experiment definitions for the reproduction harness: every
+//! table and figure of the paper, expressed as reusable functions driven
+//! by both the `repro` binary and the Criterion benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod figures;
+
+pub use experiments::{evaluate_scenario, TraceKind, TraceRun};

@@ -1,0 +1,344 @@
+//! Persistence of reference databases in a small line-oriented text
+//! format, so learned signatures can be stored and reloaded across runs
+//! (the paper's learning/detection phase split).
+//!
+//! Format (one item per line):
+//!
+//! ```text
+//! wifiprint-db v1
+//! parameter inter-arrival-time
+//! bins uniform 0 25 100          # min width count  (or: bins categorical c1,c2,…)
+//! device 02:00:00:00:00:01
+//! hist data 0,4,17,…             # counts, one entry per bin
+//! hist probe-req 1,0,3,…
+//! device 02:00:00:00:00:02
+//! …
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use wifiprint_ieee80211::{FrameKind, MacAddr};
+
+use crate::histogram::{BinSpec, Histogram};
+use crate::matching::ReferenceDb;
+use crate::params::NetworkParameter;
+use crate::signature::Signature;
+
+/// Errors while encoding or decoding a persisted reference database.
+#[derive(Debug)]
+pub enum DbCodecError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based number and a description.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for DbCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbCodecError::Io(e) => write!(f, "i/o error: {e}"),
+            DbCodecError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DbCodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbCodecError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DbCodecError {
+    fn from(e: std::io::Error) -> Self {
+        DbCodecError::Io(e)
+    }
+}
+
+/// Writes a reference database (its parameter and bin spec included) to a
+/// writer.
+///
+/// # Errors
+///
+/// I/O errors from the writer.
+pub fn save_db<W: Write>(
+    mut out: W,
+    db: &ReferenceDb,
+    parameter: NetworkParameter,
+    bins: &BinSpec,
+) -> Result<(), DbCodecError> {
+    writeln!(out, "wifiprint-db v1")?;
+    writeln!(out, "parameter {}", parameter.slug())?;
+    match bins {
+        BinSpec::Uniform { min, width, count } => {
+            writeln!(out, "bins uniform {min} {width} {count}")?;
+        }
+        BinSpec::Categorical { centers } => {
+            let list: Vec<String> = centers.iter().map(f64::to_string).collect();
+            writeln!(out, "bins categorical {}", list.join(","))?;
+        }
+    }
+    for (device, sig) in db.iter() {
+        writeln!(out, "device {device}")?;
+        for (kind, hist) in sig.iter() {
+            let counts: Vec<String> = hist.counts().iter().map(u64::to_string).collect();
+            writeln!(out, "hist {} {}", kind.label(), counts.join(","))?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a database previously written with [`save_db`].
+///
+/// # Errors
+///
+/// I/O errors, or [`DbCodecError::Parse`] for malformed content.
+pub fn load_db<R: BufRead>(
+    input: R,
+) -> Result<(ReferenceDb, NetworkParameter, BinSpec), DbCodecError> {
+    let mut lines = input.lines().enumerate();
+    let mut next_line = |expect: &str| -> Result<(usize, String), DbCodecError> {
+        match lines.next() {
+            Some((i, Ok(l))) => Ok((i + 1, l)),
+            Some((i, Err(e))) => Err(DbCodecError::Parse {
+                line: i + 1,
+                message: format!("read failure: {e}"),
+            }),
+            None => Err(DbCodecError::Parse {
+                line: 0,
+                message: format!("unexpected end of file, expected {expect}"),
+            }),
+        }
+    };
+
+    let (ln, header) = next_line("header")?;
+    if header.trim() != "wifiprint-db v1" {
+        return Err(DbCodecError::Parse { line: ln, message: "bad header".into() });
+    }
+    let (ln, param_line) = next_line("parameter line")?;
+    let parameter = param_line
+        .strip_prefix("parameter ")
+        .and_then(|s| s.trim().parse::<NetworkParameter>().ok())
+        .ok_or_else(|| DbCodecError::Parse { line: ln, message: "bad parameter line".into() })?;
+    let (ln, bins_line) = next_line("bins line")?;
+    let bins = parse_bins(&bins_line)
+        .ok_or_else(|| DbCodecError::Parse { line: ln, message: "bad bins line".into() })?;
+
+    let mut signatures: BTreeMap<MacAddr, Signature> = BTreeMap::new();
+    let mut current: Option<(MacAddr, BTreeMap<FrameKind, Histogram>)> = None;
+    let seal =
+        |cur: &mut Option<(MacAddr, BTreeMap<FrameKind, Histogram>)>,
+         sigs: &mut BTreeMap<MacAddr, Signature>| {
+            if let Some((device, hists)) = cur.take() {
+                sigs.insert(device, Signature::from_histograms(hists));
+            }
+        };
+
+    for (i, line) in lines {
+        let ln = i + 1;
+        let line = line.map_err(|e| DbCodecError::Parse {
+            line: ln,
+            message: format!("read failure: {e}"),
+        })?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("device ") {
+            let device: MacAddr = rest.trim().parse().map_err(|_| DbCodecError::Parse {
+                line: ln,
+                message: format!("bad device address {rest:?}"),
+            })?;
+            seal(&mut current, &mut signatures);
+            current = Some((device, BTreeMap::new()));
+        } else if let Some(rest) = line.strip_prefix("hist ") {
+            let (label, counts_str) =
+                rest.split_once(' ').ok_or_else(|| DbCodecError::Parse {
+                    line: ln,
+                    message: "hist line missing counts".into(),
+                })?;
+            let kind = parse_kind_label(label).ok_or_else(|| DbCodecError::Parse {
+                line: ln,
+                message: format!("unknown frame kind {label:?}"),
+            })?;
+            let counts: Result<Vec<u64>, _> =
+                counts_str.split(',').map(|c| c.trim().parse::<u64>()).collect();
+            let counts = counts.map_err(|e| DbCodecError::Parse {
+                line: ln,
+                message: format!("bad count: {e}"),
+            })?;
+            if counts.len() != bins.bin_count() {
+                return Err(DbCodecError::Parse {
+                    line: ln,
+                    message: format!(
+                        "histogram has {} bins, spec expects {}",
+                        counts.len(),
+                        bins.bin_count()
+                    ),
+                });
+            }
+            let (_, hists) = current.as_mut().ok_or_else(|| DbCodecError::Parse {
+                line: ln,
+                message: "hist line before any device line".into(),
+            })?;
+            hists.insert(kind, Histogram::from_counts(bins.clone(), counts));
+        } else {
+            return Err(DbCodecError::Parse {
+                line: ln,
+                message: format!("unrecognised line {line:?}"),
+            });
+        }
+    }
+    seal(&mut current, &mut signatures);
+    Ok((ReferenceDb::from_signatures(signatures), parameter, bins))
+}
+
+fn parse_bins(line: &str) -> Option<BinSpec> {
+    let rest = line.strip_prefix("bins ")?;
+    if let Some(spec) = rest.strip_prefix("uniform ") {
+        let mut it = spec.split_whitespace();
+        let min: f64 = it.next()?.parse().ok()?;
+        let width: f64 = it.next()?.parse().ok()?;
+        let count: usize = it.next()?.parse().ok()?;
+        if it.next().is_some() || width <= 0.0 {
+            return None;
+        }
+        Some(BinSpec::Uniform { min, width, count })
+    } else if let Some(spec) = rest.strip_prefix("categorical ") {
+        let centers: Result<Vec<f64>, _> = spec.split(',').map(|c| c.trim().parse()).collect();
+        let centers = centers.ok()?;
+        if centers.is_empty() {
+            return None;
+        }
+        Some(BinSpec::Categorical { centers })
+    } else {
+        None
+    }
+}
+
+fn parse_kind_label(label: &str) -> Option<FrameKind> {
+    if let Some(rest) = label.strip_prefix("reserved-") {
+        let (t, s) = rest.split_once('-')?;
+        return Some(FrameKind::Reserved {
+            type_bits: t.parse().ok()?,
+            subtype: s.parse().ok()?,
+        });
+    }
+    FrameKind::ALL_NAMED.into_iter().find(|k| k.label() == label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EvalConfig;
+
+    fn sample_db() -> (ReferenceDb, NetworkParameter, BinSpec) {
+        let param = NetworkParameter::InterArrivalTime;
+        let cfg = EvalConfig::for_parameter(param).with_bins(BinSpec::uniform_to(100.0, 10.0));
+        let mut db = ReferenceDb::new();
+        for idx in 1..=3u64 {
+            let mut sig = Signature::new();
+            for i in 0..60 {
+                sig.record(FrameKind::Data, (idx * 10 + i % 7) as f64, &cfg);
+            }
+            for _ in 0..5 {
+                sig.record(FrameKind::ProbeReq, 95.0, &cfg);
+            }
+            db.insert(MacAddr::from_index(idx), sig);
+        }
+        (db, param, cfg.bins)
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let (db, param, bins) = sample_db();
+        let mut buf = Vec::new();
+        save_db(&mut buf, &db, param, &bins).unwrap();
+        let (loaded, lparam, lbins) = load_db(&buf[..]).unwrap();
+        assert_eq!(lparam, param);
+        assert_eq!(lbins, bins);
+        assert_eq!(loaded.len(), db.len());
+        for (device, sig) in db.iter() {
+            let lsig = loaded.get(&device).expect("device present");
+            assert_eq!(lsig, sig, "{device}");
+        }
+    }
+
+    #[test]
+    fn categorical_bins_round_trip() {
+        let param = NetworkParameter::TransmissionRate;
+        let cfg = EvalConfig::for_parameter(param);
+        let mut db = ReferenceDb::new();
+        let mut sig = Signature::new();
+        for _ in 0..50 {
+            sig.record(FrameKind::QosData, 54.0, &cfg);
+        }
+        db.insert(MacAddr::from_index(1), sig);
+        let mut buf = Vec::new();
+        save_db(&mut buf, &db, param, &cfg.bins).unwrap();
+        let (loaded, _, lbins) = load_db(&buf[..]).unwrap();
+        assert_eq!(lbins, cfg.bins);
+        assert_eq!(loaded.len(), 1);
+    }
+
+    #[test]
+    fn reserved_kind_labels_round_trip() {
+        assert_eq!(
+            parse_kind_label("reserved-3-5"),
+            Some(FrameKind::Reserved { type_bits: 3, subtype: 5 })
+        );
+        assert_eq!(parse_kind_label("qos-data"), Some(FrameKind::QosData));
+        assert_eq!(parse_kind_label("nonsense"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        let cases: &[(&str, &str)] = &[
+            ("", "unexpected end"),
+            ("not-a-db", "bad header"),
+            ("wifiprint-db v1\nparameter bogus\nbins uniform 0 1 2", "bad parameter"),
+            ("wifiprint-db v1\nparameter frame-size\nbins nonsense", "bad bins"),
+            (
+                "wifiprint-db v1\nparameter frame-size\nbins uniform 0 1 2\nhist data 1,2,3",
+                "before any device",
+            ),
+            (
+                "wifiprint-db v1\nparameter frame-size\nbins uniform 0 1 2\ndevice zz:zz",
+                "bad device",
+            ),
+            (
+                "wifiprint-db v1\nparameter frame-size\nbins uniform 0 1 2\ndevice 02:00:00:00:00:01\nhist data 1,2",
+                "bins",
+            ),
+            (
+                "wifiprint-db v1\nparameter frame-size\nbins uniform 0 1 2\nwhat is this",
+                "unrecognised",
+            ),
+        ];
+        for (input, needle) in cases {
+            let err = load_db(input.as_bytes()).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "input {input:?}: got {msg:?}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let (db, param, bins) = sample_db();
+        let mut buf = Vec::new();
+        save_db(&mut buf, &db, param, &bins).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text = text.replace("device 02:00:00:00:00:02", "# comment\n\ndevice 02:00:00:00:00:02");
+        let (loaded, _, _) = load_db(text.as_bytes()).unwrap();
+        assert_eq!(loaded.len(), 3);
+    }
+}

@@ -1,0 +1,313 @@
+//! Binned histograms and their percentage-frequency form (§IV-A).
+
+use core::fmt;
+
+/// How observed values are mapped to histogram bins.
+///
+/// The paper fixes neither bin widths nor ranges; these are exposed as
+/// configuration with defaults chosen to match the figures (e.g. Fig. 2
+/// bins inter-arrival times over 0–2500 µs).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum BinSpec {
+    /// `count` equal-width bins covering `[min, min + width·count)`, plus
+    /// one trailing overflow bin. Values below `min` clamp into bin 0.
+    Uniform {
+        /// Lower edge of the first bin.
+        min: f64,
+        /// Width of each bin (must be positive).
+        width: f64,
+        /// Number of regular bins (the overflow bin is extra).
+        count: usize,
+    },
+    /// One bin per listed centre value; observations snap to the nearest
+    /// centre. Used for the discrete transmission-rate parameter.
+    Categorical {
+        /// Bin centres in ascending order.
+        centers: Vec<f64>,
+    },
+}
+
+impl BinSpec {
+    /// A uniform spec covering `[0, max)` with the given bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width <= 0` or `max <= 0`.
+    pub fn uniform_to(max: f64, width: f64) -> BinSpec {
+        assert!(width > 0.0, "bin width must be positive");
+        assert!(max > 0.0, "histogram range must be positive");
+        BinSpec::Uniform { min: 0.0, width, count: (max / width).ceil() as usize }
+    }
+
+    /// Total number of bins, including the overflow bin for uniform specs.
+    pub fn bin_count(&self) -> usize {
+        match self {
+            BinSpec::Uniform { count, .. } => count + 1,
+            BinSpec::Categorical { centers } => centers.len(),
+        }
+    }
+
+    /// The bin index for a value.
+    pub fn bin_index(&self, value: f64) -> usize {
+        match self {
+            BinSpec::Uniform { min, width, count } => {
+                if !value.is_finite() || value <= *min {
+                    0
+                } else {
+                    let idx = ((value - min) / width) as usize;
+                    idx.min(*count) // values past the range land in overflow
+                }
+            }
+            BinSpec::Categorical { centers } => {
+                debug_assert!(!centers.is_empty());
+                let mut best = 0;
+                let mut best_dist = f64::INFINITY;
+                for (i, c) in centers.iter().enumerate() {
+                    let d = (value - c).abs();
+                    if d < best_dist {
+                        best_dist = d;
+                        best = i;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// The representative value (bin centre) for a bin index, handy for
+    /// plotting. The overflow bin reports the upper range edge.
+    pub fn bin_center(&self, index: usize) -> f64 {
+        match self {
+            BinSpec::Uniform { min, width, count } => {
+                if index >= *count {
+                    min + width * (*count as f64)
+                } else {
+                    min + width * (index as f64 + 0.5)
+                }
+            }
+            BinSpec::Categorical { centers } => {
+                centers.get(index).copied().unwrap_or(f64::NAN)
+            }
+        }
+    }
+}
+
+impl fmt::Display for BinSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinSpec::Uniform { min, width, count } => {
+                write!(f, "uniform[{min}..{:.0} step {width}]", min + width * *count as f64)
+            }
+            BinSpec::Categorical { centers } => write!(f, "categorical[{} bins]", centers.len()),
+        }
+    }
+}
+
+/// An observation-count histogram convertible to the paper's
+/// percentage-frequency distribution.
+///
+/// # Example
+///
+/// ```
+/// use wifiprint_core::{BinSpec, Histogram};
+///
+/// let mut h = Histogram::new(BinSpec::uniform_to(100.0, 10.0));
+/// h.add(5.0);
+/// h.add(15.0);
+/// h.add(15.5);
+/// h.add(1e9); // overflow bin
+/// assert_eq!(h.total(), 4);
+/// let freq = h.frequencies();
+/// assert!((freq[0] - 0.25).abs() < 1e-12);
+/// assert!((freq[1] - 0.50).abs() < 1e-12);
+/// assert!((freq.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Histogram {
+    spec: BinSpec,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over the given bins.
+    pub fn new(spec: BinSpec) -> Self {
+        let counts = vec![0; spec.bin_count()];
+        Histogram { spec, counts, total: 0 }
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, value: f64) {
+        let idx = self.spec.bin_index(value);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Records an observation `n` times.
+    pub fn add_n(&mut self, value: f64, n: u64) {
+        let idx = self.spec.bin_index(value);
+        self.counts[idx] += n;
+        self.total += n;
+    }
+
+    /// Merges another histogram with the same spec into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specs differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.spec, other.spec, "merging histograms with different bin specs");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Number of observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The bin specification.
+    pub fn spec(&self) -> &BinSpec {
+        &self.spec
+    }
+
+    /// Raw per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The percentage-frequency distribution `Pⱼ = oⱼ / |P|` (§IV-A).
+    ///
+    /// Returns all zeros for an empty histogram.
+    pub fn frequencies(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        let n = self.total as f64;
+        self.counts.iter().map(|&c| c as f64 / n).collect()
+    }
+
+    /// Iterator over `(bin_center, frequency)` pairs, for plotting.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let n = self.total.max(1) as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.spec.bin_center(i), c as f64 / n))
+    }
+
+    /// Restores a histogram from raw counts (used by the DB codec).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != spec.bin_count()`.
+    pub fn from_counts(spec: BinSpec, counts: Vec<u64>) -> Self {
+        assert_eq!(counts.len(), spec.bin_count(), "count vector does not match spec");
+        let total = counts.iter().sum();
+        Histogram { spec, counts, total }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_binning_edges() {
+        let spec = BinSpec::uniform_to(100.0, 10.0);
+        assert_eq!(spec.bin_count(), 11); // 10 + overflow
+        assert_eq!(spec.bin_index(-5.0), 0);
+        assert_eq!(spec.bin_index(0.0), 0);
+        assert_eq!(spec.bin_index(9.999), 0);
+        assert_eq!(spec.bin_index(10.0), 1);
+        assert_eq!(spec.bin_index(99.9), 9);
+        assert_eq!(spec.bin_index(100.0), 10);
+        assert_eq!(spec.bin_index(1e12), 10);
+        assert_eq!(spec.bin_index(f64::NAN), 0);
+    }
+
+    #[test]
+    fn categorical_snaps_to_nearest() {
+        let spec = BinSpec::Categorical { centers: vec![1.0, 2.0, 5.5, 11.0] };
+        assert_eq!(spec.bin_count(), 4);
+        assert_eq!(spec.bin_index(1.2), 0);
+        assert_eq!(spec.bin_index(4.0), 2);
+        assert_eq!(spec.bin_index(100.0), 3);
+        assert_eq!(spec.bin_center(2), 5.5);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let spec = BinSpec::uniform_to(100.0, 10.0);
+        assert_eq!(spec.bin_center(0), 5.0);
+        assert_eq!(spec.bin_center(9), 95.0);
+        assert_eq!(spec.bin_center(10), 100.0); // overflow
+    }
+
+    #[test]
+    fn frequencies_normalise() {
+        let mut h = Histogram::new(BinSpec::uniform_to(10.0, 1.0));
+        for v in [0.5, 0.7, 3.2, 9.9, 50.0] {
+            h.add(v);
+        }
+        let f = h.frequencies();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((f[0] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new(BinSpec::uniform_to(10.0, 1.0));
+        assert_eq!(h.total(), 0);
+        assert!(h.frequencies().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let spec = BinSpec::uniform_to(10.0, 1.0);
+        let mut a = Histogram::new(spec.clone());
+        a.add(1.5);
+        let mut b = Histogram::new(spec);
+        b.add(1.7);
+        b.add_n(8.5, 3);
+        a.merge(&b);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.counts()[1], 2);
+        assert_eq!(a.counts()[8], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bin specs")]
+    fn merge_rejects_mismatched_specs() {
+        let mut a = Histogram::new(BinSpec::uniform_to(10.0, 1.0));
+        let b = Histogram::new(BinSpec::uniform_to(20.0, 1.0));
+        a.merge(&b);
+    }
+
+    #[test]
+    fn from_counts_round_trip() {
+        let spec = BinSpec::uniform_to(3.0, 1.0);
+        let h = Histogram::from_counts(spec.clone(), vec![1, 2, 3, 4]);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.spec(), &spec);
+    }
+
+    #[test]
+    fn points_iterate_all_bins() {
+        let mut h = Histogram::new(BinSpec::uniform_to(4.0, 2.0));
+        h.add(1.0);
+        let pts: Vec<_> = h.points().collect();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn uniform_to_rejects_zero_width() {
+        BinSpec::uniform_to(10.0, 0.0);
+    }
+}

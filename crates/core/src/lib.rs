@@ -1,0 +1,81 @@
+//! Passive 802.11 device fingerprinting.
+//!
+//! This crate implements the fingerprinting method of **Neumann, Heen &
+//! Onno, "An empirical study of passive 802.11 device fingerprinting"
+//! (ICDCS workshops 2012)**: characterising a wireless device purely from
+//! capture-header observables — no payload inspection, no active probing —
+//! so that it works on encrypted (WPA) traffic and from networks the
+//! monitor is not a member of.
+//!
+//! # Method overview
+//!
+//! 1. Five **network parameters** ([`NetworkParameter`]) are extracted per
+//!    frame and attributed to the transmitting device (frames without a
+//!    transmitter address — ACK, CTS — are dropped, §IV-A):
+//!    transmission rate, frame size, medium access time, transmission time
+//!    and frame inter-arrival time.
+//! 2. Per device, per frame type, the values are binned into
+//!    **percentage-frequency histograms** ([`Histogram`]); the set of
+//!    weighted histograms is the device's **signature** ([`Signature`]).
+//! 3. A candidate signature is matched against a [`ReferenceDb`] with the
+//!    weighted **cosine similarity** of Algorithm 1 ([`matching`]).
+//! 4. Accuracy is measured with the paper's two tests ([`metrics`]): the
+//!    **similarity test** (threshold sweep → TPR/FPR curve → AUC) and the
+//!    **identification test** (argmax → identification ratio at a target
+//!    FPR).
+//!
+//! # Example
+//!
+//! ```
+//! use wifiprint_core::{
+//!     EvalConfig, NetworkParameter, ReferenceDb, SignatureBuilder,
+//! };
+//! use wifiprint_radiotap::CapturedFrame;
+//! use wifiprint_ieee80211::{Frame, MacAddr, Nanos, Rate};
+//!
+//! // A toy "trace": one station sending data frames every ~800 µs.
+//! let sta = MacAddr::from_index(1);
+//! let ap = MacAddr::from_index(2);
+//! let frames: Vec<CapturedFrame> = (0..200u64)
+//!     .map(|i| {
+//!         let f = Frame::data_to_ds(sta, ap, ap, 500);
+//!         CapturedFrame::from_frame(&f, Rate::R54M, Nanos::from_micros(800 * (i + 1)), -50)
+//!     })
+//!     .collect();
+//!
+//! // Build a reference signature from the trace.
+//! let cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime);
+//! let mut builder = SignatureBuilder::new(&cfg);
+//! builder.extend(frames.iter().copied());
+//! let mut db = ReferenceDb::new();
+//! for (device, sig) in builder.finish() {
+//!     db.insert(device, sig);
+//! }
+//! assert!(db.get(&sta).is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod db;
+mod histogram;
+mod matching;
+pub mod metrics;
+mod params;
+mod signature;
+mod similarity;
+mod windows;
+
+pub use config::{default_bins, EvalConfig, FrameFilter, TxTimeEstimator};
+pub use db::{load_db, save_db, DbCodecError};
+pub use histogram::{BinSpec, Histogram};
+pub use matching::{MatchOutcome, ReferenceDb};
+pub use metrics::{
+    evaluate, CurvePoint, EvalOutcome, IdentOperatingPoint, MatchSet, SimilarityCurve,
+};
+pub use params::{extract_all, NetworkParameter, Observation, ParameterExtractor};
+pub use signature::{Signature, SignatureBuilder};
+pub use similarity::SimilarityMeasure;
+pub use windows::{CandidateWindow, WindowedSignatures};

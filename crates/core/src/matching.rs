@@ -1,0 +1,306 @@
+//! The reference database and Algorithm 1 (signature matching).
+
+use std::collections::BTreeMap;
+
+use wifiprint_ieee80211::{FrameKind, MacAddr};
+
+use crate::signature::Signature;
+use crate::similarity::SimilarityMeasure;
+
+/// One prepared reference entry: the signature plus cached frequency
+/// vectors and weights, so matching avoids re-normalising histograms.
+#[derive(Debug, Clone)]
+struct PreparedSignature {
+    signature: Signature,
+    /// `kind -> (weight^ftype(r), P^ftype_r)`.
+    freqs: BTreeMap<FrameKind, (f64, Vec<f64>)>,
+}
+
+impl PreparedSignature {
+    fn prepare(signature: Signature) -> Self {
+        let freqs = signature
+            .iter()
+            .map(|(kind, hist)| (kind, (signature.weight(kind), hist.frequencies())))
+            .collect();
+        PreparedSignature { signature, freqs }
+    }
+}
+
+/// The reference database of the learning phase (§IV-B): one signature per
+/// known device.
+///
+/// # Example
+///
+/// ```
+/// use wifiprint_core::{EvalConfig, NetworkParameter, ReferenceDb, Signature, SimilarityMeasure};
+/// use wifiprint_ieee80211::{FrameKind, MacAddr};
+///
+/// let cfg = EvalConfig::for_parameter(NetworkParameter::FrameSize);
+/// let mut sig = Signature::new();
+/// for _ in 0..60 { sig.record(FrameKind::Data, 1000.0, &cfg); }
+///
+/// let mut db = ReferenceDb::new();
+/// let dev = MacAddr::from_index(1);
+/// db.insert(dev, sig.clone());
+///
+/// let outcome = db.match_signature(&sig, SimilarityMeasure::Cosine);
+/// assert_eq!(outcome.best().unwrap().0, dev);
+/// assert!((outcome.best().unwrap().1 - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceDb {
+    refs: BTreeMap<MacAddr, PreparedSignature>,
+}
+
+impl ReferenceDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        ReferenceDb { refs: BTreeMap::new() }
+    }
+
+    /// Builds a database from per-device signatures (e.g. the output of
+    /// [`SignatureBuilder::finish`](crate::SignatureBuilder::finish)).
+    pub fn from_signatures(signatures: BTreeMap<MacAddr, Signature>) -> Self {
+        let mut db = ReferenceDb::new();
+        for (device, sig) in signatures {
+            db.insert(device, sig);
+        }
+        db
+    }
+
+    /// Inserts or replaces a device's reference signature.
+    ///
+    /// Returns the previous signature if the device was already present.
+    pub fn insert(&mut self, device: MacAddr, signature: Signature) -> Option<Signature> {
+        self.refs
+            .insert(device, PreparedSignature::prepare(signature))
+            .map(|p| p.signature)
+    }
+
+    /// Removes a device, returning its signature.
+    pub fn remove(&mut self, device: &MacAddr) -> Option<Signature> {
+        self.refs.remove(device).map(|p| p.signature)
+    }
+
+    /// The signature of a device, if present.
+    pub fn get(&self, device: &MacAddr) -> Option<&Signature> {
+        self.refs.get(device).map(|p| &p.signature)
+    }
+
+    /// `true` if the device has a reference signature.
+    pub fn contains(&self, device: &MacAddr) -> bool {
+        self.refs.contains_key(device)
+    }
+
+    /// Number of reference devices.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// `true` if the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// Iterates `(device, signature)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (MacAddr, &Signature)> {
+        self.refs.iter().map(|(&d, p)| (d, &p.signature))
+    }
+
+    /// The devices in the database, in address order.
+    pub fn devices(&self) -> impl Iterator<Item = MacAddr> + '_ {
+        self.refs.keys().copied()
+    }
+
+    /// Algorithm 1: matches a candidate signature against every reference.
+    ///
+    /// For each reference `rᵢ` the score is
+    /// `simᵢ = Σ_{ftype ∈ Sig(c)} weight^ftype(rᵢ) · sim(hist^ftype(c), hist^ftype(rᵢ))`,
+    /// i.e. the per-frame-type histogram similarities weighted by the
+    /// **reference's** frame-type distribution. Scores lie in `[0, 1]`.
+    pub fn match_signature(&self, candidate: &Signature, measure: SimilarityMeasure) -> MatchOutcome {
+        // Pre-normalise the candidate's histograms once.
+        let cand_freqs: Vec<(FrameKind, Vec<f64>)> =
+            candidate.iter().map(|(kind, hist)| (kind, hist.frequencies())).collect();
+
+        let mut sims = Vec::with_capacity(self.refs.len());
+        for (&device, prepared) in &self.refs {
+            let mut sim = 0.0;
+            for (kind, cand_freq) in &cand_freqs {
+                if let Some((weight, ref_freq)) = prepared.freqs.get(kind) {
+                    if cand_freq.len() == ref_freq.len() {
+                        sim += weight * measure.compute(cand_freq, ref_freq);
+                    }
+                }
+            }
+            sims.push((device, sim));
+        }
+        MatchOutcome { sims }
+    }
+}
+
+/// The similarity vector `<sim₁, …, sim_N>` returned by Algorithm 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchOutcome {
+    sims: Vec<(MacAddr, f64)>,
+}
+
+impl MatchOutcome {
+    /// All `(reference device, similarity)` pairs, in database order.
+    pub fn similarities(&self) -> &[(MacAddr, f64)] {
+        &self.sims
+    }
+
+    /// The similarity to one specific reference device.
+    pub fn similarity_to(&self, device: &MacAddr) -> Option<f64> {
+        self.sims.iter().find(|(d, _)| d == device).map(|&(_, s)| s)
+    }
+
+    /// The similarity test (§IV-B): references whose similarity is at
+    /// least `threshold`.
+    pub fn above_threshold(&self, threshold: f64) -> impl Iterator<Item = (MacAddr, f64)> + '_ {
+        self.sims.iter().copied().filter(move |&(_, s)| s >= threshold)
+    }
+
+    /// The identification test (§IV-B): the single closest reference.
+    ///
+    /// Ties break toward the lower MAC address for determinism.
+    pub fn best(&self) -> Option<(MacAddr, f64)> {
+        self.sims
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(
+                b.0.cmp(&a.0),
+            ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EvalConfig;
+    use crate::params::NetworkParameter;
+
+    fn cfg() -> EvalConfig {
+        EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
+    }
+
+    fn sig_with(values: &[(FrameKind, f64, u64)]) -> Signature {
+        let c = cfg();
+        let mut sig = Signature::new();
+        for &(kind, value, n) in values {
+            for _ in 0..n {
+                sig.record(kind, value, &c);
+            }
+        }
+        sig
+    }
+
+    #[test]
+    fn identical_signature_scores_one() {
+        let sig = sig_with(&[(FrameKind::Data, 500.0, 30), (FrameKind::ProbeReq, 100.0, 10)]);
+        let mut db = ReferenceDb::new();
+        db.insert(MacAddr::from_index(1), sig.clone());
+        let outcome = db.match_signature(&sig, SimilarityMeasure::Cosine);
+        let (_, score) = outcome.best().unwrap();
+        assert!((score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_histograms_score_zero() {
+        let a = sig_with(&[(FrameKind::Data, 100.0, 10)]);
+        let b = sig_with(&[(FrameKind::Data, 2000.0, 10)]);
+        let mut db = ReferenceDb::new();
+        db.insert(MacAddr::from_index(1), a);
+        let outcome = db.match_signature(&b, SimilarityMeasure::Cosine);
+        assert_eq!(outcome.best().unwrap().1, 0.0);
+    }
+
+    #[test]
+    fn missing_frame_types_contribute_nothing() {
+        // Reference only has Data; candidate only has ProbeReq.
+        let r = sig_with(&[(FrameKind::Data, 100.0, 10)]);
+        let c = sig_with(&[(FrameKind::ProbeReq, 100.0, 10)]);
+        let mut db = ReferenceDb::new();
+        db.insert(MacAddr::from_index(1), r);
+        let outcome = db.match_signature(&c, SimilarityMeasure::Cosine);
+        assert_eq!(outcome.similarities()[0].1, 0.0);
+    }
+
+    #[test]
+    fn weights_come_from_the_reference() {
+        // Reference: 90% Data at 100 µs, 10% ProbeReq at 200 µs.
+        let r = sig_with(&[(FrameKind::Data, 100.0, 90), (FrameKind::ProbeReq, 200.0, 10)]);
+        // Candidate matches only the ProbeReq histogram.
+        let c = sig_with(&[(FrameKind::ProbeReq, 200.0, 50)]);
+        let mut db = ReferenceDb::new();
+        db.insert(MacAddr::from_index(1), r);
+        let outcome = db.match_signature(&c, SimilarityMeasure::Cosine);
+        // Score = weight_ref(ProbeReq) × 1.0 = 0.1.
+        assert!((outcome.similarities()[0].1 - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_picks_highest_similarity() {
+        let near = sig_with(&[(FrameKind::Data, 500.0, 40), (FrameKind::Data, 525.0, 10)]);
+        let far = sig_with(&[(FrameKind::Data, 1500.0, 50)]);
+        let probe = sig_with(&[(FrameKind::Data, 500.0, 50)]);
+        let mut db = ReferenceDb::new();
+        let d_near = MacAddr::from_index(1);
+        let d_far = MacAddr::from_index(2);
+        db.insert(d_near, near);
+        db.insert(d_far, far);
+        let outcome = db.match_signature(&probe, SimilarityMeasure::Cosine);
+        assert_eq!(outcome.best().unwrap().0, d_near);
+        assert!(outcome.similarity_to(&d_far).unwrap() < outcome.similarity_to(&d_near).unwrap());
+    }
+
+    #[test]
+    fn above_threshold_filters() {
+        let base = sig_with(&[(FrameKind::Data, 500.0, 50)]);
+        let mut db = ReferenceDb::new();
+        db.insert(MacAddr::from_index(1), base.clone());
+        db.insert(MacAddr::from_index(2), sig_with(&[(FrameKind::Data, 2200.0, 50)]));
+        let outcome = db.match_signature(&base, SimilarityMeasure::Cosine);
+        let hits: Vec<_> = outcome.above_threshold(0.9).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, MacAddr::from_index(1));
+        assert_eq!(outcome.above_threshold(0.0).count(), 2);
+    }
+
+    #[test]
+    fn db_crud_operations() {
+        let mut db = ReferenceDb::new();
+        assert!(db.is_empty());
+        let dev = MacAddr::from_index(7);
+        let sig = sig_with(&[(FrameKind::Data, 1.0, 5)]);
+        assert!(db.insert(dev, sig.clone()).is_none());
+        assert!(db.contains(&dev));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get(&dev), Some(&sig));
+        assert_eq!(db.devices().collect::<Vec<_>>(), vec![dev]);
+        let replaced = db.insert(dev, sig_with(&[(FrameKind::Data, 2.0, 5)]));
+        assert_eq!(replaced, Some(sig));
+        assert!(db.remove(&dev).is_some());
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn empty_db_matches_nothing() {
+        let db = ReferenceDb::new();
+        let outcome =
+            db.match_signature(&sig_with(&[(FrameKind::Data, 1.0, 5)]), SimilarityMeasure::Cosine);
+        assert!(outcome.best().is_none());
+        assert!(outcome.similarities().is_empty());
+    }
+
+    #[test]
+    fn tie_breaks_toward_lower_address() {
+        let sig = sig_with(&[(FrameKind::Data, 500.0, 50)]);
+        let mut db = ReferenceDb::new();
+        db.insert(MacAddr::from_index(5), sig.clone());
+        db.insert(MacAddr::from_index(3), sig.clone());
+        let outcome = db.match_signature(&sig, SimilarityMeasure::Cosine);
+        assert_eq!(outcome.best().unwrap().0, MacAddr::from_index(3));
+    }
+}

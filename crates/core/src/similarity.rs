@@ -1,0 +1,219 @@
+//! Histogram similarity measures.
+//!
+//! The paper uses the cosine similarity (Definition 2) citing Cha's
+//! taxonomy of histogram distances. Several alternatives from that taxonomy
+//! are provided for the ablation benchmarks; all are normalised so that 1
+//! means identical and 0 means disjoint.
+//!
+//! *Erratum note*: Definition 2 in the paper writes `1 −` in front of the
+//! cosine, yet the surrounding text specifies "equals 1 if two signatures
+//! are exactly the same … 0 when signatures have no intersection", and
+//! Algorithm 1 accumulates the value as a similarity. The `1 −` is treated
+//! as a typo; [`SimilarityMeasure::Cosine`] is plain cosine similarity.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// A similarity measure between two percentage-frequency histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SimilarityMeasure {
+    /// Cosine similarity (the paper's measure, Definition 2).
+    #[default]
+    Cosine,
+    /// Histogram intersection: `Σ min(cⱼ, rⱼ)`.
+    Intersection,
+    /// Bhattacharyya coefficient: `Σ √(cⱼ·rⱼ)`.
+    Bhattacharyya,
+    /// `1 − L1/2`: total-variation complement.
+    TotalVariation,
+    /// `1 / (1 + L2)`: inverse Euclidean distance.
+    InverseEuclidean,
+}
+
+impl SimilarityMeasure {
+    /// All provided measures, for ablation sweeps.
+    pub const ALL: [SimilarityMeasure; 5] = [
+        SimilarityMeasure::Cosine,
+        SimilarityMeasure::Intersection,
+        SimilarityMeasure::Bhattacharyya,
+        SimilarityMeasure::TotalVariation,
+        SimilarityMeasure::InverseEuclidean,
+    ];
+
+    /// Computes the similarity of two frequency vectors.
+    ///
+    /// Both inputs must be the same length; frequency vectors from
+    /// [`Histogram::frequencies`](crate::Histogram::frequencies) with equal
+    /// [`BinSpec`](crate::BinSpec)s always are. Returns 0.0 when either
+    /// vector is all-zero (an empty histogram matches nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the lengths differ.
+    pub fn compute(self, candidate: &[f64], reference: &[f64]) -> f64 {
+        debug_assert_eq!(candidate.len(), reference.len(), "frequency vector length mismatch");
+        // An empty histogram carries no information and matches nothing.
+        if candidate.iter().all(|&x| x == 0.0) || reference.iter().all(|&x| x == 0.0) {
+            return 0.0;
+        }
+        match self {
+            SimilarityMeasure::Cosine => cosine(candidate, reference),
+            SimilarityMeasure::Intersection => {
+                candidate.iter().zip(reference).map(|(&c, &r)| c.min(r)).sum()
+            }
+            SimilarityMeasure::Bhattacharyya => {
+                candidate.iter().zip(reference).map(|(&c, &r)| (c * r).sqrt()).sum()
+            }
+            SimilarityMeasure::TotalVariation => {
+                let l1: f64 = candidate.iter().zip(reference).map(|(&c, &r)| (c - r).abs()).sum();
+                (1.0 - l1 / 2.0).max(0.0)
+            }
+            SimilarityMeasure::InverseEuclidean => {
+                let l2: f64 = candidate
+                    .iter()
+                    .zip(reference)
+                    .map(|(&c, &r)| (c - r) * (c - r))
+                    .sum::<f64>()
+                    .sqrt();
+                1.0 / (1.0 + l2)
+            }
+        }
+    }
+
+    /// The cosine *distance* form as literally printed in the paper's
+    /// Definition 2 (`1 − cosine`); provided for completeness.
+    pub fn paper_cosine_distance(candidate: &[f64], reference: &[f64]) -> f64 {
+        1.0 - cosine(candidate, reference)
+    }
+}
+
+fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        (dot / (na.sqrt() * nb.sqrt())).clamp(0.0, 1.0)
+    }
+}
+
+impl fmt::Display for SimilarityMeasure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SimilarityMeasure::Cosine => "cosine",
+            SimilarityMeasure::Intersection => "intersection",
+            SimilarityMeasure::Bhattacharyya => "bhattacharyya",
+            SimilarityMeasure::TotalVariation => "total-variation",
+            SimilarityMeasure::InverseEuclidean => "inverse-euclidean",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error parsing a [`SimilarityMeasure`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSimilarityMeasureError(String);
+
+impl fmt::Display for ParseSimilarityMeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown similarity measure {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseSimilarityMeasureError {}
+
+impl FromStr for SimilarityMeasure {
+    type Err = ParseSimilarityMeasureError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cosine" => Ok(SimilarityMeasure::Cosine),
+            "intersection" => Ok(SimilarityMeasure::Intersection),
+            "bhattacharyya" => Ok(SimilarityMeasure::Bhattacharyya),
+            "total-variation" => Ok(SimilarityMeasure::TotalVariation),
+            "inverse-euclidean" => Ok(SimilarityMeasure::InverseEuclidean),
+            other => Err(ParseSimilarityMeasureError(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 4] = [0.5, 0.5, 0.0, 0.0];
+    const B: [f64; 4] = [0.0, 0.0, 0.5, 0.5];
+
+    #[test]
+    fn identical_distributions_score_one() {
+        for m in SimilarityMeasure::ALL {
+            let s = m.compute(&A, &A);
+            assert!((s - 1.0).abs() < 1e-12, "{m}: {s}");
+        }
+    }
+
+    #[test]
+    fn disjoint_distributions_score_zero_for_overlap_measures() {
+        for m in [
+            SimilarityMeasure::Cosine,
+            SimilarityMeasure::Intersection,
+            SimilarityMeasure::Bhattacharyya,
+            SimilarityMeasure::TotalVariation,
+        ] {
+            let s = m.compute(&A, &B);
+            assert!(s.abs() < 1e-12, "{m}: {s}");
+        }
+        // Inverse Euclidean is small but nonzero for disjoint inputs.
+        let s = SimilarityMeasure::InverseEuclidean.compute(&A, &B);
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn empty_vectors_score_zero() {
+        let zero = [0.0; 4];
+        for m in SimilarityMeasure::ALL {
+            assert_eq!(m.compute(&zero, &A), 0.0, "{m}");
+            assert_eq!(m.compute(&A, &zero), 0.0, "{m}");
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        let c = [0.1, 0.2, 0.3, 0.4];
+        for m in SimilarityMeasure::ALL {
+            assert!((m.compute(&A, &c) - m.compute(&c, &A)).abs() < 1e-12, "{m}");
+        }
+    }
+
+    #[test]
+    fn partial_overlap_in_unit_interval() {
+        let c = [0.25, 0.25, 0.25, 0.25];
+        for m in SimilarityMeasure::ALL {
+            let s = m.compute(&A, &c);
+            assert!((0.0..=1.0).contains(&s), "{m}: {s}");
+            assert!(s > 0.0 && s < 1.0, "{m}: {s}");
+        }
+    }
+
+    #[test]
+    fn paper_distance_form_inverts_cosine() {
+        assert!(SimilarityMeasure::paper_cosine_distance(&A, &A).abs() < 1e-12);
+        assert!((SimilarityMeasure::paper_cosine_distance(&A, &B) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for m in SimilarityMeasure::ALL {
+            let parsed: SimilarityMeasure = m.to_string().parse().unwrap();
+            assert_eq!(parsed, m);
+        }
+        assert!("euclidean-ish".parse::<SimilarityMeasure>().is_err());
+    }
+}

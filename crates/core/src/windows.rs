@@ -1,0 +1,225 @@
+//! Detection windows: splitting a validation trace into fixed-length
+//! windows and building one candidate signature per (window, device).
+//!
+//! The paper uses 5-minute detection windows (§V-A) and matches every
+//! candidate device against the reference database in each window.
+
+use std::collections::BTreeMap;
+
+use wifiprint_ieee80211::{MacAddr, Nanos};
+use wifiprint_radiotap::CapturedFrame;
+
+use crate::config::EvalConfig;
+use crate::params::ParameterExtractor;
+use crate::signature::Signature;
+
+/// One candidate signature: a device observed within one detection window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateWindow {
+    /// Zero-based window index (window `i` covers
+    /// `[start + i·window, start + (i+1)·window)`).
+    pub index: usize,
+    /// The candidate device (source MAC address).
+    pub device: MacAddr,
+    /// The signature built from that device's frames in the window.
+    pub signature: Signature,
+}
+
+/// Streaming builder of per-window candidate signatures.
+///
+/// Frames must be pushed in capture order. Windows are anchored at the
+/// first frame's timestamp. Inter-arrival history is carried *across*
+/// window boundaries (the monitor sees one continuous channel), but each
+/// observation is attributed to the window containing its frame.
+///
+/// # Example
+///
+/// ```
+/// use wifiprint_core::{EvalConfig, NetworkParameter, WindowedSignatures};
+/// use wifiprint_radiotap::CapturedFrame;
+/// use wifiprint_ieee80211::{Frame, MacAddr, Nanos, Rate};
+///
+/// let cfg = EvalConfig::for_parameter(NetworkParameter::FrameSize)
+///     .with_min_observations(2);
+/// let mut windows = WindowedSignatures::new(&cfg);
+/// let sta = MacAddr::from_index(1);
+/// let ap = MacAddr::from_index(2);
+/// // Two frames in window 0, two more 6 minutes later in window 1.
+/// for t_us in [0u64, 1_000, 360_000_000, 360_001_000] {
+///     let f = Frame::data_to_ds(sta, ap, ap, 100);
+///     windows.push(&CapturedFrame::from_frame(&f, Rate::R54M, Nanos::from_micros(t_us), -50));
+/// }
+/// let candidates = windows.finish();
+/// assert_eq!(candidates.len(), 2);
+/// assert_eq!(candidates[0].index, 0);
+/// assert_eq!(candidates[1].index, 1);
+/// ```
+#[derive(Debug)]
+pub struct WindowedSignatures {
+    cfg: EvalConfig,
+    extractor: ParameterExtractor,
+    origin: Option<Nanos>,
+    current_window: usize,
+    current: BTreeMap<MacAddr, Signature>,
+    finished: Vec<CandidateWindow>,
+}
+
+impl WindowedSignatures {
+    /// A windowed builder using `cfg`'s parameter, filter, bins, window
+    /// length and minimum observation count.
+    pub fn new(cfg: &EvalConfig) -> Self {
+        WindowedSignatures {
+            cfg: cfg.clone(),
+            extractor: ParameterExtractor::with_options(
+                cfg.parameter,
+                cfg.estimator,
+                cfg.filter.clone(),
+            ),
+            origin: None,
+            current_window: 0,
+            current: BTreeMap::new(),
+            finished: Vec::new(),
+        }
+    }
+
+    /// Processes one captured frame.
+    pub fn push(&mut self, frame: &CapturedFrame) {
+        let origin = *self.origin.get_or_insert(frame.t_end);
+        let window_len = self.cfg.window.as_nanos().max(1);
+        let idx = (frame.t_end.saturating_sub(origin).as_nanos() / window_len) as usize;
+        if idx != self.current_window {
+            self.seal_current();
+            self.current_window = idx;
+        }
+        if let Some(obs) = self.extractor.push(frame) {
+            self.current.entry(obs.device).or_default().record(obs.kind, obs.value, &self.cfg);
+        }
+    }
+
+    /// Processes a sequence of captured frames.
+    pub fn extend(&mut self, frames: impl IntoIterator<Item = CapturedFrame>) {
+        for f in frames {
+            self.push(&f);
+        }
+    }
+
+    fn seal_current(&mut self) {
+        let min = self.cfg.min_observations;
+        let window = self.current_window;
+        for (device, signature) in std::mem::take(&mut self.current) {
+            if signature.observation_count() >= min {
+                self.finished.push(CandidateWindow { index: window, device, signature });
+            }
+        }
+    }
+
+    /// Finalises the last window and returns all candidate signatures in
+    /// (window, device) order.
+    pub fn finish(mut self) -> Vec<CandidateWindow> {
+        self.seal_current();
+        self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::NetworkParameter;
+    use wifiprint_ieee80211::{Frame, Rate};
+
+    fn cfg(window_secs: u64, min_obs: u64) -> EvalConfig {
+        let mut cfg = EvalConfig::for_parameter(NetworkParameter::FrameSize)
+            .with_min_observations(min_obs);
+        cfg.window = Nanos::from_secs(window_secs);
+        cfg
+    }
+
+    fn frame(from: u64, t_us: u64) -> CapturedFrame {
+        let sta = MacAddr::from_index(from);
+        let ap = MacAddr::from_index(99);
+        let f = Frame::data_to_ds(sta, ap, ap, 200);
+        CapturedFrame::from_frame(&f, Rate::R24M, Nanos::from_micros(t_us), -55)
+    }
+
+    #[test]
+    fn windows_are_anchored_at_first_frame() {
+        let c = cfg(10, 1);
+        let mut w = WindowedSignatures::new(&c);
+        // First frame at t=1000 s: still window 0.
+        w.push(&frame(1, 1_000_000_000));
+        w.push(&frame(1, 1_000_000_100));
+        // 9.9 s later: same window; 10.1 s later: next window.
+        w.push(&frame(1, 1_009_900_000));
+        w.push(&frame(1, 1_010_100_000));
+        let candidates = w.finish();
+        assert_eq!(candidates.len(), 2);
+        assert_eq!(candidates[0].index, 0);
+        assert_eq!(candidates[0].signature.observation_count(), 3);
+        assert_eq!(candidates[1].index, 1);
+        assert_eq!(candidates[1].signature.observation_count(), 1);
+    }
+
+    #[test]
+    fn devices_are_separated_within_a_window() {
+        let c = cfg(60, 1);
+        let mut w = WindowedSignatures::new(&c);
+        w.push(&frame(1, 100));
+        w.push(&frame(2, 200));
+        w.push(&frame(1, 300));
+        let candidates = w.finish();
+        assert_eq!(candidates.len(), 2);
+        let by_dev: BTreeMap<_, _> =
+            candidates.iter().map(|c| (c.device, c.signature.observation_count())).collect();
+        assert_eq!(by_dev[&MacAddr::from_index(1)], 2);
+        assert_eq!(by_dev[&MacAddr::from_index(2)], 1);
+    }
+
+    #[test]
+    fn min_observations_applies_per_window() {
+        let c = cfg(10, 2);
+        let mut w = WindowedSignatures::new(&c);
+        w.push(&frame(1, 0));
+        w.push(&frame(1, 1_000));
+        // Window 1: only one observation for the device — dropped.
+        w.push(&frame(1, 11_000_000));
+        let candidates = w.finish();
+        assert_eq!(candidates.len(), 1);
+        assert_eq!(candidates[0].index, 0);
+    }
+
+    #[test]
+    fn empty_windows_are_skipped() {
+        let c = cfg(1, 1);
+        let mut w = WindowedSignatures::new(&c);
+        w.push(&frame(1, 0));
+        // Jump 100 windows ahead.
+        w.push(&frame(1, 100_500_000));
+        let candidates = w.finish();
+        assert_eq!(candidates.len(), 2);
+        assert_eq!(candidates[0].index, 0);
+        assert_eq!(candidates[1].index, 100);
+    }
+
+    #[test]
+    fn inter_arrival_history_crosses_window_boundary() {
+        let mut c = cfg(1, 1);
+        c.parameter = NetworkParameter::InterArrivalTime;
+        let mut w = WindowedSignatures::new(&c);
+        w.push(&frame(1, 0)); // origin; no observation (no history)
+        w.push(&frame(1, 999_900)); // observation in window 0
+        w.push(&frame(1, 1_000_100)); // observation in window 1, history kept
+        let candidates = w.finish();
+        assert_eq!(candidates.len(), 2);
+        assert_eq!(candidates[0].index, 0);
+        // The window-1 observation is the 200 µs gap across the boundary.
+        assert_eq!(candidates[1].index, 1);
+        assert_eq!(candidates[1].signature.observation_count(), 1);
+    }
+
+    #[test]
+    fn no_frames_no_candidates() {
+        let c = cfg(10, 1);
+        let w = WindowedSignatures::new(&c);
+        assert!(w.finish().is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for histograms, similarity measures and metrics.
+
+use proptest::prelude::*;
+use wifiprint_core::metrics::{identification_points, similarity_curve, MatchSet};
+use wifiprint_core::{BinSpec, Histogram, SimilarityMeasure};
+use wifiprint_ieee80211::MacAddr;
+
+fn arb_freqs(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0, len).prop_map(|raw| {
+        let sum: f64 = raw.iter().sum();
+        if sum == 0.0 {
+            raw
+        } else {
+            raw.into_iter().map(|x| x / sum).collect()
+        }
+    })
+}
+
+fn arb_match_set() -> impl Strategy<Value = MatchSet> {
+    (0.0f64..=1.0, prop::collection::vec(0.0f64..=1.0, 1..20)).prop_map(|(true_sim, wrong)| {
+        let best_wrong = wrong.iter().copied().fold(0.0f64, f64::max);
+        MatchSet {
+            true_device: MacAddr::from_index(1),
+            true_sim,
+            best_is_true: true_sim >= best_wrong,
+            best_sim: true_sim.max(best_wrong),
+            wrong_sims: wrong,
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn histogram_frequencies_sum_to_one(
+        values in prop::collection::vec(-100.0f64..5000.0, 1..200),
+        width in 1.0f64..100.0,
+    ) {
+        let mut h = Histogram::new(BinSpec::uniform_to(2500.0, width));
+        for v in &values {
+            h.add(*v);
+        }
+        let sum: f64 = h.frequencies().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert_eq!(h.total(), values.len() as u64);
+    }
+
+    #[test]
+    fn bin_index_always_in_range(value in any::<f64>(), width in 0.1f64..500.0, max in 10.0f64..5000.0) {
+        let spec = BinSpec::uniform_to(max, width);
+        let idx = spec.bin_index(value);
+        prop_assert!(idx < spec.bin_count());
+    }
+
+    #[test]
+    fn similarity_in_unit_interval(a in arb_freqs(40), b in arb_freqs(40)) {
+        for m in SimilarityMeasure::ALL {
+            let s = m.compute(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "{m}: {s}");
+        }
+    }
+
+    #[test]
+    fn similarity_symmetric(a in arb_freqs(30), b in arb_freqs(30)) {
+        for m in SimilarityMeasure::ALL {
+            let ab = m.compute(&a, &b);
+            let ba = m.compute(&b, &a);
+            prop_assert!((ab - ba).abs() < 1e-9, "{m}");
+        }
+    }
+
+    #[test]
+    fn self_similarity_is_one(a in arb_freqs(30)) {
+        prop_assume!(a.iter().any(|&x| x > 0.0));
+        for m in SimilarityMeasure::ALL {
+            let s = m.compute(&a, &a);
+            prop_assert!((s - 1.0).abs() < 1e-9, "{m}: {s}");
+        }
+    }
+
+    #[test]
+    fn curve_monotone_and_auc_bounded(sets in prop::collection::vec(arb_match_set(), 1..40)) {
+        let curve = similarity_curve(&sets, 64);
+        prop_assert!((0.0..=1.0).contains(&curve.auc));
+        for pair in curve.points.windows(2) {
+            prop_assert!(pair[1].fpr >= pair[0].fpr - 1e-12);
+            prop_assert!(pair[1].tpr >= pair[0].tpr - 1e-12);
+        }
+        let first = curve.points.first().unwrap();
+        let last = curve.points.last().unwrap();
+        prop_assert_eq!((first.fpr, first.tpr), (0.0, 0.0));
+        prop_assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+    }
+
+    #[test]
+    fn identification_fpr_and_ratio_monotone(sets in prop::collection::vec(arb_match_set(), 1..40)) {
+        let points = identification_points(&sets, 64);
+        for pair in points.windows(2) {
+            prop_assert!(pair[1].fpr >= pair[0].fpr - 1e-12);
+            prop_assert!(pair[1].ratio >= pair[0].ratio - 1e-12);
+            prop_assert!(pair[1].threshold <= pair[0].threshold);
+        }
+        // ratio + fpr never exceeds 1 (each instance counted once).
+        for p in &points {
+            prop_assert!(p.ratio + p.fpr <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn merged_histogram_equals_bulk_histogram(
+        a in prop::collection::vec(0.0f64..1000.0, 0..50),
+        b in prop::collection::vec(0.0f64..1000.0, 0..50),
+    ) {
+        let spec = BinSpec::uniform_to(1000.0, 10.0);
+        let mut ha = Histogram::new(spec.clone());
+        for v in &a { ha.add(*v); }
+        let mut hb = Histogram::new(spec.clone());
+        for v in &b { hb.add(*v); }
+        ha.merge(&hb);
+        let mut bulk = Histogram::new(spec);
+        for v in a.iter().chain(&b) { bulk.add(*v); }
+        prop_assert_eq!(ha, bulk);
+    }
+}

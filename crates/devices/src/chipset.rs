@@ -1,0 +1,226 @@
+//! Wireless chipset models.
+//!
+//! A chipset fixes the MAC-timing personality the paper's §VI-A attributes
+//! fingerprints to: backoff distribution quirks, timer granularity,
+//! preamble support, power-save cadence and the duration-field computation
+//! (after Cache 2006). The presets are *plausible composites* of behaviours
+//! reported for period hardware by the literature the paper cites
+//! (Gopinath et al. 2006, Berger-Sabbatel et al. 2007, Cache 2006) — they
+//! are not measurements of any specific product.
+
+use wifiprint_ieee80211::duration::DurationModel;
+use wifiprint_ieee80211::{Nanos, Rate};
+use wifiprint_netsim::{BackoffQuirk, MacBehavior};
+
+/// A wireless card (chipset + firmware) model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chipset {
+    /// Identifier used in docs and reports.
+    pub name: &'static str,
+    /// The rates the card supports.
+    pub rate_set: Vec<Rate>,
+    /// Backoff-distribution quirk.
+    pub backoff: BackoffQuirk,
+    /// Minimum contention window.
+    pub cw_min: u32,
+    /// Timer expiry granularity.
+    pub timer_granularity: Nanos,
+    /// SIFS response jitter (std dev).
+    pub sifs_jitter: Nanos,
+    /// Short DSSS preamble capability (used when set).
+    pub short_preamble: bool,
+    /// Null frames transmitted at a basic rate instead of the data rate.
+    pub null_frames_at_basic_rate: bool,
+    /// Duration-field computation quirk.
+    pub duration_model: DurationModel,
+    /// Power-save cycle `(awake, doze)`; `None` disables power save
+    /// entirely (several cards do under Linux, §VI-D).
+    pub ps_cycle: Option<(Nanos, Nanos)>,
+}
+
+impl Chipset {
+    /// Converts the chipset (plus a per-instance clock skew) into the
+    /// simulator's MAC behaviour.
+    pub fn mac_behavior(&self, clock_skew_ppm: f64) -> MacBehavior {
+        MacBehavior {
+            cw_min: self.cw_min,
+            cw_max: 1023,
+            backoff: self.backoff,
+            timer_granularity: self.timer_granularity,
+            clock_skew_ppm,
+            sifs_jitter: self.sifs_jitter,
+            rts_threshold: None, // the driver decides
+            retry_limit: 7,      // the driver decides
+            null_frames_at_basic_rate: self.null_frames_at_basic_rate,
+            short_preamble: self.short_preamble,
+            duration_model: self.duration_model,
+            host_latency: Nanos::ZERO, // per-instance, drawn at instantiation
+        }
+    }
+
+    /// `true` if this is an 802.11b-only card.
+    pub fn is_b_only(&self) -> bool {
+        self.rate_set.iter().all(|r| Rate::ALL_B.contains(r))
+    }
+}
+
+/// The chipset catalogue: eight distinct MAC-timing personalities.
+pub fn chipset_catalog() -> Vec<Chipset> {
+    vec![
+        // A standard-conformant 802.11g card; the reference behaviour.
+        Chipset {
+            name: "aero5210",
+            rate_set: Rate::ALL_BG.to_vec(),
+            backoff: BackoffQuirk::Uniform,
+            cw_min: 15,
+            timer_granularity: Nanos::from_nanos(0),
+            sifs_jitter: Nanos::from_nanos(400),
+            short_preamble: true,
+            null_frames_at_basic_rate: false,
+            duration_model: DurationModel::Standard,
+            ps_cycle: Some((Nanos::from_millis(2300), Nanos::from_millis(5100))),
+        },
+        // Adds the "extra early slot" of Fig. 4a and coarse 2 µs timers.
+        Chipset {
+            name: "wavemax23",
+            rate_set: Rate::ALL_BG.to_vec(),
+            backoff: BackoffQuirk::ExtraEarlySlot { p: 0.22, fraction: 0.45 },
+            cw_min: 15,
+            timer_granularity: Nanos::from_micros(2),
+            sifs_jitter: Nanos::from_nanos(900),
+            short_preamble: true,
+            null_frames_at_basic_rate: true,
+            duration_model: DurationModel::AckAtDataRate,
+            ps_cycle: Some((Nanos::from_millis(1200), Nanos::from_millis(2900))),
+        },
+        // Aggressive low-slot bias (Gopinath's loose implementations).
+        Chipset {
+            name: "nitrowave-g",
+            rate_set: Rate::ALL_BG.to_vec(),
+            backoff: BackoffQuirk::SkewedLow(2.2),
+            cw_min: 15,
+            timer_granularity: Nanos::from_micros(1),
+            sifs_jitter: Nanos::from_nanos(600),
+            short_preamble: false,
+            null_frames_at_basic_rate: false,
+            duration_model: DurationModel::RoundedUp(16),
+            ps_cycle: Some((Nanos::from_millis(3800), Nanos::from_millis(7300))),
+        },
+        // Berger-Sabbatel's first-slot sender.
+        Chipset {
+            name: "swiftradio-fs",
+            rate_set: Rate::ALL_BG.to_vec(),
+            backoff: BackoffQuirk::FirstSlotBias(0.35),
+            cw_min: 15,
+            timer_granularity: Nanos::from_nanos(500),
+            sifs_jitter: Nanos::from_nanos(300),
+            short_preamble: true,
+            null_frames_at_basic_rate: false,
+            duration_model: DurationModel::Padded(4),
+            ps_cycle: None, // power save disabled under Linux (§VI-D)
+        },
+        // Conservative card with a DSSS-style CWmin of 31 even for OFDM.
+        Chipset {
+            name: "longhaul31",
+            rate_set: Rate::ALL_BG.to_vec(),
+            backoff: BackoffQuirk::Uniform,
+            cw_min: 31,
+            timer_granularity: Nanos::from_micros(1),
+            sifs_jitter: Nanos::from_micros(1),
+            short_preamble: false,
+            null_frames_at_basic_rate: true,
+            duration_model: DurationModel::Standard,
+            ps_cycle: Some((Nanos::from_millis(6400), Nanos::from_millis(13600))),
+        },
+        // Legacy 802.11b-only module (PDAs, printers, old laptops).
+        Chipset {
+            name: "oldb-2040",
+            rate_set: Rate::ALL_B.to_vec(),
+            backoff: BackoffQuirk::Uniform,
+            cw_min: 31,
+            timer_granularity: Nanos::from_micros(4),
+            sifs_jitter: Nanos::from_micros(2),
+            short_preamble: false,
+            null_frames_at_basic_rate: true,
+            duration_model: DurationModel::Constant(314),
+            ps_cycle: Some((Nanos::from_millis(1500), Nanos::from_millis(16800))),
+        },
+        // Mild low-slot skew with very tight timers.
+        Chipset {
+            name: "femto-g1",
+            rate_set: Rate::ALL_BG.to_vec(),
+            backoff: BackoffQuirk::SkewedLow(1.4),
+            cw_min: 15,
+            timer_granularity: Nanos::from_nanos(0),
+            sifs_jitter: Nanos::from_nanos(150),
+            short_preamble: true,
+            null_frames_at_basic_rate: false,
+            duration_model: DurationModel::Standard,
+            ps_cycle: Some((Nanos::from_millis(2700), Nanos::from_millis(3600))),
+        },
+        // Early-slot quirk with a different fraction + zero-duration bug.
+        Chipset {
+            name: "breeze-11g",
+            rate_set: Rate::ALL_BG.to_vec(),
+            backoff: BackoffQuirk::ExtraEarlySlot { p: 0.12, fraction: 0.7 },
+            cw_min: 15,
+            timer_granularity: Nanos::from_micros(2),
+            sifs_jitter: Nanos::from_nanos(700),
+            short_preamble: false,
+            null_frames_at_basic_rate: true,
+            duration_model: DurationModel::AlwaysZero,
+            ps_cycle: Some((Nanos::from_millis(960), Nanos::from_millis(2100))),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_distinct_names_and_personalities() {
+        let cat = chipset_catalog();
+        assert!(cat.len() >= 8);
+        let names: std::collections::BTreeSet<_> = cat.iter().map(|c| c.name).collect();
+        assert_eq!(names.len(), cat.len(), "duplicate chipset names");
+        // At least three different backoff quirk families.
+        let quirk_kinds: std::collections::BTreeSet<_> = cat
+            .iter()
+            .map(|c| match c.backoff {
+                BackoffQuirk::Uniform => 0,
+                BackoffQuirk::ExtraEarlySlot { .. } => 1,
+                BackoffQuirk::SkewedLow(_) => 2,
+                BackoffQuirk::FirstSlotBias(_) => 3,
+            })
+            .collect();
+        assert!(quirk_kinds.len() >= 3);
+    }
+
+    #[test]
+    fn mac_behavior_carries_chipset_traits() {
+        let cat = chipset_catalog();
+        let c = &cat[1]; // wavemax23
+        let b = c.mac_behavior(42.0);
+        assert_eq!(b.backoff, c.backoff);
+        assert_eq!(b.timer_granularity, c.timer_granularity);
+        assert_eq!(b.clock_skew_ppm, 42.0);
+        assert_eq!(b.null_frames_at_basic_rate, c.null_frames_at_basic_rate);
+        assert_eq!(b.duration_model, c.duration_model);
+    }
+
+    #[test]
+    fn b_only_detection() {
+        let cat = chipset_catalog();
+        let b_only: Vec<_> = cat.iter().filter(|c| c.is_b_only()).collect();
+        assert_eq!(b_only.len(), 1);
+        assert_eq!(b_only[0].name, "oldb-2040");
+    }
+
+    #[test]
+    fn some_chipsets_disable_power_save() {
+        let cat = chipset_catalog();
+        assert!(cat.iter().any(|c| c.ps_cycle.is_none()));
+        assert!(cat.iter().filter(|c| c.ps_cycle.is_some()).count() >= 6);
+    }
+}

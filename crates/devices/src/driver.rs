@@ -1,0 +1,219 @@
+//! Driver models: rate adaptation, RTS policy, probe-scanning cadence.
+//!
+//! Franklin et al. (2006), cited by the paper, fingerprinted drivers from
+//! their probe-request timing because the scanning algorithm is
+//! underspecified by the standard; each driver preset here has its own
+//! cadence. Drivers also choose the rate-adaptation algorithm and the RTS
+//! threshold policy (§VI-A2: some expose it, some hard-code it, some never
+//! use RTS at all).
+
+use wifiprint_ieee80211::{Nanos, Rate};
+use wifiprint_netsim::{Arf, FixedRate, RateController, SnrSticky};
+
+use crate::rng::InstanceRng;
+
+/// The rate-adaptation algorithm a driver runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RateAlgo {
+    /// ARF: up after `up` successes, down after `down` failures.
+    ArfLike {
+        /// Consecutive successes before stepping up.
+        up: u32,
+        /// Consecutive failures before stepping down.
+        down: u32,
+    },
+    /// SNR-driven with a hysteresis margin in dB (rate follows location).
+    SnrDriven {
+        /// Extra SNR (dB) required beyond the decode threshold.
+        margin_db: f64,
+    },
+    /// Fixed at the highest supported rate.
+    FixedTop,
+    /// Fixed at a specific rate.
+    FixedAt(
+        /// The pinned rate.
+        Rate,
+    ),
+}
+
+impl RateAlgo {
+    /// Builds the simulator rate controller over the card's `rate_set`.
+    pub fn controller(&self, rate_set: &[Rate]) -> Box<dyn RateController> {
+        let mut rates = rate_set.to_vec();
+        rates.sort();
+        match *self {
+            RateAlgo::ArfLike { up, down } => Box::new(Arf::new(rates, up, down)),
+            RateAlgo::SnrDriven { margin_db } => Box::new(SnrSticky::new(rates, margin_db)),
+            RateAlgo::FixedTop => {
+                Box::new(FixedRate(rates.last().copied().unwrap_or(Rate::R1M)))
+            }
+            RateAlgo::FixedAt(rate) => Box::new(FixedRate(rate.clamp_to_set(&rates))),
+        }
+    }
+}
+
+/// Probe-request scanning cadence (driver-specific, after Franklin et al.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbePolicy {
+    /// Scan period.
+    pub period: Nanos,
+    /// Probes per burst.
+    pub burst: u32,
+    /// Probe body size (SSID + supported-rates elements).
+    pub payload: usize,
+    /// Period jitter.
+    pub jitter: Nanos,
+}
+
+/// A driver model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Driver {
+    /// Identifier used in docs and reports.
+    pub name: &'static str,
+    /// Rate-adaptation algorithm.
+    pub rate_algo: RateAlgo,
+    /// RTS threshold in bytes; `None` = virtual carrier sensing disabled.
+    pub rts_threshold: Option<usize>,
+    /// Retry limit.
+    pub retry_limit: u32,
+    /// Probe-scanning behaviour; `None` = never scans while associated.
+    pub probe: Option<ProbePolicy>,
+    /// Clock-skew range (ppm) from which each device instance draws.
+    pub skew_range_ppm: (f64, f64),
+}
+
+impl Driver {
+    /// Draws a per-instance clock skew.
+    pub fn draw_skew_ppm(&self, rng: &mut InstanceRng) -> f64 {
+        let (lo, hi) = self.skew_range_ppm;
+        lo + rng.f64() * (hi - lo)
+    }
+}
+
+/// The driver catalogue: six scanning/rate personalities.
+pub fn driver_catalog() -> Vec<Driver> {
+    vec![
+        Driver {
+            name: "opendrv",
+            rate_algo: RateAlgo::ArfLike { up: 8, down: 2 },
+            rts_threshold: None,
+            retry_limit: 7,
+            probe: Some(ProbePolicy {
+                period: Nanos::from_secs(60),
+                burst: 2,
+                payload: 58,
+                jitter: Nanos::from_secs(4),
+            }),
+            skew_range_ppm: (-35.0, 35.0),
+        },
+        Driver {
+            name: "vendahl",
+            rate_algo: RateAlgo::SnrDriven { margin_db: 3.0 },
+            rts_threshold: Some(2347), // default-off via the max threshold
+            retry_limit: 7,
+            probe: Some(ProbePolicy {
+                period: Nanos::from_secs(120),
+                burst: 3,
+                payload: 72,
+                jitter: Nanos::from_secs(10),
+            }),
+            skew_range_ppm: (-20.0, 20.0),
+        },
+        Driver {
+            name: "turbonet",
+            rate_algo: RateAlgo::SnrDriven { margin_db: 5.5 },
+            rts_threshold: Some(1000), // hard-coded aggressive RTS
+            retry_limit: 4,
+            probe: Some(ProbePolicy {
+                period: Nanos::from_secs(30),
+                burst: 1,
+                payload: 44,
+                jitter: Nanos::from_secs(2),
+            }),
+            skew_range_ppm: (-60.0, 60.0),
+        },
+        Driver {
+            name: "stayput",
+            rate_algo: RateAlgo::SnrDriven { margin_db: 4.5 },
+            rts_threshold: None,
+            retry_limit: 7,
+            probe: None, // never scans while associated
+            skew_range_ppm: (-10.0, 10.0),
+        },
+        Driver {
+            name: "cautiond",
+            rate_algo: RateAlgo::ArfLike { up: 20, down: 1 },
+            rts_threshold: Some(500),
+            retry_limit: 11,
+            probe: Some(ProbePolicy {
+                period: Nanos::from_secs(45),
+                burst: 4,
+                payload: 66,
+                jitter: Nanos::from_secs(6),
+            }),
+            skew_range_ppm: (-45.0, 45.0),
+        },
+        Driver {
+            name: "legacyb",
+            rate_algo: RateAlgo::FixedAt(Rate::R11M),
+            rts_threshold: None,
+            retry_limit: 7,
+            probe: Some(ProbePolicy {
+                period: Nanos::from_secs(15),
+                burst: 2,
+                payload: 36,
+                jitter: Nanos::from_secs(1),
+            }),
+            skew_range_ppm: (-90.0, 90.0),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_distinct() {
+        let cat = driver_catalog();
+        assert!(cat.len() >= 6);
+        let names: std::collections::BTreeSet<_> = cat.iter().map(|d| d.name).collect();
+        assert_eq!(names.len(), cat.len());
+        // Probe cadences differ between scanning drivers.
+        let periods: std::collections::BTreeSet<_> =
+            cat.iter().filter_map(|d| d.probe.map(|p| p.period)).collect();
+        assert!(periods.len() >= 4);
+    }
+
+    #[test]
+    fn controllers_respect_rate_sets() {
+        let b_only = Rate::ALL_B.to_vec();
+        for d in driver_catalog() {
+            let rc = d.rate_algo.controller(&b_only);
+            assert!(b_only.contains(&rc.current_rate()), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn fixed_top_uses_highest() {
+        let rc = RateAlgo::FixedTop.controller(&Rate::ALL_BG);
+        assert_eq!(rc.current_rate(), Rate::R54M);
+    }
+
+    #[test]
+    fn fixed_at_clamps_to_set() {
+        // Pinning 54M on a b-only card falls back into the set.
+        let rc = RateAlgo::FixedAt(Rate::R54M).controller(&Rate::ALL_B);
+        assert_eq!(rc.current_rate(), Rate::R11M);
+    }
+
+    #[test]
+    fn skew_draw_within_range() {
+        let d = &driver_catalog()[0];
+        let mut rng = InstanceRng::new(1, 2);
+        for _ in 0..100 {
+            let s = d.draw_skew_ppm(&mut rng);
+            assert!(s >= -35.0 && s <= 35.0);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Device models for the wifiprint suite: wireless chipsets, drivers,
+//! OS service stacks and application profiles.
+//!
+//! §VI of the paper decomposes what makes an 802.11 device's traffic
+//! timing distinctive:
+//!
+//! * the **card** (backoff quirks, timers, preambles, power save) —
+//!   [`Chipset`],
+//! * the **driver** (rate adaptation, RTS threshold, probe cadence) —
+//!   [`Driver`],
+//! * the **services** running on the OS (SSDP, LLMNR, IGMPv3, …) —
+//!   [`ServiceStack`],
+//! * the **applications** generating the bulk data — [`AppProfile`].
+//!
+//! A [`DeviceProfile`] combines the first three; [`profile_catalog`]
+//! provides 16 presets whose quirk parameters are plausible composites of
+//! the behaviours reported by the measurement studies the paper cites.
+//! [`sample_population`] draws heterogeneous device fleets for the office
+//! and conference scenarios, with per-instance variation so that two
+//! devices of the same model still differ the way Fig. 7's two netbooks
+//! do.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod apps;
+mod chipset;
+mod driver;
+mod population;
+mod profiles;
+mod rng;
+mod services;
+
+pub use apps::AppProfile;
+pub use chipset::{chipset_catalog, Chipset};
+pub use driver::{driver_catalog, Driver, ProbePolicy, RateAlgo};
+pub use population::{
+    apply_churn, sample_population, Environment, PopulationConfig, SampledDevice,
+};
+pub use profiles::{profile_catalog, profile_popularity, DeviceProfile};
+pub use rng::InstanceRng;
+pub use services::{arp, dhcp, igmpv3, llmnr, mdns, netbios, ssdp, Service, ServiceStack};

@@ -1,0 +1,194 @@
+//! Sampling heterogeneous device populations for scenarios.
+
+use wifiprint_ieee80211::{MacAddr, Nanos};
+use wifiprint_netsim::{LinkQuality, StationConfig};
+
+use crate::apps::AppProfile;
+use crate::profiles::{profile_catalog, profile_popularity, DeviceProfile};
+use crate::rng::InstanceRng;
+
+/// The kind of environment a population lives in; controls application
+/// mixes and service variation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Environment {
+    /// Static office network (the paper's WPA traces).
+    Office,
+    /// Conference hall (the paper's Sigcomm traces): lighter traffic, more
+    /// idle devices.
+    Conference,
+}
+
+/// Configuration for sampling a device population.
+#[derive(Debug, Clone)]
+pub struct PopulationConfig {
+    /// Number of client devices.
+    pub devices: usize,
+    /// Root seed (device `i` derives instance stream `i`).
+    pub seed: u64,
+    /// Environment type.
+    pub environment: Environment,
+    /// Per-frame encryption overhead (16 for WPA, 0 for open).
+    pub encryption_overhead: usize,
+    /// Function index base for MAC addresses.
+    pub addr_base: u64,
+}
+
+/// One sampled device: its station configuration plus provenance for
+/// ground-truth checks in tests and reports.
+#[derive(Debug)]
+pub struct SampledDevice {
+    /// The simulator configuration.
+    pub station: StationConfig,
+    /// Which catalogue profile the device came from.
+    pub profile_name: String,
+}
+
+/// Samples a heterogeneous population according to the profile popularity
+/// distribution.
+///
+/// `link_for` supplies the radio link for each device index (scenarios use
+/// this to inject mobility models); `bssid_for` assigns devices to APs.
+pub fn sample_population(
+    cfg: &PopulationConfig,
+    mut link_for: impl FnMut(usize, &mut InstanceRng) -> LinkQuality,
+    mut bssid_for: impl FnMut(usize, &mut InstanceRng) -> MacAddr,
+) -> Vec<SampledDevice> {
+    let catalog = profile_catalog();
+    let weights = profile_popularity();
+    let mut out = Vec::with_capacity(cfg.devices);
+    for i in 0..cfg.devices {
+        let mut rng = InstanceRng::new(cfg.seed, i as u64);
+        let profile: &DeviceProfile = &catalog[rng.pick_weighted(&weights)];
+        let apps = match cfg.environment {
+            Environment::Office => AppProfile::office_mix(&mut rng),
+            Environment::Conference => AppProfile::conference_mix(&mut rng),
+        };
+        let addr = MacAddr::from_index(cfg.addr_base + i as u64);
+        let bssid = bssid_for(i, &mut rng);
+        let link = link_for(i, &mut rng);
+        let station = profile.instantiate(
+            addr,
+            bssid,
+            link,
+            &apps,
+            cfg.encryption_overhead,
+            true,
+            &mut rng,
+        );
+        out.push(SampledDevice { station, profile_name: profile.name.clone() });
+    }
+    out
+}
+
+/// Staggers arrival/departure times over the sampled population (device
+/// churn, pronounced in conference settings).
+///
+/// Each device joins uniformly within `[0, join_spread)` and, with
+/// probability `leave_p`, leaves after a stay of at least `min_stay`.
+pub fn apply_churn(
+    devices: &mut [SampledDevice],
+    seed: u64,
+    duration: Nanos,
+    join_spread: Nanos,
+    leave_p: f64,
+    min_stay: Nanos,
+) {
+    for (i, dev) in devices.iter_mut().enumerate() {
+        let mut rng = InstanceRng::new(seed ^ 0xC4_12, i as u64);
+        let join = Nanos::from_nanos(rng.below(join_spread.as_nanos().max(1)));
+        dev.station.active_from = join;
+        if rng.chance(leave_p) {
+            let stay_room = duration.saturating_sub(join + min_stay);
+            let stay = min_stay + Nanos::from_nanos(rng.below(stay_room.as_nanos().max(1)));
+            dev.station.active_until = Some(join + stay);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(n: usize, env: Environment) -> PopulationConfig {
+        PopulationConfig {
+            devices: n,
+            seed: 11,
+            environment: env,
+            encryption_overhead: 16,
+            addr_base: 0x100,
+        }
+    }
+
+    fn sample(n: usize, env: Environment) -> Vec<SampledDevice> {
+        sample_population(
+            &config(n, env),
+            |_, _| LinkQuality::static_link(30.0),
+            |_, _| MacAddr::from_index(0xFF),
+        )
+    }
+
+    #[test]
+    fn population_is_heterogeneous() {
+        let devices = sample(120, Environment::Office);
+        assert_eq!(devices.len(), 120);
+        let profiles: std::collections::BTreeSet<_> =
+            devices.iter().map(|d| d.profile_name.clone()).collect();
+        assert!(profiles.len() >= 8, "only {} profiles used", profiles.len());
+        // Unique addresses.
+        let addrs: std::collections::BTreeSet<_> =
+            devices.iter().map(|d| d.station.addr).collect();
+        assert_eq!(addrs.len(), 120);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = sample(30, Environment::Office);
+        let b = sample(30, Environment::Office);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.profile_name, y.profile_name);
+            assert_eq!(x.station.addr, y.station.addr);
+            assert_eq!(x.station.behavior, y.station.behavior);
+        }
+    }
+
+    #[test]
+    fn conference_population_has_more_idle_devices() {
+        let office = sample(150, Environment::Office);
+        let conf = sample(150, Environment::Conference);
+        let source_count =
+            |d: &[SampledDevice]| d.iter().map(|x| x.station.sources.len()).sum::<usize>();
+        assert!(
+            source_count(&conf) < source_count(&office),
+            "conference devices should carry fewer sources"
+        );
+    }
+
+    #[test]
+    fn churn_assigns_windows_within_bounds() {
+        let mut devices = sample(60, Environment::Conference);
+        let duration = Nanos::from_secs(3600);
+        apply_churn(
+            &mut devices,
+            5,
+            duration,
+            Nanos::from_secs(1800),
+            0.5,
+            Nanos::from_secs(300),
+        );
+        let mut leavers = 0;
+        for d in &devices {
+            assert!(d.station.active_from < Nanos::from_secs(1800));
+            if let Some(until) = d.station.active_until {
+                leavers += 1;
+                assert!(until > d.station.active_from + Nanos::from_secs(300) - Nanos::from_nanos(1));
+            }
+        }
+        assert!((15..45).contains(&leavers), "leavers = {leavers}");
+    }
+
+    #[test]
+    fn encryption_overhead_propagates() {
+        let devices = sample(5, Environment::Office);
+        assert!(devices.iter().all(|d| d.station.encryption_overhead == 16));
+    }
+}

@@ -1,0 +1,250 @@
+//! Device profiles: chipset × driver × service stack, instantiable into
+//! simulator stations.
+
+use wifiprint_ieee80211::{MacAddr, Nanos, Rate};
+use wifiprint_netsim::{
+    LinkQuality, PowerSaveNulls, ProbeScanner, Role, StationConfig, TrafficSource,
+};
+
+use crate::apps::AppProfile;
+use crate::chipset::{chipset_catalog, Chipset};
+use crate::driver::{driver_catalog, Driver};
+use crate::rng::InstanceRng;
+use crate::services::ServiceStack;
+
+/// A complete device model.
+///
+/// Two devices instantiated from the **same profile** share their MAC
+/// timing (chipset quirks) and driver behaviour, but differ in clock skew,
+/// service phases/sets and application mix — exactly the §VI situation of
+/// the two same-model netbooks with different histograms.
+#[derive(Debug, Clone)]
+pub struct DeviceProfile {
+    /// Profile name (`chipset/driver/stack`).
+    pub name: String,
+    /// The wireless card.
+    pub chipset: Chipset,
+    /// The driver.
+    pub driver: Driver,
+    /// The OS service stack.
+    pub services: ServiceStack,
+}
+
+impl DeviceProfile {
+    /// Combines catalogue entries into a profile.
+    pub fn new(chipset: Chipset, driver: Driver, services: ServiceStack) -> Self {
+        let name = format!("{}/{}", chipset.name, driver.name);
+        DeviceProfile { name, chipset, driver, services }
+    }
+
+    /// Instantiates the profile as a station.
+    ///
+    /// `instance_rng` drives all per-device variation; `apps` is the
+    /// application mix for this device; `service_variation` lets the
+    /// instance drop optional services (off for controlled experiments).
+    #[allow(clippy::too_many_arguments)]
+    pub fn instantiate(
+        &self,
+        addr: MacAddr,
+        bssid: MacAddr,
+        link: LinkQuality,
+        apps: &[AppProfile],
+        encryption_overhead: usize,
+        service_variation: bool,
+        rng: &mut InstanceRng,
+    ) -> StationConfig {
+        let skew = self.driver.draw_skew_ppm(rng);
+        let mut behavior = self.chipset.mac_behavior(skew);
+        behavior.rts_threshold = self.driver.rts_threshold;
+        behavior.retry_limit = self.driver.retry_limit;
+        // Host-machine texture: every laptop adds its own microseconds of
+        // interrupt/driver latency in front of the backoff procedure.
+        behavior.host_latency =
+            wifiprint_ieee80211::Nanos::from_nanos(rng.below(28_000));
+
+        let mut sources: Vec<Box<dyn TrafficSource>> = Vec::new();
+        sources.extend(self.services.sources(rng, service_variation));
+        for app in apps {
+            sources.extend(app.sources(rng));
+        }
+        if let Some(probe) = self.driver.probe {
+            let period = Nanos::from_nanos(
+                rng.jitter_factor(probe.period.as_nanos() as f64, 0.15) as u64,
+            );
+            sources.push(Box::new(ProbeScanner {
+                period,
+                burst: probe.burst,
+                payload: probe.payload,
+                jitter: probe.jitter,
+            }));
+        }
+        if let Some((awake, doze)) = self.chipset.ps_cycle {
+            let awake =
+                Nanos::from_nanos(rng.jitter_factor(awake.as_nanos() as f64, 0.2) as u64);
+            let doze = Nanos::from_nanos(rng.jitter_factor(doze.as_nanos() as f64, 0.2) as u64);
+            sources.push(Box::new(PowerSaveNulls::new(awake, doze, Nanos::from_millis(20))));
+        }
+
+        // 802.11g cards keep their unicast data on OFDM rates: falling
+        // back to DSSS under loss would collapse channel capacity for
+        // everyone (the driver only uses 1–11 Mb/s for protection and
+        // management frames).
+        let mut rates: Vec<Rate> = {
+            let ofdm: Vec<Rate> = self
+                .chipset
+                .rate_set
+                .iter()
+                .copied()
+                .filter(|r| r.modulation() == wifiprint_ieee80211::Modulation::Ofdm)
+                .collect();
+            if ofdm.is_empty() {
+                self.chipset.rate_set.clone()
+            } else {
+                ofdm
+            }
+        };
+        rates.sort();
+        StationConfig {
+            addr,
+            bssid,
+            role: Role::Client,
+            behavior,
+            rate_controller: self.driver.rate_algo.controller(&rates),
+            link,
+            sources,
+            encryption_overhead,
+            mgmt_rate: Rate::R1M,
+            broadcast_rate: Rate::R1M,
+            active_from: Nanos::ZERO,
+            active_until: None,
+        }
+    }
+}
+
+/// The preset profile library: 16 chipset/driver/stack combinations that
+/// cover the quirk space of §VI.
+pub fn profile_catalog() -> Vec<DeviceProfile> {
+    let chipsets = chipset_catalog();
+    let drivers = driver_catalog();
+    let stacks = ServiceStack::presets();
+    // Hand-picked pairings: chipset i ↔ plausible drivers, varied stacks.
+    let combos: [(usize, usize, usize); 16] = [
+        (0, 0, 1), // aero5210 + opendrv + linux
+        (0, 1, 0), // aero5210 + vendahl + windows
+        (1, 1, 0), // wavemax23 + vendahl + windows
+        (1, 3, 2), // wavemax23 + stayput + macos
+        (2, 2, 0), // nitrowave-g + turbonet + windows
+        (2, 0, 1), // nitrowave-g + opendrv + linux
+        (3, 0, 1), // swiftradio-fs + opendrv + linux
+        (3, 4, 0), // swiftradio-fs + cautiond + windows
+        (4, 4, 3), // longhaul31 + cautiond + media_box
+        (4, 1, 0), // longhaul31 + vendahl + windows
+        (5, 5, 4), // oldb-2040 + legacyb + minimal
+        (5, 5, 3), // oldb-2040 + legacyb + media_box
+        (6, 2, 2), // femto-g1 + turbonet + macos
+        (6, 3, 1), // femto-g1 + stayput + linux
+        (7, 0, 0), // breeze-11g + opendrv + windows
+        (7, 2, 4), // breeze-11g + turbonet + minimal
+    ];
+    combos
+        .into_iter()
+        .map(|(c, d, s)| {
+            DeviceProfile::new(chipsets[c].clone(), drivers[d].clone(), stacks[s].clone())
+        })
+        .collect()
+}
+
+/// Weights giving a realistic, non-uniform market share over
+/// [`profile_catalog`] (a few popular models dominate, a long tail of
+/// rarer hardware).
+pub fn profile_popularity() -> Vec<f64> {
+    vec![
+        18.0, 14.0, 11.0, 8.0, 8.0, 7.0, 6.0, 5.0, 4.0, 4.0, 3.0, 2.0, 3.0, 3.0, 2.0, 2.0,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_16_distinct_profiles() {
+        let cat = profile_catalog();
+        assert_eq!(cat.len(), 16);
+        assert_eq!(cat.len(), profile_popularity().len());
+        let names: std::collections::BTreeSet<_> =
+            cat.iter().map(|p| (p.name.clone(), p.services.services.len())).collect();
+        assert_eq!(names.len(), cat.len());
+    }
+
+    #[test]
+    fn instantiation_builds_station_with_sources() {
+        let profile = &profile_catalog()[0];
+        let mut rng = InstanceRng::new(1, 1);
+        let cfg = profile.instantiate(
+            MacAddr::from_index(1),
+            MacAddr::from_index(0xFF),
+            LinkQuality::static_link(30.0),
+            &[AppProfile::Background],
+            16,
+            false,
+            &mut rng,
+        );
+        assert_eq!(cfg.encryption_overhead, 16);
+        // services + app + probe scanner + power save.
+        let expected = profile.services.services.len()
+            + 1
+            + usize::from(profile.driver.probe.is_some())
+            + usize::from(profile.chipset.ps_cycle.is_some());
+        assert_eq!(cfg.sources.len(), expected);
+        assert_eq!(cfg.behavior.rts_threshold, profile.driver.rts_threshold);
+        assert_eq!(cfg.behavior.backoff, profile.chipset.backoff);
+    }
+
+    #[test]
+    fn same_profile_instances_share_timing_but_differ_in_skew() {
+        let profile = &profile_catalog()[2];
+        let mut r1 = InstanceRng::new(5, 1);
+        let mut r2 = InstanceRng::new(5, 2);
+        let make = |rng: &mut InstanceRng| {
+            profile.instantiate(
+                MacAddr::from_index(1),
+                MacAddr::from_index(0xFF),
+                LinkQuality::static_link(30.0),
+                &[],
+                0,
+                true,
+                rng,
+            )
+        };
+        let a = make(&mut r1);
+        let b = make(&mut r2);
+        assert_eq!(a.behavior.backoff, b.behavior.backoff);
+        assert_eq!(a.behavior.timer_granularity, b.behavior.timer_granularity);
+        assert_ne!(a.behavior.clock_skew_ppm, b.behavior.clock_skew_ppm);
+    }
+
+    #[test]
+    fn popularity_sums_to_something_positive() {
+        let w = profile_popularity();
+        assert!(w.iter().all(|&x| x > 0.0));
+        assert!(w.iter().sum::<f64>() > 99.0);
+    }
+
+    #[test]
+    fn b_only_profile_gets_b_rates() {
+        let cat = profile_catalog();
+        let legacy = cat.iter().find(|p| p.chipset.name == "oldb-2040").unwrap();
+        let mut rng = InstanceRng::new(9, 9);
+        let cfg = legacy.instantiate(
+            MacAddr::from_index(7),
+            MacAddr::from_index(0xFF),
+            LinkQuality::static_link(25.0),
+            &[],
+            0,
+            false,
+            &mut rng,
+        );
+        assert!(Rate::ALL_B.contains(&cfg.rate_controller.current_rate()));
+    }
+}

@@ -1,0 +1,246 @@
+//! Network-service models: the periodic broadcast/multicast chatter an
+//! operating system produces.
+//!
+//! §VI-C of the paper shows two same-model netbooks whose inter-arrival
+//! histograms differ *only* through their services — IGMPv3 membership
+//! reports and LLMNR queries produce the distinctive peaks of Fig. 7. Each
+//! service here has a characteristic frame-size set and period.
+
+use wifiprint_ieee80211::{MacAddr, Nanos};
+use wifiprint_netsim::{PeriodicBroadcast, TrafficSource};
+
+use crate::rng::InstanceRng;
+
+/// One OS-level service generating periodic group-addressed traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Service {
+    /// Service name (reporting only).
+    pub name: &'static str,
+    /// Nominal period between emissions.
+    pub period: Nanos,
+    /// Period jitter.
+    pub jitter: Nanos,
+    /// Frame payload sizes emitted per period.
+    pub payloads: Vec<usize>,
+    /// Destination group address.
+    pub group: MacAddr,
+}
+
+impl Service {
+    /// Instantiates the service as a traffic source, applying ±10 %
+    /// per-device period variation so two installs are never phase-locked,
+    /// and a per-device payload offset (hostnames, UUIDs and option lists
+    /// make every install's announcement a few bytes different).
+    pub fn source(&self, rng: &mut InstanceRng) -> Box<dyn TrafficSource> {
+        let period_ns = rng.jitter_factor(self.period.as_nanos() as f64, 0.10) as u64;
+        let offset = 4 * rng.below(5) as usize;
+        Box::new(PeriodicBroadcast {
+            period: Nanos::from_nanos(period_ns.max(1)),
+            jitter: self.jitter,
+            payloads: self.payloads.iter().map(|p| p + offset).collect(),
+            group: self.group,
+        })
+    }
+}
+
+const MDNS_GROUP: MacAddr = MacAddr::new([0x01, 0x00, 0x5e, 0x00, 0x00, 0xfb]);
+const LLMNR_GROUP: MacAddr = MacAddr::new([0x01, 0x00, 0x5e, 0x00, 0x00, 0xfc]);
+const SSDP_GROUP: MacAddr = MacAddr::new([0x01, 0x00, 0x5e, 0x7f, 0xff, 0xfa]);
+const IGMP_GROUP: MacAddr = MacAddr::new([0x01, 0x00, 0x5e, 0x00, 0x00, 0x16]);
+
+/// Simple Service Discovery Protocol (UPnP): NOTIFY bursts.
+pub fn ssdp() -> Service {
+    Service {
+        name: "ssdp",
+        period: Nanos::from_secs(30),
+        jitter: Nanos::from_secs(3),
+        payloads: vec![311, 325, 339],
+        group: SSDP_GROUP,
+    }
+}
+
+/// Multicast DNS announcements (Bonjour/Avahi).
+pub fn mdns() -> Service {
+    Service {
+        name: "mdns",
+        period: Nanos::from_secs(60),
+        jitter: Nanos::from_secs(8),
+        payloads: vec![143, 207],
+        group: MDNS_GROUP,
+    }
+}
+
+/// Link-Local Multicast Name Resolution queries — one of the two Fig. 7
+/// peak sources.
+pub fn llmnr() -> Service {
+    Service {
+        name: "llmnr",
+        period: Nanos::from_secs(18),
+        jitter: Nanos::from_secs(2),
+        payloads: vec![66],
+        group: LLMNR_GROUP,
+    }
+}
+
+/// IGMPv3 membership reports — the other Fig. 7 peak source.
+pub fn igmpv3() -> Service {
+    Service {
+        name: "igmpv3",
+        period: Nanos::from_secs(24),
+        jitter: Nanos::from_secs(3),
+        payloads: vec![46],
+        group: IGMP_GROUP,
+    }
+}
+
+/// Gratuitous/probe ARP traffic.
+pub fn arp() -> Service {
+    Service {
+        name: "arp",
+        period: Nanos::from_secs(40),
+        jitter: Nanos::from_secs(10),
+        payloads: vec![28],
+        group: MacAddr::BROADCAST,
+    }
+}
+
+/// NetBIOS name service broadcasts (Windows).
+pub fn netbios() -> Service {
+    Service {
+        name: "netbios",
+        period: Nanos::from_secs(45),
+        jitter: Nanos::from_secs(5),
+        payloads: vec![92, 110],
+        group: MacAddr::BROADCAST,
+    }
+}
+
+/// DHCP renewals/discovers.
+pub fn dhcp() -> Service {
+    Service {
+        name: "dhcp",
+        period: Nanos::from_secs(300),
+        jitter: Nanos::from_secs(30),
+        payloads: vec![300],
+        group: MacAddr::BROADCAST,
+    }
+}
+
+/// A device's installed service set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStack {
+    /// The services running on this device.
+    pub services: Vec<Service>,
+}
+
+impl ServiceStack {
+    /// Typical Windows laptop: LLMNR + NetBIOS + SSDP + ARP + DHCP.
+    pub fn windows() -> Self {
+        ServiceStack { services: vec![llmnr(), netbios(), ssdp(), arp(), dhcp()] }
+    }
+
+    /// Typical Linux laptop: mDNS (Avahi) + ARP + DHCP.
+    pub fn linux() -> Self {
+        ServiceStack { services: vec![mdns(), arp(), dhcp()] }
+    }
+
+    /// Typical macOS device: chatty mDNS + ARP + IGMP.
+    pub fn macos() -> Self {
+        ServiceStack { services: vec![mdns(), igmpv3(), arp()] }
+    }
+
+    /// Media/IoT-ish device: SSDP + IGMPv3 (multicast streaming).
+    pub fn media_box() -> Self {
+        ServiceStack { services: vec![ssdp(), igmpv3(), dhcp()] }
+    }
+
+    /// A quiet device: ARP only.
+    pub fn minimal() -> Self {
+        ServiceStack { services: vec![arp()] }
+    }
+
+    /// All stack presets.
+    pub fn presets() -> Vec<ServiceStack> {
+        vec![
+            ServiceStack::windows(),
+            ServiceStack::linux(),
+            ServiceStack::macos(),
+            ServiceStack::media_box(),
+            ServiceStack::minimal(),
+        ]
+    }
+
+    /// Instantiates every service as a traffic source, with per-device
+    /// variation. With `variation`, each optional service is additionally
+    /// dropped with probability 0.25, so two same-model devices end up
+    /// with different service sets (Fig. 7).
+    pub fn sources(&self, rng: &mut InstanceRng, variation: bool) -> Vec<Box<dyn TrafficSource>> {
+        let mut out = Vec::new();
+        for (i, svc) in self.services.iter().enumerate() {
+            // Always keep at least the first service so the stack is never
+            // empty.
+            if variation && i > 0 && rng.chance(0.25) {
+                continue;
+            }
+            out.push(svc.source(rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn services_have_group_destinations() {
+        for svc in [ssdp(), mdns(), llmnr(), igmpv3(), arp(), netbios(), dhcp()] {
+            assert!(svc.group.is_multicast(), "{}", svc.name);
+            assert!(!svc.payloads.is_empty(), "{}", svc.name);
+            assert!(svc.period > Nanos::ZERO, "{}", svc.name);
+        }
+    }
+
+    #[test]
+    fn stacks_differ() {
+        let presets = ServiceStack::presets();
+        assert_eq!(presets.len(), 5);
+        let sizes: Vec<usize> = presets.iter().map(|s| s.services.len()).collect();
+        assert!(sizes.iter().any(|&s| s >= 4));
+        assert!(sizes.iter().any(|&s| s == 1));
+    }
+
+    #[test]
+    fn instantiation_applies_period_variation() {
+        let svc = llmnr();
+        let mut r1 = InstanceRng::new(1, 1);
+        let mut r2 = InstanceRng::new(1, 2);
+        // The sources differ in their (private) period; drive them one
+        // poll and compare next_in.
+        let mut s1 = svc.source(&mut r1);
+        let mut s2 = svc.source(&mut r2);
+        let mut sim_rng1 = wifiprint_netsim::SimRng::derive(9, 1);
+        let mut sim_rng2 = wifiprint_netsim::SimRng::derive(9, 1);
+        let e1 = s1.poll(Nanos::ZERO, &mut sim_rng1);
+        let e2 = s2.poll(Nanos::ZERO, &mut sim_rng2);
+        assert_ne!(e1.next_in, e2.next_in, "per-instance period variation missing");
+    }
+
+    #[test]
+    fn stack_variation_drops_services_but_keeps_first() {
+        let stack = ServiceStack::windows();
+        let mut any_dropped = false;
+        for i in 0..20 {
+            let mut rng = InstanceRng::new(3, i);
+            let sources = stack.sources(&mut rng, true);
+            assert!(!sources.is_empty());
+            if sources.len() < stack.services.len() {
+                any_dropped = true;
+            }
+        }
+        assert!(any_dropped);
+        // Without variation, everything is kept.
+        let mut rng = InstanceRng::new(3, 99);
+        assert_eq!(stack.sources(&mut rng, false).len(), stack.services.len());
+    }
+}

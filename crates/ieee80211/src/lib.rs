@@ -1,0 +1,59 @@
+//! IEEE 802.11 MAC-layer model for the wifiprint suite.
+//!
+//! This crate provides the 802.11 substrate that both the discrete-event
+//! simulator ([`wifiprint-netsim`]) and the fingerprinting library
+//! ([`wifiprint-core`]) build on:
+//!
+//! * [`MacAddr`] — 48-bit MAC addresses with OUI helpers,
+//! * [`FrameControl`] / [`FrameKind`] — bit-exact Frame Control codec and the
+//!   full management/control/data subtype table,
+//! * [`Frame`] — wire-format serialisation and parsing of MAC frames with
+//!   the ToDS/FromDS addressing rules,
+//! * [`Rate`] — DSSS/CCK and ERP-OFDM rates in 500 kb/s units,
+//! * [`timing`] — PHY timing constants (slot, SIFS, DIFS, EIFS, contention
+//!   windows, PLCP preambles) and frame air-time computation,
+//! * [`duration`] — NAV duration-field computation including the per-card
+//!   quirk models observed by Cache (2006),
+//! * [`elements`] — the information elements needed for beacons and probes.
+//!
+//! # Example
+//!
+//! ```
+//! use wifiprint_ieee80211::{Frame, FrameKind, MacAddr, Rate, timing};
+//!
+//! # fn main() -> Result<(), wifiprint_ieee80211::FrameError> {
+//! let sta = MacAddr::new([0x00, 0x1b, 0x77, 0x00, 0x00, 0x01]);
+//! let ap = MacAddr::new([0x00, 0x14, 0x6c, 0x00, 0x00, 0xff]);
+//! let frame = Frame::data_to_ds(sta, ap, ap, 1460);
+//! let bytes = frame.to_bytes();
+//! let parsed = Frame::parse(&bytes)?;
+//! assert_eq!(parsed.transmitter(), Some(sta));
+//! assert_eq!(parsed.kind(), FrameKind::Data);
+//!
+//! // How long does this frame occupy the medium at 54 Mb/s?
+//! let t = timing::air_time(timing::PhyTx::erp_ofdm(Rate::R54M), bytes.len());
+//! assert!(t.as_micros() > 200 && t.as_micros() < 300);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod duration;
+pub mod elements;
+mod fc;
+mod frame;
+mod mac;
+mod rate;
+mod seq;
+mod time;
+pub mod timing;
+
+pub use fc::{FrameControl, FrameKind, FrameType};
+pub use frame::{Frame, FrameError};
+pub use mac::{MacAddr, ParseMacAddrError};
+pub use rate::{Modulation, Rate};
+pub use seq::SequenceCounter;
+pub use time::Nanos;

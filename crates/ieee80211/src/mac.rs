@@ -1,0 +1,217 @@
+//! 48-bit MAC addresses.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// A 48-bit IEEE 802 MAC address.
+///
+/// # Example
+///
+/// ```
+/// use wifiprint_ieee80211::MacAddr;
+///
+/// let a: MacAddr = "00:1b:77:12:34:56".parse()?;
+/// assert_eq!(a.octets()[0], 0x00);
+/// assert!(!a.is_broadcast());
+/// assert_eq!(a.to_string(), "00:1b:77:12:34:56");
+/// # Ok::<(), wifiprint_ieee80211::ParseMacAddrError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MacAddr([u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address, conventionally "unspecified".
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Creates an address from its six octets.
+    #[inline]
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+
+    /// Builds a locally-administered unicast address from a 40-bit index.
+    ///
+    /// Handy for simulations that need many distinct stable addresses: the
+    /// first octet is fixed to `0x02` (locally administered, unicast).
+    #[inline]
+    pub const fn from_index(index: u64) -> Self {
+        MacAddr([
+            0x02,
+            (index >> 32) as u8,
+            (index >> 24) as u8,
+            (index >> 16) as u8,
+            (index >> 8) as u8,
+            index as u8,
+        ])
+    }
+
+    /// The six octets of the address.
+    #[inline]
+    pub const fn octets(self) -> [u8; 6] {
+        self.0
+    }
+
+    /// The 24-bit organisationally-unique identifier (first three octets).
+    #[inline]
+    pub const fn oui(self) -> [u8; 3] {
+        [self.0[0], self.0[1], self.0[2]]
+    }
+
+    /// `true` for `ff:ff:ff:ff:ff:ff`.
+    #[inline]
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+
+    /// `true` if the group bit (I/G, lowest bit of the first octet) is set.
+    /// Broadcast is also a group address.
+    #[inline]
+    pub const fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// `true` if the locally-administered (U/L) bit is set.
+    #[inline]
+    pub const fn is_locally_administered(self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+
+    /// Reads an address from the first six bytes of `buf`.
+    ///
+    /// Returns `None` if `buf` is shorter than six bytes.
+    #[inline]
+    pub fn from_slice(buf: &[u8]) -> Option<Self> {
+        let octets: [u8; 6] = buf.get(..6)?.try_into().ok()?;
+        Some(MacAddr(octets))
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+}
+
+impl From<MacAddr> for [u8; 6] {
+    fn from(addr: MacAddr) -> Self {
+        addr.0
+    }
+}
+
+impl AsRef<[u8]> for MacAddr {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Error returned when parsing a textual MAC address fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMacAddrError {
+    input: String,
+}
+
+impl fmt::Display for ParseMacAddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address syntax: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseMacAddrError {}
+
+impl FromStr for MacAddr {
+    type Err = ParseMacAddrError;
+
+    /// Parses `aa:bb:cc:dd:ee:ff` or `aa-bb-cc-dd-ee-ff` (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseMacAddrError { input: s.to_owned() };
+        let sep = if s.contains('-') { '-' } else { ':' };
+        let mut octets = [0u8; 6];
+        let mut parts = s.split(sep);
+        for octet in octets.iter_mut() {
+            let part = parts.next().ok_or_else(err)?;
+            if part.len() != 2 {
+                return Err(err());
+            }
+            *octet = u8::from_str_radix(part, 16).map_err(|_| err())?;
+        }
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        Ok(MacAddr(octets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let a = MacAddr::new([0xde, 0xad, 0xbe, 0xef, 0x00, 0x42]);
+        let s = a.to_string();
+        assert_eq!(s, "de:ad:be:ef:00:42");
+        assert_eq!(s.parse::<MacAddr>().unwrap(), a);
+    }
+
+    #[test]
+    fn parse_dash_separator_and_case() {
+        let a: MacAddr = "DE-AD-BE-EF-00-42".parse().unwrap();
+        assert_eq!(a, MacAddr::new([0xde, 0xad, 0xbe, 0xef, 0x00, 0x42]));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("".parse::<MacAddr>().is_err());
+        assert!("00:11:22:33:44".parse::<MacAddr>().is_err());
+        assert!("00:11:22:33:44:55:66".parse::<MacAddr>().is_err());
+        assert!("0g:11:22:33:44:55".parse::<MacAddr>().is_err());
+        assert!("001:1:22:33:44:55".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn classification_bits() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        let mcast = MacAddr::new([0x01, 0x00, 0x5e, 0, 0, 1]);
+        assert!(mcast.is_multicast());
+        assert!(!mcast.is_broadcast());
+        let local = MacAddr::from_index(7);
+        assert!(local.is_locally_administered());
+        assert!(!local.is_multicast());
+    }
+
+    #[test]
+    fn from_index_is_unique_and_stable() {
+        let a = MacAddr::from_index(0x0102030405);
+        assert_eq!(a.octets(), [0x02, 0x01, 0x02, 0x03, 0x04, 0x05]);
+        assert_ne!(MacAddr::from_index(1), MacAddr::from_index(2));
+    }
+
+    #[test]
+    fn from_slice_handles_short_input() {
+        assert_eq!(MacAddr::from_slice(&[1, 2, 3]), None);
+        assert_eq!(
+            MacAddr::from_slice(&[1, 2, 3, 4, 5, 6, 7]),
+            Some(MacAddr::new([1, 2, 3, 4, 5, 6]))
+        );
+    }
+
+    #[test]
+    fn oui_prefix() {
+        let a = MacAddr::new([0x00, 0x1b, 0x77, 1, 2, 3]);
+        assert_eq!(a.oui(), [0x00, 0x1b, 0x77]);
+    }
+}

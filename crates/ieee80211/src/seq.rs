@@ -1,0 +1,61 @@
+//! Per-station sequence-number allocation.
+
+/// A modulo-4096 sequence-number counter, one per transmitting station.
+///
+/// # Example
+///
+/// ```
+/// use wifiprint_ieee80211::SequenceCounter;
+///
+/// let mut seq = SequenceCounter::new();
+/// assert_eq!(seq.next(), 0);
+/// assert_eq!(seq.next(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SequenceCounter {
+    next: u16,
+}
+
+impl SequenceCounter {
+    /// A counter starting at sequence number 0.
+    pub const fn new() -> Self {
+        SequenceCounter { next: 0 }
+    }
+
+    /// A counter starting at an arbitrary point (wrapped into range).
+    pub const fn starting_at(seq: u16) -> Self {
+        SequenceCounter { next: seq & 0x0fff }
+    }
+
+    /// Returns the next sequence number (0..=4095) and advances.
+    pub fn next(&mut self) -> u16 {
+        let v = self.next;
+        self.next = (self.next + 1) & 0x0fff;
+        v
+    }
+
+    /// The value `next()` would return, without advancing.
+    pub const fn peek(&self) -> u16 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increments_and_wraps() {
+        let mut c = SequenceCounter::starting_at(4094);
+        assert_eq!(c.next(), 4094);
+        assert_eq!(c.next(), 4095);
+        assert_eq!(c.next(), 0);
+        assert_eq!(c.peek(), 1);
+    }
+
+    #[test]
+    fn starting_at_masks() {
+        let mut c = SequenceCounter::starting_at(5000);
+        assert_eq!(c.next(), 5000 & 0x0fff);
+    }
+}

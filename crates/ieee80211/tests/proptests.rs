@@ -1,0 +1,116 @@
+//! Property-based tests for the 802.11 codec layer.
+
+use proptest::prelude::*;
+use wifiprint_ieee80211::elements::Element;
+use wifiprint_ieee80211::timing::{air_time, estimated_tx_time_micros, PhyTx, Preamble};
+use wifiprint_ieee80211::{Frame, FrameControl, FrameKind, MacAddr, Nanos, Rate};
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr::new)
+}
+
+fn arb_rate() -> impl Strategy<Value = Rate> {
+    prop::sample::select(Rate::ALL_BG.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn frame_control_round_trips_all_values(raw in any::<u16>()) {
+        let fc = FrameControl::from_raw(raw);
+        prop_assert_eq!(fc.to_raw(), raw);
+    }
+
+    #[test]
+    fn mac_display_parse_round_trip(mac in arb_mac()) {
+        let parsed: MacAddr = mac.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, mac);
+    }
+
+    #[test]
+    fn data_frame_round_trip(
+        sa in arb_mac(),
+        bssid in arb_mac(),
+        da in arb_mac(),
+        len in 0usize..2304,
+        seq in 0u16..4096,
+        retry in any::<bool>(),
+        protected in any::<bool>(),
+    ) {
+        let fc = FrameControl::new(FrameKind::Data)
+            .with_to_ds(true)
+            .with_retry(retry)
+            .with_protected(protected);
+        let frame = Frame::data_to_ds(sa, bssid, da, len)
+            .with_fc(fc)
+            .with_sequence(seq);
+        let bytes = frame.to_bytes();
+        prop_assert!(Frame::verify_fcs(&bytes));
+        let parsed = Frame::parse(&bytes).unwrap();
+        prop_assert_eq!(&parsed, &frame);
+        prop_assert_eq!(parsed.wire_len(), bytes.len());
+    }
+
+    #[test]
+    fn qos_data_round_trip(
+        sa in arb_mac(),
+        bssid in arb_mac(),
+        len in 0usize..1000,
+        qos in any::<u16>(),
+    ) {
+        let frame = Frame::data_to_ds(sa, bssid, bssid, len).with_qos(qos);
+        let parsed = Frame::parse(&frame.to_bytes()).unwrap();
+        prop_assert_eq!(parsed.qos_control(), Some(qos));
+        prop_assert_eq!(parsed.body().len(), len);
+    }
+
+    #[test]
+    fn parse_arbitrary_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Frame::parse(&bytes);
+        let _ = Frame::parse_without_fcs(&bytes);
+        let _ = Frame::verify_fcs(&bytes);
+    }
+
+    #[test]
+    fn air_time_positive_and_bounded(rate in arb_rate(), len in 1usize..2400) {
+        for preamble in [Preamble::Long, Preamble::Short] {
+            let t = air_time(PhyTx::new(rate, preamble), len);
+            prop_assert!(t > Nanos::ZERO);
+            // Upper bound: at 1 Mb/s, 2400 bytes is 19.2 ms + preamble.
+            prop_assert!(t < Nanos::from_millis(25));
+        }
+    }
+
+    #[test]
+    fn air_time_monotone_in_len(rate in arb_rate(), a in 1usize..2000, b in 1usize..2000) {
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        let tx = PhyTx::new(rate, Preamble::Long);
+        prop_assert!(air_time(tx, small) <= air_time(tx, large));
+    }
+
+    #[test]
+    fn estimated_tx_time_scales_linearly(rate in arb_rate(), len in 1usize..2000) {
+        let one = estimated_tx_time_micros(len, rate);
+        let double = estimated_tx_time_micros(2 * len, rate);
+        prop_assert!((double - 2.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elements_round_trip(
+        ssid in "[a-zA-Z0-9]{0,32}",
+        channel in 1u8..14,
+        extra in prop::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let elements = vec![
+            Element::Ssid(ssid),
+            Element::DsParams(channel),
+            Element::Other { id: 221, data: extra },
+        ];
+        let bytes = Element::encode_all(&elements);
+        prop_assert_eq!(Element::parse_all(&bytes), elements);
+    }
+
+    #[test]
+    fn element_parse_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Element::parse_all(&bytes);
+    }
+}

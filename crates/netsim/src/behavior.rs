@@ -1,0 +1,458 @@
+//! Per-device MAC behaviour: the implementation quirks that make devices
+//! fingerprintable.
+//!
+//! §VI of the paper attributes the distinctiveness of inter-arrival
+//! histograms to (a) random-backoff implementation differences
+//! (Gopinath et al., Berger-Sabbatel et al.), (b) RTS threshold handling,
+//! (c) rate-adaptation behaviour and (d) timer/feature details of the
+//! card and driver. This module parameterises exactly that quirk space.
+
+use core::fmt;
+
+use wifiprint_ieee80211::duration::DurationModel;
+use wifiprint_ieee80211::{Nanos, Rate};
+
+use crate::rng::SimRng;
+
+/// How a card draws its random backoff, given the current contention
+/// window `cw` (a draw of `k` waits `k` slot times after DIFS).
+///
+/// Fig. 4 of the paper shows two devices whose backoff combs differ: one
+/// "adds one small additional slot before the 16 slots defined by the
+/// standard", and the per-slot distribution differs between the two.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BackoffQuirk {
+    /// Standard-conformant: uniform over `0..=cw`.
+    Uniform,
+    /// An extra "early" slot: with probability `p`, transmit after only a
+    /// fraction of a slot (the additional pre-slot peak of Fig. 4a).
+    ExtraEarlySlot {
+        /// Probability of using the early slot.
+        p: f64,
+        /// Fraction of a slot the early transmission waits (0.0–1.0).
+        fraction: f64,
+    },
+    /// Skewed toward low slot numbers: `floor((cw+1) · u^k)` with `k > 1`
+    /// (aggressive cards observed by Gopinath et al.).
+    SkewedLow(
+        /// Skew exponent; larger means more aggressive.
+        f64,
+    ),
+    /// With probability `p` the device transmits in slot 0 regardless of
+    /// the draw (Berger-Sabbatel et al.: "devices that systematically send
+    /// frames during the first slot").
+    FirstSlotBias(
+        /// Probability of forcing slot 0.
+        f64,
+    ),
+}
+
+impl BackoffQuirk {
+    /// Draws a backoff duration in units of **milli-slots** (1/1000 slot),
+    /// allowing sub-slot quirks.
+    pub fn draw_millislots(&self, cw: u32, rng: &mut SimRng) -> u64 {
+        match *self {
+            BackoffQuirk::Uniform => rng.range_inclusive(0, cw as u64) * 1000,
+            BackoffQuirk::ExtraEarlySlot { p, fraction } => {
+                if rng.chance(p) {
+                    (fraction.clamp(0.0, 1.0) * 1000.0) as u64
+                } else {
+                    rng.range_inclusive(0, cw as u64) * 1000
+                }
+            }
+            BackoffQuirk::SkewedLow(k) => {
+                let u = rng.f64();
+                let slots = ((cw as f64 + 1.0) * u.powf(k.max(1.0))) as u64;
+                slots.min(cw as u64) * 1000
+            }
+            BackoffQuirk::FirstSlotBias(p) => {
+                if rng.chance(p) {
+                    0
+                } else {
+                    rng.range_inclusive(0, cw as u64) * 1000
+                }
+            }
+        }
+    }
+}
+
+/// The complete MAC-timing personality of one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacBehavior {
+    /// Minimum contention window (15 for OFDM cards, 31 for DSSS; some
+    /// vendors deviate).
+    pub cw_min: u32,
+    /// Maximum contention window.
+    pub cw_max: u32,
+    /// Backoff-distribution quirk.
+    pub backoff: BackoffQuirk,
+    /// The card rounds its timer expirations up to a multiple of this
+    /// granularity (0 disables). Produces device-specific comb offsets.
+    pub timer_granularity: Nanos,
+    /// Clock skew in parts per million; scales every locally-timed
+    /// interval (backoff, SIFS responses, periodic timers).
+    pub clock_skew_ppm: f64,
+    /// Gaussian jitter (std dev) applied to SIFS-timed responses.
+    pub sifs_jitter: Nanos,
+    /// RTS threshold in bytes: frames strictly larger use RTS/CTS.
+    /// `None` disables virtual carrier sensing entirely.
+    pub rts_threshold: Option<usize>,
+    /// Retransmission limit before a frame is dropped.
+    pub retry_limit: u32,
+    /// Whether null-function (power-save) frames go out at a basic rate
+    /// instead of the current data rate — differs per card (Fig. 8).
+    pub null_frames_at_basic_rate: bool,
+    /// Whether DSSS transmissions use the short (96 µs) preamble instead
+    /// of the long (192 µs) one — a card capability visible in every
+    /// transmission-time and inter-arrival histogram.
+    pub short_preamble: bool,
+    /// How the card computes the NAV duration field (Cache 2006 quirks).
+    pub duration_model: DurationModel,
+    /// Fixed host-side latency added before every contention attempt:
+    /// interrupt service, bus transfer and driver queueing on the host CPU
+    /// differ per machine, shifting the whole backoff comb by a few
+    /// microseconds per device.
+    pub host_latency: Nanos,
+}
+
+impl Default for MacBehavior {
+    fn default() -> Self {
+        MacBehavior {
+            cw_min: 15,
+            cw_max: 1023,
+            backoff: BackoffQuirk::Uniform,
+            timer_granularity: Nanos::ZERO,
+            clock_skew_ppm: 0.0,
+            sifs_jitter: Nanos::ZERO,
+            rts_threshold: None,
+            retry_limit: 7,
+            null_frames_at_basic_rate: false,
+            short_preamble: false,
+            duration_model: DurationModel::Standard,
+            host_latency: Nanos::ZERO,
+        }
+    }
+}
+
+impl MacBehavior {
+    /// Applies clock skew and timer granularity to a locally-timed
+    /// duration.
+    pub fn local_duration(&self, nominal: Nanos) -> Nanos {
+        let skewed = nominal.as_nanos() as f64 * (1.0 + self.clock_skew_ppm * 1e-6);
+        let mut ns = skewed.round().max(0.0) as u64;
+        let g = self.timer_granularity.as_nanos();
+        if g > 0 {
+            ns = ns.div_ceil(g) * g;
+        }
+        Nanos::from_nanos(ns)
+    }
+
+    /// Draws the full backoff wait (after DIFS) for the given contention
+    /// window, applying quirk, skew, granularity and host latency.
+    pub fn backoff_wait(&self, cw: u32, slot: Nanos, rng: &mut SimRng) -> Nanos {
+        let millislots = self.backoff.draw_millislots(cw, rng);
+        let ns = (slot.as_nanos() as u128 * millislots as u128 / 1000) as u64;
+        self.host_latency + self.local_duration(Nanos::from_nanos(ns))
+    }
+
+    /// The SIFS response delay including jitter and skew.
+    pub fn response_delay(&self, sifs: Nanos, rng: &mut SimRng) -> Nanos {
+        let jitter = if self.sifs_jitter.is_zero() {
+            0.0
+        } else {
+            rng.gaussian(0.0, self.sifs_jitter.as_nanos() as f64)
+        };
+        let base = sifs.as_nanos() as f64 + jitter;
+        self.local_duration(Nanos::from_nanos(base.max(1_000.0) as u64))
+    }
+
+    /// Doubles a contention window after a failed attempt, clamped to
+    /// `cw_max`.
+    pub fn next_cw(&self, cw: u32) -> u32 {
+        (((cw + 1) * 2) - 1).min(self.cw_max)
+    }
+}
+
+/// Rate-adaptation algorithm run by a device's driver.
+///
+/// Implementations must be deterministic given the same call sequence.
+pub trait RateController: fmt::Debug + Send {
+    /// The rate the next data frame would be sent at.
+    fn current_rate(&self) -> Rate;
+    /// Called when a unicast frame was acknowledged.
+    fn on_success(&mut self);
+    /// Called when a unicast frame exhausted an attempt without an ACK.
+    fn on_failure(&mut self);
+    /// Periodic hint of the current link SNR (dB); SNR-driven controllers
+    /// use it, ARF-style controllers ignore it.
+    fn on_snr_hint(&mut self, _snr_db: f64) {}
+}
+
+/// A card locked to a single rate (or a driver configured `rate fixed`).
+#[derive(Debug, Clone)]
+pub struct FixedRate(pub Rate);
+
+impl RateController for FixedRate {
+    fn current_rate(&self) -> Rate {
+        self.0
+    }
+    fn on_success(&mut self) {}
+    fn on_failure(&mut self) {}
+}
+
+/// Automatic Rate Fallback: step up after `up_after` consecutive
+/// successes, step down after `down_after` consecutive failures.
+#[derive(Debug, Clone)]
+pub struct Arf {
+    rates: Vec<Rate>,
+    idx: usize,
+    successes: u32,
+    failures: u32,
+    /// Consecutive successes required to move up.
+    pub up_after: u32,
+    /// Consecutive failures required to move down.
+    pub down_after: u32,
+}
+
+impl Arf {
+    /// An ARF controller over the given (ascending) rate set, starting at
+    /// the middle rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is empty.
+    pub fn new(rates: Vec<Rate>, up_after: u32, down_after: u32) -> Self {
+        assert!(!rates.is_empty(), "rate set must not be empty");
+        let idx = rates.len() / 2;
+        Arf { rates, idx, successes: 0, failures: 0, up_after: up_after.max(1), down_after: down_after.max(1) }
+    }
+}
+
+impl RateController for Arf {
+    fn current_rate(&self) -> Rate {
+        self.rates[self.idx]
+    }
+
+    fn on_success(&mut self) {
+        self.failures = 0;
+        self.successes += 1;
+        if self.successes >= self.up_after && self.idx + 1 < self.rates.len() {
+            self.idx += 1;
+            self.successes = 0;
+        }
+    }
+
+    fn on_failure(&mut self) {
+        self.successes = 0;
+        self.failures += 1;
+        if self.failures >= self.down_after && self.idx > 0 {
+            self.idx -= 1;
+            self.failures = 0;
+        }
+    }
+}
+
+/// An SNR-driven controller that picks the fastest rate whose SNR
+/// threshold is satisfied with a hysteresis margin, holding rates sticky
+/// between SNR hints. Models firmware that tracks signal quality rather
+/// than loss (and makes rate choice follow *location*, the effect that
+/// ruins the transmission-rate fingerprint in the conference trace).
+#[derive(Debug, Clone)]
+pub struct SnrSticky {
+    rates: Vec<Rate>,
+    idx: usize,
+    /// The rate index the last SNR hint selected; successes climb back
+    /// toward it after failure-driven fallbacks.
+    hint_idx: usize,
+    /// Extra dB of SNR required beyond the decode threshold.
+    pub margin_db: f64,
+}
+
+impl SnrSticky {
+    /// A controller over the given (ascending) rate set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is empty.
+    pub fn new(rates: Vec<Rate>, margin_db: f64) -> Self {
+        assert!(!rates.is_empty(), "rate set must not be empty");
+        SnrSticky { rates, idx: 0, hint_idx: 0, margin_db }
+    }
+}
+
+impl RateController for SnrSticky {
+    fn current_rate(&self) -> Rate {
+        self.rates[self.idx]
+    }
+
+    fn on_success(&mut self) {
+        // Recover toward the SNR-selected rate (collision losses must not
+        // permanently depress the rate).
+        if self.idx < self.hint_idx {
+            self.idx += 1;
+        }
+    }
+
+    fn on_failure(&mut self) {
+        if self.idx > 0 {
+            self.idx -= 1;
+        }
+    }
+
+    fn on_snr_hint(&mut self, snr_db: f64) {
+        let mut best = 0;
+        for (i, &rate) in self.rates.iter().enumerate() {
+            if crate::phy::rate_snr_threshold_db(rate) + self.margin_db <= snr_db {
+                best = i;
+            }
+        }
+        self.hint_idx = best;
+        self.idx = best;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wifiprint_ieee80211::timing::SlotTime;
+
+    fn rng() -> SimRng {
+        SimRng::root(99)
+    }
+
+    #[test]
+    fn uniform_backoff_within_cw() {
+        let mut r = rng();
+        for _ in 0..2000 {
+            let ms = BackoffQuirk::Uniform.draw_millislots(15, &mut r);
+            assert!(ms <= 15_000);
+            assert_eq!(ms % 1000, 0);
+        }
+    }
+
+    #[test]
+    fn extra_early_slot_produces_subslot_values() {
+        let mut r = rng();
+        let quirk = BackoffQuirk::ExtraEarlySlot { p: 0.5, fraction: 0.4 };
+        let draws: Vec<u64> = (0..2000).map(|_| quirk.draw_millislots(15, &mut r)).collect();
+        let early = draws.iter().filter(|&&d| d == 400).count();
+        assert!(early > 600, "early slot used {early} times");
+        assert!(draws.iter().all(|&d| d == 400 || d % 1000 == 0));
+    }
+
+    #[test]
+    fn skewed_low_prefers_small_slots() {
+        let mut r = rng();
+        let quirk = BackoffQuirk::SkewedLow(3.0);
+        let draws: Vec<u64> = (0..5000).map(|_| quirk.draw_millislots(15, &mut r)).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / draws.len() as f64 / 1000.0;
+        assert!(mean < 4.5, "mean slot = {mean}");
+        assert!(draws.iter().all(|&d| d <= 15_000));
+    }
+
+    #[test]
+    fn first_slot_bias_spikes_zero() {
+        let mut r = rng();
+        let quirk = BackoffQuirk::FirstSlotBias(0.6);
+        let zeros = (0..5000).filter(|_| quirk.draw_millislots(15, &mut r) == 0).count();
+        // 0.6 + 0.4/16 ≈ 0.625 expected.
+        assert!((2800..3500).contains(&zeros), "zeros = {zeros}");
+    }
+
+    #[test]
+    fn local_duration_applies_skew_and_granularity() {
+        let b = MacBehavior {
+            clock_skew_ppm: 100.0,
+            timer_granularity: Nanos::from_micros(2),
+            ..MacBehavior::default()
+        };
+        // 1 ms at +100 ppm = 1_000_100 ns, rounded up to 2 µs multiple.
+        let d = b.local_duration(Nanos::from_millis(1));
+        assert_eq!(d.as_nanos(), 1_002_000);
+        // Zero granularity leaves the skewed value untouched.
+        let b2 = MacBehavior { clock_skew_ppm: -100.0, ..MacBehavior::default() };
+        assert_eq!(b2.local_duration(Nanos::from_millis(1)).as_nanos(), 999_900);
+    }
+
+    #[test]
+    fn backoff_wait_bounded_by_cw() {
+        let b = MacBehavior::default();
+        let slot = SlotTime::Long.duration();
+        let mut r = rng();
+        for _ in 0..500 {
+            let w = b.backoff_wait(15, slot, &mut r);
+            assert!(w <= slot * 15);
+        }
+    }
+
+    #[test]
+    fn response_delay_near_sifs() {
+        let b = MacBehavior { sifs_jitter: Nanos::from_nanos(500), ..MacBehavior::default() };
+        let mut r = rng();
+        for _ in 0..500 {
+            let d = b.response_delay(Nanos::from_micros(10), &mut r);
+            assert!(d >= Nanos::from_micros(7) && d <= Nanos::from_micros(13), "{d}");
+        }
+    }
+
+    #[test]
+    fn cw_doubling_clamps() {
+        let b = MacBehavior { cw_min: 15, cw_max: 255, ..MacBehavior::default() };
+        let mut cw = 15;
+        let seq: Vec<u32> = (0..6)
+            .map(|_| {
+                cw = b.next_cw(cw);
+                cw
+            })
+            .collect();
+        assert_eq!(seq, vec![31, 63, 127, 255, 255, 255]);
+    }
+
+    #[test]
+    fn arf_walks_up_and_down() {
+        let mut arf = Arf::new(Rate::ALL_G.to_vec(), 3, 2);
+        let start = arf.current_rate();
+        for _ in 0..3 {
+            arf.on_success();
+        }
+        assert!(arf.current_rate() > start);
+        for _ in 0..2 {
+            arf.on_failure();
+        }
+        assert_eq!(arf.current_rate(), start);
+        // Can't go below the bottom.
+        for _ in 0..50 {
+            arf.on_failure();
+        }
+        assert_eq!(arf.current_rate(), Rate::R6M);
+        // Or above the top.
+        for _ in 0..200 {
+            arf.on_success();
+        }
+        assert_eq!(arf.current_rate(), Rate::R54M);
+    }
+
+    #[test]
+    fn snr_sticky_follows_hints() {
+        let mut rc = SnrSticky::new(Rate::ALL_G.to_vec(), 3.0);
+        rc.on_snr_hint(40.0);
+        assert_eq!(rc.current_rate(), Rate::R54M);
+        rc.on_snr_hint(12.0);
+        assert!(rc.current_rate() < Rate::R54M);
+        rc.on_snr_hint(-10.0);
+        assert_eq!(rc.current_rate(), Rate::R6M);
+        // Failures nudge down.
+        rc.on_snr_hint(40.0);
+        rc.on_failure();
+        assert_eq!(rc.current_rate(), Rate::R48M);
+    }
+
+    #[test]
+    fn fixed_rate_never_moves() {
+        let mut rc = FixedRate(Rate::R11M);
+        rc.on_success();
+        rc.on_failure();
+        rc.on_snr_hint(50.0);
+        assert_eq!(rc.current_rate(), Rate::R11M);
+    }
+}

@@ -1,0 +1,168 @@
+//! The passive monitoring device: converts on-air transmissions into
+//! [`CapturedFrame`]s, subject to reception loss.
+
+use wifiprint_ieee80211::timing::air_time;
+use wifiprint_ieee80211::Nanos;
+use wifiprint_radiotap::CapturedFrame;
+
+use crate::medium::ActiveTx;
+use crate::phy::{frame_success_probability, LinkQuality};
+use crate::rng::SimRng;
+use crate::station::phy_for;
+
+/// Counters describing what the monitor saw.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Frames delivered to the sink.
+    pub captured: u64,
+    /// Frames missed due to radio conditions or the base loss rate.
+    pub lost: u64,
+    /// Frames that were corrupted by collisions (never capturable).
+    pub collided: u64,
+}
+
+/// The passive capture device of §III: a standard wireless card in monitor
+/// mode on the observed channel.
+#[derive(Debug)]
+pub struct Monitor {
+    loss_base: f64,
+    rng: SimRng,
+    stats: MonitorStats,
+}
+
+impl Monitor {
+    /// A monitor with the given baseline loss probability (applied on top
+    /// of SNR-driven reception loss).
+    pub fn new(seed: u64, loss_base: f64) -> Self {
+        Monitor {
+            loss_base: loss_base.clamp(0.0, 1.0),
+            rng: SimRng::derive(seed, 0x4D4F_4E00),
+            stats: MonitorStats::default(),
+        }
+    }
+
+    /// Capture statistics so far.
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    /// Processes a completed transmission; returns the captured frame if
+    /// the monitor received it intact.
+    ///
+    /// `link` is the transmitting station's radio link (used to derive the
+    /// monitor-side SNR and reported signal strength).
+    pub fn observe(
+        &mut self,
+        tx: &ActiveTx,
+        link: &LinkQuality,
+        short_preamble: bool,
+    ) -> Option<CapturedFrame> {
+        if tx.collided {
+            self.stats.collided += 1;
+            return None;
+        }
+        let snr = link.snr_at_monitor(&mut self.rng);
+        let p_rx = frame_success_probability(tx.frame.rate, snr, tx.frame.size)
+            * (1.0 - self.loss_base);
+        if !self.rng.chance(p_rx) {
+            self.stats.lost += 1;
+            return None;
+        }
+        self.stats.captured += 1;
+        let air = air_time(phy_for(tx.frame.rate, short_preamble), tx.frame.size);
+        Some(CapturedFrame {
+            t_end: tx.t_end,
+            air_time: air.min(tx.t_end.saturating_sub(Nanos::ZERO)),
+            rate: tx.frame.rate,
+            size: tx.frame.size,
+            kind: tx.frame.kind,
+            transmitter: tx.frame.transmitter,
+            receiver: tx.frame.receiver,
+            dest_group: tx.frame.dest_group,
+            retry: tx.frame.retry,
+            signal_dbm: link.monitor_signal_dbm(snr),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::medium::TxFrame;
+    use wifiprint_ieee80211::{FrameKind, MacAddr, Rate};
+
+    fn tx(collided: bool) -> ActiveTx {
+        ActiveTx {
+            tx_id: 1,
+            station: 0,
+            frame: TxFrame {
+                kind: FrameKind::QosData,
+                transmitter: Some(MacAddr::from_index(1)),
+                receiver: MacAddr::from_index(2),
+                dest_group: false,
+                size: 1000,
+                rate: Rate::R54M,
+                retry: true,
+                to_ds: true,
+                from_ds: false,
+                needs_ack: true,
+                duration_field: 44,
+                seq: 7,
+                power_mgmt: false,
+            },
+            t_start: Nanos::from_micros(1000),
+            t_end: Nanos::from_micros(1200),
+            collided,
+        }
+    }
+
+    #[test]
+    fn captures_clean_frames_at_high_snr() {
+        let mut mon = Monitor::new(1, 0.0);
+        let link = LinkQuality::static_link(40.0);
+        let cap = mon.observe(&tx(false), &link, false).expect("captured");
+        assert_eq!(cap.t_end, Nanos::from_micros(1200));
+        assert_eq!(cap.kind, FrameKind::QosData);
+        assert_eq!(cap.size, 1000);
+        assert!(cap.retry);
+        assert!(!cap.dest_group);
+        assert!(cap.signal_dbm > -70);
+        assert_eq!(mon.stats().captured, 1);
+    }
+
+    #[test]
+    fn collided_frames_are_never_captured() {
+        let mut mon = Monitor::new(1, 0.0);
+        let link = LinkQuality::static_link(40.0);
+        assert!(mon.observe(&tx(true), &link, false).is_none());
+        assert_eq!(mon.stats().collided, 1);
+        assert_eq!(mon.stats().captured, 0);
+    }
+
+    #[test]
+    fn low_snr_loses_frames() {
+        let mut mon = Monitor::new(1, 0.0);
+        let link = LinkQuality::static_link(-10.0);
+        let mut lost = 0;
+        for _ in 0..100 {
+            if mon.observe(&tx(false), &link, false).is_none() {
+                lost += 1;
+            }
+        }
+        assert!(lost > 95, "lost {lost}");
+    }
+
+    #[test]
+    fn base_loss_applies_even_at_perfect_snr() {
+        let mut mon = Monitor::new(1, 0.5);
+        let link = LinkQuality::static_link(60.0);
+        let captured = (0..2000).filter(|_| mon.observe(&tx(false), &link, false).is_some()).count();
+        assert!((800..1200).contains(&captured), "captured {captured}");
+    }
+
+    #[test]
+    fn loss_base_is_clamped() {
+        let mon = Monitor::new(1, 7.5);
+        assert_eq!(mon.loss_base, 1.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! PHY-level channel model: SNR processes, mobility, and frame error
+//! probability.
+//!
+//! The model is deliberately simple — a per-station slow SNR process plus
+//! per-frame fast fading, and a logistic frame-success curve per rate —
+//! but it carries the property the paper's evaluation hinges on: **rate
+//! choice and loss track the station's radio environment (location), not
+//! its identity**, which is why the transmission-rate fingerprint
+//! collapses in the mobile conference setting (§V-B).
+
+use wifiprint_ieee80211::{Nanos, Rate};
+
+use crate::rng::SimRng;
+
+/// Approximate SNR (dB) required to decode each 802.11b/g rate with ~50%
+/// frame success at mid sizes; the logistic curve is centred here.
+pub fn rate_snr_threshold_db(rate: Rate) -> f64 {
+    match rate.to_raw() {
+        2 => 2.0,    // 1M
+        4 => 4.0,    // 2M
+        11 => 6.0,   // 5.5M
+        22 => 9.0,   // 11M
+        12 => 7.0,   // 6M
+        18 => 8.5,   // 9M
+        24 => 10.0,  // 12M
+        36 => 12.5,  // 18M
+        48 => 16.0,  // 24M
+        72 => 20.0,  // 36M
+        96 => 24.0,  // 48M
+        108 => 26.0, // 54M
+        _ => 30.0,
+    }
+}
+
+/// Probability that a frame of `len` bytes at `rate` is received intact at
+/// the given SNR.
+///
+/// A logistic curve over the SNR margin, sharpened slightly and compounded
+/// for longer frames (more bits at risk).
+pub fn frame_success_probability(rate: Rate, snr_db: f64, len: usize) -> f64 {
+    let margin = snr_db - rate_snr_threshold_db(rate);
+    let base = 1.0 / (1.0 + (-1.1 * margin).exp());
+    let length_factor = 0.5 + len as f64 / 1000.0;
+    base.powf(length_factor.max(0.1)).clamp(0.0, 1.0)
+}
+
+/// How a station's slow SNR evolves over time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MobilityModel {
+    /// Fixed position: SNR stays at the base value (office desktops,
+    /// printers, APs).
+    Static,
+    /// Bounded random walk: every update the SNR moves by a Gaussian step
+    /// and is clamped to `[min_db, max_db]`. Models people drifting around
+    /// a conference hall.
+    RandomWalk {
+        /// Standard deviation of each step (dB).
+        step_db: f64,
+        /// Lower SNR bound.
+        min_db: f64,
+        /// Upper SNR bound.
+        max_db: f64,
+    },
+    /// Random waypoint with occasional jumps: like `RandomWalk` but with
+    /// probability `jump_p` per update the SNR is redrawn uniformly in the
+    /// range (someone walks across the room or out the door).
+    Waypoint {
+        /// Standard deviation of each small step (dB).
+        step_db: f64,
+        /// Probability of a large jump per update.
+        jump_p: f64,
+        /// Lower SNR bound.
+        min_db: f64,
+        /// Upper SNR bound.
+        max_db: f64,
+    },
+    /// A waypoint walk with a systematic per-update trend: the crowd
+    /// grows, people disperse, and the average link degrades over the
+    /// day. The trend is what makes rate references go stale between the
+    /// training hour and later detection windows — the effect behind the
+    /// transmission-rate AUC collapse in the paper's conference trace.
+    DriftingCrowd {
+        /// Standard deviation of each small step (dB).
+        step_db: f64,
+        /// Probability of a large jump per update.
+        jump_p: f64,
+        /// Lower SNR bound.
+        min_db: f64,
+        /// Upper SNR bound.
+        max_db: f64,
+        /// Added to the SNR on every update (usually negative).
+        trend_db: f64,
+    },
+}
+
+/// One station's radio link state: slow SNR toward its AP and toward the
+/// monitor, updated periodically by the simulator.
+#[derive(Debug, Clone)]
+pub struct LinkQuality {
+    /// Slow SNR toward the AP/receiver, dB.
+    pub snr_ap_db: f64,
+    /// Offset applied for the path toward the monitor, dB.
+    pub monitor_offset_db: f64,
+    /// Per-frame fast-fading standard deviation, dB.
+    pub fading_std_db: f64,
+    /// The slow-SNR evolution model.
+    pub mobility: MobilityModel,
+    /// Interval between slow-SNR updates.
+    pub update_every: Nanos,
+}
+
+impl LinkQuality {
+    /// A static link with the given SNR and mild fast fading.
+    pub fn static_link(snr_db: f64) -> Self {
+        LinkQuality {
+            snr_ap_db: snr_db,
+            monitor_offset_db: 0.0,
+            fading_std_db: 1.0,
+            mobility: MobilityModel::Static,
+            update_every: Nanos::from_secs(10),
+        }
+    }
+
+    /// Advances the slow SNR process one update step.
+    pub fn step(&mut self, rng: &mut SimRng) {
+        match self.mobility {
+            MobilityModel::Static => {}
+            MobilityModel::RandomWalk { step_db, min_db, max_db } => {
+                self.snr_ap_db = (self.snr_ap_db + rng.gaussian(0.0, step_db)).clamp(min_db, max_db);
+            }
+            MobilityModel::Waypoint { step_db, jump_p, min_db, max_db } => {
+                if rng.chance(jump_p) {
+                    self.snr_ap_db = min_db + rng.f64() * (max_db - min_db);
+                } else {
+                    self.snr_ap_db =
+                        (self.snr_ap_db + rng.gaussian(0.0, step_db)).clamp(min_db, max_db);
+                }
+            }
+            MobilityModel::DriftingCrowd { step_db, jump_p, min_db, max_db, trend_db } => {
+                if rng.chance(jump_p) {
+                    self.snr_ap_db = min_db + rng.f64() * (max_db - min_db);
+                } else {
+                    self.snr_ap_db = (self.snr_ap_db + trend_db + rng.gaussian(0.0, step_db))
+                        .clamp(min_db, max_db);
+                }
+            }
+        }
+    }
+
+    /// Instantaneous SNR at the AP for one frame (slow SNR + fast fading).
+    pub fn snr_at_ap(&self, rng: &mut SimRng) -> f64 {
+        self.snr_ap_db + rng.gaussian(0.0, self.fading_std_db)
+    }
+
+    /// Instantaneous SNR at the monitor for one frame.
+    pub fn snr_at_monitor(&self, rng: &mut SimRng) -> f64 {
+        self.snr_ap_db + self.monitor_offset_db + rng.gaussian(0.0, self.fading_std_db)
+    }
+
+    /// The signal strength (dBm) the monitor would report for this link,
+    /// assuming a −95 dBm noise floor.
+    pub fn monitor_signal_dbm(&self, snr_at_monitor_db: f64) -> i8 {
+        (-95.0 + snr_at_monitor_db).clamp(-110.0, -10.0) as i8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_increase_within_families() {
+        let dsss: Vec<f64> = Rate::ALL_B.iter().map(|&r| rate_snr_threshold_db(r)).collect();
+        for pair in dsss.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        let ofdm: Vec<f64> = Rate::ALL_G.iter().map(|&r| rate_snr_threshold_db(r)).collect();
+        for pair in ofdm.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn success_probability_monotone_in_snr() {
+        for rate in Rate::ALL_BG {
+            let mut last = 0.0;
+            for snr in [-5.0, 0.0, 5.0, 10.0, 20.0, 30.0, 40.0] {
+                let p = frame_success_probability(rate, snr, 1000);
+                assert!(p >= last, "{rate} at {snr}");
+                assert!((0.0..=1.0).contains(&p));
+                last = p;
+            }
+        }
+    }
+
+    #[test]
+    fn success_probability_antitone_in_length() {
+        let p_short = frame_success_probability(Rate::R54M, 28.0, 100);
+        let p_long = frame_success_probability(Rate::R54M, 28.0, 1500);
+        assert!(p_short > p_long);
+    }
+
+    #[test]
+    fn high_snr_saturates() {
+        for rate in Rate::ALL_BG {
+            assert!(frame_success_probability(rate, 45.0, 1500) > 0.97, "{rate}");
+            assert!(frame_success_probability(rate, -20.0, 100) < 0.01, "{rate}");
+        }
+    }
+
+    #[test]
+    fn static_link_never_moves() {
+        let mut link = LinkQuality::static_link(30.0);
+        let mut rng = SimRng::root(1);
+        for _ in 0..100 {
+            link.step(&mut rng);
+        }
+        assert_eq!(link.snr_ap_db, 30.0);
+    }
+
+    #[test]
+    fn random_walk_stays_in_bounds() {
+        let mut link = LinkQuality::static_link(20.0);
+        link.mobility = MobilityModel::RandomWalk { step_db: 3.0, min_db: 5.0, max_db: 35.0 };
+        let mut rng = SimRng::root(2);
+        let mut moved = false;
+        for _ in 0..1000 {
+            let before = link.snr_ap_db;
+            link.step(&mut rng);
+            assert!((5.0..=35.0).contains(&link.snr_ap_db));
+            moved |= link.snr_ap_db != before;
+        }
+        assert!(moved);
+    }
+
+    #[test]
+    fn waypoint_jumps_occasionally() {
+        let mut link = LinkQuality::static_link(20.0);
+        link.mobility =
+            MobilityModel::Waypoint { step_db: 0.5, jump_p: 0.3, min_db: 0.0, max_db: 40.0 };
+        let mut rng = SimRng::root(3);
+        let mut big_jumps = 0;
+        for _ in 0..500 {
+            let before = link.snr_ap_db;
+            link.step(&mut rng);
+            if (link.snr_ap_db - before).abs() > 5.0 {
+                big_jumps += 1;
+            }
+        }
+        assert!(big_jumps > 50, "big jumps = {big_jumps}");
+    }
+
+    #[test]
+    fn fading_fluctuates_per_frame() {
+        let link = LinkQuality::static_link(25.0);
+        let mut rng = SimRng::root(4);
+        let a = link.snr_at_ap(&mut rng);
+        let b = link.snr_at_ap(&mut rng);
+        assert_ne!(a, b);
+        let m = link.snr_at_monitor(&mut rng);
+        assert!((m - 25.0).abs() < 6.0);
+    }
+
+    #[test]
+    fn monitor_signal_is_plausible_dbm() {
+        let link = LinkQuality::static_link(30.0);
+        let dbm = link.monitor_signal_dbm(30.0);
+        assert_eq!(dbm, -65);
+        assert_eq!(link.monitor_signal_dbm(200.0), -10);
+        assert_eq!(link.monitor_signal_dbm(-200.0), -110);
+    }
+}

@@ -1,0 +1,201 @@
+//! Deterministic random-number streams.
+//!
+//! Every stochastic component (station backoff, traffic sources, channel
+//! fading, monitor loss) draws from its own ChaCha8 stream derived from the
+//! scenario seed, so simulations are bit-reproducible regardless of event
+//! interleaving changes elsewhere.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A seeded random stream for one simulation component.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: ChaCha8Rng,
+}
+
+impl SimRng {
+    /// The root stream for a scenario seed.
+    pub fn root(seed: u64) -> Self {
+        SimRng { inner: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent stream for component `id` under `seed`.
+    ///
+    /// Streams with different `(seed, id)` pairs are statistically
+    /// independent; the same pair always yields the same stream.
+    pub fn derive(seed: u64, id: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        rng.set_stream(id.wrapping_add(1)); // stream 0 is the root
+        SimRng { inner: rng }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform integer in `[0, bound)`; returns 0 for `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.inner.random_range(0..bound)
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        if lo >= hi {
+            lo
+        } else {
+            self.inner.random_range(lo..=hi)
+        }
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.random::<f64>() < p
+        }
+    }
+
+    /// Exponentially distributed value with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.inner.random::<f64>().max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    }
+
+    /// Gaussian draw via Box–Muller.
+    pub fn gaussian(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1: f64 = self.inner.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.inner.random();
+        mean + std_dev * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Pareto-distributed value with the given scale (minimum) and shape.
+    pub fn pareto(&mut self, scale: f64, shape: f64) -> f64 {
+        let u: f64 = self.inner.random::<f64>().max(f64::MIN_POSITIVE);
+        scale / u.powf(1.0 / shape)
+    }
+
+    /// Picks a uniformly random element of a nonempty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        let idx = self.below(items.len() as u64) as usize;
+        &items[idx]
+    }
+
+    /// Picks an index according to (unnormalised) weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut x = self.f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_streams_are_deterministic_and_distinct() {
+        let mut a1 = SimRng::derive(42, 7);
+        let mut a2 = SimRng::derive(42, 7);
+        let mut b = SimRng::derive(42, 8);
+        let xs1: Vec<u64> = (0..10).map(|_| a1.below(1000)).collect();
+        let xs2: Vec<u64> = (0..10).map(|_| a2.below(1000)).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.below(1000)).collect();
+        assert_eq!(xs1, xs2);
+        assert_ne!(xs1, ys);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = SimRng::root(1);
+        for _ in 0..1000 {
+            assert!(r.f64() < 1.0);
+            assert!(r.below(5) < 5);
+            let v = r.range_inclusive(3, 9);
+            assert!((3..=9).contains(&v));
+        }
+        assert_eq!(r.below(0), 0);
+        assert_eq!(r.range_inclusive(4, 4), 4);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::root(2);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = SimRng::root(3);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(50.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 50.0).abs() < 2.5, "mean = {mean}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = SimRng::root(4);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.gaussian(10.0, 3.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.2, "mean = {mean}");
+        assert!((var - 9.0).abs() < 0.7, "var = {var}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = SimRng::root(5);
+        for _ in 0..1000 {
+            assert!(r.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn weighted_pick_follows_weights() {
+        let mut r = SimRng::root(6);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[r.pick_weighted(&[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0], "{counts:?}");
+        assert!((counts[2] as f64 / 30_000.0 - 0.7).abs() < 0.03);
+    }
+
+    #[test]
+    fn pick_returns_member() {
+        let mut r = SimRng::root(7);
+        let items = ["a", "b", "c"];
+        for _ in 0..20 {
+            assert!(items.contains(r.pick(&items)));
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! Per-station configuration and MAC state.
+
+use std::collections::VecDeque;
+
+use wifiprint_ieee80211::timing::PhyTx;
+use wifiprint_ieee80211::{MacAddr, Nanos, Rate, SequenceCounter};
+
+use crate::behavior::{MacBehavior, RateController};
+use crate::phy::LinkQuality;
+use crate::rng::SimRng;
+use crate::traffic::{Destination, Msdu, MsduKind, TrafficSource};
+
+/// MAC header + LLC/SNAP + FCS overhead added to a data payload.
+pub const DATA_OVERHEAD: usize = 24 + 8 + 4;
+/// Management frame overhead (header + FCS).
+pub const MGMT_OVERHEAD: usize = 24 + 4;
+/// Null-function frame wire size.
+pub const NULL_FRAME_SIZE: usize = 24 + 4;
+
+/// Whether a station is a client or an access point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Role {
+    /// An ordinary client station.
+    Client,
+    /// An access point: emits beacons, relays group-addressed uplink
+    /// traffic, answers probe requests.
+    Ap {
+        /// Beacon body size in bytes (fixed fields + information
+        /// elements).
+        beacon_payload: usize,
+    },
+}
+
+/// Everything needed to instantiate one station.
+#[derive(Debug)]
+pub struct StationConfig {
+    /// The station's MAC address.
+    pub addr: MacAddr,
+    /// The BSS it belongs to.
+    pub bssid: MacAddr,
+    /// Client or AP.
+    pub role: Role,
+    /// MAC-timing personality.
+    pub behavior: MacBehavior,
+    /// Rate-adaptation algorithm.
+    pub rate_controller: Box<dyn RateController>,
+    /// Radio link state.
+    pub link: LinkQuality,
+    /// Traffic sources driving this station.
+    pub sources: Vec<Box<dyn TrafficSource>>,
+    /// Extra bytes per data frame from link-layer encryption (16 for
+    /// WPA2/CCMP header+MIC, 0 for open networks).
+    pub encryption_overhead: usize,
+    /// Rate used for management frames (probes, beacons).
+    pub mgmt_rate: Rate,
+    /// Rate used for group-addressed data frames.
+    pub broadcast_rate: Rate,
+    /// When the station appears in the simulation.
+    pub active_from: Nanos,
+    /// When the station leaves (churn); `None` = stays to the end.
+    pub active_until: Option<Nanos>,
+}
+
+impl StationConfig {
+    /// A client with default behaviour and the given address/BSS/link.
+    pub fn client(addr: MacAddr, bssid: MacAddr, link: LinkQuality) -> Self {
+        StationConfig {
+            addr,
+            bssid,
+            role: Role::Client,
+            behavior: MacBehavior::default(),
+            rate_controller: Box::new(crate::behavior::FixedRate(Rate::R54M)),
+            link,
+            sources: Vec::new(),
+            encryption_overhead: 0,
+            mgmt_rate: Rate::R1M,
+            broadcast_rate: Rate::R1M,
+            active_from: Nanos::ZERO,
+            active_until: None,
+        }
+    }
+
+    /// An AP with default behaviour.
+    pub fn ap(addr: MacAddr, link: LinkQuality) -> Self {
+        StationConfig {
+            addr,
+            bssid: addr,
+            role: Role::Ap { beacon_payload: 90 },
+            behavior: MacBehavior::default(),
+            rate_controller: Box::new(crate::behavior::FixedRate(Rate::R54M)),
+            link,
+            sources: Vec::new(),
+            encryption_overhead: 0,
+            mgmt_rate: Rate::R1M,
+            broadcast_rate: Rate::R1M,
+            active_from: Nanos::ZERO,
+            active_until: None,
+        }
+    }
+}
+
+/// One frame job queued at a station's MAC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameJob {
+    /// A data MSDU.
+    Data {
+        /// Payload bytes (before overheads).
+        payload: usize,
+        /// Destination.
+        dest: Destination,
+    },
+    /// A null-function (power-save) frame.
+    Null {
+        /// Power-management bit.
+        power_save: bool,
+    },
+    /// A probe request.
+    ProbeReq {
+        /// Management body size.
+        payload: usize,
+    },
+    /// A probe response (AP only).
+    ProbeResp {
+        /// The requesting station.
+        to: MacAddr,
+        /// Management body size.
+        payload: usize,
+    },
+    /// A beacon (AP only).
+    Beacon {
+        /// Beacon body size.
+        payload: usize,
+    },
+}
+
+/// A queued frame with its retry state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuedFrame {
+    /// The job.
+    pub job: FrameJob,
+    /// Retry flag (set after a failed attempt).
+    pub retry: bool,
+}
+
+/// What response the station is waiting for after transmitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Awaiting {
+    /// An ACK for a unicast frame.
+    Ack,
+    /// A CTS for an RTS.
+    Cts,
+}
+
+/// Where the station stands in the contention bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ContendState {
+    /// Not trying to send (or mid-exchange).
+    #[default]
+    Idle,
+    /// Enrolled in the contender set, backoff residue drawn.
+    Contending,
+}
+
+/// Runtime state of one station.
+#[derive(Debug)]
+pub struct Station {
+    /// Static configuration.
+    pub addr: MacAddr,
+    /// BSS identifier.
+    pub bssid: MacAddr,
+    /// Role.
+    pub role: Role,
+    /// MAC personality.
+    pub behavior: MacBehavior,
+    /// Rate controller.
+    pub rate_ctrl: Box<dyn RateController>,
+    /// Radio link.
+    pub link: LinkQuality,
+    /// Traffic sources (polled by the simulator).
+    pub sources: Vec<Box<dyn TrafficSource>>,
+    /// Per-frame encryption overhead.
+    pub encryption_overhead: usize,
+    /// Management frame rate.
+    pub mgmt_rate: Rate,
+    /// Broadcast data rate.
+    pub broadcast_rate: Rate,
+    /// Station's private random stream.
+    pub rng: SimRng,
+    /// Outgoing frame queue.
+    pub queue: VecDeque<QueuedFrame>,
+    /// Current contention window.
+    pub cw: u32,
+    /// Retry count of the head frame.
+    pub retries: u32,
+    /// Remaining (frozen) backoff wait after DIFS, if already drawn.
+    pub backoff_remaining: Option<Nanos>,
+    /// Invalidation counter for scheduled attempts.
+    pub attempt_gen: u64,
+    /// End of the DIFS period of the currently scheduled attempt.
+    pub attempt_difs_end: Nanos,
+    /// Instant the currently scheduled attempt fires.
+    pub attempt_at: Nanos,
+    /// Contention bookkeeping state.
+    pub contend: ContendState,
+    /// Response the station is waiting for.
+    pub awaiting: Option<Awaiting>,
+    /// Invalidation counter for response timeouts.
+    pub ack_gen: u64,
+    /// Sequence-number counter.
+    pub seq: SequenceCounter,
+    /// Next beacon target time (APs).
+    pub beacon_target: Nanos,
+    /// First activity instant.
+    pub active_from: Nanos,
+    /// Departure instant, if any.
+    pub active_until: Option<Nanos>,
+}
+
+impl Station {
+    /// Instantiates runtime state from a configuration, deriving the
+    /// station's RNG stream from the scenario seed and its index.
+    pub fn new(cfg: StationConfig, seed: u64, index: usize) -> Self {
+        let cw = cfg.behavior.cw_min;
+        Station {
+            addr: cfg.addr,
+            bssid: cfg.bssid,
+            role: cfg.role,
+            behavior: cfg.behavior,
+            rate_ctrl: cfg.rate_controller,
+            link: cfg.link,
+            sources: cfg.sources,
+            encryption_overhead: cfg.encryption_overhead,
+            mgmt_rate: cfg.mgmt_rate,
+            broadcast_rate: cfg.broadcast_rate,
+            rng: SimRng::derive(seed, 0x5747_0000 + index as u64),
+            queue: VecDeque::new(),
+            cw,
+            retries: 0,
+            backoff_remaining: None,
+            attempt_gen: 0,
+            attempt_difs_end: Nanos::ZERO,
+            attempt_at: Nanos::ZERO,
+            contend: ContendState::Idle,
+            awaiting: None,
+            ack_gen: 0,
+            seq: SequenceCounter::new(),
+            beacon_target: Nanos::ZERO,
+            active_from: cfg.active_from,
+            active_until: cfg.active_until,
+        }
+    }
+
+    /// `true` if the station is an AP.
+    pub fn is_ap(&self) -> bool {
+        matches!(self.role, Role::Ap { .. })
+    }
+
+    /// `true` if the station participates at time `now`.
+    pub fn is_active(&self, now: Nanos) -> bool {
+        now >= self.active_from && self.active_until.is_none_or(|u| now < u)
+    }
+
+    /// Converts an MSDU from a traffic source into a queued frame job.
+    pub fn enqueue_msdu(&mut self, msdu: Msdu) {
+        let job = match msdu.kind {
+            MsduKind::Data => FrameJob::Data { payload: msdu.payload, dest: msdu.dest },
+            MsduKind::Null { power_save } => FrameJob::Null { power_save },
+            MsduKind::ProbeReq => FrameJob::ProbeReq { payload: msdu.payload },
+        };
+        self.queue.push_back(QueuedFrame { job, retry: false });
+    }
+
+    /// `true` when the station has something to send and is not
+    /// mid-exchange.
+    pub fn wants_medium(&self) -> bool {
+        self.awaiting.is_none() && !self.queue.is_empty()
+    }
+
+    /// The on-air size in bytes of the head frame.
+    pub fn head_wire_size(&self, job: &FrameJob) -> usize {
+        match job {
+            FrameJob::Data { payload, .. } => payload + self.encryption_overhead + DATA_OVERHEAD,
+            FrameJob::Null { .. } => NULL_FRAME_SIZE,
+            FrameJob::ProbeReq { payload }
+            | FrameJob::ProbeResp { payload, .. }
+            | FrameJob::Beacon { payload } => payload + MGMT_OVERHEAD,
+        }
+    }
+
+    /// The PHY rate the head frame would use.
+    ///
+    /// Clients send group-addressed data uplink through the AP as a
+    /// unicast transfer, so only APs (which put group frames directly on
+    /// air) use the broadcast basic rate for them.
+    pub fn head_rate(&self, job: &FrameJob) -> Rate {
+        match job {
+            FrameJob::Data { dest: Destination::Group(_), .. } if self.is_ap() => {
+                self.broadcast_rate
+            }
+            FrameJob::Data { .. } => self.rate_ctrl.current_rate(),
+            FrameJob::Null { .. } => {
+                if self.behavior.null_frames_at_basic_rate {
+                    self.broadcast_rate
+                } else {
+                    self.rate_ctrl.current_rate()
+                }
+            }
+            FrameJob::ProbeReq { .. } | FrameJob::ProbeResp { .. } | FrameJob::Beacon { .. } => {
+                self.mgmt_rate
+            }
+        }
+    }
+
+    /// Resets contention state after a delivered (or dropped) frame.
+    pub fn reset_contention(&mut self) {
+        self.retries = 0;
+        self.cw = self.behavior.cw_min;
+        self.backoff_remaining = None;
+    }
+}
+
+/// The PHY parameters a device uses to transmit at `rate`.
+pub fn phy_for(rate: Rate, short_preamble: bool) -> PhyTx {
+    match rate.modulation() {
+        wifiprint_ieee80211::Modulation::Ofdm => PhyTx::erp_ofdm(rate),
+        wifiprint_ieee80211::Modulation::Dsss => {
+            if short_preamble {
+                PhyTx::dsss_short(rate)
+            } else {
+                PhyTx::dsss_long(rate)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phy::LinkQuality;
+
+    fn station() -> Station {
+        let cfg = StationConfig::client(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            LinkQuality::static_link(30.0),
+        );
+        Station::new(cfg, 7, 0)
+    }
+
+    #[test]
+    fn activity_window() {
+        let mut s = station();
+        s.active_from = Nanos::from_secs(10);
+        s.active_until = Some(Nanos::from_secs(20));
+        assert!(!s.is_active(Nanos::from_secs(5)));
+        assert!(s.is_active(Nanos::from_secs(15)));
+        assert!(!s.is_active(Nanos::from_secs(20)));
+        s.active_until = None;
+        assert!(s.is_active(Nanos::from_secs(1_000_000)));
+    }
+
+    #[test]
+    fn enqueue_maps_msdu_kinds() {
+        let mut s = station();
+        s.enqueue_msdu(Msdu::uplink(100));
+        s.enqueue_msdu(Msdu { payload: 0, dest: Destination::Ap, kind: MsduKind::Null { power_save: true } });
+        s.enqueue_msdu(Msdu {
+            payload: 60,
+            dest: Destination::Group(MacAddr::BROADCAST),
+            kind: MsduKind::ProbeReq,
+        });
+        assert_eq!(s.queue.len(), 3);
+        assert!(matches!(s.queue[0].job, FrameJob::Data { payload: 100, .. }));
+        assert!(matches!(s.queue[1].job, FrameJob::Null { power_save: true }));
+        assert!(matches!(s.queue[2].job, FrameJob::ProbeReq { payload: 60 }));
+        assert!(s.wants_medium());
+    }
+
+    #[test]
+    fn wire_sizes_include_overheads() {
+        let mut s = station();
+        s.encryption_overhead = 16;
+        assert_eq!(
+            s.head_wire_size(&FrameJob::Data { payload: 1000, dest: Destination::Ap }),
+            1000 + 16 + DATA_OVERHEAD
+        );
+        assert_eq!(s.head_wire_size(&FrameJob::Null { power_save: true }), NULL_FRAME_SIZE);
+        assert_eq!(s.head_wire_size(&FrameJob::ProbeReq { payload: 62 }), 62 + MGMT_OVERHEAD);
+    }
+
+    #[test]
+    fn head_rate_respects_frame_class() {
+        let mut s = station();
+        // Unicast data at the controller's rate.
+        assert_eq!(
+            s.head_rate(&FrameJob::Data { payload: 1, dest: Destination::Ap }),
+            Rate::R54M
+        );
+        // Client group-addressed data goes uplink as unicast: normal rate.
+        assert_eq!(
+            s.head_rate(&FrameJob::Data {
+                payload: 1,
+                dest: Destination::Group(MacAddr::BROADCAST)
+            }),
+            Rate::R54M
+        );
+        // APs put group frames directly on air at the broadcast rate.
+        s.role = Role::Ap { beacon_payload: 90 };
+        assert_eq!(
+            s.head_rate(&FrameJob::Data {
+                payload: 1,
+                dest: Destination::Group(MacAddr::BROADCAST)
+            }),
+            Rate::R1M
+        );
+        s.role = Role::Client;
+        // Management at the management rate.
+        assert_eq!(s.head_rate(&FrameJob::ProbeReq { payload: 1 }), Rate::R1M);
+        // Null frames: controller rate unless the card forces basic.
+        assert_eq!(s.head_rate(&FrameJob::Null { power_save: true }), Rate::R54M);
+        s.behavior.null_frames_at_basic_rate = true;
+        assert_eq!(s.head_rate(&FrameJob::Null { power_save: true }), Rate::R1M);
+    }
+
+    #[test]
+    fn reset_contention_restores_cw() {
+        let mut s = station();
+        s.cw = 255;
+        s.retries = 4;
+        s.backoff_remaining = Some(Nanos::from_micros(60));
+        s.reset_contention();
+        assert_eq!(s.cw, s.behavior.cw_min);
+        assert_eq!(s.retries, 0);
+        assert_eq!(s.backoff_remaining, None);
+    }
+
+    #[test]
+    fn phy_for_selects_preamble() {
+        assert_eq!(phy_for(Rate::R54M, false), PhyTx::erp_ofdm(Rate::R54M));
+        assert_eq!(phy_for(Rate::R11M, false), PhyTx::dsss_long(Rate::R11M));
+        assert_eq!(phy_for(Rate::R11M, true), PhyTx::dsss_short(Rate::R11M));
+        // Preamble flag is irrelevant for OFDM.
+        assert_eq!(phy_for(Rate::R24M, true), PhyTx::erp_ofdm(Rate::R24M));
+    }
+
+    #[test]
+    fn rng_streams_differ_per_station() {
+        let cfg1 = StationConfig::client(
+            MacAddr::from_index(1),
+            MacAddr::from_index(9),
+            LinkQuality::static_link(30.0),
+        );
+        let cfg2 = StationConfig::client(
+            MacAddr::from_index(2),
+            MacAddr::from_index(9),
+            LinkQuality::static_link(30.0),
+        );
+        let mut s1 = Station::new(cfg1, 7, 0);
+        let mut s2 = Station::new(cfg2, 7, 1);
+        let a: Vec<u64> = (0..5).map(|_| s1.rng.below(1_000_000)).collect();
+        let b: Vec<u64> = (0..5).map(|_| s2.rng.below(1_000_000)).collect();
+        assert_ne!(a, b);
+    }
+}

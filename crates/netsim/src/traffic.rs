@@ -1,0 +1,559 @@
+//! Traffic sources: the application- and OS-level behaviour that drives a
+//! station's transmissions.
+//!
+//! §VI-C of the paper shows that the *services* running on a device (SSDP,
+//! LLMNR, IGMPv3, …) shape its broadcast traffic and therefore its
+//! inter-arrival histogram; applications shape the bulk of the data
+//! traffic. Sources are composed per device by the `wifiprint-devices`
+//! crate.
+
+use core::fmt;
+
+use wifiprint_ieee80211::{MacAddr, Nanos};
+
+use crate::rng::SimRng;
+
+/// What a generated MSDU is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsduKind {
+    /// Ordinary data payload.
+    Data,
+    /// Null-function frame; the flag is the new power-save state.
+    Null {
+        /// Power-management bit value.
+        power_save: bool,
+    },
+    /// Probe request (management, broadcast, not acknowledged).
+    ProbeReq,
+}
+
+/// Where an MSDU is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Destination {
+    /// Unicast through the AP (uplink).
+    Ap,
+    /// Group-addressed (broadcast/multicast): sent uplink ToDS, relayed by
+    /// the AP.
+    Group(MacAddr),
+    /// Unicast to a specific station (downlink; AP sources only).
+    Station(MacAddr),
+}
+
+/// One MSDU handed to the MAC queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Msdu {
+    /// Payload length in bytes **before** MAC header / encryption
+    /// overhead.
+    pub payload: usize,
+    /// Destination.
+    pub dest: Destination,
+    /// Payload semantics.
+    pub kind: MsduKind,
+}
+
+impl Msdu {
+    /// A data MSDU to the AP.
+    pub fn uplink(payload: usize) -> Self {
+        Msdu { payload, dest: Destination::Ap, kind: MsduKind::Data }
+    }
+
+    /// A broadcast data MSDU.
+    pub fn broadcast(payload: usize) -> Self {
+        Msdu { payload, dest: Destination::Group(MacAddr::BROADCAST), kind: MsduKind::Data }
+    }
+}
+
+/// What a source produces when polled: zero or more MSDUs now, and the
+/// delay until it should be polled again (`None` stops the source).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Emission {
+    /// MSDUs to enqueue immediately.
+    pub msdus: Vec<Msdu>,
+    /// Delay until the next poll.
+    pub next_in: Option<Nanos>,
+}
+
+/// A generator of MSDUs over time.
+///
+/// The simulator polls each source once at its start time and then at each
+/// returned `next_in` delay. Implementations must be deterministic given
+/// the same RNG stream.
+pub trait TrafficSource: fmt::Debug + Send {
+    /// Produces the MSDUs for this poll instant.
+    fn poll(&mut self, now: Nanos, rng: &mut SimRng) -> Emission;
+
+    /// Delay before the first poll (defaults to an immediate start).
+    fn initial_delay(&self, rng: &mut SimRng) -> Nanos {
+        let _ = rng;
+        Nanos::ZERO
+    }
+}
+
+/// Constant-bit-rate traffic (the paper's `iperf` UDP streams): a fixed
+/// payload every `interval`, with optional jitter.
+#[derive(Debug, Clone)]
+pub struct CbrSource {
+    /// Inter-packet interval.
+    pub interval: Nanos,
+    /// Payload bytes per packet.
+    pub payload: usize,
+    /// Uniform jitter applied to each interval (± half of this).
+    pub jitter: Nanos,
+    /// Destination of the stream.
+    pub dest: Destination,
+    /// Stop after this many packets (`None` = unbounded).
+    pub limit: Option<u64>,
+    sent: u64,
+}
+
+impl CbrSource {
+    /// A CBR stream to the AP.
+    pub fn new(interval: Nanos, payload: usize) -> Self {
+        CbrSource {
+            interval,
+            payload,
+            jitter: Nanos::ZERO,
+            dest: Destination::Ap,
+            limit: None,
+            sent: 0,
+        }
+    }
+}
+
+impl TrafficSource for CbrSource {
+    fn poll(&mut self, _now: Nanos, rng: &mut SimRng) -> Emission {
+        self.sent += 1;
+        let done = self.limit.is_some_and(|l| self.sent >= l);
+        let jitter = if self.jitter.is_zero() {
+            Nanos::ZERO
+        } else {
+            Nanos::from_nanos(rng.below(self.jitter.as_nanos()))
+        };
+        let next = self.interval.saturating_sub(self.jitter / 2) + jitter;
+        Emission {
+            msdus: vec![Msdu { payload: self.payload, dest: self.dest, kind: MsduKind::Data }],
+            next_in: (!done).then_some(next),
+        }
+    }
+
+    fn initial_delay(&self, rng: &mut SimRng) -> Nanos {
+        Nanos::from_nanos(rng.below(self.interval.as_nanos().max(1)))
+    }
+}
+
+/// Poisson packet arrivals with a size distribution — background unicast
+/// traffic (web, ssh, chat).
+#[derive(Debug, Clone)]
+pub struct PoissonSource {
+    /// Mean inter-arrival time.
+    pub mean_interval: Nanos,
+    /// Candidate payload sizes.
+    pub sizes: Vec<usize>,
+    /// Weights over `sizes`.
+    pub size_weights: Vec<f64>,
+    /// Uniform per-frame size noise (± half of this), so histograms are
+    /// realistic plateaus rather than razor-sharp spikes.
+    pub size_noise: usize,
+    /// Probability that an arrival is a short packet train instead of a
+    /// single frame (request/response exchanges queue back to back).
+    pub train_p: f64,
+    /// Mean length of a "session": every session the size mixture is
+    /// re-modulated (the user switches activities), so detection windows
+    /// see varying size distributions — the non-stationarity that keeps
+    /// frame sizes from becoming a unique identifier.
+    pub session_every: Nanos,
+    session_factors: Vec<f64>,
+    next_session_at: Nanos,
+}
+
+impl PoissonSource {
+    /// A background source with typical noise, train and session settings.
+    pub fn new(mean_interval: Nanos, sizes: Vec<usize>, size_weights: Vec<f64>) -> Self {
+        let n = sizes.len();
+        PoissonSource {
+            mean_interval,
+            sizes,
+            size_weights,
+            size_noise: 96,
+            train_p: 0.3,
+            session_every: Nanos::from_secs(480),
+            session_factors: vec![1.0; n],
+            next_session_at: Nanos::ZERO,
+        }
+    }
+
+    fn draw_size(&self, rng: &mut SimRng) -> usize {
+        let weights: Vec<f64> = self
+            .size_weights
+            .iter()
+            .zip(&self.session_factors)
+            .map(|(w, f)| w * f)
+            .collect();
+        let base = self.sizes[rng.pick_weighted(&weights)];
+        if self.size_noise == 0 {
+            base
+        } else {
+            let noise = rng.below(self.size_noise as u64 + 1) as i64 - self.size_noise as i64 / 2;
+            (base as i64 + noise).max(20) as usize
+        }
+    }
+
+    fn maybe_roll_session(&mut self, now: Nanos, rng: &mut SimRng) {
+        if self.session_every.is_zero() || now < self.next_session_at {
+            return;
+        }
+        for f in &mut self.session_factors {
+            *f = rng.gaussian(0.0, 0.9).exp();
+        }
+        let gap = rng.exponential(self.session_every.as_nanos() as f64).max(1.0) as u64;
+        self.next_session_at = now + Nanos::from_nanos(gap);
+    }
+}
+
+impl TrafficSource for PoissonSource {
+    fn poll(&mut self, now: Nanos, rng: &mut SimRng) -> Emission {
+        self.maybe_roll_session(now, rng);
+        let count = if rng.chance(self.train_p) { 2 + rng.below(3) } else { 1 };
+        let msdus = (0..count).map(|_| Msdu::uplink(self.draw_size(rng))).collect();
+        let delay = rng.exponential(self.mean_interval.as_nanos() as f64);
+        Emission { msdus, next_in: Some(Nanos::from_nanos(delay.max(1.0) as u64)) }
+    }
+
+    fn initial_delay(&self, rng: &mut SimRng) -> Nanos {
+        Nanos::from_nanos(rng.below(self.mean_interval.as_nanos().max(1)))
+    }
+}
+
+/// On/off bursty traffic (web browsing): Pareto-ish on-periods of packet
+/// bursts separated by idle thinking time.
+#[derive(Debug, Clone)]
+pub struct OnOffSource {
+    /// Mean packets per burst.
+    pub burst_packets: f64,
+    /// Payload per packet.
+    pub payload: usize,
+    /// Uniform per-frame payload noise (± half of this).
+    pub payload_noise: usize,
+    /// Gap between packets inside a burst.
+    pub intra_gap: Nanos,
+    /// Mean off (thinking) time between bursts.
+    pub mean_off: Nanos,
+    in_burst_remaining: u32,
+    burst_payload: usize,
+}
+
+impl OnOffSource {
+    /// A browsing-like source.
+    pub fn new(burst_packets: f64, payload: usize, intra_gap: Nanos, mean_off: Nanos) -> Self {
+        OnOffSource {
+            burst_packets,
+            payload,
+            payload_noise: 120,
+            intra_gap,
+            mean_off,
+            in_burst_remaining: 0,
+            burst_payload: payload,
+        }
+    }
+}
+
+impl TrafficSource for OnOffSource {
+    fn poll(&mut self, _now: Nanos, rng: &mut SimRng) -> Emission {
+        if self.in_burst_remaining == 0 {
+            // Start a new burst: heavy-tailed with mean `burst_packets`
+            // (the Pareto scale is normalised so E[X] = 1). Each burst is
+            // a different transfer: re-centre the payload around the
+            // device's preference.
+            const SHAPE: f64 = 1.3;
+            let unit_mean = rng.pareto((SHAPE - 1.0) / SHAPE, SHAPE);
+            self.in_burst_remaining =
+                (unit_mean * self.burst_packets).clamp(1.0, 500.0) as u32;
+            if self.payload_noise > 0 {
+                let shift = rng.below(2 * self.payload_noise as u64 + 1) as i64
+                    - self.payload_noise as i64;
+                self.burst_payload = (self.payload as i64 + 2 * shift).max(60) as usize;
+            } else {
+                self.burst_payload = self.payload;
+            }
+        }
+        self.in_burst_remaining -= 1;
+        let next = if self.in_burst_remaining > 0 {
+            self.intra_gap
+        } else {
+            Nanos::from_nanos(rng.exponential(self.mean_off.as_nanos() as f64).max(1.0) as u64)
+        };
+        let payload = if self.payload_noise == 0 {
+            self.burst_payload
+        } else {
+            let noise =
+                rng.below(self.payload_noise as u64 + 1) as i64 - self.payload_noise as i64 / 2;
+            (self.burst_payload as i64 + noise).max(20) as usize
+        };
+        Emission { msdus: vec![Msdu::uplink(payload)], next_in: Some(next) }
+    }
+
+    fn initial_delay(&self, rng: &mut SimRng) -> Nanos {
+        Nanos::from_nanos(rng.below(self.mean_off.as_nanos().max(1)))
+    }
+}
+
+/// A periodic broadcast service (SSDP, mDNS, LLMNR, IGMPv3, ARP, …):
+/// a burst of group-addressed frames of characteristic sizes every period.
+#[derive(Debug, Clone)]
+pub struct PeriodicBroadcast {
+    /// Service period.
+    pub period: Nanos,
+    /// Uniform jitter on the period.
+    pub jitter: Nanos,
+    /// Frame payload sizes emitted per period (one MSDU each).
+    pub payloads: Vec<usize>,
+    /// Multicast/broadcast group address.
+    pub group: MacAddr,
+}
+
+impl TrafficSource for PeriodicBroadcast {
+    fn poll(&mut self, _now: Nanos, rng: &mut SimRng) -> Emission {
+        let msdus = self
+            .payloads
+            .iter()
+            .map(|&p| Msdu { payload: p, dest: Destination::Group(self.group), kind: MsduKind::Data })
+            .collect();
+        let jitter = if self.jitter.is_zero() {
+            Nanos::ZERO
+        } else {
+            Nanos::from_nanos(rng.below(self.jitter.as_nanos()))
+        };
+        Emission { msdus, next_in: Some(self.period.saturating_sub(self.jitter / 2) + jitter) }
+    }
+
+    fn initial_delay(&self, rng: &mut SimRng) -> Nanos {
+        Nanos::from_nanos(rng.below(self.period.as_nanos().max(1)))
+    }
+}
+
+/// Driver probe-request scanning: bursts of `burst` probe requests with a
+/// small intra-burst gap, repeated every `period` (Franklin et al.'s
+/// driver-specific cadence).
+#[derive(Debug, Clone)]
+pub struct ProbeScanner {
+    /// Scan period.
+    pub period: Nanos,
+    /// Probes per scan burst.
+    pub burst: u32,
+    /// Management payload size (SSID + rates elements).
+    pub payload: usize,
+    /// Uniform jitter on the period.
+    pub jitter: Nanos,
+}
+
+impl TrafficSource for ProbeScanner {
+    fn poll(&mut self, _now: Nanos, rng: &mut SimRng) -> Emission {
+        let msdus = (0..self.burst.max(1))
+            .map(|_| Msdu {
+                payload: self.payload,
+                dest: Destination::Group(MacAddr::BROADCAST),
+                kind: MsduKind::ProbeReq,
+            })
+            .collect();
+        let jitter = if self.jitter.is_zero() {
+            Nanos::ZERO
+        } else {
+            Nanos::from_nanos(rng.below(self.jitter.as_nanos()))
+        };
+        Emission { msdus, next_in: Some(self.period.saturating_sub(self.jitter / 2) + jitter) }
+    }
+
+    fn initial_delay(&self, rng: &mut SimRng) -> Nanos {
+        Nanos::from_nanos(rng.below(self.period.as_nanos().max(1)))
+    }
+}
+
+/// Power-save signalling: alternating null-function frames entering and
+/// leaving doze (Fig. 8's "Data null function" traffic).
+#[derive(Debug, Clone)]
+pub struct PowerSaveNulls {
+    /// Time spent awake before dozing.
+    pub awake: Nanos,
+    /// Time spent dozing before waking.
+    pub doze: Nanos,
+    /// Uniform jitter applied to both periods.
+    pub jitter: Nanos,
+    asleep: bool,
+}
+
+impl PowerSaveNulls {
+    /// A power-save cycle with the given awake/doze durations.
+    pub fn new(awake: Nanos, doze: Nanos, jitter: Nanos) -> Self {
+        PowerSaveNulls { awake, doze, jitter, asleep: false }
+    }
+}
+
+impl TrafficSource for PowerSaveNulls {
+    fn poll(&mut self, _now: Nanos, rng: &mut SimRng) -> Emission {
+        self.asleep = !self.asleep;
+        let base = if self.asleep { self.doze } else { self.awake };
+        let jitter = if self.jitter.is_zero() {
+            Nanos::ZERO
+        } else {
+            Nanos::from_nanos(rng.below(self.jitter.as_nanos()))
+        };
+        Emission {
+            msdus: vec![Msdu {
+                payload: 0,
+                dest: Destination::Ap,
+                kind: MsduKind::Null { power_save: self.asleep },
+            }],
+            next_in: Some(base.saturating_sub(self.jitter / 2) + jitter),
+        }
+    }
+
+    fn initial_delay(&self, rng: &mut SimRng) -> Nanos {
+        Nanos::from_nanos(rng.below(self.awake.as_nanos().max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::root(5)
+    }
+
+    /// Drives a source for `polls` rounds, returning (msdus, intervals).
+    fn drive(src: &mut dyn TrafficSource, polls: usize) -> (Vec<Msdu>, Vec<Nanos>) {
+        let mut r = rng();
+        let mut msdus = Vec::new();
+        let mut gaps = Vec::new();
+        let mut now = src.initial_delay(&mut r);
+        for _ in 0..polls {
+            let e = src.poll(now, &mut r);
+            msdus.extend(e.msdus);
+            match e.next_in {
+                Some(d) => {
+                    gaps.push(d);
+                    now += d;
+                }
+                None => break,
+            }
+        }
+        (msdus, gaps)
+    }
+
+    #[test]
+    fn cbr_emits_fixed_interval_and_respects_limit() {
+        let mut src = CbrSource::new(Nanos::from_millis(10), 1470);
+        src.limit = Some(5);
+        let (msdus, gaps) = drive(&mut src, 100);
+        assert_eq!(msdus.len(), 5);
+        assert_eq!(gaps.len(), 4);
+        assert!(gaps.iter().all(|&g| g == Nanos::from_millis(10)));
+        assert!(msdus.iter().all(|m| m.payload == 1470 && m.dest == Destination::Ap));
+    }
+
+    #[test]
+    fn cbr_jitter_varies_interval() {
+        let mut src = CbrSource::new(Nanos::from_millis(10), 100);
+        src.jitter = Nanos::from_millis(2);
+        let (_, gaps) = drive(&mut src, 50);
+        assert!(gaps.iter().any(|&g| g != gaps[0]));
+        for &g in &gaps {
+            assert!(g >= Nanos::from_millis(9) && g <= Nanos::from_millis(11), "{g}");
+        }
+    }
+
+    #[test]
+    fn poisson_draws_sizes_from_distribution() {
+        let mut src = PoissonSource::new(
+            Nanos::from_millis(5),
+            vec![100, 1400],
+            vec![9.0, 1.0],
+        );
+        src.size_noise = 0;
+        src.train_p = 0.0;
+        src.session_every = Nanos::ZERO;
+        let (msdus, gaps) = drive(&mut src, 2000);
+        let small = msdus.iter().filter(|m| m.payload == 100).count();
+        assert!(small > 1600, "small = {small}");
+        let mean_gap =
+            gaps.iter().map(|g| g.as_nanos()).sum::<u64>() as f64 / gaps.len() as f64;
+        assert!((mean_gap / 5e6 - 1.0).abs() < 0.15, "mean gap = {mean_gap}");
+    }
+
+    #[test]
+    fn onoff_bursts_then_idles() {
+        let mut src = OnOffSource::new(
+            5.0,
+            600,
+            Nanos::from_micros(500),
+            Nanos::from_secs(2),
+        );
+        let (_, gaps) = drive(&mut src, 500);
+        let intra = gaps.iter().filter(|&&g| g == Nanos::from_micros(500)).count();
+        let idle = gaps.iter().filter(|&&g| g > Nanos::from_millis(100)).count();
+        assert!(intra > 100, "intra = {intra}");
+        assert!(idle > 10, "idle = {idle}");
+    }
+
+    #[test]
+    fn broadcast_service_emits_all_payloads_to_group() {
+        let group = MacAddr::new([0x01, 0x00, 0x5e, 0, 0, 0xfb]);
+        let mut src = PeriodicBroadcast {
+            period: Nanos::from_secs(30),
+            jitter: Nanos::ZERO,
+            payloads: vec![170, 230],
+            group,
+        };
+        let (msdus, gaps) = drive(&mut src, 3);
+        assert_eq!(msdus.len(), 6);
+        assert!(msdus.iter().all(|m| m.dest == Destination::Group(group)));
+        assert!(gaps.iter().all(|&g| g == Nanos::from_secs(30)));
+        assert_eq!(msdus[0].payload, 170);
+        assert_eq!(msdus[1].payload, 230);
+    }
+
+    #[test]
+    fn probe_scanner_bursts() {
+        let mut src = ProbeScanner {
+            period: Nanos::from_secs(60),
+            burst: 3,
+            payload: 60,
+            jitter: Nanos::ZERO,
+        };
+        let (msdus, _) = drive(&mut src, 2);
+        assert_eq!(msdus.len(), 6);
+        assert!(msdus.iter().all(|m| m.kind == MsduKind::ProbeReq));
+        assert!(msdus
+            .iter()
+            .all(|m| m.dest == Destination::Group(MacAddr::BROADCAST)));
+    }
+
+    #[test]
+    fn power_save_alternates() {
+        let mut src =
+            PowerSaveNulls::new(Nanos::from_millis(200), Nanos::from_millis(800), Nanos::ZERO);
+        let (msdus, gaps) = drive(&mut src, 6);
+        let states: Vec<bool> = msdus
+            .iter()
+            .map(|m| match m.kind {
+                MsduKind::Null { power_save } => power_save,
+                _ => panic!("expected null frames"),
+            })
+            .collect();
+        assert_eq!(states, vec![true, false, true, false, true, false]);
+        // After entering doze the next event comes after the doze period.
+        assert_eq!(gaps[0], Nanos::from_millis(800));
+        assert_eq!(gaps[1], Nanos::from_millis(200));
+    }
+
+    #[test]
+    fn initial_delays_randomise_phase() {
+        let src = CbrSource::new(Nanos::from_millis(10), 100);
+        let mut r1 = SimRng::derive(1, 1);
+        let mut r2 = SimRng::derive(1, 2);
+        let d1 = src.initial_delay(&mut r1);
+        let d2 = src.initial_delay(&mut r2);
+        assert!(d1 < Nanos::from_millis(10));
+        assert_ne!(d1, d2);
+    }
+}

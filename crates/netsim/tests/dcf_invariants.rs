@@ -1,0 +1,397 @@
+//! Integration tests: the simulator's captures must satisfy 802.11 DCF
+//! timing invariants and be deterministic under seeding.
+
+use wifiprint_ieee80211::timing::SIFS;
+use wifiprint_ieee80211::{FrameKind, MacAddr, Nanos, Rate};
+use wifiprint_netsim::{
+    Arf, BackoffQuirk, CbrSource, LinkQuality, MobilityModel, PowerSaveNulls, ProbeScanner,
+    SimConfig, Simulator, StationConfig,
+};
+use wifiprint_radiotap::CapturedFrame;
+
+fn ap_addr() -> MacAddr {
+    MacAddr::from_index(0xFF00)
+}
+
+fn base_sim(seed: u64, secs: u64) -> Simulator {
+    let mut sim = Simulator::new(SimConfig {
+        seed,
+        duration: Nanos::from_secs(secs),
+        monitor_loss: 0.0,
+        ..SimConfig::default()
+    });
+    let mut ap = StationConfig::ap(ap_addr(), LinkQuality::static_link(40.0));
+    ap.behavior.sifs_jitter = Nanos::from_nanos(300);
+    sim.add_station(ap);
+    sim
+}
+
+fn cbr_client(i: u64, interval_ms: u64, payload: usize) -> StationConfig {
+    let mut c = StationConfig::client(
+        MacAddr::from_index(i),
+        ap_addr(),
+        LinkQuality::static_link(35.0),
+    );
+    c.sources.push(Box::new(CbrSource::new(Nanos::from_millis(interval_ms), payload)));
+    c
+}
+
+fn run(sim: &mut Simulator) -> Vec<CapturedFrame> {
+    let mut frames = Vec::new();
+    sim.run(&mut |f| frames.push(*f));
+    frames
+}
+
+#[test]
+fn captures_are_in_timestamp_order_and_non_overlapping() {
+    let mut sim = base_sim(1, 10);
+    for i in 1..=5 {
+        sim.add_station(cbr_client(i, 15, 700));
+    }
+    let frames = run(&mut sim);
+    assert!(frames.len() > 500, "got {} frames", frames.len());
+    for pair in frames.windows(2) {
+        assert!(pair[1].t_end > pair[0].t_end, "timestamps must increase");
+        // Captured (non-collided) frames never overlap on the air.
+        assert!(
+            pair[1].t_start() >= pair[0].t_end,
+            "overlap: {} starts before {} ends",
+            pair[1].t_start(),
+            pair[0].t_end
+        );
+    }
+}
+
+#[test]
+fn unicast_data_is_acked_at_sifs() {
+    let mut sim = base_sim(2, 5);
+    sim.add_station(cbr_client(1, 10, 900));
+    let frames = run(&mut sim);
+    let mut acked = 0;
+    let mut checked = 0;
+    for pair in frames.windows(2) {
+        if pair[0].kind == FrameKind::Data && !pair[0].dest_group {
+            if pair[1].kind == FrameKind::Ack {
+                acked += 1;
+                let gap = pair[1].t_start().saturating_sub(pair[0].t_end);
+                // SIFS (10 µs) ± jitter and skew; far below DIFS (50 µs).
+                assert!(
+                    gap >= Nanos::from_micros(7) && gap <= Nanos::from_micros(14),
+                    "ACK gap {gap}"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(acked > 100, "only {acked} ACKed data frames");
+    assert!(checked > 100);
+}
+
+#[test]
+fn contended_frames_wait_at_least_difs() {
+    let mut sim = base_sim(3, 5);
+    sim.add_station(cbr_client(1, 10, 400));
+    let frames = run(&mut sim);
+    // Gaps before *data* frames (which contend) must be >= DIFS (50 µs with
+    // long slots), modulo the early-slot quirk which is off here.
+    let mut checked = 0;
+    for pair in frames.windows(2) {
+        if pair[1].kind == FrameKind::Data && !pair[1].retry {
+            let gap = pair[1].t_start().saturating_sub(pair[0].t_end);
+            assert!(gap >= Nanos::from_micros(49), "pre-data gap {gap} < DIFS");
+            checked += 1;
+        }
+    }
+    assert!(checked > 200, "checked {checked}");
+}
+
+#[test]
+fn backoff_slots_form_a_comb() {
+    // A single saturated sender: gaps between ACK end and next data start
+    // are DIFS + k·20 µs for k in 0..=15. Saturation (interval below the
+    // exchange time) guarantees the queue is never empty at ACK time.
+    let mut sim = base_sim(4, 10);
+    let mut c = StationConfig::client(
+        MacAddr::from_index(1),
+        ap_addr(),
+        LinkQuality::static_link(35.0),
+    );
+    c.sources.push(Box::new(CbrSource::new(Nanos::from_micros(400), 1200)));
+    sim.add_station(c);
+    let frames = run(&mut sim);
+    let mut offsets = Vec::new();
+    for pair in frames.windows(2) {
+        if pair[0].kind == FrameKind::Ack && pair[1].kind == FrameKind::Data && !pair[1].retry {
+            let gap = pair[1].t_start().saturating_sub(pair[0].t_end);
+            let over_difs = gap.saturating_sub(Nanos::from_micros(50));
+            offsets.push(over_difs.as_nanos());
+        }
+    }
+    assert!(offsets.len() > 500, "n = {}", offsets.len());
+    // Each offset is a whole number of 20 µs slots (tolerance 1 µs).
+    let mut slots_seen = std::collections::BTreeSet::new();
+    for &off in &offsets {
+        let slot = (off as f64 / 20_000.0).round() as u64;
+        let rem = off as i64 - (slot * 20_000) as i64;
+        assert!(rem.abs() < 1_000, "offset {off} is not slot-aligned");
+        assert!(slot <= 15, "slot {slot} beyond CWmin");
+        slots_seen.insert(slot);
+    }
+    // The comb should cover most of the 16 slots.
+    assert!(slots_seen.len() >= 12, "only {} distinct slots", slots_seen.len());
+}
+
+#[test]
+fn rts_threshold_triggers_rts_cts_exchange() {
+    let mut sim = base_sim(5, 5);
+    let mut c = cbr_client(1, 10, 1400);
+    c.behavior.rts_threshold = Some(1000);
+    sim.add_station(c);
+    let frames = run(&mut sim);
+    let rts = frames.iter().filter(|f| f.kind == FrameKind::Rts).count();
+    let cts = frames.iter().filter(|f| f.kind == FrameKind::Cts).count();
+    assert!(rts > 100, "rts = {rts}");
+    assert!(cts > 100, "cts = {cts}");
+    // Find an RTS → CTS → Data → ACK sequence with SIFS spacing.
+    let mut full_exchanges = 0;
+    for w in frames.windows(4) {
+        if w[0].kind == FrameKind::Rts
+            && w[1].kind == FrameKind::Cts
+            && w[2].kind == FrameKind::Data
+            && w[3].kind == FrameKind::Ack
+        {
+            full_exchanges += 1;
+            for pair in w.windows(2) {
+                let gap = pair[1].t_start().saturating_sub(pair[0].t_end);
+                assert!(gap <= Nanos::from_micros(14), "intra-exchange gap {gap}");
+            }
+        }
+    }
+    assert!(full_exchanges > 50, "full exchanges = {full_exchanges}");
+    // Small frames below the threshold go without RTS.
+    let mut sim2 = base_sim(5, 5);
+    let mut c2 = cbr_client(1, 10, 400);
+    c2.behavior.rts_threshold = Some(1000);
+    sim2.add_station(c2);
+    let frames2 = run(&mut sim2);
+    assert_eq!(frames2.iter().filter(|f| f.kind == FrameKind::Rts).count(), 0);
+}
+
+#[test]
+fn same_seed_is_bit_identical_different_seed_is_not() {
+    let build = |seed| {
+        let mut sim = base_sim(seed, 3);
+        for i in 1..=3 {
+            sim.add_station(cbr_client(i, 12, 600));
+        }
+        run(&mut sim)
+    };
+    let a = build(7);
+    let b = build(7);
+    let c = build(8);
+    assert_eq!(a, b, "same seed must reproduce the identical capture");
+    assert_ne!(a, c, "different seeds must differ");
+    assert!(!a.is_empty());
+}
+
+#[test]
+fn collisions_occur_under_contention() {
+    let mut sim = base_sim(6, 5);
+    for i in 1..=12 {
+        sim.add_station(cbr_client(i, 3, 900));
+    }
+    let mut count = 0usize;
+    let stats = sim.run(&mut |_f| count += 1);
+    assert!(stats.collisions > 0, "no collisions among 12 saturated stations");
+    assert!(count > 0);
+    // Retries appear in the capture as retry-flagged frames.
+    let mut sim2 = base_sim(6, 5);
+    for i in 1..=12 {
+        sim2.add_station(cbr_client(i, 3, 900));
+    }
+    let frames = run(&mut sim2);
+    assert!(frames.iter().any(|f| f.retry), "expected retry frames");
+}
+
+#[test]
+fn beacons_arrive_near_the_target_interval() {
+    let mut sim = base_sim(7, 5);
+    sim.add_station(cbr_client(1, 50, 300));
+    let frames = run(&mut sim);
+    let beacon_times: Vec<Nanos> = frames
+        .iter()
+        .filter(|f| f.kind == FrameKind::Beacon)
+        .map(|f| f.t_end)
+        .collect();
+    assert!(beacon_times.len() > 40, "beacons = {}", beacon_times.len());
+    for pair in beacon_times.windows(2) {
+        let gap = pair[1] - pair[0];
+        // 102.4 ms nominal; allow contention-induced slack.
+        assert!(
+            gap > Nanos::from_micros(95_000) && gap < Nanos::from_micros(130_000),
+            "beacon gap {gap}"
+        );
+    }
+}
+
+#[test]
+fn probe_requests_draw_probe_responses() {
+    let mut sim = base_sim(8, 20);
+    let mut c = StationConfig::client(
+        MacAddr::from_index(1),
+        ap_addr(),
+        LinkQuality::static_link(30.0),
+    );
+    c.sources.push(Box::new(ProbeScanner {
+        period: Nanos::from_secs(2),
+        burst: 2,
+        payload: 60,
+        jitter: Nanos::from_millis(100),
+    }));
+    sim.add_station(c);
+    let frames = run(&mut sim);
+    let preq = frames.iter().filter(|f| f.kind == FrameKind::ProbeReq).count();
+    let presp = frames.iter().filter(|f| f.kind == FrameKind::ProbeResp).count();
+    assert!(preq >= 16, "probe requests = {preq}");
+    assert!(presp >= 10, "probe responses = {presp}");
+    // Probe requests carry the sender (unlike ACK/CTS) and go to broadcast.
+    let p = frames.iter().find(|f| f.kind == FrameKind::ProbeReq).unwrap();
+    assert_eq!(p.transmitter, Some(MacAddr::from_index(1)));
+    assert!(p.dest_group);
+}
+
+#[test]
+fn power_save_nulls_are_captured_with_sender() {
+    let mut sim = base_sim(9, 30);
+    let mut c = StationConfig::client(
+        MacAddr::from_index(1),
+        ap_addr(),
+        LinkQuality::static_link(35.0),
+    );
+    c.sources.push(Box::new(PowerSaveNulls::new(
+        Nanos::from_millis(300),
+        Nanos::from_millis(700),
+        Nanos::from_millis(50),
+    )));
+    sim.add_station(c);
+    let frames = run(&mut sim);
+    let nulls: Vec<_> =
+        frames.iter().filter(|f| f.kind == FrameKind::NullFunction).collect();
+    assert!(nulls.len() > 30, "nulls = {}", nulls.len());
+    assert!(nulls.iter().all(|f| f.transmitter == Some(MacAddr::from_index(1))));
+}
+
+#[test]
+fn churn_station_goes_quiet_after_departure() {
+    let mut sim = base_sim(10, 10);
+    let mut c = cbr_client(1, 5, 500);
+    c.active_until = Some(Nanos::from_secs(4));
+    sim.add_station(c);
+    let frames = run(&mut sim);
+    let last_data = frames
+        .iter()
+        .filter(|f| f.transmitter == Some(MacAddr::from_index(1)))
+        .map(|f| f.t_end)
+        .max()
+        .unwrap();
+    // Allow the in-flight queue to drain briefly past the departure.
+    assert!(last_data < Nanos::from_secs(5), "device still talking at {last_data}");
+}
+
+#[test]
+fn group_uplink_is_relayed_by_the_ap() {
+    let mut sim = base_sim(11, 5);
+    let mut c = StationConfig::client(
+        MacAddr::from_index(1),
+        ap_addr(),
+        LinkQuality::static_link(35.0),
+    );
+    let mut cbr = CbrSource::new(Nanos::from_millis(50), 200);
+    cbr.dest = wifiprint_netsim::Destination::Group(MacAddr::BROADCAST);
+    c.sources.push(Box::new(cbr));
+    sim.add_station(c);
+    let frames = run(&mut sim);
+    // Uplink copies: ToDS, sender = client, group-destined.
+    let uplink = frames
+        .iter()
+        .filter(|f| f.transmitter == Some(MacAddr::from_index(1)) && f.dest_group)
+        .count();
+    // Relayed copies: sender = AP, receiver = broadcast.
+    let relayed = frames
+        .iter()
+        .filter(|f| {
+            f.transmitter == Some(ap_addr())
+                && f.receiver.is_broadcast()
+                && f.kind == FrameKind::Data
+        })
+        .count();
+    assert!(uplink > 50, "uplink = {uplink}");
+    assert!(relayed > 40, "relayed = {relayed}");
+}
+
+#[test]
+fn early_slot_quirk_shifts_the_comb() {
+    // With the extra-early-slot quirk, some data frames follow the previous
+    // frame after less than DIFS + one slot.
+    let run_quirk = |quirk| {
+        let mut sim = base_sim(12, 10);
+        let mut c = StationConfig::client(
+            MacAddr::from_index(1),
+            ap_addr(),
+            LinkQuality::static_link(35.0),
+        );
+        c.sources.push(Box::new(CbrSource::new(Nanos::from_micros(400), 1200)));
+        c.behavior.backoff = quirk;
+        sim.add_station(c);
+        let frames = run(&mut sim);
+        let mut sub_slot = 0usize;
+        let mut total = 0usize;
+        for pair in frames.windows(2) {
+            if pair[0].kind == FrameKind::Ack && pair[1].kind == FrameKind::Data {
+                let gap = pair[1].t_start().saturating_sub(pair[0].t_end);
+                let over = gap.saturating_sub(Nanos::from_micros(50));
+                total += 1;
+                if over > Nanos::from_micros(2) && over < Nanos::from_micros(18) {
+                    sub_slot += 1;
+                }
+            }
+        }
+        (sub_slot, total)
+    };
+    let (sub_quirky, total_q) =
+        run_quirk(BackoffQuirk::ExtraEarlySlot { p: 0.4, fraction: 0.4 });
+    let (sub_standard, _) = run_quirk(BackoffQuirk::Uniform);
+    assert!(total_q > 300);
+    assert!(
+        sub_quirky > total_q / 5,
+        "early-slot frames {sub_quirky} of {total_q}"
+    );
+    assert_eq!(sub_standard, 0, "standard backoff has no sub-slot gaps");
+}
+
+#[test]
+fn arf_rate_adapts_to_link_quality() {
+    // Marginal link: ARF should spread transmissions over several rates.
+    let mut sim = base_sim(13, 10);
+    let mut c = StationConfig::client(
+        MacAddr::from_index(1),
+        ap_addr(),
+        LinkQuality {
+            snr_ap_db: 17.0,
+            monitor_offset_db: 10.0, // keep the monitor reliable
+            fading_std_db: 2.5,
+            mobility: MobilityModel::Static,
+            update_every: Nanos::from_secs(1),
+        },
+    );
+    c.rate_controller = Box::new(Arf::new(Rate::ALL_G.to_vec(), 8, 2));
+    c.sources.push(Box::new(CbrSource::new(Nanos::from_millis(5), 800)));
+    sim.add_station(c);
+    let frames = run(&mut sim);
+    let rates: std::collections::BTreeSet<Rate> = frames
+        .iter()
+        .filter(|f| f.kind == FrameKind::Data)
+        .map(|f| f.rate)
+        .collect();
+    assert!(rates.len() >= 3, "ARF used only {rates:?}");
+}

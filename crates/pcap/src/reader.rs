@@ -1,0 +1,265 @@
+//! Streaming pcap reader.
+
+use std::io::Read;
+
+use crate::format::{
+    LinkType, PcapError, Record, TsPrecision, MAGIC_MICROS, MAGIC_NANOS, MAX_SANE_INCL_LEN,
+};
+
+/// A streaming reader over a classic pcap file.
+///
+/// Handles both byte orders and both timestamp precisions transparently;
+/// records always surface nanosecond fractions via [`Record::ts_nanos`].
+///
+/// # Example
+///
+/// ```
+/// use wifiprint_pcap::{LinkType, Reader, Record, Writer};
+///
+/// # fn main() -> Result<(), wifiprint_pcap::PcapError> {
+/// let mut buf = Vec::new();
+/// let mut w = Writer::new(&mut buf, LinkType::Ieee80211)?;
+/// w.write_record(&Record::new(7, 0, vec![0xAA]))?;
+///
+/// let mut r = Reader::new(&buf[..])?;
+/// let mut count = 0;
+/// while let Some(_rec) = r.next_record()? {
+///     count += 1;
+/// }
+/// assert_eq!(count, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Reader<R> {
+    inner: R,
+    link_type: LinkType,
+    precision: TsPrecision,
+    swapped: bool,
+    snaplen: u32,
+}
+
+impl<R: Read> Reader<R> {
+    /// Reads and validates the 24-byte global header.
+    ///
+    /// # Errors
+    ///
+    /// [`PcapError::BadMagic`] if the magic number is unknown,
+    /// [`PcapError::TruncatedFile`] if the header is incomplete, or an I/O
+    /// error from the underlying reader.
+    pub fn new(mut inner: R) -> Result<Self, PcapError> {
+        let mut header = [0u8; 24];
+        read_exact_or_truncated(&mut inner, &mut header, true)?
+            .ok_or(PcapError::TruncatedFile)?;
+        let magic_raw = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+        let (precision, swapped) = match magic_raw {
+            MAGIC_MICROS => (TsPrecision::Micros, false),
+            MAGIC_NANOS => (TsPrecision::Nanos, false),
+            m if m.swap_bytes() == MAGIC_MICROS => (TsPrecision::Micros, true),
+            m if m.swap_bytes() == MAGIC_NANOS => (TsPrecision::Nanos, true),
+            m => return Err(PcapError::BadMagic(m)),
+        };
+        let u32_at = |buf: &[u8; 24], off: usize| {
+            let v = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"));
+            if swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let snaplen = u32_at(&header, 16);
+        let network = u32_at(&header, 20);
+        Ok(Reader {
+            inner,
+            link_type: LinkType::from_raw(network),
+            precision,
+            swapped,
+            snaplen,
+        })
+    }
+
+    /// The file's data-link type.
+    pub fn link_type(&self) -> LinkType {
+        self.link_type
+    }
+
+    /// The file's declared snapshot length.
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    /// The file's timestamp precision.
+    pub fn precision(&self) -> TsPrecision {
+        self.precision
+    }
+
+    /// `true` if the file was written in the opposite byte order.
+    pub fn is_swapped(&self) -> bool {
+        self.swapped
+    }
+
+    /// Reads the next record; `Ok(None)` signals a clean end of file.
+    ///
+    /// # Errors
+    ///
+    /// [`PcapError::TruncatedFile`] if the stream ends inside a record,
+    /// [`PcapError::OversizedRecord`] for implausible capture lengths, or
+    /// an I/O error.
+    pub fn next_record(&mut self) -> Result<Option<Record>, PcapError> {
+        let mut header = [0u8; 16];
+        match read_exact_or_truncated(&mut self.inner, &mut header, true)? {
+            None => return Ok(None),
+            Some(()) => {}
+        }
+        let field = |off: usize| {
+            let v = u32::from_le_bytes(header[off..off + 4].try_into().expect("4 bytes"));
+            if self.swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let ts_sec = field(0);
+        let ts_frac = field(4);
+        let incl_len = field(8);
+        let orig_len = field(12);
+        if incl_len > MAX_SANE_INCL_LEN {
+            return Err(PcapError::OversizedRecord { incl_len });
+        }
+        let mut data = vec![0u8; incl_len as usize];
+        read_exact_or_truncated(&mut self.inner, &mut data, false)?
+            .ok_or(PcapError::TruncatedFile)?;
+        let ts_nanos = match self.precision {
+            TsPrecision::Micros => ts_frac.saturating_mul(1000),
+            TsPrecision::Nanos => ts_frac,
+        };
+        Ok(Some(Record { ts_sec, ts_nanos, orig_len, data }))
+    }
+
+    /// Consumes the reader, returning the underlying stream.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Iterator for Reader<R> {
+    type Item = Result<Record, PcapError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+/// Reads exactly `buf.len()` bytes. Returns `Ok(None)` on clean EOF at the
+/// first byte when `eof_ok_at_start`; `Err(TruncatedFile)` on EOF later.
+fn read_exact_or_truncated<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8],
+    eof_ok_at_start: bool,
+) -> Result<Option<()>, PcapError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && eof_ok_at_start {
+                    Ok(None)
+                } else {
+                    Err(PcapError::TruncatedFile)
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(PcapError::Io(e)),
+        }
+    }
+    Ok(Some(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a big-endian µs-precision file by hand.
+    fn big_endian_file() -> Vec<u8> {
+        let mut f = Vec::new();
+        f.extend_from_slice(&MAGIC_MICROS.to_be_bytes());
+        f.extend_from_slice(&2u16.to_be_bytes()); // major
+        f.extend_from_slice(&4u16.to_be_bytes()); // minor
+        f.extend_from_slice(&0u32.to_be_bytes()); // thiszone
+        f.extend_from_slice(&0u32.to_be_bytes()); // sigfigs
+        f.extend_from_slice(&65535u32.to_be_bytes()); // snaplen
+        f.extend_from_slice(&105u32.to_be_bytes()); // network
+        // one record
+        f.extend_from_slice(&100u32.to_be_bytes()); // ts_sec
+        f.extend_from_slice(&7u32.to_be_bytes()); // ts_usec
+        f.extend_from_slice(&3u32.to_be_bytes()); // incl_len
+        f.extend_from_slice(&3u32.to_be_bytes()); // orig_len
+        f.extend_from_slice(&[0xAB, 0xCD, 0xEF]);
+        f
+    }
+
+    #[test]
+    fn reads_foreign_endian_files() {
+        let file = big_endian_file();
+        let mut reader = Reader::new(&file[..]).unwrap();
+        assert!(reader.is_swapped());
+        assert_eq!(reader.link_type(), LinkType::Ieee80211);
+        assert_eq!(reader.snaplen(), 65535);
+        let rec = reader.next_record().unwrap().unwrap();
+        assert_eq!(rec.ts_sec, 100);
+        assert_eq!(rec.ts_nanos, 7000);
+        assert_eq!(rec.data, vec![0xAB, 0xCD, 0xEF]);
+        assert!(reader.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let file = [0u8; 24];
+        assert!(matches!(Reader::new(&file[..]), Err(PcapError::BadMagic(0))));
+    }
+
+    #[test]
+    fn rejects_truncated_global_header() {
+        let file = MAGIC_MICROS.to_le_bytes();
+        assert!(matches!(Reader::new(&file[..]), Err(PcapError::TruncatedFile)));
+    }
+
+    #[test]
+    fn rejects_truncated_record_body() {
+        let mut file = big_endian_file();
+        file.truncate(file.len() - 1);
+        let mut reader = Reader::new(&file[..]).unwrap();
+        assert!(matches!(reader.next_record(), Err(PcapError::TruncatedFile)));
+    }
+
+    #[test]
+    fn rejects_truncated_record_header() {
+        let mut file = big_endian_file();
+        file.truncate(24 + 7);
+        let mut reader = Reader::new(&file[..]).unwrap();
+        assert!(matches!(reader.next_record(), Err(PcapError::TruncatedFile)));
+    }
+
+    #[test]
+    fn rejects_oversized_record() {
+        let mut file = Vec::new();
+        file.extend_from_slice(&MAGIC_MICROS.to_le_bytes());
+        file.extend_from_slice(&[0u8; 16]);
+        file.extend_from_slice(&127u32.to_le_bytes());
+        // record header with incl_len = 1 GiB
+        file.extend_from_slice(&0u32.to_le_bytes());
+        file.extend_from_slice(&0u32.to_le_bytes());
+        file.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        file.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        let mut reader = Reader::new(&file[..]).unwrap();
+        assert!(matches!(reader.next_record(), Err(PcapError::OversizedRecord { .. })));
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let file = big_endian_file();
+        let reader = Reader::new(&file[..]).unwrap();
+        let records: Result<Vec<_>, _> = reader.collect();
+        assert_eq!(records.unwrap().len(), 1);
+    }
+}

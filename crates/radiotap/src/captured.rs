@@ -1,0 +1,275 @@
+//! The monitor-side view of one captured 802.11 frame.
+//!
+//! [`CapturedFrame`] is the interchange type of the whole suite: the
+//! discrete-event simulator's monitor tap produces them, pcap decoding
+//! produces them, and the fingerprinting pipeline consumes them. It carries
+//! exactly the observables the paper's method is allowed to use — capture
+//! metadata (timestamp, rate, size) plus the MAC header summary (type,
+//! addresses, retry flag) — and nothing else.
+
+use wifiprint_ieee80211::timing::{air_time, PhyTx, Preamble};
+use wifiprint_ieee80211::{Frame, FrameError, FrameKind, MacAddr, Modulation, Nanos, Rate};
+
+use crate::{HeaderError, RxInfo};
+
+/// One frame as seen by a passive monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapturedFrame {
+    /// End-of-reception time on the monitor's clock (the paper's `tᵢ`).
+    pub t_end: Nanos,
+    /// Time the frame occupied the medium; reception started at
+    /// `t_end - air_time`.
+    pub air_time: Nanos,
+    /// PHY rate the frame was received at.
+    pub rate: Rate,
+    /// On-air frame size in bytes, including FCS (the paper's `sizeᵢ`).
+    pub size: usize,
+    /// Frame kind (type + subtype) — the paper's `ftype`.
+    pub kind: FrameKind,
+    /// Transmitter address, or `None` for ACK/CTS (the paper's `sᵢ = null`).
+    pub transmitter: Option<MacAddr>,
+    /// Receiver address (addr1).
+    pub receiver: MacAddr,
+    /// `true` if the logical destination (DA) is group-addressed. For
+    /// uplink (ToDS) frames the DA is addr3, not the receiver — this flag
+    /// is what "broadcast frames" means in Fig. 7 and the Pang baseline.
+    pub dest_group: bool,
+    /// Retry flag from Frame Control.
+    pub retry: bool,
+    /// Received signal strength, dBm.
+    pub signal_dbm: i8,
+}
+
+impl CapturedFrame {
+    /// Assembles a captured frame from a parsed MAC frame plus reception
+    /// metadata, deriving air time from size and rate.
+    pub fn from_frame(frame: &Frame, rate: Rate, t_end: Nanos, signal_dbm: i8) -> Self {
+        let size = frame.wire_len();
+        let tx = match rate.modulation() {
+            Modulation::Ofdm => PhyTx::erp_ofdm(rate),
+            Modulation::Dsss => PhyTx::new(rate, Preamble::Long),
+        };
+        CapturedFrame {
+            t_end,
+            air_time: air_time(tx, size),
+            rate,
+            size,
+            kind: frame.kind(),
+            transmitter: frame.transmitter(),
+            receiver: frame.receiver(),
+            dest_group: frame.destination().is_some_and(MacAddr::is_multicast),
+            retry: frame.frame_control().retry(),
+            signal_dbm,
+        }
+    }
+
+    /// Decodes a Radiotap-prefixed packet (as stored in a DLT 127 pcap
+    /// record) into a captured frame.
+    ///
+    /// `fallback_t_end` is used when the header lacks a TSFT field — pcap
+    /// record timestamps are the usual source. `fcs_in_size` controls
+    /// whether the captured bytes include the FCS (Radiotap flag 0x10);
+    /// when absent the size is adjusted so `sizeᵢ` is always the on-air
+    /// length.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when either the capture header or the MAC
+    /// frame cannot be parsed.
+    pub fn from_radiotap_packet(
+        bytes: &[u8],
+        fallback_t_end: Nanos,
+    ) -> Result<CapturedFrame, DecodeError> {
+        let (info, hdr_len) = RxInfo::from_radiotap(bytes)?;
+        Self::from_decoded(info, &bytes[hdr_len..], fallback_t_end)
+    }
+
+    /// Decodes a Prism-prefixed packet (DLT 119 pcap record).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when either the capture header or the MAC
+    /// frame cannot be parsed.
+    pub fn from_prism_packet(
+        bytes: &[u8],
+        fallback_t_end: Nanos,
+    ) -> Result<CapturedFrame, DecodeError> {
+        let (info, hdr_len) = RxInfo::from_prism(bytes)?;
+        Self::from_decoded(info, &bytes[hdr_len..], fallback_t_end)
+    }
+
+    fn from_decoded(
+        info: RxInfo,
+        frame_bytes: &[u8],
+        fallback_t_end: Nanos,
+    ) -> Result<CapturedFrame, DecodeError> {
+        let fcs_included = info.flags.contains(crate::RxFlags::FCS_INCLUDED);
+        let frame = if fcs_included {
+            Frame::parse(frame_bytes)?
+        } else {
+            Frame::parse_without_fcs(frame_bytes)?
+        };
+        let rate = info.rate.unwrap_or(Rate::R1M);
+        let t_end = info.tsft_us.map(Nanos::from_micros).unwrap_or(fallback_t_end);
+        let signal = info.signal_dbm.unwrap_or(-70);
+        let mut captured = CapturedFrame::from_frame(&frame, rate, t_end, signal);
+        // `wire_len` already includes the FCS, so the size is on-air
+        // regardless of whether the capture stored those 4 bytes.
+        debug_assert_eq!(captured.size, frame.wire_len());
+        captured.retry = frame.frame_control().retry();
+        Ok(captured)
+    }
+
+    /// Start-of-reception time (`t_end - air_time`).
+    pub fn t_start(&self) -> Nanos {
+        self.t_end.saturating_sub(self.air_time)
+    }
+
+    /// `true` if the frame's logical destination is group-addressed
+    /// (broadcast or multicast), regardless of the addr1 receiver.
+    pub fn is_group_destined(&self) -> bool {
+        self.dest_group
+    }
+
+    /// `true` if the frame is addressed (addr1) to the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        self.receiver.is_broadcast()
+    }
+}
+
+/// Error decoding a capture record into a [`CapturedFrame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The capture header (Radiotap/Prism) was malformed.
+    Header(HeaderError),
+    /// The 802.11 frame after the header was malformed.
+    Frame(FrameError),
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::Header(e) => write!(f, "capture header: {e}"),
+            DecodeError::Frame(e) => write!(f, "802.11 frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecodeError::Header(e) => Some(e),
+            DecodeError::Frame(e) => Some(e),
+        }
+    }
+}
+
+impl From<HeaderError> for DecodeError {
+    fn from(e: HeaderError) -> Self {
+        DecodeError::Header(e)
+    }
+}
+
+impl From<FrameError> for DecodeError {
+    fn from(e: FrameError) -> Self {
+        DecodeError::Frame(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RxFlags;
+
+    fn sta() -> MacAddr {
+        MacAddr::from_index(1)
+    }
+    fn ap() -> MacAddr {
+        MacAddr::from_index(2)
+    }
+
+    #[test]
+    fn from_frame_derives_air_time_and_sender() {
+        let frame = Frame::data_to_ds(sta(), ap(), ap(), 1000);
+        let cap = CapturedFrame::from_frame(&frame, Rate::R54M, Nanos::from_micros(500), -50);
+        assert_eq!(cap.size, 1000 + 24 + 4);
+        assert_eq!(cap.transmitter, Some(sta()));
+        assert!(cap.air_time > Nanos::ZERO);
+        assert_eq!(cap.t_start(), cap.t_end - cap.air_time);
+        assert!(!cap.is_broadcast());
+    }
+
+    #[test]
+    fn ack_has_no_transmitter() {
+        let cap =
+            CapturedFrame::from_frame(&Frame::ack(sta()), Rate::R11M, Nanos::from_micros(10), -60);
+        assert_eq!(cap.transmitter, None);
+        assert_eq!(cap.kind, FrameKind::Ack);
+    }
+
+    #[test]
+    fn radiotap_packet_round_trip() {
+        // A broadcast relayed by the AP: addr1 (receiver) is broadcast.
+        let frame = Frame::data_from_ds(MacAddr::BROADCAST, ap(), sta(), 64);
+        let info = RxInfo {
+            tsft_us: Some(123_000),
+            rate: Some(Rate::R11M),
+            channel_mhz: Some(2437),
+            signal_dbm: Some(-55),
+            noise_dbm: None,
+            antenna: None,
+            flags: RxFlags::FCS_INCLUDED,
+        };
+        let mut packet = info.to_radiotap();
+        packet.extend_from_slice(&frame.to_bytes());
+        let cap = CapturedFrame::from_radiotap_packet(&packet, Nanos::ZERO).unwrap();
+        assert_eq!(cap.t_end, Nanos::from_micros(123_000));
+        assert_eq!(cap.rate, Rate::R11M);
+        assert_eq!(cap.signal_dbm, -55);
+        assert_eq!(cap.transmitter, Some(ap()));
+        assert!(cap.is_broadcast());
+        assert_eq!(cap.size, frame.wire_len());
+    }
+
+    #[test]
+    fn fallback_timestamp_used_without_tsft() {
+        let frame = Frame::ack(sta());
+        let info = RxInfo { rate: Some(Rate::R1M), ..RxInfo::default() };
+        let mut packet = info.to_radiotap();
+        packet.extend_from_slice(&frame.to_bytes());
+        let cap =
+            CapturedFrame::from_radiotap_packet(&packet, Nanos::from_micros(777)).unwrap();
+        assert_eq!(cap.t_end, Nanos::from_micros(777));
+    }
+
+    #[test]
+    fn prism_packet_decodes() {
+        let frame = Frame::null_function(sta(), ap(), true);
+        let frame_bytes = frame.to_bytes();
+        let info = RxInfo {
+            tsft_us: Some(42),
+            rate: Some(Rate::R2M),
+            channel_mhz: Some(2412),
+            signal_dbm: Some(-80),
+            ..RxInfo::default()
+        };
+        let mut packet = info.to_prism(frame_bytes.len() as u32);
+        packet.extend_from_slice(&frame_bytes);
+        // Prism captures traditionally include the FCS.
+        let cap = CapturedFrame::from_prism_packet(&packet, Nanos::ZERO).unwrap();
+        assert_eq!(cap.kind, FrameKind::NullFunction);
+        assert_eq!(cap.rate, Rate::R2M);
+        assert_eq!(cap.t_end, Nanos::from_micros(42));
+    }
+
+    #[test]
+    fn decode_errors_are_classified() {
+        let err = CapturedFrame::from_radiotap_packet(&[0u8; 2], Nanos::ZERO).unwrap_err();
+        assert!(matches!(err, DecodeError::Header(_)));
+        let info = RxInfo::default();
+        let mut packet = info.to_radiotap();
+        packet.extend_from_slice(&[1, 2, 3]); // not a full MAC frame
+        let err = CapturedFrame::from_radiotap_packet(&packet, Nanos::ZERO).unwrap_err();
+        assert!(matches!(err, DecodeError::Frame(_)));
+    }
+}

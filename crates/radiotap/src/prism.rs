@@ -1,0 +1,204 @@
+//! Prism (wlan-ng) monitor header: the older fixed-size capture header
+//! format (`DLT_PRISM_HEADER` = 119) mentioned by the paper alongside
+//! Radiotap.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! u32 msgcode  (0x00000044, "sniff frame")
+//! u32 msglen   (144)
+//! u8  devname[16]
+//! 10 × { u32 did; u16 status; u16 len; u32 data }
+//! ```
+//!
+//! Items in order: hosttime, mactime, channel, rssi, sq, signal, noise,
+//! rate, istx, frmlen. `status == 0` marks a value as present.
+
+use wifiprint_ieee80211::Rate;
+
+use crate::{HeaderError, RxInfo};
+
+/// Total header size in bytes.
+pub const PRISM_LEN: usize = 144;
+
+/// The wlan-ng "sniff frame" message code.
+pub const MSGCODE: u32 = 0x0000_0044;
+
+const DID_HOSTTIME: u32 = 0x0001_0044;
+const DID_MACTIME: u32 = 0x0002_0044;
+const DID_CHANNEL: u32 = 0x0003_0044;
+const DID_RSSI: u32 = 0x0004_0044;
+const DID_SQ: u32 = 0x0005_0044;
+const DID_SIGNAL: u32 = 0x0006_0044;
+const DID_NOISE: u32 = 0x0007_0044;
+const DID_RATE: u32 = 0x0008_0044;
+const DID_ISTX: u32 = 0x0009_0044;
+const DID_FRMLEN: u32 = 0x000A_0044;
+
+const ITEM_DIDS: [u32; 10] = [
+    DID_HOSTTIME,
+    DID_MACTIME,
+    DID_CHANNEL,
+    DID_RSSI,
+    DID_SQ,
+    DID_SIGNAL,
+    DID_NOISE,
+    DID_RATE,
+    DID_ISTX,
+    DID_FRMLEN,
+];
+
+fn push_item(out: &mut Vec<u8>, did: u32, value: Option<u32>) {
+    out.extend_from_slice(&did.to_le_bytes());
+    let status: u16 = if value.is_some() { 0 } else { 1 };
+    out.extend_from_slice(&status.to_le_bytes());
+    out.extend_from_slice(&4u16.to_le_bytes());
+    out.extend_from_slice(&value.unwrap_or(0).to_le_bytes());
+}
+
+/// Encodes `info` as a 144-byte Prism header.
+///
+/// `mactime` is truncated to 32 bits (as real wlan-ng drivers do; it wraps
+/// roughly every 71 minutes). `frame_len` is the length of the following
+/// 802.11 frame.
+pub fn encode(info: &RxInfo, frame_len: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(PRISM_LEN);
+    out.extend_from_slice(&MSGCODE.to_le_bytes());
+    out.extend_from_slice(&(PRISM_LEN as u32).to_le_bytes());
+    let mut devname = [0u8; 16];
+    devname[..5].copy_from_slice(b"wlan0");
+    out.extend_from_slice(&devname);
+
+    let channel = info.channel_mhz.and_then(RxInfo::mhz_to_channel).map(u32::from);
+    push_item(&mut out, DID_HOSTTIME, info.tsft_us.map(|t| (t / 10_000) as u32));
+    push_item(&mut out, DID_MACTIME, info.tsft_us.map(|t| t as u32));
+    push_item(&mut out, DID_CHANNEL, channel);
+    push_item(&mut out, DID_RSSI, info.signal_dbm.map(|s| (s as i32 + 100).max(0) as u32));
+    push_item(&mut out, DID_SQ, None);
+    push_item(&mut out, DID_SIGNAL, info.signal_dbm.map(|s| s as i32 as u32));
+    push_item(&mut out, DID_NOISE, info.noise_dbm.map(|n| n as i32 as u32));
+    push_item(&mut out, DID_RATE, info.rate.map(|r| u32::from(r.to_raw())));
+    push_item(&mut out, DID_ISTX, Some(0));
+    push_item(&mut out, DID_FRMLEN, Some(frame_len));
+    debug_assert_eq!(out.len(), PRISM_LEN);
+    out
+}
+
+/// Parses a Prism header from the start of `buf`.
+///
+/// Returns the decoded [`RxInfo`] and the fixed header length (144). The
+/// MAC time is only 32 bits wide in this format; callers needing a
+/// monotonic clock should combine it with capture-record timestamps.
+///
+/// # Errors
+///
+/// [`HeaderError::Truncated`] if fewer than 144 bytes are available,
+/// [`HeaderError::BadMagic`] if the message code is unknown.
+pub fn parse(buf: &[u8]) -> Result<(RxInfo, usize), HeaderError> {
+    if buf.len() < PRISM_LEN {
+        return Err(HeaderError::Truncated { needed: PRISM_LEN, available: buf.len() });
+    }
+    let msgcode = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
+    if msgcode != MSGCODE {
+        return Err(HeaderError::BadMagic(msgcode));
+    }
+
+    let mut info = RxInfo::default();
+    let mut off = 24;
+    for _ in 0..ITEM_DIDS.len() {
+        let did = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"));
+        let status = u16::from_le_bytes([buf[off + 4], buf[off + 5]]);
+        let data = u32::from_le_bytes(buf[off + 8..off + 12].try_into().expect("4 bytes"));
+        off += 12;
+        if status != 0 {
+            continue;
+        }
+        match did {
+            DID_MACTIME => info.tsft_us = Some(u64::from(data)),
+            DID_CHANNEL => {
+                if (1..=14).contains(&data) {
+                    info.channel_mhz = Some(RxInfo::channel_to_mhz(data as u8));
+                }
+            }
+            DID_SIGNAL => info.signal_dbm = Some(data as i32 as i8),
+            DID_NOISE => info.noise_dbm = Some(data as i32 as i8),
+            DID_RATE => info.rate = Rate::from_raw(data as u8),
+            _ => {}
+        }
+    }
+    Ok((info, PRISM_LEN))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RxFlags;
+
+    #[test]
+    fn round_trip_preserves_monitor_fields() {
+        let info = RxInfo {
+            tsft_us: Some(42_000_000), // < 2^32: survives the 32-bit mactime
+            rate: Some(Rate::R5_5M),
+            channel_mhz: Some(2437),
+            signal_dbm: Some(-71),
+            noise_dbm: Some(-90),
+            antenna: None,
+            flags: RxFlags::EMPTY,
+        };
+        let buf = encode(&info, 1234);
+        assert_eq!(buf.len(), PRISM_LEN);
+        let (parsed, len) = parse(&buf).unwrap();
+        assert_eq!(len, PRISM_LEN);
+        assert_eq!(parsed.tsft_us, info.tsft_us);
+        assert_eq!(parsed.rate, info.rate);
+        assert_eq!(parsed.channel_mhz, info.channel_mhz);
+        assert_eq!(parsed.signal_dbm, info.signal_dbm);
+        assert_eq!(parsed.noise_dbm, info.noise_dbm);
+    }
+
+    #[test]
+    fn mactime_truncates_to_32_bits() {
+        let info = RxInfo { tsft_us: Some(0x1_0000_0001), ..RxInfo::default() };
+        let (parsed, _) = parse(&encode(&info, 0)).unwrap();
+        assert_eq!(parsed.tsft_us, Some(1));
+    }
+
+    #[test]
+    fn absent_fields_stay_absent() {
+        let (parsed, _) = parse(&encode(&RxInfo::default(), 60)).unwrap();
+        assert_eq!(parsed.rate, None);
+        assert_eq!(parsed.channel_mhz, None);
+        assert_eq!(parsed.signal_dbm, None);
+        // tsft defaults present? No: absent in input stays absent.
+        assert_eq!(parsed.tsft_us, None);
+    }
+
+    #[test]
+    fn rejects_short_and_bad_magic() {
+        assert!(matches!(parse(&[0u8; 10]), Err(HeaderError::Truncated { .. })));
+        let mut buf = encode(&RxInfo::default(), 0);
+        buf[0] = 0xFF;
+        assert!(matches!(parse(&buf), Err(HeaderError::BadMagic(_))));
+    }
+
+    #[test]
+    fn frmlen_recorded() {
+        let buf = encode(&RxInfo::default(), 0xDEAD);
+        // Last item is frmlen; data is the last 4 bytes.
+        let data = u32::from_le_bytes(buf[PRISM_LEN - 4..].try_into().unwrap());
+        assert_eq!(data, 0xDEAD);
+    }
+
+    #[test]
+    fn out_of_range_channel_ignored() {
+        let mut buf = encode(
+            &RxInfo { channel_mhz: Some(2437), ..RxInfo::default() },
+            0,
+        );
+        // Patch the channel item's data (item 2 => offset 24 + 2*12 + 8).
+        let off = 24 + 2 * 12 + 8;
+        buf[off..off + 4].copy_from_slice(&100u32.to_le_bytes());
+        let (parsed, _) = parse(&buf).unwrap();
+        assert_eq!(parsed.channel_mhz, None);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the capture-header codecs.
+
+use proptest::prelude::*;
+use wifiprint_ieee80211::Rate;
+use wifiprint_radiotap::{RxFlags, RxInfo};
+
+fn arb_info() -> impl Strategy<Value = RxInfo> {
+    (
+        prop::option::of(any::<u64>()),
+        prop::option::of(prop::sample::select(Rate::ALL_BG.to_vec())),
+        prop::option::of(1u8..=14),
+        prop::option::of(any::<i8>()),
+        prop::option::of(any::<i8>()),
+        prop::option::of(any::<u8>()),
+        any::<u8>(),
+    )
+        .prop_map(|(tsft, rate, chan, signal, noise, antenna, flags)| RxInfo {
+            tsft_us: tsft,
+            rate,
+            channel_mhz: chan.map(RxInfo::channel_to_mhz),
+            signal_dbm: signal,
+            noise_dbm: noise,
+            antenna,
+            flags: RxFlags::from_raw(flags),
+        })
+}
+
+proptest! {
+    #[test]
+    fn radiotap_round_trip(info in arb_info()) {
+        let buf = info.to_radiotap();
+        let (parsed, len) = RxInfo::from_radiotap(&buf).unwrap();
+        prop_assert_eq!(len, buf.len());
+        prop_assert_eq!(parsed, info);
+    }
+
+    #[test]
+    fn radiotap_parse_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = RxInfo::from_radiotap(&bytes);
+    }
+
+    #[test]
+    fn prism_round_trip_of_monitor_fields(info in arb_info()) {
+        let buf = info.to_prism(1500);
+        let (parsed, len) = RxInfo::from_prism(&buf).unwrap();
+        prop_assert_eq!(len, 144);
+        prop_assert_eq!(parsed.tsft_us, info.tsft_us.map(|t| t & 0xFFFF_FFFF));
+        prop_assert_eq!(parsed.rate, info.rate);
+        prop_assert_eq!(parsed.channel_mhz, info.channel_mhz);
+        prop_assert_eq!(parsed.signal_dbm, info.signal_dbm);
+        prop_assert_eq!(parsed.noise_dbm, info.noise_dbm);
+    }
+
+    #[test]
+    fn prism_parse_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = RxInfo::from_prism(&bytes);
+    }
+
+    #[test]
+    fn radiotap_header_parses_with_trailing_frame(info in arb_info(), frame in prop::collection::vec(any::<u8>(), 0..100)) {
+        // A header followed by frame bytes must yield the same info and point
+        // at the frame start.
+        let mut buf = info.to_radiotap();
+        let hdr_len = buf.len();
+        buf.extend_from_slice(&frame);
+        let (parsed, len) = RxInfo::from_radiotap(&buf).unwrap();
+        prop_assert_eq!(len, hdr_len);
+        prop_assert_eq!(parsed, info);
+        prop_assert_eq!(&buf[len..], &frame[..]);
+    }
+}

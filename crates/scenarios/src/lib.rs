@@ -1,0 +1,31 @@
+//! Capture scenarios reproducing the traces of Neumann et al. (ICDCS 2012).
+//!
+//! The paper evaluates on four traces (Table I) plus a set of controlled
+//! Faraday-cage experiments (§VI). This crate regenerates all of them on
+//! top of the [`wifiprint-netsim`] simulator and the [`wifiprint-devices`]
+//! profile library:
+//!
+//! * [`OfficeScenario`] — static WPA network (*office 1*: 7 h,
+//!   *office 2*: 1 h),
+//! * [`ConferenceScenario`] — open network with mobility and churn
+//!   (*conference 1*: 7 h, *conference 2*: 1 h),
+//! * [`FaradayRig`] — single-device rigs for the Fig. 4–8 experiments,
+//! * [`export`] — Radiotap pcap export/import so traces interoperate with
+//!   standard tooling.
+//!
+//! Every scenario is fully deterministic in its seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod conference;
+pub mod export;
+mod faraday;
+mod office;
+mod trace;
+
+pub use conference::ConferenceScenario;
+pub use faraday::{device_frames, FaradayRig, FARADAY_AP, FARADAY_DEVICE};
+pub use office::OfficeScenario;
+pub use trace::{run_collect, run_streaming, Trace, TraceReport};

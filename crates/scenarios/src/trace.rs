@@ -1,0 +1,70 @@
+//! Common trace infrastructure: scenario output types and the sim runner.
+
+use std::collections::BTreeMap;
+
+use wifiprint_ieee80211::{MacAddr, Nanos};
+use wifiprint_netsim::{SimStats, Simulator};
+use wifiprint_radiotap::CapturedFrame;
+
+/// Ground truth and statistics for a generated trace.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Simulator statistics.
+    pub stats: SimStats,
+    /// Device address → profile name, for ground-truth checks.
+    pub device_profiles: BTreeMap<MacAddr, String>,
+    /// The APs present in the trace.
+    pub aps: Vec<MacAddr>,
+    /// The trace duration.
+    pub duration: Nanos,
+}
+
+/// A fully collected trace: every captured frame in timestamp order plus
+/// the report.
+///
+/// For very long scenarios prefer the streaming entry points, which avoid
+/// holding millions of frames in memory.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Captured frames in timestamp order.
+    pub frames: Vec<CapturedFrame>,
+    /// Ground truth and statistics.
+    pub report: TraceReport,
+}
+
+impl Trace {
+    /// The set of transmitter addresses appearing in the trace.
+    pub fn transmitters(&self) -> BTreeMap<MacAddr, usize> {
+        let mut out = BTreeMap::new();
+        for f in &self.frames {
+            if let Some(t) = f.transmitter {
+                *out.entry(t).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+}
+
+/// Runs a prepared simulator, streaming captures into `sink`.
+pub fn run_streaming(
+    mut sim: Simulator,
+    duration: Nanos,
+    device_profiles: BTreeMap<MacAddr, String>,
+    aps: Vec<MacAddr>,
+    sink: &mut dyn FnMut(&CapturedFrame),
+) -> TraceReport {
+    let stats = sim.run(sink);
+    TraceReport { stats, device_profiles, aps, duration }
+}
+
+/// Runs a prepared simulator, collecting all captures.
+pub fn run_collect(
+    sim: Simulator,
+    duration: Nanos,
+    device_profiles: BTreeMap<MacAddr, String>,
+    aps: Vec<MacAddr>,
+) -> Trace {
+    let mut frames = Vec::new();
+    let report = run_streaming(sim, duration, device_profiles, aps, &mut |f| frames.push(*f));
+    Trace { frames, report }
+}

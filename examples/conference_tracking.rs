@@ -1,0 +1,71 @@
+//! Privacy implications (§VII-B3): fingerprints track devices across MAC
+//! address changes.
+//!
+//! A conference attendee randomises their MAC address halfway through the
+//! day. MAC-based tracking loses them — but matching the new address's
+//! signature against the reference database re-identifies the device.
+//!
+//! ```sh
+//! cargo run --release --example conference_tracking
+//! ```
+
+use wifiprint::core::{
+    EvalConfig, NetworkParameter, ReferenceDb, SignatureBuilder, SimilarityMeasure,
+};
+use wifiprint::ieee80211::MacAddr;
+use wifiprint::scenarios::ConferenceScenario;
+
+fn main() {
+    // Morning session: learn signatures for everyone present.
+    println!("morning: learning reference signatures at the venue ...");
+    let morning = ConferenceScenario::small(5, 120, 14).run_collect();
+    let cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
+        .with_min_observations(50);
+    let mut builder = SignatureBuilder::new(&cfg);
+    for f in &morning.frames {
+        builder.push(f);
+    }
+    let db = ReferenceDb::from_signatures(builder.finish());
+    println!("reference database: {} devices", db.len());
+
+    // Afternoon: the same venue, same devices — but we pretend the
+    // chattiest device rotated its MAC address (we relabel its frames).
+    let target = *morning
+        .transmitters()
+        .iter()
+        .filter(|(addr, _)| db.contains(addr) && !morning.report.aps.contains(addr))
+        .max_by_key(|(_, n)| **n)
+        .expect("nonempty db")
+        .0;
+    let new_mac = MacAddr::new([0x02, 0xDE, 0xAD, 0xBE, 0xEF, 0x01]);
+    println!("afternoon: device {target} rotates its MAC to {new_mac}");
+
+    let mut afternoon = ConferenceScenario::small(6, 120, 14).run_collect();
+    for f in &mut afternoon.frames {
+        if f.transmitter == Some(target) {
+            f.transmitter = Some(new_mac);
+        }
+    }
+
+    let mut builder = SignatureBuilder::new(&cfg);
+    for f in &afternoon.frames {
+        builder.push(f);
+    }
+    let afternoon_sigs = builder.finish();
+    let Some(anon_sig) = afternoon_sigs.get(&new_mac) else {
+        println!("(the rotated device sent too little traffic this afternoon)");
+        return;
+    };
+
+    // Who is this "new" device really?
+    let outcome = db.match_signature(anon_sig, SimilarityMeasure::Cosine);
+    let (best, sim) = outcome.best().expect("db nonempty");
+    println!("best match for {new_mac}: {best} (similarity {sim:.3})");
+    if best == target {
+        println!("=> re-identified despite the MAC rotation: address randomisation");
+        println!("   alone does not defeat passive fingerprinting (paper §VII).");
+    } else {
+        println!("=> not re-identified this time; the paper reports 20-57% success");
+        println!("   rates in conference settings, so misses are expected too.");
+    }
+}

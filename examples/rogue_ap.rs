@@ -1,0 +1,93 @@
+//! Rogue access-point detection (§VII-B2): a hot-spot operator publishes
+//! the fingerprint of the genuine AP; clients verify it on every visit.
+//!
+//! The genuine AP and the rogue run different hardware, so their beacon /
+//! probe-response / data timing differs even though the SSID and BSSID
+//! are cloned.
+//!
+//! ```sh
+//! cargo run --release --example rogue_ap
+//! ```
+
+use wifiprint::core::{
+    EvalConfig, FrameFilter, NetworkParameter, ReferenceDb, SignatureBuilder, SimilarityMeasure,
+};
+use wifiprint::ieee80211::{FrameKind, MacAddr, Nanos};
+use wifiprint::netsim::{BackoffQuirk, LinkQuality, SimConfig, Simulator, StationConfig};
+
+const AP_ADDR: MacAddr = MacAddr::new([0x02, 0xAB, 0xCD, 0, 0, 0xFE]);
+
+/// Captures an AP's traffic and fingerprints it from AP-originated frames
+/// only (data frames it relays for others are excluded per §VII-B2).
+fn ap_signature(rogue: bool, seed: u64) -> wifiprint::core::Signature {
+    let mut sim = Simulator::new(SimConfig {
+        seed,
+        duration: Nanos::from_secs(30),
+        monitor_loss: 0.0,
+        ..SimConfig::default()
+    });
+    let mut ap = StationConfig::ap(AP_ADDR, LinkQuality::static_link(38.0));
+    if rogue {
+        // The rogue clones the BSSID but its card has different timing.
+        ap.behavior.backoff = BackoffQuirk::FirstSlotBias(0.5);
+        ap.behavior.timer_granularity = Nanos::from_micros(4);
+        ap.behavior.host_latency = Nanos::from_micros(19);
+    }
+    sim.add_station(ap);
+    // A visiting client generates probe + data exchanges either way.
+    let mut client = StationConfig::client(
+        MacAddr::from_index(7),
+        AP_ADDR,
+        LinkQuality::static_link(30.0),
+    );
+    client.sources.push(Box::new(wifiprint::netsim::CbrSource::new(
+        Nanos::from_millis(25),
+        700,
+    )));
+    client.sources.push(Box::new(wifiprint::netsim::ProbeScanner {
+        period: Nanos::from_millis(500),
+        burst: 2,
+        payload: 60,
+        jitter: Nanos::from_millis(120),
+    }));
+    sim.add_station(client);
+
+    let cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
+        // Fingerprint the AP's own *contended* transmissions — probe
+        // responses — where its backoff personality shows. (Beacon
+        // inter-arrivals are dominated by the fixed 102.4 ms interval, and
+        // data frames the AP relays for others are excluded per §VII-B2.)
+        .with_filter(FrameFilter::kinds_only([FrameKind::ProbeResp]))
+        .with_min_observations(30);
+    let mut builder = SignatureBuilder::new(&cfg);
+    sim.run(&mut |f| builder.push(f));
+    builder.finish().remove(&AP_ADDR).expect("AP signature")
+}
+
+fn main() {
+    println!("hot-spot installation: learning the genuine AP's fingerprint ...");
+    let reference = ap_signature(false, 1);
+    let mut published = ReferenceDb::new();
+    published.insert(AP_ADDR, reference);
+
+    println!("a later visit: verifying the AP before connecting ...");
+    let genuine_today = ap_signature(false, 2);
+    let rogue_today = ap_signature(true, 3);
+
+    let sim_genuine = published
+        .match_signature(&genuine_today, SimilarityMeasure::Cosine)
+        .similarity_to(&AP_ADDR)
+        .unwrap();
+    let sim_rogue = published
+        .match_signature(&rogue_today, SimilarityMeasure::Cosine)
+        .similarity_to(&AP_ADDR)
+        .unwrap();
+
+    println!("genuine AP similarity: {sim_genuine:.3}");
+    println!("rogue AP similarity:   {sim_rogue:.3}");
+    assert!(sim_genuine > sim_rogue, "rogue must score below the genuine AP");
+    println!(
+        "=> the rogue AP scores {:.0}% lower; warn the user before associating",
+        100.0 * (1.0 - sim_rogue / sim_genuine.max(f64::MIN_POSITIVE))
+    );
+}

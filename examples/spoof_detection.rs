@@ -1,0 +1,65 @@
+//! MAC-spoofing detection (§VII-B1): an access-control list keyed by MAC
+//! address is stolen — but the thief's *hardware* does not match the
+//! learned fingerprint.
+//!
+//! We learn a reference signature for a legitimate device, then present
+//! two candidates claiming its MAC address: the device itself, and an
+//! attacker with a different card/driver. The legitimate session matches;
+//! the spoofer's similarity collapses.
+//!
+//! ```sh
+//! cargo run --release --example spoof_detection
+//! ```
+
+use wifiprint::core::{
+    EvalConfig, NetworkParameter, ReferenceDb, SignatureBuilder, SimilarityMeasure,
+};
+use wifiprint::devices::profile_catalog;
+use wifiprint::ieee80211::Nanos;
+use wifiprint::scenarios::{FaradayRig, FARADAY_DEVICE};
+
+fn signature_for(profile_idx: usize, seed: u64) -> wifiprint::core::Signature {
+    let catalog = profile_catalog();
+    let trace = FaradayRig::for_profile(&catalog[profile_idx], seed, Nanos::from_secs(10)).run();
+    let cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime);
+    let mut builder = SignatureBuilder::new(&cfg);
+    for f in &trace.frames {
+        builder.push(f);
+    }
+    builder.finish().remove(&FARADAY_DEVICE).expect("device signature")
+}
+
+fn main() {
+    // Learning phase: the genuine device (profile 0) enrols.
+    println!("learning the genuine device's inter-arrival signature ...");
+    let genuine = signature_for(0, 1);
+    let mut acl = ReferenceDb::new();
+    acl.insert(FARADAY_DEVICE, genuine);
+
+    // Detection phase: two sessions claim the same MAC address.
+    println!("session A: the genuine device reconnects");
+    let session_genuine = signature_for(0, 2); // same hardware, new day
+    println!("session B: an attacker spoofs the MAC with different hardware");
+    let session_spoofer = signature_for(4, 3); // different chipset/driver
+
+    let sim_genuine = acl
+        .match_signature(&session_genuine, SimilarityMeasure::Cosine)
+        .similarity_to(&FARADAY_DEVICE)
+        .unwrap();
+    let sim_spoofer = acl
+        .match_signature(&session_spoofer, SimilarityMeasure::Cosine)
+        .similarity_to(&FARADAY_DEVICE)
+        .unwrap();
+
+    println!("similarity of genuine session: {sim_genuine:.3}");
+    println!("similarity of spoofed session: {sim_spoofer:.3}");
+    let threshold = 0.75;
+    println!("acceptance threshold:          {threshold:.3}");
+    assert!(sim_genuine > threshold, "genuine device should pass");
+    assert!(sim_spoofer < sim_genuine, "spoofer should score lower");
+    if sim_spoofer < threshold {
+        println!("=> ALARM: MAC {FARADAY_DEVICE} is being spoofed");
+    } else {
+        println!("=> spoofer evaded the threshold (try more training data)");
+    }
+}

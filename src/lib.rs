@@ -1,0 +1,34 @@
+//! # wifiprint
+//!
+//! A Rust reproduction of *"An empirical study of passive 802.11 device
+//! fingerprinting"* (Neumann, Heen, Onno — ICDCS workshops 2012): the
+//! fingerprinting library itself, the 802.11 substrate it is evaluated on,
+//! and the full experiment harness.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`core`] — signatures, matching and accuracy metrics (the paper's
+//!   contribution),
+//! * [`ieee80211`] — MAC frames, rates and PHY timing,
+//! * [`radiotap`] — capture headers and the [`radiotap::CapturedFrame`]
+//!   interchange type,
+//! * [`pcap`] — capture-file I/O,
+//! * [`netsim`] — the discrete-event 802.11 channel simulator,
+//! * [`devices`] — chipset/driver/service profiles,
+//! * [`scenarios`] — the office/conference/Faraday trace generators,
+//! * [`analysis`] — the evaluation pipeline, tables and plots.
+//!
+//! See the `examples/` directory for runnable walkthroughs and
+//! `crates/bench/src/bin/repro.rs` for the table/figure reproduction
+//! harness.
+
+#![forbid(unsafe_code)]
+
+pub use wifiprint_analysis as analysis;
+pub use wifiprint_core as core;
+pub use wifiprint_devices as devices;
+pub use wifiprint_ieee80211 as ieee80211;
+pub use wifiprint_netsim as netsim;
+pub use wifiprint_pcap as pcap;
+pub use wifiprint_radiotap as radiotap;
+pub use wifiprint_scenarios as scenarios;

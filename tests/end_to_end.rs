@@ -1,0 +1,187 @@
+//! Cross-crate integration tests: simulator → pcap → fingerprinting →
+//! metrics, exercising the whole suite the way a downstream user would.
+
+use wifiprint::analysis::{evaluate_frames, PipelineConfig};
+use wifiprint::core::{
+    load_db, save_db, EvalConfig, NetworkParameter, ReferenceDb, SignatureBuilder,
+    SimilarityMeasure,
+};
+use wifiprint::ieee80211::{FrameKind, Nanos};
+use wifiprint::scenarios::export::{read_pcap, write_pcap};
+use wifiprint::scenarios::{ConferenceScenario, FaradayRig, OfficeScenario, FARADAY_DEVICE};
+
+#[test]
+fn sim_to_pcap_to_fingerprint_round_trip() {
+    // Generate a trace, write it to a standard pcap file, read it back,
+    // and verify the fingerprinting pipeline produces identical reference
+    // databases from both copies.
+    let trace = OfficeScenario::small(101, 60, 8).run_collect();
+    let dir = std::env::temp_dir().join("wifiprint-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("round-trip.pcap");
+    write_pcap(&path, &trace.frames).unwrap();
+    let (reloaded, skipped) = read_pcap(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(skipped, 0);
+    assert_eq!(reloaded.len(), trace.frames.len());
+
+    let cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
+        .with_min_observations(30);
+    let build = |frames: &[wifiprint::radiotap::CapturedFrame]| {
+        let mut b = SignatureBuilder::new(&cfg);
+        for f in frames {
+            b.push(f);
+        }
+        b.finish()
+    };
+    let from_sim = build(&trace.frames);
+    let from_pcap = build(&reloaded);
+    assert!(!from_sim.is_empty());
+    assert_eq!(from_sim.len(), from_pcap.len());
+    for (dev, sig) in &from_sim {
+        // Timestamps quantise to µs in pcap, so histograms may shift by a
+        // sub-µs amount; compare structure, not bit equality.
+        let other = &from_pcap[dev];
+        assert_eq!(sig.kind_count(), other.kind_count(), "{dev}");
+        assert_eq!(sig.observation_count(), other.observation_count(), "{dev}");
+    }
+}
+
+#[test]
+fn reference_db_persists_and_matches_identically() {
+    let trace = ConferenceScenario::small(55, 60, 10).run_collect();
+    let cfg = EvalConfig::for_parameter(NetworkParameter::TransmissionTime)
+        .with_min_observations(30);
+    let mut builder = SignatureBuilder::new(&cfg);
+    for f in &trace.frames {
+        builder.push(f);
+    }
+    let sigs = builder.finish();
+    assert!(sigs.len() >= 3, "too few devices: {}", sigs.len());
+    let db = ReferenceDb::from_signatures(sigs.clone());
+
+    let mut buf = Vec::new();
+    save_db(&mut buf, &db, cfg.parameter, &cfg.bins).unwrap();
+    let (loaded, param, _bins) = load_db(&buf[..]).unwrap();
+    assert_eq!(param, NetworkParameter::TransmissionTime);
+    assert_eq!(loaded.len(), db.len());
+
+    // Matching any candidate against the loaded DB gives identical scores.
+    let candidate = sigs.values().next().unwrap();
+    let a = db.match_signature(candidate, SimilarityMeasure::Cosine);
+    let b = loaded.match_signature(candidate, SimilarityMeasure::Cosine);
+    assert_eq!(a.similarities(), b.similarities());
+}
+
+#[test]
+fn pipeline_identifies_devices_in_a_small_office() {
+    let scenario = OfficeScenario::small(7, 300, 10);
+    let trace = scenario.run_collect();
+    let cfg = PipelineConfig::miniature(100, 50, 50);
+    let eval = evaluate_frames(&cfg, &trace.frames);
+    assert!(eval.ref_devices >= 6, "ref devices = {}", eval.ref_devices);
+    // Identification well above the 1/N ≈ 10% chance level for the
+    // timing parameters.
+    let ia = eval.identification(NetworkParameter::InterArrivalTime, 0.5);
+    assert!(ia > 0.3, "inter-arrival identification = {ia}");
+    // The similarity AUC beats coin flipping for every parameter.
+    for p in NetworkParameter::ALL {
+        let auc = eval.auc(p);
+        assert!(auc > 0.5, "{p}: AUC = {auc}");
+    }
+}
+
+#[test]
+fn same_device_matches_itself_across_reruns() {
+    // Two captures of the same device profile on different days (seeds)
+    // must match each other far better than a different profile does.
+    let catalog = wifiprint::devices::profile_catalog();
+    let sig = |profile_idx: usize, seed: u64| {
+        let trace =
+            FaradayRig::for_profile(&catalog[profile_idx], seed, Nanos::from_secs(8)).run();
+        let cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime);
+        let mut b = SignatureBuilder::new(&cfg);
+        for f in &trace.frames {
+            b.push(f);
+        }
+        b.finish().remove(&FARADAY_DEVICE).expect("signature")
+    };
+    let reference = sig(0, 1);
+    let same_later = sig(0, 99);
+    let different = sig(4, 99);
+    let mut db = ReferenceDb::new();
+    db.insert(FARADAY_DEVICE, reference);
+    let sim_same = db
+        .match_signature(&same_later, SimilarityMeasure::Cosine)
+        .similarity_to(&FARADAY_DEVICE)
+        .unwrap();
+    let sim_diff = db
+        .match_signature(&different, SimilarityMeasure::Cosine)
+        .similarity_to(&FARADAY_DEVICE)
+        .unwrap();
+    assert!(
+        sim_same > sim_diff + 0.2,
+        "same-device {sim_same:.3} vs different-device {sim_diff:.3}"
+    );
+}
+
+#[test]
+fn encrypted_and_open_traces_both_fingerprint() {
+    // The method works on WPA traffic (§III): encryption only changes
+    // frame sizes, never the observables' availability.
+    for enc in [0usize, 16] {
+        let mut sc = OfficeScenario::small(21, 90, 6);
+        sc.encryption_overhead = enc;
+        let trace = sc.run_collect();
+        let cfg = PipelineConfig::miniature(30, 30, 30);
+        let eval = evaluate_frames(&cfg, &trace.frames);
+        assert!(eval.ref_devices >= 4, "enc={enc}: refs = {}", eval.ref_devices);
+        assert!(
+            eval.auc(NetworkParameter::InterArrivalTime) > 0.5,
+            "enc={enc}"
+        );
+    }
+}
+
+#[test]
+fn anonymous_control_frames_never_produce_observations() {
+    let trace = OfficeScenario::small(31, 30, 6).run_collect();
+    let acks = trace
+        .frames
+        .iter()
+        .filter(|f| matches!(f.kind, FrameKind::Ack | FrameKind::Cts))
+        .count();
+    assert!(acks > 50, "expected plenty of ACK/CTS frames, got {acks}");
+    // Every ACK/CTS carries no transmitter, so no signature may contain
+    // those kinds.
+    let cfg = EvalConfig::for_parameter(NetworkParameter::FrameSize).with_min_observations(1);
+    let mut builder = SignatureBuilder::new(&cfg);
+    for f in &trace.frames {
+        assert!(
+            !(matches!(f.kind, FrameKind::Ack | FrameKind::Cts) && f.transmitter.is_some()),
+            "anonymous frame with a transmitter: {f:?}"
+        );
+        builder.push(f);
+    }
+    for (dev, sig) in builder.finish() {
+        for (kind, _) in sig.iter() {
+            assert!(
+                !kind.is_sender_anonymous(),
+                "{dev} has observations for anonymous kind {kind}"
+            );
+        }
+    }
+}
+
+#[test]
+fn windows_shrink_when_traffic_is_sparse() {
+    // A device active only in the first half of the validation period
+    // yields candidate windows only there.
+    let trace = OfficeScenario::small(61, 120, 5).run_collect();
+    let cfg = PipelineConfig::miniature(30, 15, 50);
+    let eval = evaluate_frames(&cfg, &trace.frames);
+    // 90 s validation in 15 s windows = at most 6 windows × devices.
+    let n = eval.candidate_instances[&NetworkParameter::InterArrivalTime];
+    assert!(n <= 6 * (eval.ref_devices + 5), "implausible candidate count {n}");
+    assert!(n > 0);
+}
