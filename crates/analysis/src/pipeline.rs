@@ -145,17 +145,30 @@ impl StreamingEvaluator {
 
     /// Finalises: learns the databases, matches every candidate window,
     /// and computes both tests for every parameter.
+    ///
+    /// With the `parallel` feature (default), the parameters are
+    /// evaluated on separate threads — each parameter's windows are in
+    /// turn fanned out by [`evaluate`] — so a five-parameter run uses the
+    /// machine instead of one core.
     pub fn finish(self) -> TraceEvaluation {
+        let StreamingEvaluator { cfg, trainers, validators, train_frames, validation_frames, .. } =
+            self;
+        let measure = cfg.measure;
+        let work: Vec<(NetworkParameter, SignatureBuilder, WindowedSignatures)> = cfg
+            .parameters
+            .iter()
+            .copied()
+            .zip(trainers)
+            .zip(validators)
+            .map(|((param, trainer), validator)| (param, trainer, validator))
+            .collect();
+        let results = evaluate_parameters(work, measure);
+
         let mut outcomes = BTreeMap::new();
         let mut databases = BTreeMap::new();
         let mut candidate_instances = BTreeMap::new();
         let mut ref_devices = 0usize;
-        for ((&param, trainer), validator) in
-            self.cfg.parameters.iter().zip(self.trainers).zip(self.validators)
-        {
-            let db = ReferenceDb::from_signatures(trainer.finish());
-            let candidates = validator.finish();
-            let outcome = evaluate(&db, &candidates, self.cfg.measure);
+        for (param, db, outcome) in results {
             if param == NetworkParameter::InterArrivalTime {
                 ref_devices = db.len();
             }
@@ -172,10 +185,33 @@ impl StreamingEvaluator {
             databases,
             ref_devices,
             candidate_instances,
-            train_frames: self.train_frames,
-            validation_frames: self.validation_frames,
+            train_frames,
+            validation_frames,
         }
     }
+}
+
+/// Learns, matches and scores each parameter's work item, in parallel
+/// when the feature allows it. Results keep the input order.
+fn evaluate_parameters(
+    work: Vec<(NetworkParameter, SignatureBuilder, WindowedSignatures)>,
+    measure: SimilarityMeasure,
+) -> Vec<(NetworkParameter, ReferenceDb, EvalOutcome)> {
+    let run = |(param, trainer, validator): (NetworkParameter, SignatureBuilder, WindowedSignatures)| {
+        let db = ReferenceDb::from_signatures(trainer.finish());
+        let candidates = validator.finish();
+        let outcome = evaluate(&db, &candidates, measure);
+        (param, db, outcome)
+    };
+    #[cfg(feature = "parallel")]
+    if work.len() > 1 {
+        return std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                work.into_iter().map(|item| scope.spawn(move || run(item))).collect();
+            handles.into_iter().map(|h| h.join().expect("parameter worker panicked")).collect()
+        });
+    }
+    work.into_iter().map(run).collect()
 }
 
 /// Convenience: evaluates an in-memory frame sequence.

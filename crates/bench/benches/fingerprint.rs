@@ -1,11 +1,20 @@
 //! Microbenchmarks of the fingerprinting pipeline: signature
-//! construction, histogram similarity, and Algorithm 1 matching as a
-//! function of reference-database size.
+//! construction, histogram similarity, and Algorithm 1 matching —
+//! including the headline comparisons for the SoA matching engine:
+//!
+//! * `match_one_candidate/{naive,matrix}/N` — the per-call-allocation
+//!   baseline (`match_signature_naive`, the pre-SoA layout) against the
+//!   scratch-buffered matrix sweep (`match_signature_with`) for growing
+//!   reference-database sizes up to 256 devices;
+//! * `match_window_batch/{serial,parallel}` — one thread reusing a
+//!   scratch versus the `parallel`-feature batch fan-out over a
+//!   multi-window candidate set.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wifiprint_core::{
-    EvalConfig, NetworkParameter, ReferenceDb, Signature, SignatureBuilder, SimilarityMeasure,
+    EvalConfig, MatchScratch, NetworkParameter, ReferenceDb, Signature, SignatureBuilder,
+    SimilarityMeasure,
 };
 use wifiprint_ieee80211::{Frame, FrameKind, MacAddr, Nanos, Rate};
 use wifiprint_radiotap::CapturedFrame;
@@ -39,6 +48,14 @@ fn synthetic_signature(seed: u64, obs: u64) -> Signature {
     sig
 }
 
+fn reference_db(devices: u64) -> ReferenceDb {
+    let mut db = ReferenceDb::new();
+    for d in 0..devices {
+        db.insert(MacAddr::from_index(d), synthetic_signature(d, 500));
+    }
+    db
+}
+
 fn bench_signature_build(c: &mut Criterion) {
     let frames = synthetic_frames(20_000, 20);
     let cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
@@ -56,7 +73,7 @@ fn bench_signature_build(c: &mut Criterion) {
 
 fn bench_similarity_measures(c: &mut Criterion) {
     let a = synthetic_signature(1, 2_000);
-    let bvec = a.histogram(FrameKind::Data).unwrap().frequencies();
+    let bvec = a.histogram(FrameKind::Data).unwrap().frequencies().to_vec();
     let avec = bvec.clone();
     let mut group = c.benchmark_group("similarity_250bins");
     for m in SimilarityMeasure::ALL {
@@ -67,18 +84,49 @@ fn bench_similarity_measures(c: &mut Criterion) {
     group.finish();
 }
 
+/// The headline tentpole comparison: naive per-call-allocation matching
+/// (the seed's layout) versus the SoA matrix sweep with a reused scratch.
 fn bench_matching_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("match_one_candidate");
-    for db_size in [10u64, 50, 200] {
-        let mut db = ReferenceDb::new();
-        for d in 0..db_size {
-            db.insert(MacAddr::from_index(d), synthetic_signature(d, 500));
-        }
+    for db_size in [10u64, 50, 256] {
+        let db = reference_db(db_size);
         let candidate = synthetic_signature(3, 500);
-        group.bench_with_input(BenchmarkId::from_parameter(db_size), &db_size, |b, _| {
-            b.iter(|| black_box(db.match_signature(&candidate, SimilarityMeasure::Cosine)))
+        group.bench_with_input(BenchmarkId::new("naive", db_size), &db_size, |b, _| {
+            b.iter(|| black_box(db.match_signature_naive(&candidate, SimilarityMeasure::Cosine)))
+        });
+        group.bench_with_input(BenchmarkId::new("matrix", db_size), &db_size, |b, _| {
+            let mut scratch = MatchScratch::new();
+            b.iter(|| {
+                let view =
+                    db.match_signature_with(&candidate, SimilarityMeasure::Cosine, &mut scratch);
+                black_box(view.best())
+            })
         });
     }
+    group.finish();
+}
+
+/// Serial versus parallel evaluation of a multi-window candidate batch
+/// against a 256-device reference DB.
+fn bench_window_batch(c: &mut Criterion) {
+    let db = reference_db(256);
+    let candidates: Vec<Signature> =
+        (0..512u64).map(|w| synthetic_signature(w % 97, 200)).collect();
+    let mut group = c.benchmark_group("match_window_batch");
+    group.bench_function("serial", |b| {
+        let mut scratch = MatchScratch::new();
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for cand in &candidates {
+                let view = db.match_signature_with(cand, SimilarityMeasure::Cosine, &mut scratch);
+                acc += view.best().map_or(0.0, |(_, s)| s);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(db.match_batch(&candidates, SimilarityMeasure::Cosine)))
+    });
     group.finish();
 }
 
@@ -89,6 +137,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_signature_build, bench_similarity_measures, bench_matching_scaling
+    targets = bench_signature_build, bench_similarity_measures, bench_matching_scaling,
+        bench_window_batch
 }
 criterion_main!(benches);

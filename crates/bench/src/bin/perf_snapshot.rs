@@ -1,0 +1,107 @@
+//! Emits a machine-readable perf snapshot (`BENCH_<n>.json`) so the
+//! repository keeps a trajectory of matching-engine throughput across
+//! PRs.
+//!
+//! Usage: `cargo run --release -p wifiprint-bench --bin perf_snapshot
+//! [output.json]` (default `BENCH_1.json` in the current directory).
+//!
+//! The measurements mirror the headline benches in
+//! `crates/bench/benches/fingerprint.rs`: naive-vs-matrix matching
+//! against a 256-device reference DB, and serial-vs-parallel evaluation
+//! of a 512-window candidate batch.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use wifiprint_core::{
+    EvalConfig, MatchScratch, NetworkParameter, ReferenceDb, Signature, SimilarityMeasure,
+};
+use wifiprint_ieee80211::{FrameKind, MacAddr};
+
+fn synthetic_signature(seed: u64, obs: u64) -> Signature {
+    let cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime);
+    let mut sig = Signature::new();
+    for i in 0..obs {
+        let v = ((seed * 131 + i * 37) % 2400) as f64;
+        sig.record(FrameKind::Data, v, &cfg);
+        if i % 5 == 0 {
+            sig.record(FrameKind::ProbeReq, (seed * 17 % 500) as f64, &cfg);
+        }
+    }
+    sig
+}
+
+/// Median per-iteration nanoseconds over `samples` timed samples.
+fn measure<F: FnMut()>(samples: usize, iters_per_sample: usize, mut f: F) -> f64 {
+    // Warm-up.
+    for _ in 0..iters_per_sample {
+        f();
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters_per_sample as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite time"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let out_path =
+        std::env::args().nth(1).unwrap_or_else(|| "BENCH_1.json".to_owned());
+
+    let mut db = ReferenceDb::new();
+    for d in 0..256u64 {
+        db.insert(MacAddr::from_index(d), synthetic_signature(d, 500));
+    }
+    let candidate = synthetic_signature(3, 500);
+    let candidates: Vec<Signature> =
+        (0..512u64).map(|w| synthetic_signature(w % 97, 200)).collect();
+
+    let naive_ns = measure(15, 20, || {
+        std::hint::black_box(db.match_signature_naive(&candidate, SimilarityMeasure::Cosine));
+    });
+    let mut scratch = MatchScratch::new();
+    let matrix_ns = measure(15, 20, || {
+        let view = db.match_signature_with(&candidate, SimilarityMeasure::Cosine, &mut scratch);
+        std::hint::black_box(view.best());
+    });
+
+    let mut serial_scratch = MatchScratch::new();
+    let serial_ns = measure(9, 1, || {
+        let mut acc = 0.0f64;
+        for cand in &candidates {
+            let view =
+                db.match_signature_with(cand, SimilarityMeasure::Cosine, &mut serial_scratch);
+            acc += view.best().map_or(0.0, |(_, s)| s);
+        }
+        std::hint::black_box(acc);
+    });
+    let parallel_ns = measure(9, 1, || {
+        std::hint::black_box(db.match_batch(&candidates, SimilarityMeasure::Cosine));
+    });
+
+    let match_speedup = naive_ns / matrix_ns;
+    let batch_speedup = serial_ns / parallel_ns;
+    let mut json = String::from("{\n");
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let _ = writeln!(json, "  \"schema\": \"wifiprint-bench-snapshot-v1\",");
+    let _ = writeln!(json, "  \"cpus\": {cpus},");
+    let _ = writeln!(json, "  \"reference_devices\": 256,");
+    let _ = writeln!(json, "  \"batch_windows\": 512,");
+    let _ = writeln!(json, "  \"match_naive_ns\": {naive_ns:.0},");
+    let _ = writeln!(json, "  \"match_matrix_ns\": {matrix_ns:.0},");
+    let _ = writeln!(json, "  \"match_speedup\": {match_speedup:.2},");
+    let _ = writeln!(json, "  \"batch_serial_ns\": {serial_ns:.0},");
+    let _ = writeln!(json, "  \"batch_parallel_ns\": {parallel_ns:.0},");
+    let _ = writeln!(json, "  \"batch_speedup\": {batch_speedup:.2}");
+    json.push('}');
+
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

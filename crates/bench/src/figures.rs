@@ -315,7 +315,7 @@ mod tests {
         // The two densities must differ materially (different backoff).
         let a = hists[0].1.frequencies();
         let b = hists[1].1.frequencies();
-        let l1: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        let l1: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
         assert!(l1 > 0.3, "backoff histograms too similar: L1 = {l1}");
     }
 

@@ -1,0 +1,128 @@
+//! Batched execution with per-worker scratch state.
+//!
+//! The evaluation pipeline scores thousands of `(window, device)`
+//! candidates against the same [`ReferenceDb`](crate::ReferenceDb); each
+//! score needs a [`MatchScratch`](crate::MatchScratch) but the candidates
+//! are independent. [`map_with_scratch`] captures that shape once: items
+//! are mapped in order, each worker owns one scratch value, and — with the
+//! `parallel` feature (on by default) — the batch is split into contiguous
+//! chunks across OS threads via `std::thread::scope`.
+//!
+//! The parallel backend is deliberately plain `std::thread`: the build
+//! environment for this workspace is offline, so `rayon` cannot be a
+//! dependency. The function signature matches what a rayon-backed
+//! implementation would expose, so swapping the backend later is local to
+//! this module.
+
+/// Maps `items` through `f` in order, giving each worker its own scratch
+/// value from `init`.
+///
+/// Serial when the `parallel` feature is disabled, when the batch is
+/// small, or when only one CPU is available; otherwise chunked across
+/// threads. The output order always matches the input order.
+pub fn map_with_scratch<T, S, U, I, F>(items: &[T], init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> U + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        map_with_workers(items, init, f, worker_count(items.len()))
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let mut scratch = init();
+        items.iter().map(|item| f(&mut scratch, item)).collect()
+    }
+}
+
+/// [`map_with_scratch`] with an explicit worker count (tests force the
+/// threaded path regardless of the host's CPU count).
+#[cfg(feature = "parallel")]
+fn map_with_workers<T, S, U, I, F>(items: &[T], init: I, f: F, workers: usize) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> U + Sync,
+{
+    if workers <= 1 || items.is_empty() {
+        let mut scratch = init();
+        return items.iter().map(|item| f(&mut scratch, item)).collect();
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    chunk.iter().map(|item| f(&mut scratch, item)).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for handle in handles {
+            out.extend(handle.join().expect("batch worker panicked"));
+        }
+        out
+    })
+}
+
+/// Worker count for a batch: bounded by the CPU count (overridable with
+/// `WIFIPRINT_THREADS`) and by a minimum per-worker chunk so tiny batches
+/// stay serial.
+#[cfg(feature = "parallel")]
+fn worker_count(items: usize) -> usize {
+    const MIN_CHUNK: usize = 8;
+    let cpus = std::env::var("WIFIPRINT_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    cpus.min(items / MIN_CHUNK).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = map_with_scratch(&items, || 0u64, |scratch, &x| {
+            *scratch += 1;
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[cfg(feature = "parallel")]
+    fn threaded_path_preserves_order_even_on_one_cpu() {
+        // Force multiple workers regardless of the host's CPU count so
+        // the chunked join path is exercised deterministically.
+        let items: Vec<u64> = (0..257).collect();
+        let out = map_with_workers(&items, || (), |(), &x| x + 1, 4);
+        assert_eq!(out, items.iter().map(|x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let out = map_with_scratch(&[] as &[u8], || (), |_, _| 1u8);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_worker() {
+        // Single small batch ⇒ serial ⇒ one scratch counts every item.
+        let items = [(); 7];
+        let out = map_with_scratch(&items, || 0usize, |scratch, _| {
+            *scratch += 1;
+            *scratch
+        });
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+}

@@ -1,6 +1,12 @@
 //! Binned histograms and their percentage-frequency form (§IV-A).
+//!
+//! [`Histogram::frequencies`] caches the normalised vector behind a
+//! [`OnceLock`], so the matching hot path borrows it instead of
+//! re-normalising: recording an observation invalidates the cache, and the
+//! first `frequencies()` call after a mutation rebuilds it once.
 
 use core::fmt;
+use std::sync::OnceLock;
 
 /// How observed values are mapped to histogram bins.
 ///
@@ -123,19 +129,29 @@ impl fmt::Display for BinSpec {
 /// assert!((freq[1] - 0.50).abs() < 1e-12);
 /// assert!((freq.iter().sum::<f64>() - 1.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Histogram {
     spec: BinSpec,
     counts: Vec<u64>,
     total: u64,
+    /// Lazily computed normalised frequencies; reset on every mutation.
+    #[cfg_attr(feature = "serde", serde(skip, default))]
+    freqs: OnceLock<Vec<f64>>,
+}
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        // The cache is derived state and never participates in equality.
+        self.spec == other.spec && self.counts == other.counts && self.total == other.total
+    }
 }
 
 impl Histogram {
     /// An empty histogram over the given bins.
     pub fn new(spec: BinSpec) -> Self {
         let counts = vec![0; spec.bin_count()];
-        Histogram { spec, counts, total: 0 }
+        Histogram { spec, counts, total: 0, freqs: OnceLock::new() }
     }
 
     /// Records one observation.
@@ -143,6 +159,7 @@ impl Histogram {
         let idx = self.spec.bin_index(value);
         self.counts[idx] += 1;
         self.total += 1;
+        self.freqs = OnceLock::new();
     }
 
     /// Records an observation `n` times.
@@ -150,6 +167,7 @@ impl Histogram {
         let idx = self.spec.bin_index(value);
         self.counts[idx] += n;
         self.total += n;
+        self.freqs = OnceLock::new();
     }
 
     /// Merges another histogram with the same spec into this one.
@@ -163,6 +181,7 @@ impl Histogram {
             *a += b;
         }
         self.total += other.total;
+        self.freqs = OnceLock::new();
     }
 
     /// Number of observations recorded.
@@ -182,8 +201,18 @@ impl Histogram {
 
     /// The percentage-frequency distribution `Pⱼ = oⱼ / |P|` (§IV-A).
     ///
-    /// Returns all zeros for an empty histogram.
-    pub fn frequencies(&self) -> Vec<f64> {
+    /// All zeros for an empty histogram. The vector is computed once and
+    /// cached until the next mutation, so the matching hot path borrows
+    /// instead of allocating.
+    pub fn frequencies(&self) -> &[f64] {
+        self.freqs.get_or_init(|| self.frequency_vec())
+    }
+
+    /// The percentage-frequency distribution as a freshly allocated
+    /// vector, bypassing the cache. Prefer [`Histogram::frequencies`];
+    /// this exists for owned copies and as the per-call-allocation
+    /// baseline the benchmarks compare the cached path against.
+    pub fn frequency_vec(&self) -> Vec<f64> {
         if self.total == 0 {
             return vec![0.0; self.counts.len()];
         }
@@ -208,7 +237,7 @@ impl Histogram {
     pub fn from_counts(spec: BinSpec, counts: Vec<u64>) -> Self {
         assert_eq!(counts.len(), spec.bin_count(), "count vector does not match spec");
         let total = counts.iter().sum();
-        Histogram { spec, counts, total }
+        Histogram { spec, counts, total, freqs: OnceLock::new() }
     }
 }
 
@@ -309,5 +338,32 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn uniform_to_rejects_zero_width() {
         BinSpec::uniform_to(10.0, 0.0);
+    }
+
+    #[test]
+    fn frequency_cache_invalidates_on_mutation() {
+        let mut h = Histogram::new(BinSpec::uniform_to(10.0, 1.0));
+        h.add(0.5);
+        assert_eq!(h.frequencies()[0], 1.0);
+        h.add(5.5); // must drop the cached vector
+        assert!((h.frequencies()[0] - 0.5).abs() < 1e-12);
+        assert!((h.frequencies()[5] - 0.5).abs() < 1e-12);
+        h.add_n(5.5, 2);
+        assert!((h.frequencies()[5] - 0.75).abs() < 1e-12);
+        let mut other = Histogram::new(BinSpec::uniform_to(10.0, 1.0));
+        other.add(9.5);
+        h.merge(&other);
+        assert!((h.frequencies()[9] - 0.2).abs() < 1e-12);
+        assert_eq!(h.frequencies(), &h.frequency_vec()[..]);
+    }
+
+    #[test]
+    fn equality_ignores_cache_state() {
+        let mut a = Histogram::new(BinSpec::uniform_to(10.0, 1.0));
+        let mut b = Histogram::new(BinSpec::uniform_to(10.0, 1.0));
+        a.add(1.0);
+        b.add(1.0);
+        let _ = a.frequencies(); // populate a's cache only
+        assert_eq!(a, b);
     }
 }

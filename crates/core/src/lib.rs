@@ -18,7 +18,9 @@
 //!    **percentage-frequency histograms** ([`Histogram`]); the set of
 //!    weighted histograms is the device's **signature** ([`Signature`]).
 //! 3. A candidate signature is matched against a [`ReferenceDb`] with the
-//!    weighted **cosine similarity** of Algorithm 1 ([`matching`]).
+//!    weighted **cosine similarity** of Algorithm 1 ([`matching`]) — a
+//!    structure-of-arrays matrix sweep with reusable [`MatchScratch`]
+//!    buffers, batched and optionally parallel ([`batch`]).
 //! 4. Accuracy is measured with the paper's two tests ([`metrics`]): the
 //!    **similarity test** (threshold sweep → TPR/FPR curve → AUC) and the
 //!    **identification test** (argmax → identification ratio at a target
@@ -58,10 +60,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 mod config;
 mod db;
 mod histogram;
-mod matching;
+pub mod matching;
 pub mod metrics;
 mod params;
 mod signature;
@@ -71,7 +74,7 @@ mod windows;
 pub use config::{default_bins, EvalConfig, FrameFilter, TxTimeEstimator};
 pub use db::{load_db, save_db, DbCodecError};
 pub use histogram::{BinSpec, Histogram};
-pub use matching::{MatchOutcome, ReferenceDb};
+pub use matching::{MatchOutcome, MatchScratch, MatchView, ReferenceDb};
 pub use metrics::{
     evaluate, CurvePoint, EvalOutcome, IdentOperatingPoint, MatchSet, SimilarityCurve,
 };

@@ -1,4 +1,63 @@
 //! The reference database and Algorithm 1 (signature matching).
+//!
+//! # Structure-of-arrays layout
+//!
+//! Matching one candidate against `N` references evaluates
+//! `Σ_{ftype} weight^ftype(rᵢ) · sim(P^ftype(c), P^ftype(rᵢ))` for every
+//! reference `rᵢ` — the `O(windows × devices × bins)` hot path of the
+//! whole pipeline. To make that sweep cache-friendly, [`ReferenceDb`]
+//! does **not** score against per-device `BTreeMap`s. Instead it packs,
+//! for each frame kind, every device's frequency vector into one
+//! contiguous row-major matrix:
+//!
+//! ```text
+//! KindBlock(Data):   rows  = [ dev₀ bins… | dev₁ bins… | … | devₙ bins… ]
+//!                    weights = [ w₀, w₁, …, wₙ ]      (reference weights)
+//! KindBlock(Beacon): rows  = [ … ]
+//! ```
+//!
+//! Devices missing a kind hold weight 0 and an all-zero row; the sweep
+//! skips them by the weight test alone, so the per-pair kernel
+//! ([`SimilarityMeasure`]'s dense form) runs without per-row zero scans
+//! or length checks. Each block also stores the precomputed L2 norm of
+//! every row, so for the paper's cosine measure the per-pair kernel
+//! collapses to a single unrolled dot product (the candidate's norm is
+//! hoisted out of the device loop). One candidate is then matched by
+//! walking each block linearly — a matrix–vector sweep that stays in
+//! cache and feeds the FPU independent accumulator chains.
+//!
+//! # Scratch buffers: allocation-free steady state
+//!
+//! [`ReferenceDb::match_signature_with`] writes scores into a caller-owned
+//! [`MatchScratch`] and returns a borrowed [`MatchView`]. After the first
+//! call warms the scratch's capacity, matching performs **no heap
+//! allocation**: candidate frequency vectors are cached borrows
+//! ([`Histogram::frequencies`](crate::Histogram::frequencies)), scores
+//! accumulate into the reused buffer, and the view borrows rather than
+//! copies. Use one scratch per worker thread:
+//!
+//! ```
+//! use wifiprint_core::{EvalConfig, MatchScratch, NetworkParameter, ReferenceDb, Signature,
+//!     SimilarityMeasure};
+//! use wifiprint_ieee80211::{FrameKind, MacAddr};
+//!
+//! let cfg = EvalConfig::for_parameter(NetworkParameter::FrameSize);
+//! let mut sig = Signature::new();
+//! for _ in 0..60 { sig.record(FrameKind::Data, 1000.0, &cfg); }
+//! let mut db = ReferenceDb::new();
+//! db.insert(MacAddr::from_index(1), sig.clone());
+//!
+//! let mut scratch = MatchScratch::new();
+//! for _window in 0..3 {
+//!     let view = db.match_signature_with(&sig, SimilarityMeasure::Cosine, &mut scratch);
+//!     assert_eq!(view.best().unwrap().0, MacAddr::from_index(1));
+//! }
+//! ```
+//!
+//! [`ReferenceDb::match_signature`] remains as a convenience that owns its
+//! result (one allocation per call); [`ReferenceDb::match_batch`] scores
+//! many candidates at once and, with the `parallel` feature (default),
+//! fans the batch out across threads with one scratch per worker.
 
 use std::collections::BTreeMap;
 
@@ -7,27 +66,28 @@ use wifiprint_ieee80211::{FrameKind, MacAddr};
 use crate::signature::Signature;
 use crate::similarity::SimilarityMeasure;
 
-/// One prepared reference entry: the signature plus cached frequency
-/// vectors and weights, so matching avoids re-normalising histograms.
+/// One frame kind's slice of the reference matrix: every device's
+/// frequency vector for that kind, packed row-major, plus the reference
+/// weights `weight^ftype(rᵢ)`.
 #[derive(Debug, Clone)]
-struct PreparedSignature {
-    signature: Signature,
-    /// `kind -> (weight^ftype(r), P^ftype_r)`.
-    freqs: BTreeMap<FrameKind, (f64, Vec<f64>)>,
-}
-
-impl PreparedSignature {
-    fn prepare(signature: Signature) -> Self {
-        let freqs = signature
-            .iter()
-            .map(|(kind, hist)| (kind, (signature.weight(kind), hist.frequencies())))
-            .collect();
-        PreparedSignature { signature, freqs }
-    }
+struct KindBlock {
+    kind: FrameKind,
+    /// Row width. Blocks are keyed on `(kind, bins)`: references binned
+    /// with a different spec for the same kind land in a sibling block,
+    /// so heterogeneous databases still score every compatible pair.
+    bins: usize,
+    /// `weights[i]` is device `i`'s weight for this kind (0 ⇒ skip row).
+    weights: Vec<f64>,
+    /// `rows[i*bins..(i+1)*bins]` is device `i`'s frequency vector.
+    rows: Vec<f64>,
+    /// `norms[i]` is the L2 norm of row `i`, precomputed at pack time so
+    /// the cosine sweep reduces to one dot product per pair.
+    norms: Vec<f64>,
 }
 
 /// The reference database of the learning phase (§IV-B): one signature per
-/// known device.
+/// known device, packed into per-frame-kind matrices (see the [module
+/// docs](self)).
 ///
 /// # Example
 ///
@@ -49,67 +109,124 @@ impl PreparedSignature {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ReferenceDb {
-    refs: BTreeMap<MacAddr, PreparedSignature>,
+    /// Reference devices in ascending address order; `signatures` and the
+    /// block rows are parallel to this.
+    devices: Vec<MacAddr>,
+    signatures: Vec<Signature>,
+    /// Per-frame-kind matrices, ascending by kind.
+    blocks: Vec<KindBlock>,
 }
 
 impl ReferenceDb {
     /// An empty database.
     pub fn new() -> Self {
-        ReferenceDb { refs: BTreeMap::new() }
+        ReferenceDb::default()
     }
 
     /// Builds a database from per-device signatures (e.g. the output of
-    /// [`SignatureBuilder::finish`](crate::SignatureBuilder::finish)).
+    /// [`SignatureBuilder::finish`](crate::SignatureBuilder::finish)),
+    /// packing the reference matrix once.
     pub fn from_signatures(signatures: BTreeMap<MacAddr, Signature>) -> Self {
         let mut db = ReferenceDb::new();
         for (device, sig) in signatures {
-            db.insert(device, sig);
+            // Entries arrive in ascending order, so each lands at the end.
+            db.devices.push(device);
+            db.signatures.push(sig);
         }
+        db.rebuild();
         db
     }
 
-    /// Inserts or replaces a device's reference signature.
+    /// Inserts or replaces a device's reference signature, repacking the
+    /// reference matrix.
     ///
     /// Returns the previous signature if the device was already present.
+    /// Each insert repacks in `O(total bins)`; to build a large database,
+    /// prefer [`ReferenceDb::from_signatures`], which packs once.
     pub fn insert(&mut self, device: MacAddr, signature: Signature) -> Option<Signature> {
-        self.refs
-            .insert(device, PreparedSignature::prepare(signature))
-            .map(|p| p.signature)
+        let previous = match self.devices.binary_search(&device) {
+            Ok(i) => Some(std::mem::replace(&mut self.signatures[i], signature)),
+            Err(i) => {
+                self.devices.insert(i, device);
+                self.signatures.insert(i, signature);
+                None
+            }
+        };
+        self.rebuild();
+        previous
     }
 
     /// Removes a device, returning its signature.
     pub fn remove(&mut self, device: &MacAddr) -> Option<Signature> {
-        self.refs.remove(device).map(|p| p.signature)
+        match self.devices.binary_search(device) {
+            Ok(i) => {
+                self.devices.remove(i);
+                let sig = self.signatures.remove(i);
+                self.rebuild();
+                Some(sig)
+            }
+            Err(_) => None,
+        }
     }
 
     /// The signature of a device, if present.
     pub fn get(&self, device: &MacAddr) -> Option<&Signature> {
-        self.refs.get(device).map(|p| &p.signature)
+        self.devices.binary_search(device).ok().map(|i| &self.signatures[i])
     }
 
     /// `true` if the device has a reference signature.
     pub fn contains(&self, device: &MacAddr) -> bool {
-        self.refs.contains_key(device)
+        self.devices.binary_search(device).is_ok()
     }
 
     /// Number of reference devices.
     pub fn len(&self) -> usize {
-        self.refs.len()
+        self.devices.len()
     }
 
     /// `true` if the database is empty.
     pub fn is_empty(&self) -> bool {
-        self.refs.is_empty()
+        self.devices.is_empty()
     }
 
     /// Iterates `(device, signature)` pairs in address order.
     pub fn iter(&self) -> impl Iterator<Item = (MacAddr, &Signature)> {
-        self.refs.iter().map(|(&d, p)| (d, &p.signature))
+        self.devices.iter().copied().zip(&self.signatures)
     }
 
     /// The devices in the database, in address order.
     pub fn devices(&self) -> impl Iterator<Item = MacAddr> + '_ {
-        self.refs.keys().copied()
+        self.devices.iter().copied()
+    }
+
+    /// Repacks the per-kind matrices from the current signatures.
+    fn rebuild(&mut self) {
+        self.blocks.clear();
+        let n = self.devices.len();
+        // One block per observed (kind, row width): databases mixing bin
+        // specs for the same kind keep every reference scoreable.
+        let mut kinds: BTreeMap<(FrameKind, usize), ()> = BTreeMap::new();
+        for sig in &self.signatures {
+            for (kind, hist) in sig.iter() {
+                kinds.insert((kind, hist.frequencies().len()), ());
+            }
+        }
+        for (kind, bins) in kinds.into_keys() {
+            let mut weights = vec![0.0; n];
+            let mut rows = vec![0.0; n * bins];
+            let mut norms = vec![0.0; n];
+            for (i, sig) in self.signatures.iter().enumerate() {
+                if let Some(hist) = sig.histogram(kind) {
+                    let freqs = hist.frequencies();
+                    if freqs.len() == bins && hist.total() > 0 {
+                        weights[i] = sig.weight(kind);
+                        rows[i * bins..(i + 1) * bins].copy_from_slice(freqs);
+                        norms[i] = dot(freqs, freqs).sqrt();
+                    }
+                }
+            }
+            self.blocks.push(KindBlock { kind, bins, weights, rows, norms });
+        }
     }
 
     /// Algorithm 1: matches a candidate signature against every reference.
@@ -118,24 +235,170 @@ impl ReferenceDb {
     /// `simᵢ = Σ_{ftype ∈ Sig(c)} weight^ftype(rᵢ) · sim(hist^ftype(c), hist^ftype(rᵢ))`,
     /// i.e. the per-frame-type histogram similarities weighted by the
     /// **reference's** frame-type distribution. Scores lie in `[0, 1]`.
+    ///
+    /// Convenience form that allocates its outcome; the hot path is
+    /// [`ReferenceDb::match_signature_with`].
     pub fn match_signature(&self, candidate: &Signature, measure: SimilarityMeasure) -> MatchOutcome {
-        // Pre-normalise the candidate's histograms once.
-        let cand_freqs: Vec<(FrameKind, Vec<f64>)> =
-            candidate.iter().map(|(kind, hist)| (kind, hist.frequencies())).collect();
+        let mut scratch = MatchScratch::new();
+        self.match_signature_with(candidate, measure, &mut scratch);
+        MatchOutcome { sims: std::mem::take(&mut scratch.pairs) }
+    }
 
-        let mut sims = Vec::with_capacity(self.refs.len());
-        for (&device, prepared) in &self.refs {
+    /// Algorithm 1 without per-call allocation: scores accumulate into
+    /// `scratch` (reused across calls) and the returned [`MatchView`]
+    /// borrows from it.
+    pub fn match_signature_with<'s>(
+        &self,
+        candidate: &Signature,
+        measure: SimilarityMeasure,
+        scratch: &'s mut MatchScratch,
+    ) -> MatchView<'s> {
+        let n = self.devices.len();
+        scratch.scores.clear();
+        scratch.scores.resize(n, 0.0);
+        for (kind, hist) in candidate.iter() {
+            if hist.total() == 0 {
+                continue; // an empty candidate histogram matches nothing
+            }
+            let cand = hist.frequencies();
+            // Blocks are sorted by (kind, bins); only the block matching
+            // the candidate's row width can score (incompatible binning
+            // carries no information).
+            let Ok(block_idx) = self
+                .blocks
+                .binary_search_by(|b| (b.kind, b.bins).cmp(&(kind, cand.len())))
+            else {
+                continue;
+            };
+            let block = &self.blocks[block_idx];
+            // The matrix–vector sweep: one linear pass over this kind's
+            // packed rows. Zero-weight rows are absent devices.
+            if measure == SimilarityMeasure::Cosine {
+                // Row norms were fixed at pack time and the candidate norm
+                // is invariant across rows, so the per-pair kernel is one
+                // dot product.
+                let cand_norm = dot(cand, cand).sqrt();
+                for (i, (&weight, row)) in
+                    block.weights.iter().zip(block.rows.chunks_exact(block.bins)).enumerate()
+                {
+                    if weight == 0.0 {
+                        continue;
+                    }
+                    let cos = (dot(cand, row) / (cand_norm * block.norms[i])).clamp(0.0, 1.0);
+                    scratch.scores[i] += weight * cos;
+                }
+            } else {
+                for (i, (&weight, row)) in
+                    block.weights.iter().zip(block.rows.chunks_exact(block.bins)).enumerate()
+                {
+                    if weight == 0.0 {
+                        continue;
+                    }
+                    scratch.scores[i] += weight * measure.compute_dense(cand, row);
+                }
+            }
+        }
+        scratch.pairs.clear();
+        scratch
+            .pairs
+            .extend(self.devices.iter().copied().zip(scratch.scores.iter().copied()));
+        MatchView { sims: &scratch.pairs }
+    }
+
+    /// Matches a batch of candidate signatures, returning one outcome per
+    /// candidate in order. With the `parallel` feature (default) the batch
+    /// is split across threads, one [`MatchScratch`] per worker; without
+    /// it the batch runs serially on one reused scratch.
+    pub fn match_batch(
+        &self,
+        candidates: &[Signature],
+        measure: SimilarityMeasure,
+    ) -> Vec<MatchOutcome> {
+        crate::batch::map_with_scratch(candidates, MatchScratch::new, |scratch, cand| {
+            self.match_signature_with(cand, measure, scratch);
+            MatchOutcome { sims: scratch.pairs.clone() }
+        })
+    }
+
+    /// The pre-SoA matching path: per-call candidate frequency allocation
+    /// and per-device frame-kind lookups, kept only so benchmarks can
+    /// quantify what the matrix layout buys. Equivalent output to
+    /// [`ReferenceDb::match_signature`].
+    #[cfg(any(test, feature = "bench-baseline"))]
+    pub fn match_signature_naive(
+        &self,
+        candidate: &Signature,
+        measure: SimilarityMeasure,
+    ) -> MatchOutcome {
+        let cand_freqs: Vec<(FrameKind, Vec<f64>)> =
+            candidate.iter().map(|(kind, hist)| (kind, hist.frequency_vec())).collect();
+        let mut sims = Vec::with_capacity(self.devices.len());
+        for (&device, sig) in self.devices.iter().zip(&self.signatures) {
             let mut sim = 0.0;
             for (kind, cand_freq) in &cand_freqs {
-                if let Some((weight, ref_freq)) = prepared.freqs.get(kind) {
-                    if cand_freq.len() == ref_freq.len() {
-                        sim += weight * measure.compute(cand_freq, ref_freq);
-                    }
+                if let Some(hist) = sig.histogram(*kind) {
+                    sim += sig.weight(*kind) * measure.compute(cand_freq, hist.frequencies());
                 }
             }
             sims.push((device, sim));
         }
         MatchOutcome { sims }
+    }
+}
+
+/// Reusable buffers for [`ReferenceDb::match_signature_with`]: create one
+/// per worker, reuse it for every window. Capacity grows to the database
+/// size on first use and is retained afterwards, making the steady state
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    /// Per-device accumulators, indexed like `ReferenceDb::devices`.
+    scores: Vec<f64>,
+    /// The `(device, similarity)` pairs the returned view exposes.
+    pairs: Vec<(MacAddr, f64)>,
+}
+
+impl MatchScratch {
+    /// Empty scratch; buffers are sized lazily by the first match.
+    pub fn new() -> Self {
+        MatchScratch::default()
+    }
+}
+
+/// A borrowed view of one match's similarity vector (the zero-allocation
+/// counterpart of [`MatchOutcome`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MatchView<'a> {
+    sims: &'a [(MacAddr, f64)],
+}
+
+impl MatchView<'_> {
+    /// All `(reference device, similarity)` pairs, in database order.
+    pub fn similarities(&self) -> &[(MacAddr, f64)] {
+        self.sims
+    }
+
+    /// The similarity to one specific reference device.
+    pub fn similarity_to(&self, device: &MacAddr) -> Option<f64> {
+        similarity_to(self.sims, device)
+    }
+
+    /// The similarity test (§IV-B): references whose similarity is at
+    /// least `threshold`.
+    pub fn above_threshold(&self, threshold: f64) -> impl Iterator<Item = (MacAddr, f64)> + '_ {
+        self.sims.iter().copied().filter(move |&(_, s)| s >= threshold)
+    }
+
+    /// The identification test (§IV-B): the single closest reference.
+    ///
+    /// Ties break toward the lower MAC address for determinism.
+    pub fn best(&self) -> Option<(MacAddr, f64)> {
+        best_of(self.sims)
+    }
+
+    /// An owned copy of this view.
+    pub fn to_outcome(&self) -> MatchOutcome {
+        MatchOutcome { sims: self.sims.to_vec() }
     }
 }
 
@@ -153,7 +416,7 @@ impl MatchOutcome {
 
     /// The similarity to one specific reference device.
     pub fn similarity_to(&self, device: &MacAddr) -> Option<f64> {
-        self.sims.iter().find(|(d, _)| d == device).map(|&(_, s)| s)
+        similarity_to(&self.sims, device)
     }
 
     /// The similarity test (§IV-B): references whose similarity is at
@@ -166,13 +429,38 @@ impl MatchOutcome {
     ///
     /// Ties break toward the lower MAC address for determinism.
     pub fn best(&self) -> Option<(MacAddr, f64)> {
-        self.sims
-            .iter()
-            .copied()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(
-                b.0.cmp(&a.0),
-            ))
+        best_of(&self.sims)
     }
+}
+
+/// Four-accumulator dot product: independent partial sums give the
+/// backend the instruction-level parallelism a single-chain reduction
+/// denies it (f64 adds cannot be reordered automatically).
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4 * 4;
+    for (ca, cb) in a[..chunks].chunks_exact(4).zip(b[..chunks].chunks_exact(4)) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    for (x, y) in a[chunks..].iter().zip(&b[chunks..]) {
+        acc[0] += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+fn similarity_to(sims: &[(MacAddr, f64)], device: &MacAddr) -> Option<f64> {
+    // The vector is in ascending device order (database order).
+    sims.binary_search_by(|(d, _)| d.cmp(device)).ok().map(|i| sims[i].1)
+}
+
+fn best_of(sims: &[(MacAddr, f64)]) -> Option<(MacAddr, f64)> {
+    sims.iter().copied().max_by(|a, b| {
+        a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(b.0.cmp(&a.0))
+    })
 }
 
 #[cfg(test)]
@@ -302,5 +590,108 @@ mod tests {
         db.insert(MacAddr::from_index(3), sig.clone());
         let outcome = db.match_signature(&sig, SimilarityMeasure::Cosine);
         assert_eq!(outcome.best().unwrap().0, MacAddr::from_index(3));
+    }
+
+    #[test]
+    fn scratch_view_equals_owned_outcome() {
+        let mut db = ReferenceDb::new();
+        for i in 1..=5u64 {
+            db.insert(
+                MacAddr::from_index(i),
+                sig_with(&[(FrameKind::Data, 100.0 * i as f64, 30), (FrameKind::Beacon, 50.0, 5)]),
+            );
+        }
+        let cand = sig_with(&[(FrameKind::Data, 250.0, 40)]);
+        let mut scratch = MatchScratch::new();
+        for m in SimilarityMeasure::ALL {
+            let owned = db.match_signature(&cand, m);
+            let view = db.match_signature_with(&cand, m, &mut scratch);
+            assert_eq!(view.similarities(), owned.similarities(), "{m}");
+            assert_eq!(view.best(), owned.best(), "{m}");
+            assert_eq!(view.to_outcome(), owned, "{m}");
+        }
+    }
+
+    #[test]
+    fn matrix_sweep_agrees_with_naive_baseline() {
+        let mut db = ReferenceDb::new();
+        for i in 1..=16u64 {
+            let kinds: &[(FrameKind, f64, u64)] = &[
+                (FrameKind::Data, 37.0 * i as f64, 40 + i),
+                (FrameKind::ProbeReq, 11.0 * i as f64, i),
+                (FrameKind::Beacon, 500.0, 3),
+            ];
+            db.insert(MacAddr::from_index(i), sig_with(kinds));
+        }
+        let cand =
+            sig_with(&[(FrameKind::Data, 370.0, 55), (FrameKind::ProbeReq, 110.0, 7)]);
+        for m in SimilarityMeasure::ALL {
+            let fast = db.match_signature(&cand, m);
+            let naive = db.match_signature_naive(&cand, m);
+            assert_eq!(fast.similarities().len(), naive.similarities().len());
+            for (f, n) in fast.similarities().iter().zip(naive.similarities()) {
+                assert_eq!(f.0, n.0);
+                assert!((f.1 - n.1).abs() < 1e-12, "{m}: {} vs {}", f.1, n.1);
+            }
+        }
+    }
+
+    #[test]
+    fn match_batch_preserves_order_and_scores() {
+        let mut db = ReferenceDb::new();
+        for i in 1..=8u64 {
+            db.insert(MacAddr::from_index(i), sig_with(&[(FrameKind::Data, 90.0 * i as f64, 50)]));
+        }
+        let candidates: Vec<Signature> =
+            (1..=20u64).map(|i| sig_with(&[(FrameKind::Data, 90.0 * (i % 8 + 1) as f64, 50)])).collect();
+        let batch = db.match_batch(&candidates, SimilarityMeasure::Cosine);
+        assert_eq!(batch.len(), candidates.len());
+        for (cand, outcome) in candidates.iter().zip(&batch) {
+            assert_eq!(outcome, &db.match_signature(cand, SimilarityMeasure::Cosine));
+        }
+    }
+
+    #[test]
+    fn mixed_bin_specs_keep_every_reference_scoreable() {
+        // Two references binned differently for the same kind: each must
+        // still score against a candidate with its own spec (sibling
+        // blocks keyed on (kind, bins)).
+        let fine = cfg(); // 10 µs bins
+        let coarse = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
+            .with_bins(crate::histogram::BinSpec::uniform_to(2500.0, 50.0));
+        let build = |c: &EvalConfig| {
+            let mut s = Signature::new();
+            for _ in 0..50 {
+                s.record(FrameKind::Data, 400.0, c);
+            }
+            s
+        };
+        let mut db = ReferenceDb::new();
+        let d_fine = MacAddr::from_index(1);
+        let d_coarse = MacAddr::from_index(2);
+        db.insert(d_fine, build(&fine));
+        db.insert(d_coarse, build(&coarse));
+        for (cand_cfg, expect_dev) in [(&fine, d_fine), (&coarse, d_coarse)] {
+            let outcome = db.match_signature(&build(cand_cfg), SimilarityMeasure::Cosine);
+            assert!((outcome.similarity_to(&expect_dev).unwrap() - 1.0).abs() < 1e-9);
+            let naive = db.match_signature_naive(&build(cand_cfg), SimilarityMeasure::Cosine);
+            assert_eq!(outcome.similarities(), naive.similarities());
+        }
+    }
+
+    #[test]
+    fn incompatible_bin_widths_score_zero_not_panic() {
+        // Reference built with the default inter-arrival bins; candidate
+        // with a coarser spec ⇒ different bin counts for the same kind.
+        let mut db = ReferenceDb::new();
+        db.insert(MacAddr::from_index(1), sig_with(&[(FrameKind::Data, 100.0, 50)]));
+        let coarse = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
+            .with_bins(crate::histogram::BinSpec::uniform_to(2500.0, 100.0));
+        let mut cand = Signature::new();
+        for _ in 0..50 {
+            cand.record(FrameKind::Data, 100.0, &coarse);
+        }
+        let outcome = db.match_signature(&cand, SimilarityMeasure::Cosine);
+        assert_eq!(outcome.similarities()[0].1, 0.0);
     }
 }

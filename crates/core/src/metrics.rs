@@ -21,7 +21,7 @@
 
 use wifiprint_ieee80211::MacAddr;
 
-use crate::matching::ReferenceDb;
+use crate::matching::{MatchScratch, ReferenceDb};
 use crate::similarity::SimilarityMeasure;
 use crate::windows::CandidateWindow;
 
@@ -106,38 +106,41 @@ impl EvalOutcome {
 /// Matches every candidate window against the database, keeping instances
 /// whose device is known (the paper's accuracy metrics are defined over
 /// those).
+///
+/// Candidates are scored through the scratch-buffered matrix sweep
+/// ([`ReferenceDb::match_signature_with`]); with the `parallel` feature
+/// (default) the windows are fanned out across threads, one scratch per
+/// worker. Output order matches candidate order either way.
 pub fn match_candidates(
     db: &ReferenceDb,
     candidates: &[CandidateWindow],
     measure: SimilarityMeasure,
 ) -> (Vec<MatchSet>, usize) {
-    let mut sets = Vec::new();
-    let mut unknown = 0usize;
-    for cand in candidates {
+    let results = crate::batch::map_with_scratch(candidates, MatchScratch::new, |scratch, cand| {
         if !db.contains(&cand.device) {
-            unknown += 1;
-            continue;
+            return None;
         }
-        let outcome = db.match_signature(&cand.signature, measure);
+        let view = db.match_signature_with(&cand.signature, measure, scratch);
         let mut true_sim = 0.0;
         let mut wrong = Vec::with_capacity(db.len().saturating_sub(1));
-        for &(device, sim) in outcome.similarities() {
+        for &(device, sim) in view.similarities() {
             if device == cand.device {
                 true_sim = sim;
             } else {
                 wrong.push(sim);
             }
         }
-        let (best_device, best_sim) = outcome.best().expect("db nonempty");
-        sets.push(MatchSet {
+        let (best_device, best_sim) = view.best().expect("db nonempty");
+        Some(MatchSet {
             true_device: cand.device,
             true_sim,
             wrong_sims: wrong,
             best_is_true: best_device == cand.device,
             best_sim,
-        });
-    }
-    (sets, unknown)
+        })
+    });
+    let unknown = results.iter().filter(|r| r.is_none()).count();
+    (results.into_iter().flatten().collect(), unknown)
 }
 
 /// Computes the similarity curve over a threshold sweep.

@@ -45,18 +45,27 @@ impl SimilarityMeasure {
     ///
     /// Both inputs must be the same length; frequency vectors from
     /// [`Histogram::frequencies`](crate::Histogram::frequencies) with equal
-    /// [`BinSpec`](crate::BinSpec)s always are. Returns 0.0 when either
-    /// vector is all-zero (an empty histogram matches nothing).
-    ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if the lengths differ.
+    /// [`BinSpec`](crate::BinSpec)s always are. A length mismatch means
+    /// the histograms were binned incompatibly and carries no similarity
+    /// information, so it deterministically scores 0.0 — in release *and*
+    /// debug builds. Also returns 0.0 when either vector is all-zero (an
+    /// empty histogram matches nothing).
     pub fn compute(self, candidate: &[f64], reference: &[f64]) -> f64 {
-        debug_assert_eq!(candidate.len(), reference.len(), "frequency vector length mismatch");
+        if candidate.len() != reference.len() {
+            return 0.0;
+        }
         // An empty histogram carries no information and matches nothing.
         if candidate.iter().all(|&x| x == 0.0) || reference.iter().all(|&x| x == 0.0) {
             return 0.0;
         }
+        self.compute_dense(candidate, reference)
+    }
+
+    /// The raw kernel over equal-length, not-all-zero rows: the matrix
+    /// sweep in [`matching`](crate::matching) hoists the zero/length
+    /// checks out of the per-device loop and calls this directly.
+    #[inline]
+    pub(crate) fn compute_dense(self, candidate: &[f64], reference: &[f64]) -> f64 {
         match self {
             SimilarityMeasure::Cosine => cosine(candidate, reference),
             SimilarityMeasure::Intersection => {
@@ -173,6 +182,16 @@ mod tests {
         // Inverse Euclidean is small but nonzero for disjoint inputs.
         let s = SimilarityMeasure::InverseEuclidean.compute(&A, &B);
         assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_score_zero_in_release_too() {
+        let short = [0.5, 0.5];
+        for m in SimilarityMeasure::ALL {
+            assert_eq!(m.compute(&short, &A), 0.0, "{m}");
+            assert_eq!(m.compute(&A, &short), 0.0, "{m}");
+            assert_eq!(m.compute(&[], &A), 0.0, "{m}");
+        }
     }
 
     #[test]

@@ -1,9 +1,33 @@
-//! Property tests for histograms, similarity measures and metrics.
+//! Property tests for histograms, similarity measures and metrics — the
+//! similarity properties run against the *cached* frequency path
+//! ([`Histogram::frequencies`] borrows) and the SoA matching engine.
 
 use proptest::prelude::*;
 use wifiprint_core::metrics::{identification_points, similarity_curve, MatchSet};
-use wifiprint_core::{BinSpec, Histogram, SimilarityMeasure};
-use wifiprint_ieee80211::MacAddr;
+use wifiprint_core::{
+    BinSpec, EvalConfig, Histogram, MatchScratch, NetworkParameter, ReferenceDb, Signature,
+    SimilarityMeasure,
+};
+use wifiprint_ieee80211::{FrameKind, MacAddr};
+
+/// Two histograms over one shared spec, filled from generated samples
+/// (possibly empty), exercising the cached-frequency path.
+fn histogram_pair(
+    width: f64,
+    a: &[f64],
+    b: &[f64],
+) -> (Histogram, Histogram) {
+    let spec = BinSpec::uniform_to(2500.0, width);
+    let mut ha = Histogram::new(spec.clone());
+    for &v in a {
+        ha.add(v);
+    }
+    let mut hb = Histogram::new(spec);
+    for &v in b {
+        hb.add(v);
+    }
+    (ha, hb)
+}
 
 fn arb_freqs(len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(0.0f64..1.0, len).prop_map(|raw| {
@@ -102,6 +126,93 @@ proptest! {
         // ratio + fpr never exceeds 1 (each instance counted once).
         for p in &points {
             prop_assert!(p.ratio + p.fpr <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_measures_stay_in_unit_interval_on_cached_frequencies(
+        a in prop::collection::vec(0.0f64..3000.0, 0..150),
+        b in prop::collection::vec(0.0f64..3000.0, 0..150),
+        width in 5.0f64..250.0,
+    ) {
+        let (ha, hb) = histogram_pair(width, &a, &b);
+        for m in SimilarityMeasure::ALL {
+            let s = m.compute(ha.frequencies(), hb.frequencies());
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "{m}: {s}");
+        }
+    }
+
+    #[test]
+    fn all_measures_symmetric_on_cached_frequencies(
+        a in prop::collection::vec(0.0f64..3000.0, 1..150),
+        b in prop::collection::vec(0.0f64..3000.0, 1..150),
+        width in 5.0f64..250.0,
+    ) {
+        let (ha, hb) = histogram_pair(width, &a, &b);
+        for m in SimilarityMeasure::ALL {
+            let ab = m.compute(ha.frequencies(), hb.frequencies());
+            let ba = m.compute(hb.frequencies(), ha.frequencies());
+            prop_assert!((ab - ba).abs() < 1e-9, "{m}: {ab} vs {ba}");
+        }
+    }
+
+    #[test]
+    fn identical_histograms_score_one_on_cached_frequencies(
+        values in prop::collection::vec(0.0f64..3000.0, 1..150),
+        width in 5.0f64..250.0,
+    ) {
+        let (h, _) = histogram_pair(width, &values, &[]);
+        for m in SimilarityMeasure::ALL {
+            let s = m.compute(h.frequencies(), h.frequencies());
+            prop_assert!((s - 1.0).abs() < 1e-9, "{m}: {s}");
+        }
+    }
+
+    #[test]
+    fn mismatched_bin_counts_score_zero_for_every_measure(
+        values in prop::collection::vec(0.0f64..900.0, 1..60),
+    ) {
+        let spec_a = BinSpec::uniform_to(1000.0, 10.0);
+        let spec_b = BinSpec::uniform_to(1000.0, 25.0); // different bin count
+        let mut ha = Histogram::new(spec_a);
+        let mut hb = Histogram::new(spec_b);
+        for &v in &values {
+            ha.add(v);
+            hb.add(v);
+        }
+        for m in SimilarityMeasure::ALL {
+            prop_assert_eq!(m.compute(ha.frequencies(), hb.frequencies()), 0.0, "{}", m);
+        }
+    }
+
+    #[test]
+    fn scratch_matching_agrees_with_owned_matching(
+        per_device in prop::collection::vec(
+            prop::collection::vec(0.0f64..2400.0, 1..40), 1..12),
+        cand_values in prop::collection::vec(0.0f64..2400.0, 1..40),
+    ) {
+        let cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime);
+        let mut db = ReferenceDb::new();
+        for (i, values) in per_device.iter().enumerate() {
+            let mut sig = Signature::new();
+            for (j, &v) in values.iter().enumerate() {
+                let kind = if j % 3 == 0 { FrameKind::ProbeReq } else { FrameKind::Data };
+                sig.record(kind, v, &cfg);
+            }
+            db.insert(MacAddr::from_index(i as u64 + 1), sig);
+        }
+        let mut cand = Signature::new();
+        for &v in &cand_values {
+            cand.record(FrameKind::Data, v, &cfg);
+        }
+        let mut scratch = MatchScratch::new();
+        for m in SimilarityMeasure::ALL {
+            let owned = db.match_signature(&cand, m);
+            let view = db.match_signature_with(&cand, m, &mut scratch);
+            prop_assert_eq!(view.similarities(), owned.similarities(), "{}", m);
+            for &(_, s) in view.similarities() {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "{m}: {s}");
+            }
         }
     }
 

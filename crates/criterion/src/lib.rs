@@ -1,0 +1,386 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] benchmark
+//! harness.
+//!
+//! The build environment for this workspace is offline, so the real
+//! criterion cannot be fetched from crates.io. This crate implements the
+//! subset of its API the workspace benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Throughput`, `criterion_group!` and
+//! `criterion_main!` — with a plain wall-clock measurement loop:
+//! a timed warm-up, then `sample_size` samples whose per-iteration times
+//! yield the reported median/mean/min.
+//!
+//! Extras over the real crate:
+//!
+//! * `WIFIPRINT_BENCH_JSON=<path>` appends one JSON object per finished
+//!   bench (`{"name":…,"median_ns":…,"mean_ns":…,"min_ns":…,"samples":…}`)
+//!   so perf snapshots like `BENCH_1.json` can be scripted;
+//! * positional CLI arguments act as substring filters on bench names
+//!   (`cargo bench --bench fingerprint -- match`), flags are ignored.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-per-iteration declaration; reported alongside timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A bench identifier: a function name, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id `"{name}/{parameter}"`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// An id that is just the parameter (grouped benches prepend the
+    /// group name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to bench closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling iterations per sample so that timer
+    /// resolution does not dominate sub-microsecond routines.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run for the configured duration and estimate cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns =
+            (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        // Aim for ~2 ms per sample, clamped to keep total time bounded.
+        let iters_per_sample = ((2_000_000.0 / est_ns) as u64).clamp(1, 1_000_000);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full bench name (group-qualified).
+    pub name: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample in nanoseconds.
+    pub min_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// The bench registry and runner.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    filters: Vec<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(200),
+            filters,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per bench.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration per bench.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Runs one bench.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(id.id.clone(), None, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// All results measured so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn matches_filter(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    fn run_one<F>(&mut self, name: String, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches_filter(&name) {
+            return;
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples_ns;
+        if samples.is_empty() {
+            return; // closure never called iter()
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples[0];
+        let result = BenchResult {
+            name: name.clone(),
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: min,
+            samples: samples.len(),
+        };
+        report(&result, throughput);
+        self.results.push(result);
+    }
+}
+
+/// A group of related benches sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one bench within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.id);
+        let throughput = self.throughput;
+        self.criterion.run_one(name, throughput, |b| f(b));
+        self
+    }
+
+    /// Runs one bench parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.id);
+        let throughput = self.throughput;
+        self.criterion.run_one(name, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(result: &BenchResult, throughput: Option<Throughput>) {
+    let human = human_time(result.median_ns);
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let gib = n as f64 / result.median_ns * 1e9 / (1024.0 * 1024.0 * 1024.0);
+            format!("  thrpt: {gib:.3} GiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / result.median_ns * 1e9;
+            format!("  thrpt: {eps:.0} elem/s")
+        }
+        None => String::new(),
+    };
+    println!(
+        "{:<48} time: [{human} median, {} min, {} samples]{rate}",
+        result.name,
+        human_time(result.min_ns),
+        result.samples,
+    );
+    if let Ok(path) = std::env::var("WIFIPRINT_BENCH_JSON") {
+        if let Ok(mut f) =
+            std::fs::OpenOptions::new().create(true).append(true).open(path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"name\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{}}}",
+                result.name, result.median_ns, result.mean_ns, result.min_ns, result.samples,
+            );
+        }
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a bench group: either `criterion_group!(name, target, …)` or
+/// the long form with an explicit `config = …` constructor.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        c.bench_function("spin_tiny", |b| b.iter(|| black_box(3u64).wrapping_mul(7)));
+    }
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion {
+            sample_size: 3,
+            warm_up: Duration::from_millis(1),
+            filters: Vec::new(),
+            results: Vec::new(),
+        };
+        spin(&mut c);
+        assert_eq!(c.results().len(), 1);
+        let r = &c.results()[0];
+        assert_eq!(r.name, "spin_tiny");
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+    }
+
+    #[test]
+    fn groups_qualify_names_and_filters_apply() {
+        let mut c = Criterion {
+            sample_size: 2,
+            warm_up: Duration::from_millis(1),
+            filters: vec!["wanted".into()],
+            results: Vec::new(),
+        };
+        {
+            let mut g = c.benchmark_group("grp");
+            g.throughput(Throughput::Elements(10));
+            g.bench_function("wanted", |b| b.iter(|| black_box(1u32) + 1));
+            g.bench_function("skipped", |b| b.iter(|| black_box(1u32) + 1));
+            g.finish();
+        }
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].name, "grp/wanted");
+    }
+
+    #[test]
+    fn human_time_units() {
+        assert!(human_time(12.0).ends_with("ns"));
+        assert!(human_time(12_000.0).ends_with("µs"));
+        assert!(human_time(12_000_000.0).ends_with("ms"));
+        assert!(human_time(12_000_000_000.0).ends_with("s"));
+    }
+}

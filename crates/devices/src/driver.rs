@@ -213,7 +213,7 @@ mod tests {
         let mut rng = InstanceRng::new(1, 2);
         for _ in 0..100 {
             let s = d.draw_skew_ppm(&mut rng);
-            assert!(s >= -35.0 && s <= 35.0);
+            assert!((-35.0..=35.0).contains(&s));
         }
     }
 }

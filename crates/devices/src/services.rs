@@ -207,7 +207,7 @@ mod tests {
         assert_eq!(presets.len(), 5);
         let sizes: Vec<usize> = presets.iter().map(|s| s.services.len()).collect();
         assert!(sizes.iter().any(|&s| s >= 4));
-        assert!(sizes.iter().any(|&s| s == 1));
+        assert!(sizes.contains(&1));
     }
 
     #[test]

@@ -28,6 +28,8 @@ impl SequenceCounter {
     }
 
     /// Returns the next sequence number (0..=4095) and advances.
+    // Not an Iterator: the counter is infinite and yields plain u16s.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u16 {
         let v = self.next;
         self.next = (self.next + 1) & 0x0fff;

@@ -5,19 +5,116 @@
 //! scenario seed, so simulations are bit-reproducible regardless of event
 //! interleaving changes elsewhere.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+/// An in-repo ChaCha8 block generator (the build environment is offline,
+/// so `rand_chacha` is not available). 8 double-rounds over the usual
+/// 16-word state: constants, 256-bit key, 64-bit block counter and a
+/// 64-bit stream id — distinct `(key, stream)` pairs give independent
+/// keystreams.
+#[derive(Debug, Clone)]
+struct ChaCha8 {
+    key: [u32; 8],
+    stream: u64,
+    counter: u64,
+    block: [u32; 16],
+    next_word: usize,
+}
+
+impl ChaCha8 {
+    fn new(seed: u64, stream: u64) -> Self {
+        // Expand the 64-bit seed into a 256-bit key with SplitMix64.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let w = next();
+            pair[0] = w as u32;
+            pair[1] = (w >> 32) as u32;
+        }
+        ChaCha8 { key, stream, counter: 0, block: [0; 16], next_word: 16 }
+    }
+
+    fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    fn refill(&mut self) {
+        let mut state = [
+            0x6170_7865,
+            0x3320_646E,
+            0x7962_2D32,
+            0x6B20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            self.stream as u32,
+            (self.stream >> 32) as u32,
+        ];
+        let input = state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds (column then diagonal).
+            Self::quarter_round(&mut state, 0, 4, 8, 12);
+            Self::quarter_round(&mut state, 1, 5, 9, 13);
+            Self::quarter_round(&mut state, 2, 6, 10, 14);
+            Self::quarter_round(&mut state, 3, 7, 11, 15);
+            Self::quarter_round(&mut state, 0, 5, 10, 15);
+            Self::quarter_round(&mut state, 1, 6, 11, 12);
+            Self::quarter_round(&mut state, 2, 7, 8, 13);
+            Self::quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input) {
+            *out = out.wrapping_add(inp);
+        }
+        self.block = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.next_word = 0;
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.next_word >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.next_word];
+        self.next_word += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
 
 /// A seeded random stream for one simulation component.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: ChaCha8Rng,
+    inner: ChaCha8,
 }
 
 impl SimRng {
     /// The root stream for a scenario seed.
     pub fn root(seed: u64) -> Self {
-        SimRng { inner: ChaCha8Rng::seed_from_u64(seed) }
+        SimRng { inner: ChaCha8::new(seed, 0) }
     }
 
     /// Derives an independent stream for component `id` under `seed`.
@@ -25,14 +122,12 @@ impl SimRng {
     /// Streams with different `(seed, id)` pairs are statistically
     /// independent; the same pair always yields the same stream.
     pub fn derive(seed: u64, id: u64) -> Self {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        rng.set_stream(id.wrapping_add(1)); // stream 0 is the root
-        SimRng { inner: rng }
+        SimRng { inner: ChaCha8::new(seed, id.wrapping_add(1)) } // stream 0 is the root
     }
 
     /// Uniform draw in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, bound)`; returns 0 for `bound == 0`.
@@ -40,7 +135,7 @@ impl SimRng {
         if bound == 0 {
             0
         } else {
-            self.inner.random_range(0..bound)
+            ((self.inner.next_u64() as u128 * bound as u128) >> 64) as u64
         }
     }
 
@@ -48,8 +143,11 @@ impl SimRng {
     pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
         if lo >= hi {
             lo
+        } else if hi - lo == u64::MAX {
+            // Full-width range: hi - lo + 1 would overflow.
+            self.inner.next_u64()
         } else {
-            self.inner.random_range(lo..=hi)
+            lo + self.below(hi - lo + 1)
         }
     }
 
@@ -60,26 +158,26 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.random::<f64>() < p
+            self.f64() < p
         }
     }
 
     /// Exponentially distributed value with the given mean.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        let u: f64 = self.inner.random::<f64>().max(f64::MIN_POSITIVE);
+        let u: f64 = self.f64().max(f64::MIN_POSITIVE);
         -mean * u.ln()
     }
 
     /// Gaussian draw via Box–Muller.
     pub fn gaussian(&mut self, mean: f64, std_dev: f64) -> f64 {
-        let u1: f64 = self.inner.random::<f64>().max(f64::MIN_POSITIVE);
-        let u2: f64 = self.inner.random();
+        let u1: f64 = self.f64().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.f64();
         mean + std_dev * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
     /// Pareto-distributed value with the given scale (minimum) and shape.
     pub fn pareto(&mut self, scale: f64, shape: f64) -> f64 {
-        let u: f64 = self.inner.random::<f64>().max(f64::MIN_POSITIVE);
+        let u: f64 = self.f64().max(f64::MIN_POSITIVE);
         scale / u.powf(1.0 / shape)
     }
 
@@ -140,6 +238,8 @@ mod tests {
         }
         assert_eq!(r.below(0), 0);
         assert_eq!(r.range_inclusive(4, 4), 4);
+        // Full-width range must not overflow.
+        let _ = r.range_inclusive(0, u64::MAX);
     }
 
     #[test]

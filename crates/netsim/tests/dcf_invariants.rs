@@ -1,7 +1,6 @@
 //! Integration tests: the simulator's captures must satisfy 802.11 DCF
 //! timing invariants and be deterministic under seeding.
 
-use wifiprint_ieee80211::timing::SIFS;
 use wifiprint_ieee80211::{FrameKind, MacAddr, Nanos, Rate};
 use wifiprint_netsim::{
     Arf, BackoffQuirk, CbrSource, LinkQuality, MobilityModel, PowerSaveNulls, ProbeScanner,
@@ -70,8 +69,8 @@ fn unicast_data_is_acked_at_sifs() {
     let mut acked = 0;
     let mut checked = 0;
     for pair in frames.windows(2) {
-        if pair[0].kind == FrameKind::Data && !pair[0].dest_group {
-            if pair[1].kind == FrameKind::Ack {
+        if pair[0].kind == FrameKind::Data && !pair[0].dest_group
+            && pair[1].kind == FrameKind::Ack {
                 acked += 1;
                 let gap = pair[1].t_start().saturating_sub(pair[0].t_end);
                 // SIFS (10 µs) ± jitter and skew; far below DIFS (50 µs).
@@ -81,7 +80,6 @@ fn unicast_data_is_acked_at_sifs() {
                 );
                 checked += 1;
             }
-        }
     }
     assert!(acked > 100, "only {acked} ACKed data frames");
     assert!(checked > 100);

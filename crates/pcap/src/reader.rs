@@ -107,10 +107,7 @@ impl<R: Read> Reader<R> {
     /// an I/O error.
     pub fn next_record(&mut self) -> Result<Option<Record>, PcapError> {
         let mut header = [0u8; 16];
-        match read_exact_or_truncated(&mut self.inner, &mut header, true)? {
-            None => return Ok(None),
-            Some(()) => {}
-        }
+        if read_exact_or_truncated(&mut self.inner, &mut header, true)?.is_none() { return Ok(None) }
         let field = |off: usize| {
             let v = u32::from_le_bytes(header[off..off + 4].try_into().expect("4 bytes"));
             if self.swapped {

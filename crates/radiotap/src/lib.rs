@@ -182,7 +182,7 @@ impl RxInfo {
     pub fn mhz_to_channel(mhz: u16) -> Option<u8> {
         match mhz {
             2484 => Some(14),
-            2412..=2472 if (mhz - 2407) % 5 == 0 => Some(((mhz - 2407) / 5) as u8),
+            2412..=2472 if (mhz - 2407).is_multiple_of(5) => Some(((mhz - 2407) / 5) as u8),
             _ => None,
         }
     }

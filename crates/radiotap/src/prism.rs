@@ -115,11 +115,10 @@ pub fn parse(buf: &[u8]) -> Result<(RxInfo, usize), HeaderError> {
         }
         match did {
             DID_MACTIME => info.tsft_us = Some(u64::from(data)),
-            DID_CHANNEL => {
-                if (1..=14).contains(&data) {
+            DID_CHANNEL
+                if (1..=14).contains(&data) => {
                     info.channel_mhz = Some(RxInfo::channel_to_mhz(data as u8));
                 }
-            }
             DID_SIGNAL => info.signal_dbm = Some(data as i32 as i8),
             DID_NOISE => info.noise_dbm = Some(data as i32 as i8),
             DID_RATE => info.rate = Rate::from_raw(data as u8),
