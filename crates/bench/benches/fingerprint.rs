@@ -1,19 +1,28 @@
 //! Microbenchmarks of the fingerprinting pipeline: signature
 //! construction, histogram similarity, and Algorithm 1 matching —
-//! including the headline comparisons for the SoA matching engine:
+//! including the headline comparisons for the tiled f32 SIMD matching
+//! engine:
 //!
 //! * `match_one_candidate/{naive,matrix}/N` — the per-call-allocation
-//!   baseline (`match_signature_naive`, the pre-SoA layout) against the
-//!   scratch-buffered matrix sweep (`match_signature_with`) for growing
+//!   f64 baseline (`match_signature_naive`, the pre-SoA layout) against
+//!   the f32 SIMD matrix sweep (`match_signature_with`) for growing
 //!   reference-database sizes up to 256 devices;
+//! * `dot_kernel/{f64_scalar,f32_portable,f32_dispatch}` — the f32-vs-f64
+//!   kernel comparison on one reference-row-sized dot product (the
+//!   dispatch name is printed by `perf_snapshot`);
+//! * `match_tile/{matvec_x8,tile_x8}` — eight independent matrix–vector
+//!   sweeps versus one matrix–matrix tile over the same eight windows;
+//! * `db_insert_stream/{stream,bulk}/N` — incremental appends versus the
+//!   one-shot pack (streaming inserts are no longer quadratic);
 //! * `match_window_batch/{serial,parallel}` — one thread reusing a
 //!   scratch versus the `parallel`-feature batch fan-out over a
 //!   multi-window candidate set.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
 use std::hint::black_box;
 use wifiprint_core::{
-    EvalConfig, MatchScratch, NetworkParameter, ReferenceDb, Signature, SignatureBuilder,
+    kernel, EvalConfig, MatchScratch, NetworkParameter, ReferenceDb, Signature, SignatureBuilder,
     SimilarityMeasure,
 };
 use wifiprint_ieee80211::{Frame, FrameKind, MacAddr, Nanos, Rate};
@@ -106,6 +115,87 @@ fn bench_matching_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// One reference-row-sized dot product per kernel: the f64 scalar
+/// baseline (the PR-1 inner loop) against the portable and dispatched
+/// f32 kernels.
+fn bench_dot_kernels(c: &mut Criterion) {
+    const BINS: usize = 251; // the inter-arrival row width
+    let a64: Vec<f64> = (0..BINS).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
+    let b64: Vec<f64> = (0..BINS).map(|i| ((i * 53) % 89) as f64 / 89.0).collect();
+    let a32: Vec<f32> = a64.iter().map(|&v| v as f32).collect();
+    let b32: Vec<f32> = b64.iter().map(|&v| v as f32).collect();
+    let mut group = c.benchmark_group("dot_kernel");
+    group.bench_function("f64_scalar", |b| {
+        b.iter(|| black_box(kernel::dot_f64(black_box(&a64), black_box(&b64))))
+    });
+    group.bench_function("f32_portable", |b| {
+        b.iter(|| black_box(kernel::dot_f32_portable(black_box(&a32), black_box(&b32))))
+    });
+    group.bench_function("f32_dispatch", |b| {
+        b.iter(|| black_box(kernel::dot_f32(black_box(&a32), black_box(&b32))))
+    });
+    group.finish();
+}
+
+/// The tiling payoff: eight windows scored as eight matrix–vector sweeps
+/// (eight passes over the reference rows) versus one matrix–matrix tile
+/// (each row loaded once, dotted against all eight).
+fn bench_match_tile(c: &mut Criterion) {
+    let db = reference_db(256);
+    let windows: Vec<Signature> = (0..8u64).map(|w| synthetic_signature(w * 11 + 3, 500)).collect();
+    let mut group = c.benchmark_group("match_tile");
+    group.bench_function("matvec_x8", |b| {
+        let mut scratch = MatchScratch::new();
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for cand in &windows {
+                let view = db.match_signature_with(cand, SimilarityMeasure::Cosine, &mut scratch);
+                acc += view.best().map_or(0.0, |(_, s)| s);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("tile_x8", |b| {
+        let mut scratch = MatchScratch::new();
+        b.iter(|| {
+            let tile = db.match_tile(&windows, SimilarityMeasure::Cosine, &mut scratch);
+            let acc: f64 =
+                tile.views().map(|v| v.best().map_or(0.0, |(_, s)| s)).sum();
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+/// Incremental growth: building a database by streaming inserts (now
+/// amortised O(row) per insert) versus the one-shot bulk pack. Before
+/// the append path, the stream variant repacked every block per insert —
+/// quadratic in the device count.
+fn bench_db_insert_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("db_insert_stream");
+    for devices in [64u64, 256] {
+        let sigs: Vec<(u64, Signature)> =
+            (0..devices).map(|d| (d, synthetic_signature(d, 200))).collect();
+        group.bench_with_input(BenchmarkId::new("stream", devices), &devices, |b, _| {
+            b.iter(|| {
+                let mut db = ReferenceDb::new();
+                for (d, sig) in &sigs {
+                    db.insert(MacAddr::from_index(*d), sig.clone());
+                }
+                black_box(db.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bulk", devices), &devices, |b, _| {
+            b.iter(|| {
+                let map: BTreeMap<MacAddr, Signature> =
+                    sigs.iter().map(|(d, s)| (MacAddr::from_index(*d), s.clone())).collect();
+                black_box(ReferenceDb::from_signatures(map).len())
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Serial versus parallel evaluation of a multi-window candidate batch
 /// against a 256-device reference DB.
 fn bench_window_batch(c: &mut Criterion) {
@@ -138,6 +228,6 @@ criterion_group! {
     name = benches;
     config = config();
     targets = bench_signature_build, bench_similarity_measures, bench_matching_scaling,
-        bench_window_batch
+        bench_dot_kernels, bench_match_tile, bench_db_insert_stream, bench_window_batch
 }
 criterion_main!(benches);

@@ -1,22 +1,36 @@
 //! Emits a machine-readable perf snapshot (`BENCH_<n>.json`) so the
 //! repository keeps a trajectory of matching-engine throughput across
-//! PRs.
+//! PRs, and optionally gates CI on it.
 //!
-//! Usage: `cargo run --release -p wifiprint-bench --bin perf_snapshot
-//! [output.json]` (default `BENCH_1.json` in the current directory).
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p wifiprint-bench --bin perf_snapshot \
+//!     [output.json] [--check baseline.json]
+//! ```
+//!
+//! Default output is `BENCH_2.json` in the current directory. With
+//! `--check`, the freshly measured `match_matrix_ns` is compared against
+//! the committed baseline snapshot and the process exits non-zero if it
+//! regressed by more than 25 % — the CI perf-smoke gate.
 //!
 //! The measurements mirror the headline benches in
-//! `crates/bench/benches/fingerprint.rs`: naive-vs-matrix matching
-//! against a 256-device reference DB, and serial-vs-parallel evaluation
-//! of a 512-window candidate batch.
+//! `crates/bench/benches/fingerprint.rs`: the naive f64 baseline versus
+//! the f32 SIMD matrix sweep at 256 devices, the K=8 matrix–matrix tile
+//! versus 8 matrix–vector sweeps, the f32-vs-f64 dot kernels (with the
+//! runtime dispatch decision), streaming insert cost, and the
+//! serial-vs-parallel window batch.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use wifiprint_core::{
-    EvalConfig, MatchScratch, NetworkParameter, ReferenceDb, Signature, SimilarityMeasure,
+    kernel, EvalConfig, MatchScratch, NetworkParameter, ReferenceDb, Signature, SimilarityMeasure,
 };
 use wifiprint_ieee80211::{FrameKind, MacAddr};
+
+/// Allowed relative regression of `match_matrix_ns` under `--check`.
+const REGRESSION_BUDGET: f64 = 0.25;
 
 fn synthetic_signature(seed: u64, obs: u64) -> Signature {
     let cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime);
@@ -50,18 +64,38 @@ fn measure<F: FnMut()>(samples: usize, iters_per_sample: usize, mut f: F) -> f64
     times[times.len() / 2]
 }
 
+/// Pulls a numeric field out of a previous snapshot without a JSON
+/// dependency (the format is this binary's own single-level output).
+fn read_field(json: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let rest = &json[json.find(&key)? + key.len()..];
+    let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
 fn main() {
-    let out_path =
-        std::env::args().nth(1).unwrap_or_else(|| "BENCH_1.json".to_owned());
+    let mut out_path = "BENCH_2.json".to_owned();
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--check" {
+            check_path = Some(args.next().expect("--check requires a baseline path"));
+        } else {
+            out_path = arg;
+        }
+    }
 
     let mut db = ReferenceDb::new();
     for d in 0..256u64 {
         db.insert(MacAddr::from_index(d), synthetic_signature(d, 500));
     }
     let candidate = synthetic_signature(3, 500);
+    let windows: Vec<Signature> =
+        (0..8u64).map(|w| synthetic_signature(w * 11 + 3, 500)).collect();
     let candidates: Vec<Signature> =
         (0..512u64).map(|w| synthetic_signature(w % 97, 200)).collect();
 
+    // Headline: naive f64 baseline vs the f32 SIMD matrix sweep.
     let naive_ns = measure(15, 20, || {
         std::hint::black_box(db.match_signature_naive(&candidate, SimilarityMeasure::Cosine));
     });
@@ -70,6 +104,41 @@ fn main() {
         let view = db.match_signature_with(&candidate, SimilarityMeasure::Cosine, &mut scratch);
         std::hint::black_box(view.best());
     });
+
+    // Tiling: 8 matrix–vector sweeps vs one K=8 matrix–matrix tile
+    // (both reported per tile of 8 windows).
+    let matvec8_ns = measure(15, 10, || {
+        for cand in &windows {
+            let view = db.match_signature_with(cand, SimilarityMeasure::Cosine, &mut scratch);
+            std::hint::black_box(view.best());
+        }
+    });
+    let tile_ns = measure(15, 10, || {
+        let tile = db.match_tile(&windows, SimilarityMeasure::Cosine, &mut scratch);
+        std::hint::black_box(tile.candidate(7).best());
+    });
+
+    // Kernel microbench: one 251-bin dot product per variant.
+    let row64: Vec<f64> = (0..251).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
+    let col64: Vec<f64> = (0..251).map(|i| ((i * 53) % 89) as f64 / 89.0).collect();
+    let row32: Vec<f32> = row64.iter().map(|&v| v as f32).collect();
+    let col32: Vec<f32> = col64.iter().map(|&v| v as f32).collect();
+    let dot_f64_ns = measure(15, 20_000, || {
+        std::hint::black_box(kernel::dot_f64(&row64, &col64));
+    });
+    let dot_f32_ns = measure(15, 20_000, || {
+        std::hint::black_box(kernel::dot_f32(&row32, &col32));
+    });
+
+    // Streaming inserts: per-device cost of growing to 256 devices.
+    let insert_sigs: Vec<Signature> = (0..256u64).map(|d| synthetic_signature(d, 200)).collect();
+    let insert_ns = measure(9, 1, || {
+        let mut fresh = ReferenceDb::new();
+        for (d, sig) in insert_sigs.iter().enumerate() {
+            fresh.insert(MacAddr::from_index(d as u64), sig.clone());
+        }
+        std::hint::black_box(fresh.len());
+    }) / insert_sigs.len() as f64;
 
     let mut serial_scratch = MatchScratch::new();
     let serial_ns = measure(9, 1, || {
@@ -86,16 +155,27 @@ fn main() {
     });
 
     let match_speedup = naive_ns / matrix_ns;
+    let tile_speedup = matvec8_ns / tile_ns;
+    let kernel_speedup = dot_f64_ns / dot_f32_ns;
     let batch_speedup = serial_ns / parallel_ns;
     let mut json = String::from("{\n");
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let _ = writeln!(json, "  \"schema\": \"wifiprint-bench-snapshot-v1\",");
+    let _ = writeln!(json, "  \"schema\": \"wifiprint-bench-snapshot-v2\",");
     let _ = writeln!(json, "  \"cpus\": {cpus},");
+    let _ = writeln!(json, "  \"kernel\": \"{}\",", kernel::active());
     let _ = writeln!(json, "  \"reference_devices\": 256,");
     let _ = writeln!(json, "  \"batch_windows\": 512,");
     let _ = writeln!(json, "  \"match_naive_ns\": {naive_ns:.0},");
     let _ = writeln!(json, "  \"match_matrix_ns\": {matrix_ns:.0},");
     let _ = writeln!(json, "  \"match_speedup\": {match_speedup:.2},");
+    let _ = writeln!(json, "  \"tile_k\": 8,");
+    let _ = writeln!(json, "  \"tile_matvec_ns\": {matvec8_ns:.0},");
+    let _ = writeln!(json, "  \"tile_ns\": {tile_ns:.0},");
+    let _ = writeln!(json, "  \"tile_speedup\": {tile_speedup:.2},");
+    let _ = writeln!(json, "  \"dot_f64_ns\": {dot_f64_ns:.1},");
+    let _ = writeln!(json, "  \"dot_f32_ns\": {dot_f32_ns:.1},");
+    let _ = writeln!(json, "  \"kernel_speedup\": {kernel_speedup:.2},");
+    let _ = writeln!(json, "  \"insert_stream_ns_per_device\": {insert_ns:.0},");
     let _ = writeln!(json, "  \"batch_serial_ns\": {serial_ns:.0},");
     let _ = writeln!(json, "  \"batch_parallel_ns\": {parallel_ns:.0},");
     let _ = writeln!(json, "  \"batch_speedup\": {batch_speedup:.2}");
@@ -104,4 +184,24 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write snapshot");
     println!("{json}");
     println!("wrote {out_path}");
+
+    if let Some(baseline_path) = check_path {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let baseline_matrix = read_field(&baseline, "match_matrix_ns")
+            .expect("baseline lacks match_matrix_ns");
+        let limit = baseline_matrix * (1.0 + REGRESSION_BUDGET);
+        if matrix_ns > limit {
+            eprintln!(
+                "PERF REGRESSION: match_matrix_ns {matrix_ns:.0} exceeds {limit:.0} \
+                 (baseline {baseline_matrix:.0} + {:.0}%)",
+                REGRESSION_BUDGET * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "perf check ok: match_matrix_ns {matrix_ns:.0} within {:.0}% of baseline {baseline_matrix:.0}",
+            REGRESSION_BUDGET * 100.0
+        );
+    }
 }

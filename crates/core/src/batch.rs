@@ -38,6 +38,34 @@ where
     }
 }
 
+/// Maps `items` through `f` one **tile** (contiguous chunk of at most
+/// `tile` items) at a time, flattening the per-tile outputs back into
+/// item order.
+///
+/// This is the fan-out shape of the tiled matching engine
+/// ([`ReferenceDb::match_tile`](crate::ReferenceDb::match_tile)): a tile
+/// of candidate windows shares one pass over the reference rows, tiles
+/// are independent, and — with the `parallel` feature — tiles are what
+/// gets distributed across workers, each with its own scratch. `f` must
+/// return exactly one output per input item for the flattened order to
+/// line up (all callers in this workspace do).
+pub fn map_tiles_with_scratch<T, S, U, I, F>(
+    items: &[T],
+    tile: usize,
+    init: I,
+    f: F,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &[T]) -> Vec<U> + Sync,
+{
+    let tiles: Vec<&[T]> = items.chunks(tile.max(1)).collect();
+    let nested = map_with_scratch(&tiles, init, |scratch, chunk| f(scratch, chunk));
+    nested.into_iter().flatten().collect()
+}
+
 /// [`map_with_scratch`] with an explicit worker count (tests force the
 /// threaded path regardless of the host's CPU count).
 #[cfg(feature = "parallel")]
@@ -113,6 +141,21 @@ mod tests {
     fn empty_batch() {
         let out = map_with_scratch(&[] as &[u8], || (), |_, _| 1u8);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn tiled_map_flattens_in_order() {
+        let items: Vec<u32> = (0..23).collect();
+        for tile in [1, 4, 8, 23, 100] {
+            let out = map_tiles_with_scratch(&items, tile, || 0u32, |scratch, chunk| {
+                *scratch += 1; // scratch survives across a worker's tiles
+                assert!(chunk.len() <= tile);
+                chunk.iter().map(|&x| x * 3).collect()
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>(), "tile {tile}");
+        }
+        let empty = map_tiles_with_scratch(&[] as &[u8], 0, || (), |_, c| vec![0u8; c.len()]);
+        assert!(empty.is_empty());
     }
 
     #[test]

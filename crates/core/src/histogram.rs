@@ -4,6 +4,10 @@
 //! [`OnceLock`], so the matching hot path borrows it instead of
 //! re-normalising: recording an observation invalidates the cache, and the
 //! first `frequencies()` call after a mutation rebuilds it once.
+//! [`Histogram::frequencies_f32`] caches the same distribution narrowed to
+//! `f32` — the storage type of the SIMD matching kernel's packed rows
+//! ([`matching`](crate::matching)) — so candidate signatures are converted
+//! once per mutation, not once per match.
 
 use core::fmt;
 use std::sync::OnceLock;
@@ -138,6 +142,10 @@ pub struct Histogram {
     /// Lazily computed normalised frequencies; reset on every mutation.
     #[cfg_attr(feature = "serde", serde(skip, default))]
     freqs: OnceLock<Vec<f64>>,
+    /// The same frequencies narrowed to `f32` for the SIMD matching rows;
+    /// reset on every mutation.
+    #[cfg_attr(feature = "serde", serde(skip, default))]
+    freqs32: OnceLock<Vec<f32>>,
 }
 
 impl PartialEq for Histogram {
@@ -151,7 +159,7 @@ impl Histogram {
     /// An empty histogram over the given bins.
     pub fn new(spec: BinSpec) -> Self {
         let counts = vec![0; spec.bin_count()];
-        Histogram { spec, counts, total: 0, freqs: OnceLock::new() }
+        Histogram { spec, counts, total: 0, freqs: OnceLock::new(), freqs32: OnceLock::new() }
     }
 
     /// Records one observation.
@@ -159,7 +167,7 @@ impl Histogram {
         let idx = self.spec.bin_index(value);
         self.counts[idx] += 1;
         self.total += 1;
-        self.freqs = OnceLock::new();
+        self.invalidate();
     }
 
     /// Records an observation `n` times.
@@ -167,7 +175,7 @@ impl Histogram {
         let idx = self.spec.bin_index(value);
         self.counts[idx] += n;
         self.total += n;
-        self.freqs = OnceLock::new();
+        self.invalidate();
     }
 
     /// Merges another histogram with the same spec into this one.
@@ -181,7 +189,13 @@ impl Histogram {
             *a += b;
         }
         self.total += other.total;
+        self.invalidate();
+    }
+
+    /// Drops both cached frequency forms after a mutation.
+    fn invalidate(&mut self) {
         self.freqs = OnceLock::new();
+        self.freqs32 = OnceLock::new();
     }
 
     /// Number of observations recorded.
@@ -206,6 +220,14 @@ impl Histogram {
     /// instead of allocating.
     pub fn frequencies(&self) -> &[f64] {
         self.freqs.get_or_init(|| self.frequency_vec())
+    }
+
+    /// The percentage-frequency distribution narrowed to `f32` — the row
+    /// format of the SIMD matching kernel. Computed from
+    /// [`Histogram::frequencies`] once and cached until the next
+    /// mutation, so the matching hot path borrows both forms.
+    pub fn frequencies_f32(&self) -> &[f32] {
+        self.freqs32.get_or_init(|| self.frequencies().iter().map(|&f| f as f32).collect())
     }
 
     /// The percentage-frequency distribution as a freshly allocated
@@ -237,7 +259,7 @@ impl Histogram {
     pub fn from_counts(spec: BinSpec, counts: Vec<u64>) -> Self {
         assert_eq!(counts.len(), spec.bin_count(), "count vector does not match spec");
         let total = counts.iter().sum();
-        Histogram { spec, counts, total, freqs: OnceLock::new() }
+        Histogram { spec, counts, total, freqs: OnceLock::new(), freqs32: OnceLock::new() }
     }
 }
 

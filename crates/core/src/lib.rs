@@ -19,7 +19,9 @@
 //!    weighted histograms is the device's **signature** ([`Signature`]).
 //! 3. A candidate signature is matched against a [`ReferenceDb`] with the
 //!    weighted **cosine similarity** of Algorithm 1 ([`matching`]) — a
-//!    structure-of-arrays matrix sweep with reusable [`MatchScratch`]
+//!    structure-of-arrays `f32` matrix sweep driven by a runtime-dispatched
+//!    SIMD dot kernel ([`kernel`]), scoring tiles of candidate windows per
+//!    pass over the reference rows, with reusable [`MatchScratch`]
 //!    buffers, batched and optionally parallel ([`batch`]).
 //! 4. Accuracy is measured with the paper's two tests ([`metrics`]): the
 //!    **similarity test** (threshold sweep → TPR/FPR curve → AUC) and the
@@ -56,7 +58,10 @@
 //! assert!(db.get(&sta).is_some());
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and re-allowed in exactly one place: the
+// SIMD dot kernels in [`kernel`], where every unsafe block carries a
+// safety comment.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -64,6 +69,7 @@ pub mod batch;
 mod config;
 mod db;
 mod histogram;
+pub mod kernel;
 pub mod matching;
 pub mod metrics;
 mod params;
@@ -74,7 +80,10 @@ mod windows;
 pub use config::{default_bins, EvalConfig, FrameFilter, TxTimeEstimator};
 pub use db::{load_db, save_db, DbCodecError};
 pub use histogram::{BinSpec, Histogram};
-pub use matching::{MatchOutcome, MatchScratch, MatchView, ReferenceDb};
+pub use kernel::KernelKind;
+pub use matching::{
+    MatchOutcome, MatchScratch, MatchView, ReferenceDb, TileView, F32_SCORE_TOLERANCE, MATCH_TILE,
+};
 pub use metrics::{
     evaluate, CurvePoint, EvalOutcome, IdentOperatingPoint, MatchSet, SimilarityCurve,
 };

@@ -1,6 +1,6 @@
 //! The reference database and Algorithm 1 (signature matching).
 //!
-//! # Structure-of-arrays layout
+//! # Structure-of-arrays layout, in `f32`
 //!
 //! Matching one candidate against `N` references evaluates
 //! `Σ_{ftype} weight^ftype(rᵢ) · sim(P^ftype(c), P^ftype(rᵢ))` for every
@@ -11,30 +11,52 @@
 //! contiguous row-major matrix:
 //!
 //! ```text
-//! KindBlock(Data):   rows  = [ dev₀ bins… | dev₁ bins… | … | devₙ bins… ]
-//!                    weights = [ w₀, w₁, …, wₙ ]      (reference weights)
+//! KindBlock(Data):   rows  = [ dev₀ bins… | dev₁ bins… | … | devₙ bins… ]  (f32)
+//!                    weights   = [ w₀, w₁, …, wₙ ]   (f32 reference weights)
+//!                    inv_norms = [ 1/‖r₀‖, …, 1/‖rₙ‖ ]  (f32, 0 ⇒ empty row)
 //! KindBlock(Beacon): rows  = [ … ]
 //! ```
 //!
-//! Devices missing a kind hold weight 0 and an all-zero row; the sweep
-//! skips them by the weight test alone, so the per-pair kernel
-//! ([`SimilarityMeasure`]'s dense form) runs without per-row zero scans
-//! or length checks. Each block also stores the precomputed L2 norm of
-//! every row, so for the paper's cosine measure the per-pair kernel
-//! collapses to a single unrolled dot product (the candidate's norm is
-//! hoisted out of the device loop). One candidate is then matched by
-//! walking each block linearly — a matrix–vector sweep that stays in
-//! cache and feeds the FPU independent accumulator chains.
+//! Rows, weights and norms are stored as **`f32`**: histogram frequencies
+//! carry nowhere near 53 bits of information, and halving the row width
+//! doubles the rows per cache line and per SIMD lane. Devices missing a
+//! kind hold weight 0 and an all-zero row; the sweep skips them by the
+//! weight test alone. Per-device *scores* still accumulate in `f64`, so
+//! the only precision loss is the one-off `f64 → f32` quantisation of the
+//! stored rows — bounded by [`F32_SCORE_TOLERANCE`] and enforced against
+//! the `f64` baseline by property tests and an AUC-drift check in the
+//! analysis crate.
+//!
+//! # The SIMD dot kernel
+//!
+//! For the paper's cosine measure the per-pair kernel collapses to a
+//! single dense dot product (row norms are fixed at pack time, the
+//! candidate norm is hoisted out of the device loop). That dot runs
+//! through [`kernel`](crate::kernel): an AVX2+FMA path selected at
+//! runtime on x86, a NEON path on aarch64, and an unrolled portable
+//! fallback — all property-tested equivalent. The dispatch is resolved to
+//! a function pointer once per sweep, not once per pair.
+//!
+//! # Multi-candidate tiling: matrix–matrix, not K × matrix–vector
+//!
+//! Detection evaluates whole windows of candidates against the same
+//! database. [`ReferenceDb::match_tile`] scores a tile of `K` candidates
+//! in **one** pass over the reference rows: each row is loaded once and
+//! dotted against all `K` candidate rows while it is hot in L1, turning K
+//! matrix–vector sweeps (K full passes over the matrix) into one
+//! matrix–matrix sweep. [`MATCH_TILE`] is the tile width the batch paths
+//! ([`ReferenceDb::match_batch`], `metrics::match_candidates`, and through
+//! it the analysis pipeline) use.
 //!
 //! # Scratch buffers: allocation-free steady state
 //!
-//! [`ReferenceDb::match_signature_with`] writes scores into a caller-owned
-//! [`MatchScratch`] and returns a borrowed [`MatchView`]. After the first
-//! call warms the scratch's capacity, matching performs **no heap
-//! allocation**: candidate frequency vectors are cached borrows
-//! ([`Histogram::frequencies`](crate::Histogram::frequencies)), scores
-//! accumulate into the reused buffer, and the view borrows rather than
-//! copies. Use one scratch per worker thread:
+//! [`ReferenceDb::match_signature_with`] and [`ReferenceDb::match_tile`]
+//! write scores into a caller-owned [`MatchScratch`] and return borrowed
+//! views. After the first call warms the scratch's capacity, matching
+//! performs **no heap allocation**: candidate frequency vectors are cached
+//! borrows ([`Histogram::frequencies_f32`](crate::Histogram::frequencies_f32)),
+//! scores accumulate into reused buffers, and the views borrow rather
+//! than copy. Use one scratch per worker thread:
 //!
 //! ```
 //! use wifiprint_core::{EvalConfig, MatchScratch, NetworkParameter, ReferenceDb, Signature,
@@ -52,23 +74,53 @@
 //!     let view = db.match_signature_with(&sig, SimilarityMeasure::Cosine, &mut scratch);
 //!     assert_eq!(view.best().unwrap().0, MacAddr::from_index(1));
 //! }
+//! // A whole tile of windows in one row pass:
+//! let windows = vec![sig.clone(), sig.clone(), sig.clone()];
+//! let tile = db.match_tile(&windows, SimilarityMeasure::Cosine, &mut scratch);
+//! assert_eq!(tile.candidate_count(), 3);
+//! assert_eq!(tile.candidate(2).best().unwrap().0, MacAddr::from_index(1));
 //! ```
 //!
-//! [`ReferenceDb::match_signature`] remains as a convenience that owns its
-//! result (one allocation per call); [`ReferenceDb::match_batch`] scores
-//! many candidates at once and, with the `parallel` feature (default),
-//! fans the batch out across threads with one scratch per worker.
+//! # Incremental growth
+//!
+//! [`ReferenceDb::insert`] appends one row per block (amortised `O(row)`)
+//! instead of repacking every block, so streaming database growth is
+//! linear in the data, not quadratic. Internally rows live in insertion
+//! order with a sorted index on top; every public API still reports
+//! devices in ascending address order.
 
+use std::borrow::Borrow;
 use std::collections::BTreeMap;
 
 use wifiprint_ieee80211::{FrameKind, MacAddr};
 
+use crate::kernel;
 use crate::signature::Signature;
 use crate::similarity::SimilarityMeasure;
 
+/// Worst-case drift of a matching score computed over the packed `f32`
+/// rows relative to the same score in full `f64`.
+///
+/// Scores lie in `[0, 1]`. Rows are `f64` frequencies rounded once to
+/// `f32` (relative error ≤ 2⁻²⁴ per element), dots and norms run in
+/// `f32`, and everything downstream (weighting, accumulation across frame
+/// kinds) is `f64`. For the ≤ ~500-bin rows this crate produces, the
+/// accumulated error stays ≳ an order of magnitude below this bound;
+/// property tests and the analysis crate's AUC-drift check enforce it.
+pub const F32_SCORE_TOLERANCE: f64 = 1e-4;
+
+/// Tile width for multi-candidate matching: how many candidate windows
+/// [`ReferenceDb::match_batch`] (and the metrics/analysis paths built on
+/// it) score per pass over the reference rows.
+///
+/// Eight rows of ≤ ~500 `f32` bins (≤ 16 KiB) fit in L1 alongside the
+/// reference row being swept, which is the point: each reference row is
+/// loaded from memory once per tile instead of once per candidate.
+pub const MATCH_TILE: usize = 8;
+
 /// One frame kind's slice of the reference matrix: every device's
 /// frequency vector for that kind, packed row-major, plus the reference
-/// weights `weight^ftype(rᵢ)`.
+/// weights `weight^ftype(rᵢ)` and reciprocal row norms.
 #[derive(Debug, Clone)]
 struct KindBlock {
     kind: FrameKind,
@@ -77,17 +129,37 @@ struct KindBlock {
     /// so heterogeneous databases still score every compatible pair.
     bins: usize,
     /// `weights[i]` is device `i`'s weight for this kind (0 ⇒ skip row).
-    weights: Vec<f64>,
+    weights: Vec<f32>,
     /// `rows[i*bins..(i+1)*bins]` is device `i`'s frequency vector.
-    rows: Vec<f64>,
-    /// `norms[i]` is the L2 norm of row `i`, precomputed at pack time so
-    /// the cosine sweep reduces to one dot product per pair.
-    norms: Vec<f64>,
+    rows: Vec<f32>,
+    /// `inv_norms[i]` is `1 / ‖row i‖₂`, precomputed at pack time so the
+    /// cosine sweep reduces to one dot product and two multiplies per
+    /// pair (0.0 for absent rows, which weight 0 already skips).
+    inv_norms: Vec<f32>,
+}
+
+impl KindBlock {
+    fn empty(kind: FrameKind, bins: usize, n: usize) -> KindBlock {
+        KindBlock {
+            kind,
+            bins,
+            weights: vec![0.0; n],
+            rows: vec![0.0; n * bins],
+            inv_norms: vec![0.0; n],
+        }
+    }
+
+    /// Clears row `i` back to the absent-device state.
+    fn clear_row(&mut self, i: usize) {
+        self.weights[i] = 0.0;
+        self.inv_norms[i] = 0.0;
+        self.rows[i * self.bins..(i + 1) * self.bins].fill(0.0);
+    }
 }
 
 /// The reference database of the learning phase (§IV-B): one signature per
-/// known device, packed into per-frame-kind matrices (see the [module
-/// docs](self)).
+/// known device, packed into per-frame-kind `f32` matrices (see the
+/// [module docs](self)).
 ///
 /// # Example
 ///
@@ -105,15 +177,19 @@ struct KindBlock {
 ///
 /// let outcome = db.match_signature(&sig, SimilarityMeasure::Cosine);
 /// assert_eq!(outcome.best().unwrap().0, dev);
-/// assert!((outcome.best().unwrap().1 - 1.0).abs() < 1e-9);
+/// assert!((outcome.best().unwrap().1 - 1.0).abs() < 1e-4);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ReferenceDb {
-    /// Reference devices in ascending address order; `signatures` and the
-    /// block rows are parallel to this.
+    /// Reference devices in **insertion order**; `signatures` and the
+    /// block rows are parallel to this, so inserts append instead of
+    /// repacking.
     devices: Vec<MacAddr>,
     signatures: Vec<Signature>,
-    /// Per-frame-kind matrices, ascending by kind.
+    /// Row indices sorted by ascending device address: the lookup index,
+    /// and the order every public API reports devices in.
+    order: Vec<u32>,
+    /// Per-frame-kind matrices, ascending by `(kind, bins)`.
     blocks: Vec<KindBlock>,
 }
 
@@ -137,46 +213,73 @@ impl ReferenceDb {
         db
     }
 
-    /// Inserts or replaces a device's reference signature, repacking the
-    /// reference matrix.
+    /// Position of `device` in the sorted `order` index.
+    fn position(&self, device: &MacAddr) -> Result<usize, usize> {
+        self.order.binary_search_by(|&i| self.devices[i as usize].cmp(device))
+    }
+
+    /// Inserts or replaces a device's reference signature.
     ///
     /// Returns the previous signature if the device was already present.
-    /// Each insert repacks in `O(total bins)`; to build a large database,
-    /// prefer [`ReferenceDb::from_signatures`], which packs once.
+    /// Inserting a new device **appends** one row to each block
+    /// (amortised `O(row width)`), so building a database by streaming
+    /// inserts is linear overall; replacing rewrites only that device's
+    /// rows. [`ReferenceDb::from_signatures`] remains the cheapest bulk
+    /// constructor (one pack, no per-insert index maintenance).
     pub fn insert(&mut self, device: MacAddr, signature: Signature) -> Option<Signature> {
-        let previous = match self.devices.binary_search(&device) {
-            Ok(i) => Some(std::mem::replace(&mut self.signatures[i], signature)),
-            Err(i) => {
-                self.devices.insert(i, device);
-                self.signatures.insert(i, signature);
+        match self.position(&device) {
+            Ok(pos) => {
+                let row = self.order[pos] as usize;
+                let previous = std::mem::replace(&mut self.signatures[row], signature);
+                for block in &mut self.blocks {
+                    block.clear_row(row);
+                }
+                self.write_row(row);
+                Some(previous)
+            }
+            Err(pos) => {
+                let row = self.devices.len();
+                self.devices.push(device);
+                self.signatures.push(signature);
+                self.order.insert(pos, row as u32);
+                for block in &mut self.blocks {
+                    block.weights.push(0.0);
+                    block.inv_norms.push(0.0);
+                    block.rows.resize(block.rows.len() + block.bins, 0.0);
+                }
+                self.write_row(row);
                 None
             }
-        };
-        self.rebuild();
-        previous
+        }
     }
 
     /// Removes a device, returning its signature.
     pub fn remove(&mut self, device: &MacAddr) -> Option<Signature> {
-        match self.devices.binary_search(device) {
-            Ok(i) => {
-                self.devices.remove(i);
-                let sig = self.signatures.remove(i);
-                self.rebuild();
-                Some(sig)
+        let pos = self.position(device).ok()?;
+        let row = self.order.remove(pos) as usize;
+        self.devices.remove(row);
+        let sig = self.signatures.remove(row);
+        for idx in &mut self.order {
+            if *idx as usize > row {
+                *idx -= 1;
             }
-            Err(_) => None,
         }
+        for block in &mut self.blocks {
+            block.weights.remove(row);
+            block.inv_norms.remove(row);
+            block.rows.drain(row * block.bins..(row + 1) * block.bins);
+        }
+        Some(sig)
     }
 
     /// The signature of a device, if present.
     pub fn get(&self, device: &MacAddr) -> Option<&Signature> {
-        self.devices.binary_search(device).ok().map(|i| &self.signatures[i])
+        self.position(device).ok().map(|pos| &self.signatures[self.order[pos] as usize])
     }
 
     /// `true` if the device has a reference signature.
     pub fn contains(&self, device: &MacAddr) -> bool {
-        self.devices.binary_search(device).is_ok()
+        self.position(device).is_ok()
     }
 
     /// Number of reference devices.
@@ -191,41 +294,49 @@ impl ReferenceDb {
 
     /// Iterates `(device, signature)` pairs in address order.
     pub fn iter(&self) -> impl Iterator<Item = (MacAddr, &Signature)> {
-        self.devices.iter().copied().zip(&self.signatures)
+        self.order.iter().map(|&i| (self.devices[i as usize], &self.signatures[i as usize]))
     }
 
     /// The devices in the database, in address order.
     pub fn devices(&self) -> impl Iterator<Item = MacAddr> + '_ {
-        self.devices.iter().copied()
+        self.order.iter().map(|&i| self.devices[i as usize])
     }
 
-    /// Repacks the per-kind matrices from the current signatures.
-    fn rebuild(&mut self) {
-        self.blocks.clear();
+    /// Writes device `row`'s per-kind vectors into the blocks, creating
+    /// blocks for `(kind, bins)` pairs seen for the first time.
+    fn write_row(&mut self, row: usize) {
         let n = self.devices.len();
-        // One block per observed (kind, row width): databases mixing bin
-        // specs for the same kind keep every reference scoreable.
-        let mut kinds: BTreeMap<(FrameKind, usize), ()> = BTreeMap::new();
-        for sig in &self.signatures {
-            for (kind, hist) in sig.iter() {
-                kinds.insert((kind, hist.frequencies().len()), ());
+        let ReferenceDb { signatures, blocks, .. } = self;
+        let sig = &signatures[row];
+        for (kind, hist) in sig.iter() {
+            if hist.total() == 0 {
+                continue;
             }
-        }
-        for (kind, bins) in kinds.into_keys() {
-            let mut weights = vec![0.0; n];
-            let mut rows = vec![0.0; n * bins];
-            let mut norms = vec![0.0; n];
-            for (i, sig) in self.signatures.iter().enumerate() {
-                if let Some(hist) = sig.histogram(kind) {
-                    let freqs = hist.frequencies();
-                    if freqs.len() == bins && hist.total() > 0 {
-                        weights[i] = sig.weight(kind);
-                        rows[i * bins..(i + 1) * bins].copy_from_slice(freqs);
-                        norms[i] = dot(freqs, freqs).sqrt();
-                    }
+            let freqs = hist.frequencies_f32();
+            let bins = freqs.len();
+            let idx = match blocks.binary_search_by(|b| (b.kind, b.bins).cmp(&(kind, bins))) {
+                Ok(i) => i,
+                Err(i) => {
+                    blocks.insert(i, KindBlock::empty(kind, bins, n));
+                    i
                 }
-            }
-            self.blocks.push(KindBlock { kind, bins, weights, rows, norms });
+            };
+            let block = &mut blocks[idx];
+            block.weights[row] = sig.weight(kind) as f32;
+            block.rows[row * bins..(row + 1) * bins].copy_from_slice(freqs);
+            block.inv_norms[row] = inv_norm(freqs);
+        }
+    }
+
+    /// Repacks the index and the per-kind matrices from the current
+    /// signatures (bulk construction).
+    fn rebuild(&mut self) {
+        let n = self.devices.len();
+        self.order = (0..n as u32).collect();
+        self.order.sort_by_key(|&i| self.devices[i as usize]);
+        self.blocks.clear();
+        for row in 0..n {
+            self.write_row(row);
         }
     }
 
@@ -236,8 +347,9 @@ impl ReferenceDb {
     /// i.e. the per-frame-type histogram similarities weighted by the
     /// **reference's** frame-type distribution. Scores lie in `[0, 1]`.
     ///
-    /// Convenience form that allocates its outcome; the hot path is
-    /// [`ReferenceDb::match_signature_with`].
+    /// Convenience form that allocates its outcome; the hot paths are
+    /// [`ReferenceDb::match_signature_with`] and
+    /// [`ReferenceDb::match_tile`].
     pub fn match_signature(&self, candidate: &Signature, measure: SimilarityMeasure) -> MatchOutcome {
         let mut scratch = MatchScratch::new();
         self.match_signature_with(candidate, measure, &mut scratch);
@@ -246,84 +358,151 @@ impl ReferenceDb {
 
     /// Algorithm 1 without per-call allocation: scores accumulate into
     /// `scratch` (reused across calls) and the returned [`MatchView`]
-    /// borrows from it.
+    /// borrows from it. Internally this is a [`ReferenceDb::match_tile`]
+    /// with a tile of one.
     pub fn match_signature_with<'s>(
         &self,
         candidate: &Signature,
         measure: SimilarityMeasure,
         scratch: &'s mut MatchScratch,
     ) -> MatchView<'s> {
-        let n = self.devices.len();
-        scratch.scores.clear();
-        scratch.scores.resize(n, 0.0);
-        for (kind, hist) in candidate.iter() {
-            if hist.total() == 0 {
-                continue; // an empty candidate histogram matches nothing
-            }
-            let cand = hist.frequencies();
-            // Blocks are sorted by (kind, bins); only the block matching
-            // the candidate's row width can score (incompatible binning
-            // carries no information).
-            let Ok(block_idx) = self
-                .blocks
-                .binary_search_by(|b| (b.kind, b.bins).cmp(&(kind, cand.len())))
-            else {
-                continue;
-            };
-            let block = &self.blocks[block_idx];
-            // The matrix–vector sweep: one linear pass over this kind's
-            // packed rows. Zero-weight rows are absent devices.
-            if measure == SimilarityMeasure::Cosine {
-                // Row norms were fixed at pack time and the candidate norm
-                // is invariant across rows, so the per-pair kernel is one
-                // dot product.
-                let cand_norm = dot(cand, cand).sqrt();
-                for (i, (&weight, row)) in
-                    block.weights.iter().zip(block.rows.chunks_exact(block.bins)).enumerate()
-                {
-                    if weight == 0.0 {
-                        continue;
-                    }
-                    let cos = (dot(cand, row) / (cand_norm * block.norms[i])).clamp(0.0, 1.0);
-                    scratch.scores[i] += weight * cos;
-                }
-            } else {
-                for (i, (&weight, row)) in
-                    block.weights.iter().zip(block.rows.chunks_exact(block.bins)).enumerate()
-                {
-                    if weight == 0.0 {
-                        continue;
-                    }
-                    scratch.scores[i] += weight * measure.compute_dense(cand, row);
-                }
-            }
-        }
-        scratch.pairs.clear();
-        scratch
-            .pairs
-            .extend(self.devices.iter().copied().zip(scratch.scores.iter().copied()));
+        self.match_tile_into(std::slice::from_ref(candidate), measure, scratch);
         MatchView { sims: &scratch.pairs }
     }
 
+    /// Scores a tile of `K` candidate signatures in one pass over the
+    /// reference rows (matrix–matrix instead of `K` matrix–vector
+    /// sweeps): each reference row is loaded once and dotted against all
+    /// `K` candidates while hot in cache.
+    ///
+    /// The returned [`TileView`] exposes one [`MatchView`] per candidate,
+    /// in input order; each is identical (within float rounding of the
+    /// score accumulation order — the per-pair arithmetic is the same) to
+    /// a [`ReferenceDb::match_signature_with`] call for that candidate.
+    /// Callers batching many windows should chunk them by [`MATCH_TILE`].
+    pub fn match_tile<'s, C: Borrow<Signature>>(
+        &self,
+        candidates: &[C],
+        measure: SimilarityMeasure,
+        scratch: &'s mut MatchScratch,
+    ) -> TileView<'s> {
+        self.match_tile_into(candidates, measure, scratch);
+        TileView { pairs: &scratch.pairs, n: self.devices.len(), k: candidates.len() }
+    }
+
+    /// The shared sweep: fills `scratch.pairs` with `K × N`
+    /// `(device, score)` pairs, candidate-major, each candidate's segment
+    /// in ascending address order.
+    fn match_tile_into<C: Borrow<Signature>>(
+        &self,
+        candidates: &[C],
+        measure: SimilarityMeasure,
+        scratch: &mut MatchScratch,
+    ) {
+        let n = self.devices.len();
+        let k = candidates.len();
+        scratch.scores.clear();
+        scratch.scores.resize(k * n, 0.0);
+        let dot = kernel::dot_fn();
+        for block in &self.blocks {
+            // Pack this block's tile: the f32 rows of every candidate
+            // that carries this (kind, bins). Candidates binned
+            // differently (or missing the kind) simply don't join —
+            // incompatible binning carries no information.
+            scratch.tile_rows.clear();
+            scratch.tile_inv_norms.clear();
+            scratch.tile_slots.clear();
+            for (ci, cand) in candidates.iter().enumerate() {
+                let Some(hist) = cand.borrow().histogram(block.kind) else { continue };
+                if hist.total() == 0 {
+                    continue; // an empty candidate histogram matches nothing
+                }
+                let freqs = hist.frequencies_f32();
+                if freqs.len() != block.bins {
+                    continue;
+                }
+                scratch.tile_rows.extend_from_slice(freqs);
+                // Only the cosine branch reads the norms; skip the
+                // self-dot for the other measures.
+                scratch.tile_inv_norms.push(if measure == SimilarityMeasure::Cosine {
+                    f64::from(inv_norm(freqs))
+                } else {
+                    0.0
+                });
+                scratch.tile_slots.push(ci);
+            }
+            let tile = scratch.tile_slots.len();
+            if tile == 0 {
+                continue;
+            }
+            let bins = block.bins;
+            // The matrix–matrix sweep: one linear pass over this kind's
+            // packed rows; every row is dotted against the whole tile
+            // while resident in L1. Zero-weight rows are absent devices.
+            for (i, row) in block.rows.chunks_exact(bins).enumerate() {
+                let weight = block.weights[i];
+                if weight == 0.0 {
+                    continue;
+                }
+                let weight = f64::from(weight);
+                if measure == SimilarityMeasure::Cosine {
+                    // Row norms were fixed at pack time and candidate
+                    // norms are invariant across rows, so the per-pair
+                    // kernel is one SIMD dot product.
+                    let row_inv = f64::from(block.inv_norms[i]);
+                    for t in 0..tile {
+                        let cand = &scratch.tile_rows[t * bins..(t + 1) * bins];
+                        let cos = (f64::from(dot(cand, row)) * scratch.tile_inv_norms[t] * row_inv)
+                            .clamp(0.0, 1.0);
+                        scratch.scores[scratch.tile_slots[t] * n + i] += weight * cos;
+                    }
+                } else {
+                    for t in 0..tile {
+                        let cand = &scratch.tile_rows[t * bins..(t + 1) * bins];
+                        scratch.scores[scratch.tile_slots[t] * n + i] +=
+                            weight * measure.compute_dense_f32(cand, row);
+                    }
+                }
+            }
+        }
+        // Emit (device, score) pairs: candidate-major, address order
+        // within each candidate (the order every view API documents).
+        scratch.pairs.clear();
+        scratch.pairs.reserve(k * n);
+        for c in 0..k {
+            let scores = &scratch.scores[c * n..(c + 1) * n];
+            scratch
+                .pairs
+                .extend(self.order.iter().map(|&i| (self.devices[i as usize], scores[i as usize])));
+        }
+    }
+
     /// Matches a batch of candidate signatures, returning one outcome per
-    /// candidate in order. With the `parallel` feature (default) the batch
-    /// is split across threads, one [`MatchScratch`] per worker; without
-    /// it the batch runs serially on one reused scratch.
+    /// candidate in order. Candidates are scored in [`MATCH_TILE`]-wide
+    /// tiles ([`ReferenceDb::match_tile`]); with the `parallel` feature
+    /// (default) the tiles are split across threads, one [`MatchScratch`]
+    /// per worker.
     pub fn match_batch(
         &self,
         candidates: &[Signature],
         measure: SimilarityMeasure,
     ) -> Vec<MatchOutcome> {
-        crate::batch::map_with_scratch(candidates, MatchScratch::new, |scratch, cand| {
-            self.match_signature_with(cand, measure, scratch);
-            MatchOutcome { sims: scratch.pairs.clone() }
-        })
+        crate::batch::map_tiles_with_scratch(
+            candidates,
+            MATCH_TILE,
+            MatchScratch::new,
+            |scratch, tile| {
+                let view = self.match_tile(tile, measure, scratch);
+                (0..tile.len()).map(|t| view.candidate(t).to_outcome()).collect()
+            },
+        )
     }
 
-    /// The pre-SoA matching path: per-call candidate frequency allocation
-    /// and per-device frame-kind lookups, kept only so benchmarks can
-    /// quantify what the matrix layout buys. Equivalent output to
-    /// [`ReferenceDb::match_signature`].
+    /// The pre-SoA matching path: per-call candidate frequency allocation,
+    /// per-device frame-kind lookups, and full-`f64` arithmetic
+    /// throughout. Kept so benchmarks can quantify what the matrix layout
+    /// buys **and** as the f64 ground truth the f32 engine's parity tests
+    /// compare against (equal output within [`F32_SCORE_TOLERANCE`]).
     #[cfg(any(test, feature = "bench-baseline"))]
     pub fn match_signature_naive(
         &self,
@@ -333,7 +512,7 @@ impl ReferenceDb {
         let cand_freqs: Vec<(FrameKind, Vec<f64>)> =
             candidate.iter().map(|(kind, hist)| (kind, hist.frequency_vec())).collect();
         let mut sims = Vec::with_capacity(self.devices.len());
-        for (&device, sig) in self.devices.iter().zip(&self.signatures) {
+        for (device, sig) in self.iter() {
             let mut sim = 0.0;
             for (kind, cand_freq) in &cand_freqs {
                 if let Some(hist) = sig.histogram(*kind) {
@@ -346,16 +525,34 @@ impl ReferenceDb {
     }
 }
 
-/// Reusable buffers for [`ReferenceDb::match_signature_with`]: create one
-/// per worker, reuse it for every window. Capacity grows to the database
-/// size on first use and is retained afterwards, making the steady state
-/// allocation-free.
+/// `1 / ‖row‖₂` through the dispatched kernel; 0.0 for an all-zero row.
+fn inv_norm(row: &[f32]) -> f32 {
+    let norm_sq = f64::from(kernel::dot_f32(row, row));
+    if norm_sq > 0.0 {
+        (1.0 / norm_sq.sqrt()) as f32
+    } else {
+        0.0
+    }
+}
+
+/// Reusable buffers for [`ReferenceDb::match_signature_with`] and
+/// [`ReferenceDb::match_tile`]: create one per worker, reuse it for every
+/// window. Capacity grows to `tile × database size` on first use and is
+/// retained afterwards, making the steady state allocation-free.
 #[derive(Debug, Clone, Default)]
 pub struct MatchScratch {
-    /// Per-device accumulators, indexed like `ReferenceDb::devices`.
+    /// Per-(candidate, device) accumulators, candidate-major, indexed
+    /// like `ReferenceDb::devices` (insertion order) within a candidate.
     scores: Vec<f64>,
-    /// The `(device, similarity)` pairs the returned view exposes.
+    /// The `(device, similarity)` pairs the returned views expose:
+    /// candidate-major, address order within each candidate.
     pairs: Vec<(MacAddr, f64)>,
+    /// The current block's packed candidate rows (`f32`, row-major).
+    tile_rows: Vec<f32>,
+    /// Reciprocal L2 norms of the packed candidate rows.
+    tile_inv_norms: Vec<f64>,
+    /// Which candidate each packed tile row belongs to.
+    tile_slots: Vec<usize>,
 }
 
 impl MatchScratch {
@@ -396,9 +593,56 @@ impl MatchView<'_> {
         best_of(self.sims)
     }
 
+    /// The `k` most similar references, best first, via partial selection
+    /// (`O(N + k log k)`) rather than a full sort. Ties order toward the
+    /// lower MAC address; `top(1)` agrees with [`MatchView::best`].
+    pub fn top(&self, k: usize) -> Vec<(MacAddr, f64)> {
+        top_of(self.sims, k)
+    }
+
     /// An owned copy of this view.
     pub fn to_outcome(&self) -> MatchOutcome {
         MatchOutcome { sims: self.sims.to_vec() }
+    }
+}
+
+/// A borrowed view of one [`ReferenceDb::match_tile`] result: `K`
+/// similarity vectors over the same reference set, one per candidate.
+#[derive(Debug, Clone, Copy)]
+pub struct TileView<'a> {
+    /// Candidate-major `(device, similarity)` pairs; each candidate's
+    /// segment is in ascending address order.
+    pairs: &'a [(MacAddr, f64)],
+    /// References per candidate (the database size at match time).
+    n: usize,
+    /// Candidates in the tile (kept separately so an empty database
+    /// still yields one — empty — view per candidate).
+    k: usize,
+}
+
+impl<'a> TileView<'a> {
+    /// Number of candidates in the tile (the input length, even when the
+    /// database was empty).
+    pub fn candidate_count(&self) -> usize {
+        self.k
+    }
+
+    /// The similarity vector of candidate `index` (input order). Against
+    /// an empty database the view is empty, like
+    /// [`ReferenceDb::match_signature_with`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= candidate_count()`.
+    pub fn candidate(&self, index: usize) -> MatchView<'a> {
+        assert!(index < self.k, "candidate {index} out of range for tile of {}", self.k);
+        MatchView { sims: &self.pairs[index * self.n..(index + 1) * self.n] }
+    }
+
+    /// Iterates the per-candidate views in input order (exactly
+    /// [`TileView::candidate_count`] of them).
+    pub fn views(&self) -> impl Iterator<Item = MatchView<'a>> + '_ {
+        (0..self.k).map(|index| self.candidate(index))
     }
 }
 
@@ -431,25 +675,13 @@ impl MatchOutcome {
     pub fn best(&self) -> Option<(MacAddr, f64)> {
         best_of(&self.sims)
     }
-}
 
-/// Four-accumulator dot product: independent partial sums give the
-/// backend the instruction-level parallelism a single-chain reduction
-/// denies it (f64 adds cannot be reordered automatically).
-#[inline]
-fn dot(a: &[f64], b: &[f64]) -> f64 {
-    let mut acc = [0.0f64; 4];
-    let chunks = a.len() / 4 * 4;
-    for (ca, cb) in a[..chunks].chunks_exact(4).zip(b[..chunks].chunks_exact(4)) {
-        acc[0] += ca[0] * cb[0];
-        acc[1] += ca[1] * cb[1];
-        acc[2] += ca[2] * cb[2];
-        acc[3] += ca[3] * cb[3];
+    /// The `k` most similar references, best first, via partial selection
+    /// (`O(N + k log k)`) rather than a full sort. Ties order toward the
+    /// lower MAC address; `top(1)` agrees with [`MatchOutcome::best`].
+    pub fn top(&self, k: usize) -> Vec<(MacAddr, f64)> {
+        top_of(&self.sims, k)
     }
-    for (x, y) in a[chunks..].iter().zip(&b[chunks..]) {
-        acc[0] += x * y;
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3])
 }
 
 fn similarity_to(sims: &[(MacAddr, f64)], device: &MacAddr) -> Option<f64> {
@@ -457,10 +689,34 @@ fn similarity_to(sims: &[(MacAddr, f64)], device: &MacAddr) -> Option<f64> {
     sims.binary_search_by(|(d, _)| d.cmp(device)).ok().map(|i| sims[i].1)
 }
 
+/// Descending score; equal scores order toward the lower address, so the
+/// ranking is deterministic and `top(1)` matches `best()`.
+fn rank_desc(a: &(MacAddr, f64), b: &(MacAddr, f64)) -> std::cmp::Ordering {
+    b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0))
+}
+
 fn best_of(sims: &[(MacAddr, f64)]) -> Option<(MacAddr, f64)> {
-    sims.iter().copied().max_by(|a, b| {
-        a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(b.0.cmp(&a.0))
-    })
+    sims.iter().copied().min_by(rank_desc)
+}
+
+fn top_of(sims: &[(MacAddr, f64)], k: usize) -> Vec<(MacAddr, f64)> {
+    if k == 0 || sims.is_empty() {
+        return Vec::new();
+    }
+    if k == 1 {
+        // Single scan, no copy of the similarity vector.
+        return best_of(sims).into_iter().collect();
+    }
+    let mut ranked = sims.to_vec();
+    let k = k.min(ranked.len());
+    if k < ranked.len() {
+        // Partial select: everything before index k ranks at least as
+        // high as everything after it, in O(N).
+        ranked.select_nth_unstable_by(k - 1, rank_desc);
+        ranked.truncate(k);
+    }
+    ranked.sort_unstable_by(rank_desc);
+    ranked
 }
 
 #[cfg(test)]
@@ -468,6 +724,7 @@ mod tests {
     use super::*;
     use crate::config::EvalConfig;
     use crate::params::NetworkParameter;
+    use proptest::prelude::*;
 
     fn cfg() -> EvalConfig {
         EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
@@ -491,7 +748,7 @@ mod tests {
         db.insert(MacAddr::from_index(1), sig.clone());
         let outcome = db.match_signature(&sig, SimilarityMeasure::Cosine);
         let (_, score) = outcome.best().unwrap();
-        assert!((score - 1.0).abs() < 1e-9);
+        assert!((score - 1.0).abs() < F32_SCORE_TOLERANCE);
     }
 
     #[test]
@@ -525,7 +782,7 @@ mod tests {
         db.insert(MacAddr::from_index(1), r);
         let outcome = db.match_signature(&c, SimilarityMeasure::Cosine);
         // Score = weight_ref(ProbeReq) × 1.0 = 0.1.
-        assert!((outcome.similarities()[0].1 - 0.1).abs() < 1e-9);
+        assert!((outcome.similarities()[0].1 - 0.1).abs() < F32_SCORE_TOLERANCE);
     }
 
     #[test]
@@ -631,7 +888,10 @@ mod tests {
             assert_eq!(fast.similarities().len(), naive.similarities().len());
             for (f, n) in fast.similarities().iter().zip(naive.similarities()) {
                 assert_eq!(f.0, n.0);
-                assert!((f.1 - n.1).abs() < 1e-12, "{m}: {} vs {}", f.1, n.1);
+                // The f32 rows round each frequency once; the f64
+                // accumulation keeps the drift within the documented
+                // tolerance of the all-f64 baseline.
+                assert!((f.1 - n.1).abs() < F32_SCORE_TOLERANCE, "{m}: {} vs {}", f.1, n.1);
             }
         }
     }
@@ -649,6 +909,131 @@ mod tests {
         for (cand, outcome) in candidates.iter().zip(&batch) {
             assert_eq!(outcome, &db.match_signature(cand, SimilarityMeasure::Cosine));
         }
+    }
+
+    #[test]
+    fn match_tile_equals_independent_matches() {
+        let mut db = ReferenceDb::new();
+        for i in 1..=12u64 {
+            db.insert(
+                MacAddr::from_index(i),
+                sig_with(&[
+                    (FrameKind::Data, 61.0 * i as f64, 30 + i),
+                    (FrameKind::Beacon, 40.0 * i as f64, 4),
+                ]),
+            );
+        }
+        // A mixed tile: plain candidates, one missing a kind, one empty.
+        let candidates = vec![
+            sig_with(&[(FrameKind::Data, 122.0, 40)]),
+            sig_with(&[(FrameKind::Beacon, 80.0, 9), (FrameKind::Data, 600.0, 11)]),
+            Signature::new(),
+            sig_with(&[(FrameKind::ProbeReq, 10.0, 25)]),
+        ];
+        let mut scratch = MatchScratch::new();
+        let mut single = MatchScratch::new();
+        for m in SimilarityMeasure::ALL {
+            let tile = db.match_tile(&candidates, m, &mut scratch);
+            assert_eq!(tile.candidate_count(), candidates.len());
+            let views: Vec<MatchOutcome> = tile.views().map(|v| v.to_outcome()).collect();
+            for (cand, got) in candidates.iter().zip(views) {
+                let want = db.match_signature_with(cand, m, &mut single).to_outcome();
+                assert_eq!(got, want, "{m}");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_against_empty_db_yields_one_empty_view_per_candidate() {
+        let db = ReferenceDb::new();
+        let candidates = vec![
+            sig_with(&[(FrameKind::Data, 100.0, 10)]),
+            sig_with(&[(FrameKind::Beacon, 50.0, 5)]),
+        ];
+        let mut scratch = MatchScratch::new();
+        let tile = db.match_tile(&candidates, SimilarityMeasure::Cosine, &mut scratch);
+        assert_eq!(tile.candidate_count(), 2);
+        assert_eq!(tile.views().count(), 2);
+        for i in 0..2 {
+            let view = tile.candidate(i);
+            assert!(view.similarities().is_empty());
+            assert!(view.best().is_none());
+            assert!(view.top(3).is_empty());
+        }
+    }
+
+    #[test]
+    fn streaming_inserts_equal_bulk_pack() {
+        // The incremental append path must produce a database that scores
+        // identically to the one-shot pack.
+        let sigs: Vec<(MacAddr, Signature)> = (1..=9u64)
+            .map(|i| {
+                (
+                    // Out-of-order addresses exercise the sorted index.
+                    MacAddr::from_index((i * 7) % 9 + 1),
+                    sig_with(&[
+                        (FrameKind::Data, 83.0 * i as f64, 20 + i),
+                        (FrameKind::ProbeReq, 31.0 * i as f64, i % 3),
+                    ]),
+                )
+            })
+            .collect();
+        let mut streamed = ReferenceDb::new();
+        for (dev, sig) in &sigs {
+            streamed.insert(*dev, sig.clone());
+        }
+        let bulk = ReferenceDb::from_signatures(sigs.into_iter().collect());
+        assert_eq!(
+            streamed.devices().collect::<Vec<_>>(),
+            bulk.devices().collect::<Vec<_>>()
+        );
+        let cand = sig_with(&[(FrameKind::Data, 249.0, 33), (FrameKind::ProbeReq, 62.0, 5)]);
+        for m in SimilarityMeasure::ALL {
+            let a = streamed.match_signature(&cand, m);
+            let b = bulk.match_signature(&cand, m);
+            assert_eq!(a.similarities(), b.similarities(), "{m}");
+        }
+        // Replacement rewrites rows in place and stays consistent too.
+        let dev = streamed.devices().next().unwrap();
+        let replacement = sig_with(&[(FrameKind::Beacon, 700.0, 12)]);
+        streamed.insert(dev, replacement.clone());
+        let mut bulk_map: BTreeMap<MacAddr, Signature> =
+            bulk.iter().map(|(d, s)| (d, s.clone())).collect();
+        bulk_map.insert(dev, replacement);
+        let repacked = ReferenceDb::from_signatures(bulk_map);
+        let a = streamed.match_signature(&cand, SimilarityMeasure::Cosine);
+        let b = repacked.match_signature(&cand, SimilarityMeasure::Cosine);
+        assert_eq!(a.similarities(), b.similarities());
+    }
+
+    #[test]
+    fn top_k_ranks_and_ties_deterministically() {
+        let mut db = ReferenceDb::new();
+        for i in 1..=10u64 {
+            db.insert(MacAddr::from_index(i), sig_with(&[(FrameKind::Data, 55.0 * i as f64, 40)]));
+        }
+        let cand = sig_with(&[(FrameKind::Data, 165.0, 40)]);
+        let outcome = db.match_signature(&cand, SimilarityMeasure::Cosine);
+        let full: Vec<_> = {
+            let mut v = outcome.similarities().to_vec();
+            v.sort_by(rank_desc);
+            v
+        };
+        for k in [0, 1, 3, 10, 25] {
+            let top = outcome.top(k);
+            assert_eq!(top.len(), k.min(full.len()));
+            assert_eq!(top, full[..top.len()].to_vec(), "k = {k}");
+        }
+        assert_eq!(outcome.top(1)[0], outcome.best().unwrap());
+        // Exact ties (identical references) rank by ascending address.
+        let sig = sig_with(&[(FrameKind::Data, 500.0, 50)]);
+        let mut tied = ReferenceDb::new();
+        for i in [5u64, 2, 9] {
+            tied.insert(MacAddr::from_index(i), sig.clone());
+        }
+        let top = tied.match_signature(&sig, SimilarityMeasure::Cosine).top(2);
+        assert_eq!(top[0].0, MacAddr::from_index(2));
+        assert_eq!(top[1].0, MacAddr::from_index(5));
     }
 
     #[test]
@@ -673,9 +1058,12 @@ mod tests {
         db.insert(d_coarse, build(&coarse));
         for (cand_cfg, expect_dev) in [(&fine, d_fine), (&coarse, d_coarse)] {
             let outcome = db.match_signature(&build(cand_cfg), SimilarityMeasure::Cosine);
-            assert!((outcome.similarity_to(&expect_dev).unwrap() - 1.0).abs() < 1e-9);
+            assert!((outcome.similarity_to(&expect_dev).unwrap() - 1.0).abs() < F32_SCORE_TOLERANCE);
             let naive = db.match_signature_naive(&build(cand_cfg), SimilarityMeasure::Cosine);
-            assert_eq!(outcome.similarities(), naive.similarities());
+            for (f, n) in outcome.similarities().iter().zip(naive.similarities()) {
+                assert_eq!(f.0, n.0);
+                assert!((f.1 - n.1).abs() < F32_SCORE_TOLERANCE);
+            }
         }
     }
 
@@ -693,5 +1081,43 @@ mod tests {
         }
         let outcome = db.match_signature(&cand, SimilarityMeasure::Cosine);
         assert_eq!(outcome.similarities()[0].1, 0.0);
+    }
+
+    // f32 ↔ f64 parity: the packed-f32 engine must track the all-f64
+    // naive baseline within the documented tolerance for every measure,
+    // on arbitrary databases and candidates.
+    proptest! {
+        #[test]
+        fn f32_engine_tracks_f64_baseline(
+            per_device in prop::collection::vec(
+                prop::collection::vec(0.0f64..2400.0, 1..60), 1..10),
+            cand_values in prop::collection::vec(0.0f64..2400.0, 1..60),
+        ) {
+            let c = cfg();
+            let mut db = ReferenceDb::new();
+            for (i, values) in per_device.iter().enumerate() {
+                let mut sig = Signature::new();
+                for (j, &v) in values.iter().enumerate() {
+                    let kind = if j % 4 == 0 { FrameKind::ProbeReq } else { FrameKind::Data };
+                    sig.record(kind, v, &c);
+                }
+                db.insert(MacAddr::from_index(i as u64 + 1), sig);
+            }
+            let mut cand = Signature::new();
+            for &v in &cand_values {
+                cand.record(FrameKind::Data, v, &c);
+            }
+            for m in SimilarityMeasure::ALL {
+                let fast = db.match_signature(&cand, m);
+                let baseline = db.match_signature_naive(&cand, m);
+                for (f, n) in fast.similarities().iter().zip(baseline.similarities()) {
+                    prop_assert_eq!(f.0, n.0);
+                    prop_assert!(
+                        (f.1 - n.1).abs() < F32_SCORE_TOLERANCE,
+                        "{}: {} vs {}", m, f.1, n.1
+                    );
+                }
+            }
+        }
     }
 }

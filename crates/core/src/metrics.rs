@@ -21,7 +21,8 @@
 
 use wifiprint_ieee80211::MacAddr;
 
-use crate::matching::{MatchScratch, ReferenceDb};
+use crate::matching::{MatchScratch, ReferenceDb, MATCH_TILE};
+use crate::signature::Signature;
 use crate::similarity::SimilarityMeasure;
 use crate::windows::CandidateWindow;
 
@@ -107,40 +108,56 @@ impl EvalOutcome {
 /// whose device is known (the paper's accuracy metrics are defined over
 /// those).
 ///
-/// Candidates are scored through the scratch-buffered matrix sweep
-/// ([`ReferenceDb::match_signature_with`]); with the `parallel` feature
-/// (default) the windows are fanned out across threads, one scratch per
+/// Candidates are scored through the tiled `f32` matrix sweep
+/// ([`ReferenceDb::match_tile`]): windows sharing a tile are scored in
+/// one pass over the reference rows, and — with the `parallel` feature
+/// (default) — tiles are fanned out across threads, one scratch per
 /// worker. Output order matches candidate order either way.
 pub fn match_candidates(
     db: &ReferenceDb,
     candidates: &[CandidateWindow],
     measure: SimilarityMeasure,
 ) -> (Vec<MatchSet>, usize) {
-    let results = crate::batch::map_with_scratch(candidates, MatchScratch::new, |scratch, cand| {
-        if !db.contains(&cand.device) {
-            return None;
-        }
-        let view = db.match_signature_with(&cand.signature, measure, scratch);
-        let mut true_sim = 0.0;
-        let mut wrong = Vec::with_capacity(db.len().saturating_sub(1));
-        for &(device, sim) in view.similarities() {
-            if device == cand.device {
-                true_sim = sim;
-            } else {
-                wrong.push(sim);
-            }
-        }
-        let (best_device, best_sim) = view.best().expect("db nonempty");
-        Some(MatchSet {
-            true_device: cand.device,
-            true_sim,
-            wrong_sims: wrong,
-            best_is_true: best_device == cand.device,
-            best_sim,
-        })
-    });
-    let unknown = results.iter().filter(|r| r.is_none()).count();
-    (results.into_iter().flatten().collect(), unknown)
+    // Unknown devices carry no ground truth; drop them before tiling so
+    // no sweep time is spent scoring them.
+    let known: Vec<&CandidateWindow> =
+        candidates.iter().filter(|c| db.contains(&c.device)).collect();
+    let unknown = candidates.len() - known.len();
+    let sets = crate::batch::map_tiles_with_scratch(
+        &known,
+        MATCH_TILE,
+        MatchScratch::new,
+        |scratch, tile| {
+            let sigs: Vec<&Signature> = tile.iter().map(|c| &c.signature).collect();
+            let view = db.match_tile(&sigs, measure, scratch);
+            tile.iter()
+                .enumerate()
+                .map(|(t, cand)| {
+                    let matched = view.candidate(t);
+                    let mut true_sim = 0.0;
+                    let mut wrong = Vec::with_capacity(db.len().saturating_sub(1));
+                    for &(device, sim) in matched.similarities() {
+                        if device == cand.device {
+                            true_sim = sim;
+                        } else {
+                            wrong.push(sim);
+                        }
+                    }
+                    // Only the argmax is consumed: partial top-1 select,
+                    // not a sort of the score vector.
+                    let (best_device, best_sim) = matched.top(1)[0];
+                    MatchSet {
+                        true_device: cand.device,
+                        true_sim,
+                        wrong_sims: wrong,
+                        best_is_true: best_device == cand.device,
+                        best_sim,
+                    }
+                })
+                .collect()
+        },
+    );
+    (sets, unknown)
 }
 
 /// Computes the similarity curve over a threshold sweep.

@@ -90,6 +90,61 @@ impl SimilarityMeasure {
         }
     }
 
+    /// The dense kernel over the `f32` rows the matching engine packs
+    /// ([`matching`](crate::matching)): inputs are `f32` (half the memory
+    /// traffic of the `f64` form), every sum accumulates in `f64`, so the
+    /// only divergence from [`SimilarityMeasure::compute_dense`] is the
+    /// one-off `f64 → f32` quantisation of the stored rows — bounded by
+    /// [`F32_SCORE_TOLERANCE`](crate::matching::F32_SCORE_TOLERANCE).
+    ///
+    /// The cosine arm is the scalar form; the matrix sweep never calls it
+    /// (it uses the dispatched [`kernel`](crate::kernel) dot with
+    /// precomputed norms instead), but property tests pin both to each
+    /// other.
+    #[inline]
+    pub(crate) fn compute_dense_f32(self, candidate: &[f32], reference: &[f32]) -> f64 {
+        match self {
+            SimilarityMeasure::Cosine => {
+                let dot = f64::from(crate::kernel::dot_f32(candidate, reference));
+                let na = f64::from(crate::kernel::dot_f32(candidate, candidate));
+                let nb = f64::from(crate::kernel::dot_f32(reference, reference));
+                if na <= 0.0 || nb <= 0.0 {
+                    0.0
+                } else {
+                    (dot / (na.sqrt() * nb.sqrt())).clamp(0.0, 1.0)
+                }
+            }
+            SimilarityMeasure::Intersection => {
+                candidate.iter().zip(reference).map(|(&c, &r)| f64::from(c.min(r))).sum()
+            }
+            SimilarityMeasure::Bhattacharyya => candidate
+                .iter()
+                .zip(reference)
+                .map(|(&c, &r)| (f64::from(c) * f64::from(r)).sqrt())
+                .sum(),
+            SimilarityMeasure::TotalVariation => {
+                let l1: f64 = candidate
+                    .iter()
+                    .zip(reference)
+                    .map(|(&c, &r)| (f64::from(c) - f64::from(r)).abs())
+                    .sum();
+                (1.0 - l1 / 2.0).max(0.0)
+            }
+            SimilarityMeasure::InverseEuclidean => {
+                let l2: f64 = candidate
+                    .iter()
+                    .zip(reference)
+                    .map(|(&c, &r)| {
+                        let d = f64::from(c) - f64::from(r);
+                        d * d
+                    })
+                    .sum::<f64>()
+                    .sqrt();
+                1.0 / (1.0 + l2)
+            }
+        }
+    }
+
     /// The cosine *distance* form as literally printed in the paper's
     /// Definition 2 (`1 − cosine`); provided for completeness.
     pub fn paper_cosine_distance(candidate: &[f64], reference: &[f64]) -> f64 {
@@ -218,6 +273,23 @@ mod tests {
             let s = m.compute(&A, &c);
             assert!((0.0..=1.0).contains(&s), "{m}: {s}");
             assert!(s > 0.0 && s < 1.0, "{m}: {s}");
+        }
+    }
+
+    #[test]
+    fn dense_f32_kernel_tracks_dense_f64() {
+        // Awkward values (thirds, sevenths) so f64 → f32 actually rounds.
+        let c64: Vec<f64> = (0..251).map(|i| ((i % 3) as f64 + 1.0) / (3.0 * 251.0)).collect();
+        let r64: Vec<f64> = (0..251).map(|i| ((i % 7) as f64 + 1.0) / (7.0 * 251.0)).collect();
+        let c32: Vec<f32> = c64.iter().map(|&v| v as f32).collect();
+        let r32: Vec<f32> = r64.iter().map(|&v| v as f32).collect();
+        for m in SimilarityMeasure::ALL {
+            let want = m.compute_dense(&c64, &r64);
+            let got = m.compute_dense_f32(&c32, &r32);
+            assert!(
+                (got - want).abs() < crate::matching::F32_SCORE_TOLERANCE,
+                "{m}: {got} vs {want}"
+            );
         }
     }
 

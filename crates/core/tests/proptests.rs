@@ -1,11 +1,13 @@
 //! Property tests for histograms, similarity measures and metrics — the
 //! similarity properties run against the *cached* frequency path
-//! ([`Histogram::frequencies`] borrows) and the SoA matching engine.
+//! ([`Histogram::frequencies`] borrows) and the SoA matching engine, and
+//! the dispatched SIMD dot kernel is pinned to the portable fallback and
+//! an `f64` reference on arbitrary lengths and alignments.
 
 use proptest::prelude::*;
 use wifiprint_core::metrics::{identification_points, similarity_curve, MatchSet};
 use wifiprint_core::{
-    BinSpec, EvalConfig, Histogram, MatchScratch, NetworkParameter, ReferenceDb, Signature,
+    kernel, BinSpec, EvalConfig, Histogram, MatchScratch, NetworkParameter, ReferenceDb, Signature,
     SimilarityMeasure,
 };
 use wifiprint_ieee80211::{FrameKind, MacAddr};
@@ -212,6 +214,80 @@ proptest! {
             prop_assert_eq!(view.similarities(), owned.similarities(), "{}", m);
             for &(_, s) in view.similarities() {
                 prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "{m}: {s}");
+            }
+        }
+    }
+
+    // Kernel equivalence: the dispatched SIMD path (AVX2/NEON where the
+    // host supports it), the portable unrolled fallback, and a plain f64
+    // reference must agree on arbitrary lengths — including SIMD-width
+    // remainders — and arbitrary slice offsets (alignments).
+    #[test]
+    fn simd_and_portable_kernels_agree_on_random_lengths_and_alignments(
+        values in prop::collection::vec(0.0f64..1.0, 2..600),
+        offset in 0usize..17,
+    ) {
+        let a: Vec<f32> = values.iter().map(|&v| v as f32).collect();
+        let b: Vec<f32> = values.iter().rev().map(|&v| (v * 0.7 + 0.1) as f32).collect();
+        let offset = offset.min(a.len() - 1);
+        let (sa, sb) = (&a[offset..], &b[offset..]);
+        let reference: f64 =
+            sa.iter().zip(sb).map(|(&x, &y)| f64::from(x) * f64::from(y)).sum();
+        let dispatched = f64::from(kernel::dot_f32(sa, sb));
+        let portable = f64::from(kernel::dot_f32_portable(sa, sb));
+        let tol = 1e-4 * (1.0 + reference.abs());
+        prop_assert!((dispatched - reference).abs() < tol,
+            "{} dispatched {} vs reference {}", kernel::active(), dispatched, reference);
+        prop_assert!((portable - reference).abs() < tol,
+            "portable {portable} vs reference {reference}");
+        prop_assert!((dispatched - portable).abs() < tol);
+        // And the f64 kernel is exact to accumulation order.
+        let fa: Vec<f64> = sa.iter().map(|&v| f64::from(v)).collect();
+        let fb: Vec<f64> = sb.iter().map(|&v| f64::from(v)).collect();
+        prop_assert!((kernel::dot_f64(&fa, &fb) - reference).abs() < 1e-9);
+    }
+
+    // Tiling equivalence: match_tile over K candidates must reproduce K
+    // independent match_signature_with sweeps exactly (same arithmetic
+    // per pair, only the loop order differs).
+    #[test]
+    fn match_tile_equals_k_independent_sweeps(
+        per_device in prop::collection::vec(
+            prop::collection::vec(0.0f64..2400.0, 1..40), 1..10),
+        per_candidate in prop::collection::vec(
+            prop::collection::vec(0.0f64..2400.0, 0..40), 1..12),
+    ) {
+        let cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime);
+        let mut db = ReferenceDb::new();
+        for (i, values) in per_device.iter().enumerate() {
+            let mut sig = Signature::new();
+            for (j, &v) in values.iter().enumerate() {
+                let kind = if j % 3 == 0 { FrameKind::ProbeReq } else { FrameKind::Data };
+                sig.record(kind, v, &cfg);
+            }
+            db.insert(MacAddr::from_index(i as u64 + 1), sig);
+        }
+        let candidates: Vec<Signature> = per_candidate
+            .iter()
+            .map(|values| {
+                let mut sig = Signature::new();
+                for (j, &v) in values.iter().enumerate() {
+                    let kind = if j % 5 == 0 { FrameKind::Beacon } else { FrameKind::Data };
+                    sig.record(kind, v, &cfg);
+                }
+                sig
+            })
+            .collect();
+        let mut tile_scratch = MatchScratch::new();
+        let mut single_scratch = MatchScratch::new();
+        for m in SimilarityMeasure::ALL {
+            let tile = db.match_tile(&candidates, m, &mut tile_scratch);
+            prop_assert_eq!(tile.candidate_count(), candidates.len());
+            let tiled: Vec<Vec<(MacAddr, f64)>> =
+                tile.views().map(|v| v.similarities().to_vec()).collect();
+            for (cand, got) in candidates.iter().zip(tiled) {
+                let want = db.match_signature_with(cand, m, &mut single_scratch);
+                prop_assert_eq!(&got[..], want.similarities(), "{}", m);
             }
         }
     }

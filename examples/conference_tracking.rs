@@ -57,9 +57,15 @@ fn main() {
         return;
     };
 
-    // Who is this "new" device really?
+    // Who is this "new" device really? Rank the closest references via
+    // partial top-k selection (no full sort of the score vector).
     let outcome = db.match_signature(anon_sig, SimilarityMeasure::Cosine);
-    let (best, sim) = outcome.best().expect("db nonempty");
+    let ranked = outcome.top(3);
+    println!("closest references for {new_mac}:");
+    for (rank, (dev, sim)) in ranked.iter().enumerate() {
+        println!("  {}. {dev} (similarity {sim:.3})", rank + 1);
+    }
+    let (best, sim) = ranked[0];
     println!("best match for {new_mac}: {best} (similarity {sim:.3})");
     if best == target {
         println!("=> re-identified despite the MAC rotation: address randomisation");
