@@ -106,7 +106,7 @@ pub fn evaluate_mimicry(
     for f in victim_training {
         learn.push(f);
     }
-    let Some(victim_size_sig) = learn.finish().remove(&victim) else {
+    let Some(victim_size_sig) = learn.finish().unwrap_or_default().remove(&victim) else {
         return results;
     };
     let forged = mimicry_frames(
@@ -125,13 +125,13 @@ pub fn evaluate_mimicry(
             for f in frames {
                 b.push(f);
             }
-            b.finish().remove(&who)
+            b.finish().unwrap_or_default().remove(&who)
         };
         let Some(reference) = build(victim_training, victim) else { continue };
         let Some(genuine) = build(victim_later, victim) else { continue };
         let Some(attack) = build(&forged, attacker) else { continue };
         let mut db = ReferenceDb::new();
-        db.insert(victim, reference);
+        db.insert(victim, reference).expect("victim reference");
         let sim = |sig| {
             db.match_signature(sig, SimilarityMeasure::Cosine)
                 .similarity_to(&victim)
@@ -194,7 +194,7 @@ mod tests {
         for f in &training {
             b.push(f);
         }
-        let victim_sig = b.finish().remove(&FARADAY_DEVICE).unwrap();
+        let victim_sig = b.finish().expect("victim qualifies").remove(&FARADAY_DEVICE).unwrap();
         let attacker = MacAddr::from_index(0xBAD);
         let forged = mimicry_frames(
             &victim_sig,

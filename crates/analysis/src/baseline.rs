@@ -63,11 +63,18 @@ impl BaselineEvaluator {
         }
     }
 
-    /// Finalises the baseline evaluation.
+    /// Finalises the baseline evaluation. An empty learning phase (no
+    /// device reached the observation floor on broadcast traffic alone)
+    /// degrades to the all-unknown outcome rather than erroring: the
+    /// baseline is a *comparison* curve, not a production entry point.
     pub fn finish(self) -> (EvalOutcome, ReferenceDb) {
-        let db = ReferenceDb::from_signatures(self.trainer.finish());
+        let db = ReferenceDb::from_signatures(self.trainer.finish().unwrap_or_default());
         let candidates = self.validator.finish();
-        let outcome = evaluate(&db, &candidates, self.measure);
+        let outcome = if db.is_empty() {
+            EvalOutcome::from_match_sets(&[], candidates.len())
+        } else {
+            evaluate(&db, &candidates, self.measure).expect("non-empty database")
+        };
         (outcome, db)
     }
 }
@@ -139,7 +146,7 @@ mod tests {
         for f in trace() {
             builder.push(&f);
         }
-        let sigs = builder.finish();
+        let sigs = builder.finish().expect("broadcast devices qualify");
         // Only the broadcast frames contribute: every recorded size is a
         // broadcast size (128 + overheads or 428 + overheads), never 700+.
         for sig in sigs.values() {

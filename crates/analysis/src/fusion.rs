@@ -108,7 +108,10 @@ impl FusionEvaluator {
         let weight_sum: f64 = weights.iter().sum::<f64>().max(f64::MIN_POSITIVE);
 
         let dbs: Vec<ReferenceDb> =
-            self.trainers.into_iter().map(|t| ReferenceDb::from_signatures(t.finish())).collect();
+            self.trainers
+                .into_iter()
+                .map(|t| ReferenceDb::from_signatures(t.finish().unwrap_or_default()))
+                .collect();
         // Devices must be enrolled for every fused parameter.
         let enrolled: Vec<MacAddr> = match dbs.first() {
             Some(first) => {

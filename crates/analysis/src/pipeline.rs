@@ -2,12 +2,21 @@
 //! and validation portions, learn a reference database, build per-window
 //! candidate signatures, and score both tests for every network parameter
 //! in one streaming pass.
+//!
+//! Since the streaming [`Engine`] became the production API, this
+//! pipeline is a thin driver of it: one engine per network parameter
+//! (trained online for the configured prefix), with the per-window
+//! [`Event::Match`] / [`Event::NewDevice`] decisions accumulated into
+//! [`MatchSet`]s and aggregated into the paper's two accuracy tests at
+//! the end. The matching itself — the tiled `f32` SIMD sweep — happens
+//! *incrementally* as each detection window closes, not in an
+//! end-of-trace sweep.
 
 use std::collections::BTreeMap;
 
 use wifiprint_core::{
-    evaluate, EvalConfig, EvalOutcome, NetworkParameter, ReferenceDb, SignatureBuilder,
-    SimilarityMeasure, WindowedSignatures,
+    Engine, EngineError, EvalConfig, EvalOutcome, Event, MatchSet, NetworkParameter, ReferenceDb,
+    SimilarityMeasure,
 };
 use wifiprint_ieee80211::Nanos;
 use wifiprint_radiotap::CapturedFrame;
@@ -98,71 +107,133 @@ impl TraceEvaluation {
     }
 }
 
+/// Per-parameter accumulator of the engine's window decisions.
+#[derive(Debug, Default)]
+struct ParamCollector {
+    sets: Vec<MatchSet>,
+    unknown: usize,
+}
+
+impl ParamCollector {
+    fn absorb(&mut self, events: Vec<Event>) {
+        for event in events {
+            match event {
+                // Enrolled devices carry ground truth; the accuracy
+                // tests are defined over them.
+                Event::Match { device, view, .. } => {
+                    self.sets.push(MatchSet::from_similarities(device, view.similarities()));
+                }
+                Event::NewDevice { .. } => self.unknown += 1,
+                Event::Enrolled { .. } | Event::WindowClosed { .. } => {}
+            }
+        }
+    }
+}
+
+/// What one per-parameter worker hands back when its stream ends.
+type WorkerOutcome = (NetworkParameter, ReferenceDb, ParamCollector, Option<EngineError>);
+
+/// How the per-parameter engines are driven.
+///
+/// With the `parallel` feature and more than one parameter, each engine
+/// runs on its own worker thread fed through a bounded channel, so the
+/// per-window matching of all parameters proceeds concurrently — the
+/// same outer-level fan-out the pre-engine pipeline had. Serially
+/// otherwise.
+#[derive(Debug)]
+enum Backend {
+    Serial {
+        engines: Vec<(NetworkParameter, Engine)>,
+        collectors: Vec<ParamCollector>,
+        /// First engine failure, latched so `push` stays usable inside
+        /// infallible capture sinks.
+        error: Option<EngineError>,
+    },
+    #[cfg(feature = "parallel")]
+    Threaded {
+        senders: Vec<std::sync::mpsc::SyncSender<CapturedFrame>>,
+        workers: Vec<std::thread::JoinHandle<WorkerOutcome>>,
+    },
+}
+
+/// Frames a worker may buffer before `push` back-pressures on it.
+#[cfg(feature = "parallel")]
+const WORKER_QUEUE: usize = 4096;
+
 /// Streaming evaluator: push every captured frame once (in capture
-/// order); all configured parameters are extracted in the same pass.
+/// order); all configured parameters run their own [`Engine`] over the
+/// same pass, and every detection window is matched the moment it
+/// closes.
 #[derive(Debug)]
 pub struct StreamingEvaluator {
-    cfg: PipelineConfig,
+    backend: Backend,
     origin: Option<Nanos>,
-    trainers: Vec<SignatureBuilder>,
-    validators: Vec<WindowedSignatures>,
+    train_duration: Nanos,
     train_frames: u64,
     validation_frames: u64,
 }
 
 impl StreamingEvaluator {
     /// A fresh evaluator for the given pipeline configuration.
-    pub fn new(cfg: &PipelineConfig) -> Self {
-        let trainers =
-            cfg.parameters.iter().map(|&p| SignatureBuilder::new(&cfg.eval_config(p))).collect();
-        let validators =
-            cfg.parameters.iter().map(|&p| WindowedSignatures::new(&cfg.eval_config(p))).collect();
-        StreamingEvaluator {
-            cfg: cfg.clone(),
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError`] when the configuration cannot drive an engine
+    /// (zero-length detection window or training prefix, empty bins).
+    pub fn new(cfg: &PipelineConfig) -> Result<Self, EngineError> {
+        let mut engines = Vec::with_capacity(cfg.parameters.len());
+        for &param in &cfg.parameters {
+            let engine = Engine::builder()
+                .config(cfg.eval_config(param))
+                .train_for(cfg.train_duration)
+                // The accuracy tests only *count* unknown candidates, so
+                // skip the reference sweep for them (the batch pipeline
+                // never scored strangers either).
+                .score_unknown(false)
+                .build()?;
+            engines.push((param, engine));
+        }
+        let backend = Backend::new(engines);
+        Ok(StreamingEvaluator {
+            backend,
             origin: None,
-            trainers,
-            validators,
+            train_duration: cfg.train_duration,
             train_frames: 0,
             validation_frames: 0,
-        }
+        })
     }
 
-    /// Processes one captured frame.
+    /// Processes one captured frame. Engine failures (e.g. out-of-order
+    /// frames) latch and surface from [`StreamingEvaluator::finish`];
+    /// subsequent frames are ignored.
     pub fn push(&mut self, frame: &CapturedFrame) {
         let origin = *self.origin.get_or_insert(frame.t_end);
-        if frame.t_end.saturating_sub(origin) < self.cfg.train_duration {
+        if frame.t_end.saturating_sub(origin) < self.train_duration {
             self.train_frames += 1;
-            for t in &mut self.trainers {
-                t.push(frame);
-            }
         } else {
             self.validation_frames += 1;
-            for v in &mut self.validators {
-                v.push(frame);
-            }
         }
+        self.backend.push(frame);
     }
 
-    /// Finalises: learns the databases, matches every candidate window,
-    /// and computes both tests for every parameter.
+    /// Finalises: seals the trailing window of every engine and
+    /// aggregates the accumulated per-window decisions into both of the
+    /// paper's tests per parameter. The matching work already happened
+    /// online, window by window, as frames were pushed.
     ///
-    /// With the `parallel` feature (default), the parameters are
-    /// evaluated on separate threads — each parameter's windows are in
-    /// turn fanned out by [`evaluate`] — so a five-parameter run uses the
-    /// machine instead of one core.
-    pub fn finish(self) -> TraceEvaluation {
-        let StreamingEvaluator { cfg, trainers, validators, train_frames, validation_frames, .. } =
-            self;
-        let measure = cfg.measure;
-        let work: Vec<(NetworkParameter, SignatureBuilder, WindowedSignatures)> = cfg
-            .parameters
-            .iter()
-            .copied()
-            .zip(trainers)
-            .zip(validators)
-            .map(|((param, trainer), validator)| (param, trainer, validator))
-            .collect();
-        let results = evaluate_parameters(work, measure);
+    /// # Errors
+    ///
+    /// The first engine failure encountered during the run.
+    pub fn finish(self) -> Result<TraceEvaluation, EngineError> {
+        let StreamingEvaluator { backend, train_frames, validation_frames, .. } = self;
+        let mut work: Vec<(NetworkParameter, ReferenceDb, ParamCollector)> = Vec::new();
+        for (param, db, collector, error) in backend.finish() {
+            if let Some(e) = error {
+                return Err(e);
+            }
+            work.push((param, db, collector));
+        }
+        let results = aggregate_parameters(work);
 
         let mut outcomes = BTreeMap::new();
         let mut databases = BTreeMap::new();
@@ -180,27 +251,141 @@ impl StreamingEvaluator {
         if ref_devices == 0 {
             ref_devices = databases.values().map(ReferenceDb::len).max().unwrap_or(0);
         }
-        TraceEvaluation {
+        Ok(TraceEvaluation {
             outcomes,
             databases,
             ref_devices,
             candidate_instances,
             train_frames,
             validation_frames,
+        })
+    }
+}
+
+impl Backend {
+    #[cfg(feature = "parallel")]
+    fn new(engines: Vec<(NetworkParameter, Engine)>) -> Backend {
+        // Worker threads only pay off with real cores: on a single-CPU
+        // host the per-frame channel traffic is pure overhead (measured
+        // ~3× slower on the repro harness), so fall back to serial.
+        // `WIFIPRINT_THREADS` overrides the detection, as in
+        // `wifiprint_core::batch`.
+        let cpus = std::env::var("WIFIPRINT_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            });
+        if engines.len() <= 1 || cpus <= 1 {
+            let collectors = engines.iter().map(|_| ParamCollector::default()).collect();
+            return Backend::Serial { engines, collectors, error: None };
+        }
+        let mut senders = Vec::with_capacity(engines.len());
+        let mut workers = Vec::with_capacity(engines.len());
+        for (param, mut engine) in engines {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<CapturedFrame>(WORKER_QUEUE);
+            senders.push(tx);
+            workers.push(std::thread::spawn(move || {
+                let mut collector = ParamCollector::default();
+                let mut error = None;
+                for frame in rx {
+                    match engine.observe(&frame) {
+                        Ok(events) => collector.absorb(events),
+                        Err(e) => {
+                            // Dropping the receiver unblocks the sender;
+                            // remaining frames are discarded.
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                }
+                if error.is_none() {
+                    match engine.finish() {
+                        Ok(events) => collector.absorb(events),
+                        Err(e) => error = Some(e),
+                    }
+                }
+                (param, engine.into_reference().unwrap_or_default(), collector, error)
+            }));
+        }
+        Backend::Threaded { senders, workers }
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn new(engines: Vec<(NetworkParameter, Engine)>) -> Backend {
+        let collectors = engines.iter().map(|_| ParamCollector::default()).collect();
+        Backend::Serial { engines, collectors, error: None }
+    }
+
+    fn push(&mut self, frame: &CapturedFrame) {
+        match self {
+            Backend::Serial { engines, collectors, error } => {
+                if error.is_some() {
+                    return;
+                }
+                for ((_, engine), collector) in engines.iter_mut().zip(collectors.iter_mut()) {
+                    match engine.observe(frame) {
+                        Ok(events) => collector.absorb(events),
+                        Err(e) => {
+                            *error = Some(e);
+                            return;
+                        }
+                    }
+                }
+            }
+            #[cfg(feature = "parallel")]
+            Backend::Threaded { senders, .. } => {
+                for tx in senders.iter() {
+                    // A send failure means that worker latched an error
+                    // and hung up; it will report it at finish().
+                    let _ = tx.send(*frame);
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Vec<WorkerOutcome> {
+        match self {
+            Backend::Serial { engines, collectors, error } => {
+                let mut first_error = error;
+                engines
+                    .into_iter()
+                    .zip(collectors)
+                    .map(|((param, mut engine), mut collector)| {
+                        let mut worker_error = first_error.take();
+                        if worker_error.is_none() {
+                            match engine.finish() {
+                                Ok(events) => collector.absorb(events),
+                                Err(e) => worker_error = Some(e),
+                            }
+                        }
+                        let db = engine.into_reference().unwrap_or_default();
+                        (param, db, collector, worker_error)
+                    })
+                    .collect()
+            }
+            #[cfg(feature = "parallel")]
+            Backend::Threaded { senders, workers } => {
+                // Hanging up the channels ends every worker's frame loop.
+                drop(senders);
+                workers
+                    .into_iter()
+                    .map(|handle| handle.join().expect("parameter worker panicked"))
+                    .collect()
+            }
         }
     }
 }
 
-/// Learns, matches and scores each parameter's work item, in parallel
+/// Aggregates each parameter's accumulated match sets into an
+/// [`EvalOutcome`] (threshold sweeps over every decision), in parallel
 /// when the feature allows it. Results keep the input order.
-fn evaluate_parameters(
-    work: Vec<(NetworkParameter, SignatureBuilder, WindowedSignatures)>,
-    measure: SimilarityMeasure,
+fn aggregate_parameters(
+    work: Vec<(NetworkParameter, ReferenceDb, ParamCollector)>,
 ) -> Vec<(NetworkParameter, ReferenceDb, EvalOutcome)> {
-    let run = |(param, trainer, validator): (NetworkParameter, SignatureBuilder, WindowedSignatures)| {
-        let db = ReferenceDb::from_signatures(trainer.finish());
-        let candidates = validator.finish();
-        let outcome = evaluate(&db, &candidates, measure);
+    let run = |(param, db, collector): (NetworkParameter, ReferenceDb, ParamCollector)| {
+        let outcome = EvalOutcome::from_match_sets(&collector.sets, collector.unknown);
         (param, db, outcome)
     };
     #[cfg(feature = "parallel")]
@@ -215,11 +400,15 @@ fn evaluate_parameters(
 }
 
 /// Convenience: evaluates an in-memory frame sequence.
+///
+/// # Errors
+///
+/// [`EngineError`] from building or driving the underlying engines.
 pub fn evaluate_frames<'a>(
     cfg: &PipelineConfig,
     frames: impl IntoIterator<Item = &'a CapturedFrame>,
-) -> TraceEvaluation {
-    let mut ev = StreamingEvaluator::new(cfg);
+) -> Result<TraceEvaluation, EngineError> {
+    let mut ev = StreamingEvaluator::new(cfg)?;
     for f in frames {
         ev.push(f);
     }
@@ -269,7 +458,7 @@ mod tests {
             ],
         };
         let frames = synthetic_trace(4, 40_000_000);
-        let eval = evaluate_frames(&cfg, &frames);
+        let eval = evaluate_frames(&cfg, &frames).expect("pipeline run");
         assert_eq!(eval.ref_devices, 4);
         assert!(eval.train_frames > 0 && eval.validation_frames > 0);
         let auc_ia = eval.auc(NetworkParameter::InterArrivalTime);
@@ -290,7 +479,7 @@ mod tests {
             parameters: vec![NetworkParameter::InterArrivalTime],
         };
         let frames = synthetic_trace(3, 40_000_000);
-        let eval = evaluate_frames(&cfg, &frames);
+        let eval = evaluate_frames(&cfg, &frames).expect("pipeline run");
         // 30 s of validation in 5 s windows → 6 windows × 3 devices.
         let n = eval.candidate_instances[&NetworkParameter::InterArrivalTime];
         assert!((15..=18).contains(&n), "candidates = {n}");
@@ -324,7 +513,7 @@ mod tests {
             measure: SimilarityMeasure::Cosine,
             parameters: vec![NetworkParameter::InterArrivalTime],
         };
-        let eval = evaluate_frames(&cfg, &frames);
+        let eval = evaluate_frames(&cfg, &frames).expect("pipeline run");
         // Identification at a strict FPR cannot be high for clones: with
         // two identical devices the argmax is a coin flip.
         let ident = eval.identification(NetworkParameter::InterArrivalTime, 0.01);

@@ -69,13 +69,13 @@ fn f32_pipeline_metrics_match_f64_baseline() {
             validator.push(f);
         }
     }
-    let db = ReferenceDb::from_signatures(trainer.finish());
+    let db = ReferenceDb::from_signatures(trainer.finish().expect("devices qualify"));
     let candidates = validator.finish();
     assert!(db.len() >= 4, "trace must learn several references");
     assert!(candidates.len() >= 10, "trace must produce many windows");
 
     // f32 engine: the production path.
-    let fast = evaluate(&db, &candidates, SimilarityMeasure::Cosine);
+    let fast = evaluate(&db, &candidates, SimilarityMeasure::Cosine).expect("non-empty db");
 
     // f64 baseline: naive per-pair scoring of the same instances.
     let mut baseline_sets: Vec<MatchSet> = Vec::new();

@@ -16,14 +16,17 @@
 //!   one-shot pack (streaming inserts are no longer quadratic);
 //! * `match_window_batch/{serial,parallel}` — one thread reusing a
 //!   scratch versus the `parallel`-feature batch fan-out over a
-//!   multi-window candidate set.
+//!   multi-window candidate set;
+//! * `engine_ingest/observe_48k_frames` — the streaming `Engine` end to
+//!   end: extraction, windowing and per-window tiled matching, the
+//!   online deployment's hot path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use wifiprint_core::{
-    kernel, EvalConfig, MatchScratch, NetworkParameter, ReferenceDb, Signature, SignatureBuilder,
-    SimilarityMeasure,
+    kernel, Engine, EvalConfig, MatchScratch, NetworkParameter, ReferenceDb, Signature,
+    SignatureBuilder, SimilarityMeasure,
 };
 use wifiprint_ieee80211::{Frame, FrameKind, MacAddr, Nanos, Rate};
 use wifiprint_radiotap::CapturedFrame;
@@ -60,7 +63,7 @@ fn synthetic_signature(seed: u64, obs: u64) -> Signature {
 fn reference_db(devices: u64) -> ReferenceDb {
     let mut db = ReferenceDb::new();
     for d in 0..devices {
-        db.insert(MacAddr::from_index(d), synthetic_signature(d, 500));
+        db.insert(MacAddr::from_index(d), synthetic_signature(d, 500)).unwrap();
     }
     db
 }
@@ -180,7 +183,7 @@ fn bench_db_insert_stream(c: &mut Criterion) {
             b.iter(|| {
                 let mut db = ReferenceDb::new();
                 for (d, sig) in &sigs {
-                    db.insert(MacAddr::from_index(*d), sig.clone());
+                    db.insert(MacAddr::from_index(*d), sig.clone()).unwrap();
                 }
                 black_box(db.len())
             })
@@ -220,6 +223,46 @@ fn bench_window_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// The streaming `Engine` end to end: per-frame extraction + windowing
+/// with one tiled match sweep per closed 1 s window, against a
+/// 256-device frozen reference. This is the ingest hot path of an
+/// online deployment (`perf_snapshot` reports it as frames/second).
+fn bench_engine_ingest(c: &mut Criterion) {
+    let db = reference_db(256);
+    let cfg = {
+        let mut cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
+            .with_min_observations(30);
+        cfg.window = Nanos::from_secs(1);
+        cfg
+    };
+    // 48k frames, 25 µs apart = 1.2 s: one full window closes mid-run.
+    let frames: Vec<CapturedFrame> = (0..48_000u64)
+        .map(|i| {
+            let dev = MacAddr::from_index(i % 64);
+            let ap = MacAddr::from_index(0xA11);
+            let f = Frame::data_to_ds(dev, ap, ap, 200 + (i % 7) as usize * 100);
+            CapturedFrame::from_frame(&f, Rate::R54M, Nanos::from_micros(25 * (i + 1)), -50)
+        })
+        .collect();
+    let mut group = c.benchmark_group("engine_ingest");
+    group.bench_function("observe_48k_frames", |b| {
+        b.iter(|| {
+            let mut engine = Engine::builder()
+                .config(cfg.clone())
+                .reference(db.snapshot())
+                .build()
+                .expect("valid engine configuration");
+            let mut decisions = 0usize;
+            for frame in &frames {
+                decisions += engine.observe(frame).expect("in-order frame").len();
+            }
+            decisions += engine.finish().expect("first finish").len();
+            black_box(decisions)
+        })
+    });
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300))
 }
@@ -228,6 +271,7 @@ criterion_group! {
     name = benches;
     config = config();
     targets = bench_signature_build, bench_similarity_measures, bench_matching_scaling,
-        bench_dot_kernels, bench_match_tile, bench_db_insert_stream, bench_window_batch
+        bench_dot_kernels, bench_match_tile, bench_db_insert_stream, bench_window_batch,
+        bench_engine_ingest
 }
 criterion_main!(benches);

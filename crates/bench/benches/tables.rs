@@ -15,17 +15,17 @@ fn bench_tables_pipeline(c: &mut Criterion) {
     group.bench_function("office_mini", |b| {
         b.iter(|| {
             let cfg = PipelineConfig::miniature(30, 15, 30);
-            let mut ev = StreamingEvaluator::new(&cfg);
+            let mut ev = StreamingEvaluator::new(&cfg).expect("valid pipeline configuration");
             OfficeScenario::small(3, 90, 10).run_streaming(&mut |f| ev.push(f));
-            black_box(ev.finish())
+            black_box(ev.finish().expect("engine run"))
         })
     });
     group.bench_function("conference_mini", |b| {
         b.iter(|| {
             let cfg = PipelineConfig::miniature(30, 15, 30);
-            let mut ev = StreamingEvaluator::new(&cfg);
+            let mut ev = StreamingEvaluator::new(&cfg).expect("valid pipeline configuration");
             ConferenceScenario::small(3, 90, 14).run_streaming(&mut |f| ev.push(f));
-            black_box(ev.finish())
+            black_box(ev.finish().expect("engine run"))
         })
     });
     group.finish();

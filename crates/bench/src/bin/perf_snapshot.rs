@@ -9,7 +9,7 @@
 //!     [output.json] [--check baseline.json]
 //! ```
 //!
-//! Default output is `BENCH_2.json` in the current directory. With
+//! Default output is `BENCH_3.json` in the current directory. With
 //! `--check`, the freshly measured `match_matrix_ns` is compared against
 //! the committed baseline snapshot and the process exits non-zero if it
 //! regressed by more than 25 % — the CI perf-smoke gate.
@@ -19,15 +19,20 @@
 //! the f32 SIMD matrix sweep at 256 devices, the K=8 matrix–matrix tile
 //! versus 8 matrix–vector sweeps, the f32-vs-f64 dot kernels (with the
 //! runtime dispatch decision), streaming insert cost, and the
-//! serial-vs-parallel window batch.
+//! serial-vs-parallel window batch — plus, since PR 3, the streaming
+//! `Engine`'s end-to-end ingest throughput (frames/second through
+//! extraction, windowing and per-window tiled matching against the
+//! 256-device reference).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use wifiprint_core::{
-    kernel, EvalConfig, MatchScratch, NetworkParameter, ReferenceDb, Signature, SimilarityMeasure,
+    kernel, Engine, EvalConfig, MatchScratch, NetworkParameter, ReferenceDb, Signature,
+    SimilarityMeasure,
 };
-use wifiprint_ieee80211::{FrameKind, MacAddr};
+use wifiprint_ieee80211::{Frame, FrameKind, MacAddr, Nanos, Rate};
+use wifiprint_radiotap::CapturedFrame;
 
 /// Allowed relative regression of `match_matrix_ns` under `--check`.
 const REGRESSION_BUDGET: f64 = 0.25;
@@ -74,7 +79,7 @@ fn read_field(json: &str, field: &str) -> Option<f64> {
 }
 
 fn main() {
-    let mut out_path = "BENCH_2.json".to_owned();
+    let mut out_path = "BENCH_3.json".to_owned();
     let mut check_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -87,7 +92,7 @@ fn main() {
 
     let mut db = ReferenceDb::new();
     for d in 0..256u64 {
-        db.insert(MacAddr::from_index(d), synthetic_signature(d, 500));
+        db.insert(MacAddr::from_index(d), synthetic_signature(d, 500)).expect("insert");
     }
     let candidate = synthetic_signature(3, 500);
     let windows: Vec<Signature> =
@@ -135,7 +140,7 @@ fn main() {
     let insert_ns = measure(9, 1, || {
         let mut fresh = ReferenceDb::new();
         for (d, sig) in insert_sigs.iter().enumerate() {
-            fresh.insert(MacAddr::from_index(d as u64), sig.clone());
+            fresh.insert(MacAddr::from_index(d as u64), sig.clone()).expect("insert");
         }
         std::hint::black_box(fresh.len());
     }) / insert_sigs.len() as f64;
@@ -154,13 +159,49 @@ fn main() {
         std::hint::black_box(db.match_batch(&candidates, SimilarityMeasure::Cosine));
     });
 
+    // Engine ingest: the streaming facade end to end — per-frame
+    // extraction + windowing, one tiled match sweep per closed 1 s
+    // window, 64 active devices against the 256-device reference.
+    let engine_cfg = {
+        let mut c = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
+            .with_min_observations(30);
+        c.window = Nanos::from_secs(1);
+        c
+    };
+    let stream_devices = 64u64;
+    let engine_frames: Vec<CapturedFrame> = (0..240_000u64)
+        .map(|i| {
+            let dev = MacAddr::from_index(i % stream_devices);
+            let ap = MacAddr::from_index(0xA11);
+            // 25 µs between consecutive captures on the channel: the
+            // 240k-frame stream spans 6 s, so six 1 s windows close
+            // mid-run with ~625 observations per device each.
+            let f = Frame::data_to_ds(dev, ap, ap, 200 + (i % 7) as usize * 100);
+            CapturedFrame::from_frame(&f, Rate::R54M, Nanos::from_micros(25 * (i + 1)), -50)
+        })
+        .collect();
+    let engine_ingest_ns = measure(5, 1, || {
+        let mut engine = Engine::builder()
+            .config(engine_cfg.clone())
+            .reference(db.snapshot())
+            .build()
+            .expect("valid engine configuration");
+        let mut decisions = 0usize;
+        for frame in &engine_frames {
+            decisions += engine.observe(frame).expect("in-order frame").len();
+        }
+        decisions += engine.finish().expect("first finish").len();
+        std::hint::black_box(decisions);
+    }) / engine_frames.len() as f64;
+    let engine_ingest_fps = 1e9 / engine_ingest_ns;
+
     let match_speedup = naive_ns / matrix_ns;
     let tile_speedup = matvec8_ns / tile_ns;
     let kernel_speedup = dot_f64_ns / dot_f32_ns;
     let batch_speedup = serial_ns / parallel_ns;
     let mut json = String::from("{\n");
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let _ = writeln!(json, "  \"schema\": \"wifiprint-bench-snapshot-v2\",");
+    let _ = writeln!(json, "  \"schema\": \"wifiprint-bench-snapshot-v3\",");
     let _ = writeln!(json, "  \"cpus\": {cpus},");
     let _ = writeln!(json, "  \"kernel\": \"{}\",", kernel::active());
     let _ = writeln!(json, "  \"reference_devices\": 256,");
@@ -178,7 +219,12 @@ fn main() {
     let _ = writeln!(json, "  \"insert_stream_ns_per_device\": {insert_ns:.0},");
     let _ = writeln!(json, "  \"batch_serial_ns\": {serial_ns:.0},");
     let _ = writeln!(json, "  \"batch_parallel_ns\": {parallel_ns:.0},");
-    let _ = writeln!(json, "  \"batch_speedup\": {batch_speedup:.2}");
+    let _ = writeln!(json, "  \"batch_speedup\": {batch_speedup:.2},");
+    let _ = writeln!(json, "  \"engine_stream_devices\": {stream_devices},");
+    let _ = writeln!(json, "  \"engine_window_secs\": 1,");
+    let _ = writeln!(json, "  \"engine_frames\": {},", engine_frames.len());
+    let _ = writeln!(json, "  \"engine_ingest_ns_per_frame\": {engine_ingest_ns:.0},");
+    let _ = writeln!(json, "  \"engine_ingest_fps\": {engine_ingest_fps:.0}");
     json.push('}');
 
     std::fs::write(&out_path, &json).expect("write snapshot");

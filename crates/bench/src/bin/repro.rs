@@ -318,7 +318,7 @@ fn print_fusion(opts: &Options) {
 
     println!("\n== §VIII future work: combining network parameters ==");
     let cfg = wifiprint_analysis::PipelineConfig::short_trace();
-    let mut single = StreamingEvaluator::new(&cfg);
+    let mut single = StreamingEvaluator::new(&cfg).expect("valid pipeline configuration");
     let mut trio = FusionEvaluator::new(&cfg, FusionSpec::timing_trio());
     let mut all5 = FusionEvaluator::new(&cfg, FusionSpec::all_equal());
     OfficeScenario::office2(opts.seed).run_streaming(&mut |f| {
@@ -326,7 +326,7 @@ fn print_fusion(opts: &Options) {
         trio.push(f);
         all5.push(f);
     });
-    let single = single.finish();
+    let single = single.finish().expect("engine run");
     let trio = trio.finish();
     let all5 = all5.finish();
     let mut cols: Vec<Vec<String>> = vec![

@@ -84,7 +84,7 @@ pub struct TraceRun {
 pub fn evaluate_scenario(kind: TraceKind, quick: bool, seed: u64) -> TraceRun {
     let start = std::time::Instant::now();
     let cfg = kind.pipeline();
-    let mut ev = StreamingEvaluator::new(&cfg);
+    let mut ev = StreamingEvaluator::new(&cfg).expect("valid pipeline configuration");
     let mut baseline = wifiprint_analysis::baseline::BaselineEvaluator::new(&cfg);
     let mut sink = |f: &wifiprint_radiotap::CapturedFrame| {
         ev.push(f);
@@ -112,7 +112,7 @@ pub fn evaluate_scenario(kind: TraceKind, quick: bool, seed: u64) -> TraceRun {
     let (baseline_outcome, _db) = baseline.finish();
     TraceRun {
         kind,
-        eval: ev.finish(),
+        eval: ev.finish().expect("engine run"),
         baseline: baseline_outcome,
         report,
         wall_secs: start.elapsed().as_secs_f64(),

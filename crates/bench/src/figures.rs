@@ -282,7 +282,7 @@ pub fn signatures_for(
     for f in &trace.frames {
         builder.push(f);
     }
-    builder.finish()
+    builder.finish().unwrap_or_default()
 }
 
 #[cfg(test)]

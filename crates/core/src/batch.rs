@@ -109,7 +109,7 @@ fn worker_count(items: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get));
     cpus.min(items / MIN_CHUNK).max(1)
 }
 
@@ -139,7 +139,7 @@ mod tests {
 
     #[test]
     fn empty_batch() {
-        let out = map_with_scratch(&[] as &[u8], || (), |_, _| 1u8);
+        let out = map_with_scratch(&[] as &[u8], || (), |(), _| 1u8);
         assert!(out.is_empty());
     }
 
@@ -154,7 +154,7 @@ mod tests {
             });
             assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>(), "tile {tile}");
         }
-        let empty = map_tiles_with_scratch(&[] as &[u8], 0, || (), |_, c| vec![0u8; c.len()]);
+        let empty = map_tiles_with_scratch(&[] as &[u8], 0, || (), |(), c| vec![0u8; c.len()]);
         assert!(empty.is_empty());
     }
 
@@ -162,7 +162,7 @@ mod tests {
     fn scratch_is_reused_within_a_worker() {
         // Single small batch ⇒ serial ⇒ one scratch counts every item.
         let items = [(); 7];
-        let out = map_with_scratch(&items, || 0usize, |scratch, _| {
+        let out = map_with_scratch(&items, || 0usize, |scratch, ()| {
             *scratch += 1;
             *scratch
         });

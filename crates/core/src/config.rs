@@ -4,6 +4,7 @@
 use wifiprint_ieee80211::{FrameKind, Nanos, Rate};
 use wifiprint_radiotap::CapturedFrame;
 
+use crate::error::CoreError;
 use crate::histogram::BinSpec;
 use crate::params::NetworkParameter;
 use crate::similarity::SimilarityMeasure;
@@ -88,11 +89,12 @@ pub fn default_bins(param: NetworkParameter) -> BinSpec {
             centers: Rate::ALL_BG.iter().map(|r| r.mbps()).collect(),
         },
         NetworkParameter::FrameSize => BinSpec::uniform_to(2400.0, 16.0),
+        NetworkParameter::TransmissionTime => BinSpec::uniform_to(2000.0, 10.0),
         // 10 µs bins expose the slot comb (20 µs) and the sub-slot
         // implementation quirks of §VI-A that coarser bins would smear.
-        NetworkParameter::MediumAccessTime => BinSpec::uniform_to(2500.0, 10.0),
-        NetworkParameter::TransmissionTime => BinSpec::uniform_to(2000.0, 10.0),
-        NetworkParameter::InterArrivalTime => BinSpec::uniform_to(2500.0, 10.0),
+        NetworkParameter::MediumAccessTime | NetworkParameter::InterArrivalTime => {
+            BinSpec::uniform_to(2500.0, 10.0)
+        }
     }
 }
 
@@ -157,6 +159,24 @@ impl EvalConfig {
         self.measure = measure;
         self
     }
+
+    /// Checks that the configuration can drive an evaluation at all.
+    /// The [`engine`](crate::engine) builder calls this before starting
+    /// a session.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for a zero-length detection window
+    /// or an empty bin specification.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.window == Nanos::ZERO {
+            return Err(CoreError::InvalidConfig { reason: "zero-length detection window" });
+        }
+        if self.bins.bin_count() == 0 {
+            return Err(CoreError::InvalidConfig { reason: "empty histogram bin specification" });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -188,7 +208,7 @@ mod tests {
         // The rate parameter is categorical over the 12 b/g rates.
         match default_bins(NetworkParameter::TransmissionRate) {
             BinSpec::Categorical { centers } => assert_eq!(centers.len(), 12),
-            other => panic!("expected categorical bins, got {other:?}"),
+            other @ BinSpec::Uniform { .. } => panic!("expected categorical bins, got {other:?}"),
         }
     }
 
@@ -225,6 +245,17 @@ mod tests {
         let paper = TxTimeEstimator::SizeOverRate.tx_time_micros(&c);
         let real = TxTimeEstimator::MeasuredAirTime.tx_time_micros(&c);
         assert!((real - paper - 192.0).abs() < 1.0, "long DSSS preamble is 192 µs");
+    }
+
+    #[test]
+    fn validate_rejects_unusable_configs() {
+        let good = EvalConfig::for_parameter(NetworkParameter::FrameSize);
+        assert!(good.validate().is_ok());
+        let mut zero_window = good.clone();
+        zero_window.window = Nanos::ZERO;
+        assert!(zero_window.validate().is_err());
+        let no_bins = good.with_bins(BinSpec::Categorical { centers: vec![] });
+        assert!(no_bins.validate().is_err());
     }
 
     #[test]

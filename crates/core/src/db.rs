@@ -53,7 +53,7 @@ impl std::error::Error for DbCodecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DbCodecError::Io(e) => Some(e),
-            _ => None,
+            DbCodecError::Parse { .. } => None,
         }
     }
 }
@@ -253,7 +253,7 @@ mod tests {
             for _ in 0..5 {
                 sig.record(FrameKind::ProbeReq, 95.0, &cfg);
             }
-            db.insert(MacAddr::from_index(idx), sig);
+            db.insert(MacAddr::from_index(idx), sig).unwrap();
         }
         (db, param, cfg.bins)
     }
@@ -282,7 +282,7 @@ mod tests {
         for _ in 0..50 {
             sig.record(FrameKind::QosData, 54.0, &cfg);
         }
-        db.insert(MacAddr::from_index(1), sig);
+        db.insert(MacAddr::from_index(1), sig).unwrap();
         let mut buf = Vec::new();
         save_db(&mut buf, &db, param, &cfg.bins).unwrap();
         let (loaded, _, lbins) = load_db(&buf[..]).unwrap();

@@ -1,0 +1,129 @@
+//! The crate-wide error hierarchy.
+//!
+//! [`CoreError`] covers the data-level failures of the fingerprinting
+//! primitives (configuration, signature building, reference-database
+//! lifecycle); [`EngineError`](crate::engine::EngineError) wraps it with
+//! the streaming-ingest failures of the [`engine`](crate::engine) facade.
+//! Both replace the previous mix of panics and silent `Option`s so
+//! callers can distinguish "bad input" from "no data".
+
+use std::fmt;
+
+use wifiprint_ieee80211::MacAddr;
+
+use crate::db::DbCodecError;
+
+/// A data-level failure of the fingerprinting primitives.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An [`EvalConfig`](crate::EvalConfig) that cannot drive an
+    /// evaluation (zero-length detection window, empty bin spec, …).
+    InvalidConfig {
+        /// What makes the configuration unusable.
+        reason: &'static str,
+    },
+    /// A signature with zero observations was offered to the reference
+    /// database; an all-zero row can never match anything.
+    EmptySignature {
+        /// The device whose signature was empty.
+        device: MacAddr,
+    },
+    /// A learning phase ended with no device meeting the minimum
+    /// observation floor, so there is nothing to enroll.
+    NoQualifiedDevices {
+        /// Devices that were observed at all.
+        tracked: usize,
+        /// The configured observation floor none of them reached.
+        min_observations: u64,
+    },
+    /// A matching or evaluation step needs a non-empty reference
+    /// database.
+    EmptyDatabase,
+    /// A mutation was attempted on a reference database that has been
+    /// frozen for the detection phase
+    /// (see [`ReferenceDb::freeze`](crate::ReferenceDb::freeze)).
+    FrozenDatabase {
+        /// The device the rejected mutation concerned.
+        device: Option<MacAddr>,
+    },
+    /// Encoding or decoding a persisted database failed.
+    Codec(DbCodecError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CoreError::EmptySignature { device } => {
+                write!(f, "signature for {device} has no observations")
+            }
+            CoreError::NoQualifiedDevices { tracked, min_observations } => write!(
+                f,
+                "no device qualified for enrollment ({tracked} tracked, \
+                 {min_observations}-observation floor)"
+            ),
+            CoreError::EmptyDatabase => write!(f, "reference database is empty"),
+            CoreError::FrozenDatabase { device: Some(d) } => {
+                write!(f, "reference database is frozen; cannot mutate entry for {d}")
+            }
+            CoreError::FrozenDatabase { device: None } => {
+                write!(f, "reference database is frozen")
+            }
+            CoreError::Codec(e) => write!(f, "database codec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DbCodecError> for CoreError {
+    fn from(e: DbCodecError) -> Self {
+        CoreError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let cases: Vec<(CoreError, &str)> = vec![
+            (CoreError::InvalidConfig { reason: "zero-length window" }, "zero-length window"),
+            (
+                CoreError::EmptySignature { device: MacAddr::from_index(3) },
+                "no observations",
+            ),
+            (
+                CoreError::NoQualifiedDevices { tracked: 4, min_observations: 50 },
+                "4 tracked",
+            ),
+            (CoreError::EmptyDatabase, "empty"),
+            (CoreError::FrozenDatabase { device: None }, "frozen"),
+            (
+                CoreError::FrozenDatabase { device: Some(MacAddr::from_index(1)) },
+                "cannot mutate",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn codec_errors_chain_their_source() {
+        let codec = DbCodecError::Parse { line: 7, message: "bad header".into() };
+        let err = CoreError::from(codec);
+        assert!(err.to_string().contains("line 7"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

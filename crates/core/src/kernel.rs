@@ -29,13 +29,15 @@
 // SIMD intrinsics are unavoidably unsafe (raw-pointer loads + target
 // features); every unsafe block below carries a safety comment.
 #![allow(unsafe_code)]
+// The SIMD intrinsics modules are designed for wildcard import.
+#![allow(clippy::wildcard_imports)]
 
 use std::sync::OnceLock;
 
 /// Which dot kernel the runtime dispatch selected for this process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KernelKind {
-    /// 8-lane AVX2 with fused multiply-add (x86/x86_64, detected at
+    /// 8-lane AVX2 with fused multiply-add (`x86`/`x86_64`, detected at
     /// runtime).
     Avx2Fma,
     /// 4-lane NEON with fused multiply-add (aarch64).
@@ -293,7 +295,7 @@ mod tests {
     fn pseudo_row(seed: u64, len: usize) -> Vec<f32> {
         (0..len)
             .map(|i| {
-                let x = (seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64 * 1442695))
+                let x = (seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i as u64 * 1_442_695))
                     % 1000;
                 x as f32 / 1000.0
             })
@@ -328,8 +330,8 @@ mod tests {
 
     #[test]
     fn dot_f64_matches_naive_sum() {
-        let a: Vec<f64> = (0..251).map(|i| (i % 17) as f64 / 17.0).collect();
-        let b: Vec<f64> = (0..251).map(|i| (i % 23) as f64 / 23.0).collect();
+        let a: Vec<f64> = (0..251).map(|i| f64::from(i % 17) / 17.0).collect();
+        let b: Vec<f64> = (0..251).map(|i| f64::from(i % 23) / 23.0).collect();
         let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
         assert!((dot_f64(&a, &b) - naive).abs() < 1e-9);
     }

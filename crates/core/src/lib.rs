@@ -28,12 +28,23 @@
 //!    **identification test** (argmax → identification ratio at a target
 //!    FPR).
 //!
+//! # The streaming engine
+//!
+//! The production entry point is the [`engine`]: a builder-configured
+//! [`Engine`] ingests captured frames one at a time (online, the way a
+//! passive monitor sees them), learns or loads the reference database,
+//! and emits typed [`engine::Event`]s — [`engine::Event::Match`],
+//! [`engine::Event::NewDevice`], [`engine::Event::Enrolled`],
+//! [`engine::Event::WindowClosed`] — as detection windows close. The
+//! batch helpers above remain as the engine's building blocks; failures
+//! are typed ([`CoreError`] / [`engine::EngineError`]) rather than
+//! panics.
+//!
 //! # Example
 //!
 //! ```
-//! use wifiprint_core::{
-//!     EvalConfig, NetworkParameter, ReferenceDb, SignatureBuilder,
-//! };
+//! use wifiprint_core::engine::{Engine, Event};
+//! use wifiprint_core::{EvalConfig, NetworkParameter};
 //! use wifiprint_radiotap::CapturedFrame;
 //! use wifiprint_ieee80211::{Frame, MacAddr, Nanos, Rate};
 //!
@@ -47,15 +58,18 @@
 //!     })
 //!     .collect();
 //!
-//! // Build a reference signature from the trace.
+//! // Enroll the station online: a training-only engine session.
 //! let cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime);
-//! let mut builder = SignatureBuilder::new(&cfg);
-//! builder.extend(frames.iter().copied());
-//! let mut db = ReferenceDb::new();
-//! for (device, sig) in builder.finish() {
-//!     db.insert(device, sig);
-//! }
-//! assert!(db.get(&sta).is_some());
+//! let mut engine = Engine::builder()
+//!     .config(cfg)
+//!     .train_for(Nanos::from_secs(3600))
+//!     .build()
+//!     .expect("valid configuration");
+//! let mut events = engine.observe_all(&frames).expect("frames in capture order");
+//! events.extend(engine.finish().expect("first finish"));
+//! assert!(matches!(events[0], Event::Enrolled { device, .. } if device == sta));
+//! let db = engine.into_reference().expect("trained reference");
+//! assert!(db.get(&sta).is_some() && db.is_frozen());
 //! ```
 
 // `unsafe` is denied crate-wide and re-allowed in exactly one place: the
@@ -64,10 +78,31 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::pedantic)]
+// Pedantic lints this crate opts out of, with reasons:
+#![allow(
+    // Histogram counts and bin indices stay far below 2^52; the hot
+    // paths quantise f64 → f32 by design (see matching's module docs).
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    // Exact float compares are deliberate: 0.0 sentinels in the sweep
+    // and bit-identical equivalence assertions in tests.
+    clippy::float_cmp,
+    // Getter-heavy API: forcing #[must_use] on ~170 accessors adds
+    // noise without catching real bugs.
+    clippy::must_use_candidate,
+    clippy::return_self_not_must_use,
+    // Public items are intentionally re-exported from the crate root,
+    // so module-qualified names repeat the module name.
+    clippy::module_name_repetitions
+)]
 
 pub mod batch;
 mod config;
 mod db;
+pub mod engine;
+mod error;
 mod histogram;
 pub mod kernel;
 pub mod matching;
@@ -79,6 +114,8 @@ mod windows;
 
 pub use config::{default_bins, EvalConfig, FrameFilter, TxTimeEstimator};
 pub use db::{load_db, save_db, DbCodecError};
+pub use engine::{Engine, EngineBuilder, EngineError, EnginePhase, Event};
+pub use error::CoreError;
 pub use histogram::{BinSpec, Histogram};
 pub use kernel::KernelKind;
 pub use matching::{

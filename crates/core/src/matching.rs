@@ -67,7 +67,7 @@
 //! let mut sig = Signature::new();
 //! for _ in 0..60 { sig.record(FrameKind::Data, 1000.0, &cfg); }
 //! let mut db = ReferenceDb::new();
-//! db.insert(MacAddr::from_index(1), sig.clone());
+//! db.insert(MacAddr::from_index(1), sig.clone()).unwrap();
 //!
 //! let mut scratch = MatchScratch::new();
 //! for _window in 0..3 {
@@ -94,6 +94,7 @@ use std::collections::BTreeMap;
 
 use wifiprint_ieee80211::{FrameKind, MacAddr};
 
+use crate::error::CoreError;
 use crate::kernel;
 use crate::signature::Signature;
 use crate::similarity::SimilarityMeasure;
@@ -173,7 +174,7 @@ impl KindBlock {
 ///
 /// let mut db = ReferenceDb::new();
 /// let dev = MacAddr::from_index(1);
-/// db.insert(dev, sig.clone());
+/// db.insert(dev, sig.clone()).unwrap();
 ///
 /// let outcome = db.match_signature(&sig, SimilarityMeasure::Cosine);
 /// assert_eq!(outcome.best().unwrap().0, dev);
@@ -191,6 +192,10 @@ pub struct ReferenceDb {
     order: Vec<u32>,
     /// Per-frame-kind matrices, ascending by `(kind, bins)`.
     blocks: Vec<KindBlock>,
+    /// `true` once the enrollment phase ended ([`ReferenceDb::freeze`]):
+    /// mutations are rejected so the detection phase matches against a
+    /// stable reference set.
+    frozen: bool,
 }
 
 impl ReferenceDb {
@@ -214,11 +219,12 @@ impl ReferenceDb {
     }
 
     /// Position of `device` in the sorted `order` index.
-    fn position(&self, device: &MacAddr) -> Result<usize, usize> {
-        self.order.binary_search_by(|&i| self.devices[i as usize].cmp(device))
+    fn position(&self, device: MacAddr) -> Result<usize, usize> {
+        self.order.binary_search_by(|&i| self.devices[i as usize].cmp(&device))
     }
 
-    /// Inserts or replaces a device's reference signature.
+    /// Inserts or replaces a device's reference signature (online
+    /// enrollment).
     ///
     /// Returns the previous signature if the device was already present.
     /// Inserting a new device **appends** one row to each block
@@ -226,8 +232,24 @@ impl ReferenceDb {
     /// inserts is linear overall; replacing rewrites only that device's
     /// rows. [`ReferenceDb::from_signatures`] remains the cheapest bulk
     /// constructor (one pack, no per-insert index maintenance).
-    pub fn insert(&mut self, device: MacAddr, signature: Signature) -> Option<Signature> {
-        match self.position(&device) {
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::FrozenDatabase`] after [`ReferenceDb::freeze`], and
+    /// [`CoreError::EmptySignature`] for a signature with zero
+    /// observations (its all-zero rows could never match anything).
+    pub fn insert(
+        &mut self,
+        device: MacAddr,
+        signature: Signature,
+    ) -> Result<Option<Signature>, CoreError> {
+        if self.frozen {
+            return Err(CoreError::FrozenDatabase { device: Some(device) });
+        }
+        if signature.observation_count() == 0 {
+            return Err(CoreError::EmptySignature { device });
+        }
+        Ok(match self.position(device) {
             Ok(pos) => {
                 let row = self.order[pos] as usize;
                 let previous = std::mem::replace(&mut self.signatures[row], signature);
@@ -250,12 +272,22 @@ impl ReferenceDb {
                 self.write_row(row);
                 None
             }
-        }
+        })
     }
 
-    /// Removes a device, returning its signature.
-    pub fn remove(&mut self, device: &MacAddr) -> Option<Signature> {
-        let pos = self.position(device).ok()?;
+    /// Removes a device, returning its signature (`Ok(None)` when the
+    /// device was not enrolled).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::FrozenDatabase`] after [`ReferenceDb::freeze`].
+    pub fn remove(&mut self, device: &MacAddr) -> Result<Option<Signature>, CoreError> {
+        if self.frozen {
+            return Err(CoreError::FrozenDatabase { device: Some(*device) });
+        }
+        let Ok(pos) = self.position(*device) else {
+            return Ok(None);
+        };
         let row = self.order.remove(pos) as usize;
         self.devices.remove(row);
         let sig = self.signatures.remove(row);
@@ -269,17 +301,44 @@ impl ReferenceDb {
             block.inv_norms.remove(row);
             block.rows.drain(row * block.bins..(row + 1) * block.bins);
         }
-        Some(sig)
+        Ok(Some(sig))
+    }
+
+    /// Ends the enrollment phase: every subsequent [`ReferenceDb::insert`]
+    /// or [`ReferenceDb::remove`] is rejected with
+    /// [`CoreError::FrozenDatabase`], so a detection phase holding this
+    /// database matches against a stable reference set. Freezing is
+    /// idempotent and one-way; to keep enrolling, freeze a
+    /// [`ReferenceDb::snapshot`] instead and retain the original.
+    ///
+    /// Matching never requires a frozen database — freezing is the
+    /// lifecycle *guard*, not a precondition.
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// `true` once [`ReferenceDb::freeze`] (or
+    /// [`ReferenceDb::snapshot`]) sealed this database.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// A frozen copy of the current state: the detection-phase view of a
+    /// database that keeps enrolling. The original stays mutable.
+    pub fn snapshot(&self) -> ReferenceDb {
+        let mut copy = self.clone();
+        copy.frozen = true;
+        copy
     }
 
     /// The signature of a device, if present.
     pub fn get(&self, device: &MacAddr) -> Option<&Signature> {
-        self.position(device).ok().map(|pos| &self.signatures[self.order[pos] as usize])
+        self.position(*device).ok().map(|pos| &self.signatures[self.order[pos] as usize])
     }
 
     /// `true` if the device has a reference signature.
     pub fn contains(&self, device: &MacAddr) -> bool {
-        self.position(device).is_ok()
+        self.position(*device).is_ok()
     }
 
     /// Number of reference devices.
@@ -577,7 +636,7 @@ impl MatchView<'_> {
 
     /// The similarity to one specific reference device.
     pub fn similarity_to(&self, device: &MacAddr) -> Option<f64> {
-        similarity_to(self.sims, device)
+        similarity_to(self.sims, *device)
     }
 
     /// The similarity test (§IV-B): references whose similarity is at
@@ -653,6 +712,12 @@ pub struct MatchOutcome {
 }
 
 impl MatchOutcome {
+    /// The no-references outcome (used by the engine when scoring of
+    /// unknown devices is disabled).
+    pub(crate) fn empty() -> MatchOutcome {
+        MatchOutcome { sims: Vec::new() }
+    }
+
     /// All `(reference device, similarity)` pairs, in database order.
     pub fn similarities(&self) -> &[(MacAddr, f64)] {
         &self.sims
@@ -660,7 +725,7 @@ impl MatchOutcome {
 
     /// The similarity to one specific reference device.
     pub fn similarity_to(&self, device: &MacAddr) -> Option<f64> {
-        similarity_to(&self.sims, device)
+        similarity_to(&self.sims, *device)
     }
 
     /// The similarity test (§IV-B): references whose similarity is at
@@ -684,18 +749,18 @@ impl MatchOutcome {
     }
 }
 
-fn similarity_to(sims: &[(MacAddr, f64)], device: &MacAddr) -> Option<f64> {
+fn similarity_to(sims: &[(MacAddr, f64)], device: MacAddr) -> Option<f64> {
     // The vector is in ascending device order (database order).
-    sims.binary_search_by(|(d, _)| d.cmp(device)).ok().map(|i| sims[i].1)
+    sims.binary_search_by(|(d, _)| d.cmp(&device)).ok().map(|i| sims[i].1)
 }
 
 /// Descending score; equal scores order toward the lower address, so the
 /// ranking is deterministic and `top(1)` matches `best()`.
-fn rank_desc(a: &(MacAddr, f64), b: &(MacAddr, f64)) -> std::cmp::Ordering {
+pub(crate) fn rank_desc(a: &(MacAddr, f64), b: &(MacAddr, f64)) -> std::cmp::Ordering {
     b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0))
 }
 
-fn best_of(sims: &[(MacAddr, f64)]) -> Option<(MacAddr, f64)> {
+pub(crate) fn best_of(sims: &[(MacAddr, f64)]) -> Option<(MacAddr, f64)> {
     sims.iter().copied().min_by(rank_desc)
 }
 
@@ -745,7 +810,7 @@ mod tests {
     fn identical_signature_scores_one() {
         let sig = sig_with(&[(FrameKind::Data, 500.0, 30), (FrameKind::ProbeReq, 100.0, 10)]);
         let mut db = ReferenceDb::new();
-        db.insert(MacAddr::from_index(1), sig.clone());
+        db.insert(MacAddr::from_index(1), sig.clone()).unwrap();
         let outcome = db.match_signature(&sig, SimilarityMeasure::Cosine);
         let (_, score) = outcome.best().unwrap();
         assert!((score - 1.0).abs() < F32_SCORE_TOLERANCE);
@@ -756,7 +821,7 @@ mod tests {
         let a = sig_with(&[(FrameKind::Data, 100.0, 10)]);
         let b = sig_with(&[(FrameKind::Data, 2000.0, 10)]);
         let mut db = ReferenceDb::new();
-        db.insert(MacAddr::from_index(1), a);
+        db.insert(MacAddr::from_index(1), a).unwrap();
         let outcome = db.match_signature(&b, SimilarityMeasure::Cosine);
         assert_eq!(outcome.best().unwrap().1, 0.0);
     }
@@ -767,7 +832,7 @@ mod tests {
         let r = sig_with(&[(FrameKind::Data, 100.0, 10)]);
         let c = sig_with(&[(FrameKind::ProbeReq, 100.0, 10)]);
         let mut db = ReferenceDb::new();
-        db.insert(MacAddr::from_index(1), r);
+        db.insert(MacAddr::from_index(1), r).unwrap();
         let outcome = db.match_signature(&c, SimilarityMeasure::Cosine);
         assert_eq!(outcome.similarities()[0].1, 0.0);
     }
@@ -779,7 +844,7 @@ mod tests {
         // Candidate matches only the ProbeReq histogram.
         let c = sig_with(&[(FrameKind::ProbeReq, 200.0, 50)]);
         let mut db = ReferenceDb::new();
-        db.insert(MacAddr::from_index(1), r);
+        db.insert(MacAddr::from_index(1), r).unwrap();
         let outcome = db.match_signature(&c, SimilarityMeasure::Cosine);
         // Score = weight_ref(ProbeReq) × 1.0 = 0.1.
         assert!((outcome.similarities()[0].1 - 0.1).abs() < F32_SCORE_TOLERANCE);
@@ -793,8 +858,8 @@ mod tests {
         let mut db = ReferenceDb::new();
         let d_near = MacAddr::from_index(1);
         let d_far = MacAddr::from_index(2);
-        db.insert(d_near, near);
-        db.insert(d_far, far);
+        db.insert(d_near, near).unwrap();
+        db.insert(d_far, far).unwrap();
         let outcome = db.match_signature(&probe, SimilarityMeasure::Cosine);
         assert_eq!(outcome.best().unwrap().0, d_near);
         assert!(outcome.similarity_to(&d_far).unwrap() < outcome.similarity_to(&d_near).unwrap());
@@ -804,8 +869,8 @@ mod tests {
     fn above_threshold_filters() {
         let base = sig_with(&[(FrameKind::Data, 500.0, 50)]);
         let mut db = ReferenceDb::new();
-        db.insert(MacAddr::from_index(1), base.clone());
-        db.insert(MacAddr::from_index(2), sig_with(&[(FrameKind::Data, 2200.0, 50)]));
+        db.insert(MacAddr::from_index(1), base.clone()).unwrap();
+        db.insert(MacAddr::from_index(2), sig_with(&[(FrameKind::Data, 2200.0, 50)])).unwrap();
         let outcome = db.match_signature(&base, SimilarityMeasure::Cosine);
         let hits: Vec<_> = outcome.above_threshold(0.9).collect();
         assert_eq!(hits.len(), 1);
@@ -819,15 +884,62 @@ mod tests {
         assert!(db.is_empty());
         let dev = MacAddr::from_index(7);
         let sig = sig_with(&[(FrameKind::Data, 1.0, 5)]);
-        assert!(db.insert(dev, sig.clone()).is_none());
+        assert!(db.insert(dev, sig.clone()).unwrap().is_none());
         assert!(db.contains(&dev));
         assert_eq!(db.len(), 1);
         assert_eq!(db.get(&dev), Some(&sig));
         assert_eq!(db.devices().collect::<Vec<_>>(), vec![dev]);
-        let replaced = db.insert(dev, sig_with(&[(FrameKind::Data, 2.0, 5)]));
+        let replaced = db.insert(dev, sig_with(&[(FrameKind::Data, 2.0, 5)])).unwrap();
         assert_eq!(replaced, Some(sig));
-        assert!(db.remove(&dev).is_some());
+        assert!(db.remove(&dev).unwrap().is_some());
         assert!(db.is_empty());
+        assert!(db.remove(&dev).unwrap().is_none(), "absent device removes to None");
+    }
+
+    #[test]
+    fn empty_signatures_are_rejected() {
+        let mut db = ReferenceDb::new();
+        let dev = MacAddr::from_index(1);
+        match db.insert(dev, Signature::new()) {
+            Err(CoreError::EmptySignature { device }) => assert_eq!(device, dev),
+            other => panic!("expected EmptySignature, got {other:?}"),
+        }
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn freeze_guards_mutation_and_snapshot_splits_lifecycle() {
+        let mut db = ReferenceDb::new();
+        let d1 = MacAddr::from_index(1);
+        let d2 = MacAddr::from_index(2);
+        let sig = sig_with(&[(FrameKind::Data, 500.0, 50)]);
+        db.insert(d1, sig.clone()).unwrap();
+
+        // A frozen snapshot serves detection while enrollment continues.
+        let frozen = db.snapshot();
+        assert!(frozen.is_frozen());
+        assert!(!db.is_frozen());
+        db.insert(d2, sig.clone()).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(frozen.len(), 1);
+
+        // Matching works on both sides of the freeze.
+        assert_eq!(frozen.match_signature(&sig, SimilarityMeasure::Cosine).best().unwrap().0, d1);
+
+        // Mutating the frozen copy is a typed error, and changes nothing.
+        let mut frozen = frozen;
+        match frozen.insert(d2, sig.clone()) {
+            Err(CoreError::FrozenDatabase { device }) => assert_eq!(device, Some(d2)),
+            other => panic!("expected FrozenDatabase, got {other:?}"),
+        }
+        assert!(matches!(frozen.remove(&d1), Err(CoreError::FrozenDatabase { .. })));
+        assert_eq!(frozen.len(), 1);
+
+        // In-place freeze is idempotent.
+        db.freeze();
+        db.freeze();
+        assert!(db.is_frozen());
+        assert!(matches!(db.insert(d1, sig), Err(CoreError::FrozenDatabase { .. })));
     }
 
     #[test]
@@ -843,8 +955,8 @@ mod tests {
     fn tie_breaks_toward_lower_address() {
         let sig = sig_with(&[(FrameKind::Data, 500.0, 50)]);
         let mut db = ReferenceDb::new();
-        db.insert(MacAddr::from_index(5), sig.clone());
-        db.insert(MacAddr::from_index(3), sig.clone());
+        db.insert(MacAddr::from_index(5), sig.clone()).unwrap();
+        db.insert(MacAddr::from_index(3), sig.clone()).unwrap();
         let outcome = db.match_signature(&sig, SimilarityMeasure::Cosine);
         assert_eq!(outcome.best().unwrap().0, MacAddr::from_index(3));
     }
@@ -856,7 +968,7 @@ mod tests {
             db.insert(
                 MacAddr::from_index(i),
                 sig_with(&[(FrameKind::Data, 100.0 * i as f64, 30), (FrameKind::Beacon, 50.0, 5)]),
-            );
+            ).unwrap();
         }
         let cand = sig_with(&[(FrameKind::Data, 250.0, 40)]);
         let mut scratch = MatchScratch::new();
@@ -878,7 +990,7 @@ mod tests {
                 (FrameKind::ProbeReq, 11.0 * i as f64, i),
                 (FrameKind::Beacon, 500.0, 3),
             ];
-            db.insert(MacAddr::from_index(i), sig_with(kinds));
+            db.insert(MacAddr::from_index(i), sig_with(kinds)).unwrap();
         }
         let cand =
             sig_with(&[(FrameKind::Data, 370.0, 55), (FrameKind::ProbeReq, 110.0, 7)]);
@@ -900,7 +1012,7 @@ mod tests {
     fn match_batch_preserves_order_and_scores() {
         let mut db = ReferenceDb::new();
         for i in 1..=8u64 {
-            db.insert(MacAddr::from_index(i), sig_with(&[(FrameKind::Data, 90.0 * i as f64, 50)]));
+            db.insert(MacAddr::from_index(i), sig_with(&[(FrameKind::Data, 90.0 * i as f64, 50)])).unwrap();
         }
         let candidates: Vec<Signature> =
             (1..=20u64).map(|i| sig_with(&[(FrameKind::Data, 90.0 * (i % 8 + 1) as f64, 50)])).collect();
@@ -921,7 +1033,7 @@ mod tests {
                     (FrameKind::Data, 61.0 * i as f64, 30 + i),
                     (FrameKind::Beacon, 40.0 * i as f64, 4),
                 ]),
-            );
+            ).unwrap();
         }
         // A mixed tile: plain candidates, one missing a kind, one empty.
         let candidates = vec![
@@ -980,7 +1092,7 @@ mod tests {
             .collect();
         let mut streamed = ReferenceDb::new();
         for (dev, sig) in &sigs {
-            streamed.insert(*dev, sig.clone());
+            streamed.insert(*dev, sig.clone()).unwrap();
         }
         let bulk = ReferenceDb::from_signatures(sigs.into_iter().collect());
         assert_eq!(
@@ -996,7 +1108,7 @@ mod tests {
         // Replacement rewrites rows in place and stays consistent too.
         let dev = streamed.devices().next().unwrap();
         let replacement = sig_with(&[(FrameKind::Beacon, 700.0, 12)]);
-        streamed.insert(dev, replacement.clone());
+        streamed.insert(dev, replacement.clone()).unwrap();
         let mut bulk_map: BTreeMap<MacAddr, Signature> =
             bulk.iter().map(|(d, s)| (d, s.clone())).collect();
         bulk_map.insert(dev, replacement);
@@ -1010,7 +1122,7 @@ mod tests {
     fn top_k_ranks_and_ties_deterministically() {
         let mut db = ReferenceDb::new();
         for i in 1..=10u64 {
-            db.insert(MacAddr::from_index(i), sig_with(&[(FrameKind::Data, 55.0 * i as f64, 40)]));
+            db.insert(MacAddr::from_index(i), sig_with(&[(FrameKind::Data, 55.0 * i as f64, 40)])).unwrap();
         }
         let cand = sig_with(&[(FrameKind::Data, 165.0, 40)]);
         let outcome = db.match_signature(&cand, SimilarityMeasure::Cosine);
@@ -1029,7 +1141,7 @@ mod tests {
         let sig = sig_with(&[(FrameKind::Data, 500.0, 50)]);
         let mut tied = ReferenceDb::new();
         for i in [5u64, 2, 9] {
-            tied.insert(MacAddr::from_index(i), sig.clone());
+            tied.insert(MacAddr::from_index(i), sig.clone()).unwrap();
         }
         let top = tied.match_signature(&sig, SimilarityMeasure::Cosine).top(2);
         assert_eq!(top[0].0, MacAddr::from_index(2));
@@ -1054,8 +1166,8 @@ mod tests {
         let mut db = ReferenceDb::new();
         let d_fine = MacAddr::from_index(1);
         let d_coarse = MacAddr::from_index(2);
-        db.insert(d_fine, build(&fine));
-        db.insert(d_coarse, build(&coarse));
+        db.insert(d_fine, build(&fine)).unwrap();
+        db.insert(d_coarse, build(&coarse)).unwrap();
         for (cand_cfg, expect_dev) in [(&fine, d_fine), (&coarse, d_coarse)] {
             let outcome = db.match_signature(&build(cand_cfg), SimilarityMeasure::Cosine);
             assert!((outcome.similarity_to(&expect_dev).unwrap() - 1.0).abs() < F32_SCORE_TOLERANCE);
@@ -1072,7 +1184,7 @@ mod tests {
         // Reference built with the default inter-arrival bins; candidate
         // with a coarser spec ⇒ different bin counts for the same kind.
         let mut db = ReferenceDb::new();
-        db.insert(MacAddr::from_index(1), sig_with(&[(FrameKind::Data, 100.0, 50)]));
+        db.insert(MacAddr::from_index(1), sig_with(&[(FrameKind::Data, 100.0, 50)])).unwrap();
         let coarse = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
             .with_bins(crate::histogram::BinSpec::uniform_to(2500.0, 100.0));
         let mut cand = Signature::new();
@@ -1101,7 +1213,7 @@ mod tests {
                     let kind = if j % 4 == 0 { FrameKind::ProbeReq } else { FrameKind::Data };
                     sig.record(kind, v, &c);
                 }
-                db.insert(MacAddr::from_index(i as u64 + 1), sig);
+                db.insert(MacAddr::from_index(i as u64 + 1), sig).unwrap();
             }
             let mut cand = Signature::new();
             for &v in &cand_values {

@@ -21,10 +21,15 @@
 
 use wifiprint_ieee80211::MacAddr;
 
-use crate::matching::{MatchScratch, ReferenceDb, MATCH_TILE};
+use crate::error::CoreError;
+use crate::matching::{best_of, MatchScratch, ReferenceDb, MATCH_TILE};
 use crate::signature::Signature;
 use crate::similarity::SimilarityMeasure;
 use crate::windows::CandidateWindow;
+
+/// Threshold-sweep resolution used by [`evaluate`] and
+/// [`EvalOutcome::from_match_sets`].
+const MAX_THRESHOLDS: usize = 512;
 
 /// The similarities of one candidate instance against every reference,
 /// plus the ground-truth device.
@@ -41,6 +46,37 @@ pub struct MatchSet {
     pub best_is_true: bool,
     /// The largest similarity value.
     pub best_sim: f64,
+}
+
+impl MatchSet {
+    /// Builds the ground-truthed set from one candidate's similarity
+    /// vector (as produced by Algorithm 1 — e.g.
+    /// [`MatchOutcome::similarities`](crate::MatchOutcome::similarities)).
+    ///
+    /// The true device's similarity defaults to 0.0 when it is absent
+    /// from the vector; the argmax tie-breaks toward the lower address,
+    /// matching [`MatchView::best`](crate::MatchView::best). An empty
+    /// vector (no references at all) yields `best_is_true: false` — with
+    /// nothing to match against, nothing was identified correctly.
+    pub fn from_similarities(true_device: MacAddr, sims: &[(MacAddr, f64)]) -> MatchSet {
+        let mut true_sim = 0.0;
+        let mut wrong = Vec::with_capacity(sims.len().saturating_sub(1));
+        for &(device, sim) in sims {
+            if device == true_device {
+                true_sim = sim;
+            } else {
+                wrong.push(sim);
+            }
+        }
+        let best = best_of(sims);
+        MatchSet {
+            true_device,
+            true_sim,
+            wrong_sims: wrong,
+            best_is_true: best.is_some_and(|(device, _)| device == true_device),
+            best_sim: best.map_or(0.0, |(_, sim)| sim),
+        }
+    }
 }
 
 /// One point of the similarity curve.
@@ -89,6 +125,19 @@ pub struct EvalOutcome {
 }
 
 impl EvalOutcome {
+    /// Assembles the full outcome from already-computed match sets — the
+    /// aggregation step shared by the batch [`evaluate`] sweep and
+    /// streaming consumers that accumulate [`MatchSet`]s from
+    /// [`engine`](crate::engine) match events.
+    pub fn from_match_sets(sets: &[MatchSet], unknown_candidates: usize) -> EvalOutcome {
+        EvalOutcome {
+            curve: similarity_curve(sets, MAX_THRESHOLDS),
+            ident_points: identification_points(sets, MAX_THRESHOLDS),
+            instances: sets.len(),
+            unknown_candidates,
+        }
+    }
+
     /// AUC of the similarity test.
     pub fn auc(&self) -> f64 {
         self.curve.auc
@@ -133,26 +182,7 @@ pub fn match_candidates(
             tile.iter()
                 .enumerate()
                 .map(|(t, cand)| {
-                    let matched = view.candidate(t);
-                    let mut true_sim = 0.0;
-                    let mut wrong = Vec::with_capacity(db.len().saturating_sub(1));
-                    for &(device, sim) in matched.similarities() {
-                        if device == cand.device {
-                            true_sim = sim;
-                        } else {
-                            wrong.push(sim);
-                        }
-                    }
-                    // Only the argmax is consumed: partial top-1 select,
-                    // not a sort of the score vector.
-                    let (best_device, best_sim) = matched.top(1)[0];
-                    MatchSet {
-                        true_device: cand.device,
-                        true_sim,
-                        wrong_sims: wrong,
-                        best_is_true: best_device == cand.device,
-                        best_sim,
-                    }
+                    MatchSet::from_similarities(cand.device, view.candidate(t).similarities())
                 })
                 .collect()
         },
@@ -217,19 +247,23 @@ pub fn identification_points(sets: &[MatchSet], max_thresholds: usize) -> Vec<Id
 }
 
 /// Runs both tests end to end.
+///
+/// # Errors
+///
+/// [`CoreError::EmptyDatabase`] when `db` holds no reference device —
+/// there is nothing to match against. Callers that want the degenerate
+/// "every candidate is unknown" outcome instead can build it with
+/// [`EvalOutcome::from_match_sets`]`(&[], candidates.len())`.
 pub fn evaluate(
     db: &ReferenceDb,
     candidates: &[CandidateWindow],
     measure: SimilarityMeasure,
-) -> EvalOutcome {
-    const MAX_THRESHOLDS: usize = 512;
-    let (sets, unknown) = match_candidates(db, candidates, measure);
-    EvalOutcome {
-        curve: similarity_curve(&sets, MAX_THRESHOLDS),
-        ident_points: identification_points(&sets, MAX_THRESHOLDS),
-        instances: sets.len(),
-        unknown_candidates: unknown,
+) -> Result<EvalOutcome, CoreError> {
+    if db.is_empty() {
+        return Err(CoreError::EmptyDatabase);
     }
+    let (sets, unknown) = match_candidates(db, candidates, measure);
+    Ok(EvalOutcome::from_match_sets(&sets, unknown))
 }
 
 /// All distinct similarity values, descending, subsampled to at most
@@ -302,6 +336,26 @@ mod tests {
     }
 
     #[test]
+    fn from_similarities_handles_empty_and_missing_true_device() {
+        let dev = MacAddr::from_index(1);
+        // No references at all: nothing was identified, correctly or not.
+        let empty = MatchSet::from_similarities(dev, &[]);
+        assert!(!empty.best_is_true);
+        assert_eq!((empty.true_sim, empty.best_sim), (0.0, 0.0));
+        assert!(empty.wrong_sims.is_empty());
+        // True device absent from the vector: its similarity is 0.
+        let other = MacAddr::from_index(2);
+        let set = MatchSet::from_similarities(dev, &[(other, 0.4)]);
+        assert!(!set.best_is_true);
+        assert_eq!(set.true_sim, 0.0);
+        assert_eq!(set.best_sim, 0.4);
+        assert_eq!(set.wrong_sims, vec![0.4]);
+        // Argmax ties break toward the lower address, like best().
+        let set = MatchSet::from_similarities(dev, &[(dev, 0.7), (other, 0.7)]);
+        assert!(set.best_is_true);
+    }
+
+    #[test]
     fn perfect_classifier_has_auc_one() {
         // True sims always 0.9; wrong sims always 0.1.
         let sets: Vec<_> = (0..10).map(|_| set(0.9, &[0.1, 0.1, 0.1])).collect();
@@ -323,7 +377,7 @@ mod tests {
         // True and wrong similarities drawn from the same ladder.
         let mut sets = Vec::new();
         for i in 0..100 {
-            let v = i as f64 / 100.0;
+            let v = f64::from(i) / 100.0;
             sets.push(set(v, &[1.0 - v]));
         }
         let curve = similarity_curve(&sets, 512);
@@ -333,7 +387,7 @@ mod tests {
     #[test]
     fn curve_is_monotone_and_anchored() {
         let sets: Vec<_> = (0..20)
-            .map(|i| set(0.5 + 0.02 * i as f64, &[0.3, 0.6, 0.1]))
+            .map(|i| set(0.5 + 0.02 * f64::from(i), &[0.3, 0.6, 0.1]))
             .collect();
         let curve = similarity_curve(&sets, 64);
         let first = curve.points.first().unwrap();
@@ -393,7 +447,7 @@ mod tests {
 
     #[test]
     fn threshold_sweep_subsamples() {
-        let sets: Vec<_> = (0..1000).map(|i| set(i as f64 / 1000.0, &[0.5])).collect();
+        let sets: Vec<_> = (0..1000).map(|i| set(f64::from(i) / 1000.0, &[0.5])).collect();
         let t = threshold_sweep(&sets, 100);
         assert!(t.len() <= 101);
         // Descending and ending at the global minimum.
@@ -418,7 +472,7 @@ mod tests {
         let known = MacAddr::from_index(1);
         let stranger = MacAddr::from_index(2);
         let mut db = ReferenceDb::new();
-        db.insert(known, sig.clone());
+        db.insert(known, sig.clone()).unwrap();
         let candidates = vec![
             CandidateWindow { index: 0, device: known, signature: sig.clone() },
             CandidateWindow { index: 0, device: stranger, signature: sig },
@@ -441,20 +495,20 @@ mod tests {
         let make_sig = |center: f64| {
             let mut s = Signature::new();
             for i in 0..50 {
-                s.record(FrameKind::Data, center + (i % 5) as f64, &cfg);
+                s.record(FrameKind::Data, center + f64::from(i % 5), &cfg);
             }
             s
         };
         let d1 = MacAddr::from_index(1);
         let d2 = MacAddr::from_index(2);
-        db.insert(d1, make_sig(300.0));
-        db.insert(d2, make_sig(1500.0));
+        db.insert(d1, make_sig(300.0)).unwrap();
+        db.insert(d2, make_sig(1500.0)).unwrap();
         let candidates = vec![
             CandidateWindow { index: 0, device: d1, signature: make_sig(300.0) },
             CandidateWindow { index: 0, device: d2, signature: make_sig(1500.0) },
             CandidateWindow { index: 1, device: d1, signature: make_sig(302.0) },
         ];
-        let outcome = evaluate(&db, &candidates, SimilarityMeasure::Cosine);
+        let outcome = evaluate(&db, &candidates, SimilarityMeasure::Cosine).unwrap();
         assert_eq!(outcome.instances, 3);
         assert_eq!(outcome.unknown_candidates, 0);
         assert!(outcome.auc() > 0.9, "auc = {}", outcome.auc());

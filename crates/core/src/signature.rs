@@ -6,6 +6,7 @@ use wifiprint_ieee80211::{FrameKind, MacAddr};
 use wifiprint_radiotap::CapturedFrame;
 
 use crate::config::EvalConfig;
+use crate::error::CoreError;
 use crate::histogram::Histogram;
 use crate::params::{Observation, ParameterExtractor};
 
@@ -151,9 +152,22 @@ impl SignatureBuilder {
 
     /// Finalises, keeping only devices with at least
     /// [`EvalConfig::min_observations`] observations (the paper's 50).
-    pub fn finish(self) -> BTreeMap<MacAddr, Signature> {
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoQualifiedDevices`] when no tracked device reached
+    /// the observation floor — there is nothing to enroll. Callers for
+    /// whom an empty learning phase is an acceptable outcome (not a
+    /// failure) can recover with `finish().unwrap_or_default()`.
+    pub fn finish(self) -> Result<BTreeMap<MacAddr, Signature>, CoreError> {
         let min = self.cfg.min_observations;
-        self.devices.into_iter().filter(|(_, sig)| sig.observation_count() >= min).collect()
+        let tracked = self.devices.len();
+        let qualified: BTreeMap<MacAddr, Signature> =
+            self.devices.into_iter().filter(|(_, sig)| sig.observation_count() >= min).collect();
+        if qualified.is_empty() {
+            return Err(CoreError::NoQualifiedDevices { tracked, min_observations: min });
+        }
+        Ok(qualified)
     }
 }
 
@@ -213,7 +227,7 @@ mod tests {
         builder.push(&probe(a, 300));
         builder.push(&frame(b, 400, 500));
         assert_eq!(builder.device_count(), 2);
-        let sigs = builder.finish();
+        let sigs = builder.finish().expect("a qualified");
         // b has 1 < 3 observations and is dropped.
         assert_eq!(sigs.len(), 1);
         let sig_a = &sigs[&a];
@@ -231,7 +245,16 @@ mod tests {
         for i in 0..99 {
             builder.push(&frame(a, 100 * (i + 1), 100));
         }
-        assert!(builder.finish().is_empty());
+        match builder.finish() {
+            Err(CoreError::NoQualifiedDevices { tracked, min_observations }) => {
+                assert_eq!(tracked, 1);
+                assert_eq!(min_observations, 100);
+            }
+            other => panic!("expected NoQualifiedDevices, got {other:?}"),
+        }
+        // The tolerant form degrades to an empty map.
+        let builder = SignatureBuilder::new(&c);
+        assert!(builder.finish().unwrap_or_default().is_empty());
     }
 
     #[test]

@@ -279,8 +279,8 @@ mod tests {
     #[test]
     fn dense_f32_kernel_tracks_dense_f64() {
         // Awkward values (thirds, sevenths) so f64 → f32 actually rounds.
-        let c64: Vec<f64> = (0..251).map(|i| ((i % 3) as f64 + 1.0) / (3.0 * 251.0)).collect();
-        let r64: Vec<f64> = (0..251).map(|i| ((i % 7) as f64 + 1.0) / (7.0 * 251.0)).collect();
+        let c64: Vec<f64> = (0..251).map(|i| (f64::from(i % 3) + 1.0) / (3.0 * 251.0)).collect();
+        let r64: Vec<f64> = (0..251).map(|i| (f64::from(i % 7) + 1.0) / (7.0 * 251.0)).collect();
         let c32: Vec<f32> = c64.iter().map(|&v| v as f32).collect();
         let r32: Vec<f32> = r64.iter().map(|&v| v as f32).collect();
         for m in SimilarityMeasure::ALL {

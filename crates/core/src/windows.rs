@@ -83,17 +83,35 @@ impl WindowedSignatures {
     }
 
     /// Processes one captured frame.
-    pub fn push(&mut self, frame: &CapturedFrame) {
+    ///
+    /// Returns the index of the window this frame *sealed* — i.e. the
+    /// previous window, when the frame is the first to land past its end
+    /// — or `None` while the current window stays open. A seal is
+    /// reported even when no device in the sealed window met the
+    /// observation floor (the window still *closed*); windows that were
+    /// skipped entirely (no frames at all) are never reported.
+    ///
+    /// Sealed candidates accumulate for [`WindowedSignatures::finish`];
+    /// streaming consumers (the [`engine`](crate::engine)) retrieve them
+    /// incrementally with [`WindowedSignatures::drain_sealed`] instead.
+    pub fn push(&mut self, frame: &CapturedFrame) -> Option<usize> {
         let origin = *self.origin.get_or_insert(frame.t_end);
         let window_len = self.cfg.window.as_nanos().max(1);
+        // A frame exactly on a boundary (`t = origin + i·window`) belongs
+        // to window `i`: the covered interval is half-open on the right.
         let idx = (frame.t_end.saturating_sub(origin).as_nanos() / window_len) as usize;
-        if idx != self.current_window {
+        let sealed = if idx == self.current_window {
+            None
+        } else {
+            let closed = self.current_window;
             self.seal_current();
             self.current_window = idx;
-        }
+            Some(closed)
+        };
         if let Some(obs) = self.extractor.push(frame) {
             self.current.entry(obs.device).or_default().record(obs.kind, obs.value, &self.cfg);
         }
+        sealed
     }
 
     /// Processes a sequence of captured frames.
@@ -113,8 +131,25 @@ impl WindowedSignatures {
         }
     }
 
+    /// Index of the still-open window, or `None` before any frame has
+    /// been pushed (there is no window to speak of yet).
+    pub fn current_index(&self) -> Option<usize> {
+        self.origin.map(|_| self.current_window)
+    }
+
+    /// Removes and returns the candidates of every window sealed so far
+    /// (in (window, device) order), leaving the still-open window
+    /// untouched. Calling this after every [`WindowedSignatures::push`]
+    /// yields exactly one sealed window's candidates at a time, which is
+    /// how the streaming [`engine`](crate::engine) consumes them without
+    /// buffering the whole trace.
+    pub fn drain_sealed(&mut self) -> Vec<CandidateWindow> {
+        std::mem::take(&mut self.finished)
+    }
+
     /// Finalises the last window and returns all candidate signatures in
-    /// (window, device) order.
+    /// (window, device) order (minus any drained earlier with
+    /// [`WindowedSignatures::drain_sealed`]).
     pub fn finish(mut self) -> Vec<CandidateWindow> {
         self.seal_current();
         self.finished
@@ -214,6 +249,53 @@ mod tests {
         // The window-1 observation is the 200 µs gap across the boundary.
         assert_eq!(candidates[1].index, 1);
         assert_eq!(candidates[1].signature.observation_count(), 1);
+    }
+
+    #[test]
+    fn boundary_frame_lands_in_the_next_window_not_the_previous() {
+        // Regression: a frame timestamped exactly at `start + i·window`
+        // belongs to window `i` (the interval is half-open on the right),
+        // never to window `i − 1`.
+        let c = cfg(10, 1);
+        let mut w = WindowedSignatures::new(&c);
+        let origin_us = 5_250_000; // a non-zero anchor
+        assert_eq!(w.push(&frame(1, origin_us)), None);
+        // One nanosecond before the boundary: still window 0, no seal.
+        let mut before = frame(1, 0);
+        before.t_end =
+            Nanos::from_micros(origin_us + 10_000_000).saturating_sub(Nanos::from_nanos(1));
+        assert_eq!(w.push(&before), None);
+        // Exactly on `start + 1·window`: window 1, sealing window 0.
+        assert_eq!(w.push(&frame(1, origin_us + 10_000_000)), Some(0));
+        // Exactly on `start + 2·window`: window 2, sealing window 1.
+        assert_eq!(w.push(&frame(1, origin_us + 20_000_000)), Some(1));
+        let candidates = w.finish();
+        let indices: Vec<usize> = candidates.iter().map(|c| c.index).collect();
+        assert_eq!(indices, vec![0, 1, 2]);
+        // The two pre-boundary frames stayed in window 0; each boundary
+        // frame opened its own window.
+        assert_eq!(candidates[0].signature.observation_count(), 2);
+        assert_eq!(candidates[1].signature.observation_count(), 1);
+        assert_eq!(candidates[2].signature.observation_count(), 1);
+    }
+
+    #[test]
+    fn drain_sealed_hands_over_windows_incrementally() {
+        let c = cfg(10, 1);
+        let mut w = WindowedSignatures::new(&c);
+        assert_eq!(w.push(&frame(1, 0)), None);
+        assert!(w.drain_sealed().is_empty(), "open window must not drain");
+        assert_eq!(w.push(&frame(2, 1_000)), None);
+        // Next frame 25 s later seals window 0 (and skips empty window 1).
+        assert_eq!(w.push(&frame(1, 25_000_000)), Some(0));
+        let sealed = w.drain_sealed();
+        assert_eq!(sealed.len(), 2);
+        assert!(sealed.iter().all(|c| c.index == 0));
+        assert!(w.drain_sealed().is_empty(), "drain must not repeat");
+        // What was drained no longer appears in finish().
+        let rest = w.finish();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].index, 2);
     }
 
     #[test]

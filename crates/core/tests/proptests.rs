@@ -201,7 +201,7 @@ proptest! {
                 let kind = if j % 3 == 0 { FrameKind::ProbeReq } else { FrameKind::Data };
                 sig.record(kind, v, &cfg);
             }
-            db.insert(MacAddr::from_index(i as u64 + 1), sig);
+            db.insert(MacAddr::from_index(i as u64 + 1), sig).unwrap();
         }
         let mut cand = Signature::new();
         for &v in &cand_values {
@@ -265,7 +265,7 @@ proptest! {
                 let kind = if j % 3 == 0 { FrameKind::ProbeReq } else { FrameKind::Data };
                 sig.record(kind, v, &cfg);
             }
-            db.insert(MacAddr::from_index(i as u64 + 1), sig);
+            db.insert(MacAddr::from_index(i as u64 + 1), sig).unwrap();
         }
         let candidates: Vec<Signature> = per_candidate
             .iter()

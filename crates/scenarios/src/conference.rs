@@ -17,7 +17,7 @@ use wifiprint_ieee80211::{MacAddr, Nanos};
 use wifiprint_netsim::{LinkQuality, MobilityModel, SimConfig, Simulator, StationConfig};
 use wifiprint_radiotap::CapturedFrame;
 
-use crate::trace::{run_collect, run_streaming, Trace, TraceReport};
+use crate::trace::{run_collect, run_engine, run_streaming, Trace, TraceReport};
 
 /// Configuration of a conference capture.
 #[derive(Debug, Clone)]
@@ -172,6 +172,21 @@ impl ConferenceScenario {
     pub fn run_streaming(&self, sink: &mut dyn FnMut(&CapturedFrame)) -> TraceReport {
         let (sim, profiles, aps) = self.build();
         run_streaming(sim, self.duration, profiles, aps, sink)
+    }
+
+    /// Runs the scenario, streaming every capture straight into a
+    /// fingerprinting engine (see [`run_engine`]).
+    ///
+    /// # Errors
+    ///
+    /// The first `Engine::observe` error, after the simulation
+    /// completes.
+    pub fn run_engine(
+        &self,
+        engine: &mut wifiprint_core::Engine,
+    ) -> Result<(Vec<wifiprint_core::Event>, TraceReport), wifiprint_core::EngineError> {
+        let (sim, profiles, aps) = self.build();
+        run_engine(sim, self.duration, profiles, aps, engine)
     }
 }
 

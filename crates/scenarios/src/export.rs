@@ -109,7 +109,9 @@ pub fn read_pcap<P: AsRef<Path>>(path: P) -> Result<(Vec<CapturedFrame>, usize),
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::conference::ConferenceScenario;
     use crate::office::OfficeScenario;
+    use proptest::prelude::*;
 
     #[test]
     fn pcap_round_trip_preserves_observables() {
@@ -134,6 +136,52 @@ mod tests {
             assert_eq!(rt.signal_dbm, orig.signal_dbm);
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    // Property test: write → read preserves EVERY CapturedFrame field,
+    // on office and conference traces across arbitrary seeds and sizes.
+    // Timestamps are compared at pcap's microsecond resolution (the
+    // simulator's sub-µs remainder is the one quantisation the format
+    // imposes); air_time is re-derived from (rate, size) on decode, so
+    // field-equality follows from rate/size equality.
+    proptest! {
+        #[test]
+        fn pcap_round_trip_preserves_every_field(
+            seed in 0u64..1000,
+            conference in any::<bool>(),
+            secs in 5u64..12,
+            devices in 3usize..7,
+        ) {
+            let trace = if conference {
+                ConferenceScenario::small(seed, secs, devices).run_collect()
+            } else {
+                OfficeScenario::small(seed, secs, devices).run_collect()
+            };
+            prop_assert!(!trace.frames.is_empty());
+
+            let dir = std::env::temp_dir().join("wifiprint-scenarios-proptest");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join(format!("roundtrip-{seed}-{conference}-{secs}-{devices}.pcap"));
+            write_pcap(&path, &trace.frames).unwrap();
+            let (back, skipped) = read_pcap(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+
+            prop_assert_eq!(skipped, 0);
+            prop_assert_eq!(back.len(), trace.frames.len());
+            for (orig, rt) in trace.frames.iter().zip(&back) {
+                let mut want = *orig;
+                // The pcap timestamp (and the Radiotap TSFT we emit) is
+                // microseconds; truncate the original to the format's
+                // resolution before demanding *whole-struct* equality.
+                want.t_end = Nanos::from_micros(orig.t_end.as_micros());
+                // air_time is derived, not stored: recompute it the way
+                // the decoder does.
+                want.air_time =
+                    CapturedFrame::from_frame(&reconstruct_frame(orig), orig.rate, want.t_end, orig.signal_dbm)
+                        .air_time;
+                prop_assert_eq!(rt, &want, "seed {} kind {:?}", seed, orig.kind);
+            }
+        }
     }
 
     #[test]

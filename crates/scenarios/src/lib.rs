@@ -13,6 +13,11 @@
 //! * [`export`] — Radiotap pcap export/import so traces interoperate with
 //!   standard tooling.
 //!
+//! Every scenario also runs straight into the streaming fingerprinting
+//! engine ([`run_engine`], `OfficeScenario::run_engine`,
+//! `ConferenceScenario::run_engine`): monitor → engine, the online
+//! deployment shape, with no trace collection in between.
+//!
 //! Every scenario is fully deterministic in its seed.
 
 #![forbid(unsafe_code)]
@@ -28,4 +33,4 @@ mod trace;
 pub use conference::ConferenceScenario;
 pub use faraday::{device_frames, FaradayRig, FARADAY_AP, FARADAY_DEVICE};
 pub use office::OfficeScenario;
-pub use trace::{run_collect, run_streaming, Trace, TraceReport};
+pub use trace::{run_collect, run_engine, run_streaming, Trace, TraceReport};

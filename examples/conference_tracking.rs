@@ -2,31 +2,36 @@
 //! address changes.
 //!
 //! A conference attendee randomises their MAC address halfway through the
-//! day. MAC-based tracking loses them — but matching the new address's
-//! signature against the reference database re-identifies the device.
+//! day. MAC-based tracking loses them — but the streaming engine flags
+//! the "new" address as a [`Event::NewDevice`] whose similarity view
+//! points straight back at the old identity.
 //!
 //! ```sh
 //! cargo run --release --example conference_tracking
 //! ```
 
-use wifiprint::core::{
-    EvalConfig, NetworkParameter, ReferenceDb, SignatureBuilder, SimilarityMeasure,
-};
-use wifiprint::ieee80211::MacAddr;
+use wifiprint::core::{Engine, EvalConfig, Event, NetworkParameter};
+use wifiprint::ieee80211::{MacAddr, Nanos};
 use wifiprint::scenarios::ConferenceScenario;
 
 fn main() {
-    // Morning session: learn signatures for everyone present.
-    println!("morning: learning reference signatures at the venue ...");
-    let morning = ConferenceScenario::small(5, 120, 14).run_collect();
     let cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
         .with_min_observations(50);
-    let mut builder = SignatureBuilder::new(&cfg);
-    for f in &morning.frames {
-        builder.push(f);
-    }
-    let db = ReferenceDb::from_signatures(builder.finish());
-    println!("reference database: {} devices", db.len());
+
+    // Morning session: a training-only engine run is the enrollment
+    // entry point — finish() emits one Enrolled event per attendee and
+    // hands over the frozen reference database.
+    println!("morning: learning reference signatures at the venue ...");
+    let morning = ConferenceScenario::small(5, 120, 14).run_collect();
+    let mut enroller = Engine::builder()
+        .config(cfg.clone())
+        .train_for(Nanos::from_secs(3600))
+        .build()
+        .expect("valid engine configuration");
+    enroller.observe_all(&morning.frames).expect("frames in capture order");
+    let enrolled = enroller.finish().expect("first finish");
+    let db = enroller.into_reference().expect("trained reference");
+    println!("reference database: {} devices ({} Enrolled events)", db.len(), enrolled.len());
 
     // Afternoon: the same venue, same devices — but we pretend the
     // chattiest device rotated its MAC address (we relabel its frames).
@@ -47,20 +52,28 @@ fn main() {
         }
     }
 
-    let mut builder = SignatureBuilder::new(&cfg);
-    for f in &afternoon.frames {
-        builder.push(f);
-    }
-    let afternoon_sigs = builder.finish();
-    let Some(anon_sig) = afternoon_sigs.get(&new_mac) else {
+    // Detection: a second engine against the morning's frozen database.
+    // The rotated device has no reference entry, so it surfaces as a
+    // NewDevice event — scored against every reference anyway.
+    let mut detector = Engine::builder()
+        .config(cfg)
+        .reference(db)
+        .build()
+        .expect("valid engine configuration");
+    let mut events = detector.observe_all(&afternoon.frames).expect("frames in capture order");
+    events.extend(detector.finish().expect("first finish"));
+
+    let Some(view) = events.iter().find_map(|e| match e {
+        Event::NewDevice { device, view, .. } if *device == new_mac => Some(view),
+        _ => None,
+    }) else {
         println!("(the rotated device sent too little traffic this afternoon)");
         return;
     };
 
     // Who is this "new" device really? Rank the closest references via
     // partial top-k selection (no full sort of the score vector).
-    let outcome = db.match_signature(anon_sig, SimilarityMeasure::Cosine);
-    let ranked = outcome.top(3);
+    let ranked = view.top(3);
     println!("closest references for {new_mac}:");
     for (rank, (dev, sim)) in ranked.iter().enumerate() {
         println!("  {}. {dev} (similarity {sim:.3})", rank + 1);

@@ -1,12 +1,13 @@
-//! Quickstart: generate a small office capture, learn a reference
-//! database, and identify devices in a later detection window.
+//! Quickstart: stream a small office capture through the production
+//! [`Engine`] — online enrollment, then per-window identification events
+//! as the monitor would emit them live.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use wifiprint::analysis::{PipelineConfig, StreamingEvaluator};
-use wifiprint::core::NetworkParameter;
+use wifiprint::core::{Engine, EvalConfig, Event, NetworkParameter};
+use wifiprint::ieee80211::Nanos;
 use wifiprint::scenarios::OfficeScenario;
 
 fn main() {
@@ -14,30 +15,66 @@ fn main() {
     let scenario = OfficeScenario::small(42, 240, 12);
     println!("simulating {} seconds of office traffic ...", 240);
 
-    // 2. Stream it through the paper's pipeline: first 60 s train the
-    //    reference database, the rest is split into 30 s detection windows.
-    let mut cfg = PipelineConfig::miniature(60, 30, 50);
-    cfg.parameters =
-        vec![NetworkParameter::InterArrivalTime, NetworkParameter::TransmissionTime];
-    let mut evaluator = StreamingEvaluator::new(&cfg);
-    let report = scenario.run_streaming(&mut |frame| evaluator.push(frame));
-    let eval = evaluator.finish();
+    // 2. One streaming engine: the first 60 s of the stream train the
+    //    reference database (frozen at the boundary), the rest is
+    //    matched in 30 s detection windows as they close.
+    let mut cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
+        .with_min_observations(50);
+    cfg.window = Nanos::from_secs(30);
+    let mut engine = Engine::builder()
+        .config(cfg)
+        .train_for(Nanos::from_secs(60))
+        .build()
+        .expect("valid engine configuration");
+
+    // Monitor → engine, no trace collection in between.
+    let (mut events, report) =
+        scenario.run_engine(&mut engine).expect("simulator emits frames in capture order");
+    events.extend(engine.finish().expect("first finish"));
 
     println!(
         "captured {} frames ({} collisions on the medium)",
         report.stats.monitor.captured, report.stats.collisions
     );
-    println!("reference database: {} devices", eval.ref_devices);
+    let enrolled = events.iter().filter(|e| matches!(e, Event::Enrolled { .. })).count();
+    println!("reference database: {enrolled} devices enrolled after 60 s of training");
 
-    // 3. Report both of the paper's tests.
-    for p in cfg.parameters.iter().copied() {
-        let outcome = &eval.outcomes[&p];
+    // 3. Narrate the event stream: one identification decision per
+    //    (window, device), emitted the moment each window closed.
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for event in &events {
+        match event {
+            Event::Match { window, device, view } => {
+                let (best, sim) = view.best().expect("reference database is non-empty");
+                let verdict = if best == *device {
+                    correct += 1;
+                    "ok"
+                } else {
+                    "MISIDENTIFIED"
+                };
+                total += 1;
+                println!("  window {window:2}  {device}  ->  {best}  (similarity {sim:.3})  {verdict}");
+            }
+            Event::NewDevice { window, device, view, .. } => {
+                match view.best() {
+                    Some((closest, sim)) => println!(
+                        "  window {window:2}  {device}  not enrolled; closest reference {closest} ({sim:.3})"
+                    ),
+                    None => println!("  window {window:2}  {device}  not enrolled"),
+                }
+            }
+            Event::Enrolled { .. } | Event::WindowClosed { .. } => {}
+        }
+    }
+
+    // 4. The paper's identification test, over the streamed decisions.
+    if total > 0 {
         println!(
-            "{:20} AUC {:5.1}%   identification @ FPR 0.1: {:5.1}%  ({} candidate windows)",
-            p.label(),
-            100.0 * outcome.auc(),
-            100.0 * outcome.identification_at_fpr(0.1),
-            outcome.instances,
+            "identification: {correct}/{total} window decisions correct ({:.1}%)",
+            100.0 * correct as f64 / total as f64
         );
+    } else {
+        println!("no detection window produced a qualifying candidate; try a longer capture");
     }
 }

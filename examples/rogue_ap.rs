@@ -3,23 +3,36 @@
 //!
 //! The genuine AP and the rogue run different hardware, so their beacon /
 //! probe-response / data timing differs even though the SSID and BSSID
-//! are cloned.
+//! are cloned. Both the installation and each visit run through the
+//! streaming [`Engine`]: enrollment is a training-only session, the visit
+//! check reads the Match event for the AP's address.
 //!
 //! ```sh
 //! cargo run --release --example rogue_ap
 //! ```
 
 use wifiprint::core::{
-    EvalConfig, FrameFilter, NetworkParameter, ReferenceDb, SignatureBuilder, SimilarityMeasure,
+    Engine, EvalConfig, Event, FrameFilter, NetworkParameter, ReferenceDb,
 };
 use wifiprint::ieee80211::{FrameKind, MacAddr, Nanos};
 use wifiprint::netsim::{BackoffQuirk, LinkQuality, SimConfig, Simulator, StationConfig};
 
 const AP_ADDR: MacAddr = MacAddr::new([0x02, 0xAB, 0xCD, 0, 0, 0xFE]);
 
-/// Captures an AP's traffic and fingerprints it from AP-originated frames
-/// only (data frames it relays for others are excluded per §VII-B2).
-fn ap_signature(rogue: bool, seed: u64) -> wifiprint::core::Signature {
+fn ap_config() -> EvalConfig {
+    EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
+        // Fingerprint the AP's own *contended* transmissions — probe
+        // responses — where its backoff personality shows. (Beacon
+        // inter-arrivals are dominated by the fixed 102.4 ms interval, and
+        // data frames the AP relays for others are excluded per §VII-B2.)
+        .with_filter(FrameFilter::kinds_only([FrameKind::ProbeResp]))
+        .with_min_observations(30)
+}
+
+/// Simulates one 30 s visit to the hot spot and streams the capture
+/// straight into `engine` (monitor → engine, nothing stored), returning
+/// the events emitted while the capture ran.
+fn capture_visit(rogue: bool, seed: u64, engine: &mut Engine) -> Vec<Event> {
     let mut sim = Simulator::new(SimConfig {
         seed,
         duration: Nanos::from_secs(30),
@@ -52,36 +65,68 @@ fn ap_signature(rogue: bool, seed: u64) -> wifiprint::core::Signature {
     }));
     sim.add_station(client);
 
-    let cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
-        // Fingerprint the AP's own *contended* transmissions — probe
-        // responses — where its backoff personality shows. (Beacon
-        // inter-arrivals are dominated by the fixed 102.4 ms interval, and
-        // data frames the AP relays for others are excluded per §VII-B2.)
-        .with_filter(FrameFilter::kinds_only([FrameKind::ProbeResp]))
-        .with_min_observations(30);
-    let mut builder = SignatureBuilder::new(&cfg);
-    sim.run(&mut |f| builder.push(f));
-    builder.finish().remove(&AP_ADDR).expect("AP signature")
+    let mut events = Vec::new();
+    let mut failure = None;
+    sim.run(&mut |f| {
+        if failure.is_none() {
+            match engine.observe(f) {
+                Ok(mut ev) => events.append(&mut ev),
+                Err(e) => failure = Some(e),
+            }
+        }
+    });
+    assert!(failure.is_none(), "simulator emits frames in capture order: {failure:?}");
+    events
+}
+
+/// Installation: enroll the genuine AP with a training-only session.
+fn learn_reference() -> ReferenceDb {
+    let mut enroller = Engine::builder()
+        .config(ap_config())
+        .train_for(Nanos::from_secs(3600))
+        .build()
+        .expect("valid engine configuration");
+    // Training-only: the capture emits no events until finish() enrolls.
+    let _ = capture_visit(false, 1, &mut enroller);
+    enroller.finish().expect("first finish");
+    let db = enroller.into_reference().expect("trained reference");
+    assert!(db.contains(&AP_ADDR), "the AP must enroll");
+    db
+}
+
+/// A later visit: stream today's capture against the published
+/// fingerprint and read the AP's similarity from the Match event.
+fn verify_visit(published: &ReferenceDb, rogue: bool, seed: u64) -> f64 {
+    let mut engine = Engine::builder()
+        .config(ap_config())
+        .reference(published.snapshot())
+        .build()
+        .expect("valid engine configuration");
+    // Mid-stream events matter too: with a detection window shorter
+    // than the visit, the AP's Match event arrives from observe(), not
+    // from finish().
+    let mut events = capture_visit(rogue, seed, &mut engine);
+    events.extend(engine.finish().expect("first finish"));
+    events
+        .iter()
+        .find_map(|e| match e {
+            // The AP (genuine or impostor) claims AP_ADDR, which *is*
+            // enrolled, so its window decision arrives as a Match event.
+            Event::Match { device, view, .. } if *device == AP_ADDR => {
+                view.similarity_to(&AP_ADDR)
+            }
+            _ => None,
+        })
+        .expect("the AP transmits enough probe responses per visit")
 }
 
 fn main() {
     println!("hot-spot installation: learning the genuine AP's fingerprint ...");
-    let reference = ap_signature(false, 1);
-    let mut published = ReferenceDb::new();
-    published.insert(AP_ADDR, reference);
+    let published = learn_reference();
 
     println!("a later visit: verifying the AP before connecting ...");
-    let genuine_today = ap_signature(false, 2);
-    let rogue_today = ap_signature(true, 3);
-
-    let sim_genuine = published
-        .match_signature(&genuine_today, SimilarityMeasure::Cosine)
-        .similarity_to(&AP_ADDR)
-        .unwrap();
-    let sim_rogue = published
-        .match_signature(&rogue_today, SimilarityMeasure::Cosine)
-        .similarity_to(&AP_ADDR)
-        .unwrap();
+    let sim_genuine = verify_visit(&published, false, 2);
+    let sim_rogue = verify_visit(&published, true, 3);
 
     println!("genuine AP similarity: {sim_genuine:.3}");
     println!("rogue AP similarity:   {sim_rogue:.3}");

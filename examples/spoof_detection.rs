@@ -2,54 +2,74 @@
 //! address is stolen — but the thief's *hardware* does not match the
 //! learned fingerprint.
 //!
-//! We learn a reference signature for a legitimate device, then present
-//! two candidates claiming its MAC address: the device itself, and an
-//! attacker with a different card/driver. The legitimate session matches;
-//! the spoofer's similarity collapses.
+//! We enroll a legitimate device with a training-only [`Engine`] session,
+//! then stream two later sessions claiming its MAC address through a
+//! detection engine: the device itself, and an attacker with a different
+//! card/driver. The legitimate session's Match event scores high; the
+//! spoofer's similarity collapses.
 //!
 //! ```sh
 //! cargo run --release --example spoof_detection
 //! ```
 
-use wifiprint::core::{
-    EvalConfig, NetworkParameter, ReferenceDb, SignatureBuilder, SimilarityMeasure,
-};
+use wifiprint::core::{Engine, EvalConfig, Event, NetworkParameter, ReferenceDb};
 use wifiprint::devices::profile_catalog;
 use wifiprint::ieee80211::Nanos;
 use wifiprint::scenarios::{FaradayRig, FARADAY_DEVICE};
 
-fn signature_for(profile_idx: usize, seed: u64) -> wifiprint::core::Signature {
+fn cfg() -> EvalConfig {
+    EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
+}
+
+/// One Faraday-cage capture of the given hardware profile, streamed into
+/// a fresh training-only engine: returns the enrolled reference.
+fn enroll(profile_idx: usize, seed: u64) -> ReferenceDb {
     let catalog = profile_catalog();
     let trace = FaradayRig::for_profile(&catalog[profile_idx], seed, Nanos::from_secs(10)).run();
-    let cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime);
-    let mut builder = SignatureBuilder::new(&cfg);
-    for f in &trace.frames {
-        builder.push(f);
-    }
-    builder.finish().remove(&FARADAY_DEVICE).expect("device signature")
+    let mut enroller = Engine::builder()
+        .config(cfg())
+        .train_for(Nanos::from_secs(3600))
+        .build()
+        .expect("valid engine configuration");
+    enroller.observe_all(&trace.frames).expect("frames in capture order");
+    enroller.finish().expect("first finish");
+    enroller.into_reference().expect("device enrolled")
+}
+
+/// A later session claiming the ACL's MAC: stream it against the ACL and
+/// read the similarity from the engine's Match event.
+fn session_similarity(acl: &ReferenceDb, profile_idx: usize, seed: u64) -> f64 {
+    let catalog = profile_catalog();
+    let trace = FaradayRig::for_profile(&catalog[profile_idx], seed, Nanos::from_secs(10)).run();
+    let mut engine = Engine::builder()
+        .config(cfg())
+        .reference(acl.snapshot())
+        .build()
+        .expect("valid engine configuration");
+    let mut events = engine.observe_all(&trace.frames).expect("frames in capture order");
+    events.extend(engine.finish().expect("first finish"));
+    events
+        .iter()
+        .find_map(|e| match e {
+            Event::Match { device, view, .. } if *device == FARADAY_DEVICE => {
+                view.similarity_to(&FARADAY_DEVICE)
+            }
+            _ => None,
+        })
+        .expect("the session transmits enough frames")
 }
 
 fn main() {
     // Learning phase: the genuine device (profile 0) enrols.
     println!("learning the genuine device's inter-arrival signature ...");
-    let genuine = signature_for(0, 1);
-    let mut acl = ReferenceDb::new();
-    acl.insert(FARADAY_DEVICE, genuine);
+    let acl = enroll(0, 1);
+    assert!(acl.contains(&FARADAY_DEVICE) && acl.is_frozen());
 
     // Detection phase: two sessions claim the same MAC address.
     println!("session A: the genuine device reconnects");
-    let session_genuine = signature_for(0, 2); // same hardware, new day
+    let sim_genuine = session_similarity(&acl, 0, 2); // same hardware, new day
     println!("session B: an attacker spoofs the MAC with different hardware");
-    let session_spoofer = signature_for(4, 3); // different chipset/driver
-
-    let sim_genuine = acl
-        .match_signature(&session_genuine, SimilarityMeasure::Cosine)
-        .similarity_to(&FARADAY_DEVICE)
-        .unwrap();
-    let sim_spoofer = acl
-        .match_signature(&session_spoofer, SimilarityMeasure::Cosine)
-        .similarity_to(&FARADAY_DEVICE)
-        .unwrap();
+    let sim_spoofer = session_similarity(&acl, 4, 3); // different chipset/driver
 
     println!("similarity of genuine session: {sim_genuine:.3}");
     println!("similarity of spoofed session: {sim_spoofer:.3}");

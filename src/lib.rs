@@ -5,22 +5,65 @@
 //! fingerprinting library itself, the 802.11 substrate it is evaluated on,
 //! and the full experiment harness.
 //!
+//! # The streaming engine
+//!
+//! The production entry point is [`core::Engine`] — a builder-configured
+//! facade over the whole ingest → window → match path. A passive monitor
+//! is online by nature, so the engine is too: feed it every captured
+//! frame once, in capture order, and it emits typed
+//! [`core::Event`]s as 5-minute detection windows close —
+//! [`Enrolled`](core::Event::Enrolled) when the training phase seals the
+//! reference database, [`Match`](core::Event::Match) /
+//! [`NewDevice`](core::Event::NewDevice) per per-window candidate, and a
+//! [`WindowClosed`](core::Event::WindowClosed) terminator. Failures are
+//! typed too ([`core::EngineError`] wrapping [`core::CoreError`]).
+//!
+//! ```
+//! use wifiprint::core::{Engine, Event, EvalConfig, NetworkParameter};
+//! use wifiprint::ieee80211::Nanos;
+//! use wifiprint::scenarios::OfficeScenario;
+//!
+//! // 90 s of simulated office traffic: train 30 s, then 15 s windows.
+//! let mut cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
+//!     .with_min_observations(30);
+//! cfg.window = Nanos::from_secs(15);
+//! let mut engine = Engine::builder()
+//!     .config(cfg)
+//!     .train_for(Nanos::from_secs(30))
+//!     .build()
+//!     .expect("valid configuration");
+//!
+//! let scenario = OfficeScenario::small(42, 90, 8);
+//! let (mut events, _report) = scenario.run_engine(&mut engine).expect("in-order capture");
+//! events.extend(engine.finish().expect("first finish"));
+//! assert!(events.iter().any(|e| matches!(e, Event::Enrolled { .. })));
+//! assert!(events.iter().any(|e| matches!(e, Event::WindowClosed { .. })));
+//! ```
+//!
+//! The batch experiment harness ([`analysis::StreamingEvaluator`]) is a
+//! thin driver of the same engine — one per network parameter — so the
+//! paper's accuracy tables and a production deployment exercise the
+//! identical code path.
+//!
+//! # Workspace map
+//!
 //! This facade crate re-exports the workspace members:
 //!
-//! * [`core`] — signatures, matching and accuracy metrics (the paper's
-//!   contribution),
+//! * [`core`] — the [`core::Engine`], signatures, the SoA/SIMD matching
+//!   sweep and accuracy metrics (the paper's contribution),
 //! * [`ieee80211`] — MAC frames, rates and PHY timing,
 //! * [`radiotap`] — capture headers and the [`radiotap::CapturedFrame`]
 //!   interchange type,
 //! * [`pcap`] — capture-file I/O,
 //! * [`netsim`] — the discrete-event 802.11 channel simulator,
 //! * [`devices`] — chipset/driver/service profiles,
-//! * [`scenarios`] — the office/conference/Faraday trace generators,
+//! * [`scenarios`] — the office/conference/Faraday trace generators, each
+//!   able to stream straight into an engine (`run_engine`),
 //! * [`analysis`] — the evaluation pipeline, tables and plots.
 //!
-//! See the `examples/` directory for runnable walkthroughs and
-//! `crates/bench/src/bin/repro.rs` for the table/figure reproduction
-//! harness.
+//! See the `examples/` directory for runnable walkthroughs (start with
+//! `quickstart.rs`) and `crates/bench/src/bin/repro.rs` for the
+//! table/figure reproduction harness.
 
 #![forbid(unsafe_code)]
 

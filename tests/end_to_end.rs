@@ -3,10 +3,10 @@
 
 use wifiprint::analysis::{evaluate_frames, PipelineConfig};
 use wifiprint::core::{
-    load_db, save_db, EvalConfig, NetworkParameter, ReferenceDb, SignatureBuilder,
-    SimilarityMeasure,
+    load_db, save_db, Engine, EvalConfig, Event, MatchOutcome, MatchScratch, NetworkParameter,
+    ReferenceDb, SignatureBuilder, SimilarityMeasure, WindowedSignatures, F32_SCORE_TOLERANCE,
 };
-use wifiprint::ieee80211::{FrameKind, Nanos};
+use wifiprint::ieee80211::{FrameKind, MacAddr, Nanos};
 use wifiprint::scenarios::export::{read_pcap, write_pcap};
 use wifiprint::scenarios::{ConferenceScenario, FaradayRig, OfficeScenario, FARADAY_DEVICE};
 
@@ -32,7 +32,7 @@ fn sim_to_pcap_to_fingerprint_round_trip() {
         for f in frames {
             b.push(f);
         }
-        b.finish()
+        b.finish().expect("devices qualify")
     };
     let from_sim = build(&trace.frames);
     let from_pcap = build(&reloaded);
@@ -56,7 +56,7 @@ fn reference_db_persists_and_matches_identically() {
     for f in &trace.frames {
         builder.push(f);
     }
-    let sigs = builder.finish();
+    let sigs = builder.finish().expect("devices qualify");
     assert!(sigs.len() >= 3, "too few devices: {}", sigs.len());
     let db = ReferenceDb::from_signatures(sigs.clone());
 
@@ -80,7 +80,7 @@ fn pipeline_identifies_devices_in_a_small_office() {
     let scenario = OfficeScenario::small(5, 300, 10);
     let trace = scenario.run_collect();
     let cfg = PipelineConfig::miniature(100, 50, 50);
-    let eval = evaluate_frames(&cfg, &trace.frames);
+    let eval = evaluate_frames(&cfg, &trace.frames).expect("pipeline run");
     assert!(eval.ref_devices >= 6, "ref devices = {}", eval.ref_devices);
     // Identification well above the 1/N ≈ 10% chance level for the
     // timing parameters.
@@ -106,13 +106,13 @@ fn same_device_matches_itself_across_reruns() {
         for f in &trace.frames {
             b.push(f);
         }
-        b.finish().remove(&FARADAY_DEVICE).expect("signature")
+        b.finish().expect("device qualifies").remove(&FARADAY_DEVICE).expect("signature")
     };
     let reference = sig(0, 1);
     let same_later = sig(0, 99);
     let different = sig(4, 99);
     let mut db = ReferenceDb::new();
-    db.insert(FARADAY_DEVICE, reference);
+    db.insert(FARADAY_DEVICE, reference).expect("enroll");
     let sim_same = db
         .match_signature(&same_later, SimilarityMeasure::Cosine)
         .similarity_to(&FARADAY_DEVICE)
@@ -136,7 +136,7 @@ fn encrypted_and_open_traces_both_fingerprint() {
         sc.encryption_overhead = enc;
         let trace = sc.run_collect();
         let cfg = PipelineConfig::miniature(30, 30, 30);
-        let eval = evaluate_frames(&cfg, &trace.frames);
+        let eval = evaluate_frames(&cfg, &trace.frames).expect("pipeline run");
         assert!(eval.ref_devices >= 4, "enc={enc}: refs = {}", eval.ref_devices);
         assert!(
             eval.auc(NetworkParameter::InterArrivalTime) > 0.5,
@@ -165,7 +165,7 @@ fn anonymous_control_frames_never_produce_observations() {
         );
         builder.push(f);
     }
-    for (dev, sig) in builder.finish() {
+    for (dev, sig) in builder.finish().expect("devices qualify") {
         for (kind, _) in sig.iter() {
             assert!(
                 !kind.is_sender_anonymous(),
@@ -176,12 +176,116 @@ fn anonymous_control_frames_never_produce_observations() {
 }
 
 #[test]
+fn streaming_engine_equals_batch_pipeline_on_office_and_conference() {
+    // The acceptance equivalence for the Engine redesign: the streaming
+    // path must reproduce the batch flow's per-window match decisions —
+    // same (window, device) sequence, same argmax, scores within the
+    // documented f32 tolerance — on both of the paper's trace shapes,
+    // and the (engine-driven) analysis pipeline must agree on the
+    // aggregate counts.
+    let traces = [
+        ("office", OfficeScenario::small(5, 300, 10).run_collect()),
+        ("conference", ConferenceScenario::small(7, 300, 12).run_collect()),
+    ];
+    for (name, trace) in traces {
+        let mut cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
+            .with_min_observations(50);
+        cfg.window = Nanos::from_secs(50);
+        let train = Nanos::from_secs(100);
+
+        // Batch flow: split at the training boundary, learn, window the
+        // validation portion, sweep every candidate at the end.
+        let origin = trace.frames[0].t_end;
+        let mut trainer = SignatureBuilder::new(&cfg);
+        let mut validator = WindowedSignatures::new(&cfg);
+        for f in &trace.frames {
+            if f.t_end.saturating_sub(origin) < train {
+                trainer.push(f);
+            } else {
+                validator.push(f);
+            }
+        }
+        let db = ReferenceDb::from_signatures(trainer.finish().expect("devices qualify"));
+        let candidates = validator.finish();
+        assert!(!candidates.is_empty(), "{name}: batch flow must produce candidates");
+
+        // Streaming flow: the engine over the identical frame stream.
+        let mut engine = Engine::builder()
+            .config(cfg.clone())
+            .train_for(train)
+            .build()
+            .expect("valid engine configuration");
+        let mut events = engine.observe_all(&trace.frames).expect("frames in capture order");
+        events.extend(engine.finish().expect("first finish"));
+
+        // The online-enrolled reference matches the batch-learned one.
+        let engine_db = engine.into_reference().expect("trained reference");
+        assert_eq!(
+            engine_db.devices().collect::<Vec<_>>(),
+            db.devices().collect::<Vec<_>>(),
+            "{name}: enrolled devices differ"
+        );
+
+        let decisions: Vec<(usize, MacAddr, MatchOutcome)> = events
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Match { window, device, view }
+                | Event::NewDevice { window, device, view, .. } => Some((window, device, view)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(decisions.len(), candidates.len(), "{name}: decision count");
+
+        let mut scratch = MatchScratch::new();
+        let mut known = 0usize;
+        for (cand, (window, device, view)) in candidates.iter().zip(&decisions) {
+            assert_eq!((cand.index, cand.device), (*window, *device), "{name}");
+            let want = db.match_signature_with(&cand.signature, cfg.measure, &mut scratch);
+            assert_eq!(
+                view.best().map(|(d, _)| d),
+                want.best().map(|(d, _)| d),
+                "{name}: argmax for {device} in window {window}"
+            );
+            assert_eq!(view.similarities().len(), want.similarities().len(), "{name}");
+            for (got, expect) in view.similarities().iter().zip(want.similarities()) {
+                assert_eq!(got.0, expect.0, "{name}: device order");
+                assert!(
+                    (got.1 - expect.1).abs() < F32_SCORE_TOLERANCE,
+                    "{name}: {} vs {} for {device} in window {window}",
+                    got.1,
+                    expect.1
+                );
+            }
+            if db.contains(device) {
+                known += 1;
+            }
+        }
+
+        // The analysis pipeline (a thin driver of the same engine)
+        // reports exactly the decisions counted above.
+        let pcfg = PipelineConfig {
+            train_duration: train,
+            window: cfg.window,
+            min_observations: 50,
+            measure: SimilarityMeasure::Cosine,
+            parameters: vec![NetworkParameter::InterArrivalTime],
+        };
+        let eval = evaluate_frames(&pcfg, &trace.frames).expect("pipeline run");
+        assert_eq!(
+            eval.candidate_instances[&NetworkParameter::InterArrivalTime], known,
+            "{name}: pipeline instance count"
+        );
+        assert_eq!(eval.ref_devices, db.len(), "{name}: pipeline reference count");
+    }
+}
+
+#[test]
 fn windows_shrink_when_traffic_is_sparse() {
     // A device active only in the first half of the validation period
     // yields candidate windows only there.
     let trace = OfficeScenario::small(61, 120, 5).run_collect();
     let cfg = PipelineConfig::miniature(30, 15, 50);
-    let eval = evaluate_frames(&cfg, &trace.frames);
+    let eval = evaluate_frames(&cfg, &trace.frames).expect("pipeline run");
     // 90 s validation in 15 s windows = at most 6 windows × devices.
     let n = eval.candidate_instances[&NetworkParameter::InterArrivalTime];
     assert!(n <= 6 * (eval.ref_devices + 5), "implausible candidate count {n}");
