@@ -75,8 +75,7 @@ pub fn mimicry_frames(
         let size = sizes
             .iter()
             .find(|(_, cum)| *cum >= roll)
-            .map(|(s, _)| *s)
-            .unwrap_or(sizes[sizes.len() - 1].0);
+            .map_or(sizes[sizes.len() - 1].0, |(s, _)| *s);
         let payload = (size as usize).saturating_sub(36).max(1);
         let frame = Frame::data_to_ds(attacker_mac, bssid, bssid, payload);
         // Constant transmission rate (§VII-A1) + software pacing jitter.
@@ -90,6 +89,11 @@ pub fn mimicry_frames(
 /// Runs the full §VII-A1 experiment: learn the victim, replay its size
 /// distribution from attacker hardware, and compare similarities per
 /// parameter.
+///
+/// # Panics
+///
+/// Panics when the victim's training capture is too sparse to enroll it
+/// (the rigs in this crate always provide enough frames).
 pub fn evaluate_mimicry(
     victim_training: &[CapturedFrame],
     victim_later: &[CapturedFrame],

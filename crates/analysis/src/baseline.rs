@@ -1,6 +1,6 @@
 //! The Pang-et-al-style baseline (§V-B2 of the paper).
 //!
-//! Pang et al. (MobiCom 2007) identify users from *implicit identifiers*;
+//! Pang et al. (`MobiCom` 2007) identify users from *implicit identifiers*;
 //! of their four features, **broadcast frame sizes** is the one that
 //! survives encryption and maps onto our observables. The baseline
 //! fingerprints a device solely from the size distribution of its
@@ -67,6 +67,11 @@ impl BaselineEvaluator {
     /// device reached the observation floor on broadcast traffic alone)
     /// degrades to the all-unknown outcome rather than erroring: the
     /// baseline is a *comparison* curve, not a production entry point.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the only `expect` guards the non-empty
+    /// database branch it sits in.
     pub fn finish(self) -> (EvalOutcome, ReferenceDb) {
         let db = ReferenceDb::from_signatures(self.trainer.finish().unwrap_or_default());
         let candidates = self.validator.finish();

@@ -2,192 +2,117 @@
 //! *"future work should also investigate whether the fingerprinting
 //! method can be improved by combining several network parameters"*).
 //!
-//! Each parameter produces its own similarity vector per candidate window
-//! (Algorithm 1); fusion averages the per-parameter similarities with
-//! configurable weights before applying the similarity/identification
-//! tests. Candidates below the observation floor for *any* fused
-//! parameter are skipped, so every fused score averages the same
-//! parameter set.
+//! The mechanics live in core now: [`FusionSpec`] (re-exported here)
+//! names the parameters and weights, and the fused
+//! [`MultiEngine`] combines the per-parameter similarity vectors
+//! *online*, per candidate, the moment each detection window closes.
+//! This module keeps the evaluation harness: [`FusionEvaluator`] streams
+//! a trace through one `MultiEngine` and aggregates the fused scores
+//! into the paper's two accuracy tests, so fusion curves drop into the
+//! same tables as the single-parameter ones. Candidates below the
+//! observation floor for *any* fused parameter carry no fused score and
+//! are skipped, so every fused instance averages the same parameter set
+//! — the semantics the old offline (end-of-trace) combination had, now
+//! produced incrementally.
 
-use std::collections::BTreeMap;
+pub use wifiprint_core::{FusedOutcome, FusionSpec};
 
-use wifiprint_core::metrics::{identification_points, similarity_curve, MatchSet};
 use wifiprint_core::{
-    EvalOutcome, NetworkParameter, ReferenceDb, SignatureBuilder, SimilarityMeasure,
-    WindowedSignatures,
+    EngineError, EvalOutcome, MatchSet, MultiEngine, MultiEvent,
 };
-use wifiprint_ieee80211::{MacAddr, Nanos};
 use wifiprint_radiotap::CapturedFrame;
 
 use crate::pipeline::PipelineConfig;
 
-/// A weighted set of parameters to fuse.
-#[derive(Debug, Clone)]
-pub struct FusionSpec {
-    /// `(parameter, weight)` pairs; weights need not be normalised.
-    pub parameters: Vec<(NetworkParameter, f64)>,
-}
-
-impl FusionSpec {
-    /// The combination the paper's results suggest: the three timing
-    /// parameters that lead its rankings, equally weighted.
-    pub fn timing_trio() -> Self {
-        FusionSpec {
-            parameters: vec![
-                (NetworkParameter::InterArrivalTime, 1.0),
-                (NetworkParameter::TransmissionTime, 1.0),
-                (NetworkParameter::MediumAccessTime, 1.0),
-            ],
-        }
-    }
-
-    /// All five parameters, equally weighted.
-    pub fn all_equal() -> Self {
-        FusionSpec {
-            parameters: NetworkParameter::ALL.iter().map(|&p| (p, 1.0)).collect(),
-        }
-    }
-}
-
 /// Streaming fusion evaluator: like
-/// [`StreamingEvaluator`](crate::StreamingEvaluator) but scoring the fused
-/// similarity.
+/// [`StreamingEvaluator`](crate::StreamingEvaluator) but scoring the
+/// fused similarity of each candidate instead of the per-parameter ones.
 #[derive(Debug)]
 pub struct FusionEvaluator {
-    spec: FusionSpec,
-    measure: SimilarityMeasure,
-    train_duration: Nanos,
-    origin: Option<Nanos>,
-    trainers: Vec<SignatureBuilder>,
-    validators: Vec<WindowedSignatures>,
+    engine: MultiEngine,
+    sets: Vec<MatchSet>,
+    unknown: usize,
+    error: Option<EngineError>,
 }
 
 impl FusionEvaluator {
     /// A fusion evaluator over `spec`, sharing `pipeline`'s split, window
     /// and observation floor.
-    pub fn new(pipeline: &PipelineConfig, spec: FusionSpec) -> Self {
-        let configs: Vec<_> = spec
-            .parameters
-            .iter()
-            .map(|&(p, _)| {
-                let mut cfg = wifiprint_core::EvalConfig::for_parameter(p)
-                    .with_min_observations(pipeline.min_observations)
-                    .with_measure(pipeline.measure);
-                cfg.window = pipeline.window;
-                cfg
-            })
-            .collect();
-        FusionEvaluator {
-            spec,
-            measure: pipeline.measure,
-            train_duration: pipeline.train_duration,
-            origin: None,
-            trainers: configs.iter().map(SignatureBuilder::new).collect(),
-            validators: configs.iter().map(WindowedSignatures::new).collect(),
-        }
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError`] when the spec or pipeline configuration cannot
+    /// drive an engine (empty spec, repeated parameter, zero-length
+    /// window or training prefix).
+    pub fn new(pipeline: &PipelineConfig, spec: FusionSpec) -> Result<Self, EngineError> {
+        let engine = MultiEngine::builder()
+            .spec(spec)
+            .config(pipeline.multi_config())
+            .train_for(pipeline.train_duration)
+            // Only commonly enrolled candidates carry ground truth for
+            // the accuracy tests; strangers are counted, not scored.
+            .score_unknown(false)
+            .build()?;
+        Ok(FusionEvaluator { engine, sets: Vec::new(), unknown: 0, error: None })
     }
 
-    /// Processes one captured frame.
+    /// Processes one captured frame. Engine failures latch and surface
+    /// from [`FusionEvaluator::finish`].
     pub fn push(&mut self, frame: &CapturedFrame) {
-        let origin = *self.origin.get_or_insert(frame.t_end);
-        if frame.t_end.saturating_sub(origin) < self.train_duration {
-            for t in &mut self.trainers {
-                t.push(frame);
-            }
-        } else {
-            for v in &mut self.validators {
-                v.push(frame);
+        if self.error.is_some() {
+            return;
+        }
+        match self.engine.observe(frame) {
+            Ok(events) => self.absorb(&events),
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn absorb(&mut self, events: &[MultiEvent]) {
+        for event in events {
+            match event {
+                // A fused score exists exactly when the candidate met
+                // the floor for every fused parameter and is enrolled
+                // for all of them — the instances the fused accuracy
+                // tests are defined over.
+                MultiEvent::FusedMatch { device, fused: Some(fused), .. } => {
+                    self.sets.push(MatchSet::from_similarities(*device, fused.similarities()));
+                }
+                MultiEvent::FusedNewDevice { .. } => self.unknown += 1,
+                MultiEvent::FusedMatch { fused: None, .. }
+                | MultiEvent::Enrolled { .. }
+                | MultiEvent::WindowClosed { .. } => {}
             }
         }
     }
 
-    /// Finalises: fuses per-parameter similarities and computes both
-    /// tests.
-    pub fn finish(self) -> EvalOutcome {
-        let weights: Vec<f64> = self.spec.parameters.iter().map(|&(_, w)| w).collect();
-        let weight_sum: f64 = weights.iter().sum::<f64>().max(f64::MIN_POSITIVE);
-
-        let dbs: Vec<ReferenceDb> =
-            self.trainers
-                .into_iter()
-                .map(|t| ReferenceDb::from_signatures(t.finish().unwrap_or_default()))
-                .collect();
-        // Devices must be enrolled for every fused parameter.
-        let enrolled: Vec<MacAddr> = match dbs.first() {
-            Some(first) => {
-                first.devices().filter(|d| dbs.iter().all(|db| db.contains(d))).collect()
-            }
-            None => Vec::new(),
-        };
-
-        // Collect candidate signatures per parameter, keyed by
-        // (window, device).
-        let mut per_key: BTreeMap<(usize, MacAddr), Vec<Option<wifiprint_core::Signature>>> =
-            BTreeMap::new();
-        let n_params = self.validators.len();
-        for (i, validator) in self.validators.into_iter().enumerate() {
-            for cand in validator.finish() {
-                per_key
-                    .entry((cand.index, cand.device))
-                    .or_insert_with(|| vec![None; n_params])[i] = Some(cand.signature);
-            }
+    /// Finalises: seals the trailing window and computes both tests over
+    /// the fused scores.
+    ///
+    /// # Errors
+    ///
+    /// The first engine failure encountered during the run.
+    pub fn finish(mut self) -> Result<EvalOutcome, EngineError> {
+        if let Some(e) = self.error {
+            return Err(e);
         }
-
-        let mut sets = Vec::new();
-        for ((_window, device), sigs) in per_key {
-            if !enrolled.contains(&device) || sigs.iter().any(Option::is_none) {
-                continue;
-            }
-            // Fused similarity per enrolled reference.
-            let mut fused: BTreeMap<MacAddr, f64> =
-                enrolled.iter().map(|&d| (d, 0.0)).collect();
-            for (i, sig) in sigs.iter().enumerate() {
-                let outcome =
-                    dbs[i].match_signature(sig.as_ref().expect("checked"), self.measure);
-                for &(dev, sim) in outcome.similarities() {
-                    if let Some(acc) = fused.get_mut(&dev) {
-                        *acc += weights[i] * sim / weight_sum;
-                    }
-                }
-            }
-            let true_sim = fused[&device];
-            let mut wrong = Vec::with_capacity(fused.len().saturating_sub(1));
-            let mut best_dev = device;
-            let mut best_sim = f64::MIN;
-            for (&dev, &sim) in &fused {
-                if sim > best_sim {
-                    best_sim = sim;
-                    best_dev = dev;
-                }
-                if dev != device {
-                    wrong.push(sim);
-                }
-            }
-            sets.push(MatchSet {
-                true_device: device,
-                true_sim,
-                wrong_sims: wrong,
-                best_is_true: best_dev == device,
-                best_sim,
-            });
-        }
-
-        EvalOutcome {
-            curve: similarity_curve(&sets, 512),
-            ident_points: identification_points(&sets, 512),
-            instances: sets.len(),
-            unknown_candidates: 0,
-        }
+        let events = self.engine.finish()?;
+        self.absorb(&events);
+        Ok(EvalOutcome::from_match_sets(&self.sets, self.unknown))
     }
 }
 
 /// Convenience: runs fusion over an in-memory frame sequence.
+///
+/// # Errors
+///
+/// [`EngineError`] from building or driving the underlying engine.
 pub fn evaluate_fusion<'a>(
     pipeline: &PipelineConfig,
     spec: FusionSpec,
     frames: impl IntoIterator<Item = &'a CapturedFrame>,
-) -> EvalOutcome {
-    let mut ev = FusionEvaluator::new(pipeline, spec);
+) -> Result<EvalOutcome, EngineError> {
+    let mut ev = FusionEvaluator::new(pipeline, spec)?;
     for f in frames {
         ev.push(f);
     }
@@ -197,7 +122,8 @@ pub fn evaluate_fusion<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wifiprint_ieee80211::{Frame, Rate};
+    use wifiprint_core::NetworkParameter;
+    use wifiprint_ieee80211::{Frame, MacAddr, Nanos, Rate};
 
     /// Devices distinguishable only by combining parameters: pairs share
     /// inter-arrival periods, other pairs share sizes.
@@ -233,24 +159,25 @@ mod tests {
         let frames = trace();
         let single_ia = evaluate_fusion(
             &pipeline(),
-            FusionSpec { parameters: vec![(NetworkParameter::InterArrivalTime, 1.0)] },
+            FusionSpec::single(NetworkParameter::InterArrivalTime),
             &frames,
-        );
+        )
+        .expect("fusion run");
         let single_fs = evaluate_fusion(
             &pipeline(),
-            FusionSpec { parameters: vec![(NetworkParameter::FrameSize, 1.0)] },
+            FusionSpec::single(NetworkParameter::FrameSize),
             &frames,
-        );
+        )
+        .expect("fusion run");
         let fused = evaluate_fusion(
             &pipeline(),
-            FusionSpec {
-                parameters: vec![
-                    (NetworkParameter::InterArrivalTime, 1.0),
-                    (NetworkParameter::FrameSize, 1.0),
-                ],
-            },
+            FusionSpec::equal_weights([
+                NetworkParameter::InterArrivalTime,
+                NetworkParameter::FrameSize,
+            ]),
             &frames,
-        );
+        )
+        .expect("fusion run");
         let ident = |o: &EvalOutcome| o.identification_at_fpr(0.1);
         // Frame size alone confuses the size-clone pairs; the fusion must
         // rescue it, and must not fall below its strongest member.
@@ -273,12 +200,24 @@ mod tests {
     #[test]
     fn fusion_requires_all_parameters_enrolled() {
         let frames = trace();
-        let outcome = evaluate_fusion(&pipeline(), FusionSpec::all_equal(), &frames);
+        let outcome =
+            evaluate_fusion(&pipeline(), FusionSpec::all_equal(), &frames).expect("fusion run");
         // The synthetic trace has no rate variation or medium-access
         // structure, but every candidate still passes the floor for all
         // five parameters (same observations, different projections).
         assert!(outcome.instances > 0);
         assert!((0.0..=1.0).contains(&outcome.auc()));
+    }
+
+    #[test]
+    fn degenerate_specs_are_rejected_up_front() {
+        let empty = FusionSpec { parameters: vec![] };
+        assert!(FusionEvaluator::new(&pipeline(), empty).is_err());
+        let dup = FusionSpec::equal_weights([
+            NetworkParameter::FrameSize,
+            NetworkParameter::FrameSize,
+        ]);
+        assert!(FusionEvaluator::new(&pipeline(), dup).is_err());
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! suite — the harness behind §V of the paper.
 //!
 //! * [`PipelineConfig`] / [`StreamingEvaluator`] — the train/validate
-//!   split, detection windows and per-parameter scoring of §V-A,
+//!   split, detection windows and per-parameter scoring of §V-A, driven
+//!   by one fused `MultiEngine` (a single header parse per frame feeds
+//!   every parameter),
 //! * [`tables`] — formatters regenerating Tables I, II and III,
 //! * [`plot`] — ASCII histograms and TPR/FPR curves plus CSV export
 //!   (Figs. 2–8),
@@ -15,6 +17,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::pedantic)]
+// Pedantic lints this crate opts out of, mirroring wifiprint-core:
+#![allow(
+    // Table counts and window indices stay far below 2^52; casts into
+    // f64 for ratios and percentages are deliberate.
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    // Exact float compares pin sentinel values in tests and plots.
+    clippy::float_cmp,
+    // Getter-heavy report types: #[must_use] on every accessor is noise.
+    clippy::must_use_candidate,
+    clippy::return_self_not_must_use,
+    // Public items are re-exported from the crate root, so
+    // module-qualified names repeat the module name.
+    clippy::module_name_repetitions,
+    // The table/plot formatters interleave many push_str/format calls;
+    // collapsing them into single format! invocations hurts readability.
+    clippy::format_push_string
+)]
 
 pub mod attacks;
 pub mod baseline;

@@ -3,20 +3,25 @@
 //! candidate signatures, and score both tests for every network parameter
 //! in one streaming pass.
 //!
-//! Since the streaming [`Engine`] became the production API, this
-//! pipeline is a thin driver of it: one engine per network parameter
-//! (trained online for the configured prefix), with the per-window
-//! [`Event::Match`] / [`Event::NewDevice`] decisions accumulated into
-//! [`MatchSet`]s and aggregated into the paper's two accuracy tests at
-//! the end. The matching itself — the tiled `f32` SIMD sweep — happens
-//! *incrementally* as each detection window closes, not in an
-//! end-of-trace sweep.
+//! Since the fused [`MultiEngine`] became the production API, this
+//! pipeline is a thin driver of **one** engine: a single fused header
+//! parse per frame feeds all configured parameters (trained online for
+//! the configured prefix), one shared window clock closes their
+//! detection windows together, and the per-parameter decisions carried
+//! by each [`MultiEvent::FusedMatch`] / [`MultiEvent::FusedNewDevice`]
+//! are accumulated into [`MatchSet`]s and aggregated into the paper's
+//! two accuracy tests at the end. The matching itself — the tiled `f32`
+//! SIMD sweep — happens *incrementally* as each detection window closes,
+//! not in an end-of-trace sweep. (The previous design ran five
+//! single-parameter engines side by side, one worker thread each; the
+//! fused parse made that fan-out redundant — extraction and history
+//! bookkeeping now happen once per frame instead of five times.)
 
 use std::collections::BTreeMap;
 
 use wifiprint_core::{
-    Engine, EngineError, EvalConfig, EvalOutcome, Event, MatchSet, NetworkParameter, ReferenceDb,
-    SimilarityMeasure,
+    EngineError, EvalOutcome, FusionSpec, MatchSet, MultiConfig, MultiEngine, MultiEvent,
+    NetworkParameter, ReferenceDb, SimilarityMeasure,
 };
 use wifiprint_ieee80211::Nanos;
 use wifiprint_radiotap::CapturedFrame;
@@ -67,12 +72,13 @@ impl PipelineConfig {
         }
     }
 
-    fn eval_config(&self, parameter: NetworkParameter) -> EvalConfig {
-        let mut cfg = EvalConfig::for_parameter(parameter)
+    /// The shared engine configuration this pipeline projects onto a
+    /// [`MultiEngine`].
+    pub(crate) fn multi_config(&self) -> MultiConfig {
+        MultiConfig::default()
             .with_min_observations(self.min_observations)
-            .with_measure(self.measure);
-        cfg.window = self.window;
-        cfg
+            .with_measure(self.measure)
+            .with_window(self.window)
     }
 }
 
@@ -114,59 +120,18 @@ struct ParamCollector {
     unknown: usize,
 }
 
-impl ParamCollector {
-    fn absorb(&mut self, events: Vec<Event>) {
-        for event in events {
-            match event {
-                // Enrolled devices carry ground truth; the accuracy
-                // tests are defined over them.
-                Event::Match { device, view, .. } => {
-                    self.sets.push(MatchSet::from_similarities(device, view.similarities()));
-                }
-                Event::NewDevice { .. } => self.unknown += 1,
-                Event::Enrolled { .. } | Event::WindowClosed { .. } => {}
-            }
-        }
-    }
-}
-
-/// What one per-parameter worker hands back when its stream ends.
-type WorkerOutcome = (NetworkParameter, ReferenceDb, ParamCollector, Option<EngineError>);
-
-/// How the per-parameter engines are driven.
-///
-/// With the `parallel` feature and more than one parameter, each engine
-/// runs on its own worker thread fed through a bounded channel, so the
-/// per-window matching of all parameters proceeds concurrently — the
-/// same outer-level fan-out the pre-engine pipeline had. Serially
-/// otherwise.
-#[derive(Debug)]
-enum Backend {
-    Serial {
-        engines: Vec<(NetworkParameter, Engine)>,
-        collectors: Vec<ParamCollector>,
-        /// First engine failure, latched so `push` stays usable inside
-        /// infallible capture sinks.
-        error: Option<EngineError>,
-    },
-    #[cfg(feature = "parallel")]
-    Threaded {
-        senders: Vec<std::sync::mpsc::SyncSender<CapturedFrame>>,
-        workers: Vec<std::thread::JoinHandle<WorkerOutcome>>,
-    },
-}
-
-/// Frames a worker may buffer before `push` back-pressures on it.
-#[cfg(feature = "parallel")]
-const WORKER_QUEUE: usize = 4096;
-
 /// Streaming evaluator: push every captured frame once (in capture
-/// order); all configured parameters run their own [`Engine`] over the
-/// same pass, and every detection window is matched the moment it
-/// closes.
+/// order); one fused [`MultiEngine`] extracts every configured parameter
+/// from that single pass, and every detection window is matched the
+/// moment it closes.
 #[derive(Debug)]
 pub struct StreamingEvaluator {
-    backend: Backend,
+    engine: MultiEngine,
+    /// One collector per configured parameter, engine spec order.
+    collectors: Vec<(NetworkParameter, ParamCollector)>,
+    /// First engine failure, latched so `push` stays usable inside
+    /// infallible capture sinks.
+    error: Option<EngineError>,
     origin: Option<Nanos>,
     train_duration: Nanos,
     train_frames: u64,
@@ -179,23 +144,26 @@ impl StreamingEvaluator {
     /// # Errors
     ///
     /// [`EngineError`] when the configuration cannot drive an engine
-    /// (zero-length detection window or training prefix, empty bins).
+    /// (zero-length detection window or training prefix, a repeated
+    /// parameter).
     pub fn new(cfg: &PipelineConfig) -> Result<Self, EngineError> {
-        let mut engines = Vec::with_capacity(cfg.parameters.len());
-        for &param in &cfg.parameters {
-            let engine = Engine::builder()
-                .config(cfg.eval_config(param))
-                .train_for(cfg.train_duration)
-                // The accuracy tests only *count* unknown candidates, so
-                // skip the reference sweep for them (the batch pipeline
-                // never scored strangers either).
-                .score_unknown(false)
-                .build()?;
-            engines.push((param, engine));
-        }
-        let backend = Backend::new(engines);
+        let engine = MultiEngine::builder()
+            .spec(FusionSpec::equal_weights(cfg.parameters.iter().copied()))
+            .config(cfg.multi_config())
+            .train_for(cfg.train_duration)
+            // The accuracy tests only *count* unknown candidates, so
+            // skip the reference sweep for them (the batch pipeline
+            // never scored strangers either).
+            .score_unknown(false)
+            .build()?;
         Ok(StreamingEvaluator {
-            backend,
+            engine,
+            collectors: cfg
+                .parameters
+                .iter()
+                .map(|&p| (p, ParamCollector::default()))
+                .collect(),
+            error: None,
             origin: None,
             train_duration: cfg.train_duration,
             train_frames: 0,
@@ -213,26 +181,46 @@ impl StreamingEvaluator {
         } else {
             self.validation_frames += 1;
         }
-        self.backend.push(frame);
+        if self.error.is_some() {
+            return;
+        }
+        match self.engine.observe(frame) {
+            Ok(events) => absorb(&mut self.collectors, &events),
+            Err(e) => self.error = Some(e),
+        }
     }
 
-    /// Finalises: seals the trailing window of every engine and
-    /// aggregates the accumulated per-window decisions into both of the
-    /// paper's tests per parameter. The matching work already happened
-    /// online, window by window, as frames were pushed.
+    /// Finalises: seals the trailing window and aggregates the
+    /// accumulated per-window decisions into both of the paper's tests
+    /// per parameter. The matching work already happened online, window
+    /// by window, as frames were pushed.
     ///
     /// # Errors
     ///
     /// The first engine failure encountered during the run.
     pub fn finish(self) -> Result<TraceEvaluation, EngineError> {
-        let StreamingEvaluator { backend, train_frames, validation_frames, .. } = self;
-        let mut work: Vec<(NetworkParameter, ReferenceDb, ParamCollector)> = Vec::new();
-        for (param, db, collector, error) in backend.finish() {
-            if let Some(e) = error {
-                return Err(e);
-            }
-            work.push((param, db, collector));
+        let StreamingEvaluator {
+            mut engine,
+            mut collectors,
+            error,
+            train_frames,
+            validation_frames,
+            ..
+        } = self;
+        if let Some(e) = error {
+            return Err(e);
         }
+        let events = engine.finish()?;
+        absorb(&mut collectors, &events);
+        let mut databases = engine.into_references();
+
+        let work: Vec<(NetworkParameter, ReferenceDb, ParamCollector)> = collectors
+            .into_iter()
+            .map(|(param, collector)| {
+                let db = databases.remove(&param).unwrap_or_default();
+                (param, db, collector)
+            })
+            .collect();
         let results = aggregate_parameters(work);
 
         let mut outcomes = BTreeMap::new();
@@ -262,117 +250,32 @@ impl StreamingEvaluator {
     }
 }
 
-impl Backend {
-    #[cfg(feature = "parallel")]
-    fn new(engines: Vec<(NetworkParameter, Engine)>) -> Backend {
-        // Worker threads only pay off with real cores: on a single-CPU
-        // host the per-frame channel traffic is pure overhead (measured
-        // ~3× slower on the repro harness), so fall back to serial.
-        // `WIFIPRINT_THREADS` overrides the detection, as in
-        // `wifiprint_core::batch`.
-        let cpus = std::env::var("WIFIPRINT_THREADS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-            });
-        if engines.len() <= 1 || cpus <= 1 {
-            let collectors = engines.iter().map(|_| ParamCollector::default()).collect();
-            return Backend::Serial { engines, collectors, error: None };
-        }
-        let mut senders = Vec::with_capacity(engines.len());
-        let mut workers = Vec::with_capacity(engines.len());
-        for (param, mut engine) in engines {
-            let (tx, rx) = std::sync::mpsc::sync_channel::<CapturedFrame>(WORKER_QUEUE);
-            senders.push(tx);
-            workers.push(std::thread::spawn(move || {
-                let mut collector = ParamCollector::default();
-                let mut error = None;
-                for frame in rx {
-                    match engine.observe(&frame) {
-                        Ok(events) => collector.absorb(events),
-                        Err(e) => {
-                            // Dropping the receiver unblocks the sender;
-                            // remaining frames are discarded.
-                            error = Some(e);
-                            break;
-                        }
-                    }
-                }
-                if error.is_none() {
-                    match engine.finish() {
-                        Ok(events) => collector.absorb(events),
-                        Err(e) => error = Some(e),
-                    }
-                }
-                (param, engine.into_reference().unwrap_or_default(), collector, error)
-            }));
-        }
-        Backend::Threaded { senders, workers }
-    }
-
-    #[cfg(not(feature = "parallel"))]
-    fn new(engines: Vec<(NetworkParameter, Engine)>) -> Backend {
-        let collectors = engines.iter().map(|_| ParamCollector::default()).collect();
-        Backend::Serial { engines, collectors, error: None }
-    }
-
-    fn push(&mut self, frame: &CapturedFrame) {
-        match self {
-            Backend::Serial { engines, collectors, error } => {
-                if error.is_some() {
-                    return;
-                }
-                for ((_, engine), collector) in engines.iter_mut().zip(collectors.iter_mut()) {
-                    match engine.observe(frame) {
-                        Ok(events) => collector.absorb(events),
-                        Err(e) => {
-                            *error = Some(e);
-                            return;
-                        }
-                    }
-                }
-            }
-            #[cfg(feature = "parallel")]
-            Backend::Threaded { senders, .. } => {
-                for tx in senders.iter() {
-                    // A send failure means that worker latched an error
-                    // and hung up; it will report it at finish().
-                    let _ = tx.send(*frame);
-                }
-            }
-        }
-    }
-
-    fn finish(self) -> Vec<WorkerOutcome> {
-        match self {
-            Backend::Serial { engines, collectors, error } => {
-                let mut first_error = error;
-                engines
-                    .into_iter()
-                    .zip(collectors)
-                    .map(|((param, mut engine), mut collector)| {
-                        let mut worker_error = first_error.take();
-                        if worker_error.is_none() {
-                            match engine.finish() {
-                                Ok(events) => collector.absorb(events),
-                                Err(e) => worker_error = Some(e),
-                            }
-                        }
-                        let db = engine.into_reference().unwrap_or_default();
-                        (param, db, collector, worker_error)
-                    })
-                    .collect()
-            }
-            #[cfg(feature = "parallel")]
-            Backend::Threaded { senders, workers } => {
-                // Hanging up the channels ends every worker's frame loop.
-                drop(senders);
-                workers
-                    .into_iter()
-                    .map(|handle| handle.join().expect("parameter worker panicked"))
-                    .collect()
+/// Folds a batch of fused events into the per-parameter collectors: each
+/// event's [`ParameterDecision`](wifiprint_core::ParameterDecision) list
+/// carries one entry per parameter the candidate qualified for, flagged
+/// with per-parameter enrollment — exactly the Match/NewDevice split the
+/// five single engines used to report.
+fn absorb(collectors: &mut [(NetworkParameter, ParamCollector)], events: &[MultiEvent]) {
+    for event in events {
+        let (device, scores) = match event {
+            MultiEvent::FusedMatch { device, scores, .. }
+            | MultiEvent::FusedNewDevice { device, scores, .. } => (device, scores),
+            MultiEvent::Enrolled { .. } | MultiEvent::WindowClosed { .. } => continue,
+        };
+        for decision in scores {
+            let Some((_, collector)) =
+                collectors.iter_mut().find(|(p, _)| *p == decision.parameter)
+            else {
+                continue;
+            };
+            if decision.known {
+                // Enrolled devices carry ground truth; the accuracy
+                // tests are defined over them.
+                collector
+                    .sets
+                    .push(MatchSet::from_similarities(*device, decision.view.similarities()));
+            } else {
+                collector.unknown += 1;
             }
         }
     }
@@ -403,7 +306,7 @@ fn aggregate_parameters(
 ///
 /// # Errors
 ///
-/// [`EngineError`] from building or driving the underlying engines.
+/// [`EngineError`] from building or driving the underlying engine.
 pub fn evaluate_frames<'a>(
     cfg: &PipelineConfig,
     frames: impl IntoIterator<Item = &'a CapturedFrame>,

@@ -28,7 +28,7 @@ pub struct TraceFeatures {
 
 /// Renders Table I (evaluation trace features).
 pub fn table1(rows: &[TraceFeatures]) -> String {
-    let mut cols: Vec<Vec<String>> = vec![vec!["".into()]];
+    let mut cols: Vec<Vec<String>> = vec![vec![String::new()]];
     for label in ["Total duration", "Ref. duration", "Cand. duration", "Encryption", "# ref. devices"]
     {
         cols[0].push(label.to_owned());

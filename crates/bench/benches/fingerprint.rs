@@ -19,14 +19,18 @@
 //!   multi-window candidate set;
 //! * `engine_ingest/observe_48k_frames` — the streaming `Engine` end to
 //!   end: extraction, windowing and per-window tiled matching, the
-//!   online deployment's hot path.
+//!   online deployment's hot path;
+//! * `multi_engine_ingest/{five_engines,fused}` — five independent
+//!   single-parameter engines versus one fused `MultiEngine` over the
+//!   identical stream: the fused path parses each frame and keeps the
+//!   timing history **once** instead of five times.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use wifiprint_core::{
-    kernel, Engine, EvalConfig, MatchScratch, NetworkParameter, ReferenceDb, Signature,
-    SignatureBuilder, SimilarityMeasure,
+    kernel, Engine, EvalConfig, FusionSpec, MatchScratch, MultiConfig, MultiEngine,
+    NetworkParameter, ReferenceDb, Signature, SignatureBuilder, SimilarityMeasure,
 };
 use wifiprint_ieee80211::{Frame, FrameKind, MacAddr, Nanos, Rate};
 use wifiprint_radiotap::CapturedFrame;
@@ -263,6 +267,91 @@ fn bench_engine_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+/// Five independent single-parameter engines versus one fused
+/// `MultiEngine`, both fed the identical 48k-frame stream against
+/// 256-device references. The fused path must come in well under the
+/// five-engine fan-out: extraction and history bookkeeping happen once
+/// per frame instead of five times.
+fn bench_multi_engine_ingest(c: &mut Criterion) {
+    let multi_cfg = MultiConfig::default()
+        .with_min_observations(30)
+        .with_window(Nanos::from_secs(1));
+    let refs: BTreeMap<NetworkParameter, ReferenceDb> = NetworkParameter::ALL
+        .into_iter()
+        .map(|param| {
+            let cfg = multi_cfg.eval_config(param);
+            let mut db = ReferenceDb::new();
+            for d in 0..256u64 {
+                let mut sig = Signature::new();
+                for i in 0..500u64 {
+                    let v = match param {
+                        NetworkParameter::TransmissionRate => {
+                            Rate::ALL_BG[((d + i) % 12) as usize].mbps()
+                        }
+                        _ => ((d * 131 + i * 37) % 2400) as f64,
+                    };
+                    sig.record(FrameKind::Data, v, &cfg);
+                }
+                db.insert(MacAddr::from_index(d), sig).expect("insert");
+            }
+            (param, db)
+        })
+        .collect();
+    let frames: Vec<CapturedFrame> = (0..48_000u64)
+        .map(|i| {
+            let dev = MacAddr::from_index(i % 64);
+            let ap = MacAddr::from_index(0xA11);
+            let f = Frame::data_to_ds(dev, ap, ap, 200 + (i % 7) as usize * 100);
+            CapturedFrame::from_frame(&f, Rate::R54M, Nanos::from_micros(25 * (i + 1)), -50)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("multi_engine_ingest");
+    group.bench_function("five_engines", |b| {
+        b.iter(|| {
+            let mut engines: Vec<Engine> = NetworkParameter::ALL
+                .into_iter()
+                .map(|param| {
+                    Engine::builder()
+                        .config(multi_cfg.eval_config(param))
+                        .reference(refs[&param].snapshot())
+                        .build()
+                        .expect("valid engine configuration")
+                })
+                .collect();
+            let mut decisions = 0usize;
+            for frame in &frames {
+                for engine in &mut engines {
+                    decisions += engine.observe(frame).expect("in-order frame").len();
+                }
+            }
+            for engine in &mut engines {
+                decisions += engine.finish().expect("first finish").len();
+            }
+            black_box(decisions)
+        })
+    });
+    group.bench_function("fused", |b| {
+        b.iter(|| {
+            let snapshot: BTreeMap<NetworkParameter, ReferenceDb> =
+                refs.iter().map(|(&p, db)| (p, db.snapshot())).collect();
+            let mut engine = MultiEngine::builder()
+                .spec(FusionSpec::all_equal())
+                .config(multi_cfg.clone())
+                .references(snapshot)
+                .build()
+                .expect("valid engine configuration");
+            let mut decisions = 0usize;
+            for frame in &frames {
+                decisions += engine.observe(frame).expect("in-order frame").len();
+            }
+            decisions += engine.finish().expect("first finish").len();
+            black_box(decisions)
+        })
+    });
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300))
 }
@@ -272,6 +361,6 @@ criterion_group! {
     config = config();
     targets = bench_signature_build, bench_similarity_measures, bench_matching_scaling,
         bench_dot_kernels, bench_match_tile, bench_db_insert_stream, bench_window_batch,
-        bench_engine_ingest
+        bench_engine_ingest, bench_multi_engine_ingest
 }
 criterion_main!(benches);

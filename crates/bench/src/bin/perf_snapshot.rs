@@ -9,42 +9,62 @@
 //!     [output.json] [--check baseline.json]
 //! ```
 //!
-//! Default output is `BENCH_3.json` in the current directory. With
-//! `--check`, the freshly measured `match_matrix_ns` is compared against
-//! the committed baseline snapshot and the process exits non-zero if it
-//! regressed by more than 25 % — the CI perf-smoke gate.
+//! Default output is `BENCH_4.json` in the current directory. With
+//! `--check`, the freshly measured `match_matrix_ns` and
+//! `multi_engine_ingest_fps` are compared against the committed
+//! baseline snapshot and the process exits non-zero if either regressed
+//! by more than 25 % — the CI perf-smoke gate.
 //!
 //! The measurements mirror the headline benches in
 //! `crates/bench/benches/fingerprint.rs`: the naive f64 baseline versus
 //! the f32 SIMD matrix sweep at 256 devices, the K=8 matrix–matrix tile
 //! versus 8 matrix–vector sweeps, the f32-vs-f64 dot kernels (with the
 //! runtime dispatch decision), streaming insert cost, and the
-//! serial-vs-parallel window batch — plus, since PR 3, the streaming
-//! `Engine`'s end-to-end ingest throughput (frames/second through
-//! extraction, windowing and per-window tiled matching against the
-//! 256-device reference).
+//! serial-vs-parallel window batch — plus the streaming engines'
+//! end-to-end ingest throughput (frames/second through extraction,
+//! windowing and per-window tiled matching against 256-device
+//! references): the single-parameter `Engine` since PR 3 and, since
+//! PR 4, the fused five-parameter `MultiEngine`, whose per-frame cost
+//! must stay **well below five single engines** (one header parse and
+//! one timing history instead of five).
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use wifiprint_core::{
-    kernel, Engine, EvalConfig, MatchScratch, NetworkParameter, ReferenceDb, Signature,
-    SimilarityMeasure,
+    kernel, Engine, EvalConfig, FusionSpec, MatchScratch, MultiConfig, MultiEngine,
+    NetworkParameter, ReferenceDb, Signature, SimilarityMeasure,
 };
 use wifiprint_ieee80211::{Frame, FrameKind, MacAddr, Nanos, Rate};
 use wifiprint_radiotap::CapturedFrame;
 
-/// Allowed relative regression of `match_matrix_ns` under `--check`.
+/// Allowed relative regression of the gated metrics under `--check`.
 const REGRESSION_BUDGET: f64 = 0.25;
 
 fn synthetic_signature(seed: u64, obs: u64) -> Signature {
     let cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime);
+    synthetic_signature_for(&cfg, seed, obs)
+}
+
+/// A deterministic signature whose values land inside `cfg`'s bins (the
+/// transmission-rate parameter is categorical over the 802.11b/g rates).
+fn synthetic_signature_for(cfg: &EvalConfig, seed: u64, obs: u64) -> Signature {
     let mut sig = Signature::new();
     for i in 0..obs {
-        let v = ((seed * 131 + i * 37) % 2400) as f64;
-        sig.record(FrameKind::Data, v, &cfg);
+        let v = match cfg.parameter {
+            NetworkParameter::TransmissionRate => {
+                Rate::ALL_BG[((seed + i) % 12) as usize].mbps()
+            }
+            _ => ((seed * 131 + i * 37) % 2400) as f64,
+        };
+        sig.record(FrameKind::Data, v, cfg);
         if i % 5 == 0 {
-            sig.record(FrameKind::ProbeReq, (seed * 17 % 500) as f64, &cfg);
+            let probe = match cfg.parameter {
+                NetworkParameter::TransmissionRate => Rate::R1M.mbps(),
+                _ => (seed * 17 % 500) as f64,
+            };
+            sig.record(FrameKind::ProbeReq, probe, cfg);
         }
     }
     sig
@@ -79,7 +99,7 @@ fn read_field(json: &str, field: &str) -> Option<f64> {
 }
 
 fn main() {
-    let mut out_path = "BENCH_3.json".to_owned();
+    let mut out_path = "BENCH_4.json".to_owned();
     let mut check_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -195,13 +215,54 @@ fn main() {
     }) / engine_frames.len() as f64;
     let engine_ingest_fps = 1e9 / engine_ingest_ns;
 
+    // MultiEngine ingest: the same stream through the fused
+    // five-parameter engine — one header parse and one timing history
+    // per frame instead of five, five per-parameter reference sweeps as
+    // each window closes. The per-frame cost must stay well below five
+    // single-parameter engines.
+    let multi_cfg = MultiConfig::default()
+        .with_min_observations(30)
+        .with_window(Nanos::from_secs(1));
+    let multi_refs: BTreeMap<NetworkParameter, ReferenceDb> = NetworkParameter::ALL
+        .into_iter()
+        .map(|param| {
+            let cfg = multi_cfg.eval_config(param);
+            let mut db = ReferenceDb::new();
+            for d in 0..256u64 {
+                db.insert(MacAddr::from_index(d), synthetic_signature_for(&cfg, d, 500))
+                    .expect("insert");
+            }
+            (param, db)
+        })
+        .collect();
+    let multi_engine_ingest_ns = measure(5, 1, || {
+        let refs: BTreeMap<NetworkParameter, ReferenceDb> =
+            multi_refs.iter().map(|(&p, db)| (p, db.snapshot())).collect();
+        let mut engine = MultiEngine::builder()
+            .spec(FusionSpec::all_equal())
+            .config(multi_cfg.clone())
+            .references(refs)
+            .build()
+            .expect("valid engine configuration");
+        let mut decisions = 0usize;
+        for frame in &engine_frames {
+            decisions += engine.observe(frame).expect("in-order frame").len();
+        }
+        decisions += engine.finish().expect("first finish").len();
+        std::hint::black_box(decisions);
+    }) / engine_frames.len() as f64;
+    let multi_engine_ingest_fps = 1e9 / multi_engine_ingest_ns;
+    // How many single-parameter engines one fused pass costs; five
+    // independent engines would sit at 5.0.
+    let multi_vs_single = multi_engine_ingest_ns / engine_ingest_ns;
+
     let match_speedup = naive_ns / matrix_ns;
     let tile_speedup = matvec8_ns / tile_ns;
     let kernel_speedup = dot_f64_ns / dot_f32_ns;
     let batch_speedup = serial_ns / parallel_ns;
     let mut json = String::from("{\n");
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let _ = writeln!(json, "  \"schema\": \"wifiprint-bench-snapshot-v3\",");
+    let _ = writeln!(json, "  \"schema\": \"wifiprint-bench-snapshot-v4\",");
     let _ = writeln!(json, "  \"cpus\": {cpus},");
     let _ = writeln!(json, "  \"kernel\": \"{}\",", kernel::active());
     let _ = writeln!(json, "  \"reference_devices\": 256,");
@@ -224,7 +285,11 @@ fn main() {
     let _ = writeln!(json, "  \"engine_window_secs\": 1,");
     let _ = writeln!(json, "  \"engine_frames\": {},", engine_frames.len());
     let _ = writeln!(json, "  \"engine_ingest_ns_per_frame\": {engine_ingest_ns:.0},");
-    let _ = writeln!(json, "  \"engine_ingest_fps\": {engine_ingest_fps:.0}");
+    let _ = writeln!(json, "  \"engine_ingest_fps\": {engine_ingest_fps:.0},");
+    let _ = writeln!(json, "  \"multi_engine_parameters\": 5,");
+    let _ = writeln!(json, "  \"multi_engine_ingest_ns_per_frame\": {multi_engine_ingest_ns:.0},");
+    let _ = writeln!(json, "  \"multi_engine_ingest_fps\": {multi_engine_ingest_fps:.0},");
+    let _ = writeln!(json, "  \"multi_vs_single_frame_cost\": {multi_vs_single:.2}");
     json.push('}');
 
     std::fs::write(&out_path, &json).expect("write snapshot");
@@ -249,5 +314,23 @@ fn main() {
             "perf check ok: match_matrix_ns {matrix_ns:.0} within {:.0}% of baseline {baseline_matrix:.0}",
             REGRESSION_BUDGET * 100.0
         );
+        // Pre-v4 baselines carry no multi-engine number; the matrix
+        // gate above still applies.
+        if let Some(baseline_fps) = read_field(&baseline, "multi_engine_ingest_fps") {
+            let floor = baseline_fps * (1.0 - REGRESSION_BUDGET);
+            if multi_engine_ingest_fps < floor {
+                eprintln!(
+                    "PERF REGRESSION: multi_engine_ingest_fps {multi_engine_ingest_fps:.0} \
+                     below {floor:.0} (baseline {baseline_fps:.0} - {:.0}%)",
+                    REGRESSION_BUDGET * 100.0
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "perf check ok: multi_engine_ingest_fps {multi_engine_ingest_fps:.0} within \
+                 {:.0}% of baseline {baseline_fps:.0}",
+                REGRESSION_BUDGET * 100.0
+            );
+        }
     }
 }

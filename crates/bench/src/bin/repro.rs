@@ -319,16 +319,18 @@ fn print_fusion(opts: &Options) {
     println!("\n== §VIII future work: combining network parameters ==");
     let cfg = wifiprint_analysis::PipelineConfig::short_trace();
     let mut single = StreamingEvaluator::new(&cfg).expect("valid pipeline configuration");
-    let mut trio = FusionEvaluator::new(&cfg, FusionSpec::timing_trio());
-    let mut all5 = FusionEvaluator::new(&cfg, FusionSpec::all_equal());
+    let mut trio =
+        FusionEvaluator::new(&cfg, FusionSpec::timing_trio()).expect("valid fusion spec");
+    let mut all5 =
+        FusionEvaluator::new(&cfg, FusionSpec::all_equal()).expect("valid fusion spec");
     OfficeScenario::office2(opts.seed).run_streaming(&mut |f| {
         single.push(f);
         trio.push(f);
         all5.push(f);
     });
     let single = single.finish().expect("engine run");
-    let trio = trio.finish();
-    let all5 = all5.finish();
+    let trio = trio.finish().expect("engine run");
+    let all5 = all5.finish().expect("engine run");
     let mut cols: Vec<Vec<String>> = vec![
         vec!["Matcher".into()],
         vec!["AUC".into()],

@@ -11,6 +11,18 @@
 //! window at a time, with one reused [`MatchScratch`] — no end-of-trace
 //! sweep and no whole-trace buffering.
 //!
+//! `Engine` runs **one** network parameter. The paper's headline results
+//! combine all five, and [`MultiEngine`] is the production entry point
+//! for that: a single fused frame parse ([`crate::FusedExtractor`])
+//! feeding all five parameters on one shared window clock, with
+//! per-parameter *and* fused (weighted-average) scores per event — see
+//! the [`multi`] module docs.
+//!
+//! Both engines are frame-driven *and* clock-driven: windows normally
+//! seal when a later frame arrives, and [`Engine::advance_to`] /
+//! [`Engine::tick`] seal them on wall clock instead, so a channel that
+//! goes quiet cannot stall the final decision.
+//!
 //! # Lifecycle
 //!
 //! An engine is in one of three phases ([`EnginePhase`]):
@@ -66,6 +78,10 @@
 //! let matches = events.iter().filter(|e| matches!(e, Event::Match { .. })).count();
 //! assert!(matches >= 3, "one match per closed detection window");
 //! ```
+
+pub mod multi;
+
+pub use multi::{MultiConfig, MultiEngine, MultiEngineBuilder, MultiEvent, ParameterDecision};
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -430,6 +446,81 @@ impl Engine {
             events.append(&mut self.observe(frame)?);
         }
         Ok(events)
+    }
+
+    /// Advances the engine's clock to wall-clock time `t` **without a
+    /// frame** — the event-driven close for quiet channels. Windows
+    /// normally seal when a *later frame* arrives; on a silent channel
+    /// that later frame may never come, stalling the open window's
+    /// decision indefinitely. `advance_to(t)` asserts that the capture
+    /// clock has reached `t` (same clock domain as the frame timestamps)
+    /// and emits exactly the events a frame at `t` would have triggered,
+    /// minus the frame: the training phase ends when `t` passes its
+    /// boundary, and an open detection window whose end lies at or
+    /// before `t` seals and scores.
+    ///
+    /// A tick at or before the newest frame's timestamp is a no-op
+    /// (monitor wall clocks may lag the capture path slightly); a tick
+    /// *ahead* of the stream advances the monotonicity floor, so frames
+    /// older than `t` are subsequently rejected as
+    /// [`EngineError::NonMonotonicFrame`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Finished`] after [`Engine::finish`], or
+    /// [`EngineError::Core`] from ending the training phase.
+    pub fn advance_to(&mut self, t: Nanos) -> Result<Vec<Event>, EngineError> {
+        if matches!(self.phase, Phase::Finished { .. }) {
+            return Err(EngineError::Finished);
+        }
+        let mut events = Vec::new();
+        if self.last_t.is_some_and(|last| t <= last) {
+            return Ok(events);
+        }
+        self.last_t = Some(t);
+        if let Phase::Training { duration, .. } = &self.phase {
+            // The training boundary is anchored at the first frame; with
+            // no frame yet there is nothing the clock can conclude.
+            let Some(origin) = self.origin else { return Ok(events) };
+            if t.saturating_sub(origin) < *duration {
+                return Ok(events);
+            }
+            self.end_training(&mut events)?;
+        }
+        let Phase::Detecting { db, windows } = &mut self.phase else {
+            unreachable!("advance_to handled Training and Finished above");
+        };
+        if let Some(sealed) = windows.advance_to(t) {
+            let candidates = windows.drain_sealed();
+            let window = SealedWindowArgs { db, cfg: &self.cfg, score_unknown: self.score_unknown };
+            close_window(&window, &mut self.scratch, sealed, candidates, &mut events);
+            self.windows_closed += 1;
+        }
+        Ok(events)
+    }
+
+    /// Forces a decision on the still-open detection window *now*:
+    /// advances the clock to the window's own end (see
+    /// [`Engine::advance_to`]), sealing and scoring it immediately. A
+    /// no-op while training (the training boundary needs a wall-clock
+    /// timestamp, which a bare tick does not carry) or when no window is
+    /// open.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Finished`] after [`Engine::finish`].
+    pub fn tick(&mut self) -> Result<Vec<Event>, EngineError> {
+        if matches!(self.phase, Phase::Finished { .. }) {
+            return Err(EngineError::Finished);
+        }
+        let end = match &self.phase {
+            Phase::Detecting { windows, .. } => windows.current_end(),
+            _ => None,
+        };
+        match end {
+            Some(t) => self.advance_to(t),
+            None => Ok(Vec::new()),
+        }
     }
 
     /// Ends the session: seals the still-open trailing window (emitting
@@ -881,6 +972,112 @@ mod tests {
             Engine::builder().config(c.clone()).reference(reference_db(&c)).build().unwrap();
         assert!(idle.finish().unwrap().is_empty());
         assert_eq!(idle.windows_closed(), 0);
+    }
+
+    #[test]
+    fn advance_to_closes_a_window_exactly_like_a_later_frame() {
+        // Streaming == batch parity, extended to tick-driven closes: a
+        // bare advance_to(t) must emit the same sealed-window events a
+        // frame at t would have (minus the frame's own contribution).
+        let c = cfg(1, 5);
+        let db = reference_db(&c);
+        let mut by_frame =
+            Engine::builder().config(c.clone()).reference(db.snapshot()).build().unwrap();
+        let mut by_tick =
+            Engine::builder().config(c.clone()).reference(db.snapshot()).build().unwrap();
+        for i in 0..10u64 {
+            let f = frame(1, 1_000 + i * 10_000, 176);
+            assert!(by_frame.observe(&f).unwrap().is_empty());
+            assert!(by_tick.observe(&f).unwrap().is_empty());
+        }
+        let later = Nanos::from_micros(2_500_000);
+        let frame_events = by_frame.observe(&frame(2, 2_500_000, 176)).unwrap();
+        let tick_events = by_tick.advance_to(later).unwrap();
+        assert_eq!(frame_events.len(), tick_events.len());
+        for (a, b) in frame_events.iter().zip(&tick_events) {
+            match (a, b) {
+                (
+                    Event::Match { window: wa, device: da, view: va },
+                    Event::Match { window: wb, device: db_, view: vb },
+                ) => {
+                    assert_eq!((wa, da), (wb, db_));
+                    assert_eq!(va.similarities(), vb.similarities());
+                }
+                (Event::WindowClosed { window: wa, .. }, Event::WindowClosed { window: wb, .. }) => {
+                    assert_eq!(wa, wb);
+                }
+                other => panic!("tick-driven close diverged: {other:?}"),
+            }
+        }
+        assert_eq!(by_tick.windows_closed(), 1);
+        // The tick advanced the monotonicity floor...
+        assert!(matches!(
+            by_tick.observe(&frame(1, 2_000_000, 176)),
+            Err(EngineError::NonMonotonicFrame { .. })
+        ));
+        // ...a repeat tick is a no-op, and finish() does not re-close
+        // the already-sealed trailing window.
+        assert!(by_tick.advance_to(later).unwrap().is_empty());
+        assert!(by_tick.finish().unwrap().is_empty());
+    }
+
+    #[test]
+    fn advance_to_ends_an_elapsed_training_phase() {
+        let c = cfg(1, 5);
+        let mut engine =
+            Engine::builder().config(c).train_for(Nanos::from_secs(2)).build().unwrap();
+        for i in 0..20u64 {
+            engine.observe(&frame(1, 1_000 + i * 50_000, 300)).unwrap();
+        }
+        assert_eq!(engine.phase(), EnginePhase::Training);
+        // Before the boundary: still training. After: enrollment fires
+        // from the clock alone, with no frame needed.
+        assert!(engine.advance_to(Nanos::from_millis(1_500)).unwrap().is_empty());
+        assert_eq!(engine.phase(), EnginePhase::Training);
+        let events = engine.advance_to(Nanos::from_secs(3)).unwrap();
+        assert_eq!(engine.phase(), EnginePhase::Detecting);
+        assert!(matches!(&events[0], Event::Enrolled { device, observations: 20 }
+            if *device == MacAddr::from_index(1)));
+    }
+
+    #[test]
+    fn tick_forces_the_pending_window_decision() {
+        let c = cfg(1, 5);
+        let mut engine =
+            Engine::builder().config(c.clone()).reference(reference_db(&c)).build().unwrap();
+        assert!(engine.tick().unwrap().is_empty(), "no open window yet");
+        for i in 0..10u64 {
+            engine.observe(&frame(1, 1_000 + i * 10_000, 176)).unwrap();
+        }
+        let events = engine.tick().unwrap();
+        assert!(matches!(&events[0], Event::Match { window: 0, device, .. }
+            if *device == MacAddr::from_index(1)));
+        assert!(engine.tick().unwrap().is_empty(), "nothing further to seal");
+        assert_eq!(engine.windows_closed(), 1);
+    }
+
+    #[test]
+    fn finish_scores_the_trailing_partial_window() {
+        // Regression (quiet-channel fix): frames in a window that never
+        // saw a successor still produce their Match decision at
+        // finish(), score and all.
+        let c = cfg(1, 5);
+        let db = reference_db(&c);
+        let mut engine =
+            Engine::builder().config(c.clone()).reference(db.snapshot()).build().unwrap();
+        for i in 0..10u64 {
+            assert!(engine.observe(&frame(1, 1_000 + i * 10_000, 176)).unwrap().is_empty());
+        }
+        let tail = engine.finish().unwrap();
+        let Event::Match { window: 0, device, view } = &tail[0] else {
+            panic!("expected a scored trailing-window Match, got {tail:?}");
+        };
+        assert_eq!(*device, MacAddr::from_index(1));
+        assert_eq!(view.best().unwrap().0, MacAddr::from_index(1));
+        assert!(matches!(
+            tail[1],
+            Event::WindowClosed { window: 0, candidates: 1, known: 1, unknown: 0 }
+        ));
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! Multi-parameter score fusion — combining the five per-parameter
+//! similarity vectors into one decision.
+//!
+//! The paper's stated future work (§VIII: *"future work should also
+//! investigate whether the fingerprinting method can be improved by
+//! combining several network parameters"*) is where passive
+//! fingerprinting wins in practice: a device pair indistinguishable on
+//! frame size alone may separate cleanly on inter-arrival time, and vice
+//! versa. [`FusionSpec`] names the parameters to combine and their
+//! weights; [`fuse_outcomes`] folds per-parameter [`MatchOutcome`]s into
+//! one [`FusedOutcome`] by weighted averaging over a common device set.
+//!
+//! This module is the *online* port of what the analysis crate's
+//! `fusion` evaluator used to do offline at end-of-trace: the
+//! [`MultiEngine`](crate::engine::MultiEngine) calls [`fuse_outcomes`]
+//! per candidate the moment each detection window closes, so fused
+//! decisions stream out with the same latency as single-parameter ones.
+
+use wifiprint_ieee80211::MacAddr;
+
+use crate::error::CoreError;
+use crate::matching::{best_of, top_of, MatchOutcome};
+use crate::params::NetworkParameter;
+
+/// A weighted set of network parameters to fuse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusionSpec {
+    /// `(parameter, weight)` pairs; weights need not be normalised.
+    pub parameters: Vec<(NetworkParameter, f64)>,
+}
+
+impl FusionSpec {
+    /// The combination the paper's results suggest: the three timing
+    /// parameters that lead its rankings, equally weighted.
+    pub fn timing_trio() -> Self {
+        FusionSpec {
+            parameters: vec![
+                (NetworkParameter::InterArrivalTime, 1.0),
+                (NetworkParameter::TransmissionTime, 1.0),
+                (NetworkParameter::MediumAccessTime, 1.0),
+            ],
+        }
+    }
+
+    /// All five parameters, equally weighted.
+    pub fn all_equal() -> Self {
+        FusionSpec {
+            parameters: NetworkParameter::ALL.iter().map(|&p| (p, 1.0)).collect(),
+        }
+    }
+
+    /// A single-parameter "fusion" — useful for driving the
+    /// [`MultiEngine`](crate::engine::MultiEngine) as a drop-in for one
+    /// single-parameter engine.
+    pub fn single(parameter: NetworkParameter) -> Self {
+        FusionSpec { parameters: vec![(parameter, 1.0)] }
+    }
+
+    /// An equally weighted spec over an explicit parameter list.
+    pub fn equal_weights(parameters: impl IntoIterator<Item = NetworkParameter>) -> Self {
+        FusionSpec { parameters: parameters.into_iter().map(|p| (p, 1.0)).collect() }
+    }
+
+    /// The parameters named by the spec, in spec order.
+    pub fn parameters(&self) -> impl Iterator<Item = NetworkParameter> + '_ {
+        self.parameters.iter().map(|&(p, _)| p)
+    }
+
+    /// Number of fused parameters.
+    pub fn len(&self) -> usize {
+        self.parameters.len()
+    }
+
+    /// `true` for a spec with no parameters (always invalid).
+    pub fn is_empty(&self) -> bool {
+        self.parameters.is_empty()
+    }
+
+    /// Checks that the spec can drive a fusion at all.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for an empty spec, a duplicated
+    /// parameter, a non-finite or negative weight, or an all-zero weight
+    /// vector (the fused score would be 0/0).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.parameters.is_empty() {
+            return Err(CoreError::InvalidConfig { reason: "fusion spec names no parameters" });
+        }
+        for (i, &(p, w)) in self.parameters.iter().enumerate() {
+            if self.parameters[..i].iter().any(|&(q, _)| q == p) {
+                return Err(CoreError::InvalidConfig {
+                    reason: "fusion spec repeats a parameter",
+                });
+            }
+            if !w.is_finite() || w < 0.0 {
+                return Err(CoreError::InvalidConfig {
+                    reason: "fusion weights must be finite and non-negative",
+                });
+            }
+        }
+        if self.parameters.iter().all(|&(_, w)| w == 0.0) {
+            return Err(CoreError::InvalidConfig { reason: "fusion weights sum to zero" });
+        }
+        Ok(())
+    }
+
+    /// Sum of the weights, floored away from zero so normalisation is
+    /// always defined.
+    pub(crate) fn weight_sum(&self) -> f64 {
+        self.parameters.iter().map(|&(_, w)| w).sum::<f64>().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// One candidate's **fused** similarity vector: the weighted average of
+/// its per-parameter similarities, over the devices enrolled for *every*
+/// fused parameter.
+///
+/// The same shape as a per-parameter [`MatchOutcome`] (ascending device
+/// order), so downstream consumers — threshold tests, argmax
+/// identification, top-k ranking — treat fused and single-parameter
+/// scores uniformly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedOutcome {
+    similarities: Vec<(MacAddr, f64)>,
+}
+
+impl FusedOutcome {
+    /// The fused similarity per reference device, ascending address
+    /// order.
+    pub fn similarities(&self) -> &[(MacAddr, f64)] {
+        &self.similarities
+    }
+
+    /// The fused similarity to one reference device.
+    pub fn similarity_to(&self, device: &MacAddr) -> Option<f64> {
+        self.similarities
+            .binary_search_by(|(d, _)| d.cmp(device))
+            .ok()
+            .map(|i| self.similarities[i].1)
+    }
+
+    /// The best-scoring reference (ties break toward the lower address) —
+    /// the identification-test argmax over the fused score.
+    pub fn best(&self) -> Option<(MacAddr, f64)> {
+        best_of(&self.similarities)
+    }
+
+    /// The `k` best-scoring references, descending (ties toward lower
+    /// addresses) — partial selection, like
+    /// [`MatchOutcome::top`](crate::MatchOutcome::top).
+    pub fn top(&self, k: usize) -> Vec<(MacAddr, f64)> {
+        top_of(&self.similarities, k)
+    }
+
+    /// Every reference whose fused similarity reaches `threshold` — the
+    /// similarity-test set.
+    pub fn above_threshold(&self, threshold: f64) -> impl Iterator<Item = (MacAddr, f64)> + '_ {
+        self.similarities.iter().copied().filter(move |&(_, s)| s >= threshold)
+    }
+}
+
+/// Fuses per-parameter similarity vectors into one [`FusedOutcome`] over
+/// `devices` (the devices enrolled for every fused parameter, ascending
+/// address order).
+///
+/// `outcomes` must be aligned with `spec.parameters` (one outcome per
+/// spec entry, same order); owned outcomes and borrows both work, like
+/// [`ReferenceDb::match_tile`](crate::ReferenceDb::match_tile)'s
+/// candidates. Per device, the fused score is `Σᵢ wᵢ·simᵢ / Σᵢ wᵢ`; a
+/// device absent from one parameter's vector contributes 0 for that
+/// parameter — though with `devices` restricted to the common enrolled
+/// set, every device is present in every vector.
+pub fn fuse_outcomes<O: std::borrow::Borrow<MatchOutcome>>(
+    spec: &FusionSpec,
+    outcomes: &[O],
+    devices: &[MacAddr],
+) -> FusedOutcome {
+    debug_assert_eq!(spec.parameters.len(), outcomes.len(), "one outcome per fused parameter");
+    let weight_sum = spec.weight_sum();
+    let similarities = devices
+        .iter()
+        .map(|&device| {
+            let fused: f64 = spec
+                .parameters
+                .iter()
+                .zip(outcomes)
+                .map(|(&(_, w), outcome)| {
+                    w * outcome.borrow().similarity_to(&device).unwrap_or(0.0) / weight_sum
+                })
+                .sum();
+            (device, fused)
+        })
+        .collect();
+    FusedOutcome { similarities }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EvalConfig;
+    use crate::matching::ReferenceDb;
+    use crate::signature::Signature;
+    use crate::similarity::SimilarityMeasure;
+    use wifiprint_ieee80211::FrameKind;
+
+    #[test]
+    fn specs_have_expected_shapes() {
+        assert_eq!(FusionSpec::timing_trio().len(), 3);
+        assert_eq!(FusionSpec::all_equal().len(), 5);
+        assert_eq!(FusionSpec::single(NetworkParameter::FrameSize).len(), 1);
+        assert!(!FusionSpec::all_equal().is_empty());
+        for spec in [FusionSpec::timing_trio(), FusionSpec::all_equal()] {
+            spec.validate().expect("built-in specs validate");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_specs() {
+        let empty = FusionSpec { parameters: vec![] };
+        assert!(empty.validate().is_err());
+        let dup = FusionSpec::equal_weights([
+            NetworkParameter::FrameSize,
+            NetworkParameter::FrameSize,
+        ]);
+        assert!(dup.validate().is_err());
+        let negative = FusionSpec {
+            parameters: vec![(NetworkParameter::FrameSize, -1.0)],
+        };
+        assert!(negative.validate().is_err());
+        let nan = FusionSpec {
+            parameters: vec![(NetworkParameter::FrameSize, f64::NAN)],
+        };
+        assert!(nan.validate().is_err());
+        let zero = FusionSpec {
+            parameters: vec![
+                (NetworkParameter::FrameSize, 0.0),
+                (NetworkParameter::InterArrivalTime, 0.0),
+            ],
+        };
+        assert!(zero.validate().is_err());
+    }
+
+    fn outcome_for(values: &[(u64, f64)]) -> MatchOutcome {
+        // Builds a real MatchOutcome by matching size-signatures tuned to
+        // produce the wanted per-device similarity ranking is overkill;
+        // instead go through a ReferenceDb with one shared candidate and
+        // read similarities directly where exact values matter below.
+        // Here we only need *a* MatchOutcome carrier, so use the matching
+        // path with self-similar signatures and then assert on fused
+        // arithmetic with hand-built vectors via fuse_outcomes.
+        let cfg = EvalConfig::for_parameter(NetworkParameter::FrameSize);
+        let mut db = ReferenceDb::new();
+        for &(idx, center) in values {
+            let mut sig = Signature::new();
+            for _ in 0..20 {
+                sig.record(FrameKind::Data, center, &cfg);
+            }
+            db.insert(MacAddr::from_index(idx), sig).unwrap();
+        }
+        let mut probe = Signature::new();
+        for _ in 0..20 {
+            probe.record(FrameKind::Data, values[0].1, &cfg);
+        }
+        db.match_signature(&probe, SimilarityMeasure::Cosine)
+    }
+
+    #[test]
+    fn fuse_outcomes_averages_with_weights() {
+        // Two parameters, weights 3 and 1. Parameter A scores d1=1.0
+        // (self-match) and d2=0.0 (disjoint bins); parameter B is the
+        // mirror image, so fused(d1)=0.75, fused(d2)=0.25.
+        let a = outcome_for(&[(1, 100.0), (2, 2000.0)]);
+        let b = outcome_for(&[(2, 100.0), (1, 2000.0)]);
+        let spec = FusionSpec {
+            parameters: vec![
+                (NetworkParameter::FrameSize, 3.0),
+                (NetworkParameter::InterArrivalTime, 1.0),
+            ],
+        };
+        let devices = [MacAddr::from_index(1), MacAddr::from_index(2)];
+        let fused = fuse_outcomes(&spec, &[a, b], &devices);
+        assert_eq!(fused.similarities().len(), 2);
+        assert!((fused.similarity_to(&devices[0]).unwrap() - 0.75).abs() < 1e-9);
+        assert!((fused.similarity_to(&devices[1]).unwrap() - 0.25).abs() < 1e-9);
+        assert_eq!(fused.best().unwrap().0, devices[0]);
+        assert_eq!(fused.top(1)[0].0, devices[0]);
+        assert_eq!(fused.above_threshold(0.5).count(), 1);
+        assert_eq!(fused.similarity_to(&MacAddr::from_index(9)), None);
+    }
+
+    #[test]
+    fn fuse_outcomes_restricts_to_the_common_device_set() {
+        // Parameter A knows devices 1 and 2; the fused set is just {1}.
+        let a = outcome_for(&[(1, 100.0), (2, 2000.0)]);
+        let spec = FusionSpec::single(NetworkParameter::FrameSize);
+        let fused = fuse_outcomes(&spec, &[a], &[MacAddr::from_index(1)]);
+        assert_eq!(fused.similarities().len(), 1);
+        assert!((fused.similarity_to(&MacAddr::from_index(1)).unwrap() - 1.0).abs() < 1e-6);
+    }
+}

@@ -28,17 +28,21 @@
 //!    **identification test** (argmax → identification ratio at a target
 //!    FPR).
 //!
-//! # The streaming engine
+//! # The streaming engines
 //!
-//! The production entry point is the [`engine`]: a builder-configured
-//! [`Engine`] ingests captured frames one at a time (online, the way a
-//! passive monitor sees them), learns or loads the reference database,
-//! and emits typed [`engine::Event`]s — [`engine::Event::Match`],
-//! [`engine::Event::NewDevice`], [`engine::Event::Enrolled`],
-//! [`engine::Event::WindowClosed`] — as detection windows close. The
-//! batch helpers above remain as the engine's building blocks; failures
-//! are typed ([`CoreError`] / [`engine::EngineError`]) rather than
-//! panics.
+//! The production entry point is the [`engine`] module. The fused
+//! [`MultiEngine`] extracts **all five** parameters from one header
+//! parse per frame ([`FusedExtractor`]), drives them off one shared
+//! window clock ([`WindowClock`]), and combines their per-parameter
+//! similarity vectors into a weighted-average fused score online
+//! ([`fusion`]) — emitting typed [`MultiEvent`]s
+//! ([`engine::MultiEvent::FusedMatch`],
+//! [`engine::MultiEvent::FusedNewDevice`]) as detection windows close,
+//! on traffic or on wall clock ([`MultiEngine::advance_to`] /
+//! [`MultiEngine::tick`]). The single-parameter [`Engine`] keeps the
+//! same shape for one-parameter deployments. The batch helpers above
+//! remain as the engines' building blocks; failures are typed
+//! ([`CoreError`] / [`engine::EngineError`]) rather than panics.
 //!
 //! # Example
 //!
@@ -103,6 +107,7 @@ mod config;
 mod db;
 pub mod engine;
 mod error;
+pub mod fusion;
 mod histogram;
 pub mod kernel;
 pub mod matching;
@@ -114,8 +119,12 @@ mod windows;
 
 pub use config::{default_bins, EvalConfig, FrameFilter, TxTimeEstimator};
 pub use db::{load_db, save_db, DbCodecError};
-pub use engine::{Engine, EngineBuilder, EngineError, EnginePhase, Event};
+pub use engine::{
+    Engine, EngineBuilder, EngineError, EnginePhase, Event, MultiConfig, MultiEngine,
+    MultiEngineBuilder, MultiEvent, ParameterDecision,
+};
 pub use error::CoreError;
+pub use fusion::{fuse_outcomes, FusedOutcome, FusionSpec};
 pub use histogram::{BinSpec, Histogram};
 pub use kernel::KernelKind;
 pub use matching::{
@@ -124,7 +133,10 @@ pub use matching::{
 pub use metrics::{
     evaluate, CurvePoint, EvalOutcome, IdentOperatingPoint, MatchSet, SimilarityCurve,
 };
-pub use params::{extract_all, NetworkParameter, Observation, ParameterExtractor};
+pub use params::{
+    extract_all, FusedExtractor, FusedObservation, NetworkParameter, Observation,
+    ParameterExtractor,
+};
 pub use signature::{Signature, SignatureBuilder};
 pub use similarity::SimilarityMeasure;
-pub use windows::{CandidateWindow, WindowedSignatures};
+pub use windows::{CandidateWindow, WindowClock, WindowedSignatures};

@@ -764,7 +764,7 @@ pub(crate) fn best_of(sims: &[(MacAddr, f64)]) -> Option<(MacAddr, f64)> {
     sims.iter().copied().min_by(rank_desc)
 }
 
-fn top_of(sims: &[(MacAddr, f64)], k: usize) -> Vec<(MacAddr, f64)> {
+pub(crate) fn top_of(sims: &[(MacAddr, f64)], k: usize) -> Vec<(MacAddr, f64)> {
     if k == 0 || sims.is_empty() {
         return Vec::new();
     }

@@ -27,14 +27,29 @@ pub enum NetworkParameter {
 }
 
 impl NetworkParameter {
+    /// How many network parameters the paper defines.
+    pub const COUNT: usize = 5;
+
     /// All five parameters, in the paper's presentation order.
-    pub const ALL: [NetworkParameter; 5] = [
+    pub const ALL: [NetworkParameter; NetworkParameter::COUNT] = [
         NetworkParameter::TransmissionRate,
         NetworkParameter::FrameSize,
         NetworkParameter::MediumAccessTime,
         NetworkParameter::TransmissionTime,
         NetworkParameter::InterArrivalTime,
     ];
+
+    /// This parameter's position in [`NetworkParameter::ALL`] — the slot
+    /// a [`FusedObservation`] stores its value under.
+    pub const fn index(self) -> usize {
+        match self {
+            NetworkParameter::TransmissionRate => 0,
+            NetworkParameter::FrameSize => 1,
+            NetworkParameter::MediumAccessTime => 2,
+            NetworkParameter::TransmissionTime => 3,
+            NetworkParameter::InterArrivalTime => 4,
+        }
+    }
 
     /// Human-readable name matching the paper's tables.
     pub const fn label(self) -> &'static str {
@@ -206,6 +221,139 @@ fn micros_between(earlier: Nanos, later: Nanos) -> f64 {
     later.saturating_sub(earlier).as_micros_f64()
 }
 
+/// All five parameter values extracted from one captured frame — the
+/// output of [`FusedExtractor::push`].
+///
+/// Values are indexed by [`NetworkParameter::index`]; a `None` slot means
+/// the parameter was not computable for this frame (the history-based
+/// parameters need a predecessor). The rate, size and transmission-time
+/// slots are always populated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusedObservation {
+    /// The transmitting device `sᵢ`.
+    pub device: MacAddr,
+    /// The frame type the observations are grouped under.
+    pub kind: FrameKind,
+    /// End-of-reception time of the observed frame.
+    pub t_end: Nanos,
+    /// Parameter values, indexed by [`NetworkParameter::index`].
+    pub values: [Option<f64>; NetworkParameter::COUNT],
+}
+
+impl FusedObservation {
+    /// The value extracted for one parameter, if computable.
+    pub fn value(&self, param: NetworkParameter) -> Option<f64> {
+        self.values[param.index()]
+    }
+
+    /// Projects one parameter's slot into a standalone [`Observation`] —
+    /// exactly what a single-parameter [`ParameterExtractor`] would have
+    /// produced for this frame.
+    pub fn observation(&self, param: NetworkParameter) -> Option<Observation> {
+        self.value(param).map(|value| Observation {
+            device: self.device,
+            kind: self.kind,
+            value,
+            t_end: self.t_end,
+        })
+    }
+}
+
+/// Streaming extractor producing **all five** parameter observations from
+/// a single pass over each captured frame.
+///
+/// The per-parameter [`ParameterExtractor`]s each keep their own
+/// previous-frame timestamp and re-derive the shared quantities (the gap
+/// to the predecessor, the transmission-time estimate) per parameter.
+/// Running five of them — as the pre-`MultiEngine` pipeline did — parses
+/// every frame five times. `FusedExtractor` keeps **one** timing history
+/// and computes every parameter from it in one shot; a property test pins
+/// its output to the five independent extractors, parameter by parameter.
+///
+/// Attribution rules are identical to [`ParameterExtractor`]: anonymous
+/// frames (ACK, CTS) and filtered-out frames yield no observation but
+/// still advance the previous-frame timestamp.
+///
+/// # Example
+///
+/// ```
+/// use wifiprint_core::{FusedExtractor, NetworkParameter};
+/// use wifiprint_radiotap::CapturedFrame;
+/// use wifiprint_ieee80211::{Frame, MacAddr, Nanos, Rate};
+///
+/// let sta = MacAddr::from_index(1);
+/// let ap = MacAddr::from_index(9);
+/// let mut ex = FusedExtractor::new();
+///
+/// let data = Frame::data_to_ds(sta, ap, ap, 100);
+/// let f0 = CapturedFrame::from_frame(&data, Rate::R54M, Nanos::from_micros(1000), -40);
+/// let f1 = CapturedFrame::from_frame(&data, Rate::R54M, Nanos::from_micros(1800), -40);
+///
+/// let first = ex.push(&f0).expect("known sender");
+/// assert!(first.value(NetworkParameter::TransmissionRate).is_some());
+/// assert!(first.value(NetworkParameter::InterArrivalTime).is_none()); // no history yet
+/// let second = ex.push(&f1).expect("known sender");
+/// assert_eq!(second.value(NetworkParameter::InterArrivalTime), Some(800.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FusedExtractor {
+    estimator: TxTimeEstimator,
+    filter: FrameFilter,
+    prev_t_end: Option<Nanos>,
+}
+
+impl Default for FusedExtractor {
+    fn default() -> Self {
+        FusedExtractor::new()
+    }
+}
+
+impl FusedExtractor {
+    /// A fused extractor with the paper's defaults (size/rate
+    /// transmission-time estimator, no frame filtering).
+    pub fn new() -> Self {
+        Self::with_options(TxTimeEstimator::SizeOverRate, FrameFilter::default())
+    }
+
+    /// A fused extractor with an explicit estimator and frame filter.
+    ///
+    /// The filter and estimator are shared by all five parameters — the
+    /// point of fusing is that one decision per frame covers every
+    /// projection of it.
+    pub fn with_options(estimator: TxTimeEstimator, filter: FrameFilter) -> Self {
+        FusedExtractor { estimator, filter, prev_t_end: None }
+    }
+
+    /// Processes the next captured frame, returning all computable
+    /// parameter values when the frame has a known sender and passes the
+    /// filter.
+    pub fn push(&mut self, frame: &CapturedFrame) -> Option<FusedObservation> {
+        let prev = self.prev_t_end.replace(frame.t_end);
+        let sender = frame.transmitter?;
+        if !self.filter.matches(frame) {
+            return None;
+        }
+        // The shared quantities each single-parameter extractor would
+        // re-derive: one transmission-time estimate, one predecessor gap.
+        let tx_time = self.estimator.tx_time_micros(frame);
+        let gap = prev.map(|p| micros_between(p, frame.t_end));
+        let mut values = [None; NetworkParameter::COUNT];
+        values[NetworkParameter::TransmissionRate.index()] = Some(frame.rate.mbps());
+        values[NetworkParameter::FrameSize.index()] = Some(frame.size as f64);
+        values[NetworkParameter::TransmissionTime.index()] = Some(tx_time);
+        values[NetworkParameter::InterArrivalTime.index()] = gap;
+        values[NetworkParameter::MediumAccessTime.index()] = gap.map(|g| g - tx_time);
+        Some(FusedObservation { device: sender, kind: frame.kind, t_end: frame.t_end, values })
+    }
+
+    /// Forgets the previous-frame timestamp (e.g. at a capture gap, or at
+    /// the training → detection hand-over where the single-parameter path
+    /// starts a fresh extractor).
+    pub fn reset_history(&mut self) {
+        self.prev_t_end = None;
+    }
+}
+
 /// Convenience: runs an extractor over a whole capture, collecting all
 /// observations.
 pub fn extract_all<'a, I>(param: NetworkParameter, frames: I) -> Vec<Observation>
@@ -345,6 +493,70 @@ mod tests {
             assert!(!p.label().is_empty());
         }
         assert!("bogus".parse::<NetworkParameter>().is_err());
+    }
+
+    #[test]
+    fn parameter_indices_are_the_all_order() {
+        for (i, p) in NetworkParameter::ALL.into_iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn fused_extractor_matches_five_single_extractors_on_fig_1() {
+        // The paper's Fig. 1 sequence again, this time checking that the
+        // fused single-pass extraction projects to exactly what each
+        // standalone extractor reports (the property test in
+        // tests/proptests.rs covers arbitrary sequences).
+        let a = sta(1);
+        let c = sta(3);
+        let frames = [
+            data_frame(a, 1000, 500, Rate::R11M),
+            CapturedFrame::from_frame(&Frame::ack(a), Rate::R11M, Nanos::from_micros(1100), -50),
+            data_frame(a, 1500, 500, Rate::R11M),
+            CapturedFrame::from_frame(&Frame::ack(a), Rate::R11M, Nanos::from_micros(1600), -50),
+            CapturedFrame::from_frame(&Frame::rts(sta(9), c, 300), Rate::R2M, Nanos::from_micros(2000), -50),
+            CapturedFrame::from_frame(&Frame::cts(c, 200), Rate::R2M, Nanos::from_micros(2100), -50),
+        ];
+        let mut fused = FusedExtractor::new();
+        let mut singles: Vec<ParameterExtractor> =
+            NetworkParameter::ALL.into_iter().map(ParameterExtractor::new).collect();
+        for frame in &frames {
+            let got = fused.push(frame);
+            for (p, single) in NetworkParameter::ALL.into_iter().zip(&mut singles) {
+                let want = single.push(frame);
+                let projected = got.as_ref().and_then(|o| o.observation(p));
+                assert_eq!(projected, want, "{p} diverged on frame {frame:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_extractor_shares_the_filter_across_parameters() {
+        let a = sta(1);
+        let filter = FrameFilter { exclude_retries: true, ..FrameFilter::default() };
+        let mut ex = FusedExtractor::with_options(TxTimeEstimator::SizeOverRate, filter);
+        let f0 = data_frame(a, 1000, 100, Rate::R54M);
+        let mut retry = data_frame(a, 1500, 100, Rate::R54M);
+        retry.retry = true;
+        let f2 = data_frame(a, 2100, 100, Rate::R54M);
+        assert!(ex.push(&f0).is_some());
+        assert!(ex.push(&retry).is_none(), "retry filtered for every parameter at once");
+        let obs = ex.push(&f2).unwrap();
+        // History advanced past the filtered retry, as in the single path.
+        assert_eq!(obs.value(NetworkParameter::InterArrivalTime), Some(600.0));
+    }
+
+    #[test]
+    fn fused_reset_history_clears_the_shared_predecessor() {
+        let a = sta(1);
+        let mut ex = FusedExtractor::new();
+        ex.push(&data_frame(a, 1000, 100, Rate::R54M));
+        ex.reset_history();
+        let obs = ex.push(&data_frame(a, 1200, 100, Rate::R54M)).unwrap();
+        assert_eq!(obs.value(NetworkParameter::InterArrivalTime), None);
+        assert_eq!(obs.value(NetworkParameter::MediumAccessTime), None);
+        assert!(obs.value(NetworkParameter::FrameSize).is_some());
     }
 
     #[test]

@@ -25,12 +25,119 @@ pub struct CandidateWindow {
     pub signature: Signature,
 }
 
+/// The shared detection-window clock: maps timestamps to window indices
+/// and decides when the open window seals.
+///
+/// One clock can drive any number of per-parameter candidate builders —
+/// the [`MultiEngine`](crate::engine::MultiEngine) runs all five network
+/// parameters off a single `WindowClock`, and [`WindowedSignatures`]
+/// embeds one for the single-parameter path — so every consumer agrees on
+/// the same boundary rule: windows are anchored at the first observed
+/// frame, window `i` covers `[origin + i·len, origin + (i+1)·len)`
+/// (half-open on the right).
+///
+/// The clock advances on two inputs:
+///
+/// * [`WindowClock::observe`] — a frame's timestamp. The first frame
+///   anchors the clock; a frame landing past the open window's end seals
+///   it (and opens the frame's own window).
+/// * [`WindowClock::advance_to`] — a bare timestamp with **no frame**:
+///   the wall-clock statement "the capture clock has reached `t`". On a
+///   quiet channel this is the only way the final window's decision can
+///   be emitted before another frame happens to arrive.
+///
+/// A sealed window always contained at least one frame: `advance_to`
+/// leaves the clock *closed* (no open window) rather than opening an
+/// empty one, and the next frame re-opens at its own index.
+#[derive(Debug, Clone)]
+pub struct WindowClock {
+    window_len: u64,
+    origin: Option<Nanos>,
+    current: usize,
+    open: bool,
+}
+
+impl WindowClock {
+    /// A clock over windows of length `window` (clamped to ≥ 1 ns).
+    pub fn new(window: Nanos) -> Self {
+        WindowClock { window_len: window.as_nanos().max(1), origin: None, current: 0, open: false }
+    }
+
+    /// The window index a timestamp falls into, once the clock is
+    /// anchored.
+    fn index_of(&self, t: Nanos, origin: Nanos) -> usize {
+        (t.saturating_sub(origin).as_nanos() / self.window_len) as usize
+    }
+
+    /// Advances the clock to a frame at `t`, returning the index of the
+    /// window this frame sealed (the previously open window, when the
+    /// frame is the first to land past its end).
+    pub fn observe(&mut self, t: Nanos) -> Option<usize> {
+        let origin = *self.origin.get_or_insert(t);
+        let idx = self.index_of(t, origin);
+        if !self.open {
+            // First frame ever, or first frame after a tick-driven seal:
+            // open the frame's own window; nothing (further) to seal.
+            self.current = idx;
+            self.open = true;
+            return None;
+        }
+        if idx == self.current {
+            return None;
+        }
+        let closed = self.current;
+        self.current = idx;
+        Some(closed)
+    }
+
+    /// Advances the clock to wall-clock time `t` without a frame,
+    /// returning the index of the window this seals — exactly the window
+    /// a frame at `t` would have sealed. The clock is left closed; the
+    /// next frame opens its own window.
+    pub fn advance_to(&mut self, t: Nanos) -> Option<usize> {
+        let origin = self.origin?;
+        if !self.open || self.index_of(t, origin) <= self.current {
+            return None;
+        }
+        self.open = false;
+        Some(self.current)
+    }
+
+    /// Index of the currently open window, or `None` when no window is
+    /// open (before the first frame, or right after a tick-driven seal).
+    pub fn current_index(&self) -> Option<usize> {
+        self.open.then_some(self.current)
+    }
+
+    /// End of the currently open window (`origin + (i+1)·len`) — the
+    /// earliest timestamp whose [`WindowClock::advance_to`] seals it.
+    pub fn current_end(&self) -> Option<Nanos> {
+        let origin = self.origin?;
+        self.open.then(|| {
+            Nanos::from_nanos(
+                origin
+                    .as_nanos()
+                    .saturating_add((self.current as u64 + 1).saturating_mul(self.window_len)),
+            )
+        })
+    }
+
+    /// Seals the currently open window unconditionally (stream end),
+    /// returning its index.
+    pub fn finish(&mut self) -> Option<usize> {
+        let closed = self.current_index();
+        self.open = false;
+        closed
+    }
+}
+
 /// Streaming builder of per-window candidate signatures.
 ///
 /// Frames must be pushed in capture order. Windows are anchored at the
-/// first frame's timestamp. Inter-arrival history is carried *across*
-/// window boundaries (the monitor sees one continuous channel), but each
-/// observation is attributed to the window containing its frame.
+/// first frame's timestamp (one shared [`WindowClock`]). Inter-arrival
+/// history is carried *across* window boundaries (the monitor sees one
+/// continuous channel), but each observation is attributed to the window
+/// containing its frame.
 ///
 /// # Example
 ///
@@ -58,8 +165,7 @@ pub struct CandidateWindow {
 pub struct WindowedSignatures {
     cfg: EvalConfig,
     extractor: ParameterExtractor,
-    origin: Option<Nanos>,
-    current_window: usize,
+    clock: WindowClock,
     current: BTreeMap<MacAddr, Signature>,
     finished: Vec<CandidateWindow>,
 }
@@ -69,14 +175,13 @@ impl WindowedSignatures {
     /// length and minimum observation count.
     pub fn new(cfg: &EvalConfig) -> Self {
         WindowedSignatures {
-            cfg: cfg.clone(),
             extractor: ParameterExtractor::with_options(
                 cfg.parameter,
                 cfg.estimator,
                 cfg.filter.clone(),
             ),
-            origin: None,
-            current_window: 0,
+            clock: WindowClock::new(cfg.window),
+            cfg: cfg.clone(),
             current: BTreeMap::new(),
             finished: Vec::new(),
         }
@@ -95,21 +200,28 @@ impl WindowedSignatures {
     /// streaming consumers (the [`engine`](crate::engine)) retrieve them
     /// incrementally with [`WindowedSignatures::drain_sealed`] instead.
     pub fn push(&mut self, frame: &CapturedFrame) -> Option<usize> {
-        let origin = *self.origin.get_or_insert(frame.t_end);
-        let window_len = self.cfg.window.as_nanos().max(1);
-        // A frame exactly on a boundary (`t = origin + i·window`) belongs
-        // to window `i`: the covered interval is half-open on the right.
-        let idx = (frame.t_end.saturating_sub(origin).as_nanos() / window_len) as usize;
-        let sealed = if idx == self.current_window {
-            None
-        } else {
-            let closed = self.current_window;
-            self.seal_current();
-            self.current_window = idx;
-            Some(closed)
-        };
+        let sealed = self.clock.observe(frame.t_end);
+        if let Some(window) = sealed {
+            self.seal(window);
+        }
         if let Some(obs) = self.extractor.push(frame) {
             self.current.entry(obs.device).or_default().record(obs.kind, obs.value, &self.cfg);
+        }
+        sealed
+    }
+
+    /// Advances the window clock to wall-clock time `t` **without a
+    /// frame** (see [`WindowClock::advance_to`]): when `t` lies past the
+    /// open window's end, the window seals exactly as a frame at `t`
+    /// would have sealed it, and its candidates become available to
+    /// [`WindowedSignatures::drain_sealed`] / the final
+    /// [`WindowedSignatures::finish`]. On a quiet channel this is how a
+    /// consumer gets the last window's candidates without waiting for
+    /// traffic that may never come.
+    pub fn advance_to(&mut self, t: Nanos) -> Option<usize> {
+        let sealed = self.clock.advance_to(t);
+        if let Some(window) = sealed {
+            self.seal(window);
         }
         sealed
     }
@@ -121,9 +233,8 @@ impl WindowedSignatures {
         }
     }
 
-    fn seal_current(&mut self) {
+    fn seal(&mut self, window: usize) {
         let min = self.cfg.min_observations;
-        let window = self.current_window;
         for (device, signature) in std::mem::take(&mut self.current) {
             if signature.observation_count() >= min {
                 self.finished.push(CandidateWindow { index: window, device, signature });
@@ -131,10 +242,17 @@ impl WindowedSignatures {
         }
     }
 
-    /// Index of the still-open window, or `None` before any frame has
-    /// been pushed (there is no window to speak of yet).
+    /// Index of the still-open window, or `None` when no window is open
+    /// (before any frame has been pushed, or right after
+    /// [`WindowedSignatures::advance_to`] sealed it).
     pub fn current_index(&self) -> Option<usize> {
-        self.origin.map(|_| self.current_window)
+        self.clock.current_index()
+    }
+
+    /// End of the still-open window — the earliest timestamp whose
+    /// [`WindowedSignatures::advance_to`] seals it.
+    pub fn current_end(&self) -> Option<Nanos> {
+        self.clock.current_end()
     }
 
     /// Removes and returns the candidates of every window sealed so far
@@ -151,7 +269,9 @@ impl WindowedSignatures {
     /// (window, device) order (minus any drained earlier with
     /// [`WindowedSignatures::drain_sealed`]).
     pub fn finish(mut self) -> Vec<CandidateWindow> {
-        self.seal_current();
+        if let Some(window) = self.clock.finish() {
+            self.seal(window);
+        }
         self.finished
     }
 }
@@ -303,5 +423,81 @@ mod tests {
         let c = cfg(10, 1);
         let w = WindowedSignatures::new(&c);
         assert!(w.finish().is_empty());
+    }
+
+    #[test]
+    fn clock_seals_on_ticks_exactly_like_frames() {
+        // advance_to(t) must agree with observe(t) on what seals: the
+        // tick-driven close is the frame-driven close minus the frame.
+        let mut by_frame = WindowClock::new(Nanos::from_secs(10));
+        let mut by_tick = WindowClock::new(Nanos::from_secs(10));
+        for clock in [&mut by_frame, &mut by_tick] {
+            assert_eq!(clock.observe(Nanos::from_micros(5_250_000)), None);
+        }
+        let boundary = Nanos::from_micros(15_250_000);
+        // One nanosecond before the boundary: no seal either way.
+        assert_eq!(by_tick.advance_to(boundary.saturating_sub(Nanos::from_nanos(1))), None);
+        // At the boundary both inputs seal window 0.
+        assert_eq!(by_frame.observe(boundary), Some(0));
+        assert_eq!(by_tick.advance_to(boundary), Some(0));
+        // After a tick-driven seal there is no open window...
+        assert_eq!(by_tick.current_index(), None);
+        assert_eq!(by_tick.current_end(), None);
+        assert_eq!(by_tick.advance_to(Nanos::from_secs(100)), None, "nothing more to seal");
+        // ...until the next frame opens its own.
+        assert_eq!(by_tick.observe(Nanos::from_micros(27_000_000)), None);
+        assert_eq!(by_tick.current_index(), Some(2));
+        assert_eq!(by_frame.current_index(), Some(1));
+    }
+
+    #[test]
+    fn clock_before_first_frame_ignores_ticks() {
+        let mut clock = WindowClock::new(Nanos::from_secs(1));
+        assert_eq!(clock.advance_to(Nanos::from_secs(50)), None);
+        assert_eq!(clock.finish(), None);
+        // The first frame still anchors the clock at its own timestamp.
+        assert_eq!(clock.observe(Nanos::from_secs(60)), None);
+        assert_eq!(clock.current_index(), Some(0));
+        assert_eq!(clock.current_end(), Some(Nanos::from_secs(61)));
+    }
+
+    #[test]
+    fn advance_to_hands_over_the_quiet_trailing_window() {
+        let c = cfg(10, 1);
+        let mut w = WindowedSignatures::new(&c);
+        w.push(&frame(1, 0));
+        w.push(&frame(2, 1_000));
+        assert!(w.drain_sealed().is_empty(), "window 0 still open");
+        // The channel goes quiet; the wall clock passes the boundary.
+        assert_eq!(w.advance_to(Nanos::from_secs(10)), Some(0));
+        let sealed = w.drain_sealed();
+        assert_eq!(sealed.len(), 2);
+        assert!(sealed.iter().all(|c| c.index == 0));
+        assert_eq!(w.current_index(), None, "tick leaves no open window");
+        // A repeated tick does not re-seal; a later frame opens window 2.
+        assert_eq!(w.advance_to(Nanos::from_secs(15)), None);
+        assert_eq!(w.push(&frame(1, 25_000_000)), None);
+        assert_eq!(w.current_index(), Some(2));
+        let rest = w.finish();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].index, 2);
+    }
+
+    #[test]
+    fn tick_sealed_candidates_equal_frame_sealed_candidates() {
+        let c = cfg(10, 1);
+        let frames = [frame(1, 0), frame(2, 1_000), frame(1, 2_500)];
+        let mut by_frame = WindowedSignatures::new(&c);
+        let mut by_tick = WindowedSignatures::new(&c);
+        for f in &frames {
+            by_frame.push(f);
+            by_tick.push(f);
+        }
+        // Frame-driven close vs tick-driven close at the same instant.
+        assert_eq!(by_frame.push(&frame(9, 10_000_000)), Some(0));
+        assert_eq!(by_tick.advance_to(Nanos::from_micros(10_000_000)), Some(0));
+        let frame_sealed = by_frame.drain_sealed();
+        let tick_sealed = by_tick.drain_sealed();
+        assert_eq!(frame_sealed, tick_sealed);
     }
 }

@@ -7,10 +7,12 @@
 use proptest::prelude::*;
 use wifiprint_core::metrics::{identification_points, similarity_curve, MatchSet};
 use wifiprint_core::{
-    kernel, BinSpec, EvalConfig, Histogram, MatchScratch, NetworkParameter, ReferenceDb, Signature,
-    SimilarityMeasure,
+    kernel, BinSpec, EvalConfig, FrameFilter, FusedExtractor, Histogram, MatchScratch,
+    NetworkParameter, ParameterExtractor, ReferenceDb, Signature, SimilarityMeasure,
+    TxTimeEstimator,
 };
-use wifiprint_ieee80211::{FrameKind, MacAddr};
+use wifiprint_ieee80211::{Frame, FrameKind, MacAddr, Nanos, Rate};
+use wifiprint_radiotap::CapturedFrame;
 
 /// Two histograms over one shared spec, filled from generated samples
 /// (possibly empty), exercising the cached-frequency path.
@@ -306,5 +308,66 @@ proptest! {
         let mut bulk = Histogram::new(spec);
         for v in a.iter().chain(&b) { bulk.add(*v); }
         prop_assert_eq!(ha, bulk);
+    }
+
+    // The fused single-pass extractor must be indistinguishable from
+    // five independent per-parameter extractors on arbitrary capture
+    // streams — same `Observation` (device, kind, value, timestamp) or
+    // same absence, frame by frame, parameter by parameter, across
+    // anonymous frames (ACK/CTS), retries, heterogeneous rates and
+    // filters.
+    #[test]
+    fn fused_extractor_equals_five_parameter_extractors(
+        specs in prop::collection::vec(
+            (0u8..6, 1u64..5, 1u64..200_000, 0usize..1500, 0u8..12, any::<bool>()),
+            1..60,
+        ),
+        estimator_measured in any::<bool>(),
+        exclude_retries in any::<bool>(),
+    ) {
+        // Build an arbitrary (but in-order) capture stream.
+        let mut t_us = 0u64;
+        let frames: Vec<CapturedFrame> = specs
+            .into_iter()
+            .map(|(kind, dev, gap, payload, rate_idx, retry)| {
+                t_us += gap;
+                let sta = MacAddr::from_index(dev);
+                let peer = MacAddr::from_index(42);
+                let frame = match kind {
+                    0 => Frame::data_to_ds(sta, peer, peer, payload),
+                    1 => Frame::ack(sta),
+                    2 => Frame::cts(sta, 100),
+                    3 => Frame::rts(peer, sta, 300),
+                    4 => Frame::probe_req(sta, vec![0; payload.min(200)]),
+                    _ => Frame::beacon(sta, vec![0; payload.min(200)]),
+                };
+                let rate = Rate::ALL_BG[rate_idx as usize];
+                let mut cap =
+                    CapturedFrame::from_frame(&frame, rate, Nanos::from_micros(t_us), -50);
+                cap.retry = retry;
+                cap
+            })
+            .collect();
+
+        let estimator = if estimator_measured {
+            TxTimeEstimator::MeasuredAirTime
+        } else {
+            TxTimeEstimator::SizeOverRate
+        };
+        let filter = FrameFilter { exclude_retries, ..FrameFilter::default() };
+
+        let mut fused = FusedExtractor::with_options(estimator, filter.clone());
+        let mut singles: Vec<ParameterExtractor> = NetworkParameter::ALL
+            .into_iter()
+            .map(|p| ParameterExtractor::with_options(p, estimator, filter.clone()))
+            .collect();
+        for frame in &frames {
+            let fused_obs = fused.push(frame);
+            for (param, single) in NetworkParameter::ALL.into_iter().zip(&mut singles) {
+                let want = single.push(frame);
+                let got = fused_obs.as_ref().and_then(|o| o.observation(param));
+                prop_assert_eq!(got, want, "{} diverged at t={} ns", param, frame.t_end.as_nanos());
+            }
+        }
     }
 }

@@ -14,9 +14,11 @@
 //!   standard tooling.
 //!
 //! Every scenario also runs straight into the streaming fingerprinting
-//! engine ([`run_engine`], `OfficeScenario::run_engine`,
-//! `ConferenceScenario::run_engine`): monitor → engine, the online
-//! deployment shape, with no trace collection in between.
+//! engines — the fused five-parameter `MultiEngine`
+//! ([`run_multi_engine`], `OfficeScenario::run_multi_engine`,
+//! `ConferenceScenario::run_multi_engine`) or a single-parameter
+//! `Engine` ([`run_engine`]): monitor → engine, the online deployment
+//! shape, with no trace collection in between.
 //!
 //! Every scenario is fully deterministic in its seed.
 
@@ -33,4 +35,4 @@ mod trace;
 pub use conference::ConferenceScenario;
 pub use faraday::{device_frames, FaradayRig, FARADAY_AP, FARADAY_DEVICE};
 pub use office::OfficeScenario;
-pub use trace::{run_collect, run_engine, run_streaming, Trace, TraceReport};
+pub use trace::{run_collect, run_engine, run_multi_engine, run_streaming, Trace, TraceReport};

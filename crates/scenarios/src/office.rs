@@ -13,7 +13,7 @@ use wifiprint_netsim::{
 };
 use wifiprint_radiotap::CapturedFrame;
 
-use crate::trace::{run_collect, run_engine, run_streaming, Trace, TraceReport};
+use crate::trace::{run_collect, run_engine, run_multi_engine, run_streaming, Trace, TraceReport};
 
 /// Configuration of an office capture.
 #[derive(Debug, Clone)]
@@ -197,6 +197,21 @@ impl OfficeScenario {
     ) -> Result<(Vec<wifiprint_core::Event>, TraceReport), wifiprint_core::EngineError> {
         let (sim, profiles, aps) = self.build();
         run_engine(sim, self.duration, profiles, aps, engine)
+    }
+
+    /// Runs the scenario, streaming every capture straight into a fused
+    /// five-parameter engine (see [`run_multi_engine`]).
+    ///
+    /// # Errors
+    ///
+    /// The first `MultiEngine::observe` error, after the simulation
+    /// completes.
+    pub fn run_multi_engine(
+        &self,
+        engine: &mut wifiprint_core::MultiEngine,
+    ) -> Result<(Vec<wifiprint_core::MultiEvent>, TraceReport), wifiprint_core::EngineError> {
+        let (sim, profiles, aps) = self.build();
+        run_multi_engine(sim, self.duration, profiles, aps, engine)
     }
 }
 

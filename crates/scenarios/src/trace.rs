@@ -5,7 +5,7 @@
 
 use std::collections::BTreeMap;
 
-use wifiprint_core::{Engine, EngineError, Event};
+use wifiprint_core::{Engine, EngineError, Event, MultiEngine, MultiEvent};
 use wifiprint_ieee80211::{MacAddr, Nanos};
 use wifiprint_netsim::{SimStats, Simulator};
 use wifiprint_radiotap::CapturedFrame;
@@ -93,6 +93,40 @@ pub fn run_engine(
     aps: Vec<MacAddr>,
     engine: &mut Engine,
 ) -> Result<(Vec<Event>, TraceReport), EngineError> {
+    let mut events = Vec::new();
+    let mut failure: Option<EngineError> = None;
+    let report = run_streaming(sim, duration, device_profiles, aps, &mut |f| {
+        if failure.is_none() {
+            match engine.observe(f) {
+                Ok(mut ev) => events.append(&mut ev),
+                Err(e) => failure = Some(e),
+            }
+        }
+    });
+    match failure {
+        Some(e) => Err(e),
+        None => Ok((events, report)),
+    }
+}
+
+/// Runs a prepared simulator, streaming every capture straight into a
+/// fused five-parameter [`MultiEngine`] — one header parse per frame
+/// feeding every network parameter, fused decisions as windows close.
+/// Like [`run_engine`], the engine is *not* finished, so a caller can
+/// run several scenarios into one engine before sealing the final window
+/// with [`MultiEngine::finish`].
+///
+/// # Errors
+///
+/// The first [`MultiEngine::observe`] error, after the simulation
+/// completes.
+pub fn run_multi_engine(
+    sim: Simulator,
+    duration: Nanos,
+    device_profiles: BTreeMap<MacAddr, String>,
+    aps: Vec<MacAddr>,
+    engine: &mut MultiEngine,
+) -> Result<(Vec<MultiEvent>, TraceReport), EngineError> {
     let mut events = Vec::new();
     let mut failure: Option<EngineError> = None;
     let report = run_streaming(sim, duration, device_profiles, aps, &mut |f| {

@@ -1,12 +1,17 @@
 //! Quickstart: stream a small office capture through the production
-//! [`Engine`] — online enrollment, then per-window identification events
-//! as the monitor would emit them live.
+//! [`MultiEngine`] — online enrollment, then per-window fused
+//! identification events as the monitor would emit them live.
+//!
+//! One fused header parse per frame feeds all five network parameters;
+//! each event carries the per-parameter similarity vectors *and* their
+//! weighted combination, which is where the paper's method is strongest
+//! (§VIII: combining parameters).
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use wifiprint::core::{Engine, EvalConfig, Event, NetworkParameter};
+use wifiprint::core::{FusionSpec, MultiConfig, MultiEngine, MultiEvent};
 use wifiprint::ieee80211::Nanos;
 use wifiprint::scenarios::OfficeScenario;
 
@@ -15,13 +20,15 @@ fn main() {
     let scenario = OfficeScenario::small(42, 240, 12);
     println!("simulating {} seconds of office traffic ...", 240);
 
-    // 2. One streaming engine: the first 60 s of the stream train the
-    //    reference database (frozen at the boundary), the rest is
-    //    matched in 30 s detection windows as they close.
-    let mut cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
-        .with_min_observations(50);
-    cfg.window = Nanos::from_secs(30);
-    let mut engine = Engine::builder()
+    // 2. One fused streaming engine: the first 60 s of the stream train
+    //    the per-parameter reference databases (frozen at the boundary),
+    //    the rest is matched in 30 s detection windows as they close —
+    //    all five parameters extracted from a single parse per frame.
+    let cfg = MultiConfig::default()
+        .with_min_observations(50)
+        .with_window(Nanos::from_secs(30));
+    let mut engine = MultiEngine::builder()
+        .spec(FusionSpec::all_equal())
         .config(cfg)
         .train_for(Nanos::from_secs(60))
         .build()
@@ -29,24 +36,24 @@ fn main() {
 
     // Monitor → engine, no trace collection in between.
     let (mut events, report) =
-        scenario.run_engine(&mut engine).expect("simulator emits frames in capture order");
+        scenario.run_multi_engine(&mut engine).expect("simulator emits frames in capture order");
     events.extend(engine.finish().expect("first finish"));
 
     println!(
         "captured {} frames ({} collisions on the medium)",
         report.stats.monitor.captured, report.stats.collisions
     );
-    let enrolled = events.iter().filter(|e| matches!(e, Event::Enrolled { .. })).count();
-    println!("reference database: {enrolled} devices enrolled after 60 s of training");
+    let enrolled = events.iter().filter(|e| matches!(e, MultiEvent::Enrolled { .. })).count();
+    println!("reference databases: {enrolled} devices enrolled after 60 s of training");
 
-    // 3. Narrate the event stream: one identification decision per
+    // 3. Narrate the event stream: one fused identification decision per
     //    (window, device), emitted the moment each window closed.
     let mut correct = 0usize;
     let mut total = 0usize;
     for event in &events {
         match event {
-            Event::Match { window, device, view } => {
-                let (best, sim) = view.best().expect("reference database is non-empty");
+            MultiEvent::FusedMatch { window, device, scores, fused: Some(fused) } => {
+                let (best, sim) = fused.best().expect("common enrolled set is non-empty");
                 let verdict = if best == *device {
                     correct += 1;
                     "ok"
@@ -54,24 +61,31 @@ fn main() {
                     "MISIDENTIFIED"
                 };
                 total += 1;
-                println!("  window {window:2}  {device}  ->  {best}  (similarity {sim:.3})  {verdict}");
+                println!(
+                    "  window {window:2}  {device}  ->  {best}  (fused {sim:.3} over {} parameters)  {verdict}",
+                    scores.len()
+                );
             }
-            Event::NewDevice { window, device, view, .. } => {
-                match view.best() {
-                    Some((closest, sim)) => println!(
-                        "  window {window:2}  {device}  not enrolled; closest reference {closest} ({sim:.3})"
-                    ),
-                    None => println!("  window {window:2}  {device}  not enrolled"),
+            MultiEvent::FusedNewDevice { window, device, fused, .. } => match fused {
+                Some(f) => {
+                    let (closest, sim) = f.best().expect("fused view is non-empty");
+                    println!(
+                        "  window {window:2}  {device}  not enrolled; closest reference {closest} (fused {sim:.3})"
+                    );
                 }
-            }
-            Event::Enrolled { .. } | Event::WindowClosed { .. } => {}
+                None => println!("  window {window:2}  {device}  not enrolled"),
+            },
+            MultiEvent::FusedMatch { .. }
+            | MultiEvent::Enrolled { .. }
+            | MultiEvent::WindowClosed { .. } => {}
         }
     }
 
-    // 4. The paper's identification test, over the streamed decisions.
+    // 4. The paper's identification test, over the streamed fused
+    //    decisions.
     if total > 0 {
         println!(
-            "identification: {correct}/{total} window decisions correct ({:.1}%)",
+            "fused identification: {correct}/{total} window decisions correct ({:.1}%)",
             100.0 * correct as f64 / total as f64
         );
     } else {

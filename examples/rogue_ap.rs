@@ -4,23 +4,31 @@
 //! The genuine AP and the rogue run different hardware, so their beacon /
 //! probe-response / data timing differs even though the SSID and BSSID
 //! are cloned. Both the installation and each visit run through the
-//! streaming [`Engine`]: enrollment is a training-only session, the visit
-//! check reads the Match event for the AP's address.
+//! fused [`MultiEngine`] over the **timing trio** (inter-arrival, medium
+//! access, transmission time — the parameters a software clone cannot
+//! easily fake): enrollment is a training-only session, the visit check
+//! reads the fused score from the FusedMatch event for the AP's address.
 //!
 //! ```sh
 //! cargo run --release --example rogue_ap
 //! ```
 
+use std::collections::BTreeMap;
+
 use wifiprint::core::{
-    Engine, EvalConfig, Event, FrameFilter, NetworkParameter, ReferenceDb,
+    FrameFilter, FusionSpec, MultiConfig, MultiEngine, MultiEvent, NetworkParameter, ReferenceDb,
 };
 use wifiprint::ieee80211::{FrameKind, MacAddr, Nanos};
 use wifiprint::netsim::{BackoffQuirk, LinkQuality, SimConfig, Simulator, StationConfig};
 
 const AP_ADDR: MacAddr = MacAddr::new([0x02, 0xAB, 0xCD, 0, 0, 0xFE]);
 
-fn ap_config() -> EvalConfig {
-    EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
+fn ap_spec() -> FusionSpec {
+    FusionSpec::timing_trio()
+}
+
+fn ap_config() -> MultiConfig {
+    MultiConfig::default()
         // Fingerprint the AP's own *contended* transmissions — probe
         // responses — where its backoff personality shows. (Beacon
         // inter-arrivals are dominated by the fixed 102.4 ms interval, and
@@ -32,7 +40,7 @@ fn ap_config() -> EvalConfig {
 /// Simulates one 30 s visit to the hot spot and streams the capture
 /// straight into `engine` (monitor → engine, nothing stored), returning
 /// the events emitted while the capture ran.
-fn capture_visit(rogue: bool, seed: u64, engine: &mut Engine) -> Vec<Event> {
+fn capture_visit(rogue: bool, seed: u64, engine: &mut MultiEngine) -> Vec<MultiEvent> {
     let mut sim = Simulator::new(SimConfig {
         seed,
         duration: Nanos::from_secs(30),
@@ -80,8 +88,9 @@ fn capture_visit(rogue: bool, seed: u64, engine: &mut Engine) -> Vec<Event> {
 }
 
 /// Installation: enroll the genuine AP with a training-only session.
-fn learn_reference() -> ReferenceDb {
-    let mut enroller = Engine::builder()
+fn learn_reference() -> BTreeMap<NetworkParameter, ReferenceDb> {
+    let mut enroller = MultiEngine::builder()
+        .spec(ap_spec())
         .config(ap_config())
         .train_for(Nanos::from_secs(3600))
         .build()
@@ -89,31 +98,34 @@ fn learn_reference() -> ReferenceDb {
     // Training-only: the capture emits no events until finish() enrolls.
     let _ = capture_visit(false, 1, &mut enroller);
     enroller.finish().expect("first finish");
-    let db = enroller.into_reference().expect("trained reference");
-    assert!(db.contains(&AP_ADDR), "the AP must enroll");
-    db
+    let dbs = enroller.into_references();
+    assert!(dbs.values().all(|db| db.contains(&AP_ADDR)), "the AP must enroll");
+    dbs
 }
 
 /// A later visit: stream today's capture against the published
-/// fingerprint and read the AP's similarity from the Match event.
-fn verify_visit(published: &ReferenceDb, rogue: bool, seed: u64) -> f64 {
-    let mut engine = Engine::builder()
+/// fingerprint and read the AP's fused timing similarity from the
+/// FusedMatch event.
+fn verify_visit(published: &BTreeMap<NetworkParameter, ReferenceDb>, rogue: bool, seed: u64) -> f64 {
+    let snapshot: BTreeMap<_, _> = published.iter().map(|(&p, db)| (p, db.snapshot())).collect();
+    let mut engine = MultiEngine::builder()
+        .spec(ap_spec())
         .config(ap_config())
-        .reference(published.snapshot())
+        .references(snapshot)
         .build()
         .expect("valid engine configuration");
     // Mid-stream events matter too: with a detection window shorter
-    // than the visit, the AP's Match event arrives from observe(), not
-    // from finish().
+    // than the visit, the AP's FusedMatch event arrives from observe(),
+    // not from finish().
     let mut events = capture_visit(rogue, seed, &mut engine);
     events.extend(engine.finish().expect("first finish"));
     events
         .iter()
         .find_map(|e| match e {
             // The AP (genuine or impostor) claims AP_ADDR, which *is*
-            // enrolled, so its window decision arrives as a Match event.
-            Event::Match { device, view, .. } if *device == AP_ADDR => {
-                view.similarity_to(&AP_ADDR)
+            // enrolled, so its window decision arrives as a FusedMatch.
+            MultiEvent::FusedMatch { device, fused: Some(fused), .. } if *device == AP_ADDR => {
+                fused.similarity_to(&AP_ADDR)
             }
             _ => None,
         })
@@ -128,8 +140,8 @@ fn main() {
     let sim_genuine = verify_visit(&published, false, 2);
     let sim_rogue = verify_visit(&published, true, 3);
 
-    println!("genuine AP similarity: {sim_genuine:.3}");
-    println!("rogue AP similarity:   {sim_rogue:.3}");
+    println!("genuine AP fused timing similarity: {sim_genuine:.3}");
+    println!("rogue AP fused timing similarity:   {sim_rogue:.3}");
     assert!(sim_genuine > sim_rogue, "rogue must score below the genuine AP");
     println!(
         "=> the rogue AP scores {:.0}% lower; warn the user before associating",

@@ -2,48 +2,65 @@
 //! address is stolen — but the thief's *hardware* does not match the
 //! learned fingerprint.
 //!
-//! We enroll a legitimate device with a training-only [`Engine`] session,
-//! then stream two later sessions claiming its MAC address through a
-//! detection engine: the device itself, and an attacker with a different
-//! card/driver. The legitimate session's Match event scores high; the
-//! spoofer's similarity collapses.
+//! We enroll a legitimate device with a training-only [`MultiEngine`]
+//! session, then stream two later sessions claiming its MAC address
+//! through a detection engine: the device itself, and an attacker with a
+//! different card/driver. The legitimate session's fused five-parameter
+//! score stays high; the spoofer's collapses — and fusing makes the gap
+//! harder to fake than any single parameter (the §VII-A mimicry attack
+//! reproduces the *size* distribution easily, the timing trio much
+//! less so).
 //!
 //! ```sh
 //! cargo run --release --example spoof_detection
 //! ```
 
-use wifiprint::core::{Engine, EvalConfig, Event, NetworkParameter, ReferenceDb};
+use std::collections::BTreeMap;
+
+use wifiprint::core::{FusionSpec, MultiConfig, MultiEngine, MultiEvent, NetworkParameter, ReferenceDb};
 use wifiprint::devices::profile_catalog;
 use wifiprint::ieee80211::Nanos;
 use wifiprint::scenarios::{FaradayRig, FARADAY_DEVICE};
 
-fn cfg() -> EvalConfig {
-    EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
+fn spec() -> FusionSpec {
+    FusionSpec::all_equal()
+}
+
+fn cfg() -> MultiConfig {
+    MultiConfig::default()
 }
 
 /// One Faraday-cage capture of the given hardware profile, streamed into
-/// a fresh training-only engine: returns the enrolled reference.
-fn enroll(profile_idx: usize, seed: u64) -> ReferenceDb {
+/// a fresh training-only engine: returns the enrolled per-parameter
+/// references.
+fn enroll(profile_idx: usize, seed: u64) -> BTreeMap<NetworkParameter, ReferenceDb> {
     let catalog = profile_catalog();
     let trace = FaradayRig::for_profile(&catalog[profile_idx], seed, Nanos::from_secs(10)).run();
-    let mut enroller = Engine::builder()
+    let mut enroller = MultiEngine::builder()
+        .spec(spec())
         .config(cfg())
         .train_for(Nanos::from_secs(3600))
         .build()
         .expect("valid engine configuration");
     enroller.observe_all(&trace.frames).expect("frames in capture order");
     enroller.finish().expect("first finish");
-    enroller.into_reference().expect("device enrolled")
+    enroller.into_references()
 }
 
 /// A later session claiming the ACL's MAC: stream it against the ACL and
-/// read the similarity from the engine's Match event.
-fn session_similarity(acl: &ReferenceDb, profile_idx: usize, seed: u64) -> f64 {
+/// read the fused similarity from the engine's FusedMatch event.
+fn session_similarity(
+    acl: &BTreeMap<NetworkParameter, ReferenceDb>,
+    profile_idx: usize,
+    seed: u64,
+) -> f64 {
     let catalog = profile_catalog();
     let trace = FaradayRig::for_profile(&catalog[profile_idx], seed, Nanos::from_secs(10)).run();
-    let mut engine = Engine::builder()
+    let snapshot: BTreeMap<_, _> = acl.iter().map(|(&p, db)| (p, db.snapshot())).collect();
+    let mut engine = MultiEngine::builder()
+        .spec(spec())
         .config(cfg())
-        .reference(acl.snapshot())
+        .references(snapshot)
         .build()
         .expect("valid engine configuration");
     let mut events = engine.observe_all(&trace.frames).expect("frames in capture order");
@@ -51,8 +68,10 @@ fn session_similarity(acl: &ReferenceDb, profile_idx: usize, seed: u64) -> f64 {
     events
         .iter()
         .find_map(|e| match e {
-            Event::Match { device, view, .. } if *device == FARADAY_DEVICE => {
-                view.similarity_to(&FARADAY_DEVICE)
+            MultiEvent::FusedMatch { device, fused: Some(fused), .. }
+                if *device == FARADAY_DEVICE =>
+            {
+                fused.similarity_to(&FARADAY_DEVICE)
             }
             _ => None,
         })
@@ -61,9 +80,9 @@ fn session_similarity(acl: &ReferenceDb, profile_idx: usize, seed: u64) -> f64 {
 
 fn main() {
     // Learning phase: the genuine device (profile 0) enrols.
-    println!("learning the genuine device's inter-arrival signature ...");
+    println!("learning the genuine device's five-parameter signature ...");
     let acl = enroll(0, 1);
-    assert!(acl.contains(&FARADAY_DEVICE) && acl.is_frozen());
+    assert!(acl.values().all(|db| db.contains(&FARADAY_DEVICE) && db.is_frozen()));
 
     // Detection phase: two sessions claim the same MAC address.
     println!("session A: the genuine device reconnects");
@@ -71,10 +90,10 @@ fn main() {
     println!("session B: an attacker spoofs the MAC with different hardware");
     let sim_spoofer = session_similarity(&acl, 4, 3); // different chipset/driver
 
-    println!("similarity of genuine session: {sim_genuine:.3}");
-    println!("similarity of spoofed session: {sim_spoofer:.3}");
+    println!("fused similarity of genuine session: {sim_genuine:.3}");
+    println!("fused similarity of spoofed session: {sim_spoofer:.3}");
     let threshold = 0.75;
-    println!("acceptance threshold:          {threshold:.3}");
+    println!("acceptance threshold:                {threshold:.3}");
     assert!(sim_genuine > threshold, "genuine device should pass");
     assert!(sim_spoofer < sim_genuine, "spoofer should score lower");
     if sim_spoofer < threshold {

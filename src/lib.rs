@@ -5,51 +5,62 @@
 //! fingerprinting library itself, the 802.11 substrate it is evaluated on,
 //! and the full experiment harness.
 //!
-//! # The streaming engine
+//! # The fused streaming engine
 //!
-//! The production entry point is [`core::Engine`] — a builder-configured
-//! facade over the whole ingest → window → match path. A passive monitor
-//! is online by nature, so the engine is too: feed it every captured
-//! frame once, in capture order, and it emits typed
-//! [`core::Event`]s as 5-minute detection windows close —
-//! [`Enrolled`](core::Event::Enrolled) when the training phase seals the
-//! reference database, [`Match`](core::Event::Match) /
-//! [`NewDevice`](core::Event::NewDevice) per per-window candidate, and a
-//! [`WindowClosed`](core::Event::WindowClosed) terminator. Failures are
-//! typed too ([`core::EngineError`] wrapping [`core::CoreError`]).
+//! The production entry point is [`core::MultiEngine`] — a
+//! builder-configured facade over the whole ingest → window → match →
+//! fuse path, extracting **all five** network parameters from a single
+//! header parse per frame and combining their similarity scores online.
+//! A passive monitor is online by nature, so the engine is too: feed it
+//! every captured frame once, in capture order, and it emits typed
+//! [`core::MultiEvent`]s as 5-minute detection windows close —
+//! [`Enrolled`](core::MultiEvent::Enrolled) when the training phase
+//! seals the per-parameter reference databases,
+//! [`FusedMatch`](core::MultiEvent::FusedMatch) /
+//! [`FusedNewDevice`](core::MultiEvent::FusedNewDevice) per per-window
+//! candidate (per-parameter similarity vectors plus one weighted-average
+//! fused score, per [`core::FusionSpec`]), and a
+//! [`WindowClosed`](core::MultiEvent::WindowClosed) terminator. Windows
+//! also close on wall clock ([`core::MultiEngine::advance_to`] /
+//! `tick`), so a quiet channel cannot stall the final decision.
+//! Failures are typed ([`core::EngineError`] wrapping
+//! [`core::CoreError`]); single-parameter deployments keep the leaner
+//! [`core::Engine`].
 //!
 //! ```
-//! use wifiprint::core::{Engine, Event, EvalConfig, NetworkParameter};
+//! use wifiprint::core::{FusionSpec, MultiConfig, MultiEngine, MultiEvent};
 //! use wifiprint::ieee80211::Nanos;
 //! use wifiprint::scenarios::OfficeScenario;
 //!
-//! // 90 s of simulated office traffic: train 30 s, then 15 s windows.
-//! let mut cfg = EvalConfig::for_parameter(NetworkParameter::InterArrivalTime)
-//!     .with_min_observations(30);
-//! cfg.window = Nanos::from_secs(15);
-//! let mut engine = Engine::builder()
+//! // 90 s of simulated office traffic: train 30 s, then 15 s windows,
+//! // all five parameters fused with equal weights.
+//! let cfg = MultiConfig::default()
+//!     .with_min_observations(30)
+//!     .with_window(Nanos::from_secs(15));
+//! let mut engine = MultiEngine::builder()
+//!     .spec(FusionSpec::all_equal())
 //!     .config(cfg)
 //!     .train_for(Nanos::from_secs(30))
 //!     .build()
 //!     .expect("valid configuration");
 //!
 //! let scenario = OfficeScenario::small(42, 90, 8);
-//! let (mut events, _report) = scenario.run_engine(&mut engine).expect("in-order capture");
+//! let (mut events, _report) = scenario.run_multi_engine(&mut engine).expect("in-order capture");
 //! events.extend(engine.finish().expect("first finish"));
-//! assert!(events.iter().any(|e| matches!(e, Event::Enrolled { .. })));
-//! assert!(events.iter().any(|e| matches!(e, Event::WindowClosed { .. })));
+//! assert!(events.iter().any(|e| matches!(e, MultiEvent::Enrolled { .. })));
+//! assert!(events.iter().any(|e| matches!(e, MultiEvent::WindowClosed { .. })));
 //! ```
 //!
 //! The batch experiment harness ([`analysis::StreamingEvaluator`]) is a
-//! thin driver of the same engine — one per network parameter — so the
-//! paper's accuracy tables and a production deployment exercise the
-//! identical code path.
+//! thin driver of the same fused engine, so the paper's accuracy tables
+//! and a production deployment exercise the identical code path.
 //!
 //! # Workspace map
 //!
 //! This facade crate re-exports the workspace members:
 //!
-//! * [`core`] — the [`core::Engine`], signatures, the SoA/SIMD matching
+//! * [`core`] — the fused [`core::MultiEngine`] and single-parameter
+//!   [`core::Engine`], signatures, score fusion, the SoA/SIMD matching
 //!   sweep and accuracy metrics (the paper's contribution),
 //! * [`ieee80211`] — MAC frames, rates and PHY timing,
 //! * [`radiotap`] — capture headers and the [`radiotap::CapturedFrame`]

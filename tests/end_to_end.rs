@@ -1,10 +1,13 @@
 //! Cross-crate integration tests: simulator → pcap → fingerprinting →
 //! metrics, exercising the whole suite the way a downstream user would.
 
+use std::collections::BTreeMap;
+
 use wifiprint::analysis::{evaluate_frames, PipelineConfig};
 use wifiprint::core::{
-    load_db, save_db, Engine, EvalConfig, Event, MatchOutcome, MatchScratch, NetworkParameter,
-    ReferenceDb, SignatureBuilder, SimilarityMeasure, WindowedSignatures, F32_SCORE_TOLERANCE,
+    load_db, save_db, Engine, EvalConfig, Event, FusionSpec, MatchOutcome, MatchScratch,
+    MultiConfig, MultiEngine, MultiEvent, NetworkParameter, ReferenceDb, SignatureBuilder,
+    SimilarityMeasure, WindowedSignatures, F32_SCORE_TOLERANCE,
 };
 use wifiprint::ieee80211::{FrameKind, MacAddr, Nanos};
 use wifiprint::scenarios::export::{read_pcap, write_pcap};
@@ -276,6 +279,190 @@ fn streaming_engine_equals_batch_pipeline_on_office_and_conference() {
             "{name}: pipeline instance count"
         );
         assert_eq!(eval.ref_devices, db.len(), "{name}: pipeline reference count");
+    }
+}
+
+#[test]
+fn multi_engine_equals_five_engines_and_offline_fusion() {
+    // The acceptance equivalence for the MultiEngine redesign, on both
+    // of the paper's trace shapes:
+    //
+    // 1. per parameter, the fused engine's decisions are the five
+    //    single-parameter engines' decisions — same (window, device)
+    //    sequence, same argmax, scores within the documented f32
+    //    tolerance;
+    // 2. the fused (combined) scores equal the offline end-of-trace
+    //    combination the analysis crate's fusion evaluator historically
+    //    computed: per-parameter similarity vectors weighted-averaged
+    //    over the commonly enrolled devices.
+    let traces = [
+        ("office", OfficeScenario::small(5, 300, 10).run_collect()),
+        ("conference", ConferenceScenario::small(7, 300, 12).run_collect()),
+    ];
+    for (name, trace) in traces {
+        let mcfg = MultiConfig::default()
+            .with_min_observations(50)
+            .with_window(Nanos::from_secs(50));
+        let spec = FusionSpec::all_equal();
+        let train = Nanos::from_secs(100);
+
+        // Streaming: one fused engine over the identical frame stream.
+        let mut multi = MultiEngine::builder()
+            .spec(spec.clone())
+            .config(mcfg.clone())
+            .train_for(train)
+            .build()
+            .expect("valid engine configuration");
+        let mut events = multi.observe_all(&trace.frames).expect("frames in capture order");
+        events.extend(multi.finish().expect("first finish"));
+
+        // 1. Per-parameter equivalence against five single engines.
+        let mut total_decisions = 0usize;
+        for param in NetworkParameter::ALL {
+            let mut single = Engine::builder()
+                .config(mcfg.eval_config(param))
+                .train_for(train)
+                .build()
+                .expect("valid engine configuration");
+            let mut single_events =
+                single.observe_all(&trace.frames).expect("frames in capture order");
+            single_events.extend(single.finish().expect("first finish"));
+
+            assert_eq!(
+                single.reference().expect("trained").devices().collect::<Vec<_>>(),
+                multi.reference(param).expect("trained").devices().collect::<Vec<_>>(),
+                "{name}/{param}: enrolled devices differ"
+            );
+
+            let singles: Vec<(usize, MacAddr, MatchOutcome)> = single_events
+                .into_iter()
+                .filter_map(|e| match e {
+                    Event::Match { window, device, view }
+                    | Event::NewDevice { window, device, view, .. } => {
+                        Some((window, device, view))
+                    }
+                    _ => None,
+                })
+                .collect();
+            let multis: Vec<(usize, MacAddr, &MatchOutcome)> = events
+                .iter()
+                .filter_map(|e| match e {
+                    MultiEvent::FusedMatch { window, device, scores, .. }
+                    | MultiEvent::FusedNewDevice { window, device, scores, .. } => scores
+                        .iter()
+                        .find(|d| d.parameter == param)
+                        .map(|d| (*window, *device, &d.view)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(singles.len(), multis.len(), "{name}/{param}: decision count");
+            assert!(!singles.is_empty(), "{name}/{param}: no decisions to compare");
+            total_decisions += singles.len();
+            for ((sw, sd, sv), (mw, md, mv)) in singles.iter().zip(&multis) {
+                assert_eq!((sw, sd), (mw, md), "{name}/{param}: decision identity");
+                assert_eq!(
+                    sv.best().map(|(d, _)| d),
+                    mv.best().map(|(d, _)| d),
+                    "{name}/{param}: argmax for {sd} in window {sw}"
+                );
+                assert_eq!(sv.similarities().len(), mv.similarities().len());
+                for (a, b) in sv.similarities().iter().zip(mv.similarities()) {
+                    assert_eq!(a.0, b.0, "{name}/{param}: device order");
+                    assert!(
+                        (a.1 - b.1).abs() < F32_SCORE_TOLERANCE,
+                        "{name}/{param}: {} vs {} for {sd} in window {sw}",
+                        a.1,
+                        b.1
+                    );
+                }
+            }
+        }
+        assert!(total_decisions > 0, "{name}: equivalence must cover real decisions");
+
+        // 2. Fused scores equal the offline combination: learn per-param
+        //    databases and window candidates batch-style, then weighted-
+        //    average the per-parameter similarity vectors per candidate.
+        let configs: Vec<EvalConfig> =
+            NetworkParameter::ALL.iter().map(|&p| mcfg.eval_config(p)).collect();
+        let origin = trace.frames[0].t_end;
+        let mut trainers: Vec<SignatureBuilder> =
+            configs.iter().map(SignatureBuilder::new).collect();
+        let mut validators: Vec<WindowedSignatures> =
+            configs.iter().map(WindowedSignatures::new).collect();
+        for f in &trace.frames {
+            if f.t_end.saturating_sub(origin) < train {
+                for t in &mut trainers {
+                    t.push(f);
+                }
+            } else {
+                for v in &mut validators {
+                    v.push(f);
+                }
+            }
+        }
+        let dbs: Vec<ReferenceDb> = trainers
+            .into_iter()
+            .map(|t| ReferenceDb::from_signatures(t.finish().unwrap_or_default()))
+            .collect();
+        let enrolled: Vec<MacAddr> = dbs[0]
+            .devices()
+            .filter(|d| dbs.iter().all(|db| db.contains(d)))
+            .collect();
+        let mut offline: BTreeMap<(usize, MacAddr), BTreeMap<MacAddr, f64>> = BTreeMap::new();
+        let n_params = configs.len();
+        let mut per_key: BTreeMap<(usize, MacAddr), Vec<Option<wifiprint::core::Signature>>> =
+            BTreeMap::new();
+        for (i, validator) in validators.into_iter().enumerate() {
+            for cand in validator.finish() {
+                per_key
+                    .entry((cand.index, cand.device))
+                    .or_insert_with(|| vec![None; n_params])[i] = Some(cand.signature);
+            }
+        }
+        for ((window, device), sigs) in per_key {
+            if !enrolled.contains(&device) || sigs.iter().any(Option::is_none) {
+                continue;
+            }
+            let mut fused: BTreeMap<MacAddr, f64> =
+                enrolled.iter().map(|&d| (d, 0.0)).collect();
+            for (i, sig) in sigs.iter().enumerate() {
+                let outcome =
+                    dbs[i].match_signature(sig.as_ref().expect("checked"), mcfg.measure);
+                for &(dev, sim) in outcome.similarities() {
+                    if let Some(acc) = fused.get_mut(&dev) {
+                        // Equal weights: each parameter contributes 1/5.
+                        *acc += sim / n_params as f64;
+                    }
+                }
+            }
+            offline.insert((window, device), fused);
+        }
+
+        // The streamed fused scores must be exactly that combination.
+        let mut streamed_fused = 0usize;
+        for event in &events {
+            let MultiEvent::FusedMatch { window, device, fused: Some(fused), .. } = event
+            else {
+                continue;
+            };
+            let want = offline
+                .remove(&(*window, *device))
+                .unwrap_or_else(|| panic!("{name}: no offline fusion for {device} in {window}"));
+            assert_eq!(fused.similarities().len(), want.len(), "{name}: fused domain");
+            for &(dev, got) in fused.similarities() {
+                let expect = want[&dev];
+                assert!(
+                    (got - expect).abs() < F32_SCORE_TOLERANCE,
+                    "{name}: fused {got} vs offline {expect} for {device} in window {window}"
+                );
+            }
+            streamed_fused += 1;
+        }
+        assert!(streamed_fused > 0, "{name}: no fused decisions compared");
+        assert!(
+            offline.is_empty(),
+            "{name}: offline fusion produced extra instances: {offline:?}"
+        );
     }
 }
 
