@@ -20,8 +20,8 @@
 use std::collections::BTreeMap;
 
 use wifiprint_core::{
-    EngineError, EvalOutcome, FusionSpec, MatchSet, MultiConfig, MultiEngine, MultiEvent,
-    NetworkParameter, ReferenceDb, SimilarityMeasure,
+    EngineError, EvalOutcome, FusionSpec, MatchConfig, MatchSet, MultiConfig, MultiEngine,
+    MultiEvent, NetworkParameter, ReferenceDb, SimilarityMeasure,
 };
 use wifiprint_ieee80211::Nanos;
 use wifiprint_radiotap::CapturedFrame;
@@ -40,6 +40,10 @@ pub struct PipelineConfig {
     pub measure: SimilarityMeasure,
     /// The parameters to evaluate (all five by default).
     pub parameters: Vec<NetworkParameter>,
+    /// Shard layout of the per-parameter reference databases the
+    /// training prefix builds (dominant-histogram sharding by default;
+    /// see [`MatchConfig`]).
+    pub match_config: MatchConfig,
 }
 
 impl PipelineConfig {
@@ -51,6 +55,7 @@ impl PipelineConfig {
             min_observations: 50,
             measure: SimilarityMeasure::Cosine,
             parameters: NetworkParameter::ALL.to_vec(),
+            match_config: MatchConfig::default(),
         }
     }
 
@@ -69,6 +74,7 @@ impl PipelineConfig {
             min_observations: min_obs,
             measure: SimilarityMeasure::Cosine,
             parameters: NetworkParameter::ALL.to_vec(),
+            match_config: MatchConfig::default(),
         }
     }
 
@@ -79,6 +85,7 @@ impl PipelineConfig {
             .with_min_observations(self.min_observations)
             .with_measure(self.measure)
             .with_window(self.window)
+            .with_match_config(self.match_config)
     }
 }
 
@@ -359,6 +366,7 @@ mod tests {
                 NetworkParameter::InterArrivalTime,
                 NetworkParameter::FrameSize,
             ],
+            match_config: MatchConfig::default(),
         };
         let frames = synthetic_trace(4, 40_000_000);
         let eval = evaluate_frames(&cfg, &frames).expect("pipeline run");
@@ -380,6 +388,7 @@ mod tests {
             min_observations: 10,
             measure: SimilarityMeasure::Cosine,
             parameters: vec![NetworkParameter::InterArrivalTime],
+            match_config: MatchConfig::default(),
         };
         let frames = synthetic_trace(3, 40_000_000);
         let eval = evaluate_frames(&cfg, &frames).expect("pipeline run");
@@ -415,6 +424,7 @@ mod tests {
             min_observations: 30,
             measure: SimilarityMeasure::Cosine,
             parameters: vec![NetworkParameter::InterArrivalTime],
+            match_config: MatchConfig::default(),
         };
         let eval = evaluate_frames(&cfg, &frames).expect("pipeline run");
         // Identification at a strict FPR cannot be high for clones: with

@@ -17,6 +17,9 @@
 //! * `match_window_batch/{serial,parallel}` — one thread reusing a
 //!   scratch versus the `parallel`-feature batch fan-out over a
 //!   multi-window candidate set;
+//! * `sharded_sweep/{dense_full,pruned_top5}` — the sharded store's
+//!   dense full sweep versus the summary-pruned top-k sweep over a
+//!   metropolis population (the large-population hot path);
 //! * `engine_ingest/observe_48k_frames` — the streaming `Engine` end to
 //!   end: extraction, windowing and per-window tiled matching, the
 //!   online deployment's hot path;
@@ -29,11 +32,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 use wifiprint_core::{
-    kernel, Engine, EvalConfig, FusionSpec, MatchScratch, MultiConfig, MultiEngine,
+    kernel, Engine, EvalConfig, FusionSpec, MatchConfig, MatchScratch, MultiConfig, MultiEngine,
     NetworkParameter, ReferenceDb, Signature, SignatureBuilder, SimilarityMeasure,
 };
 use wifiprint_ieee80211::{Frame, FrameKind, MacAddr, Nanos, Rate};
 use wifiprint_radiotap::CapturedFrame;
+use wifiprint_scenarios::MetropolisScenario;
 
 fn synthetic_frames(n: usize, devices: u64) -> Vec<CapturedFrame> {
     let ap = MacAddr::from_index(0xFFFF);
@@ -227,6 +231,42 @@ fn bench_window_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// The sharded-store payoff: the dense full sweep (every shard, full
+/// similarity vector) versus the pruned top-k sweep (shards in bound
+/// order, most skipped) over a metropolis population of heterogeneous
+/// traffic mixes. `perf_snapshot` reports the same comparison at 10⁴ and
+/// 10⁵ devices as `sharded_sweep_speedup`.
+fn bench_sharded_sweep(c: &mut Criterion) {
+    let scenario = MetropolisScenario::with_devices(3, 8192);
+    let db = scenario.reference_db(MatchConfig::default().with_shards(64));
+    let candidates: Vec<Signature> =
+        (0..4usize).map(|i| scenario.candidate(i * 619, 2)).collect();
+    let mut group = c.benchmark_group("sharded_sweep");
+    group.bench_function("dense_full", |b| {
+        let mut scratch = MatchScratch::new();
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for cand in &candidates {
+                let view = db.match_signature_with(cand, SimilarityMeasure::Cosine, &mut scratch);
+                acc += view.best().map_or(0.0, |(_, s)| s);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("pruned_top5", |b| {
+        let mut scratch = MatchScratch::new();
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for cand in &candidates {
+                let top = db.match_topk(cand, 5, SimilarityMeasure::Cosine, &mut scratch);
+                acc += top.first().map_or(0.0, |&(_, s)| s);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 /// The streaming `Engine` end to end: per-frame extraction + windowing
 /// with one tiled match sweep per closed 1 s window, against a
 /// 256-device frozen reference. This is the ingest hot path of an
@@ -361,6 +401,6 @@ criterion_group! {
     config = config();
     targets = bench_signature_build, bench_similarity_measures, bench_matching_scaling,
         bench_dot_kernels, bench_match_tile, bench_db_insert_stream, bench_window_batch,
-        bench_engine_ingest, bench_multi_engine_ingest
+        bench_sharded_sweep, bench_engine_ingest, bench_multi_engine_ingest
 }
 criterion_main!(benches);

@@ -9,11 +9,12 @@
 //!     [output.json] [--check baseline.json]
 //! ```
 //!
-//! Default output is `BENCH_4.json` in the current directory. With
-//! `--check`, the freshly measured `match_matrix_ns` and
-//! `multi_engine_ingest_fps` are compared against the committed
-//! baseline snapshot and the process exits non-zero if either regressed
-//! by more than 25 % — the CI perf-smoke gate.
+//! Default output is `BENCH_5.json` in the current directory. With
+//! `--check`, the freshly measured `match_matrix_ns`,
+//! `multi_engine_ingest_fps` and `sharded_sweep_speedup` are compared
+//! against the committed baseline snapshot and the process exits
+//! non-zero if any regressed by more than 25 % — the CI perf-smoke
+//! gate.
 //!
 //! The measurements mirror the headline benches in
 //! `crates/bench/benches/fingerprint.rs`: the naive f64 baseline versus
@@ -26,18 +27,24 @@
 //! references): the single-parameter `Engine` since PR 3 and, since
 //! PR 4, the fused five-parameter `MultiEngine`, whose per-frame cost
 //! must stay **well below five single engines** (one header parse and
-//! one timing history instead of five).
+//! one timing history instead of five). Since PR 5 the snapshot also
+//! measures the **sharded** store at metropolis scale: the dense full
+//! sweep versus the summary-pruned top-k sweep at 10⁴ and 10⁵ enrolled
+//! devices (`sharded_sweep_speedup`, with the pruned-shard fraction),
+//! and records the host CPU count and OS kernel so 1-CPU artifacts
+//! (`batch_speedup ≈ 1`) are self-explaining.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use wifiprint_core::{
-    kernel, Engine, EvalConfig, FusionSpec, MatchScratch, MultiConfig, MultiEngine,
+    kernel, Engine, EvalConfig, FusionSpec, MatchConfig, MatchScratch, MultiConfig, MultiEngine,
     NetworkParameter, ReferenceDb, Signature, SimilarityMeasure,
 };
 use wifiprint_ieee80211::{Frame, FrameKind, MacAddr, Nanos, Rate};
 use wifiprint_radiotap::CapturedFrame;
+use wifiprint_scenarios::MetropolisScenario;
 
 /// Allowed relative regression of the gated metrics under `--check`.
 const REGRESSION_BUDGET: f64 = 0.25;
@@ -99,7 +106,7 @@ fn read_field(json: &str, field: &str) -> Option<f64> {
 }
 
 fn main() {
-    let mut out_path = "BENCH_4.json".to_owned();
+    let mut out_path = "BENCH_5.json".to_owned();
     let mut check_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -256,14 +263,66 @@ fn main() {
     // independent engines would sit at 5.0.
     let multi_vs_single = multi_engine_ingest_ns / engine_ingest_ns;
 
+    // Sharded sweeps at metropolis scale: the dense full sweep (every
+    // shard, full similarity vector) versus the pruned top-5 sweep over
+    // the same store, at 10^4 and 10^5 enrolled devices. The speedup is
+    // a ratio of two measurements on the same hardware, so the gate
+    // transfers across hosts better than absolute nanoseconds.
+    let sharded_cfg = MatchConfig::default().with_shards(64);
+    let mut sharded = Vec::new();
+    for devices in [10_000usize, 100_000] {
+        let scenario = MetropolisScenario::with_devices(17, devices);
+        let db = scenario.reference_db(sharded_cfg);
+        let probes: Vec<Signature> =
+            (0..8usize).map(|i| scenario.candidate((i * 997) % devices, 2)).collect();
+        let mut scratch = MatchScratch::new();
+        let dense_ns = measure(7, 1, || {
+            for cand in &probes {
+                let view =
+                    db.match_signature_with(cand, SimilarityMeasure::Cosine, &mut scratch);
+                std::hint::black_box(view.best());
+            }
+        }) / probes.len() as f64;
+        let topk_ns = measure(7, 1, || {
+            for cand in &probes {
+                std::hint::black_box(db.match_topk(
+                    cand,
+                    5,
+                    SimilarityMeasure::Cosine,
+                    &mut scratch,
+                ));
+            }
+        }) / probes.len() as f64;
+        let (mut swept, mut pruned) = (0usize, 0usize);
+        for cand in &probes {
+            db.match_topk(cand, 5, SimilarityMeasure::Cosine, &mut scratch);
+            let stats = scratch.prune_stats();
+            swept += stats.swept_shards;
+            pruned += stats.pruned_shards;
+        }
+        let fraction = pruned as f64 / (swept + pruned).max(1) as f64;
+        sharded.push((devices, dense_ns, topk_ns, dense_ns / topk_ns, fraction));
+    }
+    let (_, sharded_dense_10k, sharded_topk_10k, sharded_speedup_10k, pruned_fraction_10k) =
+        sharded[0];
+    let (_, sharded_dense_ns, sharded_topk_ns, sharded_speedup, pruned_fraction) = sharded[1];
+
     let match_speedup = naive_ns / matrix_ns;
     let tile_speedup = matvec8_ns / tile_ns;
     let kernel_speedup = dot_f64_ns / dot_f32_ns;
     let batch_speedup = serial_ns / parallel_ns;
     let mut json = String::from("{\n");
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let _ = writeln!(json, "  \"schema\": \"wifiprint-bench-snapshot-v4\",");
+    // Host provenance: a 1-CPU container necessarily reports
+    // batch_speedup ~ 1, and the OS kernel identifies the machine class
+    // the absolute numbers came from.
+    let host_kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
+        .map(|s| s.trim().to_owned())
+        .unwrap_or_else(|_| "unknown".to_owned());
+    let _ = writeln!(json, "  \"schema\": \"wifiprint-bench-snapshot-v5\",");
     let _ = writeln!(json, "  \"cpus\": {cpus},");
+    let _ = writeln!(json, "  \"host_os\": \"{}\",", std::env::consts::OS);
+    let _ = writeln!(json, "  \"host_kernel\": \"{host_kernel}\",");
     let _ = writeln!(json, "  \"kernel\": \"{}\",", kernel::active());
     let _ = writeln!(json, "  \"reference_devices\": 256,");
     let _ = writeln!(json, "  \"batch_windows\": 512,");
@@ -286,6 +345,19 @@ fn main() {
     let _ = writeln!(json, "  \"engine_frames\": {},", engine_frames.len());
     let _ = writeln!(json, "  \"engine_ingest_ns_per_frame\": {engine_ingest_ns:.0},");
     let _ = writeln!(json, "  \"engine_ingest_fps\": {engine_ingest_fps:.0},");
+    let _ = writeln!(json, "  \"shard_count\": 64,");
+    let _ = writeln!(json, "  \"shard_strategy\": \"dominant-histogram\",");
+    let _ = writeln!(json, "  \"sharded_topk\": 5,");
+    let _ = writeln!(json, "  \"sharded_devices_10k\": 10000,");
+    let _ = writeln!(json, "  \"sharded_dense_ns_10k\": {sharded_dense_10k:.0},");
+    let _ = writeln!(json, "  \"sharded_topk_ns_10k\": {sharded_topk_10k:.0},");
+    let _ = writeln!(json, "  \"sharded_sweep_speedup_10k\": {sharded_speedup_10k:.2},");
+    let _ = writeln!(json, "  \"pruned_shard_fraction_10k\": {pruned_fraction_10k:.3},");
+    let _ = writeln!(json, "  \"sharded_devices\": 100000,");
+    let _ = writeln!(json, "  \"sharded_dense_ns\": {sharded_dense_ns:.0},");
+    let _ = writeln!(json, "  \"sharded_topk_ns\": {sharded_topk_ns:.0},");
+    let _ = writeln!(json, "  \"sharded_sweep_speedup\": {sharded_speedup:.2},");
+    let _ = writeln!(json, "  \"pruned_shard_fraction\": {pruned_fraction:.3},");
     let _ = writeln!(json, "  \"multi_engine_parameters\": 5,");
     let _ = writeln!(json, "  \"multi_engine_ingest_ns_per_frame\": {multi_engine_ingest_ns:.0},");
     let _ = writeln!(json, "  \"multi_engine_ingest_fps\": {multi_engine_ingest_fps:.0},");
@@ -329,6 +401,23 @@ fn main() {
             println!(
                 "perf check ok: multi_engine_ingest_fps {multi_engine_ingest_fps:.0} within \
                  {:.0}% of baseline {baseline_fps:.0}",
+                REGRESSION_BUDGET * 100.0
+            );
+        }
+        // Pre-v5 baselines carry no sharded-sweep number.
+        if let Some(baseline_speedup) = read_field(&baseline, "sharded_sweep_speedup") {
+            let floor = baseline_speedup * (1.0 - REGRESSION_BUDGET);
+            if sharded_speedup < floor {
+                eprintln!(
+                    "PERF REGRESSION: sharded_sweep_speedup {sharded_speedup:.2} below \
+                     {floor:.2} (baseline {baseline_speedup:.2} - {:.0}%)",
+                    REGRESSION_BUDGET * 100.0
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "perf check ok: sharded_sweep_speedup {sharded_speedup:.2} within {:.0}% of \
+                 baseline {baseline_speedup:.2}",
                 REGRESSION_BUDGET * 100.0
             );
         }

@@ -29,7 +29,7 @@ where
 {
     #[cfg(feature = "parallel")]
     {
-        map_with_workers(items, init, f, worker_count(items.len()))
+        map_with_workers(items, init, f, worker_count(items.len(), PER_ITEM_MIN_CHUNK))
     }
     #[cfg(not(feature = "parallel"))]
     {
@@ -46,9 +46,13 @@ where
 /// ([`ReferenceDb::match_tile`](crate::ReferenceDb::match_tile)): a tile
 /// of candidate windows shares one pass over the reference rows, tiles
 /// are independent, and — with the `parallel` feature — tiles are what
-/// gets distributed across workers, each with its own scratch. `f` must
-/// return exactly one output per input item for the flattened order to
-/// line up (all callers in this workspace do).
+/// gets distributed across workers, each with its own scratch. Unlike the
+/// per-item map, tiles are already coarse work units (a whole reference
+/// sweep each), so they parallelize down to one tile per worker — this is
+/// what lets a `MultiEngine` window close fan its five per-parameter
+/// shard sweeps across cores. `f` must return exactly one output per
+/// input item for the flattened order to line up (all callers in this
+/// workspace do).
 pub fn map_tiles_with_scratch<T, S, U, I, F>(
     items: &[T],
     tile: usize,
@@ -62,7 +66,14 @@ where
     F: Fn(&mut S, &[T]) -> Vec<U> + Sync,
 {
     let tiles: Vec<&[T]> = items.chunks(tile.max(1)).collect();
-    let nested = map_with_scratch(&tiles, init, |scratch, chunk| f(scratch, chunk));
+    #[cfg(feature = "parallel")]
+    let nested =
+        map_with_workers(&tiles, init, |scratch, chunk| f(scratch, chunk), worker_count(tiles.len(), 1));
+    #[cfg(not(feature = "parallel"))]
+    let nested = {
+        let mut scratch = init();
+        tiles.iter().map(|chunk| f(&mut scratch, chunk)).collect::<Vec<_>>()
+    };
     nested.into_iter().flatten().collect()
 }
 
@@ -99,18 +110,22 @@ where
     })
 }
 
-/// Worker count for a batch: bounded by the CPU count (overridable with
-/// `WIFIPRINT_THREADS`) and by a minimum per-worker chunk so tiny batches
-/// stay serial.
+/// Minimum items per worker for the **per-item** map, so tiny batches
+/// stay serial (tiled maps pass 1: each tile is already coarse).
 #[cfg(feature = "parallel")]
-fn worker_count(items: usize) -> usize {
-    const MIN_CHUNK: usize = 8;
+const PER_ITEM_MIN_CHUNK: usize = 8;
+
+/// Worker count for a batch: bounded by the CPU count (overridable with
+/// `WIFIPRINT_THREADS`) and by a minimum per-worker chunk so batches too
+/// small to amortise the thread scope stay serial.
+#[cfg(feature = "parallel")]
+fn worker_count(items: usize, min_chunk: usize) -> usize {
     let cpus = std::env::var("WIFIPRINT_THREADS")
         .ok()
         .and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get));
-    cpus.min(items / MIN_CHUNK).max(1)
+    cpus.min(items / min_chunk.max(1)).max(1)
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@ use wifiprint_radiotap::CapturedFrame;
 
 use crate::error::CoreError;
 use crate::histogram::BinSpec;
+use crate::matching::MatchConfig;
 use crate::params::NetworkParameter;
 use crate::similarity::SimilarityMeasure;
 
@@ -115,6 +116,10 @@ pub struct EvalConfig {
     pub filter: FrameFilter,
     /// Detection window length (the paper uses 5 minutes, §I/§V-A).
     pub window: Nanos,
+    /// Shard layout of reference databases built from this configuration
+    /// (the engines' online-trained references; see
+    /// [`MatchConfig`]). Defaults to dominant-histogram sharding.
+    pub match_config: MatchConfig,
 }
 
 impl EvalConfig {
@@ -129,6 +134,7 @@ impl EvalConfig {
             estimator: TxTimeEstimator::SizeOverRate,
             filter: FrameFilter::default(),
             window: Nanos::from_secs(300),
+            match_config: MatchConfig::default(),
         }
     }
 
@@ -157,6 +163,13 @@ impl EvalConfig {
     #[must_use]
     pub fn with_measure(mut self, measure: SimilarityMeasure) -> Self {
         self.measure = measure;
+        self
+    }
+
+    /// Returns a copy with a different reference-store shard layout.
+    #[must_use]
+    pub fn with_match_config(mut self, match_config: MatchConfig) -> Self {
+        self.match_config = match_config;
         self
     }
 

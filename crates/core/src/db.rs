@@ -2,6 +2,13 @@
 //! format, so learned signatures can be stored and reloaded across runs
 //! (the paper's learning/detection phase split).
 //!
+//! The format stores *signatures*, not layout: the shard directory of
+//! the in-memory store ([`MatchConfig`]) is runtime configuration, so a
+//! database saved from any layout reloads into whichever layout the
+//! reader asks for ([`load_db`] uses the default dominant-histogram
+//! sharding; [`load_db_with`] takes an explicit [`MatchConfig`]) and
+//! scores identically either way.
+//!
 //! Format (one item per line):
 //!
 //! ```text
@@ -22,7 +29,7 @@ use std::io::{BufRead, Write};
 use wifiprint_ieee80211::{FrameKind, MacAddr};
 
 use crate::histogram::{BinSpec, Histogram};
-use crate::matching::ReferenceDb;
+use crate::matching::{MatchConfig, ReferenceDb};
 use crate::params::NetworkParameter;
 use crate::signature::Signature;
 
@@ -97,13 +104,28 @@ pub fn save_db<W: Write>(
     Ok(())
 }
 
-/// Reads a database previously written with [`save_db`].
+/// Reads a database previously written with [`save_db`], packing it
+/// into the default shard layout ([`MatchConfig::default`]).
 ///
 /// # Errors
 ///
 /// I/O errors, or [`DbCodecError::Parse`] for malformed content.
 pub fn load_db<R: BufRead>(
     input: R,
+) -> Result<(ReferenceDb, NetworkParameter, BinSpec), DbCodecError> {
+    load_db_with(input, MatchConfig::default())
+}
+
+/// [`load_db`] with an explicit shard layout for the reloaded store —
+/// e.g. [`MatchConfig::flat`] for a small deployment, or a higher shard
+/// count for a metropolis-scale one.
+///
+/// # Errors
+///
+/// I/O errors, or [`DbCodecError::Parse`] for malformed content.
+pub fn load_db_with<R: BufRead>(
+    input: R,
+    config: MatchConfig,
 ) -> Result<(ReferenceDb, NetworkParameter, BinSpec), DbCodecError> {
     let mut lines = input.lines().enumerate();
     let mut next_line = |expect: &str| -> Result<(usize, String), DbCodecError> {
@@ -199,7 +221,7 @@ pub fn load_db<R: BufRead>(
         }
     }
     seal(&mut current, &mut signatures);
-    Ok((ReferenceDb::from_signatures(signatures), parameter, bins))
+    Ok((ReferenceDb::from_signatures_with(signatures, config), parameter, bins))
 }
 
 fn parse_bins(line: &str) -> Option<BinSpec> {
@@ -288,6 +310,23 @@ mod tests {
         let (loaded, _, lbins) = load_db(&buf[..]).unwrap();
         assert_eq!(lbins, cfg.bins);
         assert_eq!(loaded.len(), 1);
+    }
+
+    #[test]
+    fn layouts_reload_and_score_identically() {
+        // The persisted format carries no layout; any MatchConfig
+        // reloads the same signatures and scores identically.
+        let (db, param, bins) = sample_db();
+        let mut buf = Vec::new();
+        save_db(&mut buf, &db, param, &bins).unwrap();
+        let (flat, _, _) = load_db_with(&buf[..], MatchConfig::flat()).unwrap();
+        let (sharded, _, _) =
+            load_db_with(&buf[..], MatchConfig::default().with_shards(7)).unwrap();
+        assert_eq!(flat.len(), sharded.len());
+        let cand = db.iter().next().unwrap().1.clone();
+        let a = flat.match_signature(&cand, crate::SimilarityMeasure::Cosine);
+        let b = sharded.match_signature(&cand, crate::SimilarityMeasure::Cosine);
+        assert_eq!(a.similarities(), b.similarities());
     }
 
     #[test]

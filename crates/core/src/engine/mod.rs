@@ -343,6 +343,9 @@ impl EngineBuilder {
 }
 
 /// Internal lifecycle state (the public projection is [`EnginePhase`]).
+// One instance per engine; boxing the (sharded) database to shrink the
+// enum would only add a pointer chase to the hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum Phase {
     Training { builder: SignatureBuilder, duration: Nanos },
@@ -632,7 +635,10 @@ impl Engine {
             Err(CoreError::NoQualifiedDevices { .. }) => BTreeMap::new(),
             Err(e) => return Err(e.into()),
         };
-        let mut db = ReferenceDb::new();
+        // The online-trained reference uses the configured shard layout
+        // (pre-learned references keep whatever layout they were built
+        // with).
+        let mut db = ReferenceDb::with_config(self.cfg.match_config);
         for (device, signature) in signatures {
             events.push(Event::Enrolled { device, observations: signature.observation_count() });
             db.insert(device, signature)?;

@@ -78,7 +78,7 @@ use wifiprint_radiotap::CapturedFrame;
 use crate::config::{default_bins, EvalConfig, FrameFilter, TxTimeEstimator};
 use crate::error::CoreError;
 use crate::fusion::{fuse_outcomes, FusedOutcome, FusionSpec};
-use crate::matching::{MatchOutcome, MatchScratch, ReferenceDb, MATCH_TILE};
+use crate::matching::{MatchConfig, MatchOutcome, MatchScratch, ReferenceDb, MATCH_TILE};
 use crate::params::{FusedExtractor, NetworkParameter};
 use crate::signature::Signature;
 use crate::similarity::SimilarityMeasure;
@@ -106,6 +106,9 @@ pub struct MultiConfig {
     pub filter: FrameFilter,
     /// Detection window length (the paper uses 5 minutes, §I/§V-A).
     pub window: Nanos,
+    /// Shard layout of the per-parameter reference databases the
+    /// training phase builds (see [`MatchConfig`]).
+    pub match_config: MatchConfig,
 }
 
 impl Default for MultiConfig {
@@ -119,6 +122,7 @@ impl Default for MultiConfig {
             estimator: TxTimeEstimator::SizeOverRate,
             filter: FrameFilter::default(),
             window: Nanos::from_secs(300),
+            match_config: MatchConfig::default(),
         }
     }
 }
@@ -152,6 +156,13 @@ impl MultiConfig {
         self
     }
 
+    /// Returns a copy with a different reference-store shard layout.
+    #[must_use]
+    pub fn with_match_config(mut self, match_config: MatchConfig) -> Self {
+        self.match_config = match_config;
+        self
+    }
+
     /// The single-parameter [`EvalConfig`] this multi-configuration is
     /// equivalent to for one parameter — the configuration a
     /// side-by-side [`Engine`](super::Engine) would need to reproduce
@@ -165,6 +176,7 @@ impl MultiConfig {
             estimator: self.estimator,
             filter: self.filter.clone(),
             window: self.window,
+            match_config: self.match_config,
         }
     }
 
@@ -394,7 +406,7 @@ impl MultiEngineBuilder {
             extractor,
             phase,
             score_unknown: self.score_unknown,
-            scratch: MatchScratch::new(),
+            scratches: Vec::new(),
             origin: None,
             last_t: None,
             frames: 0,
@@ -477,8 +489,10 @@ pub struct MultiEngine {
     extractor: FusedExtractor,
     phase: MultiPhase,
     score_unknown: bool,
-    /// Reused across every window and parameter.
-    scratch: MatchScratch,
+    /// Warm [`MatchScratch`]es reused across window closes: the
+    /// per-parameter fan-out checks one out per worker and returns it,
+    /// keeping the steady state allocation-free like the single engine.
+    scratches: Vec<MatchScratch>,
     origin: Option<Nanos>,
     last_t: Option<Nanos>,
     frames: u64,
@@ -551,7 +565,7 @@ impl MultiEngine {
                     state,
                     score_unknown: self.score_unknown,
                 },
-                &mut self.scratch,
+                &mut self.scratches,
                 sealed,
                 current,
                 &mut events,
@@ -621,7 +635,7 @@ impl MultiEngine {
                     state,
                     score_unknown: self.score_unknown,
                 },
-                &mut self.scratch,
+                &mut self.scratches,
                 sealed,
                 current,
                 &mut events,
@@ -683,7 +697,7 @@ impl MultiEngine {
                     state: &state,
                     score_unknown: self.score_unknown,
                 },
-                &mut self.scratch,
+                &mut self.scratches,
                 sealed,
                 current,
                 &mut events,
@@ -774,8 +788,9 @@ impl MultiEngine {
         // the single-parameter SignatureBuilder never tracked such a
         // device at all, and the reference database rejects empty rows.
         let min = self.cfg.min_observations.max(1);
-        let mut references: Vec<ReferenceDb> =
-            (0..self.spec.len()).map(|_| ReferenceDb::new()).collect();
+        let mut references: Vec<ReferenceDb> = (0..self.spec.len())
+            .map(|_| ReferenceDb::with_config(self.cfg.match_config))
+            .collect();
         for (device, sigs) in devices {
             let mut observations = Vec::new();
             for ((i, sig), param) in sigs.into_iter().enumerate().zip(self.spec.parameters()) {
@@ -803,6 +818,22 @@ impl MultiEngine {
     }
 }
 
+/// A [`MatchScratch`] checked out of the engine's warm pool for one
+/// fan-out worker; returning it on drop keeps the buffers (grown to the
+/// reference size) alive across window closes.
+struct PooledScratch<'a> {
+    pool: &'a std::sync::Mutex<Vec<MatchScratch>>,
+    inner: MatchScratch,
+}
+
+impl Drop for PooledScratch<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut pool) = self.pool.lock() {
+            pool.push(std::mem::take(&mut self.inner));
+        }
+    }
+}
+
 /// The per-window context [`close_multi_window`] needs from the engine.
 struct CloseArgs<'a> {
     spec: &'a FusionSpec,
@@ -816,9 +847,10 @@ struct CloseArgs<'a> {
 /// [`MATCH_TILE`]-wide tiles, then fuse each candidate's per-parameter
 /// vectors into the combined score, and emit the fused events (ascending
 /// device address) plus the terminator.
+#[allow(clippy::too_many_lines)] // qualify → fan-out sweep → fuse, one linear pass
 fn close_multi_window(
     args: &CloseArgs<'_>,
-    scratch: &mut MatchScratch,
+    scratches: &mut Vec<MatchScratch>,
     window: usize,
     candidates: BTreeMap<MacAddr, Vec<Signature>>,
     events: &mut Vec<MultiEvent>,
@@ -857,24 +889,59 @@ fn close_multi_window(
 
     // One tiled sweep per parameter over the candidates that qualified
     // for it — the same matrix–matrix path the single engine drives,
-    // skipping strangers when their scoring is off.
-    for p in 0..n_params {
-        let db = &state.references[p];
-        let to_score: Vec<usize> = qualified
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| {
-                c.sigs[p].is_some() && (score_unknown || db.contains(&c.device))
-            })
-            .map(|(i, _)| i)
-            .collect();
-        for chunk in to_score.chunks(MATCH_TILE) {
-            let sigs: Vec<&Signature> =
-                chunk.iter().map(|&i| qualified[i].sigs[p].as_ref().expect("qualified")).collect();
-            let tile = db.match_tile(&sigs, cfg.measure, scratch);
-            for (&i, view) in chunk.iter().zip(tile.views()) {
-                qualified[i].views[p] = Some(view.to_outcome());
-            }
+    // skipping strangers when their scoring is off. The five sweeps are
+    // independent by construction (each reads its own sharded reference
+    // database), so with the `parallel` feature they fan out across
+    // `batch::map_tiles_with_scratch` — one parameter per work unit, one
+    // scratch per worker; on 1-CPU hosts the map degrades to the serial
+    // loop.
+    // Workers borrow warm scratches from the engine's pool (returned on
+    // drop), so repeated window closes stay allocation-free once the
+    // buffers have grown to the reference size.
+    let pool = std::sync::Mutex::new(std::mem::take(scratches));
+    let checkout = || PooledScratch {
+        pool: &pool,
+        inner: pool.lock().map_or_else(|_| MatchScratch::new(), |mut p| p.pop().unwrap_or_default()),
+    };
+    let params: Vec<usize> = (0..n_params).collect();
+    let per_param: Vec<Vec<(usize, MatchOutcome)>> = crate::batch::map_tiles_with_scratch(
+        &params,
+        1,
+        checkout,
+        |pooled, chunk| {
+            let scratch = &mut pooled.inner;
+            chunk
+                .iter()
+                .map(|&p| {
+                    let db = &state.references[p];
+                    let to_score: Vec<usize> = qualified
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| {
+                            c.sigs[p].is_some() && (score_unknown || db.contains(&c.device))
+                        })
+                        .map(|(i, _)| i)
+                        .collect();
+                    let mut outcomes = Vec::with_capacity(to_score.len());
+                    for tile_ids in to_score.chunks(MATCH_TILE) {
+                        let sigs: Vec<&Signature> = tile_ids
+                            .iter()
+                            .map(|&i| qualified[i].sigs[p].as_ref().expect("qualified"))
+                            .collect();
+                        let tile = db.match_tile(&sigs, cfg.measure, scratch);
+                        outcomes.extend(
+                            tile_ids.iter().zip(tile.views()).map(|(&i, v)| (i, v.to_outcome())),
+                        );
+                    }
+                    outcomes
+                })
+                .collect()
+        },
+    );
+    *scratches = pool.into_inner().unwrap_or_default();
+    for (p, outcomes) in per_param.into_iter().enumerate() {
+        for (i, outcome) in outcomes {
+            qualified[i].views[p] = Some(outcome);
         }
     }
 

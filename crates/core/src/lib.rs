@@ -19,10 +19,14 @@
 //!    weighted histograms is the device's **signature** ([`Signature`]).
 //! 3. A candidate signature is matched against a [`ReferenceDb`] with the
 //!    weighted **cosine similarity** of Algorithm 1 ([`matching`]) — a
-//!    structure-of-arrays `f32` matrix sweep driven by a runtime-dispatched
-//!    SIMD dot kernel ([`kernel`]), scoring tiles of candidate windows per
-//!    pass over the reference rows, with reusable [`MatchScratch`]
-//!    buffers, batched and optionally parallel ([`batch`]).
+//!    **sharded** structure-of-arrays `f32` store ([`MatchConfig`]:
+//!    dominant-histogram locality bucketing, MAC-prefix fallback) driven
+//!    by a runtime-dispatched SIMD dot kernel ([`kernel`]), scoring tiles
+//!    of candidate windows per pass over the reference rows, with
+//!    reusable [`MatchScratch`] buffers, batched and optionally parallel
+//!    ([`batch`]). At large populations the pruned
+//!    [`ReferenceDb::match_topk`] sweep skips every shard whose
+//!    centroid/norm-bound summary cannot beat the current top-k.
 //! 4. Accuracy is measured with the paper's two tests ([`metrics`]): the
 //!    **similarity test** (threshold sweep → TPR/FPR curve → AUC) and the
 //!    **identification test** (argmax → identification ratio at a target
@@ -118,7 +122,7 @@ mod similarity;
 mod windows;
 
 pub use config::{default_bins, EvalConfig, FrameFilter, TxTimeEstimator};
-pub use db::{load_db, save_db, DbCodecError};
+pub use db::{load_db, load_db_with, save_db, DbCodecError};
 pub use engine::{
     Engine, EngineBuilder, EngineError, EnginePhase, Event, MultiConfig, MultiEngine,
     MultiEngineBuilder, MultiEvent, ParameterDecision,
@@ -128,7 +132,8 @@ pub use fusion::{fuse_outcomes, FusedOutcome, FusionSpec};
 pub use histogram::{BinSpec, Histogram};
 pub use kernel::KernelKind;
 pub use matching::{
-    MatchOutcome, MatchScratch, MatchView, ReferenceDb, TileView, F32_SCORE_TOLERANCE, MATCH_TILE,
+    MatchConfig, MatchOutcome, MatchScratch, MatchView, PruneStats, ReferenceDb, ShardStrategy,
+    TileView, DEFAULT_SHARDS, F32_SCORE_TOLERANCE, MATCH_TILE,
 };
 pub use metrics::{
     evaluate, CurvePoint, EvalOutcome, IdentOperatingPoint, MatchSet, SimilarityCurve,

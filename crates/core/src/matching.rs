@@ -1,4 +1,4 @@
-//! The reference database and Algorithm 1 (signature matching).
+//! The sharded reference database and Algorithm 1 (signature matching).
 //!
 //! # Structure-of-arrays layout, in `f32`
 //!
@@ -7,8 +7,8 @@
 //! reference `rᵢ` — the `O(windows × devices × bins)` hot path of the
 //! whole pipeline. To make that sweep cache-friendly, [`ReferenceDb`]
 //! does **not** score against per-device `BTreeMap`s. Instead it packs,
-//! for each frame kind, every device's frequency vector into one
-//! contiguous row-major matrix:
+//! for each frame kind, every device's frequency vector into contiguous
+//! row-major matrices:
 //!
 //! ```text
 //! KindBlock(Data):   rows  = [ dev₀ bins… | dev₁ bins… | … | devₙ bins… ]  (f32)
@@ -26,6 +26,40 @@
 //! stored rows — bounded by [`F32_SCORE_TOLERANCE`] and enforced against
 //! the `f64` baseline by property tests and an AUC-drift check in the
 //! analysis crate.
+//!
+//! # The sharded store
+//!
+//! One flat matrix per kind stops scaling past ~10⁵ devices: every sweep
+//! touches every row. [`ReferenceDb`] therefore buckets its rows into
+//! **shards** ([`MatchConfig`]): by default a locality-sensitive key of
+//! each device's *dominant* histogram (its centre of mass — devices whose
+//! heaviest histogram concentrates probability in the same region share a
+//! shard), with the MAC prefix (OUI hash) as a fallback strategy for
+//! enrolments where histogram locality is unwanted
+//! ([`ShardStrategy::MacPrefix`]). Each shard keeps its own `SoA` blocks
+//! plus a **prune summary** per block: the elementwise upper envelope of
+//! its normalised rows and the maximum reference weight. For the cosine
+//! measure (frequencies are non-negative) the envelope yields an
+//! *admissible* upper bound on any resident device's score against a
+//! given candidate — one dot product per (shard, kind) instead of one per
+//! device. (A mean-centroid summary would need a radius term and is
+//! strictly looser for non-negative rows, so the envelope is the summary
+//! of choice.)
+//!
+//! Two sweeps sit on top of that layout:
+//!
+//! * the **dense** sweep ([`ReferenceDb::match_tile`],
+//!   [`ReferenceDb::match_signature_with`]) visits every shard and is
+//!   *bit-for-bit* the flat sweep — per device the same per-pair
+//!   arithmetic accumulates in the same (ascending frame kind) order, so
+//!   public argmax/order semantics are unchanged and property-tested
+//!   equal to a flat (`shards == 1`) database;
+//! * the **pruned** sweep ([`ReferenceDb::match_topk`]) processes shards
+//!   in descending bound order and skips every shard whose best possible
+//!   score cannot beat the current `k`-th best — at 10⁵ enrolled devices
+//!   this prunes most of the matrix before the dense SIMD inner loop
+//!   runs. [`MatchScratch::prune_stats`] reports the pruned fraction of
+//!   the last sweep.
 //!
 //! # The SIMD dot kernel
 //!
@@ -79,15 +113,22 @@
 //! let tile = db.match_tile(&windows, SimilarityMeasure::Cosine, &mut scratch);
 //! assert_eq!(tile.candidate_count(), 3);
 //! assert_eq!(tile.candidate(2).best().unwrap().0, MacAddr::from_index(1));
+//! // And the pruned top-k sweep (what a 10⁵-device deployment runs):
+//! let top = db.match_topk(&sig, 1, SimilarityMeasure::Cosine, &mut scratch);
+//! assert_eq!(top[0].0, MacAddr::from_index(1));
 //! ```
 //!
 //! # Incremental growth
 //!
-//! [`ReferenceDb::insert`] appends one row per block (amortised `O(row)`)
-//! instead of repacking every block, so streaming database growth is
-//! linear in the data, not quadratic. Internally rows live in insertion
-//! order with a sorted index on top; every public API still reports
-//! devices in ascending address order.
+//! [`ReferenceDb::insert`] appends one row to the device's shard
+//! (amortised `O(row)`) instead of repacking, so streaming database
+//! growth is linear in the data, not quadratic. Internally rows live in
+//! insertion order with a sorted index on top; shard membership, the
+//! per-shard slots and the sorted address index stay consistent across
+//! any interleaving of [`ReferenceDb::insert`] / [`ReferenceDb::remove`]
+//! (re-inserting a changed signature migrates the device to its new
+//! shard). Every public API still reports devices in ascending address
+//! order.
 
 use std::borrow::Borrow;
 use std::collections::BTreeMap;
@@ -95,6 +136,7 @@ use std::collections::BTreeMap;
 use wifiprint_ieee80211::{FrameKind, MacAddr};
 
 use crate::error::CoreError;
+use crate::histogram::Histogram;
 use crate::kernel;
 use crate::signature::Signature;
 use crate::similarity::SimilarityMeasure;
@@ -119,9 +161,95 @@ pub const F32_SCORE_TOLERANCE: f64 = 1e-4;
 /// loaded from memory once per tile instead of once per candidate.
 pub const MATCH_TILE: usize = 8;
 
-/// One frame kind's slice of the reference matrix: every device's
-/// frequency vector for that kind, packed row-major, plus the reference
-/// weights `weight^ftype(rᵢ)` and reciprocal row norms.
+/// Default shard count of a [`MatchConfig`]. Sixteen shards keep the
+/// per-sweep summary overhead negligible at conference scale while
+/// already pruning most of the matrix at 10⁴–10⁵ devices; large
+/// deployments raise it via [`MatchConfig::with_shards`].
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Hard ceiling on the configured shard count (the shard directory is
+/// allocated eagerly).
+const MAX_SHARDS: usize = 1024;
+
+/// Safety slack added to every shard's score upper bound before the
+/// prune test. The bound and the true scores run through the same `f32`
+/// kernels but accumulate differently, so their floating-point error is
+/// not ordered; one [`F32_SCORE_TOLERANCE`] of slack makes the bound
+/// admissible under rounding (a shard is only pruned when its best
+/// possible score is below the current `k`-th best by more than the
+/// documented score tolerance).
+const PRUNE_BOUND_SLACK: f64 = F32_SCORE_TOLERANCE;
+
+/// How devices are bucketed into shards (see [`MatchConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardStrategy {
+    /// Locality-sensitive key of the device's **dominant** (highest
+    /// weight) histogram: its centre of mass, quantised over the shard
+    /// count. Devices whose heaviest histogram concentrates probability
+    /// in the same region share a shard, which keeps each shard's upper
+    /// envelope tight and makes the pruned sweep effective.
+    #[default]
+    DominantHistogram,
+    /// A hash of the MAC address's OUI (first three octets). Not
+    /// locality-sensitive in score space — pruning bounds stay
+    /// admissible but looser — useful as a fallback when enrolment is
+    /// adversarial or signatures churn faster than shard residency
+    /// should.
+    MacPrefix,
+}
+
+/// Configuration of the sharded reference store: how rows are bucketed
+/// and into how many shards. `shards == 1` degenerates to the flat
+/// single-matrix layout ([`MatchConfig::flat`]), which the sharded dense
+/// sweep is property-tested bit-for-bit equal to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchConfig {
+    /// The shard-key strategy.
+    pub strategy: ShardStrategy,
+    /// Number of shards (clamped to `1..=1024` when the database is
+    /// built).
+    pub shards: usize,
+}
+
+impl Default for MatchConfig {
+    /// Dominant-histogram bucketing over [`DEFAULT_SHARDS`] shards.
+    fn default() -> Self {
+        MatchConfig { strategy: ShardStrategy::DominantHistogram, shards: DEFAULT_SHARDS }
+    }
+}
+
+impl MatchConfig {
+    /// The flat (unsharded) layout: one shard holding every row. The
+    /// parity baseline for the sharded sweeps, and the right choice for
+    /// small (< a few hundred devices) databases.
+    pub fn flat() -> Self {
+        MatchConfig { strategy: ShardStrategy::DominantHistogram, shards: 1 }
+    }
+
+    /// Returns a copy with a different shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Returns a copy with a different shard-key strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: ShardStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The effective shard count (clamped).
+    fn effective_shards(&self) -> usize {
+        self.shards.clamp(1, MAX_SHARDS)
+    }
+}
+
+/// One frame kind's slice of a shard's reference matrix: every resident
+/// device's frequency vector for that kind, packed row-major, plus the
+/// reference weights `weight^ftype(rᵢ)`, reciprocal row norms, and the
+/// prune summary (upper envelope of the normalised rows + max weight).
 #[derive(Debug, Clone)]
 struct KindBlock {
     kind: FrameKind,
@@ -129,50 +257,131 @@ struct KindBlock {
     /// with a different spec for the same kind land in a sibling block,
     /// so heterogeneous databases still score every compatible pair.
     bins: usize,
-    /// `weights[i]` is device `i`'s weight for this kind (0 ⇒ skip row).
+    /// `weights[slot]` is the resident device's weight for this kind
+    /// (0 ⇒ skip row).
     weights: Vec<f32>,
-    /// `rows[i*bins..(i+1)*bins]` is device `i`'s frequency vector.
+    /// `rows[slot*bins..(slot+1)*bins]` is the device's frequency vector.
     rows: Vec<f32>,
-    /// `inv_norms[i]` is `1 / ‖row i‖₂`, precomputed at pack time so the
+    /// `inv_norms[slot]` is `1 / ‖row‖₂`, precomputed at pack time so the
     /// cosine sweep reduces to one dot product and two multiplies per
     /// pair (0.0 for absent rows, which weight 0 already skips).
     inv_norms: Vec<f32>,
+    /// Elementwise maximum of the *normalised* resident rows: because
+    /// frequencies are non-negative, `ĉ · envelope ≥ ĉ · r̂ᵢ` for every
+    /// resident row, so one dot against the envelope upper-bounds every
+    /// per-device cosine in the block.
+    envelope: Vec<f32>,
+    /// Maximum reference weight over resident rows (the other half of
+    /// the shard score bound).
+    wmax: f32,
 }
 
 impl KindBlock {
-    fn empty(kind: FrameKind, bins: usize, n: usize) -> KindBlock {
+    fn empty(kind: FrameKind, bins: usize, slots: usize) -> KindBlock {
         KindBlock {
             kind,
             bins,
-            weights: vec![0.0; n],
-            rows: vec![0.0; n * bins],
-            inv_norms: vec![0.0; n],
+            weights: vec![0.0; slots],
+            rows: vec![0.0; slots * bins],
+            inv_norms: vec![0.0; slots],
+            envelope: vec![0.0; bins],
+            wmax: 0.0,
         }
     }
 
-    /// Clears row `i` back to the absent-device state.
-    fn clear_row(&mut self, i: usize) {
-        self.weights[i] = 0.0;
-        self.inv_norms[i] = 0.0;
-        self.rows[i * self.bins..(i + 1) * self.bins].fill(0.0);
+    /// Appends one absent-device slot.
+    fn push_empty_slot(&mut self) {
+        self.weights.push(0.0);
+        self.inv_norms.push(0.0);
+        self.rows.resize(self.rows.len() + self.bins, 0.0);
+    }
+
+    /// Removes one slot, shifting the later ones down.
+    fn remove_slot(&mut self, slot: usize) {
+        self.weights.remove(slot);
+        self.inv_norms.remove(slot);
+        self.rows.drain(slot * self.bins..(slot + 1) * self.bins);
+    }
+
+    /// Writes a device's row into `slot` and absorbs it into the prune
+    /// summary (the envelope only grows here; shrinking happens in
+    /// [`KindBlock::rebuild_summary`] after removals).
+    fn set_slot(&mut self, slot: usize, freqs: &[f32], weight: f32) {
+        debug_assert_eq!(freqs.len(), self.bins);
+        self.weights[slot] = weight;
+        self.rows[slot * self.bins..(slot + 1) * self.bins].copy_from_slice(freqs);
+        let inv = inv_norm(freqs);
+        self.inv_norms[slot] = inv;
+        self.wmax = self.wmax.max(weight);
+        for (e, &f) in self.envelope.iter_mut().zip(freqs) {
+            *e = e.max(f * inv);
+        }
+    }
+
+    /// Recomputes the envelope and max weight from the resident rows
+    /// (after a removal the incremental summary would be stale-loose).
+    fn rebuild_summary(&mut self) {
+        self.envelope.fill(0.0);
+        self.wmax = 0.0;
+        for (slot, row) in self.rows.chunks_exact(self.bins).enumerate() {
+            let weight = self.weights[slot];
+            if weight == 0.0 {
+                continue;
+            }
+            self.wmax = self.wmax.max(weight);
+            let inv = self.inv_norms[slot];
+            for (e, &f) in self.envelope.iter_mut().zip(row) {
+                *e = e.max(f * inv);
+            }
+        }
     }
 }
 
-/// The reference database of the learning phase (§IV-B): one signature per
-/// known device, packed into per-frame-kind `f32` matrices (see the
-/// [module docs](self)).
+/// One bucket of the sharded store: which global rows live here and
+/// their per-kind matrices (indexed by **slot**, the local row number).
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    /// `rows[slot]` is the global (insertion-order) row of the device in
+    /// that slot.
+    rows: Vec<u32>,
+    /// Per-frame-kind matrices, ascending by `(kind, bins)`.
+    blocks: Vec<KindBlock>,
+}
+
+impl Shard {
+    fn block(&self, kind: FrameKind, bins: usize) -> Option<&KindBlock> {
+        self.blocks
+            .binary_search_by(|b| (b.kind, b.bins).cmp(&(kind, bins)))
+            .ok()
+            .map(|i| &self.blocks[i])
+    }
+}
+
+/// Where a global row lives: its shard and local slot.
+#[derive(Debug, Clone, Copy, Default)]
+struct Placement {
+    shard: u16,
+    slot: u32,
+}
+
+/// The sharded reference database of the learning phase (§IV-B): one
+/// signature per known device, bucketed into shards and packed into
+/// per-frame-kind `f32` matrices (see the [module docs](self)).
 ///
 /// # Example
 ///
 /// ```
-/// use wifiprint_core::{EvalConfig, NetworkParameter, ReferenceDb, Signature, SimilarityMeasure};
+/// use wifiprint_core::{EvalConfig, MatchConfig, NetworkParameter, ReferenceDb, Signature,
+///     SimilarityMeasure};
 /// use wifiprint_ieee80211::{FrameKind, MacAddr};
 ///
 /// let cfg = EvalConfig::for_parameter(NetworkParameter::FrameSize);
 /// let mut sig = Signature::new();
 /// for _ in 0..60 { sig.record(FrameKind::Data, 1000.0, &cfg); }
 ///
-/// let mut db = ReferenceDb::new();
+/// // Default: dominant-histogram sharding; MatchConfig selects the
+/// // strategy and shard count.
+/// let mut db = ReferenceDb::with_config(MatchConfig::default().with_shards(8));
 /// let dev = MacAddr::from_index(1);
 /// db.insert(dev, sig.clone()).unwrap();
 ///
@@ -180,35 +389,75 @@ impl KindBlock {
 /// assert_eq!(outcome.best().unwrap().0, dev);
 /// assert!((outcome.best().unwrap().1 - 1.0).abs() < 1e-4);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ReferenceDb {
-    /// Reference devices in **insertion order**; `signatures` and the
-    /// block rows are parallel to this, so inserts append instead of
+    /// The (normalised) shard configuration.
+    config: MatchConfig,
+    /// Reference devices in **insertion order**; `signatures` and
+    /// `placement` are parallel to this, so inserts append instead of
     /// repacking.
     devices: Vec<MacAddr>,
     signatures: Vec<Signature>,
     /// Row indices sorted by ascending device address: the lookup index,
     /// and the order every public API reports devices in.
     order: Vec<u32>,
-    /// Per-frame-kind matrices, ascending by `(kind, bins)`.
-    blocks: Vec<KindBlock>,
+    /// Global row → (shard, slot).
+    placement: Vec<Placement>,
+    /// Every `(kind, bins)` key any shard holds, ascending — the outer
+    /// loop of the sweeps, so candidate tiles are packed once per kind,
+    /// not once per (shard, kind).
+    kind_keys: Vec<(FrameKind, usize)>,
+    /// The shard directory (`config.effective_shards()` entries).
+    shards: Vec<Shard>,
     /// `true` once the enrollment phase ended ([`ReferenceDb::freeze`]):
     /// mutations are rejected so the detection phase matches against a
     /// stable reference set.
     frozen: bool,
 }
 
+impl Default for ReferenceDb {
+    fn default() -> Self {
+        ReferenceDb::with_config(MatchConfig::default())
+    }
+}
+
 impl ReferenceDb {
-    /// An empty database.
+    /// An empty database with the default [`MatchConfig`]
+    /// (dominant-histogram sharding, [`DEFAULT_SHARDS`] shards).
     pub fn new() -> Self {
         ReferenceDb::default()
     }
 
+    /// An empty database with an explicit shard configuration.
+    pub fn with_config(config: MatchConfig) -> Self {
+        let shards = config.effective_shards();
+        ReferenceDb {
+            config: MatchConfig { shards, ..config },
+            devices: Vec::new(),
+            signatures: Vec::new(),
+            order: Vec::new(),
+            placement: Vec::new(),
+            kind_keys: Vec::new(),
+            shards: vec![Shard::default(); shards],
+            frozen: false,
+        }
+    }
+
     /// Builds a database from per-device signatures (e.g. the output of
     /// [`SignatureBuilder::finish`](crate::SignatureBuilder::finish)),
-    /// packing the reference matrix once.
+    /// packing the reference matrix once, with the default
+    /// [`MatchConfig`].
     pub fn from_signatures(signatures: BTreeMap<MacAddr, Signature>) -> Self {
-        let mut db = ReferenceDb::new();
+        ReferenceDb::from_signatures_with(signatures, MatchConfig::default())
+    }
+
+    /// [`ReferenceDb::from_signatures`] with an explicit shard
+    /// configuration.
+    pub fn from_signatures_with(
+        signatures: BTreeMap<MacAddr, Signature>,
+        config: MatchConfig,
+    ) -> Self {
+        let mut db = ReferenceDb::with_config(config);
         for (device, sig) in signatures {
             // Entries arrive in ascending order, so each lands at the end.
             db.devices.push(device);
@@ -218,20 +467,72 @@ impl ReferenceDb {
         db
     }
 
+    /// The shard configuration this database was built with.
+    pub fn config(&self) -> &MatchConfig {
+        &self.config
+    }
+
+    /// The configured shard count (occupied or not).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Position of `device` in the sorted `order` index.
     fn position(&self, device: MacAddr) -> Result<usize, usize> {
         self.order.binary_search_by(|&i| self.devices[i as usize].cmp(&device))
+    }
+
+    /// The shard key of a device under the configured strategy.
+    fn shard_key(&self, device: MacAddr, signature: &Signature) -> usize {
+        let n = self.shards.len();
+        if n <= 1 {
+            return 0;
+        }
+        match self.config.strategy {
+            ShardStrategy::MacPrefix => {
+                // FNV-1a over the OUI: stable, cheap, spreads vendor
+                // prefixes uniformly.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in device.oui() {
+                    h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+                }
+                (h % n as u64) as usize
+            }
+            ShardStrategy::DominantHistogram => {
+                let mut dominant: Option<&Histogram> = None;
+                let mut dominant_total = 0u64;
+                for (_, hist) in signature.iter() {
+                    if hist.total() > dominant_total {
+                        dominant_total = hist.total();
+                        dominant = Some(hist);
+                    }
+                }
+                let Some(hist) = dominant else { return 0 };
+                // Centre of mass of the dominant histogram, as a
+                // fraction of its bin range: nearby distributions get
+                // nearby keys (the locality-sensitive property the
+                // pruning bound leans on).
+                let counts = hist.counts();
+                let mass: f64 = counts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| i as f64 * c as f64)
+                    .sum();
+                let com = mass / dominant_total as f64 / counts.len().max(1) as f64;
+                ((com * n as f64) as usize).min(n - 1)
+            }
+        }
     }
 
     /// Inserts or replaces a device's reference signature (online
     /// enrollment).
     ///
     /// Returns the previous signature if the device was already present.
-    /// Inserting a new device **appends** one row to each block
+    /// Inserting a new device **appends** one slot to its shard
     /// (amortised `O(row width)`), so building a database by streaming
-    /// inserts is linear overall; replacing rewrites only that device's
-    /// rows. [`ReferenceDb::from_signatures`] remains the cheapest bulk
-    /// constructor (one pack, no per-insert index maintenance).
+    /// inserts is linear overall; replacing detaches the old row and
+    /// re-attaches the new one, migrating the device to a different
+    /// shard when its dominant histogram moved.
     ///
     /// # Errors
     ///
@@ -253,10 +554,8 @@ impl ReferenceDb {
             Ok(pos) => {
                 let row = self.order[pos] as usize;
                 let previous = std::mem::replace(&mut self.signatures[row], signature);
-                for block in &mut self.blocks {
-                    block.clear_row(row);
-                }
-                self.write_row(row);
+                self.detach_row(row);
+                self.attach_row(row);
                 Some(previous)
             }
             Err(pos) => {
@@ -264,19 +563,18 @@ impl ReferenceDb {
                 self.devices.push(device);
                 self.signatures.push(signature);
                 self.order.insert(pos, row as u32);
-                for block in &mut self.blocks {
-                    block.weights.push(0.0);
-                    block.inv_norms.push(0.0);
-                    block.rows.resize(block.rows.len() + block.bins, 0.0);
-                }
-                self.write_row(row);
+                self.placement.push(Placement::default());
+                self.attach_row(row);
                 None
             }
         })
     }
 
     /// Removes a device, returning its signature (`Ok(None)` when the
-    /// device was not enrolled).
+    /// device was not enrolled). Shard membership, per-shard slots and
+    /// the sorted address index all stay consistent, so a later
+    /// [`ReferenceDb::insert`] of the same or another device scores
+    /// identically to a freshly built database.
     ///
     /// # Errors
     ///
@@ -289,17 +587,23 @@ impl ReferenceDb {
             return Ok(None);
         };
         let row = self.order.remove(pos) as usize;
+        self.detach_row(row);
         self.devices.remove(row);
         let sig = self.signatures.remove(row);
+        self.placement.remove(row);
         for idx in &mut self.order {
             if *idx as usize > row {
                 *idx -= 1;
             }
         }
-        for block in &mut self.blocks {
-            block.weights.remove(row);
-            block.inv_norms.remove(row);
-            block.rows.drain(row * block.bins..(row + 1) * block.bins);
+        // Global rows above the removed one shifted down by one; the
+        // shard directories index by global row and must follow.
+        for shard in &mut self.shards {
+            for r in &mut shard.rows {
+                if *r as usize > row {
+                    *r -= 1;
+                }
+            }
         }
         Ok(Some(sig))
     }
@@ -361,41 +665,75 @@ impl ReferenceDb {
         self.order.iter().map(|&i| self.devices[i as usize])
     }
 
-    /// Writes device `row`'s per-kind vectors into the blocks, creating
-    /// blocks for `(kind, bins)` pairs seen for the first time.
-    fn write_row(&mut self, row: usize) {
-        let n = self.devices.len();
-        let ReferenceDb { signatures, blocks, .. } = self;
+    /// Attaches global row `row` to its shard: appends a slot and writes
+    /// the device's per-kind vectors, creating blocks for `(kind, bins)`
+    /// pairs the shard sees for the first time.
+    fn attach_row(&mut self, row: usize) {
+        let shard_idx = self.shard_key(self.devices[row], &self.signatures[row]);
+        let ReferenceDb { signatures, placement, kind_keys, shards, .. } = self;
+        let shard = &mut shards[shard_idx];
+        let slot = shard.rows.len();
+        shard.rows.push(row as u32);
+        for block in &mut shard.blocks {
+            block.push_empty_slot();
+        }
+        placement[row] = Placement { shard: shard_idx as u16, slot: slot as u32 };
         let sig = &signatures[row];
+        let slots = shard.rows.len();
         for (kind, hist) in sig.iter() {
             if hist.total() == 0 {
                 continue;
             }
             let freqs = hist.frequencies_f32();
             let bins = freqs.len();
-            let idx = match blocks.binary_search_by(|b| (b.kind, b.bins).cmp(&(kind, bins))) {
+            let idx = match shard
+                .blocks
+                .binary_search_by(|b| (b.kind, b.bins).cmp(&(kind, bins)))
+            {
                 Ok(i) => i,
                 Err(i) => {
-                    blocks.insert(i, KindBlock::empty(kind, bins, n));
+                    shard.blocks.insert(i, KindBlock::empty(kind, bins, slots));
                     i
                 }
             };
-            let block = &mut blocks[idx];
-            block.weights[row] = sig.weight(kind) as f32;
-            block.rows[row * bins..(row + 1) * bins].copy_from_slice(freqs);
-            block.inv_norms[row] = inv_norm(freqs);
+            shard.blocks[idx].set_slot(slot, freqs, sig.weight(kind) as f32);
+            if let Err(i) = kind_keys.binary_search(&(kind, bins)) {
+                kind_keys.insert(i, (kind, bins));
+            }
         }
     }
 
-    /// Repacks the index and the per-kind matrices from the current
-    /// signatures (bulk construction).
+    /// Detaches global row `row` from its shard: drops its slot, shifts
+    /// the later residents down, and rebuilds the affected prune
+    /// summaries (the envelope may shrink).
+    fn detach_row(&mut self, row: usize) {
+        let Placement { shard: shard_idx, slot } = self.placement[row];
+        let ReferenceDb { placement, shards, .. } = self;
+        let shard = &mut shards[shard_idx as usize];
+        let slot = slot as usize;
+        shard.rows.remove(slot);
+        for &r in &shard.rows[slot..] {
+            placement[r as usize].slot -= 1;
+        }
+        for block in &mut shard.blocks {
+            block.remove_slot(slot);
+            block.rebuild_summary();
+        }
+        shard.blocks.retain(|b| b.wmax > 0.0);
+    }
+
+    /// Repacks the index, the shard directory and the per-kind matrices
+    /// from the current signatures (bulk construction).
     fn rebuild(&mut self) {
         let n = self.devices.len();
         self.order = (0..n as u32).collect();
         self.order.sort_by_key(|&i| self.devices[i as usize]);
-        self.blocks.clear();
+        self.placement = vec![Placement::default(); n];
+        self.kind_keys.clear();
+        let shards = self.shards.len();
+        self.shards = vec![Shard::default(); shards];
         for row in 0..n {
-            self.write_row(row);
+            self.attach_row(row);
         }
     }
 
@@ -407,8 +745,9 @@ impl ReferenceDb {
     /// **reference's** frame-type distribution. Scores lie in `[0, 1]`.
     ///
     /// Convenience form that allocates its outcome; the hot paths are
-    /// [`ReferenceDb::match_signature_with`] and
-    /// [`ReferenceDb::match_tile`].
+    /// [`ReferenceDb::match_signature_with`],
+    /// [`ReferenceDb::match_tile`] and — for argmax/top-k consumers at
+    /// scale — the pruned [`ReferenceDb::match_topk`].
     pub fn match_signature(&self, candidate: &Signature, measure: SimilarityMeasure) -> MatchOutcome {
         let mut scratch = MatchScratch::new();
         self.match_signature_with(candidate, measure, &mut scratch);
@@ -432,7 +771,9 @@ impl ReferenceDb {
     /// Scores a tile of `K` candidate signatures in one pass over the
     /// reference rows (matrix–matrix instead of `K` matrix–vector
     /// sweeps): each reference row is loaded once and dotted against all
-    /// `K` candidates while hot in cache.
+    /// `K` candidates while hot in cache. This is the **dense** sweep:
+    /// every shard is visited, and the result is bit-for-bit the flat
+    /// (`shards == 1`) layout's.
     ///
     /// The returned [`TileView`] exposes one [`MatchView`] per candidate,
     /// in input order; each is identical (within float rounding of the
@@ -449,9 +790,15 @@ impl ReferenceDb {
         TileView { pairs: &scratch.pairs, n: self.devices.len(), k: candidates.len() }
     }
 
-    /// The shared sweep: fills `scratch.pairs` with `K × N`
+    /// The shared dense sweep: fills `scratch.pairs` with `K × N`
     /// `(device, score)` pairs, candidate-major, each candidate's segment
     /// in ascending address order.
+    ///
+    /// Frame kinds are the outer loop (ascending `(kind, bins)`, exactly
+    /// the flat block order) and shards the inner loop, so each device's
+    /// `f64` score accumulates its per-kind contributions in the same
+    /// order regardless of sharding — the sharded dense sweep is
+    /// bit-identical to the flat one.
     fn match_tile_into<C: Borrow<Signature>>(
         &self,
         candidates: &[C],
@@ -463,8 +810,8 @@ impl ReferenceDb {
         scratch.scores.clear();
         scratch.scores.resize(k * n, 0.0);
         let dot = kernel::dot_fn();
-        for block in &self.blocks {
-            // Pack this block's tile: the f32 rows of every candidate
+        for &(kind, bins) in &self.kind_keys {
+            // Pack this kind's tile: the f32 rows of every candidate
             // that carries this (kind, bins). Candidates binned
             // differently (or missing the kind) simply don't join —
             // incompatible binning carries no information.
@@ -472,12 +819,12 @@ impl ReferenceDb {
             scratch.tile_inv_norms.clear();
             scratch.tile_slots.clear();
             for (ci, cand) in candidates.iter().enumerate() {
-                let Some(hist) = cand.borrow().histogram(block.kind) else { continue };
+                let Some(hist) = cand.borrow().histogram(kind) else { continue };
                 if hist.total() == 0 {
                     continue; // an empty candidate histogram matches nothing
                 }
                 let freqs = hist.frequencies_f32();
-                if freqs.len() != block.bins {
+                if freqs.len() != bins {
                     continue;
                 }
                 scratch.tile_rows.extend_from_slice(freqs);
@@ -494,32 +841,38 @@ impl ReferenceDb {
             if tile == 0 {
                 continue;
             }
-            let bins = block.bins;
-            // The matrix–matrix sweep: one linear pass over this kind's
-            // packed rows; every row is dotted against the whole tile
-            // while resident in L1. Zero-weight rows are absent devices.
-            for (i, row) in block.rows.chunks_exact(bins).enumerate() {
-                let weight = block.weights[i];
-                if weight == 0.0 {
-                    continue;
-                }
-                let weight = f64::from(weight);
-                if measure == SimilarityMeasure::Cosine {
-                    // Row norms were fixed at pack time and candidate
-                    // norms are invariant across rows, so the per-pair
-                    // kernel is one SIMD dot product.
-                    let row_inv = f64::from(block.inv_norms[i]);
-                    for t in 0..tile {
-                        let cand = &scratch.tile_rows[t * bins..(t + 1) * bins];
-                        let cos = (f64::from(dot(cand, row)) * scratch.tile_inv_norms[t] * row_inv)
-                            .clamp(0.0, 1.0);
-                        scratch.scores[scratch.tile_slots[t] * n + i] += weight * cos;
+            // The matrix–matrix sweep over every shard holding this
+            // kind: one linear pass over each shard's packed rows; every
+            // row is dotted against the whole tile while resident in L1.
+            // Zero-weight rows are absent devices.
+            for shard in &self.shards {
+                let Some(block) = shard.block(kind, bins) else { continue };
+                for (slot, row) in block.rows.chunks_exact(bins).enumerate() {
+                    let weight = block.weights[slot];
+                    if weight == 0.0 {
+                        continue;
                     }
-                } else {
-                    for t in 0..tile {
-                        let cand = &scratch.tile_rows[t * bins..(t + 1) * bins];
-                        scratch.scores[scratch.tile_slots[t] * n + i] +=
-                            weight * measure.compute_dense_f32(cand, row);
+                    let weight = f64::from(weight);
+                    let i = shard.rows[slot] as usize;
+                    if measure == SimilarityMeasure::Cosine {
+                        // Row norms were fixed at pack time and candidate
+                        // norms are invariant across rows, so the per-pair
+                        // kernel is one SIMD dot product.
+                        let row_inv = f64::from(block.inv_norms[slot]);
+                        for t in 0..tile {
+                            let cand = &scratch.tile_rows[t * bins..(t + 1) * bins];
+                            let cos = (f64::from(dot(cand, row))
+                                * scratch.tile_inv_norms[t]
+                                * row_inv)
+                                .clamp(0.0, 1.0);
+                            scratch.scores[scratch.tile_slots[t] * n + i] += weight * cos;
+                        }
+                    } else {
+                        for t in 0..tile {
+                            let cand = &scratch.tile_rows[t * bins..(t + 1) * bins];
+                            scratch.scores[scratch.tile_slots[t] * n + i] +=
+                                weight * measure.compute_dense_f32(cand, row);
+                        }
                     }
                 }
             }
@@ -534,6 +887,169 @@ impl ReferenceDb {
                 .pairs
                 .extend(self.order.iter().map(|&i| (self.devices[i as usize], scores[i as usize])));
         }
+    }
+
+    /// The **pruned** sweep: the `k` most similar references to a
+    /// candidate, best first, skipping every shard whose best possible
+    /// score cannot beat the current `k`-th best.
+    ///
+    /// Per shard and frame kind the store keeps an upper envelope of the
+    /// normalised rows plus the maximum reference weight; one dot
+    /// against the envelope bounds every resident device's cosine from
+    /// above (frequencies are non-negative), so
+    /// `Σ_kind wmax · min(1, ĉ·envelope)` bounds every resident score.
+    /// Shards are processed in descending bound order and the sweep
+    /// stops at the first shard whose bound (plus
+    /// [`F32_SCORE_TOLERANCE`] of rounding slack) falls below the
+    /// current `k`-th best score — the bound is admissible, so the
+    /// result equals the dense sweep's [`MatchOutcome::top`] exactly:
+    /// same devices, same scores, same deterministic tie order.
+    ///
+    /// Pruning applies to [`SimilarityMeasure::Cosine`] on a sharded
+    /// (`shards > 1`) database; other measures and flat databases fall
+    /// back to the dense sweep plus partial selection.
+    /// [`MatchScratch::prune_stats`] reports how many shards the call
+    /// swept versus pruned.
+    pub fn match_topk(
+        &self,
+        candidate: &Signature,
+        k: usize,
+        measure: SimilarityMeasure,
+        scratch: &mut MatchScratch,
+    ) -> Vec<(MacAddr, f64)> {
+        let occupied = self.shards.iter().filter(|s| !s.rows.is_empty()).count();
+        if k == 0 || self.devices.is_empty() {
+            scratch.prune_swept = 0;
+            scratch.prune_pruned = 0;
+            return Vec::new();
+        }
+        if measure != SimilarityMeasure::Cosine || self.shards.len() <= 1 {
+            self.match_tile_into(std::slice::from_ref(candidate), measure, scratch);
+            scratch.prune_swept = occupied;
+            scratch.prune_pruned = 0;
+            return top_of(&scratch.pairs, k);
+        }
+        scratch.prune_swept = 0;
+        scratch.prune_pruned = 0;
+        let dot = kernel::dot_fn();
+
+        // Pack the candidate's rows once per (kind, bins) key.
+        scratch.tile_rows.clear();
+        scratch.cand_kinds.clear();
+        for (ki, &(kind, bins)) in self.kind_keys.iter().enumerate() {
+            let Some(hist) = candidate.histogram(kind) else { continue };
+            if hist.total() == 0 {
+                continue;
+            }
+            let freqs = hist.frequencies_f32();
+            if freqs.len() != bins {
+                continue;
+            }
+            let offset = scratch.tile_rows.len();
+            scratch.tile_rows.extend_from_slice(freqs);
+            scratch.cand_kinds.push((ki, offset, f64::from(inv_norm(freqs))));
+        }
+
+        // One bound per occupied shard: Σ_kind wmax · min(1, ĉ·envelope).
+        scratch.shard_bounds.clear();
+        for (si, shard) in self.shards.iter().enumerate() {
+            if shard.rows.is_empty() {
+                continue;
+            }
+            let mut bound = 0.0f64;
+            for &(ki, offset, cand_inv) in &scratch.cand_kinds {
+                let (kind, bins) = self.kind_keys[ki];
+                let Some(block) = shard.block(kind, bins) else { continue };
+                if block.wmax == 0.0 {
+                    continue;
+                }
+                let cand = &scratch.tile_rows[offset..offset + bins];
+                let cos_ub =
+                    (f64::from(dot(cand, &block.envelope)) * cand_inv).clamp(0.0, 1.0);
+                bound += f64::from(block.wmax) * cos_ub;
+            }
+            scratch.shard_bounds.push((si as u32, bound.min(1.0) + PRUNE_BOUND_SLACK));
+        }
+        scratch.shard_bounds.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0))
+        });
+
+        let mut tops: Vec<(MacAddr, f64)> = Vec::new();
+        for bi in 0..scratch.shard_bounds.len() {
+            let (si, bound) = scratch.shard_bounds[bi];
+            if tops.len() >= k && bound < tops[k - 1].1 {
+                // Bounds are sorted descending: every remaining shard is
+                // below the k-th best too.
+                scratch.prune_pruned = scratch.shard_bounds.len() - bi;
+                break;
+            }
+            scratch.prune_swept += 1;
+            let shard = &self.shards[si as usize];
+            scratch.shard_scores.clear();
+            scratch.shard_scores.resize(shard.rows.len(), 0.0);
+            // Same per-pair arithmetic and same ascending-kind
+            // accumulation order as the dense sweep, so surviving scores
+            // are bit-identical to it.
+            for &(ki, offset, cand_inv) in &scratch.cand_kinds {
+                let (kind, bins) = self.kind_keys[ki];
+                let Some(block) = shard.block(kind, bins) else { continue };
+                let cand = &scratch.tile_rows[offset..offset + bins];
+                for (slot, row) in block.rows.chunks_exact(bins).enumerate() {
+                    let weight = block.weights[slot];
+                    if weight == 0.0 {
+                        continue;
+                    }
+                    let cos = (f64::from(dot(cand, row))
+                        * cand_inv
+                        * f64::from(block.inv_norms[slot]))
+                    .clamp(0.0, 1.0);
+                    scratch.shard_scores[slot] += f64::from(weight) * cos;
+                }
+            }
+            // Merge the shard into the running top-k, kept sorted by
+            // rank at all times: entries that cannot outrank the current
+            // k-th best are dropped with one comparison, survivors are
+            // placed by binary insertion (k is small).
+            for (&r, &s) in shard.rows.iter().zip(&scratch.shard_scores) {
+                let entry = (self.devices[r as usize], s);
+                if tops.len() >= k && rank_desc(&entry, &tops[k - 1]) != std::cmp::Ordering::Less
+                {
+                    continue;
+                }
+                let pos = tops
+                    .partition_point(|e| rank_desc(e, &entry) == std::cmp::Ordering::Less);
+                tops.insert(pos, entry);
+                tops.truncate(k);
+            }
+        }
+        tops
+    }
+
+    /// [`ReferenceDb::match_topk`] over a tile of candidates: one top-`k`
+    /// ranking per candidate, in input order. Pruning decisions are
+    /// per-candidate (each candidate has its own `k`-th-best threshold);
+    /// [`MatchScratch::prune_stats`] aggregates over the whole tile.
+    pub fn match_topk_tile<C: Borrow<Signature>>(
+        &self,
+        candidates: &[C],
+        k: usize,
+        measure: SimilarityMeasure,
+        scratch: &mut MatchScratch,
+    ) -> Vec<Vec<(MacAddr, f64)>> {
+        let mut swept = 0usize;
+        let mut pruned = 0usize;
+        let out = candidates
+            .iter()
+            .map(|cand| {
+                let top = self.match_topk(cand.borrow(), k, measure, scratch);
+                swept += scratch.prune_swept;
+                pruned += scratch.prune_pruned;
+                top
+            })
+            .collect();
+        scratch.prune_swept = swept;
+        scratch.prune_pruned = pruned;
+        out
     }
 
     /// Matches a batch of candidate signatures, returning one outcome per
@@ -594,10 +1110,35 @@ fn inv_norm(row: &[f32]) -> f32 {
     }
 }
 
-/// Reusable buffers for [`ReferenceDb::match_signature_with`] and
-/// [`ReferenceDb::match_tile`]: create one per worker, reuse it for every
-/// window. Capacity grows to `tile × database size` on first use and is
-/// retained afterwards, making the steady state allocation-free.
+/// How the last pruned sweep spent its shards (see
+/// [`ReferenceDb::match_topk`] and [`MatchScratch::prune_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneStats {
+    /// Shards whose rows were actually scored.
+    pub swept_shards: usize,
+    /// Shards skipped because their score bound could not beat the
+    /// current top-k.
+    pub pruned_shards: usize,
+}
+
+impl PruneStats {
+    /// Fraction of the occupied shards the sweep skipped (0.0 when the
+    /// database fits in one shard or the sweep fell back to dense).
+    pub fn pruned_fraction(&self) -> f64 {
+        let total = self.swept_shards + self.pruned_shards;
+        if total == 0 {
+            0.0
+        } else {
+            self.pruned_shards as f64 / total as f64
+        }
+    }
+}
+
+/// Reusable buffers for [`ReferenceDb::match_signature_with`],
+/// [`ReferenceDb::match_tile`] and [`ReferenceDb::match_topk`]: create
+/// one per worker, reuse it for every window. Capacity grows to
+/// `tile × database size` on first use and is retained afterwards, making
+/// the steady state allocation-free.
 #[derive(Debug, Clone, Default)]
 pub struct MatchScratch {
     /// Per-(candidate, device) accumulators, candidate-major, indexed
@@ -606,18 +1147,35 @@ pub struct MatchScratch {
     /// The `(device, similarity)` pairs the returned views expose:
     /// candidate-major, address order within each candidate.
     pairs: Vec<(MacAddr, f64)>,
-    /// The current block's packed candidate rows (`f32`, row-major).
+    /// The current kind's packed candidate rows (`f32`, row-major).
     tile_rows: Vec<f32>,
     /// Reciprocal L2 norms of the packed candidate rows.
     tile_inv_norms: Vec<f64>,
     /// Which candidate each packed tile row belongs to.
     tile_slots: Vec<usize>,
+    /// Pruned sweep: the candidate's packed kinds as
+    /// `(kind_key index, offset into tile_rows, 1/‖row‖)`.
+    cand_kinds: Vec<(usize, usize, f64)>,
+    /// Pruned sweep: `(shard, score upper bound)`, sorted descending.
+    shard_bounds: Vec<(u32, f64)>,
+    /// Pruned sweep: per-slot accumulators for the shard being swept.
+    shard_scores: Vec<f64>,
+    /// Shards scored by the last pruned sweep.
+    prune_swept: usize,
+    /// Shards skipped by the last pruned sweep.
+    prune_pruned: usize,
 }
 
 impl MatchScratch {
     /// Empty scratch; buffers are sized lazily by the first match.
     pub fn new() -> Self {
         MatchScratch::default()
+    }
+
+    /// Shard accounting of the most recent [`ReferenceDb::match_topk`] /
+    /// [`ReferenceDb::match_topk_tile`] call through this scratch.
+    pub fn prune_stats(&self) -> PruneStats {
+        PruneStats { swept_shards: self.prune_swept, pruned_shards: self.prune_pruned }
     }
 }
 
@@ -806,6 +1364,16 @@ mod tests {
         sig
     }
 
+    /// Every shard configuration parity tests sweep over.
+    fn strategies() -> Vec<MatchConfig> {
+        vec![
+            MatchConfig::flat(),
+            MatchConfig::default(),
+            MatchConfig::default().with_shards(3),
+            MatchConfig::default().with_strategy(ShardStrategy::MacPrefix).with_shards(5),
+        ]
+    }
+
     #[test]
     fn identical_signature_scores_one() {
         let sig = sig_with(&[(FrameKind::Data, 500.0, 30), (FrameKind::ProbeReq, 100.0, 10)]);
@@ -949,6 +1517,10 @@ mod tests {
             db.match_signature(&sig_with(&[(FrameKind::Data, 1.0, 5)]), SimilarityMeasure::Cosine);
         assert!(outcome.best().is_none());
         assert!(outcome.similarities().is_empty());
+        let mut scratch = MatchScratch::new();
+        assert!(db
+            .match_topk(&sig_with(&[(FrameKind::Data, 1.0, 5)]), 3, SimilarityMeasure::Cosine, &mut scratch)
+            .is_empty());
     }
 
     #[test]
@@ -1077,45 +1649,200 @@ mod tests {
     #[test]
     fn streaming_inserts_equal_bulk_pack() {
         // The incremental append path must produce a database that scores
-        // identically to the one-shot pack.
-        let sigs: Vec<(MacAddr, Signature)> = (1..=9u64)
+        // identically to the one-shot pack — per shard configuration.
+        for config in strategies() {
+            let sigs: Vec<(MacAddr, Signature)> = (1..=9u64)
+                .map(|i| {
+                    (
+                        // Out-of-order addresses exercise the sorted index.
+                        MacAddr::from_index((i * 7) % 9 + 1),
+                        sig_with(&[
+                            (FrameKind::Data, 83.0 * i as f64, 20 + i),
+                            (FrameKind::ProbeReq, 31.0 * i as f64, i % 3),
+                        ]),
+                    )
+                })
+                .collect();
+            let mut streamed = ReferenceDb::with_config(config);
+            for (dev, sig) in &sigs {
+                streamed.insert(*dev, sig.clone()).unwrap();
+            }
+            let bulk = ReferenceDb::from_signatures_with(sigs.into_iter().collect(), config);
+            assert_eq!(
+                streamed.devices().collect::<Vec<_>>(),
+                bulk.devices().collect::<Vec<_>>()
+            );
+            let cand = sig_with(&[(FrameKind::Data, 249.0, 33), (FrameKind::ProbeReq, 62.0, 5)]);
+            for m in SimilarityMeasure::ALL {
+                let a = streamed.match_signature(&cand, m);
+                let b = bulk.match_signature(&cand, m);
+                assert_eq!(a.similarities(), b.similarities(), "{m} under {config:?}");
+            }
+            // Replacement detaches and re-attaches (possibly migrating
+            // shards) and stays consistent too.
+            let dev = streamed.devices().next().unwrap();
+            let replacement = sig_with(&[(FrameKind::Beacon, 700.0, 12)]);
+            streamed.insert(dev, replacement.clone()).unwrap();
+            let mut bulk_map: BTreeMap<MacAddr, Signature> =
+                bulk.iter().map(|(d, s)| (d, s.clone())).collect();
+            bulk_map.insert(dev, replacement);
+            let repacked = ReferenceDb::from_signatures_with(bulk_map, config);
+            let a = streamed.match_signature(&cand, SimilarityMeasure::Cosine);
+            let b = repacked.match_signature(&cand, SimilarityMeasure::Cosine);
+            assert_eq!(a.similarities(), b.similarities(), "{config:?}");
+        }
+    }
+
+    #[test]
+    fn remove_then_insert_keeps_shards_and_index_consistent() {
+        // Regression for the sharded store: any interleaving of removes
+        // and (re-)inserts must leave shard membership, slots and the
+        // sorted address index scoring exactly like a freshly built
+        // database.
+        for config in strategies() {
+            let sig_for = |i: u64| {
+                sig_with(&[
+                    (FrameKind::Data, 190.0 * (i % 13) as f64, 25 + i),
+                    (FrameKind::ProbeReq, 60.0 * (i % 5) as f64, 4 + i % 3),
+                ])
+            };
+            let mut db = ReferenceDb::with_config(config);
+            for i in 1..=12u64 {
+                db.insert(MacAddr::from_index(i), sig_for(i)).unwrap();
+            }
+            // Remove from the middle and both ends (stressing the
+            // global-row shift), then re-insert one with a *different*
+            // signature so it may migrate shards.
+            for i in [6u64, 1, 12] {
+                assert!(db.remove(&MacAddr::from_index(i)).unwrap().is_some(), "{config:?}");
+            }
+            db.insert(MacAddr::from_index(6), sig_for(99)).unwrap();
+            db.insert(MacAddr::from_index(13), sig_for(13)).unwrap();
+
+            let mut fresh_map: BTreeMap<MacAddr, Signature> = BTreeMap::new();
+            for i in 2..=11u64 {
+                fresh_map.insert(MacAddr::from_index(i), sig_for(i));
+            }
+            fresh_map.insert(MacAddr::from_index(6), sig_for(99));
+            fresh_map.insert(MacAddr::from_index(13), sig_for(13));
+            let fresh = ReferenceDb::from_signatures_with(fresh_map, config);
+
+            assert_eq!(
+                db.devices().collect::<Vec<_>>(),
+                fresh.devices().collect::<Vec<_>>(),
+                "{config:?}: address index"
+            );
+            let mut scratch = MatchScratch::new();
+            for probe in [sig_for(99), sig_for(3), sig_for(13)] {
+                let a = db.match_signature(&probe, SimilarityMeasure::Cosine);
+                let b = fresh.match_signature(&probe, SimilarityMeasure::Cosine);
+                assert_eq!(a.similarities(), b.similarities(), "{config:?}: dense parity");
+                let ta = db.match_topk(&probe, 4, SimilarityMeasure::Cosine, &mut scratch);
+                assert_eq!(ta, b.top(4), "{config:?}: pruned parity after churn");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_dense_sweep_is_bit_identical_to_flat() {
+        let sigs: Vec<(MacAddr, Signature)> = (1..=24u64)
             .map(|i| {
                 (
-                    // Out-of-order addresses exercise the sorted index.
-                    MacAddr::from_index((i * 7) % 9 + 1),
+                    MacAddr::from_index(i),
                     sig_with(&[
-                        (FrameKind::Data, 83.0 * i as f64, 20 + i),
-                        (FrameKind::ProbeReq, 31.0 * i as f64, i % 3),
+                        (FrameKind::Data, 97.0 * (i % 11) as f64, 30 + i),
+                        (FrameKind::Beacon, 45.0 * (i % 4) as f64, i % 6),
                     ]),
                 )
             })
             .collect();
-        let mut streamed = ReferenceDb::new();
-        for (dev, sig) in &sigs {
-            streamed.insert(*dev, sig.clone()).unwrap();
+        let flat =
+            ReferenceDb::from_signatures_with(sigs.iter().cloned().collect(), MatchConfig::flat());
+        let cand = sig_with(&[(FrameKind::Data, 291.0, 40), (FrameKind::Beacon, 90.0, 6)]);
+        for config in strategies() {
+            let sharded = ReferenceDb::from_signatures_with(sigs.iter().cloned().collect(), config);
+            for m in SimilarityMeasure::ALL {
+                let a = sharded.match_signature(&cand, m);
+                let b = flat.match_signature(&cand, m);
+                // Bit-identical, not merely within tolerance: the sweep
+                // accumulates per device in the same kind order.
+                assert_eq!(a.similarities(), b.similarities(), "{m} under {config:?}");
+            }
         }
-        let bulk = ReferenceDb::from_signatures(sigs.into_iter().collect());
-        assert_eq!(
-            streamed.devices().collect::<Vec<_>>(),
-            bulk.devices().collect::<Vec<_>>()
+    }
+
+    #[test]
+    fn pruned_topk_equals_dense_topk() {
+        let mut db = ReferenceDb::with_config(MatchConfig::default().with_shards(8));
+        for i in 1..=40u64 {
+            db.insert(
+                MacAddr::from_index(i),
+                sig_with(&[
+                    (FrameKind::Data, 60.0 * (i % 16) as f64, 40),
+                    (FrameKind::ProbeReq, 30.0 * (i % 7) as f64, 5),
+                ]),
+            )
+            .unwrap();
+        }
+        let mut scratch = MatchScratch::new();
+        for probe_seed in [1u64, 7, 15] {
+            let cand = sig_with(&[(FrameKind::Data, 60.0 * (probe_seed % 16) as f64, 45)]);
+            let dense = db.match_signature(&cand, SimilarityMeasure::Cosine);
+            for k in [1usize, 3, 10, 40, 100] {
+                let pruned = db.match_topk(&cand, k, SimilarityMeasure::Cosine, &mut scratch);
+                assert_eq!(pruned, dense.top(k), "seed {probe_seed}, k {k}");
+                let stats = scratch.prune_stats();
+                assert!(stats.swept_shards + stats.pruned_shards > 0);
+            }
+        }
+        // Tile form agrees with the per-candidate form.
+        let cands: Vec<Signature> = (1..=5u64)
+            .map(|i| sig_with(&[(FrameKind::Data, 60.0 * (i % 16) as f64, 45)]))
+            .collect();
+        let tiled = db.match_topk_tile(&cands, 3, SimilarityMeasure::Cosine, &mut scratch);
+        for (cand, got) in cands.iter().zip(&tiled) {
+            assert_eq!(got, &db.match_signature(cand, SimilarityMeasure::Cosine).top(3));
+        }
+    }
+
+    #[test]
+    fn pruned_topk_actually_prunes_separated_populations() {
+        // Devices concentrated at well-separated dominant bins: a probe
+        // near one cluster must not sweep every shard.
+        let mut db = ReferenceDb::with_config(MatchConfig::default().with_shards(16));
+        for i in 0..160u64 {
+            let center = 150.0 * (i % 16) as f64 + 10.0;
+            db.insert(MacAddr::from_index(i + 1), sig_with(&[(FrameKind::Data, center, 60)]))
+                .unwrap();
+        }
+        let cand = sig_with(&[(FrameKind::Data, 310.0, 60)]);
+        let mut scratch = MatchScratch::new();
+        let pruned = db.match_topk(&cand, 3, SimilarityMeasure::Cosine, &mut scratch);
+        assert_eq!(pruned, db.match_signature(&cand, SimilarityMeasure::Cosine).top(3));
+        let stats = scratch.prune_stats();
+        assert!(
+            stats.pruned_shards > 0,
+            "expected pruning on separated clusters, got {stats:?}"
         );
-        let cand = sig_with(&[(FrameKind::Data, 249.0, 33), (FrameKind::ProbeReq, 62.0, 5)]);
-        for m in SimilarityMeasure::ALL {
-            let a = streamed.match_signature(&cand, m);
-            let b = bulk.match_signature(&cand, m);
-            assert_eq!(a.similarities(), b.similarities(), "{m}");
+        assert!(stats.pruned_fraction() > 0.0 && stats.pruned_fraction() < 1.0);
+    }
+
+    #[test]
+    fn non_cosine_topk_falls_back_to_dense() {
+        let mut db = ReferenceDb::with_config(MatchConfig::default().with_shards(4));
+        for i in 1..=10u64 {
+            db.insert(MacAddr::from_index(i), sig_with(&[(FrameKind::Data, 55.0 * i as f64, 40)]))
+                .unwrap();
         }
-        // Replacement rewrites rows in place and stays consistent too.
-        let dev = streamed.devices().next().unwrap();
-        let replacement = sig_with(&[(FrameKind::Beacon, 700.0, 12)]);
-        streamed.insert(dev, replacement.clone()).unwrap();
-        let mut bulk_map: BTreeMap<MacAddr, Signature> =
-            bulk.iter().map(|(d, s)| (d, s.clone())).collect();
-        bulk_map.insert(dev, replacement);
-        let repacked = ReferenceDb::from_signatures(bulk_map);
-        let a = streamed.match_signature(&cand, SimilarityMeasure::Cosine);
-        let b = repacked.match_signature(&cand, SimilarityMeasure::Cosine);
-        assert_eq!(a.similarities(), b.similarities());
+        let cand = sig_with(&[(FrameKind::Data, 165.0, 40)]);
+        let mut scratch = MatchScratch::new();
+        for m in SimilarityMeasure::ALL {
+            let top = db.match_topk(&cand, 3, m, &mut scratch);
+            assert_eq!(top, db.match_signature(&cand, m).top(3), "{m}");
+            if m != SimilarityMeasure::Cosine {
+                assert_eq!(scratch.prune_stats().pruned_shards, 0, "{m}: no pruning claimed");
+            }
+        }
     }
 
     #[test]
@@ -1137,7 +1864,8 @@ mod tests {
             assert_eq!(top, full[..top.len()].to_vec(), "k = {k}");
         }
         assert_eq!(outcome.top(1)[0], outcome.best().unwrap());
-        // Exact ties (identical references) rank by ascending address.
+        // Exact ties (identical references) rank by ascending address —
+        // in the dense ranking AND the pruned sweep.
         let sig = sig_with(&[(FrameKind::Data, 500.0, 50)]);
         let mut tied = ReferenceDb::new();
         for i in [5u64, 2, 9] {
@@ -1146,6 +1874,9 @@ mod tests {
         let top = tied.match_signature(&sig, SimilarityMeasure::Cosine).top(2);
         assert_eq!(top[0].0, MacAddr::from_index(2));
         assert_eq!(top[1].0, MacAddr::from_index(5));
+        let mut scratch = MatchScratch::new();
+        let pruned = tied.match_topk(&sig, 2, SimilarityMeasure::Cosine, &mut scratch);
+        assert_eq!(pruned, top);
     }
 
     #[test]
@@ -1228,6 +1959,78 @@ mod tests {
                         (f.1 - n.1).abs() < F32_SCORE_TOLERANCE,
                         "{}: {} vs {}", m, f.1, n.1
                     );
+                }
+            }
+        }
+
+        // The acceptance property of the sharded refactor: over arbitrary
+        // enrolments, shard strategies/counts and tile widths, the
+        // sharded pruned sweep reports the flat dense sweep's top-k —
+        // same argmax, same order, scores within F32_SCORE_TOLERANCE
+        // (they are in fact bit-identical) — and the sharded dense sweep
+        // reports the flat dense sweep's full vector exactly.
+        #[test]
+        fn sharded_pruned_sweep_equals_flat_dense_sweep(
+            per_device in prop::collection::vec(
+                prop::collection::vec(0.0f64..2400.0, 1..40), 1..14),
+            cand_tiles in prop::collection::vec(
+                prop::collection::vec(0.0f64..2400.0, 1..40), 1..5),
+            shards in 1usize..7,
+            mac_prefix in any::<bool>(),
+            k in 1usize..8,
+        ) {
+            let c = cfg();
+            let strategy = if mac_prefix {
+                ShardStrategy::MacPrefix
+            } else {
+                ShardStrategy::DominantHistogram
+            };
+            let config = MatchConfig { strategy, shards };
+            let mut sharded = ReferenceDb::with_config(config);
+            let mut flat = ReferenceDb::with_config(MatchConfig::flat());
+            for (i, values) in per_device.iter().enumerate() {
+                let mut sig = Signature::new();
+                for (j, &v) in values.iter().enumerate() {
+                    let kind = if j % 5 == 0 { FrameKind::Beacon } else { FrameKind::Data };
+                    sig.record(kind, v, &c);
+                }
+                // Spread addresses so OUI hashing sees distinct prefixes.
+                let addr = MacAddr::from_index((i as u64 + 1) * 0x0101_0101);
+                sharded.insert(addr, sig.clone()).unwrap();
+                flat.insert(addr, sig).unwrap();
+            }
+            let candidates: Vec<Signature> = cand_tiles
+                .iter()
+                .map(|values| {
+                    let mut cand = Signature::new();
+                    for &v in values {
+                        cand.record(FrameKind::Data, v, &c);
+                    }
+                    cand
+                })
+                .collect();
+            let mut scratch = MatchScratch::new();
+            // Dense tile parity: full vectors, exact.
+            let tile = sharded.match_tile(&candidates, SimilarityMeasure::Cosine, &mut scratch);
+            let dense: Vec<MatchOutcome> = tile.views().map(|v| v.to_outcome()).collect();
+            for (cand, got) in candidates.iter().zip(&dense) {
+                let want = flat.match_signature(cand, SimilarityMeasure::Cosine);
+                prop_assert_eq!(got.similarities(), want.similarities());
+            }
+            // Pruned top-k parity: argmax and scores.
+            for (cand, want_full) in candidates.iter().zip(&dense) {
+                let want = want_full.top(k);
+                let got = sharded.match_topk(cand, k, SimilarityMeasure::Cosine, &mut scratch);
+                prop_assert_eq!(got.len(), want.len());
+                prop_assert_eq!(
+                    got.first().map(|&(d, _)| d),
+                    want_full.best().map(|(d, _)| d),
+                    "argmax diverged under {:?}", config
+                );
+                for (g, w) in got.iter().zip(&want) {
+                    prop_assert_eq!(g.0, w.0);
+                    prop_assert!((g.1 - w.1).abs() < F32_SCORE_TOLERANCE,
+                        "{} vs {} under {:?}", g.1, w.1, config);
                 }
             }
         }

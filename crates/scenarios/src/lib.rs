@@ -10,6 +10,9 @@
 //! * [`ConferenceScenario`] — open network with mobility and churn
 //!   (*conference 1*: 7 h, *conference 2*: 1 h),
 //! * [`FaradayRig`] — single-device rigs for the Fig. 4–8 experiments,
+//! * [`MetropolisScenario`] — far beyond the paper: a ~50 000-device
+//!   population of heterogeneous traffic mixes, the stress workload for
+//!   the sharded reference store's pruned sweeps,
 //! * [`export`] — Radiotap pcap export/import so traces interoperate with
 //!   standard tooling.
 //!
@@ -25,14 +28,33 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::pedantic)]
+// Pedantic lints this crate opts out of, mirroring wifiprint-core:
+#![allow(
+    // Device counts, seeds and bin indices stay far below 2^52; casts
+    // into f64 for rates and shares are deliberate.
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    // Exact float compares pin sentinel values in tests.
+    clippy::float_cmp,
+    // Getter-heavy scenario types: #[must_use] everywhere is noise.
+    clippy::must_use_candidate,
+    clippy::return_self_not_must_use,
+    // Public items are re-exported from the crate root, so
+    // module-qualified names repeat the module name.
+    clippy::module_name_repetitions
+)]
 
 mod conference;
 pub mod export;
 mod faraday;
+mod metropolis;
 mod office;
 mod trace;
 
 pub use conference::ConferenceScenario;
 pub use faraday::{device_frames, FaradayRig, FARADAY_AP, FARADAY_DEVICE};
+pub use metropolis::MetropolisScenario;
 pub use office::OfficeScenario;
 pub use trace::{run_collect, run_engine, run_multi_engine, run_streaming, Trace, TraceReport};

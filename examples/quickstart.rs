@@ -11,9 +11,12 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use wifiprint::core::{FusionSpec, MultiConfig, MultiEngine, MultiEvent};
+use wifiprint::core::{
+    FusionSpec, MatchConfig, MatchScratch, MultiConfig, MultiEngine, MultiEvent,
+    SimilarityMeasure,
+};
 use wifiprint::ieee80211::Nanos;
-use wifiprint::scenarios::OfficeScenario;
+use wifiprint::scenarios::{MetropolisScenario, OfficeScenario};
 
 fn main() {
     // 1. A 4-minute office capture with 12 devices (seeded, reproducible).
@@ -90,5 +93,27 @@ fn main() {
         );
     } else {
         println!("no detection window produced a qualifying candidate; try a longer capture");
+    }
+
+    // 5. Beyond the paper: the reference store is sharded
+    //    (dominant-histogram locality buckets, MatchConfig), so a
+    //    metropolis-scale population answers "who is this?" without
+    //    sweeping every enrolled row — shards whose summary cannot beat
+    //    the current top-k are pruned before the SIMD sweep runs.
+    let metropolis = MetropolisScenario::with_devices(7, 5_000);
+    let db = metropolis.reference_db(MatchConfig::default().with_shards(64));
+    let mut scratch = MatchScratch::new();
+    let probe = metropolis.candidate(1234, 3);
+    let top = db.match_topk(&probe, 3, SimilarityMeasure::Cosine, &mut scratch);
+    let stats = scratch.prune_stats();
+    println!(
+        "metropolis: matched one probe against {} devices sweeping {}/{} shards ({:.0}% pruned)",
+        db.len(),
+        stats.swept_shards,
+        stats.swept_shards + stats.pruned_shards,
+        100.0 * stats.pruned_fraction()
+    );
+    for (device, sim) in top {
+        println!("  closest reference {device}  (cosine {sim:.3})");
     }
 }

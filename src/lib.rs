@@ -55,21 +55,41 @@
 //! thin driver of the same fused engine, so the paper's accuracy tables
 //! and a production deployment exercise the identical code path.
 //!
+//! # The sharded reference store
+//!
+//! Underneath every engine sits a **sharded** [`core::ReferenceDb`]:
+//! rows are bucketed by a locality-sensitive key of each device's
+//! dominant histogram (MAC-prefix hashing as the fallback strategy),
+//! selectable via [`core::MatchConfig`] and threaded through every
+//! configuration layer ([`core::EvalConfig`], [`core::MultiConfig`],
+//! [`analysis::PipelineConfig`]). The dense sweeps the engines run are
+//! bit-for-bit the flat single-matrix sweep — sharding never changes a
+//! decision — while the pruned [`core::ReferenceDb::match_topk`] sweep
+//! uses per-shard summaries (upper envelope of the normalised rows +
+//! max weight) to skip every shard whose best possible score cannot
+//! beat the current top-k: at 10⁵ enrolled devices
+//! (`scenarios::MetropolisScenario`, ~50 000 heterogeneous traffic
+//! mixes by default) it answers identification queries severalfold
+//! faster than the dense sweep (`BENCH_5.json`:
+//! `sharded_sweep_speedup`, with the pruned-shard fraction).
+//!
 //! # Workspace map
 //!
 //! This facade crate re-exports the workspace members:
 //!
 //! * [`core`] — the fused [`core::MultiEngine`] and single-parameter
-//!   [`core::Engine`], signatures, score fusion, the SoA/SIMD matching
-//!   sweep and accuracy metrics (the paper's contribution),
+//!   [`core::Engine`], signatures, score fusion, the sharded SoA/SIMD
+//!   matching store with pruned top-k sweeps, and accuracy metrics (the
+//!   paper's contribution),
 //! * [`ieee80211`] — MAC frames, rates and PHY timing,
 //! * [`radiotap`] — capture headers and the [`radiotap::CapturedFrame`]
 //!   interchange type,
 //! * [`pcap`] — capture-file I/O,
 //! * [`netsim`] — the discrete-event 802.11 channel simulator,
 //! * [`devices`] — chipset/driver/service profiles,
-//! * [`scenarios`] — the office/conference/Faraday trace generators, each
-//!   able to stream straight into an engine (`run_engine`),
+//! * [`scenarios`] — the office/conference/Faraday trace generators
+//!   (each able to stream straight into an engine, `run_engine`) plus
+//!   the metropolis large-population stress scenario,
 //! * [`analysis`] — the evaluation pipeline, tables and plots.
 //!
 //! See the `examples/` directory for runnable walkthroughs (start with

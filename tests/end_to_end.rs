@@ -5,9 +5,9 @@ use std::collections::BTreeMap;
 
 use wifiprint::analysis::{evaluate_frames, PipelineConfig};
 use wifiprint::core::{
-    load_db, save_db, Engine, EvalConfig, Event, FusionSpec, MatchOutcome, MatchScratch,
-    MultiConfig, MultiEngine, MultiEvent, NetworkParameter, ReferenceDb, SignatureBuilder,
-    SimilarityMeasure, WindowedSignatures, F32_SCORE_TOLERANCE,
+    load_db, save_db, Engine, EvalConfig, Event, FusionSpec, MatchConfig, MatchOutcome,
+    MatchScratch, MultiConfig, MultiEngine, MultiEvent, NetworkParameter, ReferenceDb,
+    ShardStrategy, SignatureBuilder, SimilarityMeasure, WindowedSignatures, F32_SCORE_TOLERANCE,
 };
 use wifiprint::ieee80211::{FrameKind, MacAddr, Nanos};
 use wifiprint::scenarios::export::{read_pcap, write_pcap};
@@ -272,6 +272,7 @@ fn streaming_engine_equals_batch_pipeline_on_office_and_conference() {
             min_observations: 50,
             measure: SimilarityMeasure::Cosine,
             parameters: vec![NetworkParameter::InterArrivalTime],
+            match_config: MatchConfig::default(),
         };
         let eval = evaluate_frames(&pcfg, &trace.frames).expect("pipeline run");
         assert_eq!(
@@ -477,4 +478,95 @@ fn windows_shrink_when_traffic_is_sparse() {
     let n = eval.candidate_instances[&NetworkParameter::InterArrivalTime];
     assert!(n <= 6 * (eval.ref_devices + 5), "implausible candidate count {n}");
     assert!(n > 0);
+}
+
+#[test]
+fn sharded_references_leave_multi_engine_decisions_unchanged() {
+    // The acceptance equivalence for the sharded-store refactor: a
+    // MultiEngine whose trained references use the sharded layout (any
+    // strategy) must emit exactly the decisions of one using the flat
+    // single-matrix layout — same event sequence, same per-parameter and
+    // fused scores — on both of the paper's trace shapes.
+    let traces = [
+        ("office", OfficeScenario::small(5, 300, 10).run_collect()),
+        ("conference", ConferenceScenario::small(7, 300, 12).run_collect()),
+    ];
+    let layouts = [
+        ("dominant-histogram", MatchConfig::default()),
+        ("mac-prefix", MatchConfig::default().with_strategy(ShardStrategy::MacPrefix)),
+    ];
+    for (name, trace) in traces {
+        let run = |match_config: MatchConfig| {
+            let mcfg = MultiConfig::default()
+                .with_min_observations(50)
+                .with_window(Nanos::from_secs(50))
+                .with_match_config(match_config);
+            let mut engine = MultiEngine::builder()
+                .spec(FusionSpec::all_equal())
+                .config(mcfg)
+                .train_for(Nanos::from_secs(100))
+                .build()
+                .expect("valid engine configuration");
+            let mut events = engine.observe_all(&trace.frames).expect("in-order frames");
+            events.extend(engine.finish().expect("first finish"));
+            events
+        };
+        let flat = run(MatchConfig::flat());
+        for (layout, config) in layouts {
+            let sharded = run(config);
+            assert_eq!(flat.len(), sharded.len(), "{name}/{layout}: event count");
+            let mut decisions = 0usize;
+            for (a, b) in flat.iter().zip(&sharded) {
+                match (a, b) {
+                    (
+                        MultiEvent::Enrolled { device: da, observations: oa },
+                        MultiEvent::Enrolled { device: db_, observations: ob },
+                    ) => {
+                        assert_eq!((da, oa), (db_, ob), "{name}/{layout}: enrollment");
+                    }
+                    (
+                        MultiEvent::FusedMatch { window: wa, device: da, scores: sa, fused: fa },
+                        MultiEvent::FusedMatch { window: wb, device: db_, scores: sb, fused: fb },
+                    )
+                    | (
+                        MultiEvent::FusedNewDevice {
+                            window: wa, device: da, scores: sa, fused: fa, ..
+                        },
+                        MultiEvent::FusedNewDevice {
+                            window: wb, device: db_, scores: sb, fused: fb, ..
+                        },
+                    ) => {
+                        assert_eq!((wa, da), (wb, db_), "{name}/{layout}: decision identity");
+                        assert_eq!(sa.len(), sb.len(), "{name}/{layout}: parameter count");
+                        for (pa, pb) in sa.iter().zip(sb) {
+                            assert_eq!(pa.parameter, pb.parameter, "{name}/{layout}");
+                            assert_eq!(pa.known, pb.known, "{name}/{layout}");
+                            // The sharded dense sweep is bit-identical to
+                            // the flat one — exact equality, no tolerance.
+                            assert_eq!(
+                                pa.view.similarities(),
+                                pb.view.similarities(),
+                                "{name}/{layout}/{}: per-parameter scores",
+                                pa.parameter
+                            );
+                        }
+                        assert_eq!(
+                            fa.as_ref().map(wifiprint::core::FusedOutcome::similarities),
+                            fb.as_ref().map(wifiprint::core::FusedOutcome::similarities),
+                            "{name}/{layout}: fused scores"
+                        );
+                        decisions += 1;
+                    }
+                    (
+                        MultiEvent::WindowClosed { window: wa, candidates: ca, .. },
+                        MultiEvent::WindowClosed { window: wb, candidates: cb, .. },
+                    ) => {
+                        assert_eq!((wa, ca), (wb, cb), "{name}/{layout}: window terminator");
+                    }
+                    other => panic!("{name}/{layout}: event sequences diverged: {other:?}"),
+                }
+            }
+            assert!(decisions > 0, "{name}/{layout}: equivalence must cover real decisions");
+        }
+    }
 }
