@@ -12,7 +12,10 @@
 //!   paper compares against in §V-B2,
 //! * [`fusion`] — multi-parameter combination (the paper's §VIII future
 //!   work),
-//! * [`attacks`] — the §VII-A mimicry attacker and its evaluation.
+//! * [`attacks`] — the §VII-A mimicry attacker and its evaluation,
+//! * [`robustness`] — accuracy-vs-fault-rate sweeps over degraded
+//!   captures (seeded loss/reorder/corruption via the scenarios crate's
+//!   `FaultInjector`), beyond the paper's clean-monitor assumption.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +46,7 @@ pub mod baseline;
 pub mod fusion;
 mod pipeline;
 pub mod plot;
+pub mod robustness;
 pub mod tables;
 
 pub use pipeline::{evaluate_frames, PipelineConfig, StreamingEvaluator, TraceEvaluation};

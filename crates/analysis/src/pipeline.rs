@@ -20,8 +20,8 @@
 use std::collections::BTreeMap;
 
 use wifiprint_core::{
-    EngineError, EvalOutcome, FusionSpec, MatchConfig, MatchSet, MultiConfig, MultiEngine,
-    MultiEvent, NetworkParameter, ReferenceDb, SimilarityMeasure,
+    EngineError, EngineHealth, EvalOutcome, FusionSpec, MatchConfig, MatchSet, MultiConfig,
+    MultiEngine, MultiEvent, NetworkParameter, ReferenceDb, ResilienceConfig, SimilarityMeasure,
 };
 use wifiprint_ieee80211::Nanos;
 use wifiprint_radiotap::CapturedFrame;
@@ -44,6 +44,12 @@ pub struct PipelineConfig {
     /// training prefix builds (dominant-histogram sharding by default;
     /// see [`MatchConfig`]).
     pub match_config: MatchConfig,
+    /// Ingest hardening for the underlying engine (late-frame policy,
+    /// duplicate suppression, runt gate, degraded-fusion quorum). The
+    /// default is strict — identical to the engine's historical
+    /// behaviour; use [`ResilienceConfig::tolerant`] when the frame
+    /// source is a degraded capture.
+    pub resilience: ResilienceConfig,
 }
 
 impl PipelineConfig {
@@ -56,6 +62,7 @@ impl PipelineConfig {
             measure: SimilarityMeasure::Cosine,
             parameters: NetworkParameter::ALL.to_vec(),
             match_config: MatchConfig::default(),
+            resilience: ResilienceConfig::default(),
         }
     }
 
@@ -75,7 +82,16 @@ impl PipelineConfig {
             measure: SimilarityMeasure::Cosine,
             parameters: NetworkParameter::ALL.to_vec(),
             match_config: MatchConfig::default(),
+            resilience: ResilienceConfig::default(),
         }
+    }
+
+    /// Swaps in a different ingest-hardening configuration (builder
+    /// style), e.g. [`ResilienceConfig::tolerant`] for degraded
+    /// captures.
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self
     }
 
     /// The shared engine configuration this pipeline projects onto a
@@ -106,6 +122,10 @@ pub struct TraceEvaluation {
     pub train_frames: u64,
     /// Frames fed to the validation phase.
     pub validation_frames: u64,
+    /// The engine's ingest-health counters for the whole run: duplicates
+    /// suppressed, runts rejected, late frames dropped, reordered frames
+    /// restored, windows fused degraded.
+    pub health: EngineHealth,
 }
 
 impl TraceEvaluation {
@@ -158,6 +178,7 @@ impl StreamingEvaluator {
             .spec(FusionSpec::equal_weights(cfg.parameters.iter().copied()))
             .config(cfg.multi_config())
             .train_for(cfg.train_duration)
+            .resilience(cfg.resilience.clone())
             // The accuracy tests only *count* unknown candidates, so
             // skip the reference sweep for them (the batch pipeline
             // never scored strangers either).
@@ -219,6 +240,7 @@ impl StreamingEvaluator {
         }
         let events = engine.finish()?;
         absorb(&mut collectors, &events);
+        let health = engine.health();
         let mut databases = engine.into_references();
 
         let work: Vec<(NetworkParameter, ReferenceDb, ParamCollector)> = collectors
@@ -253,6 +275,7 @@ impl StreamingEvaluator {
             candidate_instances,
             train_frames,
             validation_frames,
+            health,
         })
     }
 }
@@ -367,6 +390,7 @@ mod tests {
                 NetworkParameter::FrameSize,
             ],
             match_config: MatchConfig::default(),
+            resilience: ResilienceConfig::default(),
         };
         let frames = synthetic_trace(4, 40_000_000);
         let eval = evaluate_frames(&cfg, &frames).expect("pipeline run");
@@ -389,6 +413,7 @@ mod tests {
             measure: SimilarityMeasure::Cosine,
             parameters: vec![NetworkParameter::InterArrivalTime],
             match_config: MatchConfig::default(),
+            resilience: ResilienceConfig::default(),
         };
         let frames = synthetic_trace(3, 40_000_000);
         let eval = evaluate_frames(&cfg, &frames).expect("pipeline run");
@@ -425,6 +450,7 @@ mod tests {
             measure: SimilarityMeasure::Cosine,
             parameters: vec![NetworkParameter::InterArrivalTime],
             match_config: MatchConfig::default(),
+            resilience: ResilienceConfig::default(),
         };
         let eval = evaluate_frames(&cfg, &frames).expect("pipeline run");
         // Identification at a strict FPR cannot be high for clones: with

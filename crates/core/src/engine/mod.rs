@@ -45,6 +45,31 @@
 //!   the MAC-randomisation tracking question), then one
 //!   [`Event::WindowClosed`] terminator.
 //! * **Finished** — after [`Engine::finish`] seals the trailing window.
+//!   `finish()` is idempotent: a second call returns no events.
+//!
+//! # Degraded captures
+//!
+//! Real monitor paths lose, reorder, duplicate and truncate frames. By
+//! default both engines keep the strict historical contract — frames
+//! must arrive in capture order ([`EngineError::NonMonotonicFrame`])
+//! and are trusted verbatim — but a [`ResilienceConfig`] (set via
+//! [`EngineBuilder::resilience`]) relaxes it explicitly:
+//!
+//! * [`LateFramePolicy::Drop`] counts and discards late frames instead
+//!   of erroring; [`LateFramePolicy::Reorder`] re-sequences frames
+//!   shuffled within a bounded horizon through a watermark buffer, so
+//!   the engine sees capture order again (bit-identical events to the
+//!   in-order stream, property-tested);
+//! * duplicate suppression and a runt-size gate drop re-delivered and
+//!   truncated frames before they can poison signatures;
+//! * every dropped frame is accounted for in [`EngineHealth`]
+//!   ([`Engine::health`]), so ingest-side counters reconcile exactly
+//!   with capture-side fault statistics.
+//!
+//! The fused [`MultiEngine`] adds graceful degradation on top: a fusion
+//! quorum ([`ResilienceConfig::fusion_quorum`]) lets it fuse over the
+//! parameters that survived a sparse window, marking the event with the
+//! parameters that were missing. See the [`resilience`] module docs.
 //!
 //! # Example
 //!
@@ -80,8 +105,14 @@
 //! ```
 
 pub mod multi;
+pub mod resilience;
 
 pub use multi::{MultiConfig, MultiEngine, MultiEngineBuilder, MultiEvent, ParameterDecision};
+pub use resilience::{
+    EngineHealth, LateFramePolicy, ResilienceConfig, MIN_PLAUSIBLE_FRAME_SIZE,
+};
+
+use resilience::IngestFront;
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -112,16 +143,30 @@ pub enum EngineError {
     /// A frame older than its predecessor was observed. Frames must
     /// arrive in capture order (monitor taps and pcap files both
     /// guarantee this); reordered input would silently corrupt window
-    /// attribution, so it is rejected instead.
+    /// attribution, so under the default
+    /// [`LateFramePolicy::Reject`] it is rejected instead.
+    /// [`ResilienceConfig`] selects more tolerant policies for degraded
+    /// captures ([`LateFramePolicy::Drop`] /
+    /// [`LateFramePolicy::Reorder`]).
     NonMonotonicFrame {
         /// Timestamp of the previously observed frame.
         last: Nanos,
         /// The offending earlier timestamp.
         got: Nanos,
     },
-    /// [`Engine::observe`] or [`Engine::finish`] after
-    /// [`Engine::finish`] already sealed the session.
+    /// [`Engine::observe`], [`Engine::advance_to`] or [`Engine::tick`]
+    /// after [`Engine::finish`] sealed the session.
     Finished,
+    /// A frame inside an [`Engine::observe_all`] /
+    /// [`MultiEngine::observe_all`] batch failed; `index` is its
+    /// position in the batch, so callers can resume after it or skip
+    /// it.
+    Batch {
+        /// Zero-based position of the failing frame in the batch.
+        index: usize,
+        /// The underlying per-frame failure.
+        source: Box<EngineError>,
+    },
     /// A data-level failure from the underlying primitives.
     Core(CoreError),
 }
@@ -143,6 +188,9 @@ impl fmt::Display for EngineError {
                 last.as_nanos()
             ),
             EngineError::Finished => write!(f, "engine session is already finished"),
+            EngineError::Batch { index, source } => {
+                write!(f, "frame #{index} of batch: {source}")
+            }
             EngineError::Core(e) => write!(f, "{e}"),
         }
     }
@@ -152,6 +200,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Core(e) => Some(e),
+            EngineError::Batch { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -243,11 +292,18 @@ pub struct EngineBuilder {
     reference: Option<ReferenceDb>,
     train_duration: Option<Nanos>,
     score_unknown: bool,
+    resilience: ResilienceConfig,
 }
 
 impl Default for EngineBuilder {
     fn default() -> Self {
-        EngineBuilder { config: None, reference: None, train_duration: None, score_unknown: true }
+        EngineBuilder {
+            config: None,
+            reference: None,
+            train_duration: None,
+            score_unknown: true,
+            resilience: ResilienceConfig::default(),
+        }
     }
 }
 
@@ -289,6 +345,16 @@ impl EngineBuilder {
     #[must_use]
     pub fn score_unknown(mut self, score: bool) -> Self {
         self.score_unknown = score;
+        self
+    }
+
+    /// Sets the degraded-capture resilience configuration (late-frame
+    /// policy, duplicate suppression, runt gate; see
+    /// [`ResilienceConfig`]). Defaults to the strict historical
+    /// behavior: late frames rejected, nothing gated.
+    #[must_use]
+    pub fn resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
         self
     }
 
@@ -334,7 +400,7 @@ impl EngineBuilder {
             score_unknown,
             scratch: MatchScratch::new(),
             origin: None,
-            last_t: None,
+            front: IngestFront::new(self.resilience),
             frames: 0,
             train_frames: 0,
             windows_closed: 0,
@@ -368,7 +434,9 @@ pub struct Engine {
     /// boundary (detection windows re-anchor at the first detection
     /// frame, like the batch pipeline's validation split).
     origin: Option<Nanos>,
-    last_t: Option<Nanos>,
+    /// The resilience gatekeeper: owns the monotonicity watermark, the
+    /// reorder buffer and the ingest-health counters.
+    front: IngestFront,
     frames: u64,
     train_frames: u64,
     windows_closed: u64,
@@ -388,8 +456,10 @@ impl Engine {
     /// # Errors
     ///
     /// * [`EngineError::NonMonotonicFrame`] for a frame older than its
-    ///   predecessor (the engine state is unchanged; the frame may be
-    ///   re-sent in order);
+    ///   predecessor under the default [`LateFramePolicy::Reject`] (the
+    ///   engine state is unchanged; the frame may be re-sent in order —
+    ///   the other policies drop or re-sequence late frames instead,
+    ///   counting them in [`Engine::health`]);
     /// * [`EngineError::Finished`] after [`Engine::finish`];
     /// * [`EngineError::Core`] when ending the training phase fails for
     ///   a reason other than an empty enrollment (which instead degrades
@@ -398,38 +468,42 @@ impl Engine {
         if matches!(self.phase, Phase::Finished { .. }) {
             return Err(EngineError::Finished);
         }
-        if let Some(last) = self.last_t {
-            if frame.t_end < last {
-                return Err(EngineError::NonMonotonicFrame { last, got: frame.t_end });
-            }
+        let delivered = self.front.admit(frame)?;
+        let mut events = Vec::new();
+        if let Some(frame) = delivered {
+            self.ingest(&frame, &mut events)?;
         }
-        self.last_t = Some(frame.t_end);
+        Ok(events)
+    }
+
+    /// Processes one in-order frame the ingest front delivered: training
+    /// accumulation or window building, sealing windows a later frame
+    /// closes.
+    fn ingest(&mut self, frame: &CapturedFrame, events: &mut Vec<Event>) -> Result<(), EngineError> {
         let origin = *self.origin.get_or_insert(frame.t_end);
         self.frames += 1;
-
-        let mut events = Vec::new();
         if let Phase::Training { builder, duration } = &mut self.phase {
             if frame.t_end.saturating_sub(origin) < *duration {
                 self.train_frames += 1;
                 builder.push(frame);
-                return Ok(events);
+                return Ok(());
             }
             // First frame past the boundary: enroll, freeze, switch to
             // detection, then treat this frame as the first detection
             // frame below.
-            self.end_training(&mut events)?;
+            self.end_training(events)?;
         }
 
         let Phase::Detecting { db, windows } = &mut self.phase else {
-            unreachable!("observe handled Training and Finished above");
+            unreachable!("ingest is never called on a finished engine");
         };
         if let Some(sealed) = windows.push(frame) {
             let candidates = windows.drain_sealed();
             let window = SealedWindowArgs { db, cfg: &self.cfg, score_unknown: self.score_unknown };
-            close_window(&window, &mut self.scratch, sealed, candidates, &mut events);
+            close_window(&window, &mut self.scratch, sealed, candidates, events);
             self.windows_closed += 1;
         }
-        Ok(events)
+        Ok(())
     }
 
     /// [`Engine::observe`] over a frame sequence, concatenating the
@@ -437,16 +511,22 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// The first [`Engine::observe`] error; events from frames already
-    /// processed are lost, so prefer per-frame calls when partial
-    /// results matter.
+    /// The first per-frame error, wrapped in [`EngineError::Batch`] with
+    /// the failing frame's position in the batch, so callers can resume
+    /// after it or skip it. Events from frames already processed are
+    /// lost, so prefer per-frame calls when partial results matter.
     pub fn observe_all<'a>(
         &mut self,
         frames: impl IntoIterator<Item = &'a CapturedFrame>,
     ) -> Result<Vec<Event>, EngineError> {
         let mut events = Vec::new();
-        for frame in frames {
-            events.append(&mut self.observe(frame)?);
+        for (index, frame) in frames.into_iter().enumerate() {
+            match self.observe(frame) {
+                Ok(mut ev) => events.append(&mut ev),
+                Err(source) => {
+                    return Err(EngineError::Batch { index, source: Box::new(source) })
+                }
+            }
         }
         Ok(events)
     }
@@ -477,10 +557,15 @@ impl Engine {
             return Err(EngineError::Finished);
         }
         let mut events = Vec::new();
-        if self.last_t.is_some_and(|last| t <= last) {
+        if self.front.last_t().is_some_and(|last| t <= last) {
             return Ok(events);
         }
-        self.last_t = Some(t);
+        // Under a reorder policy, buffered frames at or before `t` are
+        // now inside the watermark: deliver them first so they land in
+        // their proper windows, then raise the floor to `t`.
+        for frame in self.front.release_until(t) {
+            self.ingest(&frame, &mut events)?;
+        }
         if let Phase::Training { duration, .. } = &self.phase {
             // The training boundary is anchored at the first frame; with
             // no frame yet there is nothing the clock can conclude.
@@ -532,14 +617,23 @@ impl Engine {
     /// which makes a training-only run the *enrollment* entry point:
     /// finish, then take the database with [`Engine::into_reference`].
     ///
+    /// Under a reorder policy, frames still pending in the buffer are
+    /// delivered (in timestamp order) before the trailing window seals.
+    ///
+    /// Idempotent: a second call returns no events (there is nothing
+    /// left to seal) rather than an error — only `observe`,
+    /// `advance_to` and `tick` reject a finished session.
+    ///
     /// # Errors
     ///
-    /// [`EngineError::Finished`] on a second call, or
     /// [`EngineError::Core`] from ending the training phase.
     pub fn finish(&mut self) -> Result<Vec<Event>, EngineError> {
         let mut events = Vec::new();
         if matches!(self.phase, Phase::Finished { .. }) {
-            return Err(EngineError::Finished);
+            return Ok(events);
+        }
+        for frame in self.front.drain() {
+            self.ingest(&frame, &mut events)?;
         }
         if matches!(self.phase, Phase::Training { .. }) {
             self.end_training(&mut events)?;
@@ -601,7 +695,10 @@ impl Engine {
         }
     }
 
-    /// Frames observed so far (training + detection).
+    /// Frames delivered to the engine core so far (training +
+    /// detection). Under a tolerant [`ResilienceConfig`] this excludes
+    /// frames the ingest front dropped ([`Engine::health`]) and frames
+    /// still pending in the reorder buffer.
     #[must_use]
     pub fn frames_observed(&self) -> u64 {
         self.frames
@@ -617,6 +714,28 @@ impl Engine {
     #[must_use]
     pub fn windows_closed(&self) -> u64 {
         self.windows_closed
+    }
+
+    /// Ingest-health counters: frames seen, deduplicated, gated as
+    /// corrupt, dropped late, re-sequenced. With the default (strict)
+    /// [`ResilienceConfig`] every counter except
+    /// [`EngineHealth::frames_seen`] stays zero.
+    #[must_use]
+    pub fn health(&self) -> EngineHealth {
+        self.front.health
+    }
+
+    /// The resilience configuration the engine runs.
+    #[must_use]
+    pub fn resilience(&self) -> &ResilienceConfig {
+        self.front.config()
+    }
+
+    /// Frames admitted but still waiting in the reorder buffer (always 0
+    /// outside [`LateFramePolicy::Reorder`]).
+    #[must_use]
+    pub fn pending_frames(&self) -> usize {
+        self.front.pending_frames()
     }
 
     /// Training → detection: enroll the learned devices, freeze, emit
@@ -1106,9 +1225,15 @@ mod tests {
         let mut engine =
             Engine::builder().config(c.clone()).reference(reference_db(&c)).build().unwrap();
         engine.observe(&frame(1, 1_000, 176)).unwrap();
-        engine.finish().unwrap();
+        let tail = engine.finish().unwrap();
+        assert!(!tail.is_empty(), "first finish seals the trailing window");
         assert!(matches!(engine.observe(&frame(1, 2_000, 176)), Err(EngineError::Finished)));
-        assert!(matches!(engine.finish(), Err(EngineError::Finished)));
+        assert!(matches!(engine.advance_to(Nanos::from_secs(10)), Err(EngineError::Finished)));
+        assert!(matches!(engine.tick(), Err(EngineError::Finished)));
+        // finish() itself is idempotent: a second call has nothing left
+        // to seal and returns no events (regression: it used to error).
+        assert!(engine.finish().unwrap().is_empty());
+        assert!(engine.finish().unwrap().is_empty());
         // The reference stays reachable after finish.
         assert!(engine.reference().is_some());
     }
@@ -1156,5 +1281,83 @@ mod tests {
                 db.match_signature_with(&cand.signature, SimilarityMeasure::Cosine, &mut scratch);
             assert_eq!(view.similarities(), want.similarities());
         }
+    }
+
+    #[test]
+    fn observe_all_reports_the_failing_frame_index() {
+        let c = cfg(10, 1);
+        let mut engine = Engine::builder().config(c.clone()).reference(reference_db(&c)).build().unwrap();
+        let frames = vec![frame(1, 5_000, 176), frame(1, 6_000, 176), frame(1, 4_000, 176)];
+        let err = engine.observe_all(&frames).unwrap_err();
+        let EngineError::Batch { index, source } = err else {
+            panic!("expected a batch error, got {err:?}");
+        };
+        assert_eq!(index, 2);
+        assert!(matches!(*source, EngineError::NonMonotonicFrame { .. }));
+        // The two good frames were processed; the caller can skip past
+        // the bad frame and resume the stream.
+        assert_eq!(engine.frames_observed(), 2);
+        engine.observe(&frame(1, 7_000, 176)).unwrap();
+    }
+
+    #[test]
+    fn advance_to_exactly_on_the_window_boundary_seals_it() {
+        let c = cfg(1, 1);
+        let mut engine =
+            Engine::builder().config(c.clone()).reference(reference_db(&c)).build().unwrap();
+        for i in 0..5u64 {
+            assert!(engine.observe(&frame(1, 1_000 + i * 10_000, 176)).unwrap().is_empty());
+        }
+        // The first window spans [1 ms, 1 ms + 1 s); its end boundary is
+        // exclusive, so advancing exactly to it seals the window.
+        let boundary = Nanos::from_micros(1_000) + Nanos::from_secs(1);
+        let events = engine.advance_to(boundary).unwrap();
+        assert!(
+            matches!(events.last(), Some(Event::WindowClosed { window: 0, candidates: 1, .. })),
+            "boundary tick seals window 0: {events:?}"
+        );
+        // A second advance to the very same t is a no-op — the window
+        // cannot close twice.
+        assert!(engine.advance_to(boundary).unwrap().is_empty());
+        assert_eq!(engine.windows_closed(), 1);
+        // A frame exactly at the boundary lands in the next window.
+        assert!(engine.observe(&frame(1, 1_001_000, 176)).unwrap().is_empty());
+        let tail = engine.finish().unwrap();
+        assert!(matches!(tail.last(), Some(Event::WindowClosed { window: 1, .. })), "{tail:?}");
+    }
+
+    #[test]
+    fn advance_inside_the_reorder_watermark_keeps_buffered_frames() {
+        // A tick landing *inside* the reorder buffer's horizon flushes
+        // only the frames at or before it; the rest stay pending and are
+        // delivered (in order) by the final drain.
+        let c = cfg(1, 1);
+        let resilience = ResilienceConfig::default()
+            .with_late_policy(LateFramePolicy::Reorder { max_lateness: 16 });
+        let mut engine = Engine::builder()
+            .config(c.clone())
+            .reference(reference_db(&c))
+            .resilience(resilience)
+            .build()
+            .unwrap();
+        for t_us in [50_000u64, 10_000, 30_000, 70_000, 20_000] {
+            assert!(engine.observe(&frame(1, t_us, 176)).unwrap().is_empty());
+        }
+        assert_eq!(engine.pending_frames(), 5);
+        // Tick at 35 ms: flushes 10/20/30 ms, keeps 50/70 ms pending.
+        assert!(engine.advance_to(Nanos::from_micros(35_000)).unwrap().is_empty());
+        assert_eq!(engine.frames_observed(), 3);
+        assert_eq!(engine.pending_frames(), 2);
+        // A frame older than the raised watermark is now dropped late…
+        assert!(engine.observe(&frame(1, 25_000, 176)).unwrap().is_empty());
+        assert_eq!(engine.health().frames_late_dropped, 1);
+        // …and the drain delivers the stragglers before the window seals.
+        let tail = engine.finish().unwrap();
+        assert_eq!(engine.frames_observed(), 5);
+        assert_eq!(engine.pending_frames(), 0);
+        assert!(
+            matches!(tail.last(), Some(Event::WindowClosed { window: 0, candidates: 1, .. })),
+            "{tail:?}"
+        );
     }
 }

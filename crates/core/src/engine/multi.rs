@@ -84,6 +84,7 @@ use crate::signature::Signature;
 use crate::similarity::SimilarityMeasure;
 use crate::windows::WindowClock;
 
+use super::resilience::{EngineHealth, IngestFront, ResilienceConfig};
 use super::{EngineError, EnginePhase};
 
 /// Shared knobs of a [`MultiEngine`]: everything an [`EvalConfig`]
@@ -237,8 +238,14 @@ pub enum MultiEvent {
         scores: Vec<ParameterDecision>,
         /// The combined (weighted-average) similarity vector over the
         /// commonly enrolled devices — present when the candidate
-        /// qualified for **all** fused parameters.
+        /// qualified for **all** fused parameters, or (under a
+        /// [`ResilienceConfig::fusion_quorum`]) for at least the quorum.
         fused: Option<FusedOutcome>,
+        /// Degraded-fusion marker: the parameters *missing* from the
+        /// fused score. Empty for a full fusion (the default-config
+        /// invariant); non-empty when a quorum fused over the surviving
+        /// subset with renormalised weights.
+        degraded: Vec<NetworkParameter>,
     },
     /// A candidate *not* enrolled for every fused parameter. Usually a
     /// true stranger; occasionally a device enrolled for only a subset
@@ -258,9 +265,12 @@ pub enum MultiEvent {
         /// The combined similarity vector over the commonly enrolled
         /// devices — who this newcomer most behaves like, fused across
         /// parameters (the paper's §VII MAC-rotation question). Present
-        /// when the candidate qualified for all fused parameters and
-        /// stranger scoring is on.
+        /// when the candidate qualified for all fused parameters (or a
+        /// configured quorum of them) and stranger scoring is on.
         fused: Option<FusedOutcome>,
+        /// Degraded-fusion marker: the parameters missing from the
+        /// fused score (empty when `fused` is a full fusion or absent).
+        degraded: Vec<NetworkParameter>,
     },
     /// Terminator: the window sealed and all its candidate events (if
     /// any) have been emitted.
@@ -287,6 +297,7 @@ pub struct MultiEngineBuilder {
     references: Option<BTreeMap<NetworkParameter, ReferenceDb>>,
     train_duration: Option<Nanos>,
     score_unknown: bool,
+    resilience: ResilienceConfig,
 }
 
 impl Default for MultiEngineBuilder {
@@ -297,6 +308,7 @@ impl Default for MultiEngineBuilder {
             references: None,
             train_duration: None,
             score_unknown: true,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -350,6 +362,16 @@ impl MultiEngineBuilder {
         self
     }
 
+    /// Ingest-hardening knobs: late-frame policy, duplicate
+    /// suppression, runt gate, fusion quorum (default
+    /// [`ResilienceConfig::default`] — strict, today's behavior); see
+    /// [`ResilienceConfig`].
+    #[must_use]
+    pub fn resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
     /// Validates the configuration and builds the engine.
     ///
     /// # Errors
@@ -399,7 +421,11 @@ impl MultiEngineBuilder {
             }
         };
         let extractor = FusedExtractor::with_options(cfg.estimator, cfg.filter.clone());
+        // A quorum outside [1, spec.len()] is meaningless — clamp rather
+        // than error, so `tolerant()` works for any spec width.
+        let quorum = self.resilience.fusion_quorum.map_or(spec.len(), |q| q.clamp(1, spec.len()));
         Ok(MultiEngine {
+            quorum,
             spec,
             cfg,
             configs,
@@ -408,7 +434,7 @@ impl MultiEngineBuilder {
             score_unknown: self.score_unknown,
             scratches: Vec::new(),
             origin: None,
-            last_t: None,
+            front: IngestFront::new(self.resilience),
             frames: 0,
             train_frames: 0,
             windows_closed: 0,
@@ -494,7 +520,14 @@ pub struct MultiEngine {
     /// keeping the steady state allocation-free like the single engine.
     scratches: Vec<MatchScratch>,
     origin: Option<Nanos>,
-    last_t: Option<Nanos>,
+    /// The resilience gatekeeper every arrival passes through (dedup →
+    /// runt gate → late policy) — also owns the monotonicity floor and
+    /// the [`EngineHealth`] counters.
+    front: IngestFront,
+    /// Minimum scored parameter views required for a fused score
+    /// (precomputed from [`ResilienceConfig::fusion_quorum`], clamped to
+    /// `[1, spec.len()]`).
+    quorum: usize,
     frames: u64,
     train_frames: u64,
     windows_closed: u64,
@@ -510,27 +543,43 @@ impl MultiEngine {
     /// Processes one captured frame, returning the events it triggered —
     /// one fused parse feeding every parameter.
     ///
+    /// The frame first passes the engine's [`ResilienceConfig`]
+    /// gatekeeper: duplicates and runts are counted into
+    /// [`MultiEngine::health`] and silently absorbed, and a late frame
+    /// is handled per [`LateFramePolicy`](super::LateFramePolicy) —
+    /// rejected (default), dropped, or re-sequenced through the bounded
+    /// reorder buffer.
+    ///
     /// # Errors
     ///
     /// * [`EngineError::NonMonotonicFrame`] for a frame older than its
     ///   predecessor (or than the latest
-    ///   [`MultiEngine::advance_to`] tick); the engine state is
-    ///   unchanged;
+    ///   [`MultiEngine::advance_to`] tick) under the default
+    ///   [`LateFramePolicy::Reject`](super::LateFramePolicy::Reject);
+    ///   the engine state is unchanged;
     /// * [`EngineError::Finished`] after [`MultiEngine::finish`].
     pub fn observe(&mut self, frame: &CapturedFrame) -> Result<Vec<MultiEvent>, EngineError> {
         if matches!(self.phase, MultiPhase::Finished { .. }) {
             return Err(EngineError::Finished);
         }
-        if let Some(last) = self.last_t {
-            if frame.t_end < last {
-                return Err(EngineError::NonMonotonicFrame { last, got: frame.t_end });
-            }
+        let mut events = Vec::new();
+        let delivered = self.front.admit(frame)?;
+        if let Some(frame) = delivered {
+            self.ingest(&frame, &mut events)?;
         }
-        self.last_t = Some(frame.t_end);
+        Ok(events)
+    }
+
+    /// Feeds one gatekeeper-approved frame through training / the fused
+    /// window path (the pre-resilience `observe` body).
+    fn ingest(
+        &mut self,
+        frame: &CapturedFrame,
+        events: &mut Vec<MultiEvent>,
+    ) -> Result<(), EngineError> {
         let origin = *self.origin.get_or_insert(frame.t_end);
         self.frames += 1;
 
-        let mut events = Vec::new();
         if let MultiPhase::Training { duration, .. } = &self.phase {
             if frame.t_end.saturating_sub(origin) < *duration {
                 self.train_frames += 1;
@@ -542,19 +591,19 @@ impl MultiEngine {
                 if let Some(obs) = obs {
                     record_fused(devices, &obs, &self.spec, &self.configs);
                 }
-                return Ok(events);
+                return Ok(());
             }
             // First frame past the boundary: enroll, freeze, switch to
             // detection (resetting the shared timing history, like the
             // single-parameter path's fresh detection extractor), then
             // treat this frame as the first detection frame below.
-            self.end_training(&mut events)?;
+            self.end_training(events)?;
         }
 
         // One fused parse per frame — this is the whole point.
         let obs = self.extractor.push(frame);
         let MultiPhase::Detecting(state) = &mut self.phase else {
-            unreachable!("observe handled Training and Finished above");
+            unreachable!("ingest handled Training, callers handle Finished");
         };
         if let Some(sealed) = state.clock.observe(frame.t_end) {
             let current = std::mem::take(&mut state.current);
@@ -564,18 +613,20 @@ impl MultiEngine {
                     cfg: &self.cfg,
                     state,
                     score_unknown: self.score_unknown,
+                    quorum: self.quorum,
                 },
                 &mut self.scratches,
+                &mut self.front.health,
                 sealed,
                 current,
-                &mut events,
+                events,
             );
             self.windows_closed += 1;
         }
         if let Some(obs) = obs {
             record_fused(&mut state.current, &obs, &self.spec, &self.configs);
         }
-        Ok(events)
+        Ok(())
     }
 
     /// [`MultiEngine::observe`] over a frame sequence, concatenating the
@@ -583,15 +634,22 @@ impl MultiEngine {
     ///
     /// # Errors
     ///
-    /// The first [`MultiEngine::observe`] error; events from frames
-    /// already processed are lost.
+    /// The first [`MultiEngine::observe`] error, wrapped in
+    /// [`EngineError::Batch`] carrying the zero-based index of the
+    /// failing frame so callers can resume or skip past it; events from
+    /// frames already processed are lost.
     pub fn observe_all<'a>(
         &mut self,
         frames: impl IntoIterator<Item = &'a CapturedFrame>,
     ) -> Result<Vec<MultiEvent>, EngineError> {
         let mut events = Vec::new();
-        for frame in frames {
-            events.append(&mut self.observe(frame)?);
+        for (index, frame) in frames.into_iter().enumerate() {
+            match self.observe(frame) {
+                Ok(mut ev) => events.append(&mut ev),
+                Err(source) => {
+                    return Err(EngineError::Batch { index, source: Box::new(source) });
+                }
+            }
         }
         Ok(events)
     }
@@ -612,10 +670,16 @@ impl MultiEngine {
             return Err(EngineError::Finished);
         }
         let mut events = Vec::new();
-        if self.last_t.is_some_and(|last| t <= last) {
+        if self.front.last_t().is_some_and(|last| t <= last) {
             return Ok(events);
         }
-        self.last_t = Some(t);
+        // Advancing the wall clock first flushes every reorder-buffered
+        // frame at or before `t` (in timestamp order) and raises the
+        // delivered watermark, so a window can never seal ahead of a
+        // frame still waiting in the buffer.
+        for frame in self.front.release_until(t) {
+            self.ingest(&frame, &mut events)?;
+        }
         if let MultiPhase::Training { duration, .. } = &self.phase {
             let Some(origin) = self.origin else { return Ok(events) };
             if t.saturating_sub(origin) < *duration {
@@ -634,8 +698,10 @@ impl MultiEngine {
                     cfg: &self.cfg,
                     state,
                     score_unknown: self.score_unknown,
+                    quorum: self.quorum,
                 },
                 &mut self.scratches,
+                &mut self.front.health,
                 sealed,
                 current,
                 &mut events,
@@ -665,20 +731,29 @@ impl MultiEngine {
         }
     }
 
-    /// Ends the session: seals the still-open trailing window (emitting
-    /// its events so the last partial window is never silently dropped),
-    /// or — when the stream never outlived the training phase — ends
-    /// training and emits the [`MultiEvent::Enrolled`] events, making a
-    /// training-only run the enrollment entry point (finish, then take
-    /// the databases with [`MultiEngine::into_references`]).
+    /// Ends the session: drains any frames still waiting in the reorder
+    /// buffer, seals the still-open trailing window (emitting its events
+    /// so the last partial window is never silently dropped), or — when
+    /// the stream never outlived the training phase — ends training and
+    /// emits the [`MultiEvent::Enrolled`] events, making a training-only
+    /// run the enrollment entry point (finish, then take the databases
+    /// with [`MultiEngine::into_references`]).
+    ///
+    /// Idempotent: a second call returns an empty event list (the
+    /// trailing window is only ever scored once).
     ///
     /// # Errors
     ///
-    /// [`EngineError::Finished`] on a second call.
+    /// [`EngineError::Core`] if sealing the references fails.
     pub fn finish(&mut self) -> Result<Vec<MultiEvent>, EngineError> {
         let mut events = Vec::new();
         if matches!(self.phase, MultiPhase::Finished { .. }) {
-            return Err(EngineError::Finished);
+            return Ok(events);
+        }
+        // Everything the reorder buffer still holds is delivered now, in
+        // timestamp order, before the trailing window seals.
+        for frame in self.front.drain() {
+            self.ingest(&frame, &mut events)?;
         }
         if matches!(self.phase, MultiPhase::Training { .. }) {
             self.end_training(&mut events)?;
@@ -696,8 +771,10 @@ impl MultiEngine {
                     cfg: &self.cfg,
                     state: &state,
                     score_unknown: self.score_unknown,
+                    quorum: self.quorum,
                 },
                 &mut self.scratches,
+                &mut self.front.health,
                 sealed,
                 current,
                 &mut events,
@@ -773,6 +850,27 @@ impl MultiEngine {
         self.windows_closed
     }
 
+    /// The ingest-health counter block: frames seen/duplicate/corrupt/
+    /// late-dropped/reordered and windows that closed with a degraded
+    /// fused score. Cheap (a `Copy` snapshot); poll it any time.
+    #[must_use]
+    pub fn health(&self) -> EngineHealth {
+        self.front.health
+    }
+
+    /// The resilience configuration the engine runs.
+    #[must_use]
+    pub fn resilience(&self) -> &ResilienceConfig {
+        self.front.config()
+    }
+
+    /// Frames admitted but still waiting in the reorder buffer (always 0
+    /// outside [`LateFramePolicy::Reorder`](super::LateFramePolicy::Reorder)).
+    #[must_use]
+    pub fn pending_frames(&self) -> usize {
+        self.front.pending_frames()
+    }
+
     /// Training → detection: per parameter, enroll the devices that met
     /// the floor, freeze, emit [`MultiEvent::Enrolled`]s. A parameter
     /// that enrolled nobody degrades to an empty (frozen) database —
@@ -840,17 +938,25 @@ struct CloseArgs<'a> {
     cfg: &'a MultiConfig,
     state: &'a DetectState,
     score_unknown: bool,
+    /// Minimum scored parameter views for a fused score (see
+    /// [`ResilienceConfig::fusion_quorum`]).
+    quorum: usize,
 }
 
 /// Scores one sealed window: per parameter, sweep the qualifying
 /// candidates against that parameter's reference matrix in
 /// [`MATCH_TILE`]-wide tiles, then fuse each candidate's per-parameter
 /// vectors into the combined score, and emit the fused events (ascending
-/// device address) plus the terminator.
+/// device address) plus the terminator. A candidate with only a quorum
+/// of scored parameters gets a fused score over the survivors, with the
+/// missing parameters listed in the event's `degraded` marker;
+/// `health.windows_degraded` counts windows emitting at least one such
+/// event.
 #[allow(clippy::too_many_lines)] // qualify → fan-out sweep → fuse, one linear pass
 fn close_multi_window(
     args: &CloseArgs<'_>,
     scratches: &mut Vec<MatchScratch>,
+    health: &mut EngineHealth,
     window: usize,
     candidates: BTreeMap<MacAddr, Vec<Signature>>,
     events: &mut Vec<MultiEvent>,
@@ -865,7 +971,7 @@ fn close_multi_window(
         views: Vec<Option<MatchOutcome>>,
     }
 
-    let CloseArgs { spec, cfg, state, score_unknown } = *args;
+    let CloseArgs { spec, cfg, state, score_unknown, quorum } = *args;
     // `max(1)`: parameters with zero observations stay out, exactly as
     // they never enter a single-parameter window's candidate map.
     let min = cfg.min_observations.max(1);
@@ -947,17 +1053,41 @@ fn close_multi_window(
 
     let total = qualified.len();
     let mut known = 0usize;
+    let mut any_degraded = false;
     for candidate in qualified {
         let Candidate { device, sigs, views } = candidate;
         let in_common = state.common.binary_search(&device).is_ok();
-        // The fused score needs a scored view for every parameter; the
-        // views are borrowed here and handed over to the per-parameter
-        // decisions below, no clones.
-        let fused = (!state.common.is_empty() && views.iter().all(Option::is_some)).then(|| {
-            let outcomes: Vec<&MatchOutcome> =
-                views.iter().map(|v| v.as_ref().expect("checked")).collect();
-            fuse_outcomes(spec, &outcomes, &state.common)
-        });
+        // The fused score wants a scored view for every parameter, but a
+        // degraded capture may starve some of them below the floor: fuse
+        // over the survivors when at least `quorum` parameters scored,
+        // naming the missing ones in `degraded`. The views are borrowed
+        // here and handed over to the per-parameter decisions below, no
+        // clones.
+        let survivors: Vec<&MatchOutcome> = views.iter().flatten().collect();
+        let (fused, degraded) = if state.common.is_empty() || survivors.len() < quorum {
+            (None, Vec::new())
+        } else if survivors.len() == n_params {
+            (Some(fuse_outcomes(spec, &survivors, &state.common)), Vec::new())
+        } else {
+            // Renormalise over the surviving parameters: a sub-spec of
+            // the scored (parameter, weight) pairs, weights re-scaled by
+            // `fuse_outcomes` itself (it divides by the weight sum).
+            let sub = FusionSpec {
+                parameters: spec
+                    .parameters
+                    .iter()
+                    .zip(&views)
+                    .filter_map(|(&pw, v)| v.is_some().then_some(pw))
+                    .collect(),
+            };
+            let missing: Vec<NetworkParameter> = spec
+                .parameters()
+                .zip(&views)
+                .filter(|(_, v)| v.is_none())
+                .map(|(p, _)| p)
+                .collect();
+            (Some(fuse_outcomes(&sub, &survivors, &state.common)), missing)
+        };
         let mut scores = Vec::with_capacity(n_params);
         let mut signatures = Vec::new();
         for (p, ((param, sig), view)) in spec.parameters().zip(sigs).zip(views).enumerate() {
@@ -972,17 +1102,25 @@ fn close_multi_window(
             }
         }
         if in_common {
+            any_degraded |= fused.is_some() && !degraded.is_empty();
             known += 1;
-            events.push(MultiEvent::FusedMatch { window, device, scores, fused });
+            events.push(MultiEvent::FusedMatch { window, device, scores, fused, degraded });
         } else {
+            let fused = fused.filter(|_| score_unknown);
+            let degraded = if fused.is_some() { degraded } else { Vec::new() };
+            any_degraded |= !degraded.is_empty();
             events.push(MultiEvent::FusedNewDevice {
                 window,
                 device,
                 signatures,
                 scores,
-                fused: fused.filter(|_| score_unknown),
+                fused,
+                degraded,
             });
         }
+    }
+    if any_degraded {
+        health.windows_degraded += 1;
     }
     events.push(MultiEvent::WindowClosed {
         window,
@@ -1423,9 +1561,12 @@ mod tests {
         engine.observe(&frame(1, 1_000, 300)).unwrap();
         engine.finish().unwrap();
         assert!(matches!(engine.observe(&frame(1, 2_000, 300)), Err(EngineError::Finished)));
-        assert!(matches!(engine.finish(), Err(EngineError::Finished)));
         assert!(matches!(engine.advance_to(Nanos::from_secs(10)), Err(EngineError::Finished)));
         assert!(matches!(engine.tick(), Err(EngineError::Finished)));
+        // finish() itself is idempotent: no error, no duplicate trailing
+        // window — just an empty event list.
+        assert!(engine.finish().unwrap().is_empty());
+        assert!(engine.finish().unwrap().is_empty());
     }
 
     #[test]
@@ -1475,5 +1616,130 @@ mod tests {
             seen += 1;
         }
         assert!(seen > 0);
+    }
+
+    #[test]
+    fn degraded_window_fuses_over_surviving_parameters_under_quorum() {
+        use crate::engine::ResilienceConfig;
+        // A sparse window: exactly 5 frames from device 1. The per-frame
+        // parameters (size, rate, transmission time) observe all 5; the
+        // history-based ones (inter-arrival, medium access) observe 4 —
+        // under the floor — so the window closes with 3 of 5 views.
+        let sparse_run = |resilience: ResilienceConfig| {
+            let mut trainer = MultiEngine::builder()
+                .config(cfg(1, 5))
+                .train_for(Nanos::from_secs(3600))
+                .build()
+                .unwrap();
+            trainer.observe_all(&training_frames()).unwrap();
+            trainer.finish().unwrap();
+            let mut engine = MultiEngine::builder()
+                .config(cfg(1, 5))
+                .references(trainer.into_references())
+                .resilience(resilience)
+                .build()
+                .unwrap();
+            for i in 0..5u64 {
+                engine.observe(&frame(1, 10_000_000 + i * 30_000, 300)).unwrap();
+            }
+            let events = engine.finish().unwrap();
+            let health = engine.health();
+            (events, health)
+        };
+
+        // Default (strict): a missing view poisons the fused score.
+        let (events, health) = sparse_run(ResilienceConfig::default());
+        let Some(MultiEvent::FusedMatch { fused, degraded, .. }) = events.first() else {
+            panic!("expected a trailing-window decision, got {events:?}");
+        };
+        assert!(fused.is_none(), "all-parameter quorum unmet: no fused score");
+        assert!(degraded.is_empty());
+        assert_eq!(health.windows_degraded, 0);
+
+        // Quorum 1: fuse over the survivors, name the missing ones.
+        let (events, health) = sparse_run(ResilienceConfig::default().with_fusion_quorum(Some(1)));
+        let Some(MultiEvent::FusedMatch { device, fused: Some(fused), degraded, .. }) =
+            events.first()
+        else {
+            panic!("expected a degraded fused decision, got {events:?}");
+        };
+        assert_eq!(*device, MacAddr::from_index(1));
+        assert_eq!(fused.best().unwrap().0, MacAddr::from_index(1));
+        assert_eq!(degraded.len(), 2, "the two history-based parameters starved");
+        assert!(degraded.contains(&NetworkParameter::InterArrivalTime));
+        assert!(degraded.contains(&NetworkParameter::MediumAccessTime));
+        assert_eq!(health.windows_degraded, 1);
+
+        // A quorum above the surviving count still refuses to fuse.
+        let (events, _) = sparse_run(ResilienceConfig::default().with_fusion_quorum(Some(4)));
+        let Some(MultiEvent::FusedMatch { fused, degraded, .. }) = events.first() else {
+            panic!("expected a trailing-window decision, got {events:?}");
+        };
+        assert!(fused.is_none(), "3 surviving views < quorum 4");
+        assert!(degraded.is_empty());
+    }
+
+    #[test]
+    fn observe_all_reports_the_failing_frame_index() {
+        let mut engine = MultiEngine::builder()
+            .config(cfg(10, 1))
+            .train_for(Nanos::from_secs(3600))
+            .build()
+            .unwrap();
+        let frames =
+            vec![frame(1, 5_000, 300), frame(1, 6_000, 300), frame(1, 4_000, 300)];
+        let err = engine.observe_all(&frames).unwrap_err();
+        let EngineError::Batch { index, source } = err else {
+            panic!("expected a batch error, got {err:?}");
+        };
+        assert_eq!(index, 2);
+        assert!(matches!(*source, EngineError::NonMonotonicFrame { .. }));
+        // The two good frames were processed; the caller can skip past
+        // index 2 and resume.
+        assert_eq!(engine.frames_observed(), 2);
+        engine.observe(&frame(1, 7_000, 300)).unwrap();
+    }
+
+    #[test]
+    fn reorder_policy_restores_shuffled_streams_bit_identically() {
+        use crate::engine::{LateFramePolicy, ResilienceConfig};
+        // Same traffic, one stream locally shuffled within a 4-frame
+        // horizon: with `Reorder { max_lateness: 8 }` the emitted events
+        // must be bit-identical to the in-order run.
+        let build = |resilience: ResilienceConfig| {
+            MultiEngine::builder()
+                .config(cfg(1, 5))
+                .train_for(Nanos::from_secs(2))
+                .resilience(resilience)
+                .build()
+                .unwrap()
+        };
+        let mut frames = training_frames();
+        // Strictly distinct timestamps (40 kµs and 25 kµs lattices never
+        // meet off a 13 kµs offset), so re-sequencing is unambiguous.
+        for i in 0..60u64 {
+            frames.push(frame(1, 2_100_000 + i * 40_000, 300));
+            frames.push(frame(3, 2_113_000 + i * 25_000, 900));
+        }
+        frames.sort_by_key(|f| f.t_end);
+        let mut shuffled = frames.clone();
+        for chunk in shuffled.chunks_mut(4) {
+            chunk.reverse();
+        }
+
+        let run = |engine: &mut MultiEngine, frames: &[CapturedFrame]| {
+            let mut events = engine.observe_all(frames).unwrap();
+            events.append(&mut engine.finish().unwrap());
+            events
+        };
+        let mut in_order = build(ResilienceConfig::default());
+        let reorder_cfg = ResilienceConfig::default()
+            .with_late_policy(LateFramePolicy::Reorder { max_lateness: 8 });
+        let mut resequenced = build(reorder_cfg);
+        let expected = run(&mut in_order, &frames);
+        let got = run(&mut resequenced, &shuffled);
+        assert_eq!(format!("{expected:?}"), format!("{got:?}"));
+        assert!(resequenced.health().frames_reordered > 0, "the shuffle was real");
+        assert_eq!(resequenced.health().frames_late_dropped, 0);
     }
 }

@@ -1,0 +1,469 @@
+//! Degraded-capture resilience: the ingest front both engines share.
+//!
+//! A passive monitor's view of the medium is imperfect by construction —
+//! ring buffers overflow (loss), USB capture paths batch and reorder,
+//! drivers re-deliver frames (duplicates), and truncated captures carry
+//! garbage header fields. The default engine contract is strict: frames
+//! must arrive in capture order ([`EngineError::NonMonotonicFrame`]) and
+//! are trusted verbatim. [`ResilienceConfig`] relaxes that contract
+//! *explicitly*, per deployment:
+//!
+//! * a [`LateFramePolicy`] decides what happens to a frame older than
+//!   the stream's watermark — reject (default, today's behavior), drop
+//!   and count, or re-sequence through a bounded reorder buffer;
+//! * duplicate suppression drops exact re-deliveries within a recent
+//!   horizon;
+//! * a minimum-size sanity gate drops truncated (runt) captures before
+//!   they can poison signatures;
+//! * a fusion quorum lets the [`MultiEngine`](super::MultiEngine) fuse
+//!   over the *surviving* parameters when a window is too sparse for
+//!   some of them, instead of withholding the fused score.
+//!
+//! Every dropped or rewritten frame is accounted for in [`EngineHealth`]
+//! (readable via `health()` on either engine), so operators can
+//! reconcile engine-side counters against capture-side statistics.
+//!
+//! The **reorder** policy is a watermark re-sequencer: frames are held
+//! in a buffer sorted by timestamp and released oldest-first once more
+//! than `max_lateness` frames are pending. A stream whose frames are
+//! displaced by at most `K` positions from capture order is re-sorted
+//! *exactly* by a buffer of `max_lateness ≥ K` — the engine then emits
+//! bit-identical events to the in-order stream (a property test pins
+//! this for both engines).
+
+use std::collections::VecDeque;
+
+use wifiprint_ieee80211::Nanos;
+use wifiprint_radiotap::CapturedFrame;
+
+use super::EngineError;
+
+/// The shortest frame a monitor can capture whole: frame control +
+/// duration + one address + FCS (an ACK/CTS is 14 bytes on air).
+/// [`ResilienceConfig::tolerant`] uses it as the runt gate.
+pub const MIN_PLAUSIBLE_FRAME_SIZE: usize = 14;
+
+/// What to do with a frame older than the stream's watermark (the
+/// newest delivered timestamp, also advanced by `advance_to`/`tick`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LateFramePolicy {
+    /// Reject the frame with [`EngineError::NonMonotonicFrame`] — the
+    /// strict historical contract, and still the default.
+    Reject,
+    /// Drop the frame, count it in
+    /// [`EngineHealth::frames_late_dropped`], and keep the stream alive.
+    Drop,
+    /// Re-sequence through a bounded buffer: frames are delivered in
+    /// timestamp order once more than `max_lateness` of them are
+    /// pending, so any stream shuffled within a `max_lateness`-frame
+    /// horizon is restored to capture order exactly. Frames that arrive
+    /// *behind* the already-delivered watermark are dropped and counted
+    /// (like [`LateFramePolicy::Drop`]). `max_lateness: 0` behaves like
+    /// `Drop`.
+    Reorder {
+        /// Maximum positional displacement the buffer absorbs (also its
+        /// capacity in frames).
+        max_lateness: usize,
+    },
+}
+
+/// Ingest-hardening knobs shared by [`Engine`](super::Engine) and
+/// [`MultiEngine`](super::MultiEngine); set via the builders'
+/// `resilience()` method. The default is **bit-for-bit** the historical
+/// strict behavior: late frames rejected, nothing deduplicated, nothing
+/// gated, fused scores requiring every parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Late-frame policy (default [`LateFramePolicy::Reject`]).
+    pub late_policy: LateFramePolicy,
+    /// Depth of the recently-seen ring used for exact-duplicate
+    /// suppression; `0` (default) disables it. A frame equal in every
+    /// field to one of the last `dedup_depth` arrivals is dropped and
+    /// counted in [`EngineHealth::frames_duplicate`].
+    pub dedup_depth: usize,
+    /// Frames smaller than this many on-air bytes are dropped as
+    /// truncated/corrupt captures ([`EngineHealth::frames_corrupt`]);
+    /// `0` (default) disables the gate.
+    pub min_frame_size: usize,
+    /// [`MultiEngine`](super::MultiEngine) only: the minimum number of
+    /// parameters a candidate must have scored views for to receive a
+    /// fused score. `None` (default) requires **all** fused parameters —
+    /// the historical behavior. `Some(q)` fuses over the surviving
+    /// subset (weights renormalised) when at least `q` parameters
+    /// scored, marking the event as degraded.
+    pub fusion_quorum: Option<usize>,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            late_policy: LateFramePolicy::Reject,
+            dedup_depth: 0,
+            min_frame_size: 0,
+            fusion_quorum: None,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// A preset for degraded captures: 64-frame reorder horizon,
+    /// 64-frame duplicate suppression, runt gate at
+    /// [`MIN_PLAUSIBLE_FRAME_SIZE`], and fusion over whatever parameters
+    /// survive (quorum 1).
+    #[must_use]
+    pub fn tolerant() -> Self {
+        ResilienceConfig {
+            late_policy: LateFramePolicy::Reorder { max_lateness: 64 },
+            dedup_depth: 64,
+            min_frame_size: MIN_PLAUSIBLE_FRAME_SIZE,
+            fusion_quorum: Some(1),
+        }
+    }
+
+    /// Returns a copy with a different late-frame policy.
+    #[must_use]
+    pub fn with_late_policy(mut self, policy: LateFramePolicy) -> Self {
+        self.late_policy = policy;
+        self
+    }
+
+    /// Returns a copy with a different duplicate-suppression depth.
+    #[must_use]
+    pub fn with_dedup_depth(mut self, depth: usize) -> Self {
+        self.dedup_depth = depth;
+        self
+    }
+
+    /// Returns a copy with a different runt-frame gate.
+    #[must_use]
+    pub fn with_min_frame_size(mut self, size: usize) -> Self {
+        self.min_frame_size = size;
+        self
+    }
+
+    /// Returns a copy with a different fusion quorum.
+    #[must_use]
+    pub fn with_fusion_quorum(mut self, quorum: Option<usize>) -> Self {
+        self.fusion_quorum = quorum;
+        self
+    }
+}
+
+/// Ingest-health counters, readable via `health()` on either engine.
+///
+/// The counters reconcile with the arrival stream by conservation:
+/// every arrival is either delivered to the engine core
+/// (`frames_observed()`), still pending in the reorder buffer, or
+/// counted in exactly one of the drop counters below.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct EngineHealth {
+    /// Frames presented to `observe` (before any gating).
+    pub frames_seen: u64,
+    /// Exact duplicates dropped by the suppression ring.
+    pub frames_duplicate: u64,
+    /// Truncated/corrupt frames dropped by the minimum-size gate.
+    pub frames_corrupt: u64,
+    /// Late frames dropped under [`LateFramePolicy::Drop`], or behind
+    /// the delivered watermark under [`LateFramePolicy::Reorder`].
+    pub frames_late_dropped: u64,
+    /// Frames that arrived out of timestamp order but were successfully
+    /// re-sequenced by the reorder buffer.
+    pub frames_reordered: u64,
+    /// Windows whose fused decision was degraded (fused over a quorum
+    /// subset of parameters). Always `0` on the single-parameter engine.
+    pub windows_degraded: u64,
+}
+
+impl EngineHealth {
+    /// Total frames dropped by the ingest front (duplicate + corrupt +
+    /// late).
+    #[must_use]
+    pub fn frames_dropped(&self) -> u64 {
+        self.frames_duplicate + self.frames_corrupt + self.frames_late_dropped
+    }
+}
+
+/// The gatekeeper between raw arrivals and the engine core: applies the
+/// [`ResilienceConfig`] (dedup → runt gate → late policy) and owns the
+/// stream's monotonicity watermark. With the default config this is
+/// exactly the historical floor check — one comparison, no buffering.
+#[derive(Debug)]
+pub(crate) struct IngestFront {
+    cfg: ResilienceConfig,
+    /// The delivered watermark: the newest timestamp handed to the
+    /// engine core, also advanced by `advance_to`. Frames behind it are
+    /// late.
+    floor: Option<Nanos>,
+    /// Newest *arrival* timestamp, for counting re-sequenced frames.
+    arrival_max: Option<Nanos>,
+    /// Recently seen frames (newest at the back), for dedup.
+    recent: VecDeque<CapturedFrame>,
+    /// Reorder buffer, sorted ascending by `t_end` (stable for ties).
+    pending: VecDeque<CapturedFrame>,
+    pub(crate) health: EngineHealth,
+}
+
+impl IngestFront {
+    pub(crate) fn new(cfg: ResilienceConfig) -> Self {
+        IngestFront {
+            cfg,
+            floor: None,
+            arrival_max: None,
+            recent: VecDeque::new(),
+            pending: VecDeque::new(),
+            health: EngineHealth::default(),
+        }
+    }
+
+    pub(crate) fn config(&self) -> &ResilienceConfig {
+        &self.cfg
+    }
+
+    /// The stream's watermark: the newest delivered (or ticked)
+    /// timestamp — the engines' no-op floor for `advance_to`.
+    pub(crate) fn last_t(&self) -> Option<Nanos> {
+        self.floor
+    }
+
+    /// Admits one arrival. Returns at most one frame to deliver to the
+    /// engine core *now* (the frame itself, or the oldest frame a full
+    /// reorder buffer released to make room).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NonMonotonicFrame`] for a late frame under
+    /// [`LateFramePolicy::Reject`]; the engine state is unchanged (the
+    /// frame may be re-sent in order).
+    pub(crate) fn admit(
+        &mut self,
+        frame: &CapturedFrame,
+    ) -> Result<Option<CapturedFrame>, EngineError> {
+        self.health.frames_seen += 1;
+        if self.cfg.dedup_depth > 0 {
+            if self.recent.contains(frame) {
+                self.health.frames_duplicate += 1;
+                return Ok(None);
+            }
+            if self.recent.len() == self.cfg.dedup_depth {
+                self.recent.pop_front();
+            }
+            self.recent.push_back(*frame);
+        }
+        if frame.size < self.cfg.min_frame_size {
+            self.health.frames_corrupt += 1;
+            return Ok(None);
+        }
+        let t = frame.t_end;
+        match self.cfg.late_policy {
+            LateFramePolicy::Reject => {
+                if let Some(last) = self.floor {
+                    if t < last {
+                        return Err(EngineError::NonMonotonicFrame { last, got: t });
+                    }
+                }
+                self.floor = Some(t);
+                Ok(Some(*frame))
+            }
+            LateFramePolicy::Drop => {
+                if self.floor.is_some_and(|last| t < last) {
+                    self.health.frames_late_dropped += 1;
+                    return Ok(None);
+                }
+                self.floor = Some(t);
+                Ok(Some(*frame))
+            }
+            LateFramePolicy::Reorder { max_lateness } => {
+                if self.floor.is_some_and(|last| t < last) {
+                    // Behind the delivered watermark: the buffer cannot
+                    // un-deliver, so this frame is beyond the horizon.
+                    self.health.frames_late_dropped += 1;
+                    return Ok(None);
+                }
+                if self.arrival_max.is_some_and(|m| t < m) {
+                    self.health.frames_reordered += 1;
+                }
+                self.arrival_max = Some(self.arrival_max.map_or(t, |m| m.max(t)));
+                // Stable insert: after all equal timestamps, preserving
+                // arrival order among ties.
+                let pos = self.pending.partition_point(|f| f.t_end <= t);
+                self.pending.insert(pos, *frame);
+                if self.pending.len() > max_lateness {
+                    let out = self.pending.pop_front().expect("len > max_lateness >= 0");
+                    self.floor = Some(out.t_end);
+                    return Ok(Some(out));
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Releases every buffered frame with `t_end <= t` (in timestamp
+    /// order), then raises the watermark to at least `t`. The engines
+    /// call this from `advance_to` *before* advancing their window
+    /// clocks, so buffered frames land in their proper windows.
+    pub(crate) fn release_until(&mut self, t: Nanos) -> Vec<CapturedFrame> {
+        let mut out = Vec::new();
+        while self.pending.front().is_some_and(|f| f.t_end <= t) {
+            out.push(self.pending.pop_front().expect("checked front"));
+        }
+        self.floor = Some(self.floor.map_or(t, |f| f.max(t)));
+        out
+    }
+
+    /// Drains the whole reorder buffer in timestamp order (for
+    /// `finish`).
+    pub(crate) fn drain(&mut self) -> Vec<CapturedFrame> {
+        if let Some(last) = self.pending.back() {
+            self.floor = Some(self.floor.map_or(last.t_end, |f| f.max(last.t_end)));
+        }
+        self.pending.drain(..).collect()
+    }
+
+    /// Frames currently held by the reorder buffer.
+    pub(crate) fn pending_frames(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wifiprint_ieee80211::{FrameKind, MacAddr, Rate};
+
+    fn frame(t_us: u64, size: usize) -> CapturedFrame {
+        CapturedFrame {
+            t_end: Nanos::from_micros(t_us),
+            air_time: Nanos::from_micros(100),
+            rate: Rate::R24M,
+            size,
+            kind: FrameKind::Data,
+            transmitter: Some(MacAddr::from_index(1)),
+            receiver: MacAddr::from_index(2),
+            dest_group: false,
+            retry: false,
+            signal_dbm: -55,
+        }
+    }
+
+    #[test]
+    fn default_front_is_the_strict_floor_check() {
+        let mut front = IngestFront::new(ResilienceConfig::default());
+        assert_eq!(front.admit(&frame(10, 100)).unwrap(), Some(frame(10, 100)));
+        assert!(matches!(
+            front.admit(&frame(5, 100)),
+            Err(EngineError::NonMonotonicFrame { .. })
+        ));
+        // Equal timestamps are in order (monitor clocks can tie).
+        assert_eq!(front.admit(&frame(10, 100)).unwrap(), Some(frame(10, 100)));
+        assert_eq!(front.health.frames_seen, 3);
+        assert_eq!(front.health.frames_dropped(), 0);
+    }
+
+    #[test]
+    fn drop_policy_counts_and_continues() {
+        let cfg = ResilienceConfig::default().with_late_policy(LateFramePolicy::Drop);
+        let mut front = IngestFront::new(cfg);
+        assert!(front.admit(&frame(10, 100)).unwrap().is_some());
+        assert!(front.admit(&frame(5, 100)).unwrap().is_none());
+        assert!(front.admit(&frame(12, 100)).unwrap().is_some());
+        assert_eq!(front.health.frames_late_dropped, 1);
+    }
+
+    #[test]
+    fn reorder_restores_a_bounded_shuffle() {
+        let cfg = ResilienceConfig::default()
+            .with_late_policy(LateFramePolicy::Reorder { max_lateness: 2 });
+        let mut front = IngestFront::new(cfg);
+        let mut delivered = Vec::new();
+        // Arrival order 30, 10, 20, 40 (displacement ≤ 2).
+        for t in [30u64, 10, 20, 40] {
+            if let Some(f) = front.admit(&frame(t, 100)).unwrap() {
+                delivered.push(f.t_end.as_nanos());
+            }
+        }
+        delivered.extend(front.drain().into_iter().map(|f| f.t_end.as_nanos()));
+        assert_eq!(delivered, vec![10_000, 20_000, 30_000, 40_000]);
+        assert_eq!(front.health.frames_reordered, 2, "10 and 20 arrived late");
+        assert_eq!(front.health.frames_late_dropped, 0);
+    }
+
+    #[test]
+    fn reorder_drops_frames_behind_the_delivered_watermark() {
+        let cfg = ResilienceConfig::default()
+            .with_late_policy(LateFramePolicy::Reorder { max_lateness: 1 });
+        let mut front = IngestFront::new(cfg);
+        assert!(front.admit(&frame(10, 100)).unwrap().is_none());
+        // Buffer over capacity: 10 is delivered, watermark = 10.
+        assert_eq!(front.admit(&frame(20, 100)).unwrap().unwrap().t_end, Nanos::from_micros(10));
+        // A frame behind the watermark is beyond the horizon.
+        assert!(front.admit(&frame(5, 100)).unwrap().is_none());
+        assert_eq!(front.health.frames_late_dropped, 1);
+        assert_eq!(front.pending_frames(), 1);
+    }
+
+    #[test]
+    fn release_until_flushes_in_order_and_raises_the_watermark() {
+        let cfg = ResilienceConfig::default()
+            .with_late_policy(LateFramePolicy::Reorder { max_lateness: 8 });
+        let mut front = IngestFront::new(cfg);
+        for t in [30u64, 10, 20, 50] {
+            assert!(front.admit(&frame(t, 100)).unwrap().is_none());
+        }
+        let released: Vec<u64> = front
+            .release_until(Nanos::from_micros(25))
+            .into_iter()
+            .map(|f| f.t_end.as_nanos() / 1_000)
+            .collect();
+        assert_eq!(released, vec![10, 20]);
+        assert_eq!(front.last_t(), Some(Nanos::from_micros(25)));
+        assert_eq!(front.pending_frames(), 2);
+        // The raised watermark now rejects (drops) older arrivals.
+        assert!(front.admit(&frame(22, 100)).unwrap().is_none());
+        assert_eq!(front.health.frames_late_dropped, 1);
+    }
+
+    #[test]
+    fn dedup_ring_drops_exact_re_deliveries() {
+        let cfg = ResilienceConfig::default().with_dedup_depth(2);
+        let mut front = IngestFront::new(cfg);
+        let f = frame(10, 100);
+        assert!(front.admit(&f).unwrap().is_some());
+        assert!(front.admit(&f).unwrap().is_none(), "exact duplicate");
+        // A frame differing in any field is not a duplicate (same
+        // timestamp keeps the strict monotonicity check out of play).
+        assert!(front.admit(&frame(10, 101)).unwrap().is_some());
+        // The ring is bounded: after two newer frames, f is forgotten.
+        assert!(front.admit(&frame(10, 102)).unwrap().is_some());
+        assert!(front.admit(&f).unwrap().is_some());
+        assert_eq!(front.health.frames_duplicate, 1);
+    }
+
+    #[test]
+    fn runt_gate_drops_truncated_frames() {
+        let cfg = ResilienceConfig::tolerant();
+        let mut front = IngestFront::new(cfg);
+        assert!(front.admit(&frame(10, 4)).unwrap().is_none());
+        assert_eq!(front.health.frames_corrupt, 1);
+        // A duplicate of a runt counts as duplicate, not corrupt twice:
+        // the dedup ring sees every arrival first.
+        assert!(front.admit(&frame(10, 4)).unwrap().is_none());
+        assert_eq!(front.health.frames_corrupt, 1);
+        assert_eq!(front.health.frames_duplicate, 1);
+    }
+
+    #[test]
+    fn tolerant_preset_and_builders_compose() {
+        let cfg = ResilienceConfig::tolerant()
+            .with_dedup_depth(8)
+            .with_min_frame_size(0)
+            .with_fusion_quorum(Some(3))
+            .with_late_policy(LateFramePolicy::Drop);
+        assert_eq!(cfg.dedup_depth, 8);
+        assert_eq!(cfg.min_frame_size, 0);
+        assert_eq!(cfg.fusion_quorum, Some(3));
+        assert_eq!(cfg.late_policy, LateFramePolicy::Drop);
+        assert_eq!(ResilienceConfig::default().late_policy, LateFramePolicy::Reject);
+    }
+}

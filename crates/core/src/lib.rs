@@ -124,8 +124,9 @@ mod windows;
 pub use config::{default_bins, EvalConfig, FrameFilter, TxTimeEstimator};
 pub use db::{load_db, load_db_with, save_db, DbCodecError};
 pub use engine::{
-    Engine, EngineBuilder, EngineError, EnginePhase, Event, MultiConfig, MultiEngine,
-    MultiEngineBuilder, MultiEvent, ParameterDecision,
+    Engine, EngineBuilder, EngineError, EngineHealth, EnginePhase, Event, LateFramePolicy,
+    MultiConfig, MultiEngine, MultiEngineBuilder, MultiEvent, ParameterDecision, ResilienceConfig,
+    MIN_PLAUSIBLE_FRAME_SIZE,
 };
 pub use error::CoreError;
 pub use fusion::{fuse_outcomes, FusedOutcome, FusionSpec};

@@ -1,0 +1,633 @@
+//! Deterministic fault injection for degraded-capture experiments.
+//!
+//! The paper's vantage point is a *passive* sniffer, where frame loss,
+//! duplication, reordering and truncation are the normal operating
+//! condition — not an exception. This module degrades any frame stream
+//! the way a real monitor-mode capture path does, **reproducibly from a
+//! seed**, so the engines' resilience layer
+//! (`wifiprint_core::ResilienceConfig`) can be evaluated against known
+//! fault counts:
+//!
+//! * **loss** — i.i.d. per-frame drops or bursty two-state
+//!   Gilbert–Elliott loss ([`LossModel`]),
+//! * **duplication** — drivers re-delivering a frame (the copy arrives
+//!   adjacent to the original, as real re-deliveries do),
+//! * **bounded reordering** — frames displaced by at most
+//!   [`FaultPlan::reorder_depth`] positions, the USB/ring-buffer batching
+//!   pattern,
+//! * **timestamp jitter and clock skew** — Gaussian perturbation plus a
+//!   linear ppm drift of the capture clock,
+//! * **truncation** — captures cut to runt length (caught by the
+//!   engines' minimum-size gate) and silent **field mangling** (retry
+//!   bit, signal) the gate cannot see,
+//! * **chaff** — garbage broadcast frames from transmitters outside the
+//!   scenario population.
+//!
+//! Every applied fault is tallied in a [`FaultLog`], so a test can
+//! reconcile the engine's `EngineHealth` counters *exactly* against what
+//! was injected.
+//!
+//! # Example
+//!
+//! ```
+//! use wifiprint_scenarios::{FaultInjector, FaultPlan, LossModel, OfficeScenario};
+//!
+//! let trace = OfficeScenario::small(7, 30, 4).run_collect();
+//! let plan = FaultPlan::clean()
+//!     .with_loss(LossModel::Iid { rate: 0.1 })
+//!     .with_reordering(8, 0.2);
+//! let (degraded, log) = FaultInjector::new(plan, 42).degrade(&trace.frames);
+//! assert_eq!(log.input, trace.frames.len() as u64);
+//! assert_eq!(log.emitted as usize, degraded.len());
+//! assert_eq!(log.input, log.emitted + log.lost - log.duplicated - log.chaff);
+//! ```
+
+use std::collections::VecDeque;
+
+use wifiprint_devices::InstanceRng;
+use wifiprint_ieee80211::{FrameKind, MacAddr, Nanos, Rate};
+use wifiprint_radiotap::CapturedFrame;
+
+/// Transmitter index base for injected chaff frames — far outside any
+/// scenario's device population, so ground-truth checks can identify
+/// (and a fingerprinting engine will enroll nothing for) chaff senders.
+pub const CHAFF_DEVICE_BASE: u64 = 0x00C4_AFF0;
+
+/// The frame-loss process a [`FaultInjector`] applies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossModel {
+    /// No loss.
+    None,
+    /// Independent per-frame loss with probability `rate`.
+    Iid {
+        /// Per-frame drop probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Two-state Gilbert–Elliott burst loss: a Markov chain alternating
+    /// between a *good* and a *bad* (burst) state, with a per-state drop
+    /// probability. The classic model for ring-buffer overflow bursts.
+    GilbertElliott {
+        /// Probability of entering the bad state from the good state,
+        /// per frame.
+        enter_bad: f64,
+        /// Probability of leaving the bad state, per frame.
+        exit_bad: f64,
+        /// Drop probability while in the good state (usually ~0).
+        loss_good: f64,
+        /// Drop probability while in the bad state (usually high).
+        loss_bad: f64,
+    },
+}
+
+impl LossModel {
+    /// The stationary expected loss rate of the model.
+    #[must_use]
+    pub fn expected_rate(&self) -> f64 {
+        match *self {
+            LossModel::None => 0.0,
+            LossModel::Iid { rate } => rate,
+            LossModel::GilbertElliott { enter_bad, exit_bad, loss_good, loss_bad } => {
+                // Stationary bad-state occupancy of the two-state chain.
+                let denom = enter_bad + exit_bad;
+                if denom <= 0.0 {
+                    return loss_good;
+                }
+                let p_bad = enter_bad / denom;
+                (1.0 - p_bad) * loss_good + p_bad * loss_bad
+            }
+        }
+    }
+}
+
+/// The composable fault mix a [`FaultInjector`] applies. Every knob
+/// defaults to *off* ([`FaultPlan::clean`] — the identity transform);
+/// compose with the `with_*` builders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Frame-loss process (default [`LossModel::None`]).
+    pub loss: LossModel,
+    /// Fraction of surviving frames re-delivered as an adjacent exact
+    /// duplicate.
+    pub duplicate_rate: f64,
+    /// Maximum positional displacement of a reordered frame; `0`
+    /// disables reordering. An engine reorder buffer with
+    /// `max_lateness >= reorder_depth` restores the stream exactly.
+    pub reorder_depth: usize,
+    /// Fraction of surviving frames given a random displacement in
+    /// `[1, reorder_depth]`.
+    pub reorder_rate: f64,
+    /// Standard deviation of zero-mean Gaussian timestamp jitter, in
+    /// nanoseconds; `0` disables.
+    pub jitter_ns: f64,
+    /// Linear capture-clock skew in parts per million (may be negative).
+    pub skew_ppm: f64,
+    /// Fraction of surviving frames truncated to a runt (< 8 on-air
+    /// bytes) — detectable by the engines' minimum-size gate.
+    pub corruption_rate: f64,
+    /// Fraction of surviving frames with silently mangled header fields
+    /// (retry bit flipped, signal shifted) — *not* detectable by any
+    /// gate; these poison parameter extraction instead.
+    pub mangle_rate: f64,
+    /// Expected chaff frames injected per input frame.
+    pub chaff_rate: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::clean()
+    }
+}
+
+impl FaultPlan {
+    /// The identity plan: no faults of any kind.
+    #[must_use]
+    pub fn clean() -> Self {
+        FaultPlan {
+            loss: LossModel::None,
+            duplicate_rate: 0.0,
+            reorder_depth: 0,
+            reorder_rate: 0.0,
+            jitter_ns: 0.0,
+            skew_ppm: 0.0,
+            corruption_rate: 0.0,
+            mangle_rate: 0.0,
+            chaff_rate: 0.0,
+        }
+    }
+
+    /// A moderately hostile capture path: 10 % i.i.d. loss, 2 %
+    /// duplicates, 8-deep reordering of 20 % of frames, 1 % truncation.
+    #[must_use]
+    pub fn noisy() -> Self {
+        FaultPlan::clean()
+            .with_loss(LossModel::Iid { rate: 0.10 })
+            .with_duplicates(0.02)
+            .with_reordering(8, 0.20)
+            .with_corruption(0.01)
+    }
+
+    /// Returns a copy with a different loss model.
+    #[must_use]
+    pub fn with_loss(mut self, loss: LossModel) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Returns a copy with a different duplication rate.
+    #[must_use]
+    pub fn with_duplicates(mut self, rate: f64) -> Self {
+        self.duplicate_rate = rate;
+        self
+    }
+
+    /// Returns a copy reordering `rate` of frames by up to `depth`
+    /// positions.
+    #[must_use]
+    pub fn with_reordering(mut self, depth: usize, rate: f64) -> Self {
+        self.reorder_depth = depth;
+        self.reorder_rate = rate;
+        self
+    }
+
+    /// Returns a copy with Gaussian timestamp jitter of the given
+    /// standard deviation (nanoseconds).
+    #[must_use]
+    pub fn with_jitter_ns(mut self, std_dev: f64) -> Self {
+        self.jitter_ns = std_dev;
+        self
+    }
+
+    /// Returns a copy with a linear clock skew (ppm).
+    #[must_use]
+    pub fn with_skew_ppm(mut self, ppm: f64) -> Self {
+        self.skew_ppm = ppm;
+        self
+    }
+
+    /// Returns a copy truncating `rate` of frames to runts.
+    #[must_use]
+    pub fn with_corruption(mut self, rate: f64) -> Self {
+        self.corruption_rate = rate;
+        self
+    }
+
+    /// Returns a copy silently mangling `rate` of frames.
+    #[must_use]
+    pub fn with_mangling(mut self, rate: f64) -> Self {
+        self.mangle_rate = rate;
+        self
+    }
+
+    /// Returns a copy injecting chaff at the given per-frame rate.
+    #[must_use]
+    pub fn with_chaff(mut self, rate: f64) -> Self {
+        self.chaff_rate = rate;
+        self
+    }
+
+    /// `true` if this plan applies no fault at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.loss == LossModel::None
+            && self.duplicate_rate == 0.0
+            && (self.reorder_depth == 0 || self.reorder_rate == 0.0)
+            && self.jitter_ns == 0.0
+            && self.skew_ppm == 0.0
+            && self.corruption_rate == 0.0
+            && self.mangle_rate == 0.0
+            && self.chaff_rate == 0.0
+    }
+}
+
+/// Per-category tally of every fault a [`FaultInjector`] applied — the
+/// injector-side ledger an engine's `EngineHealth` counters reconcile
+/// against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// Frames read from the wrapped stream.
+    pub input: u64,
+    /// Frames emitted downstream (survivors + duplicates + chaff).
+    pub emitted: u64,
+    /// Frames dropped by the loss model (never emitted).
+    pub lost: u64,
+    /// Exact adjacent duplicates emitted.
+    pub duplicated: u64,
+    /// Frames given a positional reorder displacement.
+    pub displaced: u64,
+    /// Emitted frames whose timestamp is behind the running maximum —
+    /// the inversions an engine's reorder buffer must absorb (matches
+    /// `EngineHealth::frames_reordered` on a reorder-only plan).
+    pub inversions: u64,
+    /// Frames truncated to runt length (emitted, but detectably
+    /// corrupt).
+    pub corrupted: u64,
+    /// Frames with silently mangled fields.
+    pub mangled: u64,
+    /// Chaff frames injected.
+    pub chaff: u64,
+}
+
+/// A seeded, deterministic fault injector: the same `(plan, seed)` pair
+/// degrades the same stream identically, every run (see the
+/// [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    seed: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector applying `plan`, reproducible from `seed`.
+    #[must_use]
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        FaultInjector { plan, seed }
+    }
+
+    /// The plan this injector applies.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Wraps a frame stream, degrading it lazily with bounded buffering
+    /// (at most `reorder_depth` + a handful of frames in flight). Read
+    /// the [`FaultLog`] off the stream once it is exhausted.
+    #[must_use]
+    pub fn stream<I>(&self, inner: I) -> FaultedStream<I::IntoIter>
+    where
+        I: IntoIterator<Item = CapturedFrame>,
+    {
+        FaultedStream {
+            inner: inner.into_iter(),
+            plan: self.plan.clone(),
+            rng: InstanceRng::new(self.seed, 0xFA01),
+            buffer: VecDeque::new(),
+            index: 0,
+            seq: 0,
+            origin: None,
+            bad_state: false,
+            t_max_emitted: None,
+            exhausted: false,
+            log: FaultLog::default(),
+        }
+    }
+
+    /// Degrades a collected trace in one call, returning the degraded
+    /// frames and the fault ledger.
+    #[must_use]
+    pub fn degrade(&self, frames: &[CapturedFrame]) -> (Vec<CapturedFrame>, FaultLog) {
+        let mut stream = self.stream(frames.iter().copied());
+        let mut out = Vec::with_capacity(frames.len());
+        for f in stream.by_ref() {
+            out.push(f);
+        }
+        (out, *stream.log())
+    }
+}
+
+/// The lazily-degrading iterator [`FaultInjector::stream`] returns.
+#[derive(Debug)]
+pub struct FaultedStream<I> {
+    inner: I,
+    plan: FaultPlan,
+    rng: InstanceRng,
+    /// Pending emissions, sorted ascending by `(emit_key, seq)`. The
+    /// emit key is the frame's input position plus its displacement, so
+    /// a frame is held until every earlier-keyed frame has arrived.
+    buffer: VecDeque<(u64, u64, CapturedFrame)>,
+    /// Input frames consumed so far (the next input's position).
+    index: u64,
+    /// Global emission sequence (tie-break among equal keys, preserving
+    /// enqueue order — duplicates stay adjacent to their original).
+    seq: u64,
+    origin: Option<Nanos>,
+    /// Gilbert–Elliott burst state.
+    bad_state: bool,
+    /// Largest timestamp emitted, for counting inversions.
+    t_max_emitted: Option<Nanos>,
+    exhausted: bool,
+    log: FaultLog,
+}
+
+impl<I: Iterator<Item = CapturedFrame>> FaultedStream<I> {
+    /// The fault ledger so far (complete once the stream is exhausted).
+    pub fn log(&self) -> &FaultLog {
+        &self.log
+    }
+
+    /// Sorted insert by `(key, seq)`; `seq` is strictly increasing, so
+    /// inserting after all entries with `key <=` ours is stable.
+    fn enqueue(&mut self, key: u64, frame: CapturedFrame) {
+        let seq = self.seq;
+        self.seq += 1;
+        let pos = self.buffer.partition_point(|&(k, _, _)| k <= key);
+        self.buffer.insert(pos, (key, seq, frame));
+    }
+
+    /// Applies the per-frame fault pipeline to one input frame:
+    /// timestamp skew/jitter → loss → corruption/mangling → reorder key
+    /// → enqueue (+ adjacent duplicate, + chaff).
+    fn consume(&mut self, frame: &CapturedFrame) {
+        let i = self.index;
+        self.index += 1;
+        self.log.input += 1;
+        let mut f = *frame;
+        let origin = *self.origin.get_or_insert(f.t_end);
+
+        if self.plan.skew_ppm != 0.0 || self.plan.jitter_ns > 0.0 {
+            let elapsed = f.t_end.saturating_sub(origin).as_nanos() as f64;
+            let skewed = elapsed * (1.0 + self.plan.skew_ppm * 1e-6);
+            let jitter =
+                if self.plan.jitter_ns > 0.0 { self.rng.gaussian(0.0, self.plan.jitter_ns) } else { 0.0 };
+            let t = origin.as_nanos() as f64 + skewed + jitter;
+            f.t_end = Nanos::from_nanos(if t <= 0.0 { 0 } else { t.round() as u64 });
+        }
+
+        let lost = match self.plan.loss {
+            LossModel::None => false,
+            LossModel::Iid { rate } => rate > 0.0 && self.rng.chance(rate),
+            LossModel::GilbertElliott { enter_bad, exit_bad, loss_good, loss_bad } => {
+                if self.bad_state {
+                    if self.rng.chance(exit_bad) {
+                        self.bad_state = false;
+                    }
+                } else if self.rng.chance(enter_bad) {
+                    self.bad_state = true;
+                }
+                let p = if self.bad_state { loss_bad } else { loss_good };
+                p > 0.0 && self.rng.chance(p)
+            }
+        };
+
+        if lost {
+            self.log.lost += 1;
+        } else {
+            if self.plan.corruption_rate > 0.0 && self.rng.chance(self.plan.corruption_rate) {
+                // Truncate below any plausible on-air length: the
+                // engines' runt gate (min_frame_size >= 8) always
+                // catches these.
+                f.size = self.rng.below(8) as usize;
+                self.log.corrupted += 1;
+            } else if self.plan.mangle_rate > 0.0 && self.rng.chance(self.plan.mangle_rate) {
+                f.retry = !f.retry;
+                f.signal_dbm = f.signal_dbm.saturating_sub(20);
+                self.log.mangled += 1;
+            }
+            let mut key = i;
+            if self.plan.reorder_depth > 0
+                && self.plan.reorder_rate > 0.0
+                && self.rng.chance(self.plan.reorder_rate)
+            {
+                key = i + 1 + self.rng.below(self.plan.reorder_depth as u64);
+                self.log.displaced += 1;
+            }
+            self.enqueue(key, f);
+            if self.plan.duplicate_rate > 0.0 && self.rng.chance(self.plan.duplicate_rate) {
+                self.log.duplicated += 1;
+                self.enqueue(key, f);
+            }
+        }
+
+        if self.plan.chaff_rate > 0.0 && self.rng.chance(self.plan.chaff_rate) {
+            let chaff = self.chaff_frame(f.t_end);
+            self.log.chaff += 1;
+            self.enqueue(i, chaff);
+        }
+    }
+
+    /// A plausible-but-garbage broadcast frame near timestamp `near`,
+    /// from a transmitter outside any scenario population.
+    fn chaff_frame(&mut self, near: Nanos) -> CapturedFrame {
+        CapturedFrame {
+            t_end: near.saturating_add(Nanos::from_nanos(self.rng.below(200_000))),
+            air_time: Nanos::from_micros(100 + self.rng.below(400)),
+            rate: Rate::R1M,
+            size: 60 + self.rng.below(400) as usize,
+            kind: FrameKind::Data,
+            transmitter: Some(MacAddr::from_index(CHAFF_DEVICE_BASE + self.rng.below(8))),
+            receiver: MacAddr::BROADCAST,
+            dest_group: true,
+            retry: false,
+            signal_dbm: -90,
+        }
+    }
+}
+
+impl<I: Iterator<Item = CapturedFrame>> Iterator for FaultedStream<I> {
+    type Item = CapturedFrame;
+
+    fn next(&mut self) -> Option<CapturedFrame> {
+        loop {
+            // An entry keyed before the next input position can no
+            // longer be preceded by anything: emit it. Once the inner
+            // stream is exhausted, everything drains in key order.
+            if let Some(&(key, _, _)) = self.buffer.front() {
+                if self.exhausted || key < self.index {
+                    let (_, _, f) = self.buffer.pop_front().expect("checked front");
+                    if self.t_max_emitted.is_some_and(|m| f.t_end < m) {
+                        self.log.inversions += 1;
+                    }
+                    self.t_max_emitted =
+                        Some(self.t_max_emitted.map_or(f.t_end, |m| m.max(f.t_end)));
+                    self.log.emitted += 1;
+                    return Some(f);
+                }
+            } else if self.exhausted {
+                return None;
+            }
+            match self.inner.next() {
+                Some(frame) => self.consume(&frame),
+                None => self.exhausted = true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wifiprint_ieee80211::Frame;
+
+    fn frames(n: u64) -> Vec<CapturedFrame> {
+        (0..n)
+            .map(|i| {
+                let sta = MacAddr::from_index(1 + i % 3);
+                let ap = MacAddr::from_index(99);
+                let f = Frame::data_to_ds(sta, ap, ap, 200 + (i % 5) as usize * 100);
+                CapturedFrame::from_frame(&f, Rate::R24M, Nanos::from_micros(1_000 + i * 500), -55)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_plan_is_the_identity() {
+        let input = frames(500);
+        let (out, log) = FaultInjector::new(FaultPlan::clean(), 7).degrade(&input);
+        assert_eq!(out, input);
+        assert_eq!(log.input, 500);
+        assert_eq!(log.emitted, 500);
+        assert_eq!(log.lost + log.duplicated + log.corrupted + log.chaff + log.inversions, 0);
+    }
+
+    #[test]
+    fn same_seed_same_degradation_different_seed_different() {
+        let input = frames(400);
+        let injector = FaultInjector::new(FaultPlan::noisy(), 11);
+        let (a, log_a) = injector.degrade(&input);
+        let (b, log_b) = injector.degrade(&input);
+        assert_eq!(a, b, "same (plan, seed) is bit-identical");
+        assert_eq!(log_a, log_b);
+        let (c, _) = FaultInjector::new(FaultPlan::noisy(), 12).degrade(&input);
+        assert_ne!(a, c, "a different seed degrades differently");
+    }
+
+    #[test]
+    fn the_ledger_balances() {
+        let input = frames(2_000);
+        let plan = FaultPlan::noisy().with_chaff(0.05).with_mangling(0.02);
+        let (out, log) = FaultInjector::new(plan, 3).degrade(&input);
+        assert_eq!(log.input, 2_000);
+        assert_eq!(log.emitted as usize, out.len());
+        // input - lost survivors, each emitted once, plus duplicates and
+        // chaff.
+        assert_eq!(log.emitted, log.input - log.lost + log.duplicated + log.chaff);
+        assert!(log.lost > 100, "10% of 2000: {}", log.lost);
+        assert!(log.duplicated > 0 && log.corrupted > 0 && log.chaff > 0 && log.mangled > 0);
+    }
+
+    #[test]
+    fn reorder_displacement_is_bounded() {
+        let input = frames(1_000);
+        let plan = FaultPlan::clean().with_reordering(6, 0.5);
+        let (out, log) = FaultInjector::new(plan, 19).degrade(&input);
+        assert_eq!(out.len(), input.len());
+        assert!(log.displaced > 300, "half the frames displaced: {}", log.displaced);
+        assert!(log.inversions > 0, "displacement produced real inversions");
+        // Same multiset, and no frame moved more than `depth` positions
+        // from its original index.
+        let mut sorted = out.clone();
+        sorted.sort_by_key(|f| f.t_end);
+        assert_eq!(sorted, input);
+        for (j, f) in out.iter().enumerate() {
+            let i = input.iter().position(|g| g == f).expect("same frames");
+            assert!(i.abs_diff(j) <= 6, "frame {i} landed at {j}");
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_come_in_bursts() {
+        let input = frames(5_000);
+        let model = LossModel::GilbertElliott {
+            enter_bad: 0.01,
+            exit_bad: 0.2,
+            loss_good: 0.0,
+            loss_bad: 0.9,
+        };
+        let plan = FaultPlan::clean().with_loss(model);
+        let (out, log) = FaultInjector::new(plan, 23).degrade(&input);
+        assert!(log.lost > 0);
+        assert_eq!(out.len() as u64 + log.lost, 5_000);
+        // Burstiness: the longest run of consecutive losses is well
+        // beyond what i.i.d. loss at the same rate would produce.
+        let survivors: std::collections::BTreeSet<u64> =
+            out.iter().map(|f| f.t_end.as_nanos()).collect();
+        let mut longest = 0u32;
+        let mut run = 0u32;
+        for f in &input {
+            if survivors.contains(&f.t_end.as_nanos()) {
+                run = 0;
+            } else {
+                run += 1;
+                longest = longest.max(run);
+            }
+        }
+        assert!(longest >= 4, "expected a loss burst, longest run {longest}");
+        let expected = model.expected_rate();
+        assert!((0.0..=1.0).contains(&expected));
+    }
+
+    #[test]
+    fn corruption_truncates_to_runts_and_chaff_is_identifiable() {
+        let input = frames(1_000);
+        let plan = FaultPlan::clean().with_corruption(0.1).with_chaff(0.1);
+        let (out, log) = FaultInjector::new(plan, 31).degrade(&input);
+        let runts = out.iter().filter(|f| f.size < 8).count();
+        assert_eq!(runts as u64, log.corrupted);
+        let chaff = out
+            .iter()
+            .filter(|f| {
+                f.transmitter
+                    .is_some_and(|t| (0..8).any(|k| t == MacAddr::from_index(CHAFF_DEVICE_BASE + k)))
+            })
+            .count();
+        assert_eq!(chaff as u64, log.chaff);
+    }
+
+    #[test]
+    fn skew_and_jitter_perturb_timestamps() {
+        let input = frames(200);
+        let plan = FaultPlan::clean().with_skew_ppm(50_000.0); // 5% fast
+        let (out, _) = FaultInjector::new(plan, 5).degrade(&input);
+        // First frame anchors the clock; later frames drift ahead.
+        assert_eq!(out[0].t_end, input[0].t_end);
+        let last_in = input.last().unwrap().t_end.as_nanos() - input[0].t_end.as_nanos();
+        let last_out = out.last().unwrap().t_end.as_nanos() - out[0].t_end.as_nanos();
+        let drift = last_out as f64 / last_in as f64;
+        assert!((drift - 1.05).abs() < 1e-6, "5% skew, got {drift}");
+
+        let jittered = FaultInjector::new(FaultPlan::clean().with_jitter_ns(5_000.0), 5)
+            .degrade(&input)
+            .0;
+        assert!(jittered.iter().zip(&input).any(|(a, b)| a.t_end != b.t_end));
+    }
+
+    #[test]
+    fn streaming_and_batch_paths_agree() {
+        let input = frames(800);
+        let injector = FaultInjector::new(FaultPlan::noisy().with_chaff(0.03), 13);
+        let (batch, log) = injector.degrade(&input);
+        let streamed: Vec<CapturedFrame> = injector.stream(input.clone()).collect();
+        assert_eq!(batch, streamed);
+        assert!(log.emitted > 0);
+    }
+}

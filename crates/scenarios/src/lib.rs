@@ -13,6 +13,10 @@
 //! * [`MetropolisScenario`] — far beyond the paper: a ~50 000-device
 //!   population of heterogeneous traffic mixes, the stress workload for
 //!   the sharded reference store's pruned sweeps,
+//! * [`faults`] — a deterministic, seeded [`FaultInjector`] that wraps
+//!   any trace or scenario stream with composable capture degradations
+//!   (burst loss, duplication, bounded reordering, jitter/skew,
+//!   truncation, chaff) for resilience experiments,
 //! * [`export`] — Radiotap pcap export/import so traces interoperate with
 //!   standard tooling.
 //!
@@ -49,12 +53,14 @@
 mod conference;
 pub mod export;
 mod faraday;
+pub mod faults;
 mod metropolis;
 mod office;
 mod trace;
 
 pub use conference::ConferenceScenario;
 pub use faraday::{device_frames, FaradayRig, FARADAY_AP, FARADAY_DEVICE};
+pub use faults::{FaultInjector, FaultLog, FaultPlan, FaultedStream, LossModel};
 pub use metropolis::MetropolisScenario;
 pub use office::OfficeScenario;
 pub use trace::{run_collect, run_engine, run_multi_engine, run_streaming, Trace, TraceReport};

@@ -46,18 +46,35 @@ pub struct MetropolisScenario {
     pub seed: u64,
     /// Number of enrolled devices.
     pub devices: usize,
+    /// Capture-loss fraction in `[0, 1)` applied to every *observation*
+    /// (reference and candidate alike): the monitor misses this share of
+    /// each cluster's frames, thinning the rendered histograms the way a
+    /// lossy vantage point would. `0.0` (the default) is the pristine
+    /// capture.
+    pub capture_loss: f64,
 }
 
 impl MetropolisScenario {
     /// The headline shape: 50 000 enrolled devices.
     pub fn metropolis(seed: u64) -> Self {
-        MetropolisScenario { seed, devices: 50_000 }
+        MetropolisScenario { seed, devices: 50_000, capture_loss: 0.0 }
     }
 
     /// A population of explicit size (tests and benchmarks scale it from
     /// a few thousand to 10⁵).
     pub fn with_devices(seed: u64, devices: usize) -> Self {
-        MetropolisScenario { seed, devices }
+        MetropolisScenario { seed, devices, capture_loss: 0.0 }
+    }
+
+    /// Returns a copy observing through a lossy capture path: `loss` of
+    /// every cluster's observations are missed (clamped to `[0, 0.95]`).
+    /// Cluster positions are unaffected — loss thins evidence, it does
+    /// not move timing peaks — so degraded candidates stay comparable
+    /// against a pristine (or equally degraded) reference database.
+    #[must_use]
+    pub fn with_capture_loss(mut self, loss: f64) -> Self {
+        self.capture_loss = loss.clamp(0.0, 0.95);
+        self
     }
 
     /// The evaluation configuration metropolis signatures are binned
@@ -180,9 +197,13 @@ impl MetropolisScenario {
         );
         let bins = Self::config().bins;
         let total = 200 + noise.below(60);
+        // A lossy capture path misses `capture_loss` of every cluster's
+        // frames: the histograms thin uniformly (peak positions stay),
+        // exactly like sniffer-side loss on periodic traffic.
+        let captured = 1.0 - self.capture_loss;
         let mut data = Histogram::new(bins.clone());
         for cluster in &clusters {
-            let n = (total as f64) * cluster.share;
+            let n = (total as f64) * cluster.share * captured;
             // Each cluster straddles three fixed sub-positions (the slot
             // comb of periodic traffic); the run noise perturbs how many
             // observations land on each, not where they land.
@@ -194,7 +215,9 @@ impl MetropolisScenario {
         let mut hists = BTreeMap::new();
         if probe_share > 0.0 {
             let mut probe = Histogram::new(bins);
-            let n = ((total as f64) * probe_share * (0.8 + 0.4 * noise.f64())).round().max(1.0);
+            let n = ((total as f64) * probe_share * captured * (0.8 + 0.4 * noise.f64()))
+                .round()
+                .max(1.0);
             probe.add_n((clusters[0].value * 0.5).clamp(0.0, 2499.0), n as u64);
             hists.insert(FrameKind::ProbeReq, probe);
         }
@@ -255,6 +278,41 @@ mod tests {
         }
         let c = MetropolisScenario::with_devices(6, 50);
         assert_ne!(a.signature(3), c.signature(3));
+    }
+
+    /// The degraded-capture variant of the metropolis smoke: candidates
+    /// observed through 50 % capture loss, matched against the pristine
+    /// reference store. Identification survives because loss thins
+    /// evidence without moving timing peaks — the similarity measure is
+    /// scale-normalised.
+    #[test]
+    fn metropolis_candidates_survive_heavy_capture_loss() {
+        let clean = MetropolisScenario::with_devices(11, 1000);
+        let degraded = clean.clone().with_capture_loss(0.5);
+        assert_eq!(degraded.capture_loss, 0.5);
+        // The degraded observation really is thinner.
+        assert!(
+            degraded.candidate(0, 3).observation_count() < clean.candidate(0, 3).observation_count()
+        );
+        // Loss 0 is bit-identical to the pristine scenario.
+        assert_eq!(clean.clone().with_capture_loss(0.0).signature(7), clean.signature(7));
+
+        let db = clean.reference_db(MatchConfig::default().with_shards(16));
+        let mut scratch = MatchScratch::new();
+        let mut self_hits = 0usize;
+        let probes: Vec<usize> = (0..1000).step_by(97).collect();
+        for &probe_idx in &probes {
+            let cand = degraded.candidate(probe_idx, 3);
+            let top = db.match_topk(&cand, 1, SimilarityMeasure::Cosine, &mut scratch);
+            if top.first().map(|&(d, _)| d) == Some(clean.device(probe_idx)) {
+                self_hits += 1;
+            }
+        }
+        assert!(
+            self_hits * 10 >= probes.len() * 8,
+            "degraded identification floor: {self_hits}/{} probes self-identified",
+            probes.len()
+        );
     }
 
     #[test]

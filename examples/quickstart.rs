@@ -55,7 +55,7 @@ fn main() {
     let mut total = 0usize;
     for event in &events {
         match event {
-            MultiEvent::FusedMatch { window, device, scores, fused: Some(fused) } => {
+            MultiEvent::FusedMatch { window, device, scores, fused: Some(fused), .. } => {
                 let (best, sim) = fused.best().expect("common enrolled set is non-empty");
                 let verdict = if best == *device {
                     correct += 1;

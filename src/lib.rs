@@ -55,6 +55,26 @@
 //! thin driver of the same fused engine, so the paper's accuracy tables
 //! and a production deployment exercise the identical code path.
 //!
+//! # Degraded captures
+//!
+//! Real monitors are not the clean capture the paper assumes: they drop
+//! frames under load, deliver out of order through USB batching, and
+//! pass truncated or duplicated frames. Both engines therefore sit
+//! behind a configurable ingest front ([`core::ResilienceConfig`],
+//! builder method `resilience()`): a late-frame policy
+//! ([`core::LateFramePolicy`] — strict `Reject` by default, `Drop`, or
+//! `Reorder` which restores any stream shuffled within a bounded
+//! horizon to capture order *bit-identically*), exact-duplicate
+//! suppression, and a runt-size gate. Every dropped frame is accounted
+//! for in [`core::EngineHealth`] (`health()`), and the fused engine
+//! degrades gracefully: with a fusion quorum set, a sparse window is
+//! fused over the parameters that survived, with the missing ones named
+//! on the event. The `scenarios::faults::FaultInjector` generates
+//! seeded, reproducible capture degradations (burst loss, reordering,
+//! jitter, corruption, chaff) and `analysis::robustness` turns them
+//! into accuracy-vs-fault-rate tables; CI runs that matrix as a chaos
+//! gate.
+//!
 //! # The sharded reference store
 //!
 //! Underneath every engine sits a **sharded** [`core::ReferenceDb`]:
@@ -88,9 +108,11 @@
 //! * [`netsim`] — the discrete-event 802.11 channel simulator,
 //! * [`devices`] — chipset/driver/service profiles,
 //! * [`scenarios`] — the office/conference/Faraday trace generators
-//!   (each able to stream straight into an engine, `run_engine`) plus
-//!   the metropolis large-population stress scenario,
-//! * [`analysis`] — the evaluation pipeline, tables and plots.
+//!   (each able to stream straight into an engine, `run_engine`), the
+//!   metropolis large-population stress scenario, and the seeded
+//!   fault injector for degraded-capture experiments,
+//! * [`analysis`] — the evaluation pipeline, tables, plots and the
+//!   robustness (accuracy-vs-fault-rate) sweeps.
 //!
 //! See the `examples/` directory for runnable walkthroughs (start with
 //! `quickstart.rs`) and `crates/bench/src/bin/repro.rs` for the

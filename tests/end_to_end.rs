@@ -7,7 +7,8 @@ use wifiprint::analysis::{evaluate_frames, PipelineConfig};
 use wifiprint::core::{
     load_db, save_db, Engine, EvalConfig, Event, FusionSpec, MatchConfig, MatchOutcome,
     MatchScratch, MultiConfig, MultiEngine, MultiEvent, NetworkParameter, ReferenceDb,
-    ShardStrategy, SignatureBuilder, SimilarityMeasure, WindowedSignatures, F32_SCORE_TOLERANCE,
+    ResilienceConfig, ShardStrategy, SignatureBuilder, SimilarityMeasure, WindowedSignatures,
+    F32_SCORE_TOLERANCE,
 };
 use wifiprint::ieee80211::{FrameKind, MacAddr, Nanos};
 use wifiprint::scenarios::export::{read_pcap, write_pcap};
@@ -273,6 +274,7 @@ fn streaming_engine_equals_batch_pipeline_on_office_and_conference() {
             measure: SimilarityMeasure::Cosine,
             parameters: vec![NetworkParameter::InterArrivalTime],
             match_config: MatchConfig::default(),
+            resilience: ResilienceConfig::default(),
         };
         let eval = evaluate_frames(&pcfg, &trace.frames).expect("pipeline run");
         assert_eq!(
@@ -525,8 +527,12 @@ fn sharded_references_leave_multi_engine_decisions_unchanged() {
                         assert_eq!((da, oa), (db_, ob), "{name}/{layout}: enrollment");
                     }
                     (
-                        MultiEvent::FusedMatch { window: wa, device: da, scores: sa, fused: fa },
-                        MultiEvent::FusedMatch { window: wb, device: db_, scores: sb, fused: fb },
+                        MultiEvent::FusedMatch {
+                            window: wa, device: da, scores: sa, fused: fa, ..
+                        },
+                        MultiEvent::FusedMatch {
+                            window: wb, device: db_, scores: sb, fused: fb, ..
+                        },
                     )
                     | (
                         MultiEvent::FusedNewDevice {
