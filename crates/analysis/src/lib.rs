@@ -49,4 +49,7 @@ pub mod plot;
 pub mod robustness;
 pub mod tables;
 
-pub use pipeline::{evaluate_frames, PipelineConfig, StreamingEvaluator, TraceEvaluation};
+pub use pipeline::{
+    evaluate_frames, evaluate_frames_supervised, PipelineConfig, StreamingEvaluator,
+    TraceEvaluation,
+};

@@ -20,8 +20,9 @@
 use std::collections::BTreeMap;
 
 use wifiprint_core::{
-    EngineError, EngineHealth, EvalOutcome, FusionSpec, MatchConfig, MatchSet, MultiConfig,
-    MultiEngine, MultiEvent, NetworkParameter, ReferenceDb, ResilienceConfig, SimilarityMeasure,
+    EngineError, EngineHealth, EvalOutcome, FusionSpec, IngestConfig, IngestPipeline, IngestStats,
+    MatchConfig, MatchSet, MultiConfig, MultiEngine, MultiEvent, NetworkParameter, ReferenceDb,
+    ResilienceConfig, SimilarityMeasure,
 };
 use wifiprint_ieee80211::Nanos;
 use wifiprint_radiotap::CapturedFrame;
@@ -50,6 +51,12 @@ pub struct PipelineConfig {
     /// behaviour; use [`ResilienceConfig::tolerant`] when the frame
     /// source is a degraded capture.
     pub resilience: ResilienceConfig,
+    /// When set, [`evaluate_frames`] runs the engine behind the
+    /// supervised ingest front ([`IngestPipeline`]) with this
+    /// configuration — bounded ring, overload policy, panic isolation,
+    /// stall watchdog. `None` (the default) drives the engine
+    /// synchronously.
+    pub ingest: Option<IngestConfig>,
 }
 
 impl PipelineConfig {
@@ -63,6 +70,7 @@ impl PipelineConfig {
             parameters: NetworkParameter::ALL.to_vec(),
             match_config: MatchConfig::default(),
             resilience: ResilienceConfig::default(),
+            ingest: None,
         }
     }
 
@@ -83,6 +91,7 @@ impl PipelineConfig {
             parameters: NetworkParameter::ALL.to_vec(),
             match_config: MatchConfig::default(),
             resilience: ResilienceConfig::default(),
+            ingest: None,
         }
     }
 
@@ -91,6 +100,14 @@ impl PipelineConfig {
     /// captures.
     pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
         self.resilience = resilience;
+        self
+    }
+
+    /// Runs the engine behind the supervised ingest front with the
+    /// given configuration (builder style); see
+    /// [`PipelineConfig::ingest`].
+    pub fn with_ingest(mut self, ingest: IngestConfig) -> Self {
+        self.ingest = Some(ingest);
         self
     }
 
@@ -174,16 +191,7 @@ impl StreamingEvaluator {
     /// (zero-length detection window or training prefix, a repeated
     /// parameter).
     pub fn new(cfg: &PipelineConfig) -> Result<Self, EngineError> {
-        let engine = MultiEngine::builder()
-            .spec(FusionSpec::equal_weights(cfg.parameters.iter().copied()))
-            .config(cfg.multi_config())
-            .train_for(cfg.train_duration)
-            .resilience(cfg.resilience.clone())
-            // The accuracy tests only *count* unknown candidates, so
-            // skip the reference sweep for them (the batch pipeline
-            // never scored strangers either).
-            .score_unknown(false)
-            .build()?;
+        let engine = build_multi_engine(cfg)?;
         Ok(StreamingEvaluator {
             engine,
             collectors: cfg
@@ -241,42 +249,68 @@ impl StreamingEvaluator {
         let events = engine.finish()?;
         absorb(&mut collectors, &events);
         let health = engine.health();
-        let mut databases = engine.into_references();
+        let databases = engine.into_references();
+        Ok(finalize(collectors, databases, health, train_frames, validation_frames))
+    }
+}
 
-        let work: Vec<(NetworkParameter, ReferenceDb, ParamCollector)> = collectors
-            .into_iter()
-            .map(|(param, collector)| {
-                let db = databases.remove(&param).unwrap_or_default();
-                (param, db, collector)
-            })
-            .collect();
-        let results = aggregate_parameters(work);
+/// Builds the fused engine a [`PipelineConfig`] describes (shared by the
+/// synchronous and supervised paths).
+fn build_multi_engine(cfg: &PipelineConfig) -> Result<MultiEngine, EngineError> {
+    MultiEngine::builder()
+        .spec(FusionSpec::equal_weights(cfg.parameters.iter().copied()))
+        .config(cfg.multi_config())
+        .train_for(cfg.train_duration)
+        .resilience(cfg.resilience.clone())
+        // The accuracy tests only *count* unknown candidates, so
+        // skip the reference sweep for them (the batch pipeline
+        // never scored strangers either).
+        .score_unknown(false)
+        .build()
+}
 
-        let mut outcomes = BTreeMap::new();
-        let mut databases = BTreeMap::new();
-        let mut candidate_instances = BTreeMap::new();
-        let mut ref_devices = 0usize;
-        for (param, db, outcome) in results {
-            if param == NetworkParameter::InterArrivalTime {
-                ref_devices = db.len();
-            }
-            candidate_instances.insert(param, outcome.instances);
-            outcomes.insert(param, outcome);
-            databases.insert(param, db);
-        }
-        // Fallback if inter-arrival was not evaluated.
-        if ref_devices == 0 {
-            ref_devices = databases.values().map(ReferenceDb::len).max().unwrap_or(0);
-        }
-        Ok(TraceEvaluation {
-            outcomes,
-            databases,
-            ref_devices,
-            candidate_instances,
-            train_frames,
-            validation_frames,
-            health,
+/// Aggregates the accumulated per-window decisions into the paper's two
+/// tests per parameter and assembles the [`TraceEvaluation`].
+fn finalize(
+    collectors: Vec<(NetworkParameter, ParamCollector)>,
+    mut databases: BTreeMap<NetworkParameter, ReferenceDb>,
+    health: EngineHealth,
+    train_frames: u64,
+    validation_frames: u64,
+) -> TraceEvaluation {
+    let work: Vec<(NetworkParameter, ReferenceDb, ParamCollector)> = collectors
+        .into_iter()
+        .map(|(param, collector)| {
+            let db = databases.remove(&param).unwrap_or_default();
+            (param, db, collector)
         })
+        .collect();
+    let results = aggregate_parameters(work);
+
+    let mut outcomes = BTreeMap::new();
+    let mut databases = BTreeMap::new();
+    let mut candidate_instances = BTreeMap::new();
+    let mut ref_devices = 0usize;
+    for (param, db, outcome) in results {
+        if param == NetworkParameter::InterArrivalTime {
+            ref_devices = db.len();
+        }
+        candidate_instances.insert(param, outcome.instances);
+        outcomes.insert(param, outcome);
+        databases.insert(param, db);
+    }
+    // Fallback if inter-arrival was not evaluated.
+    if ref_devices == 0 {
+        ref_devices = databases.values().map(ReferenceDb::len).max().unwrap_or(0);
+    }
+    TraceEvaluation {
+        outcomes,
+        databases,
+        ref_devices,
+        candidate_instances,
+        train_frames,
+        validation_frames,
+        health,
     }
 }
 
@@ -332,7 +366,9 @@ fn aggregate_parameters(
     work.into_iter().map(run).collect()
 }
 
-/// Convenience: evaluates an in-memory frame sequence.
+/// Convenience: evaluates an in-memory frame sequence. When
+/// [`PipelineConfig::ingest`] is set, the run goes through the
+/// supervised ingest front ([`evaluate_frames_supervised`]).
 ///
 /// # Errors
 ///
@@ -341,11 +377,60 @@ pub fn evaluate_frames<'a>(
     cfg: &PipelineConfig,
     frames: impl IntoIterator<Item = &'a CapturedFrame>,
 ) -> Result<TraceEvaluation, EngineError> {
+    if cfg.ingest.is_some() {
+        return evaluate_frames_supervised(cfg, frames).map(|(eval, _)| eval);
+    }
     let mut ev = StreamingEvaluator::new(cfg)?;
     for f in frames {
         ev.push(f);
     }
     ev.finish()
+}
+
+/// Evaluates a frame sequence through the supervised ingest front: the
+/// fused engine runs on its worker thread behind the bounded ring
+/// described by [`PipelineConfig::ingest`] (defaulted when `None`), with
+/// back-pressure or shedding, panic isolation and the stall watchdog
+/// active. Returns the usual [`TraceEvaluation`] — its `health` is the
+/// *merged* ledger, including shed/quarantined/restarted counters —
+/// plus the pipeline's [`IngestStats`] (shed rate, queueing latency,
+/// watchdog ticks).
+///
+/// Under `OverloadPolicy::Block` with no chaos knobs armed, the result
+/// is identical to the synchronous [`evaluate_frames`] run — the
+/// pipeline's event stream is bit-identical to `observe` (proven by
+/// property test in the core crate).
+///
+/// # Errors
+///
+/// [`EngineError`] from building the engine, spawning the supervisor,
+/// or a supervision failure outside panic isolation.
+pub fn evaluate_frames_supervised<'a>(
+    cfg: &PipelineConfig,
+    frames: impl IntoIterator<Item = &'a CapturedFrame>,
+) -> Result<(TraceEvaluation, IngestStats), EngineError> {
+    let ingest = cfg.ingest.unwrap_or_default();
+    let pipeline = IngestPipeline::spawn(build_multi_engine(cfg)?, ingest)?;
+    let mut origin: Option<Nanos> = None;
+    let mut train_frames = 0u64;
+    let mut validation_frames = 0u64;
+    for f in frames {
+        let o = *origin.get_or_insert(f.t_end);
+        if f.t_end.saturating_sub(o) < cfg.train_duration {
+            train_frames += 1;
+        } else {
+            validation_frames += 1;
+        }
+        pipeline.submit(f)?;
+    }
+    let report = pipeline.finish()?;
+    let mut collectors: Vec<(NetworkParameter, ParamCollector)> =
+        cfg.parameters.iter().map(|&p| (p, ParamCollector::default())).collect();
+    absorb(&mut collectors, &report.events);
+    let stats = report.stats;
+    let health = report.health;
+    let databases = report.engine.into_references();
+    Ok((finalize(collectors, databases, health, train_frames, validation_frames), stats))
 }
 
 #[cfg(test)]
@@ -391,6 +476,7 @@ mod tests {
             ],
             match_config: MatchConfig::default(),
             resilience: ResilienceConfig::default(),
+            ingest: None,
         };
         let frames = synthetic_trace(4, 40_000_000);
         let eval = evaluate_frames(&cfg, &frames).expect("pipeline run");
@@ -414,6 +500,7 @@ mod tests {
             parameters: vec![NetworkParameter::InterArrivalTime],
             match_config: MatchConfig::default(),
             resilience: ResilienceConfig::default(),
+            ingest: None,
         };
         let frames = synthetic_trace(3, 40_000_000);
         let eval = evaluate_frames(&cfg, &frames).expect("pipeline run");
@@ -451,6 +538,7 @@ mod tests {
             parameters: vec![NetworkParameter::InterArrivalTime],
             match_config: MatchConfig::default(),
             resilience: ResilienceConfig::default(),
+            ingest: None,
         };
         let eval = evaluate_frames(&cfg, &frames).expect("pipeline run");
         // Identification at a strict FPR cannot be high for clones: with

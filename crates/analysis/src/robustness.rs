@@ -14,12 +14,29 @@
 //!
 //! Everything is deterministic in the sweep seed, so a table produced in
 //! CI pins exact numbers.
+//!
+//! A second sweep family, [`evaluate_overload`], measures the other axis
+//! of robustness: what happens when the *monitor itself* cannot keep up.
+//! Each point runs the full pipeline behind the supervised ingest front
+//! ([`IngestPipeline`](wifiprint_core::IngestPipeline)) under a
+//! different [`OverloadPolicy`] and ring size, and the table reports
+//! accuracy *and latency* against offered load and shed rate. The
+//! lossless `Block` row is bit-identical to the synchronous pipeline;
+//! the shedding rows show how gracefully accuracy decays when frames
+//! must be dropped at the door.
 
-use wifiprint_core::{EngineError, EngineHealth, EvalOutcome, LateFramePolicy, ResilienceConfig};
+use std::time::Instant;
+
+use wifiprint_core::{
+    EngineError, EngineHealth, EvalOutcome, IngestConfig, IngestStats, LateFramePolicy,
+    OverloadPolicy, ResilienceConfig,
+};
 use wifiprint_radiotap::CapturedFrame;
 use wifiprint_scenarios::{FaultInjector, FaultLog, FaultPlan, LossModel};
 
-use crate::pipeline::{evaluate_frames, PipelineConfig, TraceEvaluation};
+use crate::pipeline::{
+    evaluate_frames, evaluate_frames_supervised, PipelineConfig, TraceEvaluation,
+};
 use crate::tables::render_columns;
 
 /// One evaluated cell of a robustness sweep: a fault plan, the
@@ -136,6 +153,137 @@ pub fn default_fault_grid() -> Vec<(String, FaultPlan)> {
     ]
 }
 
+/// One evaluated cell of an overload sweep: an ingest configuration,
+/// the pipeline's ingest statistics under it, and the accuracy results
+/// on whatever survived the ring.
+#[derive(Debug)]
+pub struct OverloadPoint {
+    /// Human-readable ingest-configuration label (e.g. `"shed-oldest/8"`).
+    pub label: String,
+    /// The overload policy this point ran under.
+    pub policy: OverloadPolicy,
+    /// Offered load in frames per wall-clock second for this run.
+    pub offered_fps: f64,
+    /// The supervised pipeline's ingest statistics (sheds, queueing
+    /// latency, watchdog ticks).
+    pub stats: IngestStats,
+    /// Full pipeline results on the frames that reached the engine.
+    pub eval: TraceEvaluation,
+}
+
+impl OverloadPoint {
+    /// The merged ingest-health ledger for this point (includes
+    /// `frames_shed` / `frames_quarantined` / `workers_restarted`).
+    pub fn health(&self) -> EngineHealth {
+        self.eval.health
+    }
+
+    /// Mean AUC over the parameters that produced candidate instances.
+    pub fn mean_auc(&self) -> f64 {
+        mean(self.eval.outcomes.values().filter(|o| o.instances > 0).map(EvalOutcome::auc))
+    }
+
+    /// Mean identification ratio at the given FPR over the parameters
+    /// that produced candidate instances.
+    pub fn mean_identification(&self, fpr: f64) -> f64 {
+        mean(
+            self.eval
+                .outcomes
+                .values()
+                .filter(|o| o.instances > 0)
+                .map(|o| o.identification_at_fpr(fpr)),
+        )
+    }
+}
+
+/// A full accuracy-and-latency-vs-offered-load sweep over one trace.
+#[derive(Debug)]
+pub struct OverloadSweep {
+    /// Trace name (e.g. `"Office 2"`).
+    pub trace: String,
+    /// One point per ingest configuration, grid order.
+    pub points: Vec<OverloadPoint>,
+}
+
+impl OverloadSweep {
+    /// Renders the overload table: one row per ingest configuration,
+    /// with offered load, shed accounting and queueing latency next to
+    /// the paper's two accuracy metrics.
+    pub fn table(&self) -> String {
+        let mut labels = vec![format!("{} ingest policy", self.trace)];
+        let mut offered = vec!["Offered kfps".to_owned()];
+        let mut shed = vec!["Shed".to_owned()];
+        let mut shed_rate = vec!["Shed rate".to_owned()];
+        let mut latency = vec!["Queue \u{b5}s".to_owned()];
+        let mut auc = vec!["AUC".to_owned()];
+        let mut ident = vec!["Ident@0.1".to_owned()];
+        for p in &self.points {
+            labels.push(p.label.clone());
+            offered.push(format!("{:.1}", p.offered_fps / 1000.0));
+            shed.push(p.stats.shed.to_string());
+            shed_rate.push(format!("{:.1}%", 100.0 * p.stats.shed_rate()));
+            latency.push(format!("{:.0}", p.stats.mean_latency_ns() / 1000.0));
+            auc.push(format!("{:.1}%", 100.0 * p.mean_auc()));
+            ident.push(format!("{:.1}%", 100.0 * p.mean_identification(0.1)));
+        }
+        render_columns(&[labels, offered, shed, shed_rate, latency, auc, ident])
+    }
+}
+
+/// The default overload grid: a lossless `Block` baseline on the
+/// default ring, then both shedding policies on a deliberately tiny
+/// ring with an artificial per-frame sweep delay so the submitter
+/// outruns the worker and the ring actually overflows.
+pub fn default_overload_grid() -> Vec<(String, IngestConfig)> {
+    let slow = |policy| {
+        IngestConfig::default()
+            .with_capacity(8)
+            .with_overload(policy)
+            .with_sweep_delay(std::time::Duration::from_micros(100))
+    };
+    vec![
+        ("block".to_owned(), IngestConfig::default()),
+        ("shed-newest/8".to_owned(), slow(OverloadPolicy::ShedNewest)),
+        ("shed-oldest/8".to_owned(), slow(OverloadPolicy::ShedOldest)),
+    ]
+}
+
+/// Runs the full supervised pipeline on `frames` once per ingest
+/// configuration in `grid` and collects accuracy, shed accounting and
+/// queueing latency for each.
+///
+/// Accuracy on a `Block` point is exactly the synchronous pipeline's
+/// (the ingest front is lossless and bit-identical there). Shed counts
+/// on the shedding points depend on real scheduling, so they are
+/// reported — and their ledger checked — but not pinned to exact
+/// values.
+///
+/// # Errors
+///
+/// [`EngineError`] from building or driving the underlying engine.
+pub fn evaluate_overload(
+    trace: &str,
+    cfg: &PipelineConfig,
+    frames: &[CapturedFrame],
+    grid: &[(String, IngestConfig)],
+) -> Result<OverloadSweep, EngineError> {
+    let mut points = Vec::with_capacity(grid.len());
+    for (label, ingest) in grid {
+        let point_cfg = cfg.clone().with_ingest(*ingest);
+        let start = Instant::now();
+        let (eval, stats) = evaluate_frames_supervised(&point_cfg, frames)?;
+        let elapsed = start.elapsed().as_secs_f64().max(f64::EPSILON);
+        points.push(OverloadPoint {
+            label: label.clone(),
+            policy: ingest.overload,
+            offered_fps: frames.len() as f64 / elapsed,
+            stats,
+            eval,
+        });
+    }
+    Ok(OverloadSweep { trace: trace.to_owned(), points })
+}
+
 /// Degrades `frames` under every plan in `grid` (deterministically from
 /// `seed`) and runs the full streaming pipeline on each replica.
 ///
@@ -208,6 +356,7 @@ mod tests {
             parameters: vec![NetworkParameter::InterArrivalTime, NetworkParameter::FrameSize],
             match_config: MatchConfig::default(),
             resilience: ResilienceConfig::default(),
+            ingest: None,
         }
     }
 
@@ -247,6 +396,41 @@ mod tests {
         for p in &sweep.points {
             assert_eq!(p.health().frames_seen, p.log.emitted, "{}: seen vs emitted", p.label);
         }
+    }
+
+    #[test]
+    fn the_block_overload_point_matches_the_synchronous_pipeline() {
+        let frames = trace();
+        let grid = vec![("block".to_owned(), IngestConfig::default())];
+        let sweep = evaluate_overload("Synthetic", &cfg(), &frames, &grid).expect("sweep");
+        let point = &sweep.points[0];
+        assert_eq!(point.stats.shed, 0);
+        assert_eq!(point.stats.submitted as usize, frames.len());
+        let plain = evaluate_frames(&cfg(), &frames).expect("plain pipeline");
+        for (param, outcome) in &plain.outcomes {
+            assert_eq!(outcome.auc(), point.eval.outcomes[param].auc(), "{param:?} AUC");
+        }
+        assert_eq!(point.health().frames_shed, 0);
+        assert_eq!(point.health().frames_seen, plain.health.frames_seen);
+    }
+
+    #[test]
+    fn shedding_points_overflow_the_tiny_ring_and_keep_the_ledger_exact() {
+        let frames = trace();
+        let slow = IngestConfig::default()
+            .with_capacity(4)
+            .with_overload(OverloadPolicy::ShedOldest)
+            .with_sweep_delay(std::time::Duration::from_micros(200));
+        let grid = vec![("shed-oldest/4".to_owned(), slow)];
+        let sweep = evaluate_overload("Synthetic", &cfg(), &frames, &grid).expect("sweep");
+        let point = &sweep.points[0];
+        assert!(point.stats.shed > 0, "tiny slow ring never overflowed");
+        assert_eq!(point.health().frames_shed, point.stats.shed);
+        assert_eq!(point.health().frames_seen as usize, frames.len());
+        assert!(point.stats.shed_rate() > 0.0 && point.stats.shed_rate() < 1.0);
+        let table = sweep.table();
+        assert!(table.contains("shed-oldest/4"), "table:\n{table}");
+        assert!(table.contains("Shed rate") && table.contains("Queue \u{b5}s"), "table:\n{table}");
     }
 
     #[test]

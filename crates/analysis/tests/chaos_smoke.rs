@@ -38,6 +38,7 @@ fn cfg() -> PipelineConfig {
         ],
         match_config: MatchConfig::default(),
         resilience: ResilienceConfig::default(),
+        ingest: None,
     }
 }
 

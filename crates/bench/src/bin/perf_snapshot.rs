@@ -9,12 +9,12 @@
 //!     [output.json] [--check baseline.json]
 //! ```
 //!
-//! Default output is `BENCH_5.json` in the current directory. With
+//! Default output is `BENCH_6.json` in the current directory. With
 //! `--check`, the freshly measured `match_matrix_ns`,
-//! `multi_engine_ingest_fps` and `sharded_sweep_speedup` are compared
-//! against the committed baseline snapshot and the process exits
-//! non-zero if any regressed by more than 25 % — the CI perf-smoke
-//! gate.
+//! `multi_engine_ingest_fps`, `sharded_sweep_speedup` and
+//! `ingest_pipeline_fps` are compared against the committed baseline
+//! snapshot and the process exits non-zero if any regressed by more
+//! than 25 % — the CI perf-smoke gate.
 //!
 //! The measurements mirror the headline benches in
 //! `crates/bench/benches/fingerprint.rs`: the naive f64 baseline versus
@@ -32,15 +32,22 @@
 //! sweep versus the summary-pruned top-k sweep at 10⁴ and 10⁵ enrolled
 //! devices (`sharded_sweep_speedup`, with the pruned-shard fraction),
 //! and records the host CPU count and OS kernel so 1-CPU artifacts
-//! (`batch_speedup ≈ 1`) are self-explaining.
+//! (`batch_speedup ≈ 1`) are self-explaining. Since PR 7 the snapshot
+//! also runs the same fused stream through the **supervised ingest
+//! front** (`ingest_pipeline_fps`: bounded ring + worker thread +
+//! ordered sequencer under `Block`, gated) and records the shed rate of
+//! a fixed overload configuration (tiny `ShedOldest` ring against an
+//! artificially slowed worker — recorded for the trajectory, not gated,
+//! because shed counts depend on real scheduling).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use wifiprint_core::{
-    kernel, Engine, EvalConfig, FusionSpec, MatchConfig, MatchScratch, MultiConfig, MultiEngine,
-    NetworkParameter, ReferenceDb, Signature, SimilarityMeasure,
+    kernel, Engine, EvalConfig, FusionSpec, IngestConfig, IngestPipeline, MatchConfig,
+    MatchScratch, MultiConfig, MultiEngine, NetworkParameter, OverloadPolicy, ReferenceDb,
+    Signature, SimilarityMeasure,
 };
 use wifiprint_ieee80211::{Frame, FrameKind, MacAddr, Nanos, Rate};
 use wifiprint_radiotap::CapturedFrame;
@@ -106,7 +113,7 @@ fn read_field(json: &str, field: &str) -> Option<f64> {
 }
 
 fn main() {
-    let mut out_path = "BENCH_5.json".to_owned();
+    let mut out_path = "BENCH_6.json".to_owned();
     let mut check_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -263,6 +270,53 @@ fn main() {
     // independent engines would sit at 5.0.
     let multi_vs_single = multi_engine_ingest_ns / engine_ingest_ns;
 
+    // Supervised ingest front: the same fused stream submitted through
+    // the bounded ring to the engine's worker thread under `Block`
+    // (lossless back-pressure — bit-identical to the synchronous run).
+    // The per-frame cost adds ring hand-off + ordered sequencing on top
+    // of the fused engine work, so the fps floor gates the whole front.
+    let build_multi = || {
+        let refs: BTreeMap<NetworkParameter, ReferenceDb> =
+            multi_refs.iter().map(|(&p, db)| (p, db.snapshot())).collect();
+        MultiEngine::builder()
+            .spec(FusionSpec::all_equal())
+            .config(multi_cfg.clone())
+            .references(refs)
+            .build()
+            .expect("valid engine configuration")
+    };
+    let ingest_pipeline_ns = measure(5, 1, || {
+        let pipeline = IngestPipeline::spawn(build_multi(), IngestConfig::default())
+            .expect("spawn supervised pipeline");
+        for frame in &engine_frames {
+            pipeline.submit(frame).expect("open pipeline");
+        }
+        let report = pipeline.finish().expect("pipeline terminates");
+        assert!(report.is_reconciled(), "ledger must reconcile");
+        std::hint::black_box(report.events.len());
+    }) / engine_frames.len() as f64;
+    let ingest_pipeline_fps = 1e9 / ingest_pipeline_ns;
+
+    // Fixed overload configuration: a tiny ShedOldest ring against an
+    // artificially slowed worker on a 50k-frame prefix. The shed rate
+    // depends on real scheduling, so it is recorded for the trajectory
+    // but not gated.
+    let overload_frames = &engine_frames[..50_000];
+    let overload_cfg = IngestConfig::default()
+        .with_capacity(8)
+        .with_overload(OverloadPolicy::ShedOldest)
+        .with_sweep_delay(std::time::Duration::from_micros(5));
+    let ingest_shed_rate = {
+        let pipeline =
+            IngestPipeline::spawn(build_multi(), overload_cfg).expect("spawn overload pipeline");
+        for frame in overload_frames {
+            pipeline.submit(frame).expect("open pipeline");
+        }
+        let report = pipeline.finish().expect("pipeline terminates");
+        assert!(report.is_reconciled(), "overload ledger must reconcile");
+        report.stats.shed_rate()
+    };
+
     // Sharded sweeps at metropolis scale: the dense full sweep (every
     // shard, full similarity vector) versus the pruned top-5 sweep over
     // the same store, at 10^4 and 10^5 enrolled devices. The speedup is
@@ -319,7 +373,7 @@ fn main() {
     let host_kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
         .map(|s| s.trim().to_owned())
         .unwrap_or_else(|_| "unknown".to_owned());
-    let _ = writeln!(json, "  \"schema\": \"wifiprint-bench-snapshot-v5\",");
+    let _ = writeln!(json, "  \"schema\": \"wifiprint-bench-snapshot-v6\",");
     let _ = writeln!(json, "  \"cpus\": {cpus},");
     let _ = writeln!(json, "  \"host_os\": \"{}\",", std::env::consts::OS);
     let _ = writeln!(json, "  \"host_kernel\": \"{host_kernel}\",");
@@ -361,7 +415,12 @@ fn main() {
     let _ = writeln!(json, "  \"multi_engine_parameters\": 5,");
     let _ = writeln!(json, "  \"multi_engine_ingest_ns_per_frame\": {multi_engine_ingest_ns:.0},");
     let _ = writeln!(json, "  \"multi_engine_ingest_fps\": {multi_engine_ingest_fps:.0},");
-    let _ = writeln!(json, "  \"multi_vs_single_frame_cost\": {multi_vs_single:.2}");
+    let _ = writeln!(json, "  \"multi_vs_single_frame_cost\": {multi_vs_single:.2},");
+    let _ = writeln!(json, "  \"ingest_ring_capacity\": 1024,");
+    let _ = writeln!(json, "  \"ingest_pipeline_ns_per_frame\": {ingest_pipeline_ns:.0},");
+    let _ = writeln!(json, "  \"ingest_pipeline_fps\": {ingest_pipeline_fps:.0},");
+    let _ = writeln!(json, "  \"ingest_overload_frames\": {},", overload_frames.len());
+    let _ = writeln!(json, "  \"ingest_shed_rate\": {ingest_shed_rate:.3}");
     json.push('}');
 
     std::fs::write(&out_path, &json).expect("write snapshot");
@@ -401,6 +460,23 @@ fn main() {
             println!(
                 "perf check ok: multi_engine_ingest_fps {multi_engine_ingest_fps:.0} within \
                  {:.0}% of baseline {baseline_fps:.0}",
+                REGRESSION_BUDGET * 100.0
+            );
+        }
+        // Pre-v6 baselines carry no supervised-ingest number.
+        if let Some(baseline_fps) = read_field(&baseline, "ingest_pipeline_fps") {
+            let floor = baseline_fps * (1.0 - REGRESSION_BUDGET);
+            if ingest_pipeline_fps < floor {
+                eprintln!(
+                    "PERF REGRESSION: ingest_pipeline_fps {ingest_pipeline_fps:.0} below \
+                     {floor:.0} (baseline {baseline_fps:.0} - {:.0}%)",
+                    REGRESSION_BUDGET * 100.0
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "perf check ok: ingest_pipeline_fps {ingest_pipeline_fps:.0} within {:.0}% of \
+                 baseline {baseline_fps:.0}",
                 REGRESSION_BUDGET * 100.0
             );
         }

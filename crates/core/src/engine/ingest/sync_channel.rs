@@ -1,0 +1,115 @@
+//! Blocking sender/receiver facades over the shared ring state.
+//!
+//! The `sync_channel.rs` half of the facade split: these types carry no
+//! queue logic of their own — every decision (overload policy, sequence
+//! allocation, close semantics) lives in [`state`](super::state). An
+//! async facade lands next to this file later, wrapping the *same*
+//! [`RingState`] with wakers instead of condition variables, which is
+//! why the split exists.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use wifiprint_radiotap::CapturedFrame;
+
+use super::state::{PopOutcome, PushOutcome, RingState};
+
+/// A cloneable blocking producer handle onto the ingest ring. Any
+/// number of threads may hold one — submissions interleave under the
+/// ring lock, each receiving a dense sequence number.
+#[derive(Debug, Clone)]
+pub(crate) struct SyncSender {
+    state: Arc<RingState>,
+}
+
+/// A cloneable blocking consumer handle onto the ingest ring. The
+/// supervised pipeline runs one consumer today; the MPMC state supports
+/// any number.
+#[derive(Debug, Clone)]
+pub(crate) struct SyncReceiver {
+    state: Arc<RingState>,
+}
+
+/// Builds a connected sender/receiver pair over one shared ring.
+pub(crate) fn channel(state: Arc<RingState>) -> (SyncSender, SyncReceiver) {
+    (SyncSender { state: Arc::clone(&state) }, SyncReceiver { state })
+}
+
+impl SyncSender {
+    /// Submits one frame under the ring's overload policy (blocking
+    /// only under `OverloadPolicy::Block` on a full ring).
+    pub(crate) fn send(&self, frame: &CapturedFrame) -> PushOutcome {
+        self.state.push(frame)
+    }
+
+    /// Closes the channel for every handle.
+    pub(crate) fn close(&self) {
+        self.state.close();
+    }
+
+    /// Tickets currently queued.
+    pub(crate) fn len(&self) -> usize {
+        self.state.len()
+    }
+}
+
+impl SyncReceiver {
+    /// Receives the oldest ticket, waiting up to `timeout` (forever
+    /// when `None`).
+    pub(crate) fn recv_timeout(&self, timeout: Option<Duration>) -> PopOutcome {
+        self.state.pop_timeout(timeout)
+    }
+
+    /// Allocates a sequence number for a non-frame emission (watchdog
+    /// tick, final finish batch).
+    pub(crate) fn alloc_seq(&self) -> u64 {
+        self.state.alloc_seq()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::OverloadPolicy;
+    use super::*;
+    use wifiprint_ieee80211::{FrameKind, MacAddr, Nanos, Rate};
+
+    fn frame(t_us: u64) -> CapturedFrame {
+        CapturedFrame {
+            t_end: Nanos::from_micros(t_us),
+            air_time: Nanos::from_micros(100),
+            rate: Rate::R24M,
+            size: 200,
+            kind: FrameKind::Data,
+            transmitter: Some(MacAddr::from_index(1)),
+            receiver: MacAddr::from_index(2),
+            dest_group: false,
+            retry: false,
+            signal_dbm: -55,
+        }
+    }
+
+    #[test]
+    fn two_producers_interleave_with_dense_sequence_numbers() {
+        let (tx, rx) = channel(Arc::new(RingState::new(64, OverloadPolicy::Block)));
+        let tx2 = tx.clone();
+        let a = std::thread::spawn(move || {
+            for t in 0..10u64 {
+                tx2.send(&frame(t));
+            }
+        });
+        for t in 10..20u64 {
+            tx.send(&frame(t));
+        }
+        a.join().expect("producer");
+        let mut seqs = Vec::new();
+        for _ in 0..20 {
+            let PopOutcome::Item(ticket) = rx.recv_timeout(Some(Duration::from_millis(50)))
+            else {
+                panic!("expected 20 tickets");
+            };
+            seqs.push(ticket.seq);
+        }
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..20u64).collect::<Vec<_>>());
+    }
+}

@@ -71,6 +71,23 @@
 //! parameters that survived a sparse window, marking the event with the
 //! parameters that were missing. See the [`resilience`] module docs.
 //!
+//! # Overload & supervision
+//!
+//! [`ResilienceConfig`] protects against degraded *frames*; the
+//! [`ingest`] module protects against degraded *flow*. An
+//! [`IngestPipeline`] owns either engine on a supervised worker behind
+//! a bounded ring: an [`OverloadPolicy`] sheds (and counts) frames a
+//! burst submits faster than the sweep drains; `catch_unwind` isolates
+//! a frame whose sweep panics into a capped [`Quarantine`] buffer and
+//! restarts the worker; a stall watchdog drives [`Engine::tick`] on a
+//! wall-clock deadline so a silent source cannot stall window
+//! decisions; and an [`EventSequencer`] keeps delivered events in
+//! submission order — bit-identical to synchronous [`Engine::observe`]
+//! under [`OverloadPolicy::Block`] with no faults (property-tested).
+//! Shed and quarantined frames reconcile exactly through
+//! [`EngineHealth::conserves`]:
+//! `seen = delivered + dropped + shed + quarantined + pending`.
+//!
 //! # Example
 //!
 //! ```
@@ -104,9 +121,14 @@
 //! assert!(matches >= 3, "one match per closed detection window");
 //! ```
 
+pub mod ingest;
 pub mod multi;
 pub mod resilience;
 
+pub use ingest::{
+    EventSequencer, IngestConfig, IngestHandle, IngestPipeline, IngestReport, IngestStats,
+    OverloadPolicy, Quarantine, Quarantined, StreamEngine, SubmitOutcome,
+};
 pub use multi::{MultiConfig, MultiEngine, MultiEngineBuilder, MultiEvent, ParameterDecision};
 pub use resilience::{
     EngineHealth, LateFramePolicy, ResilienceConfig, MIN_PLAUSIBLE_FRAME_SIZE,
@@ -167,6 +189,15 @@ pub enum EngineError {
         /// The underlying per-frame failure.
         source: Box<EngineError>,
     },
+    /// The supervised ingest front failed outside its panic isolation:
+    /// the worker thread could not be spawned, or it died in a way the
+    /// supervisor could not contain (a supervision bug, not a poison
+    /// frame — poison frames are quarantined, never surfaced as
+    /// errors).
+    Supervisor {
+        /// What the supervisor observed.
+        reason: String,
+    },
     /// A data-level failure from the underlying primitives.
     Core(CoreError),
 }
@@ -190,6 +221,9 @@ impl fmt::Display for EngineError {
             EngineError::Finished => write!(f, "engine session is already finished"),
             EngineError::Batch { index, source } => {
                 write!(f, "frame #{index} of batch: {source}")
+            }
+            EngineError::Supervisor { reason } => {
+                write!(f, "ingest supervisor failure: {reason}")
             }
             EngineError::Core(e) => write!(f, "{e}"),
         }
@@ -1359,5 +1393,30 @@ mod tests {
             matches!(tail.last(), Some(Event::WindowClosed { window: 0, candidates: 1, .. })),
             "{tail:?}"
         );
+    }
+
+    #[test]
+    fn batch_error_names_the_frame_index_and_exposes_its_source() {
+        let c = cfg(1, 1);
+        let mut engine =
+            Engine::builder().config(c.clone()).reference(reference_db(&c)).build().unwrap();
+        // Frame #2 of the batch travels back in time; the strict default
+        // policy rejects it as non-monotonic.
+        let batch =
+            [frame(1, 10_000, 176), frame(1, 20_000, 176), frame(1, 5_000, 176)];
+        let err = engine.observe_all(&batch).unwrap_err();
+        let EngineError::Batch { index, ref source } = err else {
+            panic!("expected Batch, got {err:?}");
+        };
+        assert_eq!(index, 2);
+        assert!(matches!(**source, EngineError::NonMonotonicFrame { .. }));
+        // Display names the failing index and chains the inner message…
+        let shown = err.to_string();
+        assert!(shown.contains("frame #2"), "display: {shown}");
+        assert!(shown.contains("capture order"), "display: {shown}");
+        // …and std::error::Error::source() exposes the inner error for
+        // error-chain walkers.
+        let source = std::error::Error::source(&err).expect("batch has a source");
+        assert!(source.to_string().contains("capture order"), "source: {source}");
     }
 }

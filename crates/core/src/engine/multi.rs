@@ -1742,4 +1742,37 @@ mod tests {
         assert!(resequenced.health().frames_reordered > 0, "the shuffle was real");
         assert_eq!(resequenced.health().frames_late_dropped, 0);
     }
+
+    #[test]
+    fn deadline_tick_inside_the_reorder_horizon_keeps_buffered_frames() {
+        use crate::engine::{LateFramePolicy, ResilienceConfig};
+        // The fused-engine twin of the single-engine regression test: a
+        // watchdog-style deadline tick landing inside the reorder
+        // buffer's horizon must flush only frames at or before it — the
+        // later buffered frames stay pending, are neither dropped nor
+        // re-shuffled, and arrive in order at the final drain.
+        let resilience = ResilienceConfig::default()
+            .with_late_policy(LateFramePolicy::Reorder { max_lateness: 16 });
+        let mut engine = MultiEngine::builder()
+            .config(cfg(1, 1))
+            .train_for(Nanos::from_secs(3600))
+            .resilience(resilience)
+            .build()
+            .unwrap();
+        for t_us in [50_000u64, 10_000, 30_000, 70_000, 20_000] {
+            assert!(engine.observe(&frame(1, t_us, 300)).unwrap().is_empty());
+        }
+        assert_eq!(engine.pending_frames(), 5);
+        // Deadline at 35 ms: flushes 10/20/30 ms into the core, keeps
+        // 50/70 ms buffered.
+        assert!(engine.advance_to(Nanos::from_micros(35_000)).unwrap().is_empty());
+        assert_eq!(engine.frames_observed(), 3);
+        assert_eq!(engine.pending_frames(), 2);
+        assert_eq!(engine.health().frames_late_dropped, 0, "the tick dropped nothing");
+        // The drain delivers the stragglers: every frame reaches the core.
+        engine.finish().unwrap();
+        assert_eq!(engine.frames_observed(), 5);
+        assert_eq!(engine.pending_frames(), 0);
+        assert_eq!(engine.health().frames_late_dropped, 0);
+    }
 }

@@ -155,11 +155,23 @@ impl ResilienceConfig {
 /// The counters reconcile with the arrival stream by conservation:
 /// every arrival is either delivered to the engine core
 /// (`frames_observed()`), still pending in the reorder buffer, or
-/// counted in exactly one of the drop counters below.
+/// counted in exactly one of the drop counters below. The supervised
+/// [`IngestPipeline`](super::ingest::IngestPipeline) extends the same
+/// law with three front-of-engine counters — sheds, quarantines and
+/// worker restarts — so that
+///
+/// ```text
+/// seen = delivered + dropped + shed + quarantined + pending
+/// ```
+///
+/// holds exactly for a supervised session too ([`EngineHealth::conserves`]).
+/// On an unsupervised engine the three pipeline counters stay zero and
+/// the law reduces to the PR 6 form.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct EngineHealth {
-    /// Frames presented to `observe` (before any gating).
+    /// Frames presented to `observe` (before any gating). On a
+    /// supervised pipeline: frames submitted to the ingest ring.
     pub frames_seen: u64,
     /// Exact duplicates dropped by the suppression ring.
     pub frames_duplicate: u64,
@@ -174,14 +186,43 @@ pub struct EngineHealth {
     /// Windows whose fused decision was degraded (fused over a quorum
     /// subset of parameters). Always `0` on the single-parameter engine.
     pub windows_degraded: u64,
+    /// Frames shed at the supervised ingest ring by an
+    /// [`OverloadPolicy`](super::ingest::OverloadPolicy) — they never
+    /// reached the engine. Always `0` on an unsupervised engine.
+    pub frames_shed: u64,
+    /// Frames quarantined by the supervised pipeline: poison frames
+    /// whose sweep panicked, plus frames the engine rejected with an
+    /// error. Always `0` on an unsupervised engine.
+    pub frames_quarantined: u64,
+    /// Times the supervising pipeline restarted its worker after an
+    /// isolated panic. Not a frame counter — it does not participate in
+    /// conservation. Always `0` on an unsupervised engine.
+    pub workers_restarted: u64,
 }
 
 impl EngineHealth {
     /// Total frames dropped by the ingest front (duplicate + corrupt +
-    /// late).
+    /// late). Sheds and quarantines are counted separately — they happen
+    /// in front of (or around) the engine, not inside its gates.
     #[must_use]
     pub fn frames_dropped(&self) -> u64 {
         self.frames_duplicate + self.frames_corrupt + self.frames_late_dropped
+    }
+
+    /// The conservation law every session must satisfy exactly:
+    /// `seen = delivered + dropped + shed + quarantined + pending`,
+    /// where `delivered` is the frame count the engine core consumed
+    /// (`frames_observed()`, minus any frame a panic interrupted) and
+    /// `pending` is what is still buffered (ingest ring + reorder
+    /// buffer). Chaos gates assert this after every degraded run.
+    #[must_use]
+    pub fn conserves(&self, delivered: u64, pending: u64) -> bool {
+        self.frames_seen
+            == delivered
+                + self.frames_dropped()
+                + self.frames_shed
+                + self.frames_quarantined
+                + pending
     }
 }
 
@@ -451,6 +492,33 @@ mod tests {
         assert!(front.admit(&frame(10, 4)).unwrap().is_none());
         assert_eq!(front.health.frames_corrupt, 1);
         assert_eq!(front.health.frames_duplicate, 1);
+    }
+
+    #[test]
+    fn conservation_law_covers_the_pipeline_counters() {
+        // Unsupervised front: seen = delivered + dropped + pending.
+        let cfg = ResilienceConfig::tolerant();
+        let mut front = IngestFront::new(cfg);
+        let mut delivered = 0u64;
+        for t in [30u64, 10, 20, 40] {
+            if front.admit(&frame(t, 100)).unwrap().is_some() {
+                delivered += 1;
+            }
+        }
+        assert!(front.admit(&frame(40, 4)).unwrap().is_none(), "runt");
+        assert!(front.health.conserves(delivered, front.pending_frames() as u64));
+
+        // Supervised counters extend the same identity: a shed and a
+        // quarantined frame are each accounted exactly once.
+        let mut health = front.health;
+        health.frames_seen += 2;
+        health.frames_shed += 1;
+        health.frames_quarantined += 1;
+        health.workers_restarted += 1; // not a frame counter: no effect
+        assert!(health.conserves(delivered, front.pending_frames() as u64));
+        // Losing a frame from every bucket breaks the law.
+        health.frames_seen += 1;
+        assert!(!health.conserves(delivered, front.pending_frames() as u64));
     }
 
     #[test]

@@ -124,9 +124,10 @@ mod windows;
 pub use config::{default_bins, EvalConfig, FrameFilter, TxTimeEstimator};
 pub use db::{load_db, load_db_with, save_db, DbCodecError};
 pub use engine::{
-    Engine, EngineBuilder, EngineError, EngineHealth, EnginePhase, Event, LateFramePolicy,
-    MultiConfig, MultiEngine, MultiEngineBuilder, MultiEvent, ParameterDecision, ResilienceConfig,
-    MIN_PLAUSIBLE_FRAME_SIZE,
+    Engine, EngineBuilder, EngineError, EngineHealth, EnginePhase, Event, IngestConfig,
+    IngestHandle, IngestPipeline, IngestReport, IngestStats, LateFramePolicy, MultiConfig,
+    MultiEngine, MultiEngineBuilder, MultiEvent, OverloadPolicy, ParameterDecision, Quarantine,
+    Quarantined, ResilienceConfig, StreamEngine, SubmitOutcome, MIN_PLAUSIBLE_FRAME_SIZE,
 };
 pub use error::CoreError;
 pub use fusion::{fuse_outcomes, FusedOutcome, FusionSpec};

@@ -21,11 +21,25 @@
 //!   engines' minimum-size gate) and silent **field mangling** (retry
 //!   bit, signal) the gate cannot see,
 //! * **chaff** — garbage broadcast frames from transmitters outside the
-//!   scenario population.
+//!   scenario population,
+//! * **poison frames** — frames re-attributed to a marked transmitter
+//!   range ([`POISON_DEVICE_BASE`], [`is_poison_frame`]) so a chaos
+//!   harness can arm the ingest pipeline's `panic_probe` against them
+//!   and exercise panic isolation with real, identifiable frames,
+//! * **source stalls** — deterministic periodic silent windows
+//!   ([`FaultPlan::with_stalls`]): the capture source delivers nothing
+//!   for `stall_len` out of every `stall_every`, the failure mode a
+//!   stall watchdog must survive,
+//! * **overload bursts** — a monotone piecewise time warp
+//!   ([`FaultPlan::with_bursts`]) that compresses `burst_len` of every
+//!   `burst_every` by `burst_factor`, so the same frames arrive
+//!   `burst_factor`× faster during the burst — the offered-load shape
+//!   that forces an ingest ring into its overload policy.
 //!
 //! Every applied fault is tallied in a [`FaultLog`], so a test can
 //! reconcile the engine's `EngineHealth` counters *exactly* against what
-//! was injected.
+//! was injected; the ledger identity is
+//! `emitted = input - lost - stalled + duplicated + chaff`.
 //!
 //! # Example
 //!
@@ -52,6 +66,22 @@ use wifiprint_radiotap::CapturedFrame;
 /// scenario's device population, so ground-truth checks can identify
 /// (and a fingerprinting engine will enroll nothing for) chaff senders.
 pub const CHAFF_DEVICE_BASE: u64 = 0x00C4_AFF0;
+
+/// Transmitter index base for poison frames — a marked range (outside
+/// every scenario population and distinct from chaff) that
+/// [`is_poison_frame`] recognises, so a chaos harness can arm
+/// `IngestConfig::panic_probe` with it.
+pub const POISON_DEVICE_BASE: u64 = 0x00DE_AD00;
+
+/// `true` when `frame` was marked poison by a [`FaultInjector`]
+/// ([`FaultPlan::with_poison`]). A plain `fn`, so it can be passed
+/// directly as an ingest pipeline's `panic_probe`.
+#[must_use]
+pub fn is_poison_frame(frame: &CapturedFrame) -> bool {
+    frame.transmitter.is_some_and(|t| {
+        (0..8).any(|k| t == MacAddr::from_index(POISON_DEVICE_BASE + k))
+    })
+}
 
 /// The frame-loss process a [`FaultInjector`] applies.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -130,6 +160,24 @@ pub struct FaultPlan {
     pub mangle_rate: f64,
     /// Expected chaff frames injected per input frame.
     pub chaff_rate: f64,
+    /// Fraction of surviving frames re-attributed to the poison
+    /// transmitter range ([`POISON_DEVICE_BASE`]); `0` disables.
+    pub poison_rate: f64,
+    /// Period of the deterministic source-stall cycle;
+    /// [`Nanos::ZERO`] disables stalls.
+    pub stall_every: Nanos,
+    /// Silent tail of each stall period: frames whose (warped) elapsed
+    /// time lands in the last `stall_len` of a `stall_every` cycle are
+    /// swallowed by the stalled source.
+    pub stall_len: Nanos,
+    /// Period of the overload-burst time warp; [`Nanos::ZERO`]
+    /// disables bursts.
+    pub burst_every: Nanos,
+    /// Leading slice of each burst period that is compressed: frames in
+    /// it arrive [`FaultPlan::burst_factor`]× faster.
+    pub burst_len: Nanos,
+    /// Time-compression factor inside a burst (`>= 1`; `1` disables).
+    pub burst_factor: f64,
 }
 
 impl Default for FaultPlan {
@@ -152,6 +200,12 @@ impl FaultPlan {
             corruption_rate: 0.0,
             mangle_rate: 0.0,
             chaff_rate: 0.0,
+            poison_rate: 0.0,
+            stall_every: Nanos::ZERO,
+            stall_len: Nanos::ZERO,
+            burst_every: Nanos::ZERO,
+            burst_len: Nanos::ZERO,
+            burst_factor: 1.0,
         }
     }
 
@@ -225,6 +279,34 @@ impl FaultPlan {
         self
     }
 
+    /// Returns a copy re-attributing `rate` of surviving frames to the
+    /// poison transmitter range ([`is_poison_frame`]).
+    #[must_use]
+    pub fn with_poison(mut self, rate: f64) -> Self {
+        self.poison_rate = rate;
+        self
+    }
+
+    /// Returns a copy with deterministic periodic source stalls: the
+    /// source delivers nothing for the last `len` of every `every`.
+    #[must_use]
+    pub fn with_stalls(mut self, every: Nanos, len: Nanos) -> Self {
+        self.stall_every = every;
+        self.stall_len = len;
+        self
+    }
+
+    /// Returns a copy with periodic overload bursts: the first `len` of
+    /// every `every` is time-compressed by `factor` (frames arrive
+    /// `factor`× faster), a monotone warp — capture order is preserved.
+    #[must_use]
+    pub fn with_bursts(mut self, every: Nanos, len: Nanos, factor: f64) -> Self {
+        self.burst_every = every;
+        self.burst_len = len;
+        self.burst_factor = factor;
+        self
+    }
+
     /// `true` if this plan applies no fault at all.
     #[must_use]
     pub fn is_clean(&self) -> bool {
@@ -236,6 +318,11 @@ impl FaultPlan {
             && self.corruption_rate == 0.0
             && self.mangle_rate == 0.0
             && self.chaff_rate == 0.0
+            && self.poison_rate == 0.0
+            && (self.stall_every == Nanos::ZERO || self.stall_len == Nanos::ZERO)
+            && (self.burst_every == Nanos::ZERO
+                || self.burst_len == Nanos::ZERO
+                || self.burst_factor == 1.0)
     }
 }
 
@@ -265,6 +352,13 @@ pub struct FaultLog {
     pub mangled: u64,
     /// Chaff frames injected.
     pub chaff: u64,
+    /// Frames re-attributed to the poison transmitter range (emitted —
+    /// an armed `panic_probe` will panic on each one).
+    pub poisoned: u64,
+    /// Frames swallowed by a stalled source (never emitted).
+    pub stalled: u64,
+    /// Emitted frames that landed inside a compressed burst segment.
+    pub burst: u64,
 }
 
 /// A seeded, deterministic fault injector: the same `(plan, seed)` pair
@@ -364,15 +458,46 @@ impl<I: Iterator<Item = CapturedFrame>> FaultedStream<I> {
         self.buffer.insert(pos, (key, seq, frame));
     }
 
+    /// The burst time warp: a monotone piecewise-linear map of elapsed
+    /// nanoseconds that compresses the first `burst_len` of every
+    /// `burst_every` by `burst_factor`. Returns the warped elapsed time
+    /// and whether `elapsed` fell inside a burst segment.
+    fn burst_warp(&self, elapsed: u64) -> (u64, bool) {
+        let every = self.plan.burst_every.as_nanos();
+        let len = self.plan.burst_len.as_nanos().min(every);
+        if every == 0 || len == 0 || self.plan.burst_factor <= 1.0 {
+            return (elapsed, false);
+        }
+        let compressed_len = (len as f64 / self.plan.burst_factor).round() as u64;
+        let warped_period = compressed_len + (every - len);
+        let period = elapsed / every;
+        let rem = elapsed % every;
+        let in_burst = rem < len;
+        let within = if in_burst {
+            (rem as f64 / self.plan.burst_factor).round() as u64
+        } else {
+            compressed_len + (rem - len)
+        };
+        (period * warped_period + within, in_burst)
+    }
+
     /// Applies the per-frame fault pipeline to one input frame:
-    /// timestamp skew/jitter → loss → corruption/mangling → reorder key
-    /// → enqueue (+ adjacent duplicate, + chaff).
+    /// burst warp → skew/jitter → stall → loss →
+    /// poison/corruption/mangling → reorder key → enqueue (+ adjacent
+    /// duplicate, + chaff).
     fn consume(&mut self, frame: &CapturedFrame) {
         let i = self.index;
         self.index += 1;
         self.log.input += 1;
         let mut f = *frame;
         let origin = *self.origin.get_or_insert(f.t_end);
+
+        let (warped, in_burst) =
+            self.burst_warp(f.t_end.saturating_sub(origin).as_nanos());
+        if in_burst {
+            self.log.burst += 1;
+        }
+        f.t_end = Nanos::from_nanos(origin.as_nanos() + warped);
 
         if self.plan.skew_ppm != 0.0 || self.plan.jitter_ns > 0.0 {
             let elapsed = f.t_end.saturating_sub(origin).as_nanos() as f64;
@@ -381,6 +506,18 @@ impl<I: Iterator<Item = CapturedFrame>> FaultedStream<I> {
                 if self.plan.jitter_ns > 0.0 { self.rng.gaussian(0.0, self.plan.jitter_ns) } else { 0.0 };
             let t = origin.as_nanos() as f64 + skewed + jitter;
             f.t_end = Nanos::from_nanos(if t <= 0.0 { 0 } else { t.round() as u64 });
+        }
+
+        // A stalled source swallows everything in the silent window —
+        // no survivor, no duplicate, no chaff.
+        let stall_every = self.plan.stall_every.as_nanos();
+        let stall_len = self.plan.stall_len.as_nanos().min(stall_every);
+        if stall_every > 0 && stall_len > 0 {
+            let elapsed = f.t_end.saturating_sub(origin).as_nanos();
+            if elapsed % stall_every >= stall_every - stall_len {
+                self.log.stalled += 1;
+                return;
+            }
         }
 
         let lost = match self.plan.loss {
@@ -402,7 +539,14 @@ impl<I: Iterator<Item = CapturedFrame>> FaultedStream<I> {
         if lost {
             self.log.lost += 1;
         } else {
-            if self.plan.corruption_rate > 0.0 && self.rng.chance(self.plan.corruption_rate) {
+            if self.plan.poison_rate > 0.0 && self.rng.chance(self.plan.poison_rate) {
+                // Re-attribute to the marked poison range; the frame is
+                // otherwise intact, so only an armed `panic_probe`
+                // (not any ingest gate) reacts to it.
+                f.transmitter =
+                    Some(MacAddr::from_index(POISON_DEVICE_BASE + self.rng.below(8)));
+                self.log.poisoned += 1;
+            } else if self.plan.corruption_rate > 0.0 && self.rng.chance(self.plan.corruption_rate) {
                 // Truncate below any plausible on-air length: the
                 // engines' runt gate (min_frame_size >= 8) always
                 // catches these.
@@ -619,6 +763,87 @@ mod tests {
             .degrade(&input)
             .0;
         assert!(jittered.iter().zip(&input).any(|(a, b)| a.t_end != b.t_end));
+    }
+
+    #[test]
+    fn poison_frames_are_marked_counted_and_otherwise_intact() {
+        let input = frames(1_000);
+        let plan = FaultPlan::clean().with_poison(0.05);
+        assert!(!plan.is_clean());
+        let (out, log) = FaultInjector::new(plan, 37).degrade(&input);
+        assert_eq!(out.len(), input.len(), "poison frames still emit");
+        let marked = out.iter().filter(|f| is_poison_frame(f)).count();
+        assert_eq!(marked as u64, log.poisoned);
+        assert!(log.poisoned > 20, "5% of 1000: {}", log.poisoned);
+        // Only attribution changes — timestamps and sizes are intact, so
+        // no ingest gate reacts to a poison frame; only an armed
+        // `panic_probe` does.
+        for (a, b) in out.iter().zip(&input) {
+            assert_eq!(a.t_end, b.t_end);
+            assert_eq!(a.size, b.size);
+        }
+        assert!(input.iter().all(|f| !is_poison_frame(f)));
+    }
+
+    #[test]
+    fn stalled_windows_swallow_their_frames() {
+        // frames(2000) spans ~1 s at 500 µs spacing; a 30 ms silent tail
+        // per 100 ms cycle swallows ~30% of it.
+        let input = frames(2_000);
+        let plan = FaultPlan::clean()
+            .with_stalls(Nanos::from_millis(100), Nanos::from_millis(30));
+        assert!(!plan.is_clean());
+        let (out, log) = FaultInjector::new(plan, 41).degrade(&input);
+        assert!(log.stalled > 0);
+        assert_eq!(log.emitted + log.stalled, log.input);
+        let rate = log.stalled as f64 / log.input as f64;
+        assert!((rate - 0.30).abs() < 0.05, "stall rate {rate}");
+        // The silence is real: nothing emitted lands inside a stall
+        // window.
+        let origin = input[0].t_end;
+        for f in &out {
+            let e = f.t_end.saturating_sub(origin).as_nanos();
+            assert!(e % 100_000_000 < 70_000_000, "frame inside a stall window");
+        }
+    }
+
+    #[test]
+    fn bursts_compress_time_monotonically() {
+        // 50 ms of every 100 ms compressed 10×: the warped span is
+        // ~(5 + 50)/100 = 55% of the original, order is preserved.
+        let input = frames(2_000);
+        let plan = FaultPlan::clean()
+            .with_bursts(Nanos::from_millis(100), Nanos::from_millis(50), 10.0);
+        assert!(!plan.is_clean());
+        let (out, log) = FaultInjector::new(plan, 43).degrade(&input);
+        assert_eq!(out.len(), input.len());
+        assert!(log.burst > 0, "burst segments saw frames");
+        assert!(
+            out.windows(2).all(|w| w[0].t_end <= w[1].t_end),
+            "the warp is monotone"
+        );
+        let span_in = input.last().unwrap().t_end.as_nanos() - input[0].t_end.as_nanos();
+        let span_out = out.last().unwrap().t_end.as_nanos() - out[0].t_end.as_nanos();
+        let ratio = span_out as f64 / span_in as f64;
+        assert!((ratio - 0.55).abs() < 0.02, "warped span ratio {ratio}");
+    }
+
+    #[test]
+    fn the_extended_ledger_balances_with_every_knob_armed() {
+        let input = frames(4_000);
+        let plan = FaultPlan::noisy()
+            .with_chaff(0.05)
+            .with_mangling(0.02)
+            .with_poison(0.02)
+            .with_stalls(Nanos::from_millis(200), Nanos::from_millis(40))
+            .with_bursts(Nanos::from_millis(150), Nanos::from_millis(50), 5.0);
+        let (out, log) = FaultInjector::new(plan, 47).degrade(&input);
+        assert_eq!(log.emitted as usize, out.len());
+        assert_eq!(
+            log.emitted,
+            log.input - log.lost - log.stalled + log.duplicated + log.chaff
+        );
+        assert!(log.poisoned > 0 && log.stalled > 0 && log.burst > 0);
     }
 
     #[test]

@@ -60,7 +60,10 @@ mod trace;
 
 pub use conference::ConferenceScenario;
 pub use faraday::{device_frames, FaradayRig, FARADAY_AP, FARADAY_DEVICE};
-pub use faults::{FaultInjector, FaultLog, FaultPlan, FaultedStream, LossModel};
+pub use faults::{
+    is_poison_frame, FaultInjector, FaultLog, FaultPlan, FaultedStream, LossModel,
+    CHAFF_DEVICE_BASE, POISON_DEVICE_BASE,
+};
 pub use metropolis::MetropolisScenario;
 pub use office::OfficeScenario;
 pub use trace::{run_collect, run_engine, run_multi_engine, run_streaming, Trace, TraceReport};

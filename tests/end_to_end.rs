@@ -275,6 +275,7 @@ fn streaming_engine_equals_batch_pipeline_on_office_and_conference() {
             parameters: vec![NetworkParameter::InterArrivalTime],
             match_config: MatchConfig::default(),
             resilience: ResilienceConfig::default(),
+            ingest: None,
         };
         let eval = evaluate_frames(&pcfg, &trace.frames).expect("pipeline run");
         assert_eq!(
