@@ -13,6 +13,9 @@
 //! * [`fusion`] — multi-parameter combination (the paper's §VIII future
 //!   work),
 //! * [`attacks`] — the §VII-A mimicry attacker and its evaluation,
+//! * [`linking`] — MAC-randomization linking accuracy
+//!   (precision/recall/merge-rate vs rotation rate) against the
+//!   rotation-policy scenarios' exact ledgers,
 //! * [`robustness`] — accuracy-vs-fault-rate sweeps over degraded
 //!   captures (seeded loss/reorder/corruption via the scenarios crate's
 //!   `FaultInjector`), beyond the paper's clean-monitor assumption.
@@ -44,6 +47,7 @@
 pub mod attacks;
 pub mod baseline;
 pub mod fusion;
+pub mod linking;
 mod pipeline;
 pub mod plot;
 pub mod robustness;

@@ -392,6 +392,36 @@ fn bench_multi_engine_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+/// Rotation linking throughput: a periodic-rotation metropolis trail
+/// streamed through a cold `RotationLinker` — founding, binding and
+/// pruned gallery sweeps included — at two population sizes.
+fn bench_rotation_linker(c: &mut Criterion) {
+    use wifiprint_analysis::linking::metropolis_linker_config;
+    use wifiprint_core::engine::linker::RotationLinker;
+    use wifiprint_scenarios::{RotationPolicy, RotationScenario};
+
+    let mut group = c.benchmark_group("rotation_linker");
+    for devices in [250usize, 1000] {
+        let trail = RotationScenario::new(
+            MetropolisScenario::with_devices(20_120_711, devices),
+            RotationPolicy::Periodic { period: 2 },
+        )
+        .generate();
+        group.bench_function(BenchmarkId::new("periodic_p2", devices), |b| {
+            b.iter(|| {
+                let mut linker = RotationLinker::new(metropolis_linker_config())
+                    .expect("valid linker configuration");
+                for s in &trail.sightings {
+                    let sigs = [(NetworkParameter::InterArrivalTime, s.signature.clone())];
+                    black_box(linker.link(s.mac, s.at, &sigs));
+                }
+                black_box(linker.stats().identities_retained)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300))
 }
@@ -401,6 +431,7 @@ criterion_group! {
     config = config();
     targets = bench_signature_build, bench_similarity_measures, bench_matching_scaling,
         bench_dot_kernels, bench_match_tile, bench_db_insert_stream, bench_window_batch,
-        bench_sharded_sweep, bench_engine_ingest, bench_multi_engine_ingest
+        bench_sharded_sweep, bench_engine_ingest, bench_multi_engine_ingest,
+        bench_rotation_linker
 }
 criterion_main!(benches);

@@ -9,12 +9,13 @@
 //!     [output.json] [--check baseline.json]
 //! ```
 //!
-//! Default output is `BENCH_6.json` in the current directory. With
+//! Default output is `BENCH_7.json` in the current directory. With
 //! `--check`, the freshly measured `match_matrix_ns`,
-//! `multi_engine_ingest_fps`, `sharded_sweep_speedup` and
-//! `ingest_pipeline_fps` are compared against the committed baseline
-//! snapshot and the process exits non-zero if any regressed by more
-//! than 25 % — the CI perf-smoke gate.
+//! `multi_engine_ingest_fps`, `sharded_sweep_speedup`,
+//! `ingest_pipeline_fps` and `linker_throughput_fps` are compared
+//! against the committed baseline snapshot and the process exits
+//! non-zero if any regressed by more than 25 % — the CI perf-smoke
+//! gate.
 //!
 //! The measurements mirror the headline benches in
 //! `crates/bench/benches/fingerprint.rs`: the naive f64 baseline versus
@@ -38,7 +39,12 @@
 //! ordered sequencer under `Block`, gated) and records the shed rate of
 //! a fixed overload configuration (tiny `ShedOldest` ring against an
 //! artificially slowed worker — recorded for the trajectory, not gated,
-//! because shed counts depend on real scheduling).
+//! because shed counts depend on real scheduling). Since PR 8 the
+//! snapshot also streams a 1 000-device periodic-rotation trail through
+//! the `RotationLinker` (`linker_throughput_fps`: sightings/second
+//! through the pruned gallery sweeps at the headline operating point)
+//! and records the linking precision/recall the accuracy gate pins, so
+//! the trajectory keeps cost and accuracy side by side.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -51,7 +57,9 @@ use wifiprint_core::{
 };
 use wifiprint_ieee80211::{Frame, FrameKind, MacAddr, Nanos, Rate};
 use wifiprint_radiotap::CapturedFrame;
-use wifiprint_scenarios::MetropolisScenario;
+use wifiprint_analysis::linking::{evaluate_linking_trail, metropolis_linker_config};
+use wifiprint_core::engine::linker::RotationLinker;
+use wifiprint_scenarios::{MetropolisScenario, RotationPolicy, RotationScenario};
 
 /// Allowed relative regression of the gated metrics under `--check`.
 const REGRESSION_BUDGET: f64 = 0.25;
@@ -113,7 +121,7 @@ fn read_field(json: &str, field: &str) -> Option<f64> {
 }
 
 fn main() {
-    let mut out_path = "BENCH_6.json".to_owned();
+    let mut out_path = "BENCH_7.json".to_owned();
     let mut check_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -361,6 +369,32 @@ fn main() {
         sharded[0];
     let (_, sharded_dense_ns, sharded_topk_ns, sharded_speedup, pruned_fraction) = sharded[1];
 
+    // Rotation linking at the headline operating point: a 1 000-device
+    // metropolis slice rotating periodically (fresh MAC every 2
+    // sightings), streamed through the RotationLinker cold. Throughput
+    // is sightings/second through the pruned gallery sweeps; the
+    // accuracy numbers are the same quantities the CI linking gate
+    // pins, recorded here so the trajectory shows cost next to them.
+    let link_trail = RotationScenario::new(
+        MetropolisScenario::with_devices(20_120_711, 1000),
+        RotationPolicy::Periodic { period: 2 },
+    )
+    .generate();
+    let linker_ns = measure(5, 1, || {
+        let mut linker =
+            RotationLinker::new(metropolis_linker_config()).expect("valid linker configuration");
+        let mut decided = 0usize;
+        for s in &link_trail.sightings {
+            let sigs = [(NetworkParameter::InterArrivalTime, s.signature.clone())];
+            decided += usize::from(linker.link(s.mac, s.at, &sigs).identity().is_some());
+        }
+        std::hint::black_box(decided);
+    }) / link_trail.sightings.len() as f64;
+    let linker_throughput_fps = 1e9 / linker_ns;
+    let link_point = evaluate_linking_trail(&link_trail, metropolis_linker_config())
+        .expect("valid linker configuration");
+    let linker_stats = link_point.stats;
+
     let match_speedup = naive_ns / matrix_ns;
     let tile_speedup = matvec8_ns / tile_ns;
     let kernel_speedup = dot_f64_ns / dot_f32_ns;
@@ -373,7 +407,7 @@ fn main() {
     let host_kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
         .map(|s| s.trim().to_owned())
         .unwrap_or_else(|_| "unknown".to_owned());
-    let _ = writeln!(json, "  \"schema\": \"wifiprint-bench-snapshot-v6\",");
+    let _ = writeln!(json, "  \"schema\": \"wifiprint-bench-snapshot-v7\",");
     let _ = writeln!(json, "  \"cpus\": {cpus},");
     let _ = writeln!(json, "  \"host_os\": \"{}\",", std::env::consts::OS);
     let _ = writeln!(json, "  \"host_kernel\": \"{host_kernel}\",");
@@ -420,7 +454,16 @@ fn main() {
     let _ = writeln!(json, "  \"ingest_pipeline_ns_per_frame\": {ingest_pipeline_ns:.0},");
     let _ = writeln!(json, "  \"ingest_pipeline_fps\": {ingest_pipeline_fps:.0},");
     let _ = writeln!(json, "  \"ingest_overload_frames\": {},", overload_frames.len());
-    let _ = writeln!(json, "  \"ingest_shed_rate\": {ingest_shed_rate:.3}");
+    let _ = writeln!(json, "  \"ingest_shed_rate\": {ingest_shed_rate:.3},");
+    let _ = writeln!(json, "  \"linker_devices\": 1000,");
+    let _ = writeln!(json, "  \"linker_sightings\": {},", link_trail.sightings.len());
+    let _ = writeln!(json, "  \"linker_ns_per_sighting\": {linker_ns:.0},");
+    let _ = writeln!(json, "  \"linker_throughput_fps\": {linker_throughput_fps:.0},");
+    let _ = writeln!(json, "  \"linker_precision_periodic\": {:.3},", link_point.precision());
+    let _ = writeln!(json, "  \"linker_recall_periodic\": {:.3},", link_point.recall());
+    let _ = writeln!(json, "  \"linker_merge_rate_periodic\": {:.3},", link_point.merge_rate());
+    let _ = writeln!(json, "  \"linker_identities\": {},", link_point.identities_founded);
+    let _ = writeln!(json, "  \"linker_pruned_fraction\": {:.3}", linker_stats.pruned_fraction());
     json.push('}');
 
     std::fs::write(&out_path, &json).expect("write snapshot");
@@ -477,6 +520,23 @@ fn main() {
             println!(
                 "perf check ok: ingest_pipeline_fps {ingest_pipeline_fps:.0} within {:.0}% of \
                  baseline {baseline_fps:.0}",
+                REGRESSION_BUDGET * 100.0
+            );
+        }
+        // Pre-v7 baselines carry no linker number.
+        if let Some(baseline_fps) = read_field(&baseline, "linker_throughput_fps") {
+            let floor = baseline_fps * (1.0 - REGRESSION_BUDGET);
+            if linker_throughput_fps < floor {
+                eprintln!(
+                    "PERF REGRESSION: linker_throughput_fps {linker_throughput_fps:.0} below \
+                     {floor:.0} (baseline {baseline_fps:.0} - {:.0}%)",
+                    REGRESSION_BUDGET * 100.0
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "perf check ok: linker_throughput_fps {linker_throughput_fps:.0} within {:.0}% \
+                 of baseline {baseline_fps:.0}",
                 REGRESSION_BUDGET * 100.0
             );
         }

@@ -88,6 +88,25 @@
 //! [`EngineHealth::conserves`]:
 //! `seen = delivered + dropped + shed + quarantined + pending`.
 //!
+//! # MAC randomization & linking
+//!
+//! Both engines key everything on the claimed transmitter address —
+//! which modern clients rotate precisely to defeat that keying. The
+//! [`linker`] module closes the loop: a [`RotationLinker`] consumes
+//! sightings (an address plus the per-parameter signatures observed
+//! under it — exactly what [`Event::NewDevice`] /
+//! [`MultiEvent::FusedNewDevice`](multi::MultiEvent::FusedNewDevice)
+//! carry, see [`RotationLinker::observe_event`] /
+//! [`RotationLinker::observe_multi`]) and chains rotated addresses
+//! back to stable [`IdentityId`]s: exact MAC bindings first
+//! (universally-administered addresses bypass the gallery entirely),
+//! then a fused sweep of per-parameter identity galleries through the
+//! pruned [`ReferenceDb::match_topk`] path, with accept-threshold +
+//! ambiguity-margin gating and TTL/capacity eviction. Every decision
+//! is a typed [`LinkEvent`] and the [`LinkerStats`] counters obey a
+//! conservation law (`sightings = linked + new_identities +
+//! ambiguous`) — see the [`linker`] module docs.
+//!
 //! # Example
 //!
 //! ```
@@ -122,12 +141,16 @@
 //! ```
 
 pub mod ingest;
+pub mod linker;
 pub mod multi;
 pub mod resilience;
 
 pub use ingest::{
     EventSequencer, IngestConfig, IngestHandle, IngestPipeline, IngestReport, IngestStats,
     OverloadPolicy, Quarantine, Quarantined, StreamEngine, SubmitOutcome,
+};
+pub use linker::{
+    enroll_signatures, IdentityId, LinkEvent, LinkerConfig, LinkerStats, RotationLinker,
 };
 pub use multi::{MultiConfig, MultiEngine, MultiEngineBuilder, MultiEvent, ParameterDecision};
 pub use resilience::{

@@ -124,10 +124,11 @@ mod windows;
 pub use config::{default_bins, EvalConfig, FrameFilter, TxTimeEstimator};
 pub use db::{load_db, load_db_with, save_db, DbCodecError};
 pub use engine::{
-    Engine, EngineBuilder, EngineError, EngineHealth, EnginePhase, Event, IngestConfig,
-    IngestHandle, IngestPipeline, IngestReport, IngestStats, LateFramePolicy, MultiConfig,
-    MultiEngine, MultiEngineBuilder, MultiEvent, OverloadPolicy, ParameterDecision, Quarantine,
-    Quarantined, ResilienceConfig, StreamEngine, SubmitOutcome, MIN_PLAUSIBLE_FRAME_SIZE,
+    enroll_signatures, Engine, EngineBuilder, EngineError, EngineHealth, EnginePhase, Event,
+    IdentityId, IngestConfig, IngestHandle, IngestPipeline, IngestReport, IngestStats,
+    LateFramePolicy, LinkEvent, LinkerConfig, LinkerStats, MultiConfig, MultiEngine,
+    MultiEngineBuilder, MultiEvent, OverloadPolicy, ParameterDecision, Quarantine, Quarantined,
+    ResilienceConfig, RotationLinker, StreamEngine, SubmitOutcome, MIN_PLAUSIBLE_FRAME_SIZE,
 };
 pub use error::CoreError;
 pub use fusion::{fuse_outcomes, FusedOutcome, FusionSpec};

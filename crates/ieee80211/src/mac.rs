@@ -48,6 +48,48 @@ impl MacAddr {
         ])
     }
 
+    /// Builds a universally-administered (burned-in-looking) unicast
+    /// address from a 40-bit index: the vendor-OUI counterpart of
+    /// [`MacAddr::from_index`], with both the U/L and I/G bits clear.
+    ///
+    /// Rotation scenarios use this for a device's *stable* hardware
+    /// address — a MAC-randomization linker's pre-gate can tell it apart
+    /// from a randomized one by the U/L bit alone.
+    #[inline]
+    pub const fn universal_from_index(index: u64) -> Self {
+        MacAddr([
+            0x00,
+            (index >> 32) as u8,
+            (index >> 24) as u8,
+            (index >> 16) as u8,
+            (index >> 8) as u8,
+            index as u8,
+        ])
+    }
+
+    /// Derives a randomized locally-administered unicast address from a
+    /// 64-bit seed, the shape OS MAC randomization emits: the seed is
+    /// bit-mixed (SplitMix64 finalizer) across all six octets, then the
+    /// U/L bit is forced on and the I/G bit forced off.
+    ///
+    /// Deterministic in the seed; distinct seeds collide only with the
+    /// usual 46-bit birthday probability.
+    #[inline]
+    pub const fn randomized(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        MacAddr([
+            ((z >> 40) as u8 | 0x02) & !0x01,
+            (z >> 32) as u8,
+            (z >> 24) as u8,
+            (z >> 16) as u8,
+            (z >> 8) as u8,
+            z as u8,
+        ])
+    }
+
     /// The six octets of the address.
     #[inline]
     pub const fn octets(self) -> [u8; 6] {
@@ -74,9 +116,42 @@ impl MacAddr {
     }
 
     /// `true` if the locally-administered (U/L) bit is set.
+    ///
+    /// Randomized MACs (iOS/Android/Windows privacy addresses) set this
+    /// bit, so it is the cheap first gate of a MAC-randomization linker:
+    /// an address with the bit *clear* is burned-in and cannot rotate.
     #[inline]
     pub const fn is_locally_administered(self) -> bool {
         self.0[0] & 0x02 != 0
+    }
+
+    /// `true` if the U/L bit is clear: a universally-administered
+    /// (vendor burned-in) address. The complement of
+    /// [`MacAddr::is_locally_administered`].
+    #[inline]
+    pub const fn is_universally_administered(self) -> bool {
+        !self.is_locally_administered()
+    }
+
+    /// `true` for an individual (non-group) address — the I/G bit is
+    /// clear.
+    #[inline]
+    pub const fn is_unicast(self) -> bool {
+        !self.is_multicast()
+    }
+
+    /// `true` if the address carries the given 24-bit vendor OUI prefix
+    /// (first three octets).
+    #[inline]
+    pub fn oui_matches(self, prefix: [u8; 3]) -> bool {
+        self.oui() == prefix
+    }
+
+    /// Returns a copy with the OUI (first three octets) replaced,
+    /// keeping the device-specific low 24 bits.
+    #[inline]
+    pub const fn with_oui(self, oui: [u8; 3]) -> Self {
+        MacAddr([oui[0], oui[1], oui[2], self.0[3], self.0[4], self.0[5]])
     }
 
     /// Reads an address from the first six bytes of `buf`.
@@ -213,5 +288,40 @@ mod tests {
     fn oui_prefix() {
         let a = MacAddr::new([0x00, 0x1b, 0x77, 1, 2, 3]);
         assert_eq!(a.oui(), [0x00, 0x1b, 0x77]);
+        assert!(a.oui_matches([0x00, 0x1b, 0x77]));
+        assert!(!a.oui_matches([0x00, 0x1b, 0x78]));
+        let b = a.with_oui([0xde, 0xad, 0xbe]);
+        assert_eq!(b.octets(), [0xde, 0xad, 0xbe, 1, 2, 3]);
+    }
+
+    #[test]
+    fn administration_bits() {
+        // from_index is locally administered; universal_from_index is not.
+        let local = MacAddr::from_index(0x0102030405);
+        let universal = MacAddr::universal_from_index(0x0102030405);
+        assert!(local.is_locally_administered());
+        assert!(!local.is_universally_administered());
+        assert!(universal.is_universally_administered());
+        assert!(!universal.is_locally_administered());
+        assert!(universal.is_unicast());
+        // Same device-index payload, different administration bit.
+        assert_eq!(local.octets()[1..], universal.octets()[1..]);
+        assert_ne!(local, universal);
+    }
+
+    #[test]
+    fn randomized_is_local_unicast_and_seed_deterministic() {
+        for seed in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF_CAFE] {
+            let a = MacAddr::randomized(seed);
+            assert!(a.is_locally_administered(), "{a} from seed {seed}");
+            assert!(a.is_unicast(), "{a} from seed {seed}");
+            assert_eq!(a, MacAddr::randomized(seed));
+        }
+        assert_ne!(MacAddr::randomized(1), MacAddr::randomized(2));
+        // The mixer spreads nearby seeds across the whole address, not
+        // just the low octets.
+        let x = MacAddr::randomized(100).octets();
+        let y = MacAddr::randomized(101).octets();
+        assert_ne!(x[..3], y[..3]);
     }
 }

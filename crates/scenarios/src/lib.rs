@@ -13,6 +13,10 @@
 //! * [`MetropolisScenario`] — far beyond the paper: a ~50 000-device
 //!   population of heterogeneous traffic mixes, the stress workload for
 //!   the sharded reference store's pruned sweeps,
+//! * [`rotation`] — MAC-randomization policies (periodic,
+//!   per-association burst, per-SSID stable) layered on the scenarios
+//!   above, with an exact [`RotationLedger`] of ground truth for
+//!   linking experiments,
 //! * [`faults`] — a deterministic, seeded [`FaultInjector`] that wraps
 //!   any trace or scenario stream with composable capture degradations
 //!   (burst loss, duplication, bounded reordering, jitter/skew,
@@ -56,6 +60,7 @@ mod faraday;
 pub mod faults;
 mod metropolis;
 mod office;
+pub mod rotation;
 mod trace;
 
 pub use conference::ConferenceScenario;
@@ -66,4 +71,8 @@ pub use faults::{
 };
 pub use metropolis::MetropolisScenario;
 pub use office::OfficeScenario;
+pub use rotation::{
+    rotate_frames, RotatedSighting, RotationLedger, RotationPolicy, RotationScenario,
+    RotationTrail,
+};
 pub use trace::{run_collect, run_engine, run_multi_engine, run_streaming, Trace, TraceReport};

@@ -1,0 +1,501 @@
+//! MAC-rotation scenarios: randomization policies layered on the
+//! capture scenarios, with an exact rotation ledger.
+//!
+//! The paper's §VII spoofing experiments assume the attacker changes
+//! addresses; modern clients do it *by default* (iOS/Android/Windows
+//! privacy addresses). This module layers the three policy shapes those
+//! stacks actually ship on top of the existing scenarios:
+//!
+//! * [`RotationPolicy::Never`] — a burned-in, universally-administered
+//!   address (the control group; a linker must be the identity map here),
+//! * [`RotationPolicy::Periodic`] — a fresh randomized address every
+//!   `period` sightings (timer-driven rotation),
+//! * [`RotationPolicy::PerAssociation`] — a fresh randomized address per
+//!   association, each association emitting a `burst` of sightings that
+//!   share it,
+//! * [`RotationPolicy::PerSsid`] — one stable randomized address per
+//!   network, cycled as the device hops between `ssids` networks (the
+//!   iOS/Android default).
+//!
+//! [`RotationScenario`] drives a [`MetropolisScenario`] population
+//! through a policy and emits a [`RotationTrail`]: an interleaved,
+//! timestamped stream of [`RotatedSighting`]s (each carrying the fresh
+//! per-sighting candidate signature the detection window would hand a
+//! linker) plus a [`RotationLedger`] — the exact ground-truth map
+//! between every emitted MAC and the device behind it, so linking
+//! accuracy is measured against truth, not heuristics.
+//! [`rotate_frames`] applies the same policies at the frame level to any
+//! collected trace (e.g. [`OfficeScenario`](crate::OfficeScenario)
+//! output), rewriting transmitter addresses window by window.
+//!
+//! Everything is deterministic in the scenario seed.
+
+use std::collections::BTreeMap;
+
+use wifiprint_core::Signature;
+use wifiprint_ieee80211::{MacAddr, Nanos};
+use wifiprint_radiotap::CapturedFrame;
+
+use crate::metropolis::MetropolisScenario;
+
+/// When (and how) a device replaces its transmitter address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RotationPolicy {
+    /// No randomization: the device keeps one universally-administered
+    /// (burned-in) address for the whole trail.
+    Never,
+    /// Timer-driven: a fresh randomized address every `period`
+    /// sightings (`period = 1` rotates on every single sighting).
+    Periodic {
+        /// Sightings between rotations (min 1).
+        period: u64,
+    },
+    /// A fresh randomized address per association; each association
+    /// emits `burst` sightings sharing it. Structurally a period of
+    /// `burst`, but named separately because the linker only pays a
+    /// gallery sweep once per association — the rest re-link by MAC.
+    PerAssociation {
+        /// Sightings per association (min 1).
+        burst: u64,
+    },
+    /// One stable randomized address per network, cycled round-robin as
+    /// the device hops between `ssids` networks. Revisiting a network
+    /// reuses its address, so the emitted-MAC set is small and closed.
+    PerSsid {
+        /// Distinct networks the device cycles through (min 1).
+        ssids: u64,
+    },
+}
+
+impl RotationPolicy {
+    /// A short stable label for tables and bench IDs.
+    pub fn label(self) -> &'static str {
+        match self {
+            RotationPolicy::Never => "never",
+            RotationPolicy::Periodic { .. } => "periodic",
+            RotationPolicy::PerAssociation { .. } => "per-assoc",
+            RotationPolicy::PerSsid { .. } => "per-ssid",
+        }
+    }
+
+    /// Which rotation epoch sighting `s` of a device falls in: sightings
+    /// in the same epoch share an address, a new epoch means a fresh
+    /// (or, for [`RotationPolicy::PerSsid`], a *revisited*) one.
+    fn epoch(self, s: u64) -> u64 {
+        match self {
+            RotationPolicy::Never => 0,
+            RotationPolicy::Periodic { period } => s / period.max(1),
+            RotationPolicy::PerAssociation { burst } => s / burst.max(1),
+            RotationPolicy::PerSsid { ssids } => s % ssids.max(1),
+        }
+    }
+}
+
+/// One observation of one device in a rotation trail: what a closed
+/// detection window hands the linker, plus the ground truth.
+#[derive(Debug, Clone)]
+pub struct RotatedSighting {
+    /// Ground-truth device index in the base population.
+    pub true_device: usize,
+    /// The transmitter address emitted under the rotation policy.
+    pub mac: MacAddr,
+    /// Sighting time on the trail clock.
+    pub at: Nanos,
+    /// The fresh candidate signature of this sighting (per-sighting
+    /// observation noise over the device's stable traffic mix).
+    pub signature: Signature,
+}
+
+/// Exact ground truth of a rotation trail: every emitted address mapped
+/// back to the device that used it.
+#[derive(Debug, Clone, Default)]
+pub struct RotationLedger {
+    /// Emitted address → true device index. Exact: collisions are
+    /// re-derived away at generation time, so the map is a function.
+    owner: BTreeMap<MacAddr, usize>,
+    /// Per device: its distinct emitted addresses in first-use order.
+    macs: Vec<Vec<MacAddr>>,
+    /// Total sightings in the trail.
+    pub sightings: usize,
+    /// Total rotations — sightings whose address differs from the
+    /// device's previous sighting's address.
+    pub rotations: usize,
+}
+
+impl RotationLedger {
+    /// The true device behind an emitted address, if the trail emitted it.
+    pub fn owner_of(&self, mac: &MacAddr) -> Option<usize> {
+        self.owner.get(mac).copied()
+    }
+
+    /// A device's distinct emitted addresses, first-use order (the
+    /// first entry is its first sighting's address).
+    pub fn macs_of(&self, device: usize) -> &[MacAddr] {
+        self.macs.get(device).map_or(&[], Vec::as_slice)
+    }
+
+    /// Devices in the trail.
+    pub fn devices(&self) -> usize {
+        self.macs.len()
+    }
+
+    /// Distinct addresses emitted across the whole trail.
+    pub fn distinct_macs(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Rotations per sighting in `[0, 1]`: `0` means every device kept
+    /// one address, `→1` means nearly every sighting changed address.
+    pub fn rotation_rate(&self) -> f64 {
+        if self.sightings == 0 {
+            0.0
+        } else {
+            self.rotations as f64 / self.sightings as f64
+        }
+    }
+}
+
+/// A generated rotation trail: the sighting stream plus its ledger.
+#[derive(Debug, Clone)]
+pub struct RotationTrail {
+    /// Sightings in timestamp order, devices interleaved round-robin.
+    pub sightings: Vec<RotatedSighting>,
+    /// Exact MAC ↔ device ground truth.
+    pub ledger: RotationLedger,
+    /// The policy that produced the trail.
+    pub policy: RotationPolicy,
+}
+
+impl RotationTrail {
+    /// Reconciles the trail against its ledger, exactly: every
+    /// sighting's address must resolve to its true device, every
+    /// ledgered address must have been sighted, and the counters must
+    /// agree.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first mismatch found.
+    pub fn reconcile(&self) -> Result<(), String> {
+        if self.ledger.sightings != self.sightings.len() {
+            return Err(format!(
+                "ledger counts {} sightings, trail holds {}",
+                self.ledger.sightings,
+                self.sightings.len()
+            ));
+        }
+        let mut seen: BTreeMap<MacAddr, usize> = BTreeMap::new();
+        let mut rotations = 0usize;
+        let mut last: BTreeMap<usize, MacAddr> = BTreeMap::new();
+        let mut at = Nanos::ZERO;
+        for s in &self.sightings {
+            if s.at < at {
+                return Err(format!("sighting at {:?} out of order", s.at));
+            }
+            at = s.at;
+            match self.ledger.owner_of(&s.mac) {
+                Some(owner) if owner == s.true_device => {}
+                Some(owner) => {
+                    return Err(format!(
+                        "ledger owns {} by device {owner}, trail sighted it from {}",
+                        s.mac, s.true_device
+                    ));
+                }
+                None => return Err(format!("address {} missing from the ledger", s.mac)),
+            }
+            seen.insert(s.mac, s.true_device);
+            match last.insert(s.true_device, s.mac) {
+                Some(prev) if prev != s.mac => rotations += 1,
+                _ => {}
+            }
+        }
+        if seen.len() != self.ledger.distinct_macs() {
+            return Err(format!(
+                "trail emitted {} distinct addresses, ledger holds {}",
+                seen.len(),
+                self.ledger.distinct_macs()
+            ));
+        }
+        if rotations != self.ledger.rotations {
+            return Err(format!(
+                "trail rotated {rotations} times, ledger counts {}",
+                self.ledger.rotations
+            ));
+        }
+        for (device, macs) in self.ledger.macs.iter().enumerate() {
+            for mac in macs {
+                if seen.get(mac) != Some(&device) {
+                    return Err(format!("ledger lists unsighted address {mac} for {device}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Drives a [`MetropolisScenario`] population through a
+/// [`RotationPolicy`] (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct RotationScenario {
+    /// The base population: devices, traffic mixes, observation noise.
+    pub base: MetropolisScenario,
+    /// The randomization policy every device follows.
+    pub policy: RotationPolicy,
+    /// Sightings emitted per device (interleaved round-robin).
+    pub sightings_per_device: usize,
+    /// Gap between consecutive sightings on the trail clock.
+    pub sighting_gap: Nanos,
+}
+
+impl RotationScenario {
+    /// A trail over `base` under `policy`, 6 sightings per device,
+    /// 50 ms apart.
+    pub fn new(base: MetropolisScenario, policy: RotationPolicy) -> Self {
+        RotationScenario {
+            base,
+            policy,
+            sightings_per_device: 6,
+            sighting_gap: Nanos::from_millis(50),
+        }
+    }
+
+    /// Returns a copy emitting a different number of sightings per
+    /// device.
+    #[must_use]
+    pub fn with_sightings(mut self, sightings_per_device: usize) -> Self {
+        self.sightings_per_device = sightings_per_device;
+        self
+    }
+
+    /// Generates the trail: for each round-robin round, every device
+    /// emits one sighting — its policy-mapped address plus a fresh
+    /// candidate signature — and the ledger records the ground truth.
+    ///
+    /// Deterministic in the base seed; address collisions between
+    /// devices (46-bit birthday at ~10⁵ emitted addresses) are
+    /// re-derived away so the ledger stays an exact function.
+    pub fn generate(&self) -> RotationTrail {
+        let devices = self.base.devices;
+        let rounds = self.sightings_per_device;
+        let mut ledger = RotationLedger {
+            owner: BTreeMap::new(),
+            macs: vec![Vec::new(); devices],
+            sightings: 0,
+            rotations: 0,
+        };
+        // Per device: epoch → assigned address (PerSsid revisits epochs).
+        let mut assigned: Vec<BTreeMap<u64, MacAddr>> = vec![BTreeMap::new(); devices];
+        let mut last_mac: Vec<Option<MacAddr>> = vec![None; devices];
+        let mut sightings = Vec::with_capacity(devices * rounds);
+        let mut tick = 0u64;
+        for round in 0..rounds {
+            for idx in 0..devices {
+                let epoch = self.policy.epoch(round as u64);
+                let mac = match self.policy {
+                    RotationPolicy::Never => MacAddr::universal_from_index(idx as u64 + 1),
+                    _ => *assigned[idx].entry(epoch).or_insert_with(|| {
+                        derive_mac(&ledger.owner, self.base.seed, idx, epoch)
+                    }),
+                };
+                if !ledger.macs[idx].contains(&mac) {
+                    ledger.owner.insert(mac, idx);
+                    ledger.macs[idx].push(mac);
+                }
+                if last_mac[idx].replace(mac).is_some_and(|p| p != mac) {
+                    ledger.rotations += 1;
+                }
+                ledger.sightings += 1;
+                let at = Nanos::from_nanos(tick * self.sighting_gap.as_nanos());
+                tick += 1;
+                sightings.push(RotatedSighting {
+                    true_device: idx,
+                    mac,
+                    at,
+                    signature: self.base.candidate(idx, round as u64),
+                });
+            }
+        }
+        RotationTrail { sightings, ledger, policy: self.policy }
+    }
+}
+
+/// Derives a device's randomized address for an epoch, re-deriving past
+/// any address another device already owns so the ledger stays exact.
+fn derive_mac(owner: &BTreeMap<MacAddr, usize>, seed: u64, idx: usize, epoch: u64) -> MacAddr {
+    let mut salt = 0u64;
+    loop {
+        let mixed = seed
+            ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ epoch.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            ^ salt.wrapping_mul(0x1656_67B1_9E37_79F9);
+        let mac = MacAddr::randomized(mixed);
+        if !owner.contains_key(&mac) {
+            return mac;
+        }
+        salt += 1;
+    }
+}
+
+/// Applies a rotation policy to a collected frame trace (e.g.
+/// [`OfficeScenario`](crate::OfficeScenario) output): each transmitter's
+/// frames are re-addressed window by window — frame time divided by
+/// `window` is the sighting index the policy epochs over — and the
+/// returned ledger maps every rewritten address back to the original
+/// transmitter (device indices in first-seen order; ACK/CTS frames with
+/// no transmitter pass through). [`RotationPolicy::Never`] leaves
+/// addresses untouched.
+pub fn rotate_frames(
+    frames: &mut [CapturedFrame],
+    policy: RotationPolicy,
+    seed: u64,
+    window: Nanos,
+) -> RotationLedger {
+    let window = window.as_nanos().max(1);
+    let mut index_of: BTreeMap<MacAddr, usize> = BTreeMap::new();
+    let mut assigned: Vec<BTreeMap<u64, MacAddr>> = Vec::new();
+    let mut ledger = RotationLedger::default();
+    let mut last: BTreeMap<usize, MacAddr> = BTreeMap::new();
+    for frame in frames.iter_mut() {
+        let Some(original) = frame.transmitter else { continue };
+        let next = index_of.len();
+        let idx = *index_of.entry(original).or_insert(next);
+        if idx == next {
+            assigned.push(BTreeMap::new());
+            ledger.macs.push(Vec::new());
+        }
+        let epoch = policy.epoch(frame.t_end.as_nanos() / window);
+        let mac = match policy {
+            RotationPolicy::Never => original,
+            _ => *assigned[idx]
+                .entry(epoch)
+                .or_insert_with(|| derive_mac(&ledger.owner, seed, idx, epoch)),
+        };
+        if !ledger.macs[idx].contains(&mac) {
+            ledger.owner.insert(mac, idx);
+            ledger.macs[idx].push(mac);
+        }
+        if last.insert(idx, mac).is_some_and(|p| p != mac) {
+            ledger.rotations += 1;
+        }
+        ledger.sightings += 1;
+        frame.transmitter = Some(mac);
+    }
+    ledger
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_policy_is_rotation_free_and_universal() {
+        let trail = RotationScenario::new(
+            MetropolisScenario::with_devices(11, 40),
+            RotationPolicy::Never,
+        )
+        .generate();
+        trail.reconcile().unwrap();
+        assert_eq!(trail.ledger.rotation_rate(), 0.0);
+        assert_eq!(trail.ledger.distinct_macs(), 40);
+        assert!(trail.sightings.iter().all(|s| s.mac.is_universally_administered()));
+        assert_eq!(trail.sightings.len(), 40 * 6);
+    }
+
+    #[test]
+    fn periodic_policy_rotates_on_schedule() {
+        let trail = RotationScenario::new(
+            MetropolisScenario::with_devices(12, 25),
+            RotationPolicy::Periodic { period: 2 },
+        )
+        .with_sightings(6)
+        .generate();
+        trail.reconcile().unwrap();
+        // 6 sightings at period 2 → 3 addresses per device, 2 rotations.
+        assert_eq!(trail.ledger.distinct_macs(), 25 * 3);
+        assert_eq!(trail.ledger.rotations, 25 * 2);
+        assert!(trail.sightings.iter().all(|s| s.mac.is_locally_administered()));
+        assert!((trail.ledger.rotation_rate() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_ssid_policy_reuses_a_closed_address_set() {
+        let trail = RotationScenario::new(
+            MetropolisScenario::with_devices(13, 10),
+            RotationPolicy::PerSsid { ssids: 2 },
+        )
+        .with_sightings(6)
+        .generate();
+        trail.reconcile().unwrap();
+        // Round-robin over 2 networks: 2 addresses per device, and every
+        // revisit after the first two sightings rotates back and forth.
+        assert_eq!(trail.ledger.distinct_macs(), 10 * 2);
+        assert_eq!(trail.ledger.rotations, 10 * 5);
+        for device in 0..10 {
+            assert_eq!(trail.ledger.macs_of(device).len(), 2);
+        }
+    }
+
+    #[test]
+    fn trails_are_deterministic_in_the_seed() {
+        let make = || {
+            RotationScenario::new(
+                MetropolisScenario::with_devices(77, 15),
+                RotationPolicy::PerAssociation { burst: 3 },
+            )
+            .generate()
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a.sightings.len(), b.sightings.len());
+        for (x, y) in a.sightings.iter().zip(&b.sightings) {
+            assert_eq!(x.mac, y.mac);
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.true_device, y.true_device);
+            assert_eq!(x.signature, y.signature);
+        }
+    }
+
+    #[test]
+    fn ledger_owner_lookup_matches_ground_truth() {
+        let trail = RotationScenario::new(
+            MetropolisScenario::with_devices(5, 20),
+            RotationPolicy::Periodic { period: 1 },
+        )
+        .with_sightings(4)
+        .generate();
+        trail.reconcile().unwrap();
+        for s in &trail.sightings {
+            assert_eq!(trail.ledger.owner_of(&s.mac), Some(s.true_device));
+        }
+        assert_eq!(trail.ledger.owner_of(&MacAddr::BROADCAST), None);
+        assert_eq!(trail.ledger.devices(), 20);
+    }
+
+    #[test]
+    fn rotate_frames_rewrites_and_ledgers_transmitters() {
+        let trace = crate::OfficeScenario::small(42, 30, 4).run_collect();
+        let mut frames = trace.frames.clone();
+        let ledger =
+            rotate_frames(&mut frames, RotationPolicy::Periodic { period: 1 }, 9, Nanos::from_secs(5));
+        assert!(ledger.sightings > 0);
+        assert!(ledger.rotations > 0, "30 s / 5 s windows must rotate");
+        for (orig, rot) in trace.frames.iter().zip(&frames) {
+            match (orig.transmitter, rot.transmitter) {
+                (None, None) => {}
+                (Some(_), Some(m)) => {
+                    assert!(m.is_locally_administered());
+                    assert!(ledger.owner_of(&m).is_some());
+                }
+                other => panic!("transmitter presence changed: {other:?}"),
+            }
+            assert_eq!(orig.t_end, rot.t_end);
+            assert_eq!(orig.size, rot.size);
+        }
+        // Never: untouched.
+        let mut untouched = trace.frames.clone();
+        let l = rotate_frames(&mut untouched, RotationPolicy::Never, 9, Nanos::from_secs(5));
+        assert_eq!(l.rotations, 0);
+        for (orig, same) in trace.frames.iter().zip(&untouched) {
+            assert_eq!(orig.transmitter, same.transmitter);
+        }
+    }
+}

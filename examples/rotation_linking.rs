@@ -1,0 +1,48 @@
+//! MAC randomization & linking (§VII privacy headline): chaining
+//! rotated addresses back to one device identity at scale.
+//!
+//! A metropolis population rotates its MAC addresses under three real
+//! randomization policies (timer-driven, per-association, per-SSID).
+//! The streaming [`RotationLinker`] consumes the sighting stream cold —
+//! no enrollment phase — founding an identity on first contact and
+//! chaining later randomized addresses back through pruned gallery
+//! sweeps. Accuracy is scored against the scenario's exact rotation
+//! ledger; the table puts precision/recall/merge-rate next to the
+//! gallery's pruned-sweep cost.
+//!
+//! ```sh
+//! cargo run --release --example rotation_linking
+//! ```
+
+use wifiprint::analysis::linking::{evaluate_linking, metropolis_linker_config};
+use wifiprint::scenarios::{MetropolisScenario, RotationPolicy};
+
+fn main() {
+    let devices: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let base = MetropolisScenario::with_devices(20_120_711, devices);
+    let policies = [
+        RotationPolicy::Never,
+        RotationPolicy::Periodic { period: 2 },
+        RotationPolicy::PerAssociation { burst: 3 },
+        RotationPolicy::PerSsid { ssids: 2 },
+    ];
+
+    println!("linking {devices} rotating devices, 6 sightings each ...\n");
+    let sweep = evaluate_linking(&base, 6, &policies, &metropolis_linker_config())
+        .expect("valid linker configuration");
+    println!("{}", sweep.table());
+
+    let headline = &sweep.points[1];
+    println!(
+        "\nheadline (periodic p2): precision {:.1}%, recall {:.1}%, \
+         {} identities over {} rotated MACs, {:.0}% of gallery shards pruned",
+        100.0 * headline.precision(),
+        100.0 * headline.recall(),
+        headline.identities_founded,
+        headline.distinct_macs,
+        100.0 * headline.stats.pruned_fraction(),
+    );
+}
