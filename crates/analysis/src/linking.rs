@@ -27,7 +27,7 @@
 //! the gallery sweeps — so linking *cost* is visible next to accuracy.
 
 use wifiprint_core::engine::linker::{LinkEvent, LinkerConfig, LinkerStats, RotationLinker};
-use wifiprint_core::{CoreError, FusionSpec, NetworkParameter};
+use wifiprint_core::{CoreError, FusionSpec, MatchConfig, NetworkParameter};
 use wifiprint_scenarios::{MetropolisScenario, RotationPolicy, RotationScenario, RotationTrail};
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -163,6 +163,23 @@ pub fn metropolis_linker_config() -> LinkerConfig {
         .with_accept_threshold(0.995)
         .with_ambiguity_margin(0.005)
         .with_update_on_link(true)
+}
+
+/// The 10⁴-device metropolis operating point: the same single-parameter
+/// fusion as [`metropolis_linker_config`], re-laid-out for a gallery an
+/// order of magnitude larger. The reference store runs on the quantized
+/// `u8` tier ([`MatchConfig::quantized`]) over 64 shards, so every
+/// gallery sweep goes through the tile-wide pruned integer kernels —
+/// at 10⁴ resident identities that is the difference between a linking
+/// replay dominated by dot products and one dominated by bookkeeping.
+///
+/// The accept/margin knee stays at 0.995/0.005: quantization drift on
+/// these dense inter-arrival rows is well under the 7-bit worst case,
+/// and the 10× denser impostor field is already absorbed by the strict
+/// threshold (precision degrades gracefully; see `linking_smoke` for
+/// the pinned floors at this point).
+pub fn metropolis_linker_config_10k() -> LinkerConfig {
+    metropolis_linker_config().with_match_config(MatchConfig::quantized().with_shards(64))
 }
 
 /// Scores one generated trail: reconciles its ledger exactly, replays

@@ -20,6 +20,14 @@
 //! * `sharded_sweep/{dense_full,pruned_top5}` — the sharded store's
 //!   dense full sweep versus the summary-pruned top-k sweep over a
 //!   metropolis population (the large-population hot path);
+//! * `quant_kernel/{u8_portable,u8_dispatch,f32_dispatch}` — the
+//!   quantized 7-bit integer dot against the dispatched f32 kernel on
+//!   one reference-row-sized product (the integer dispatch name is
+//!   printed by `perf_snapshot` as `int_kernel`);
+//! * `quant_tile/{f32_dense_tile,u8_pruned_topk}` — the f32 dense
+//!   8-wide tile sweep versus the quantized tile-wide pruned top-8
+//!   sweep over the same metropolis store (`perf_snapshot` reports the
+//!   10⁵-device ratio as `quant_tile_speedup`);
 //! * `engine_ingest/observe_48k_frames` — the streaming `Engine` end to
 //!   end: extraction, windowing and per-window tiled matching, the
 //!   online deployment's hot path;
@@ -267,6 +275,59 @@ fn bench_sharded_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// The quantized integer kernel on one reference-row-sized dot: 7-bit
+/// codes through the portable and dispatched u8 kernels, next to the
+/// dispatched f32 kernel the `F32` tier runs.
+fn bench_quant_kernels(c: &mut Criterion) {
+    const BINS: usize = 251;
+    let a64: Vec<f64> = (0..BINS).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
+    let b64: Vec<f64> = (0..BINS).map(|i| ((i * 53) % 89) as f64 / 89.0).collect();
+    let a32: Vec<f32> = a64.iter().map(|&v| v as f32).collect();
+    let b32: Vec<f32> = b64.iter().map(|&v| v as f32).collect();
+    let qa = wifiprint_core::QuantizedRow::from_frequencies(&a64);
+    let qb = wifiprint_core::QuantizedRow::from_frequencies(&b64);
+    let mut group = c.benchmark_group("quant_kernel");
+    group.bench_function("u8_portable", |b| {
+        b.iter(|| black_box(kernel::dot_u8_portable(black_box(qa.values()), black_box(qb.values()))))
+    });
+    group.bench_function("u8_dispatch", |b| {
+        b.iter(|| black_box(kernel::dot_u8(black_box(qa.values()), black_box(qb.values()))))
+    });
+    group.bench_function("f32_dispatch", |b| {
+        b.iter(|| black_box(kernel::dot_f32(black_box(&a32), black_box(&b32))))
+    });
+    group.finish();
+}
+
+/// The quantized-tier payoff at population scale: eight candidate
+/// windows against a metropolis store, once as the f32 dense tile
+/// (every shard, every row, float kernels) and once as the u8 tile-wide
+/// pruned top-8 sweep (integer kernels, shards skipped per candidate by
+/// envelope bound).
+fn bench_quant_tile(c: &mut Criterion) {
+    use wifiprint_core::RowPrecision;
+    let scenario = MetropolisScenario::with_devices(3, 8192);
+    let f32_db = scenario.reference_db(MatchConfig::default().with_shards(64));
+    let u8_db = scenario
+        .reference_db(MatchConfig::default().with_shards(64).with_precision(RowPrecision::U8));
+    let probes: Vec<Signature> = (0..8usize).map(|i| scenario.candidate(i * 619, 2)).collect();
+    let mut group = c.benchmark_group("quant_tile");
+    group.bench_function("f32_dense_tile", |b| {
+        let mut scratch = MatchScratch::new();
+        b.iter(|| {
+            let tile = f32_db.match_tile(&probes, SimilarityMeasure::Cosine, &mut scratch);
+            black_box(tile.candidate(7).best())
+        })
+    });
+    group.bench_function("u8_pruned_topk", |b| {
+        let mut scratch = MatchScratch::new();
+        b.iter(|| {
+            black_box(u8_db.match_topk_tile(&probes, 8, SimilarityMeasure::Cosine, &mut scratch))
+        })
+    });
+    group.finish();
+}
+
 /// The streaming `Engine` end to end: per-frame extraction + windowing
 /// with one tiled match sweep per closed 1 s window, against a
 /// 256-device frozen reference. This is the ingest hot path of an
@@ -431,7 +492,7 @@ criterion_group! {
     config = config();
     targets = bench_signature_build, bench_similarity_measures, bench_matching_scaling,
         bench_dot_kernels, bench_match_tile, bench_db_insert_stream, bench_window_batch,
-        bench_sharded_sweep, bench_engine_ingest, bench_multi_engine_ingest,
-        bench_rotation_linker
+        bench_sharded_sweep, bench_quant_kernels, bench_quant_tile, bench_engine_ingest,
+        bench_multi_engine_ingest, bench_rotation_linker
 }
 criterion_main!(benches);

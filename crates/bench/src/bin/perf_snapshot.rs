@@ -9,13 +9,13 @@
 //!     [output.json] [--check baseline.json]
 //! ```
 //!
-//! Default output is `BENCH_7.json` in the current directory. With
+//! Default output is `BENCH_8.json` in the current directory. With
 //! `--check`, the freshly measured `match_matrix_ns`,
 //! `multi_engine_ingest_fps`, `sharded_sweep_speedup`,
-//! `ingest_pipeline_fps` and `linker_throughput_fps` are compared
-//! against the committed baseline snapshot and the process exits
-//! non-zero if any regressed by more than 25 % — the CI perf-smoke
-//! gate.
+//! `quant_tile_speedup`, `ingest_pipeline_fps` and
+//! `linker_throughput_fps` are compared against the committed baseline
+//! snapshot and the process exits non-zero if any regressed by more
+//! than 25 % — the CI perf-smoke gate.
 //!
 //! The measurements mirror the headline benches in
 //! `crates/bench/benches/fingerprint.rs`: the naive f64 baseline versus
@@ -44,7 +44,15 @@
 //! the `RotationLinker` (`linker_throughput_fps`: sightings/second
 //! through the pruned gallery sweeps at the headline operating point)
 //! and records the linking precision/recall the accuracy gate pins, so
-//! the trajectory keeps cost and accuracy side by side.
+//! the trajectory keeps cost and accuracy side by side. Since PR 9 the
+//! snapshot also measures the **quantized `u8` tier**: the 251-bin
+//! integer dot kernel (`quant_dot_ns`, with the dispatched integer
+//! kernel name), the resident bytes per enrolled device on both tiers
+//! (`bytes_per_device_{f32,u8}` — the `u8` store must stay at most
+//! half the `f32` store), and the headline `quant_tile_speedup`: the
+//! f32 dense 8-wide tile sweep versus the quantized tile-wide pruned
+//! top-8 sweep over the same 10⁵-device metropolis population, with
+//! the tile-wide pruned-shard fraction (`pruned_shard_fraction_k8`).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -121,7 +129,7 @@ fn read_field(json: &str, field: &str) -> Option<f64> {
 }
 
 fn main() {
-    let mut out_path = "BENCH_7.json".to_owned();
+    let mut out_path = "BENCH_8.json".to_owned();
     let mut check_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -175,6 +183,14 @@ fn main() {
     });
     let dot_f32_ns = measure(15, 20_000, || {
         std::hint::black_box(kernel::dot_f32(&row32, &col32));
+    });
+    // Quantized kernel microbench: the same 251-bin rows as 7-bit codes
+    // through the dispatched integer dot (maddubs/madd on AVX2, widening
+    // multiplies on NEON).
+    let qrow = wifiprint_core::QuantizedRow::from_frequencies(&row64);
+    let qcol = wifiprint_core::QuantizedRow::from_frequencies(&col64);
+    let quant_dot_ns = measure(15, 20_000, || {
+        std::hint::black_box(kernel::dot_u8(qrow.values(), qcol.values()));
     });
 
     // Streaming inserts: per-device cost of growing to 256 devices.
@@ -332,6 +348,9 @@ fn main() {
     // transfers across hosts better than absolute nanoseconds.
     let sharded_cfg = MatchConfig::default().with_shards(64);
     let mut sharded = Vec::new();
+    let (mut bytes_per_device_f32, mut bytes_per_device_u8) = (0.0f64, 0.0f64);
+    let (mut quant_f32_tile_ns, mut quant_u8_tile_ns) = (f64::NAN, f64::NAN);
+    let mut pruned_fraction_k8 = 0.0f64;
     for devices in [10_000usize, 100_000] {
         let scenario = MetropolisScenario::with_devices(17, devices);
         let db = scenario.reference_db(sharded_cfg);
@@ -364,10 +383,42 @@ fn main() {
         }
         let fraction = pruned as f64 / (swept + pruned).max(1) as f64;
         sharded.push((devices, dense_ns, topk_ns, dense_ns / topk_ns, fraction));
+
+        // Quantized tier at the 10⁵ operating point: the f32 dense
+        // 8-wide tile sweep (every shard, every row, float kernels)
+        // versus the u8 tile-wide pruned top-8 sweep over the same
+        // population — the PR 9 headline. Both numbers are per tile of
+        // 8 candidates, so the speedup folds storage (4× smaller rows),
+        // integer kernels and tile-wide pruning into one ratio.
+        if devices == 100_000 {
+            let u8_db = scenario.reference_db(MatchConfig::quantized().with_shards(64));
+            bytes_per_device_f32 = db.row_bytes() as f64 / devices as f64;
+            bytes_per_device_u8 = u8_db.row_bytes() as f64 / devices as f64;
+            assert!(
+                bytes_per_device_u8 * 2.0 <= bytes_per_device_f32,
+                "quantized rows must at most halve the f32 resident bytes"
+            );
+            quant_f32_tile_ns = measure(7, 1, || {
+                let tile = db.match_tile(&probes, SimilarityMeasure::Cosine, &mut scratch);
+                std::hint::black_box(tile.candidate(7).best());
+            });
+            quant_u8_tile_ns = measure(7, 1, || {
+                std::hint::black_box(u8_db.match_topk_tile(
+                    &probes,
+                    8,
+                    SimilarityMeasure::Cosine,
+                    &mut scratch,
+                ));
+            });
+            u8_db.match_topk_tile(&probes, 8, SimilarityMeasure::Cosine, &mut scratch);
+            let stats = scratch.prune_stats();
+            pruned_fraction_k8 = stats.pruned_fraction();
+        }
     }
     let (_, sharded_dense_10k, sharded_topk_10k, sharded_speedup_10k, pruned_fraction_10k) =
         sharded[0];
     let (_, sharded_dense_ns, sharded_topk_ns, sharded_speedup, pruned_fraction) = sharded[1];
+    let quant_tile_speedup = quant_f32_tile_ns / quant_u8_tile_ns;
 
     // Rotation linking at the headline operating point: a 1 000-device
     // metropolis slice rotating periodically (fresh MAC every 2
@@ -407,11 +458,12 @@ fn main() {
     let host_kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
         .map(|s| s.trim().to_owned())
         .unwrap_or_else(|_| "unknown".to_owned());
-    let _ = writeln!(json, "  \"schema\": \"wifiprint-bench-snapshot-v7\",");
+    let _ = writeln!(json, "  \"schema\": \"wifiprint-bench-snapshot-v8\",");
     let _ = writeln!(json, "  \"cpus\": {cpus},");
     let _ = writeln!(json, "  \"host_os\": \"{}\",", std::env::consts::OS);
     let _ = writeln!(json, "  \"host_kernel\": \"{host_kernel}\",");
     let _ = writeln!(json, "  \"kernel\": \"{}\",", kernel::active());
+    let _ = writeln!(json, "  \"int_kernel\": \"{}\",", kernel::active_int().as_str());
     let _ = writeln!(json, "  \"reference_devices\": 256,");
     let _ = writeln!(json, "  \"batch_windows\": 512,");
     let _ = writeln!(json, "  \"match_naive_ns\": {naive_ns:.0},");
@@ -424,6 +476,7 @@ fn main() {
     let _ = writeln!(json, "  \"dot_f64_ns\": {dot_f64_ns:.1},");
     let _ = writeln!(json, "  \"dot_f32_ns\": {dot_f32_ns:.1},");
     let _ = writeln!(json, "  \"kernel_speedup\": {kernel_speedup:.2},");
+    let _ = writeln!(json, "  \"quant_dot_ns\": {quant_dot_ns:.1},");
     let _ = writeln!(json, "  \"insert_stream_ns_per_device\": {insert_ns:.0},");
     let _ = writeln!(json, "  \"batch_serial_ns\": {serial_ns:.0},");
     let _ = writeln!(json, "  \"batch_parallel_ns\": {parallel_ns:.0},");
@@ -446,6 +499,13 @@ fn main() {
     let _ = writeln!(json, "  \"sharded_topk_ns\": {sharded_topk_ns:.0},");
     let _ = writeln!(json, "  \"sharded_sweep_speedup\": {sharded_speedup:.2},");
     let _ = writeln!(json, "  \"pruned_shard_fraction\": {pruned_fraction:.3},");
+    let _ = writeln!(json, "  \"quant_tile_k\": 8,");
+    let _ = writeln!(json, "  \"quant_f32_tile_ns\": {quant_f32_tile_ns:.0},");
+    let _ = writeln!(json, "  \"quant_u8_tile_topk_ns\": {quant_u8_tile_ns:.0},");
+    let _ = writeln!(json, "  \"quant_tile_speedup\": {quant_tile_speedup:.2},");
+    let _ = writeln!(json, "  \"pruned_shard_fraction_k8\": {pruned_fraction_k8:.3},");
+    let _ = writeln!(json, "  \"bytes_per_device_f32\": {bytes_per_device_f32:.0},");
+    let _ = writeln!(json, "  \"bytes_per_device_u8\": {bytes_per_device_u8:.0},");
     let _ = writeln!(json, "  \"multi_engine_parameters\": 5,");
     let _ = writeln!(json, "  \"multi_engine_ingest_ns_per_frame\": {multi_engine_ingest_ns:.0},");
     let _ = writeln!(json, "  \"multi_engine_ingest_fps\": {multi_engine_ingest_fps:.0},");
@@ -538,6 +598,41 @@ fn main() {
                 "perf check ok: linker_throughput_fps {linker_throughput_fps:.0} within {:.0}% \
                  of baseline {baseline_fps:.0}",
                 REGRESSION_BUDGET * 100.0
+            );
+        }
+        // Pre-v8 baselines carry no quantized-tier numbers. The tile
+        // speedup is a ratio of two same-host measurements, so it gates
+        // the integer kernels + tile-wide pruning without pinning
+        // absolute nanoseconds.
+        if let Some(baseline_speedup) = read_field(&baseline, "quant_tile_speedup") {
+            let floor = baseline_speedup * (1.0 - REGRESSION_BUDGET);
+            if quant_tile_speedup < floor {
+                eprintln!(
+                    "PERF REGRESSION: quant_tile_speedup {quant_tile_speedup:.2} below \
+                     {floor:.2} (baseline {baseline_speedup:.2} - {:.0}%)",
+                    REGRESSION_BUDGET * 100.0
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "perf check ok: quant_tile_speedup {quant_tile_speedup:.2} within {:.0}% of \
+                 baseline {baseline_speedup:.2}",
+                REGRESSION_BUDGET * 100.0
+            );
+        }
+        if let Some(baseline_bytes) = read_field(&baseline, "bytes_per_device_u8") {
+            // Storage is deterministic, not timing: any growth of the
+            // quantized row footprint is a layout regression.
+            if bytes_per_device_u8 > baseline_bytes * 1.01 {
+                eprintln!(
+                    "PERF REGRESSION: bytes_per_device_u8 {bytes_per_device_u8:.0} exceeds \
+                     baseline {baseline_bytes:.0}"
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "perf check ok: bytes_per_device_u8 {bytes_per_device_u8:.0} at or below \
+                 baseline {baseline_bytes:.0}"
             );
         }
         // Pre-v5 baselines carry no sharded-sweep number.

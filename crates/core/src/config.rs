@@ -116,9 +116,13 @@ pub struct EvalConfig {
     pub filter: FrameFilter,
     /// Detection window length (the paper uses 5 minutes, §I/§V-A).
     pub window: Nanos,
-    /// Shard layout of reference databases built from this configuration
-    /// (the engines' online-trained references; see
-    /// [`MatchConfig`]). Defaults to dominant-histogram sharding.
+    /// Shard layout **and precision tier** of reference databases built
+    /// from this configuration (the engines' online-trained references;
+    /// see [`MatchConfig`] and
+    /// [`RowPrecision`](crate::matching::RowPrecision)). Defaults to
+    /// dominant-histogram sharding over `f32` rows; pass
+    /// `MatchConfig::quantized()` here to run an engine on the `u8`
+    /// integer-kernel tier.
     pub match_config: MatchConfig,
 }
 
@@ -166,7 +170,8 @@ impl EvalConfig {
         self
     }
 
-    /// Returns a copy with a different reference-store shard layout.
+    /// Returns a copy with a different reference-store layout (shard
+    /// strategy, shard count, precision tier).
     #[must_use]
     pub fn with_match_config(mut self, match_config: MatchConfig) -> Self {
         self.match_config = match_config;

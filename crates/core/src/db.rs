@@ -7,7 +7,12 @@
 //! database saved from any layout reloads into whichever layout the
 //! reader asks for ([`load_db`] uses the default dominant-histogram
 //! sharding; [`load_db_with`] takes an explicit [`MatchConfig`]) and
-//! scores identically either way.
+//! scores identically either way. The same holds for the precision
+//! tier: counts are persisted exactly (integers), so a database saved
+//! from a quantized (`u8`) store reloads losslessly — quantization is a
+//! pack-time layout choice
+//! ([`RowPrecision`](crate::matching::RowPrecision)), never a
+//! persistence one.
 //!
 //! Format (one item per line):
 //!

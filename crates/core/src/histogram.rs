@@ -8,6 +8,12 @@
 //! `f32` — the storage type of the SIMD matching kernel's packed rows
 //! ([`matching`](crate::matching)) — so candidate signatures are converted
 //! once per mutation, not once per match.
+//! [`Histogram::frequencies_u8`] caches the quantized form of the same
+//! distribution ([`QuantizedRow`]) for the `u8` storage tier
+//! ([`RowPrecision::U8`](crate::matching::RowPrecision)) — codes in
+//! `0..=`[`QUANT_MAX`](crate::kernel::QUANT_MAX) with a per-row scale,
+//! quantized once per mutation so both the reference rows and the
+//! candidate side of the integer sweep borrow it.
 
 use core::fmt;
 use std::sync::OnceLock;
@@ -146,6 +152,68 @@ pub struct Histogram {
     /// reset on every mutation.
     #[cfg_attr(feature = "serde", serde(skip, default))]
     freqs32: OnceLock<Vec<f32>>,
+    /// The same frequencies quantized to `u8` codes for the integer
+    /// matching tier; reset on every mutation.
+    #[cfg_attr(feature = "serde", serde(skip, default))]
+    freqs8: OnceLock<QuantizedRow>,
+}
+
+/// A frequency row quantized for the `u8` storage tier: codes in
+/// `0..=`[`QUANT_MAX`](crate::kernel::QUANT_MAX) with the per-row scale
+/// mapping codes back to frequencies.
+///
+/// The **zero-point is fixed at 0**: frequencies are non-negative, so an
+/// affine zero-point would spend codes on values that cannot occur and
+/// break the "zero frequency ⇒ zero code" sparsity the envelope bounds
+/// lean on. `value[i] ≈ code[i] · scale`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedRow {
+    values: Vec<u8>,
+    scale: f32,
+    inv_norm: f32,
+}
+
+impl QuantizedRow {
+    /// Quantizes a frequency row: the row maximum maps to
+    /// [`QUANT_MAX`](crate::kernel::QUANT_MAX), everything else rounds to
+    /// the nearest code. All-zero rows quantize to all-zero codes with
+    /// scale 0.
+    pub fn from_frequencies(freqs: &[f64]) -> QuantizedRow {
+        let max = freqs.iter().copied().fold(0.0f64, f64::max);
+        if max <= 0.0 {
+            return QuantizedRow { values: vec![0; freqs.len()], scale: 0.0, inv_norm: 0.0 };
+        }
+        let quant_max = f64::from(crate::kernel::QUANT_MAX);
+        let step = max / quant_max;
+        let values: Vec<u8> = freqs
+            .iter()
+            .map(|&f| ((f / step).round() as u8).min(crate::kernel::QUANT_MAX))
+            .collect();
+        // The reciprocal norm of the *codes*: the cosine path multiplies
+        // the exact integer dot by both rows' code norms (the scales
+        // cancel — cosine is scale-invariant), so this is the only norm
+        // the sweep needs.
+        let norm_sq: f64 = values.iter().map(|&q| f64::from(q) * f64::from(q)).sum();
+        let inv_norm = if norm_sq > 0.0 { (1.0 / norm_sq.sqrt()) as f32 } else { 0.0 };
+        QuantizedRow { values, scale: step as f32, inv_norm }
+    }
+
+    /// The quantized codes, one per bin.
+    pub fn values(&self) -> &[u8] {
+        &self.values
+    }
+
+    /// Frequency per code step: `frequency[i] ≈ values[i] · scale`.
+    /// Stored so non-cosine measures can dequantize; the cosine sweep
+    /// never reads it.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// `1 / ‖values‖₂` over the integer codes (0.0 for an all-zero row).
+    pub fn inv_norm(&self) -> f32 {
+        self.inv_norm
+    }
 }
 
 impl PartialEq for Histogram {
@@ -159,7 +227,14 @@ impl Histogram {
     /// An empty histogram over the given bins.
     pub fn new(spec: BinSpec) -> Self {
         let counts = vec![0; spec.bin_count()];
-        Histogram { spec, counts, total: 0, freqs: OnceLock::new(), freqs32: OnceLock::new() }
+        Histogram {
+            spec,
+            counts,
+            total: 0,
+            freqs: OnceLock::new(),
+            freqs32: OnceLock::new(),
+            freqs8: OnceLock::new(),
+        }
     }
 
     /// Records one observation.
@@ -196,6 +271,7 @@ impl Histogram {
     fn invalidate(&mut self) {
         self.freqs = OnceLock::new();
         self.freqs32 = OnceLock::new();
+        self.freqs8 = OnceLock::new();
     }
 
     /// Number of observations recorded.
@@ -230,6 +306,14 @@ impl Histogram {
         self.freqs32.get_or_init(|| self.frequencies().iter().map(|&f| f as f32).collect())
     }
 
+    /// The percentage-frequency distribution quantized for the `u8`
+    /// storage tier ([`QuantizedRow`]): codes, per-row scale and the
+    /// reciprocal code norm. Computed once and cached until the next
+    /// mutation, so the integer sweep borrows the candidate's codes.
+    pub fn frequencies_u8(&self) -> &QuantizedRow {
+        self.freqs8.get_or_init(|| QuantizedRow::from_frequencies(self.frequencies()))
+    }
+
     /// The percentage-frequency distribution as a freshly allocated
     /// vector, bypassing the cache. Prefer [`Histogram::frequencies`];
     /// this exists for owned copies and as the per-call-allocation
@@ -259,7 +343,14 @@ impl Histogram {
     pub fn from_counts(spec: BinSpec, counts: Vec<u64>) -> Self {
         assert_eq!(counts.len(), spec.bin_count(), "count vector does not match spec");
         let total = counts.iter().sum();
-        Histogram { spec, counts, total, freqs: OnceLock::new(), freqs32: OnceLock::new() }
+        Histogram {
+            spec,
+            counts,
+            total,
+            freqs: OnceLock::new(),
+            freqs32: OnceLock::new(),
+            freqs8: OnceLock::new(),
+        }
     }
 }
 

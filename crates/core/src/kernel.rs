@@ -24,15 +24,51 @@
 //! the kernel-equivalence property tests in `tests/proptests.rs`). Scores
 //! derived from these dots are accumulated in `f64` by the caller and are
 //! covered by [`F32_SCORE_TOLERANCE`](crate::matching::F32_SCORE_TOLERANCE).
+//! Both SIMD paths finish their row with a **masked tail** (AVX2
+//! `maskload`, NEON via a zero-padded stack temporary) instead of a
+//! scalar remainder loop, so a 251-bin row is 8 vector iterations, no
+//! scalar epilogue.
+//!
+//! # Integer kernels for the quantized tier
+//!
+//! The [`RowPrecision::U8`](crate::matching::RowPrecision) storage tier
+//! (see [`matching`](crate::matching)) holds rows as `u8` codes in
+//! `0..=`[`QUANT_MAX`]. Its dot products are **exact** integer sums —
+//! every dispatch path computes bit-identical `u32` results, so the
+//! quantized sweeps need no cross-kernel tolerance:
+//!
+//! * **AVX2** (`x86`/`x86_64`): `maddubs` multiplies 32 `u8×i8` pairs and
+//!   adds adjacent products into `i16`; capping codes at [`QUANT_MAX`]` =
+//!   127` keeps every pair sum `≤ 2·127² = 32 258 < i16::MAX`, so the
+//!   pairwise add cannot saturate. A `madd`-by-ones then widens to `i32`
+//!   accumulators.
+//! * **NEON** (`aarch64`): widening `vmull_u8` multiplies (`u8×u8 → u16`,
+//!   exact) folded pairwise into `u32` accumulators via `vpadalq_u16`.
+//!   (ARMv8.2 `udot` is the natural upgrade once an aarch64 host is in
+//!   the validation loop.)
+//! * **Portable**: an 8-way unrolled `u8 → u32` widening loop.
+//!
+//! [`dot_u8_multi`] is the 8×K **register-blocked tile microkernel**
+//! (BLIS-style): one reference-row vector is loaded per chunk and dotted
+//! against up to [`MICRO_TILE`] candidate rows while it sits in a
+//! register, with the K partial sums held in registers across the whole
+//! row — each candidate's dot is written to `out` exactly once.
 
 // The one sanctioned escape from the crate-wide `deny(unsafe_code)`:
 // SIMD intrinsics are unavoidably unsafe (raw-pointer loads + target
 // features); every unsafe block below carries a safety comment.
 #![allow(unsafe_code)]
-// The SIMD intrinsics modules are designed for wildcard import.
-#![allow(clippy::wildcard_imports)]
+// The SIMD intrinsics modules are designed for wildcard import, and
+// kernel-local names follow BLAS convention (a/b operands, ap/bp
+// pointers, n length).
+#![allow(clippy::wildcard_imports, clippy::many_single_char_names)]
 
 use std::sync::OnceLock;
+
+#[cfg(target_arch = "x86")]
+use std::arch::x86::__m256i;
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::__m256i;
 
 /// Which dot kernel the runtime dispatch selected for this process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,6 +137,114 @@ fn select() -> &'static (KernelKind, DotFn) {
             return (KernelKind::Neon, dot_f32_neon_entry as DotFn);
         }
         (KernelKind::Portable, dot_f32_portable as DotFn)
+    })
+}
+
+/// Largest quantized code the `u8` storage tier emits: rows are scaled so
+/// their maximum frequency maps to `QUANT_MAX`.
+///
+/// 127 (7 bits) rather than 255 is a kernel constraint, not a precision
+/// choice: AVX2 `maddubs` adds adjacent `u8×i8` products into `i16`, and
+/// `2 · 127 · 127 = 32 258 ≤ i16::MAX` is the largest cap for which that
+/// pairwise add can never saturate (both operands also stay valid as
+/// *signed* bytes, which the instruction requires of one side).
+pub const QUANT_MAX: u8 = 127;
+
+/// Width of the register-blocked integer microkernel: how many candidate
+/// rows [`dot_u8_multi`] dots against one reference row per pass. Eight
+/// 256-bit accumulators plus the row/candidate/ones operands fit the
+/// 16-register AVX2 file (and NEON's 32 with room to spare), so the
+/// partial sums never spill across the row.
+pub const MICRO_TILE: usize = 8;
+
+/// Which integer dot kernel the runtime dispatch selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntKernelKind {
+    /// AVX2 `maddubs` + `madd` widening path (`x86`/`x86_64`).
+    Avx2Maddubs,
+    /// NEON widening-multiply path (`vmull_u8` + `vpadalq_u16`).
+    NeonWiden,
+    /// The unrolled scalar widening fallback.
+    Portable,
+}
+
+impl IntKernelKind {
+    /// A short stable name for logs and bench snapshots.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IntKernelKind::Avx2Maddubs => "avx2+maddubs",
+            IntKernelKind::NeonWiden => "neon+widen",
+            IntKernelKind::Portable => "portable",
+        }
+    }
+}
+
+impl std::fmt::Display for IntKernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Signature of a dispatched integer dot kernel.
+pub type DotU8Fn = fn(&[u8], &[u8]) -> u32;
+
+/// Signature of the dispatched integer tile microkernel:
+/// `(candidate rows packed row-major, reference row, one dot per
+/// candidate)` with `cands.len() == out.len() * row.len()` and
+/// `out.len() <= MICRO_TILE`.
+type DotU8MultiFn = fn(&[u8], &[u8], &mut [u32]);
+
+/// The integer kernel selected for this host.
+pub fn active_int() -> IntKernelKind {
+    select_int().0
+}
+
+/// Exact integer dot product of two equal-length `u8` slices through the
+/// selected kernel. Every dispatch path returns the identical `u32` (the
+/// sum is exact), so quantized scores carry no cross-kernel variance.
+#[inline]
+pub fn dot_u8(a: &[u8], b: &[u8]) -> u32 {
+    (select_int().1)(a, b)
+}
+
+/// The 8×K register-blocked integer microkernel: dots one reference
+/// `row` against `out.len()` candidate rows packed row-major in `cands`
+/// (`cands.len()` must be `out.len() * row.len()`), writing each
+/// candidate's exact dot once. Tiles wider than [`MICRO_TILE`] are split
+/// into register-sized passes.
+#[inline]
+pub fn dot_u8_multi(cands: &[u8], row: &[u8], out: &mut [u32]) {
+    debug_assert_eq!(cands.len(), row.len() * out.len());
+    let kernel = select_int().2;
+    let bins = row.len();
+    let mut offset = 0usize;
+    for chunk in out.chunks_mut(MICRO_TILE) {
+        let span = chunk.len() * bins;
+        kernel(&cands[offset..offset + span], row, chunk);
+        offset += span;
+    }
+}
+
+fn select_int() -> &'static (IntKernelKind, DotU8Fn, DotU8MultiFn) {
+    static SELECTED: OnceLock<(IntKernelKind, DotU8Fn, DotU8MultiFn)> = OnceLock::new();
+    SELECTED.get_or_init(|| {
+        #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return (
+                IntKernelKind::Avx2Maddubs,
+                dot_u8_avx2_entry as DotU8Fn,
+                dot_u8_multi_avx2_entry as DotU8MultiFn,
+            );
+        }
+        #[cfg(target_arch = "aarch64")]
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return (
+                IntKernelKind::NeonWiden,
+                dot_u8_neon_entry as DotU8Fn,
+                dot_u8_multi_neon_entry as DotU8MultiFn,
+            );
+        }
+        (IntKernelKind::Portable, dot_u8_portable as DotU8Fn, dot_u8_multi_portable as DotU8MultiFn)
     })
 }
 
@@ -215,6 +359,22 @@ unsafe fn dot_f32_avx2(a: &[f32], b: &[f32]) -> f32 {
         }
         i += 8;
     }
+    let rem = n - i;
+    if rem > 0 {
+        // Masked tail instead of a scalar remainder loop: the mask
+        // enables exactly the first `rem` lanes.
+        // SAFETY: `_mm256_maskload_ps` performs no memory access on
+        // masked-off lanes, so the 8-lane load never touches memory past
+        // `a[n-1]` / `b[n-1]`; `rem < 8` indexes `TAIL_MASKS` in bounds.
+        unsafe {
+            let mask = _mm256_loadu_si256(TAIL_MASKS[rem].as_ptr().cast());
+            acc0 = _mm256_fmadd_ps(
+                _mm256_maskload_ps(ap.add(i), mask),
+                _mm256_maskload_ps(bp.add(i), mask),
+                acc0,
+            );
+        }
+    }
     let acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
     // Horizontal reduction: 256 → 128 → 64 → 32 bits.
     let lo = _mm256_castps256_ps128(acc);
@@ -222,13 +382,26 @@ unsafe fn dot_f32_avx2(a: &[f32], b: &[f32]) -> f32 {
     let sum4 = _mm_add_ps(lo, hi);
     let sum2 = _mm_add_ps(sum4, _mm_movehl_ps(sum4, sum4));
     let sum1 = _mm_add_ss(sum2, _mm_shuffle_ps(sum2, sum2, 0b01));
-    let mut total = _mm_cvtss_f32(sum1);
-    while i < n {
-        total += a[i] * b[i]; // bounds-checked scalar tail
-        i += 1;
-    }
-    total
+    _mm_cvtss_f32(sum1)
 }
+
+/// `TAIL_MASKS[r]` enables the first `r` of 8 lanes for
+/// `_mm256_maskload_ps` (lane on ⇔ the `i32` is negative). Row 0 is
+/// unused — a zero remainder skips the masked load entirely.
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+static TAIL_MASKS: [[i32; 8]; 8] = {
+    let mut masks = [[0i32; 8]; 8];
+    let mut r = 1;
+    while r < 8 {
+        let mut lane = 0;
+        while lane < r {
+            masks[r][lane] = -1;
+            lane += 1;
+        }
+        r += 1;
+    }
+    masks
+};
 
 #[cfg(target_arch = "aarch64")]
 fn dot_f32_neon_entry(a: &[f32], b: &[f32]) -> f32 {
@@ -275,13 +448,316 @@ unsafe fn dot_f32_neon(a: &[f32], b: &[f32]) -> f32 {
         }
         i += 4;
     }
+    let rem = n - i;
+    if rem > 0 {
+        // Masked tail via zero-padded stack temporaries (aarch64 has no
+        // maskload; padding with 0.0 adds exact zeros to the sum).
+        let mut ta = [0.0f32; 4];
+        let mut tb = [0.0f32; 4];
+        ta[..rem].copy_from_slice(&a[i..n]);
+        tb[..rem].copy_from_slice(&b[i..n]);
+        // SAFETY: the 4-lane loads read the full 4-element temporaries.
+        unsafe {
+            acc0 = vfmaq_f32(acc0, vld1q_f32(ta.as_ptr()), vld1q_f32(tb.as_ptr()));
+        }
+    }
     let acc = vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3));
-    let mut total = vaddvq_f32(acc);
+    vaddvq_f32(acc)
+}
+
+/// Portable integer dot: 8 independent `u32` partial sums over widened
+/// `u8` products — exact, and the proof text the SIMD paths are tested
+/// bit-equal to.
+pub fn dot_u8_portable(a: &[u8], b: &[u8]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0u32; 8];
+    let chunks = n / 8 * 8;
+    for (ca, cb) in a[..chunks].chunks_exact(8).zip(b[..chunks].chunks_exact(8)) {
+        for lane in 0..8 {
+            acc[lane] += u32::from(ca[lane]) * u32::from(cb[lane]);
+        }
+    }
+    let mut total: u32 = acc.iter().sum();
+    for (&x, &y) in a[chunks..].iter().zip(&b[chunks..]) {
+        total += u32::from(x) * u32::from(y);
+    }
+    total
+}
+
+/// Portable microkernel fallback: one exact dot per candidate row.
+fn dot_u8_multi_portable(cands: &[u8], row: &[u8], out: &mut [u32]) {
+    let bins = row.len();
+    for (j, dot) in out.iter_mut().enumerate() {
+        *dot = dot_u8_portable(&cands[j * bins..(j + 1) * bins], row);
+    }
+}
+
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+fn dot_u8_avx2_entry(a: &[u8], b: &[u8]) -> u32 {
+    // SAFETY: this entry is only installed in the dispatch table after
+    // `is_x86_feature_detected!("avx2")` confirmed AVX2 on the running
+    // CPU, so the target-feature contract holds.
+    unsafe { dot_u8_avx2(a, b) }
+}
+
+/// AVX2 integer dot: `maddubs` pairs 32 `u8×i8` products into `i16`
+/// (codes capped at [`QUANT_MAX`] can never saturate the pairwise add),
+/// then a `madd` by ones widens into two independent `i32` accumulators.
+///
+/// # Safety
+///
+/// The caller must ensure the running CPU supports AVX2, and that both
+/// slices hold codes `<= QUANT_MAX` (enforced by the quantizer; the sum
+/// is exact under that cap).
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_u8_avx2(a: &[u8], b: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let ones = _mm256_set1_epi16(1);
+    let mut acc0 = _mm256_setzero_si256();
+    let mut acc1 = _mm256_setzero_si256();
+    let mut i = 0usize;
+    while i + 64 <= n {
+        // SAFETY: `i + 64 <= n` bounds both unaligned 32-byte loads per
+        // accumulator; `_mm256_loadu_si256` has no alignment requirement.
+        unsafe {
+            let p0 = _mm256_maddubs_epi16(
+                _mm256_loadu_si256(ap.add(i).cast()),
+                _mm256_loadu_si256(bp.add(i).cast()),
+            );
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(p0, ones));
+            let p1 = _mm256_maddubs_epi16(
+                _mm256_loadu_si256(ap.add(i + 32).cast()),
+                _mm256_loadu_si256(bp.add(i + 32).cast()),
+            );
+            acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(p1, ones));
+        }
+        i += 64;
+    }
+    while i + 32 <= n {
+        // SAFETY: `i + 32 <= n` bounds the unaligned 32-byte loads.
+        unsafe {
+            let p = _mm256_maddubs_epi16(
+                _mm256_loadu_si256(ap.add(i).cast()),
+                _mm256_loadu_si256(bp.add(i).cast()),
+            );
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(p, ones));
+        }
+        i += 32;
+    }
+    // SAFETY: reduction is register-only.
+    let mut total = unsafe { hsum_epi32(_mm256_add_epi32(acc0, acc1)) };
     while i < n {
-        total += a[i] * b[i]; // bounds-checked scalar tail
+        total += u32::from(a[i]) * u32::from(b[i]); // bounds-checked byte tail
         i += 1;
     }
     total
+}
+
+/// Horizontal sum of the eight `i32` lanes (all partial sums are
+/// non-negative under the [`QUANT_MAX`] cap, so the cast is exact).
+///
+/// # Safety
+///
+/// The caller must ensure the running CPU supports AVX2.
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn hsum_epi32(v: __m256i) -> u32 {
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+    let lo = _mm256_castsi256_si128(v);
+    let hi = _mm256_extracti128_si256(v, 1);
+    let s4 = _mm_add_epi32(lo, hi);
+    let s2 = _mm_add_epi32(s4, _mm_shuffle_epi32(s4, 0b00_00_11_10));
+    let s1 = _mm_add_epi32(s2, _mm_shuffle_epi32(s2, 0b00_00_00_01));
+    _mm_cvtsi128_si32(s1) as u32
+}
+
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+fn dot_u8_multi_avx2_entry(cands: &[u8], row: &[u8], out: &mut [u32]) {
+    debug_assert!(out.len() <= MICRO_TILE);
+    // Monomorphise on the tile width so the K accumulators live in
+    // registers (a runtime-bounded loop would spill them to the stack).
+    // SAFETY: only installed after AVX2 detection.
+    unsafe {
+        match out.len() {
+            0 => {}
+            1 => dot_u8_multi_avx2::<1>(cands, row, out),
+            2 => dot_u8_multi_avx2::<2>(cands, row, out),
+            3 => dot_u8_multi_avx2::<3>(cands, row, out),
+            4 => dot_u8_multi_avx2::<4>(cands, row, out),
+            5 => dot_u8_multi_avx2::<5>(cands, row, out),
+            6 => dot_u8_multi_avx2::<6>(cands, row, out),
+            7 => dot_u8_multi_avx2::<7>(cands, row, out),
+            _ => dot_u8_multi_avx2::<8>(cands, row, out),
+        }
+    }
+}
+
+/// The AVX2 register-blocked microkernel: the reference row chunk is
+/// loaded **once** and multiplied into `K` candidate accumulators that
+/// stay in `ymm` registers for the whole row (`K ≤ 8` ⇒ 8 accumulators +
+/// row + candidate + ones = 11 of 16 registers).
+///
+/// # Safety
+///
+/// The caller must ensure AVX2 support, `cands.len() == K * row.len()`,
+/// `out.len() == K`, and codes `<= QUANT_MAX`.
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_u8_multi_avx2<const K: usize>(cands: &[u8], row: &[u8], out: &mut [u32]) {
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    let n = row.len();
+    debug_assert_eq!(cands.len(), K * n);
+    debug_assert_eq!(out.len(), K);
+    let rp = row.as_ptr();
+    let cp = cands.as_ptr();
+    let ones = _mm256_set1_epi16(1);
+    let mut acc = [_mm256_setzero_si256(); K];
+    let mut i = 0usize;
+    while i + 32 <= n {
+        // SAFETY: `i + 32 <= n` bounds the row load; candidate row `j`
+        // spans `cands[j*n..(j+1)*n]`, so `j*n + i + 32 <= (j+1)*n <=
+        // cands.len()` bounds each candidate load.
+        unsafe {
+            let r = _mm256_loadu_si256(rp.add(i).cast());
+            for (j, a) in acc.iter_mut().enumerate() {
+                let c = _mm256_loadu_si256(cp.add(j * n + i).cast());
+                *a = _mm256_add_epi32(*a, _mm256_madd_epi16(_mm256_maddubs_epi16(r, c), ones));
+            }
+        }
+        i += 32;
+    }
+    for (j, (a, dot)) in acc.into_iter().zip(out.iter_mut()).enumerate() {
+        // SAFETY: reduction is register-only.
+        let mut total = unsafe { hsum_epi32(a) };
+        for t in i..n {
+            total += u32::from(row[t]) * u32::from(cands[j * n + t]); // byte tail
+        }
+        *dot = total;
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+fn dot_u8_neon_entry(a: &[u8], b: &[u8]) -> u32 {
+    // SAFETY: only installed after `is_aarch64_feature_detected!("neon")`
+    // succeeded, so the target-feature contract holds.
+    unsafe { dot_u8_neon(a, b) }
+}
+
+/// NEON integer dot via widening multiplies: `vmull_u8` produces exact
+/// `u16` products (`127² = 16 129` fits), `vpadalq_u16` folds them
+/// pairwise into `u32` accumulators.
+///
+/// # Safety
+///
+/// The caller must ensure the running CPU supports NEON.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn dot_u8_neon(a: &[u8], b: &[u8]) -> u32 {
+    use std::arch::aarch64::*;
+
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc0 = vdupq_n_u32(0);
+    let mut acc1 = vdupq_n_u32(0);
+    let mut i = 0usize;
+    while i + 16 <= n {
+        // SAFETY: `i + 16 <= n` bounds the 16-byte loads; NEON loads are
+        // unaligned-tolerant.
+        unsafe {
+            let va = vld1q_u8(ap.add(i));
+            let vb = vld1q_u8(bp.add(i));
+            acc0 = vpadalq_u16(acc0, vmull_u8(vget_low_u8(va), vget_low_u8(vb)));
+            acc1 = vpadalq_u16(acc1, vmull_u8(vget_high_u8(va), vget_high_u8(vb)));
+        }
+        i += 16;
+    }
+    let mut total = vaddvq_u32(vaddq_u32(acc0, acc1));
+    while i < n {
+        total += u32::from(a[i]) * u32::from(b[i]); // bounds-checked byte tail
+        i += 1;
+    }
+    total
+}
+
+#[cfg(target_arch = "aarch64")]
+fn dot_u8_multi_neon_entry(cands: &[u8], row: &[u8], out: &mut [u32]) {
+    debug_assert!(out.len() <= MICRO_TILE);
+    // SAFETY: only installed after NEON detection.
+    unsafe {
+        match out.len() {
+            0 => {}
+            1 => dot_u8_multi_neon::<1>(cands, row, out),
+            2 => dot_u8_multi_neon::<2>(cands, row, out),
+            3 => dot_u8_multi_neon::<3>(cands, row, out),
+            4 => dot_u8_multi_neon::<4>(cands, row, out),
+            5 => dot_u8_multi_neon::<5>(cands, row, out),
+            6 => dot_u8_multi_neon::<6>(cands, row, out),
+            7 => dot_u8_multi_neon::<7>(cands, row, out),
+            _ => dot_u8_multi_neon::<8>(cands, row, out),
+        }
+    }
+}
+
+/// The NEON register-blocked microkernel (widening multiplies, `K ≤ 8`
+/// `u32×4` accumulators held in registers across the row).
+///
+/// # Safety
+///
+/// The caller must ensure NEON support, `cands.len() == K * row.len()`
+/// and `out.len() == K`.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn dot_u8_multi_neon<const K: usize>(cands: &[u8], row: &[u8], out: &mut [u32]) {
+    use std::arch::aarch64::*;
+
+    let n = row.len();
+    debug_assert_eq!(cands.len(), K * n);
+    debug_assert_eq!(out.len(), K);
+    let rp = row.as_ptr();
+    let cp = cands.as_ptr();
+    let mut acc = [vdupq_n_u32(0); K];
+    let mut i = 0usize;
+    while i + 16 <= n {
+        // SAFETY: `i + 16 <= n` bounds the row load; candidate row `j`
+        // spans `cands[j*n..(j+1)*n]`, bounding each candidate load.
+        unsafe {
+            let r = vld1q_u8(rp.add(i));
+            for (j, a) in acc.iter_mut().enumerate() {
+                let c = vld1q_u8(cp.add(j * n + i));
+                *a = vpadalq_u16(*a, vmull_u8(vget_low_u8(r), vget_low_u8(c)));
+                *a = vpadalq_u16(*a, vmull_u8(vget_high_u8(r), vget_high_u8(c)));
+            }
+        }
+        i += 16;
+    }
+    for (j, (a, dot)) in acc.into_iter().zip(out.iter_mut()).enumerate() {
+        let mut total = vaddvq_u32(a);
+        for t in i..n {
+            total += u32::from(row[t]) * u32::from(cands[j * n + t]); // byte tail
+        }
+        *dot = total;
+    }
 }
 
 #[cfg(test)]
@@ -334,6 +810,89 @@ mod tests {
         let b: Vec<f64> = (0..251).map(|i| f64::from(i % 23) / 23.0).collect();
         let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
         assert!((dot_f64(&a, &b) - naive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn masked_tail_matches_reference_on_every_length_to_64() {
+        // The satellite contract for the masked-tail kernels: every
+        // remainder class 0..8 (and then some), f32 and u8, dispatched
+        // vs the scalar reference.
+        for len in 0..=64usize {
+            let a = pseudo_row(11, len);
+            let b = pseudo_row(13, len);
+            let want = reference_dot(&a, &b);
+            let got = f64::from(dot_f32(&a, &b));
+            let tol = 1e-5 * (1.0 + want.abs());
+            assert!((got - want).abs() < tol, "f32 len {len}: {got} vs {want}");
+        }
+    }
+
+    fn pseudo_qrow(seed: u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| {
+                let x = seed
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add((i as u64).wrapping_mul(1_442_695_040_888_963_407));
+                (x >> 33) as u8 % (QUANT_MAX + 1)
+            })
+            .collect()
+    }
+
+    fn reference_dot_u8(a: &[u8], b: &[u8]) -> u32 {
+        a.iter().zip(b).map(|(&x, &y)| u32::from(x) * u32::from(y)).sum()
+    }
+
+    #[test]
+    fn integer_dot_is_exact_on_every_length_to_64_and_beyond() {
+        for len in (0..=64usize).chain([100, 251, 501, 1000]) {
+            let a = pseudo_qrow(5, len);
+            let b = pseudo_qrow(9, len);
+            let want = reference_dot_u8(&a, &b);
+            assert_eq!(dot_u8(&a, &b), want, "dispatched len {len}");
+            assert_eq!(dot_u8_portable(&a, &b), want, "portable len {len}");
+        }
+    }
+
+    #[test]
+    fn integer_dot_peak_codes_do_not_saturate() {
+        // All-QUANT_MAX rows are the maddubs worst case: every pairwise
+        // i16 sum is exactly 2·127² = 32 258, one below overflow.
+        for len in [31usize, 32, 64, 251, 2501] {
+            let a = vec![QUANT_MAX; len];
+            assert_eq!(dot_u8(&a, &a), len as u32 * 127 * 127, "len {len}");
+        }
+    }
+
+    #[test]
+    fn micro_tile_kernel_equals_single_dots_bit_exactly() {
+        // The register-blocked microkernel must be *bit*-equal to K
+        // independent dots (integer sums are exact), including ragged
+        // tile widths above MICRO_TILE (split into register passes) and
+        // tail lengths.
+        for bins in [0usize, 1, 7, 16, 31, 32, 33, 251] {
+            let row = pseudo_qrow(3, bins);
+            for k in [0usize, 1, 2, 3, 5, 8, 11, 17] {
+                let cands: Vec<u8> = (0..k).flat_map(|j| pseudo_qrow(20 + j as u64, bins)).collect();
+                let mut out = vec![0u32; k];
+                dot_u8_multi(&cands, &row, &mut out);
+                for j in 0..k {
+                    let want = dot_u8(&cands[j * bins..(j + 1) * bins], &row);
+                    assert_eq!(out[j], want, "bins {bins}, tile {k}, lane {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn active_int_kernel_has_a_name() {
+        let kind = active_int();
+        assert!(!kind.as_str().is_empty());
+        #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            assert_eq!(kind, IntKernelKind::Avx2Maddubs);
+        }
+        #[cfg(target_arch = "aarch64")]
+        assert_eq!(kind, IntKernelKind::NeonWiden);
     }
 
     #[test]

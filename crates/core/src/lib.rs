@@ -26,7 +26,15 @@
 //!    reusable [`MatchScratch`] buffers, batched and optionally parallel
 //!    ([`batch`]). At large populations the pruned
 //!    [`ReferenceDb::match_topk`] sweep skips every shard whose
-//!    centroid/norm-bound summary cannot beat the current top-k.
+//!    centroid/norm-bound summary cannot beat the current top-k, and
+//!    [`ReferenceDb::match_topk_tile`] amortises one bound-ordered
+//!    sweep over a whole tile of candidates. The store comes in two
+//!    **precision tiers** ([`RowPrecision`]): the default `f32` rows,
+//!    and a quantized `u8` tier (7-bit codes + per-row scale, exact
+//!    integer dot kernels) that roughly quarters resident bytes per
+//!    device — see the [`matching`] module docs
+//!    ("Precision tiers") for the memory table and drift bounds
+//!    ([`U8_SCORE_TOLERANCE`]).
 //! 4. Accuracy is measured with the paper's two tests ([`metrics`]): the
 //!    **similarity test** (threshold sweep → TPR/FPR curve → AUC) and the
 //!    **identification test** (argmax → identification ratio at a target
@@ -132,11 +140,11 @@ pub use engine::{
 };
 pub use error::CoreError;
 pub use fusion::{fuse_outcomes, FusedOutcome, FusionSpec};
-pub use histogram::{BinSpec, Histogram};
-pub use kernel::KernelKind;
+pub use histogram::{BinSpec, Histogram, QuantizedRow};
+pub use kernel::{IntKernelKind, KernelKind, MICRO_TILE, QUANT_MAX};
 pub use matching::{
-    MatchConfig, MatchOutcome, MatchScratch, MatchView, PruneStats, ReferenceDb, ShardStrategy,
-    TileView, DEFAULT_SHARDS, F32_SCORE_TOLERANCE, MATCH_TILE,
+    MatchConfig, MatchOutcome, MatchScratch, MatchView, PruneStats, ReferenceDb, RowPrecision,
+    ShardStrategy, TileView, DEFAULT_SHARDS, F32_SCORE_TOLERANCE, MATCH_TILE, U8_SCORE_TOLERANCE,
 };
 pub use metrics::{
     evaluate, CurvePoint, EvalOutcome, IdentOperatingPoint, MatchSet, SimilarityCurve,

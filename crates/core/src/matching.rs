@@ -27,6 +27,44 @@
 //! the `f64` baseline by property tests and an AUC-drift check in the
 //! analysis crate.
 //!
+//! # Precision tiers
+//!
+//! `f32` is the middle of three storage tiers selected by
+//! [`MatchConfig::with_precision`] ([`RowPrecision`]); scores accumulate
+//! in `f64` in every tier, so the tier only chooses what the inner dot
+//! products read:
+//!
+//! * **`f64`** — the naive baseline (per-device `BTreeMap`s, full
+//!   doubles). Not a packed layout; kept behind `bench-baseline` as
+//!   ground truth.
+//! * **`f32`** ([`RowPrecision::F32`], the default) — packed rows,
+//!   floating-point SIMD dots, drift ≤ [`F32_SCORE_TOLERANCE`] vs `f64`.
+//! * **`u8`** ([`RowPrecision::U8`]) — each row quantized once at
+//!   insert to 7-bit codes with a per-row scale
+//!   ([`Histogram::frequencies_u8`](crate::Histogram::frequencies_u8));
+//!   cosine is scale-invariant, so the sweep dots raw codes with the
+//!   **exact** integer kernels
+//!   ([`kernel::dot_u8_multi`](crate::kernel::dot_u8_multi)) and folds
+//!   the code norms in at the end. Drift ≤ [`U8_SCORE_TOLERANCE`] vs
+//!   `f32`, pinned by parity proptests here and an AUC-drift gate in the
+//!   analysis crate.
+//!
+//! Resident bytes per device per (kind, bins) block, at the default
+//! 251-bin inter-arrival spec ([`ReferenceDb::row_bytes`] reports the
+//! exact total; per-block envelope bytes amortise across residents):
+//!
+//! | tier  | row            | per-row metadata               | ≈ bytes/device |
+//! |-------|----------------|--------------------------------|----------------|
+//! | `f64` | 251 × 8 B      | `BTreeMap` nodes + weights     | > 2008         |
+//! | `f32` | 251 × 4 B      | weight + inv-norm (8 B)        | 1012           |
+//! | `u8`  | 251 × 1 B      | weight + inv-norm + scale (12 B) | 263          |
+//!
+//! Halving the bytes again (4× vs `f32` on the rows themselves) doubles
+//! the rows per cache line a second time, and the integer microkernel
+//! ([`kernel::MICRO_TILE`](crate::kernel::MICRO_TILE)) dots one
+//! reference row against a whole candidate tile per pass with partial
+//! sums held in registers.
+//!
 //! # The sharded store
 //!
 //! One flat matrix per kind stops scaling past ~10⁵ devices: every sweep
@@ -152,6 +190,22 @@ use crate::similarity::SimilarityMeasure;
 /// property tests and the analysis crate's AUC-drift check enforce it.
 pub const F32_SCORE_TOLERANCE: f64 = 1e-4;
 
+/// Worst-case drift of a matching score computed over quantized `u8`
+/// rows ([`RowPrecision::U8`]) relative to the same score over `f32`
+/// rows.
+///
+/// Quantization rounds each normalised row to 7-bit codes relative to its
+/// maximum element ([`kernel::QUANT_MAX`](crate::kernel::QUANT_MAX)), so
+/// the stored *direction* moves by up to `~0.5/127 · √(occupied bins)`
+/// relative to the row maximum. For the adversarial case property tests
+/// construct — tens of near-equal tiny bins on both sides of the dot —
+/// the cosine can drift by a few times `1e-2`; realistic traffic
+/// histograms concentrate their mass and stay well under `1e-2` (the
+/// AUC-drift gate in the analysis crate pins the *application* drift two
+/// orders tighter). Integer dots themselves are exact, so unlike the
+/// `f32` tier none of this budget is spent on kernel association order.
+pub const U8_SCORE_TOLERANCE: f64 = 5e-2;
+
 /// Tile width for multi-candidate matching: how many candidate windows
 /// [`ReferenceDb::match_batch`] (and the metrics/analysis paths built on
 /// it) score per pass over the reference rows.
@@ -198,10 +252,37 @@ pub enum ShardStrategy {
     MacPrefix,
 }
 
-/// Configuration of the sharded reference store: how rows are bucketed
-/// and into how many shards. `shards == 1` degenerates to the flat
-/// single-matrix layout ([`MatchConfig::flat`]), which the sharded dense
-/// sweep is property-tested bit-for-bit equal to.
+/// Storage width of the packed reference rows — the **precision tier**
+/// of a [`ReferenceDb`] (see the [module docs](self#precision-tiers)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RowPrecision {
+    /// `f32` rows swept by the floating-point SIMD kernels. Scores track
+    /// the `f64` baseline within [`F32_SCORE_TOLERANCE`].
+    #[default]
+    F32,
+    /// Quantized `u8` rows (7-bit codes with a per-row scale, zero-point
+    /// fixed at 0) swept by the exact integer kernels
+    /// ([`kernel::dot_u8_multi`](crate::kernel::dot_u8_multi)). Quarter
+    /// the row bytes of `f32`; scores track the `f32` tier within
+    /// [`U8_SCORE_TOLERANCE`].
+    U8,
+}
+
+impl RowPrecision {
+    /// A short stable name for logs and bench snapshots.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RowPrecision::F32 => "f32",
+            RowPrecision::U8 => "u8",
+        }
+    }
+}
+
+/// Configuration of the sharded reference store: how rows are bucketed,
+/// into how many shards, and at which storage precision. `shards == 1`
+/// degenerates to the flat single-matrix layout ([`MatchConfig::flat`]),
+/// which the sharded dense sweep is property-tested bit-for-bit equal to
+/// (per precision tier).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MatchConfig {
     /// The shard-key strategy.
@@ -209,12 +290,19 @@ pub struct MatchConfig {
     /// Number of shards (clamped to `1..=1024` when the database is
     /// built).
     pub shards: usize,
+    /// Storage width of the packed rows (see [`RowPrecision`]).
+    pub precision: RowPrecision,
 }
 
 impl Default for MatchConfig {
-    /// Dominant-histogram bucketing over [`DEFAULT_SHARDS`] shards.
+    /// Dominant-histogram bucketing over [`DEFAULT_SHARDS`] shards,
+    /// `f32` rows.
     fn default() -> Self {
-        MatchConfig { strategy: ShardStrategy::DominantHistogram, shards: DEFAULT_SHARDS }
+        MatchConfig {
+            strategy: ShardStrategy::DominantHistogram,
+            shards: DEFAULT_SHARDS,
+            precision: RowPrecision::F32,
+        }
     }
 }
 
@@ -223,7 +311,14 @@ impl MatchConfig {
     /// parity baseline for the sharded sweeps, and the right choice for
     /// small (< a few hundred devices) databases.
     pub fn flat() -> Self {
-        MatchConfig { strategy: ShardStrategy::DominantHistogram, shards: 1 }
+        MatchConfig::default().with_shards(1)
+    }
+
+    /// The quantized tier at the default shard layout: `u8` rows behind
+    /// the integer kernels — what a metropolis-scale (≥ 10⁵ devices)
+    /// deployment runs.
+    pub fn quantized() -> Self {
+        MatchConfig::default().with_precision(RowPrecision::U8)
     }
 
     /// Returns a copy with a different shard count.
@@ -240,16 +335,41 @@ impl MatchConfig {
         self
     }
 
+    /// Returns a copy with a different row precision.
+    #[must_use]
+    pub fn with_precision(mut self, precision: RowPrecision) -> Self {
+        self.precision = precision;
+        self
+    }
+
     /// The effective shard count (clamped).
     fn effective_shards(&self) -> usize {
         self.shards.clamp(1, MAX_SHARDS)
     }
 }
 
+/// The packed row storage of a [`KindBlock`] — one variant per
+/// [`RowPrecision`], so the `u8` tier genuinely holds one byte per bin
+/// (plus one `f32` scale per row) rather than shadowing an `f32` copy.
+#[derive(Debug, Clone)]
+enum RowStore {
+    /// `rows[slot*bins..(slot+1)*bins]` is the device's `f32` frequency
+    /// vector.
+    F32(Vec<f32>),
+    /// Quantized rows: `rows[slot*bins..(slot+1)*bins]` are the device's
+    /// 7-bit codes ([`Histogram::frequencies_u8`]) and `scales[slot]`
+    /// dequantizes them (`frequency ≈ code · scale`). The cosine sweep
+    /// never touches the scale — cosine is scale-invariant, so it works
+    /// on the raw codes with `inv_norms` computed over the codes — but
+    /// the non-cosine fallback dequantizes through it.
+    U8 { rows: Vec<u8>, scales: Vec<f32> },
+}
+
 /// One frame kind's slice of a shard's reference matrix: every resident
-/// device's frequency vector for that kind, packed row-major, plus the
-/// reference weights `weight^ftype(rᵢ)`, reciprocal row norms, and the
-/// prune summary (upper envelope of the normalised rows + max weight).
+/// device's frequency vector for that kind, packed row-major at the
+/// database's [`RowPrecision`], plus the reference weights
+/// `weight^ftype(rᵢ)`, reciprocal row norms, and the prune summary
+/// (upper envelope of the normalised rows + max weight).
 #[derive(Debug, Clone)]
 struct KindBlock {
     kind: FrameKind,
@@ -260,16 +380,19 @@ struct KindBlock {
     /// `weights[slot]` is the resident device's weight for this kind
     /// (0 ⇒ skip row).
     weights: Vec<f32>,
-    /// `rows[slot*bins..(slot+1)*bins]` is the device's frequency vector.
-    rows: Vec<f32>,
-    /// `inv_norms[slot]` is `1 / ‖row‖₂`, precomputed at pack time so the
-    /// cosine sweep reduces to one dot product and two multiplies per
-    /// pair (0.0 for absent rows, which weight 0 already skips).
+    /// The packed rows at the configured precision.
+    store: RowStore,
+    /// `inv_norms[slot]` is `1 / ‖row‖₂` of the *stored* row (`f32`
+    /// frequencies or `u8` codes — whichever the sweep dots against),
+    /// precomputed at pack time so the cosine sweep reduces to one dot
+    /// product and two multiplies per pair (0.0 for absent rows, which
+    /// weight 0 already skips).
     inv_norms: Vec<f32>,
     /// Elementwise maximum of the *normalised* resident rows: because
-    /// frequencies are non-negative, `ĉ · envelope ≥ ĉ · r̂ᵢ` for every
-    /// resident row, so one dot against the envelope upper-bounds every
-    /// per-device cosine in the block.
+    /// frequencies (and quantized codes) are non-negative,
+    /// `ĉ · envelope ≥ ĉ · r̂ᵢ` for every resident row, so one dot
+    /// against the envelope upper-bounds every per-device cosine in the
+    /// block. Always `f32`, in both tiers.
     envelope: Vec<f32>,
     /// Maximum reference weight over resident rows (the other half of
     /// the shard score bound).
@@ -277,12 +400,17 @@ struct KindBlock {
 }
 
 impl KindBlock {
-    fn empty(kind: FrameKind, bins: usize, slots: usize) -> KindBlock {
+    fn empty(kind: FrameKind, bins: usize, slots: usize, precision: RowPrecision) -> KindBlock {
         KindBlock {
             kind,
             bins,
             weights: vec![0.0; slots],
-            rows: vec![0.0; slots * bins],
+            store: match precision {
+                RowPrecision::F32 => RowStore::F32(vec![0.0; slots * bins]),
+                RowPrecision::U8 => {
+                    RowStore::U8 { rows: vec![0; slots * bins], scales: vec![0.0; slots] }
+                }
+            },
             inv_norms: vec![0.0; slots],
             envelope: vec![0.0; bins],
             wmax: 0.0,
@@ -293,47 +421,114 @@ impl KindBlock {
     fn push_empty_slot(&mut self) {
         self.weights.push(0.0);
         self.inv_norms.push(0.0);
-        self.rows.resize(self.rows.len() + self.bins, 0.0);
+        match &mut self.store {
+            RowStore::F32(rows) => rows.resize(rows.len() + self.bins, 0.0),
+            RowStore::U8 { rows, scales } => {
+                rows.resize(rows.len() + self.bins, 0);
+                scales.push(0.0);
+            }
+        }
     }
 
     /// Removes one slot, shifting the later ones down.
     fn remove_slot(&mut self, slot: usize) {
         self.weights.remove(slot);
         self.inv_norms.remove(slot);
-        self.rows.drain(slot * self.bins..(slot + 1) * self.bins);
+        match &mut self.store {
+            RowStore::F32(rows) => {
+                rows.drain(slot * self.bins..(slot + 1) * self.bins);
+            }
+            RowStore::U8 { rows, scales } => {
+                rows.drain(slot * self.bins..(slot + 1) * self.bins);
+                scales.remove(slot);
+            }
+        }
     }
 
-    /// Writes a device's row into `slot` and absorbs it into the prune
-    /// summary (the envelope only grows here; shrinking happens in
-    /// [`KindBlock::rebuild_summary`] after removals).
-    fn set_slot(&mut self, slot: usize, freqs: &[f32], weight: f32) {
-        debug_assert_eq!(freqs.len(), self.bins);
-        self.weights[slot] = weight;
-        self.rows[slot * self.bins..(slot + 1) * self.bins].copy_from_slice(freqs);
-        let inv = inv_norm(freqs);
-        self.inv_norms[slot] = inv;
-        self.wmax = self.wmax.max(weight);
-        for (e, &f) in self.envelope.iter_mut().zip(freqs) {
-            *e = e.max(f * inv);
+    /// Writes a device's row into `slot` at the block's precision and
+    /// absorbs it into the prune summary (the envelope only grows here;
+    /// shrinking happens in [`KindBlock::rebuild_summary`] after
+    /// removals).
+    fn set_slot(&mut self, slot: usize, hist: &Histogram, weight: f32) {
+        let KindBlock { bins, weights, store, inv_norms, envelope, wmax, .. } = self;
+        let bins = *bins;
+        weights[slot] = weight;
+        *wmax = wmax.max(weight);
+        match store {
+            RowStore::F32(rows) => {
+                let freqs = hist.frequencies_f32();
+                debug_assert_eq!(freqs.len(), bins);
+                rows[slot * bins..(slot + 1) * bins].copy_from_slice(freqs);
+                let inv = inv_norm(freqs);
+                inv_norms[slot] = inv;
+                for (e, &f) in envelope.iter_mut().zip(freqs) {
+                    *e = e.max(f * inv);
+                }
+            }
+            RowStore::U8 { rows, scales } => {
+                let q = hist.frequencies_u8();
+                debug_assert_eq!(q.values().len(), bins);
+                rows[slot * bins..(slot + 1) * bins].copy_from_slice(q.values());
+                scales[slot] = q.scale();
+                let inv = q.inv_norm();
+                inv_norms[slot] = inv;
+                for (e, &c) in envelope.iter_mut().zip(q.values()) {
+                    *e = e.max(f32::from(c) * inv);
+                }
+            }
         }
     }
 
     /// Recomputes the envelope and max weight from the resident rows
     /// (after a removal the incremental summary would be stale-loose).
     fn rebuild_summary(&mut self) {
-        self.envelope.fill(0.0);
-        self.wmax = 0.0;
-        for (slot, row) in self.rows.chunks_exact(self.bins).enumerate() {
-            let weight = self.weights[slot];
-            if weight == 0.0 {
-                continue;
+        let KindBlock { bins, weights, store, inv_norms, envelope, wmax, .. } = self;
+        let bins = *bins;
+        envelope.fill(0.0);
+        *wmax = 0.0;
+        match store {
+            RowStore::F32(rows) => {
+                for (slot, row) in rows.chunks_exact(bins).enumerate() {
+                    let weight = weights[slot];
+                    if weight == 0.0 {
+                        continue;
+                    }
+                    *wmax = wmax.max(weight);
+                    let inv = inv_norms[slot];
+                    for (e, &f) in envelope.iter_mut().zip(row) {
+                        *e = e.max(f * inv);
+                    }
+                }
             }
-            self.wmax = self.wmax.max(weight);
-            let inv = self.inv_norms[slot];
-            for (e, &f) in self.envelope.iter_mut().zip(row) {
-                *e = e.max(f * inv);
+            RowStore::U8 { rows, .. } => {
+                for (slot, row) in rows.chunks_exact(bins).enumerate() {
+                    let weight = weights[slot];
+                    if weight == 0.0 {
+                        continue;
+                    }
+                    *wmax = wmax.max(weight);
+                    let inv = inv_norms[slot];
+                    for (e, &c) in envelope.iter_mut().zip(row) {
+                        *e = e.max(f32::from(c) * inv);
+                    }
+                }
             }
         }
+    }
+
+    /// Bytes held by this block's packed rows and per-row/summary
+    /// metadata (capacity excluded — this measures the resident layout).
+    fn row_bytes(&self) -> usize {
+        let store = match &self.store {
+            RowStore::F32(rows) => std::mem::size_of_val(rows.as_slice()),
+            RowStore::U8 { rows, scales } => {
+                std::mem::size_of_val(rows.as_slice()) + std::mem::size_of_val(scales.as_slice())
+            }
+        };
+        store
+            + std::mem::size_of_val(self.weights.as_slice())
+            + std::mem::size_of_val(self.inv_norms.as_slice())
+            + std::mem::size_of_val(self.envelope.as_slice())
     }
 }
 
@@ -475,6 +670,21 @@ impl ReferenceDb {
     /// The configured shard count (occupied or not).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Bytes resident in the packed reference matrices: the rows at the
+    /// configured [`RowPrecision`] plus per-row metadata (weights,
+    /// reciprocal norms, `u8` scales) and the per-block prune summaries.
+    /// Retained [`Signature`]s and the index vectors are excluded — this
+    /// measures what the sweeps actually touch, the number the
+    /// bytes-per-device figures in the [module docs](self#precision-tiers)
+    /// come from.
+    pub fn row_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|shard| shard.blocks.iter())
+            .map(KindBlock::row_bytes)
+            .sum()
     }
 
     /// Position of `device` in the sorted `order` index.
@@ -670,7 +880,8 @@ impl ReferenceDb {
     /// pairs the shard sees for the first time.
     fn attach_row(&mut self, row: usize) {
         let shard_idx = self.shard_key(self.devices[row], &self.signatures[row]);
-        let ReferenceDb { signatures, placement, kind_keys, shards, .. } = self;
+        let ReferenceDb { config, signatures, placement, kind_keys, shards, .. } = self;
+        let precision = config.precision;
         let shard = &mut shards[shard_idx];
         let slot = shard.rows.len();
         shard.rows.push(row as u32);
@@ -684,19 +895,18 @@ impl ReferenceDb {
             if hist.total() == 0 {
                 continue;
             }
-            let freqs = hist.frequencies_f32();
-            let bins = freqs.len();
+            let bins = hist.counts().len();
             let idx = match shard
                 .blocks
                 .binary_search_by(|b| (b.kind, b.bins).cmp(&(kind, bins)))
             {
                 Ok(i) => i,
                 Err(i) => {
-                    shard.blocks.insert(i, KindBlock::empty(kind, bins, slots));
+                    shard.blocks.insert(i, KindBlock::empty(kind, bins, slots, precision));
                     i
                 }
             };
-            shard.blocks[idx].set_slot(slot, freqs, sig.weight(kind) as f32);
+            shard.blocks[idx].set_slot(slot, hist, sig.weight(kind) as f32);
             if let Err(i) = kind_keys.binary_search(&(kind, bins)) {
                 kind_keys.insert(i, (kind, bins));
             }
@@ -799,6 +1009,9 @@ impl ReferenceDb {
     /// `f64` score accumulates its per-kind contributions in the same
     /// order regardless of sharding — the sharded dense sweep is
     /// bit-identical to the flat one.
+    // One pass over every (shard, kind, store) combination: splitting it
+    // would re-derive the packing state each sub-call shares.
+    #[allow(clippy::too_many_lines)]
     fn match_tile_into<C: Borrow<Signature>>(
         &self,
         candidates: &[C],
@@ -810,12 +1023,15 @@ impl ReferenceDb {
         scratch.scores.clear();
         scratch.scores.resize(k * n, 0.0);
         let dot = kernel::dot_fn();
+        let precision = self.config.precision;
+        let cosine = measure == SimilarityMeasure::Cosine;
         for &(kind, bins) in &self.kind_keys {
-            // Pack this kind's tile: the f32 rows of every candidate
-            // that carries this (kind, bins). Candidates binned
-            // differently (or missing the kind) simply don't join —
-            // incompatible binning carries no information.
+            // Pack this kind's tile: the rows of every candidate that
+            // carries this (kind, bins), at the database's precision.
+            // Candidates binned differently (or missing the kind) simply
+            // don't join — incompatible binning carries no information.
             scratch.tile_rows.clear();
+            scratch.tile_qrows.clear();
             scratch.tile_inv_norms.clear();
             scratch.tile_slots.clear();
             for (ci, cand) in candidates.iter().enumerate() {
@@ -823,18 +1039,27 @@ impl ReferenceDb {
                 if hist.total() == 0 {
                     continue; // an empty candidate histogram matches nothing
                 }
-                let freqs = hist.frequencies_f32();
-                if freqs.len() != bins {
+                if hist.counts().len() != bins {
                     continue;
                 }
-                scratch.tile_rows.extend_from_slice(freqs);
-                // Only the cosine branch reads the norms; skip the
-                // self-dot for the other measures.
-                scratch.tile_inv_norms.push(if measure == SimilarityMeasure::Cosine {
-                    f64::from(inv_norm(freqs))
+                if precision == RowPrecision::U8 && cosine {
+                    // Quantized cosine: dot the candidate's own codes
+                    // against the reference codes with the exact integer
+                    // kernel; the per-row scales cancel out of cosine.
+                    let q = hist.frequencies_u8();
+                    scratch.tile_qrows.extend_from_slice(q.values());
+                    scratch.tile_inv_norms.push(f64::from(q.inv_norm()));
                 } else {
-                    0.0
-                });
+                    let freqs = hist.frequencies_f32();
+                    scratch.tile_rows.extend_from_slice(freqs);
+                    // Only the cosine branch reads the norms; skip the
+                    // self-dot for the other measures.
+                    scratch.tile_inv_norms.push(if cosine {
+                        f64::from(inv_norm(freqs))
+                    } else {
+                        0.0
+                    });
+                }
                 scratch.tile_slots.push(ci);
             }
             let tile = scratch.tile_slots.len();
@@ -847,31 +1072,92 @@ impl ReferenceDb {
             // Zero-weight rows are absent devices.
             for shard in &self.shards {
                 let Some(block) = shard.block(kind, bins) else { continue };
-                for (slot, row) in block.rows.chunks_exact(bins).enumerate() {
-                    let weight = block.weights[slot];
-                    if weight == 0.0 {
-                        continue;
-                    }
-                    let weight = f64::from(weight);
-                    let i = shard.rows[slot] as usize;
-                    if measure == SimilarityMeasure::Cosine {
-                        // Row norms were fixed at pack time and candidate
-                        // norms are invariant across rows, so the per-pair
-                        // kernel is one SIMD dot product.
-                        let row_inv = f64::from(block.inv_norms[slot]);
-                        for t in 0..tile {
-                            let cand = &scratch.tile_rows[t * bins..(t + 1) * bins];
-                            let cos = (f64::from(dot(cand, row))
-                                * scratch.tile_inv_norms[t]
-                                * row_inv)
-                                .clamp(0.0, 1.0);
-                            scratch.scores[scratch.tile_slots[t] * n + i] += weight * cos;
+                match (&block.store, cosine) {
+                    (RowStore::F32(rows), true) => {
+                        for (slot, row) in rows.chunks_exact(bins).enumerate() {
+                            let weight = block.weights[slot];
+                            if weight == 0.0 {
+                                continue;
+                            }
+                            let weight = f64::from(weight);
+                            let i = shard.rows[slot] as usize;
+                            // Row norms were fixed at pack time and
+                            // candidate norms are invariant across rows,
+                            // so the per-pair kernel is one SIMD dot.
+                            let row_inv = f64::from(block.inv_norms[slot]);
+                            for t in 0..tile {
+                                let cand = &scratch.tile_rows[t * bins..(t + 1) * bins];
+                                let cos = (f64::from(dot(cand, row))
+                                    * scratch.tile_inv_norms[t]
+                                    * row_inv)
+                                    .clamp(0.0, 1.0);
+                                scratch.scores[scratch.tile_slots[t] * n + i] += weight * cos;
+                            }
                         }
-                    } else {
-                        for t in 0..tile {
-                            let cand = &scratch.tile_rows[t * bins..(t + 1) * bins];
-                            scratch.scores[scratch.tile_slots[t] * n + i] +=
-                                weight * measure.compute_dense_f32(cand, row);
+                    }
+                    (RowStore::U8 { rows, .. }, true) => {
+                        // The register-blocked integer microkernel: each
+                        // quantized reference row is dotted against the
+                        // whole candidate tile in one pass, partial sums
+                        // held in registers, each output written once.
+                        scratch.u8_dots.clear();
+                        scratch.u8_dots.resize(tile, 0);
+                        for (slot, row) in rows.chunks_exact(bins).enumerate() {
+                            let weight = block.weights[slot];
+                            if weight == 0.0 {
+                                continue;
+                            }
+                            let weight = f64::from(weight);
+                            let i = shard.rows[slot] as usize;
+                            let row_inv = f64::from(block.inv_norms[slot]);
+                            kernel::dot_u8_multi(
+                                &scratch.tile_qrows,
+                                row,
+                                &mut scratch.u8_dots[..tile],
+                            );
+                            for t in 0..tile {
+                                let cos = (f64::from(scratch.u8_dots[t])
+                                    * scratch.tile_inv_norms[t]
+                                    * row_inv)
+                                    .clamp(0.0, 1.0);
+                                scratch.scores[scratch.tile_slots[t] * n + i] += weight * cos;
+                            }
+                        }
+                    }
+                    (RowStore::F32(rows), false) => {
+                        for (slot, row) in rows.chunks_exact(bins).enumerate() {
+                            let weight = block.weights[slot];
+                            if weight == 0.0 {
+                                continue;
+                            }
+                            let weight = f64::from(weight);
+                            let i = shard.rows[slot] as usize;
+                            for t in 0..tile {
+                                let cand = &scratch.tile_rows[t * bins..(t + 1) * bins];
+                                scratch.scores[scratch.tile_slots[t] * n + i] +=
+                                    weight * measure.compute_dense_f32(cand, row);
+                            }
+                        }
+                    }
+                    (RowStore::U8 { rows, scales }, false) => {
+                        // Non-cosine measures read frequencies, not
+                        // directions: dequantize each reference row once
+                        // per tile and reuse the dense f32 kernels.
+                        for (slot, row) in rows.chunks_exact(bins).enumerate() {
+                            let weight = block.weights[slot];
+                            if weight == 0.0 {
+                                continue;
+                            }
+                            let weight = f64::from(weight);
+                            let i = shard.rows[slot] as usize;
+                            let scale = scales[slot];
+                            scratch.dequant_row.clear();
+                            scratch.dequant_row.extend(row.iter().map(|&q| f32::from(q) * scale));
+                            for t in 0..tile {
+                                let cand = &scratch.tile_rows[t * bins..(t + 1) * bins];
+                                scratch.scores[scratch.tile_slots[t] * n + i] +=
+                                    weight * measure.compute_dense_f32(cand, &scratch.dequant_row);
+                            }
                         }
                     }
                 }
@@ -898,18 +1184,19 @@ impl ReferenceDb {
     /// against the envelope bounds every resident device's cosine from
     /// above (frequencies are non-negative), so
     /// `Σ_kind wmax · min(1, ĉ·envelope)` bounds every resident score.
-    /// Shards are processed in descending bound order and the sweep
-    /// stops at the first shard whose bound (plus
-    /// [`F32_SCORE_TOLERANCE`] of rounding slack) falls below the
-    /// current `k`-th best score — the bound is admissible, so the
-    /// result equals the dense sweep's [`MatchOutcome::top`] exactly:
-    /// same devices, same scores, same deterministic tie order.
+    /// Shards are processed in descending bound order and skipped once
+    /// their bound (plus [`F32_SCORE_TOLERANCE`] of rounding slack)
+    /// falls below the current `k`-th best score — the bound is
+    /// admissible, so the result equals the dense sweep's
+    /// [`MatchOutcome::top`] exactly: same devices, same scores, same
+    /// deterministic tie order.
     ///
     /// Pruning applies to [`SimilarityMeasure::Cosine`] on a sharded
     /// (`shards > 1`) database; other measures and flat databases fall
     /// back to the dense sweep plus partial selection.
     /// [`MatchScratch::prune_stats`] reports how many shards the call
-    /// swept versus pruned.
+    /// swept versus pruned. This is [`ReferenceDb::match_topk_tile`]
+    /// with a tile of one.
     pub fn match_topk(
         &self,
         candidate: &Signature,
@@ -917,118 +1204,31 @@ impl ReferenceDb {
         measure: SimilarityMeasure,
         scratch: &mut MatchScratch,
     ) -> Vec<(MacAddr, f64)> {
-        let occupied = self.shards.iter().filter(|s| !s.rows.is_empty()).count();
-        if k == 0 || self.devices.is_empty() {
-            scratch.prune_swept = 0;
-            scratch.prune_pruned = 0;
-            return Vec::new();
-        }
-        if measure != SimilarityMeasure::Cosine || self.shards.len() <= 1 {
-            self.match_tile_into(std::slice::from_ref(candidate), measure, scratch);
-            scratch.prune_swept = occupied;
-            scratch.prune_pruned = 0;
-            return top_of(&scratch.pairs, k);
-        }
-        scratch.prune_swept = 0;
-        scratch.prune_pruned = 0;
-        let dot = kernel::dot_fn();
-
-        // Pack the candidate's rows once per (kind, bins) key.
-        scratch.tile_rows.clear();
-        scratch.cand_kinds.clear();
-        for (ki, &(kind, bins)) in self.kind_keys.iter().enumerate() {
-            let Some(hist) = candidate.histogram(kind) else { continue };
-            if hist.total() == 0 {
-                continue;
-            }
-            let freqs = hist.frequencies_f32();
-            if freqs.len() != bins {
-                continue;
-            }
-            let offset = scratch.tile_rows.len();
-            scratch.tile_rows.extend_from_slice(freqs);
-            scratch.cand_kinds.push((ki, offset, f64::from(inv_norm(freqs))));
-        }
-
-        // One bound per occupied shard: Σ_kind wmax · min(1, ĉ·envelope).
-        scratch.shard_bounds.clear();
-        for (si, shard) in self.shards.iter().enumerate() {
-            if shard.rows.is_empty() {
-                continue;
-            }
-            let mut bound = 0.0f64;
-            for &(ki, offset, cand_inv) in &scratch.cand_kinds {
-                let (kind, bins) = self.kind_keys[ki];
-                let Some(block) = shard.block(kind, bins) else { continue };
-                if block.wmax == 0.0 {
-                    continue;
-                }
-                let cand = &scratch.tile_rows[offset..offset + bins];
-                let cos_ub =
-                    (f64::from(dot(cand, &block.envelope)) * cand_inv).clamp(0.0, 1.0);
-                bound += f64::from(block.wmax) * cos_ub;
-            }
-            scratch.shard_bounds.push((si as u32, bound.min(1.0) + PRUNE_BOUND_SLACK));
-        }
-        scratch.shard_bounds.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0))
-        });
-
-        let mut tops: Vec<(MacAddr, f64)> = Vec::new();
-        for bi in 0..scratch.shard_bounds.len() {
-            let (si, bound) = scratch.shard_bounds[bi];
-            if tops.len() >= k && bound < tops[k - 1].1 {
-                // Bounds are sorted descending: every remaining shard is
-                // below the k-th best too.
-                scratch.prune_pruned = scratch.shard_bounds.len() - bi;
-                break;
-            }
-            scratch.prune_swept += 1;
-            let shard = &self.shards[si as usize];
-            scratch.shard_scores.clear();
-            scratch.shard_scores.resize(shard.rows.len(), 0.0);
-            // Same per-pair arithmetic and same ascending-kind
-            // accumulation order as the dense sweep, so surviving scores
-            // are bit-identical to it.
-            for &(ki, offset, cand_inv) in &scratch.cand_kinds {
-                let (kind, bins) = self.kind_keys[ki];
-                let Some(block) = shard.block(kind, bins) else { continue };
-                let cand = &scratch.tile_rows[offset..offset + bins];
-                for (slot, row) in block.rows.chunks_exact(bins).enumerate() {
-                    let weight = block.weights[slot];
-                    if weight == 0.0 {
-                        continue;
-                    }
-                    let cos = (f64::from(dot(cand, row))
-                        * cand_inv
-                        * f64::from(block.inv_norms[slot]))
-                    .clamp(0.0, 1.0);
-                    scratch.shard_scores[slot] += f64::from(weight) * cos;
-                }
-            }
-            // Merge the shard into the running top-k, kept sorted by
-            // rank at all times: entries that cannot outrank the current
-            // k-th best are dropped with one comparison, survivors are
-            // placed by binary insertion (k is small).
-            for (&r, &s) in shard.rows.iter().zip(&scratch.shard_scores) {
-                let entry = (self.devices[r as usize], s);
-                if tops.len() >= k && rank_desc(&entry, &tops[k - 1]) != std::cmp::Ordering::Less
-                {
-                    continue;
-                }
-                let pos = tops
-                    .partition_point(|e| rank_desc(e, &entry) == std::cmp::Ordering::Less);
-                tops.insert(pos, entry);
-                tops.truncate(k);
-            }
-        }
-        tops
+        self.match_topk_tile(std::slice::from_ref(candidate), k, measure, scratch)
+            .pop()
+            .unwrap_or_default()
     }
 
-    /// [`ReferenceDb::match_topk`] over a tile of candidates: one top-`k`
-    /// ranking per candidate, in input order. Pruning decisions are
-    /// per-candidate (each candidate has its own `k`-th-best threshold);
-    /// [`MatchScratch::prune_stats`] aggregates over the whole tile.
+    /// The **tile-wide** pruned sweep: one top-`k` ranking per candidate,
+    /// in input order, with the whole tile sharing a single pass over the
+    /// shard order.
+    ///
+    /// Shards are visited in descending order of their *best* bound over
+    /// the tile, and each candidate decides independently per shard: a
+    /// candidate whose own bound for the shard (plus rounding slack)
+    /// cannot beat its current `k`-th best skips it, while the shard's
+    /// rows are loaded once for all candidates still active — so a K-wide
+    /// tile costs one shard pass, not K, and each candidate still prunes
+    /// exactly as aggressively as a solo [`ReferenceDb::match_topk`]
+    /// (which *is* this sweep with a tile of one). Per-candidate results
+    /// equal the dense sweep's [`MatchOutcome::top`]: same devices, same
+    /// scores, same deterministic tie order.
+    ///
+    /// [`MatchScratch::prune_stats`] counts (candidate, shard) decisions,
+    /// aggregated over the tile.
+    // The bound ordering, per-candidate activation and gathered sweep
+    // share packing state that a split would have to re-thread.
+    #[allow(clippy::too_many_lines)]
     pub fn match_topk_tile<C: Borrow<Signature>>(
         &self,
         candidates: &[C],
@@ -1036,20 +1236,222 @@ impl ReferenceDb {
         measure: SimilarityMeasure,
         scratch: &mut MatchScratch,
     ) -> Vec<Vec<(MacAddr, f64)>> {
-        let mut swept = 0usize;
-        let mut pruned = 0usize;
-        let out = candidates
-            .iter()
-            .map(|cand| {
-                let top = self.match_topk(cand.borrow(), k, measure, scratch);
-                swept += scratch.prune_swept;
-                pruned += scratch.prune_pruned;
-                top
-            })
-            .collect();
-        scratch.prune_swept = swept;
-        scratch.prune_pruned = pruned;
-        out
+        let kc = candidates.len();
+        scratch.prune_swept = 0;
+        scratch.prune_pruned = 0;
+        if k == 0 || self.devices.is_empty() || kc == 0 {
+            return vec![Vec::new(); kc];
+        }
+        let occupied = self.shards.iter().filter(|s| !s.rows.is_empty()).count();
+        if measure != SimilarityMeasure::Cosine || self.shards.len() <= 1 {
+            // No admissible bound for the other measures, nothing to
+            // prune in a flat layout: dense sweep + partial selection.
+            self.match_tile_into(candidates, measure, scratch);
+            scratch.prune_swept = occupied * kc;
+            let n = self.devices.len();
+            return (0..kc).map(|c| top_of(&scratch.pairs[c * n..(c + 1) * n], k)).collect();
+        }
+        let dot = kernel::dot_fn();
+        let quantized = self.config.precision == RowPrecision::U8;
+
+        // Pack each candidate's rows once per (kind, bins) key. The u8
+        // tier packs the quantized codes (what the integer kernel dots
+        // against the stored rows) and, in parallel at the same offsets,
+        // their f32 widening — the envelope bound is a float dot in both
+        // tiers.
+        scratch.tile_rows.clear();
+        scratch.tile_qrows.clear();
+        scratch.cand_kinds.clear();
+        scratch.cand_ranges.clear();
+        for (ci, cand) in candidates.iter().enumerate() {
+            let start = scratch.cand_kinds.len();
+            for (ki, &(kind, bins)) in self.kind_keys.iter().enumerate() {
+                let Some(hist) = cand.borrow().histogram(kind) else { continue };
+                if hist.total() == 0 {
+                    continue;
+                }
+                if hist.counts().len() != bins {
+                    continue;
+                }
+                let offset = scratch.tile_rows.len();
+                if quantized {
+                    let q = hist.frequencies_u8();
+                    debug_assert_eq!(offset, scratch.tile_qrows.len());
+                    scratch.tile_qrows.extend_from_slice(q.values());
+                    scratch.tile_rows.extend(q.values().iter().map(|&c| f32::from(c)));
+                    scratch.cand_kinds.push((ci, ki, offset, f64::from(q.inv_norm())));
+                } else {
+                    let freqs = hist.frequencies_f32();
+                    scratch.tile_rows.extend_from_slice(freqs);
+                    scratch.cand_kinds.push((ci, ki, offset, f64::from(inv_norm(freqs))));
+                }
+            }
+            scratch.cand_ranges.push((start, scratch.cand_kinds.len()));
+        }
+
+        // One bound per (occupied shard, candidate):
+        // Σ_kind wmax · min(1, ĉ·envelope); shards are then ordered by
+        // their best bound over the tile, which for a tile of one is
+        // exactly the solo sweep's order.
+        scratch.tile_bounds.clear();
+        scratch.tile_bounds.resize(self.shards.len() * kc, 0.0);
+        scratch.shard_bounds.clear();
+        for (si, shard) in self.shards.iter().enumerate() {
+            if shard.rows.is_empty() {
+                continue;
+            }
+            let mut best = f64::NEG_INFINITY;
+            for ci in 0..kc {
+                let (start, end) = scratch.cand_ranges[ci];
+                let mut bound = 0.0f64;
+                for &(_, ki, offset, cand_inv) in &scratch.cand_kinds[start..end] {
+                    let (kind, bins) = self.kind_keys[ki];
+                    let Some(block) = shard.block(kind, bins) else { continue };
+                    if block.wmax == 0.0 {
+                        continue;
+                    }
+                    let cand = &scratch.tile_rows[offset..offset + bins];
+                    let cos_ub =
+                        (f64::from(dot(cand, &block.envelope)) * cand_inv).clamp(0.0, 1.0);
+                    bound += f64::from(block.wmax) * cos_ub;
+                }
+                let bound = bound.min(1.0) + PRUNE_BOUND_SLACK;
+                scratch.tile_bounds[si * kc + ci] = bound;
+                best = best.max(bound);
+            }
+            scratch.shard_bounds.push((si as u32, best));
+        }
+        scratch.shard_bounds.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0))
+        });
+
+        let mut tops: Vec<Vec<(MacAddr, f64)>> = vec![Vec::new(); kc];
+        for bi in 0..scratch.shard_bounds.len() {
+            let (si, _) = scratch.shard_bounds[bi];
+            let si = si as usize;
+            let shard = &self.shards[si];
+            // Each candidate decides for itself; the shard is scored
+            // once for whoever is left. Bounds are admissible, so a
+            // skipped (candidate, shard) pair could not have changed
+            // that candidate's top-k.
+            scratch.active.clear();
+            for (ci, top) in tops.iter().enumerate() {
+                if top.len() >= k && scratch.tile_bounds[si * kc + ci] < top[k - 1].1 {
+                    scratch.prune_pruned += 1;
+                } else {
+                    scratch.active.push(ci);
+                    scratch.prune_swept += 1;
+                }
+            }
+            if scratch.active.is_empty() {
+                continue;
+            }
+            let slots = shard.rows.len();
+            scratch.shard_scores.clear();
+            scratch.shard_scores.resize(slots * kc, 0.0);
+            // Group the active candidates' packed kinds by kind so each
+            // block is walked once for the whole tile: frame kinds
+            // ascending, rows inner, candidates innermost — per
+            // (candidate, row) that is the dense sweep's ascending-kind
+            // `f64` accumulation, so surviving scores are bit-identical
+            // to it.
+            scratch.sweep_entries.clear();
+            for &ci in &scratch.active {
+                let (start, end) = scratch.cand_ranges[ci];
+                scratch.sweep_entries.extend_from_slice(&scratch.cand_kinds[start..end]);
+            }
+            scratch.sweep_entries.sort_unstable_by_key(|&(ci, ki, _, _)| (ki, ci));
+            let mut e = 0;
+            while e < scratch.sweep_entries.len() {
+                let ki = scratch.sweep_entries[e].1;
+                let mut end = e + 1;
+                while end < scratch.sweep_entries.len() && scratch.sweep_entries[end].1 == ki {
+                    end += 1;
+                }
+                let (kind, bins) = self.kind_keys[ki];
+                let Some(block) = shard.block(kind, bins) else {
+                    e = end;
+                    continue;
+                };
+                match &block.store {
+                    RowStore::F32(rows) => {
+                        for (slot, row) in rows.chunks_exact(bins).enumerate() {
+                            let weight = block.weights[slot];
+                            if weight == 0.0 {
+                                continue;
+                            }
+                            let row_inv = f64::from(block.inv_norms[slot]);
+                            for &(ci, _, offset, cand_inv) in &scratch.sweep_entries[e..end] {
+                                let cand = &scratch.tile_rows[offset..offset + bins];
+                                let cos =
+                                    (f64::from(dot(cand, row)) * cand_inv * row_inv)
+                                        .clamp(0.0, 1.0);
+                                scratch.shard_scores[ci * slots + slot] +=
+                                    f64::from(weight) * cos;
+                            }
+                        }
+                    }
+                    RowStore::U8 { rows, .. } => {
+                        // Gather the active candidates' code rows
+                        // contiguously and hand each reference row to
+                        // the register-blocked integer microkernel.
+                        let m = end - e;
+                        scratch.gather_qrows.clear();
+                        for &(_, _, offset, _) in &scratch.sweep_entries[e..end] {
+                            scratch
+                                .gather_qrows
+                                .extend_from_slice(&scratch.tile_qrows[offset..offset + bins]);
+                        }
+                        scratch.u8_dots.clear();
+                        scratch.u8_dots.resize(m, 0);
+                        for (slot, row) in rows.chunks_exact(bins).enumerate() {
+                            let weight = block.weights[slot];
+                            if weight == 0.0 {
+                                continue;
+                            }
+                            let row_inv = f64::from(block.inv_norms[slot]);
+                            kernel::dot_u8_multi(
+                                &scratch.gather_qrows,
+                                row,
+                                &mut scratch.u8_dots[..m],
+                            );
+                            for (d, &(ci, _, _, cand_inv)) in
+                                scratch.u8_dots.iter().zip(&scratch.sweep_entries[e..end])
+                            {
+                                let cos =
+                                    (f64::from(*d) * cand_inv * row_inv).clamp(0.0, 1.0);
+                                scratch.shard_scores[ci * slots + slot] +=
+                                    f64::from(weight) * cos;
+                            }
+                        }
+                    }
+                }
+                e = end;
+            }
+            // Merge the shard into each active candidate's running
+            // top-k, kept sorted by rank at all times: entries that
+            // cannot outrank the current k-th best are dropped with one
+            // comparison, survivors are placed by binary insertion (k is
+            // small). Candidates with packed kinds absent from this
+            // shard merge zeros, exactly like the dense sweep.
+            for &ci in &scratch.active {
+                let tops_c = &mut tops[ci];
+                let shard_scores = &scratch.shard_scores[ci * slots..(ci + 1) * slots];
+                for (&r, &s) in shard.rows.iter().zip(shard_scores) {
+                    let entry = (self.devices[r as usize], s);
+                    if tops_c.len() >= k
+                        && rank_desc(&entry, &tops_c[k - 1]) != std::cmp::Ordering::Less
+                    {
+                        continue;
+                    }
+                    let pos = tops_c
+                        .partition_point(|e| rank_desc(e, &entry) == std::cmp::Ordering::Less);
+                    tops_c.insert(pos, entry);
+                    tops_c.truncate(k);
+                }
+            }
+        }
+        tops
     }
 
     /// Matches a batch of candidate signatures, returning one outcome per
@@ -1149,16 +1551,38 @@ pub struct MatchScratch {
     pairs: Vec<(MacAddr, f64)>,
     /// The current kind's packed candidate rows (`f32`, row-major).
     tile_rows: Vec<f32>,
+    /// The current kind's packed candidate code rows (`u8` tier only),
+    /// at the same per-candidate offsets as `tile_rows`.
+    tile_qrows: Vec<u8>,
     /// Reciprocal L2 norms of the packed candidate rows.
     tile_inv_norms: Vec<f64>,
     /// Which candidate each packed tile row belongs to.
     tile_slots: Vec<usize>,
-    /// Pruned sweep: the candidate's packed kinds as
-    /// `(kind_key index, offset into tile_rows, 1/‖row‖)`.
-    cand_kinds: Vec<(usize, usize, f64)>,
-    /// Pruned sweep: `(shard, score upper bound)`, sorted descending.
+    /// Integer microkernel outputs: one `u32` dot per tile row.
+    u8_dots: Vec<u32>,
+    /// One dequantized reference row (`u8` tier, non-cosine measures).
+    dequant_row: Vec<f32>,
+    /// Pruned sweep: every candidate's packed kinds as
+    /// `(candidate, kind_key index, offset into tile_rows, 1/‖row‖)`.
+    cand_kinds: Vec<(usize, usize, usize, f64)>,
+    /// Pruned sweep: each candidate's `start..end` range in `cand_kinds`.
+    cand_ranges: Vec<(usize, usize)>,
+    /// Pruned sweep: `(shard, best score bound over the tile)`, sorted
+    /// descending.
     shard_bounds: Vec<(u32, f64)>,
-    /// Pruned sweep: per-slot accumulators for the shard being swept.
+    /// Pruned sweep: per-(shard, candidate) score upper bounds, indexed
+    /// `shard * tile + candidate`.
+    tile_bounds: Vec<f64>,
+    /// Pruned sweep: candidates still active for the shard being swept.
+    active: Vec<usize>,
+    /// Pruned sweep: the active candidates' packed kinds for the current
+    /// shard, grouped by kind (ascending).
+    sweep_entries: Vec<(usize, usize, usize, f64)>,
+    /// Pruned sweep: active candidates' code rows gathered contiguously
+    /// for the integer microkernel (`u8` tier only).
+    gather_qrows: Vec<u8>,
+    /// Pruned sweep: per-(candidate, slot) accumulators for the shard
+    /// being swept, candidate-major.
     shard_scores: Vec<f64>,
     /// Shards scored by the last pruned sweep.
     prune_swept: usize,
@@ -1364,13 +1788,18 @@ mod tests {
         sig
     }
 
-    /// Every shard configuration parity tests sweep over.
+    /// Every shard configuration parity tests sweep over — both
+    /// precision tiers, since the consistency invariants (streamed ≡
+    /// bulk, churn ≡ fresh, sharded ≡ flat) hold per tier.
     fn strategies() -> Vec<MatchConfig> {
         vec![
             MatchConfig::flat(),
             MatchConfig::default(),
             MatchConfig::default().with_shards(3),
             MatchConfig::default().with_strategy(ShardStrategy::MacPrefix).with_shards(5),
+            MatchConfig::flat().with_precision(RowPrecision::U8),
+            MatchConfig::quantized(),
+            MatchConfig::quantized().with_strategy(ShardStrategy::MacPrefix).with_shards(5),
         ]
     }
 
@@ -1756,10 +2185,14 @@ mod tests {
                 )
             })
             .collect();
-        let flat =
-            ReferenceDb::from_signatures_with(sigs.iter().cloned().collect(), MatchConfig::flat());
         let cand = sig_with(&[(FrameKind::Data, 291.0, 40), (FrameKind::Beacon, 90.0, 6)]);
         for config in strategies() {
+            // The flat baseline shares the config's precision: the
+            // bit-identity claim is per tier.
+            let flat = ReferenceDb::from_signatures_with(
+                sigs.iter().cloned().collect(),
+                MatchConfig::flat().with_precision(config.precision),
+            );
             let sharded = ReferenceDb::from_signatures_with(sigs.iter().cloned().collect(), config);
             for m in SimilarityMeasure::ALL {
                 let a = sharded.match_signature(&cand, m);
@@ -1926,6 +2359,110 @@ mod tests {
         assert_eq!(outcome.similarities()[0].1, 0.0);
     }
 
+    #[test]
+    fn quantized_self_match_scores_one() {
+        // Cosine of a row with itself survives quantization exactly (up
+        // to the norm rounding): codes dotted against themselves cancel
+        // their own inverse norm.
+        let sig = sig_with(&[(FrameKind::Data, 500.0, 30), (FrameKind::ProbeReq, 100.0, 10)]);
+        let mut db = ReferenceDb::with_config(MatchConfig::quantized());
+        db.insert(MacAddr::from_index(1), sig.clone()).unwrap();
+        let (_, score) = db.match_signature(&sig, SimilarityMeasure::Cosine).best().unwrap();
+        assert!((score - 1.0).abs() < F32_SCORE_TOLERANCE, "self-cosine {score}");
+    }
+
+    #[test]
+    fn quantized_rows_halve_the_resident_bytes() {
+        let sigs: Vec<(MacAddr, Signature)> = (1..=32u64)
+            .map(|i| {
+                (
+                    MacAddr::from_index(i),
+                    sig_with(&[
+                        (FrameKind::Data, 70.0 * (i % 12) as f64, 40),
+                        (FrameKind::ProbeReq, 35.0 * (i % 5) as f64, 6),
+                    ]),
+                )
+            })
+            .collect();
+        let f32_db = ReferenceDb::from_signatures_with(
+            sigs.iter().cloned().collect(),
+            MatchConfig::default(),
+        );
+        let u8_db = ReferenceDb::from_signatures_with(
+            sigs.iter().cloned().collect(),
+            MatchConfig::quantized(),
+        );
+        let (f32_bytes, u8_bytes) = (f32_db.row_bytes(), u8_db.row_bytes());
+        assert!(f32_bytes > 0 && u8_bytes > 0);
+        // The acceptance bar is "halved"; with rows dominating the
+        // metadata the quantized tier actually lands near a quarter.
+        assert!(
+            u8_bytes * 2 <= f32_bytes,
+            "u8 tier holds {u8_bytes} B vs f32's {f32_bytes} B"
+        );
+    }
+
+    #[test]
+    fn quantized_non_cosine_measures_track_f32_on_concentrated_histograms() {
+        // Non-cosine measures run the dequantized fallback; on realistic
+        // (mass-concentrated) histograms the round-trip stays tight.
+        let sigs: Vec<(MacAddr, Signature)> = (1..=10u64)
+            .map(|i| (MacAddr::from_index(i), sig_with(&[(FrameKind::Data, 55.0 * i as f64, 40)])))
+            .collect();
+        let f32_db = ReferenceDb::from_signatures_with(
+            sigs.iter().cloned().collect(),
+            MatchConfig::default(),
+        );
+        let u8_db = ReferenceDb::from_signatures_with(
+            sigs.iter().cloned().collect(),
+            MatchConfig::quantized(),
+        );
+        let cand = sig_with(&[(FrameKind::Data, 165.0, 40)]);
+        for m in SimilarityMeasure::ALL {
+            let a = f32_db.match_signature(&cand, m);
+            let b = u8_db.match_signature(&cand, m);
+            for (f, q) in a.similarities().iter().zip(b.similarities()) {
+                assert_eq!(f.0, q.0);
+                assert!((f.1 - q.1).abs() < 2e-2, "{m}: {} vs {}", f.1, q.1);
+            }
+        }
+    }
+
+    #[test]
+    fn tile_wide_pruned_sweep_prunes_per_candidate() {
+        // Well-separated clusters, a full K=8 tile of probes aimed at
+        // different clusters: every candidate's top-k must equal its
+        // dense ranking while the tile as a whole skips shards — in both
+        // precision tiers.
+        for precision in [RowPrecision::F32, RowPrecision::U8] {
+            let config =
+                MatchConfig::default().with_shards(16).with_precision(precision);
+            let mut db = ReferenceDb::with_config(config);
+            for i in 0..160u64 {
+                let center = 150.0 * (i % 16) as f64 + 10.0;
+                db.insert(MacAddr::from_index(i + 1), sig_with(&[(FrameKind::Data, center, 60)]))
+                    .unwrap();
+            }
+            let cands: Vec<Signature> = (0..8u64)
+                .map(|i| sig_with(&[(FrameKind::Data, 150.0 * (2 * i) as f64 + 10.0, 60)]))
+                .collect();
+            let mut scratch = MatchScratch::new();
+            let tiled = db.match_topk_tile(&cands, 3, SimilarityMeasure::Cosine, &mut scratch);
+            let stats = scratch.prune_stats();
+            for (cand, got) in cands.iter().zip(&tiled) {
+                let dense = db.match_signature(cand, SimilarityMeasure::Cosine);
+                assert_eq!(got, &dense.top(3), "{precision:?}");
+            }
+            assert!(
+                stats.pruned_shards > 0,
+                "{precision:?}: expected tile-wide pruning, got {stats:?}"
+            );
+            // One decision per (candidate, occupied shard).
+            let decisions = stats.swept_shards + stats.pruned_shards;
+            assert!(decisions > 0 && decisions.is_multiple_of(8), "{precision:?}: {stats:?}");
+        }
+    }
+
     // f32 ↔ f64 parity: the packed-f32 engine must track the all-f64
     // naive baseline within the documented tolerance for every measure,
     // on arbitrary databases and candidates.
@@ -1977,6 +2514,7 @@ mod tests {
                 prop::collection::vec(0.0f64..2400.0, 1..40), 1..5),
             shards in 1usize..7,
             mac_prefix in any::<bool>(),
+            quantized in any::<bool>(),
             k in 1usize..8,
         ) {
             let c = cfg();
@@ -1985,9 +2523,10 @@ mod tests {
             } else {
                 ShardStrategy::DominantHistogram
             };
-            let config = MatchConfig { strategy, shards };
+            let precision = if quantized { RowPrecision::U8 } else { RowPrecision::F32 };
+            let config = MatchConfig { strategy, shards, precision };
             let mut sharded = ReferenceDb::with_config(config);
-            let mut flat = ReferenceDb::with_config(MatchConfig::flat());
+            let mut flat = ReferenceDb::with_config(MatchConfig::flat().with_precision(precision));
             for (i, values) in per_device.iter().enumerate() {
                 let mut sig = Signature::new();
                 for (j, &v) in values.iter().enumerate() {
@@ -2033,6 +2572,66 @@ mod tests {
                         "{} vs {} under {:?}", g.1, w.1, config);
                 }
             }
+        }
+
+        // u8 ↔ f32 parity: over arbitrary enrolments, strategies and
+        // shard counts, the quantized tier's cosine scores track the f32
+        // tier within U8_SCORE_TOLERANCE, and its argmax is the f32
+        // argmax up to a genuine near-tie at that tolerance.
+        #[test]
+        fn u8_tier_tracks_f32_tier(
+            per_device in prop::collection::vec(
+                prop::collection::vec(0.0f64..2400.0, 1..40), 1..12),
+            cand_values in prop::collection::vec(0.0f64..2400.0, 1..40),
+            shards in 1usize..7,
+            mac_prefix in any::<bool>(),
+        ) {
+            let c = cfg();
+            let strategy = if mac_prefix {
+                ShardStrategy::MacPrefix
+            } else {
+                ShardStrategy::DominantHistogram
+            };
+            let base = MatchConfig::default().with_strategy(strategy).with_shards(shards);
+            let mut f32_db = ReferenceDb::with_config(base);
+            let mut u8_db = ReferenceDb::with_config(base.with_precision(RowPrecision::U8));
+            for (i, values) in per_device.iter().enumerate() {
+                let mut sig = Signature::new();
+                for (j, &v) in values.iter().enumerate() {
+                    let kind = if j % 5 == 0 { FrameKind::Beacon } else { FrameKind::Data };
+                    sig.record(kind, v, &c);
+                }
+                let addr = MacAddr::from_index((i as u64 + 1) * 0x0101_0101);
+                f32_db.insert(addr, sig.clone()).unwrap();
+                u8_db.insert(addr, sig).unwrap();
+            }
+            let mut cand = Signature::new();
+            for &v in &cand_values {
+                cand.record(FrameKind::Data, v, &c);
+            }
+            let a = f32_db.match_signature(&cand, SimilarityMeasure::Cosine);
+            let b = u8_db.match_signature(&cand, SimilarityMeasure::Cosine);
+            for (f, q) in a.similarities().iter().zip(b.similarities()) {
+                prop_assert_eq!(f.0, q.0);
+                prop_assert!(
+                    (f.1 - q.1).abs() < U8_SCORE_TOLERANCE,
+                    "score drift: {} vs {}", f.1, q.1
+                );
+            }
+            // Argmax agreement up to near-ties: the quantized winner's
+            // f32 score is within the documented drift of the f32 best.
+            let (f32_best, f32_score) = a.best().unwrap();
+            let (u8_best, _) = b.best().unwrap();
+            let u8_winner_f32 = a.similarity_to(&u8_best).unwrap();
+            prop_assert!(
+                u8_best == f32_best || u8_winner_f32 >= f32_score - 2.0 * U8_SCORE_TOLERANCE,
+                "argmax diverged beyond a near-tie: {u8_best} at {u8_winner_f32} vs {f32_best} at {f32_score}"
+            );
+            // The quantized pruned sweep agrees with the quantized dense
+            // sweep (per-tier invariant, integer dots are exact).
+            let mut scratch = MatchScratch::new();
+            let top = u8_db.match_topk(&cand, 3, SimilarityMeasure::Cosine, &mut scratch);
+            prop_assert_eq!(top, b.top(3));
         }
     }
 }

@@ -229,7 +229,7 @@ impl MetropolisScenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wifiprint_core::{MatchScratch, SimilarityMeasure};
+    use wifiprint_core::{MatchScratch, RowPrecision, SimilarityMeasure};
 
     /// The CI smoke test for the sharded store at (scaled-down)
     /// metropolis scale: pruned top-k decisions equal the dense sweep's
@@ -263,6 +263,35 @@ mod tests {
         // Re-observations of heterogeneous mixes identify themselves in
         // the vast majority of cases (clusters can collide by chance).
         assert!(self_hits >= 17, "only {self_hits}/21 probes self-identified");
+    }
+
+    /// The tile-wide pruned sweep at the detection phase's natural
+    /// width: a full K=8 tile of probes over a metropolis slice must
+    /// skip at least half of the (candidate, shard) work — in both
+    /// precision tiers — while every candidate's top-k still equals its
+    /// dense ranking.
+    #[test]
+    fn metropolis_tile_sweep_prunes_half_at_k8() {
+        let scenario = MetropolisScenario::with_devices(11, 2000);
+        for precision in [RowPrecision::F32, RowPrecision::U8] {
+            let db = scenario.reference_db(
+                MatchConfig::default().with_shards(32).with_precision(precision),
+            );
+            let mut scratch = MatchScratch::new();
+            let cands: Vec<Signature> =
+                (0..8).map(|i| scenario.candidate(i * 251, 3)).collect();
+            let tiled = db.match_topk_tile(&cands, 8, SimilarityMeasure::Cosine, &mut scratch);
+            let stats = scratch.prune_stats();
+            for (ci, (cand, got)) in cands.iter().zip(&tiled).enumerate() {
+                let dense = db.match_signature(cand, SimilarityMeasure::Cosine);
+                assert_eq!(got, &dense.top(8), "{precision:?}: candidate {ci}");
+            }
+            assert!(
+                stats.pruned_fraction() >= 0.5,
+                "{precision:?}: K=8 tile pruned only {:.3} of shard visits ({stats:?})",
+                stats.pruned_fraction()
+            );
+        }
     }
 
     #[test]
