@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
-use wifiprint_ieee80211::{Frame, MacAddr, Rate};
-use wifiprint_pcap::{LinkType, Reader, Record, Writer};
-use wifiprint_radiotap::{RxFlags, RxInfo};
+use wifiprint_ieee80211::{Frame, MacAddr, Nanos, Rate, WireFrame};
+use wifiprint_pcap::{LinkType, Reader, Record, Replay, Writer};
+use wifiprint_radiotap::{CapturedFrame, RxFlags, RxInfo};
 
 fn bench_frame_codec(c: &mut Criterion) {
     let frame = Frame::data_to_ds(
@@ -71,6 +71,105 @@ fn bench_pcap(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_wire_decode(c: &mut Criterion) {
+    let frame = Frame::data_to_ds(
+        MacAddr::from_index(1),
+        MacAddr::from_index(2),
+        MacAddr::from_index(3),
+        1460,
+    );
+    let bytes = frame.to_bytes();
+    let info = RxInfo {
+        tsft_us: Some(123_456_789),
+        rate: Some(Rate::R54M),
+        signal_dbm: Some(-52),
+        flags: RxFlags::FCS_INCLUDED,
+        ..RxInfo::default()
+    };
+    let mut packet = info.to_radiotap();
+    packet.extend_from_slice(&bytes);
+
+    let mut group = c.benchmark_group("wire_decode");
+    group.throughput(Throughput::Bytes(packet.len() as u64));
+    // The borrowed header view alone: pure header arithmetic, no copy.
+    group.bench_function("wire_view_1460B", |b| {
+        b.iter(|| black_box(WireFrame::parse(black_box(&bytes)).unwrap().wire_len()))
+    });
+    // Full zero-copy packet decode: radiotap walk + WireFrame.
+    group.bench_function("borrowed_captured_1460B", |b| {
+        b.iter(|| {
+            black_box(
+                CapturedFrame::from_radiotap_packet(black_box(&packet), Nanos::ZERO).unwrap(),
+            )
+        })
+    });
+    // The materializing baseline it replaced: owned Frame, body copy.
+    group.bench_function("materialized_captured_1460B", |b| {
+        b.iter(|| {
+            let (info, hdr_len) = RxInfo::from_radiotap(black_box(&packet)).unwrap();
+            let frame = Frame::parse(&packet[hdr_len..]).unwrap();
+            black_box(CapturedFrame::from_frame(
+                &frame,
+                info.rate.unwrap(),
+                Nanos::ZERO,
+                info.signal_dbm.unwrap(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    // A 1 000-record radiotap capture replayed through the
+    // allocation-free loop.
+    let mut file = Vec::new();
+    let mut w = Writer::new(&mut file, LinkType::Ieee80211Radiotap).unwrap();
+    for i in 0..1000u64 {
+        let frame = Frame::data_to_ds(
+            MacAddr::from_index(i % 16),
+            MacAddr::from_index(99),
+            MacAddr::from_index(99),
+            200 + (i % 7) as usize * 100,
+        );
+        let info = RxInfo {
+            tsft_us: Some(25 * (i + 1)),
+            rate: Some(Rate::R54M),
+            signal_dbm: Some(-50),
+            flags: RxFlags::FCS_INCLUDED,
+            ..RxInfo::default()
+        };
+        let mut packet = info.to_radiotap();
+        packet.extend_from_slice(&frame.to_bytes());
+        w.write_record(&Record::from_micros(25 * (i + 1), packet)).unwrap();
+    }
+
+    let mut group = c.benchmark_group("pcap_replay");
+    group.throughput(Throughput::Elements(1000));
+    // Streaming source: one reused buffer, zero steady-state allocations.
+    group.bench_function("replay_read_1000_records", |b| {
+        b.iter(|| {
+            let mut replay = Replay::new(Reader::new(black_box(&file[..])).unwrap()).unwrap();
+            let mut n = 0u64;
+            while let Some(frame) = replay.next_frame().unwrap() {
+                n += u64::from(frame.size > 0);
+            }
+            black_box(n)
+        })
+    });
+    // Borrowed-slice source: records viewed in place, no copies at all.
+    group.bench_function("replay_slice_1000_records", |b| {
+        b.iter(|| {
+            let mut replay = Replay::from_slice(black_box(&file[..])).unwrap();
+            let mut n = 0u64;
+            while let Some(frame) = replay.next_frame().unwrap() {
+                n += u64::from(frame.size > 0);
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default().sample_size(30).warm_up_time(std::time::Duration::from_millis(300))
 }
@@ -78,6 +177,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_frame_codec, bench_radiotap, bench_pcap
+    targets = bench_frame_codec, bench_radiotap, bench_pcap, bench_wire_decode, bench_replay
 }
 criterion_main!(benches);

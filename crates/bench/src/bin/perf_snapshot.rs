@@ -9,13 +9,14 @@
 //!     [output.json] [--check baseline.json]
 //! ```
 //!
-//! Default output is `BENCH_8.json` in the current directory. With
+//! Default output is `BENCH_9.json` in the current directory. With
 //! `--check`, the freshly measured `match_matrix_ns`,
 //! `multi_engine_ingest_fps`, `sharded_sweep_speedup`,
-//! `quant_tile_speedup`, `ingest_pipeline_fps` and
-//! `linker_throughput_fps` are compared against the committed baseline
-//! snapshot and the process exits non-zero if any regressed by more
-//! than 25 % — the CI perf-smoke gate.
+//! `quant_tile_speedup`, `ingest_pipeline_fps`,
+//! `linker_throughput_fps`, `replay_fps` and `replay_vs_materialized`
+//! are compared against the committed baseline snapshot and the
+//! process exits non-zero if any regressed by more than 25 % — the CI
+//! perf-smoke gate.
 //!
 //! The measurements mirror the headline benches in
 //! `crates/bench/benches/fingerprint.rs`: the naive f64 baseline versus
@@ -53,6 +54,14 @@
 //! f32 dense 8-wide tile sweep versus the quantized tile-wide pruned
 //! top-8 sweep over the same 10⁵-device metropolis population, with
 //! the tile-wide pruned-shard fraction (`pruned_shard_fraction_k8`).
+//! Since PR 10 the snapshot also measures the **zero-copy wire ingest**:
+//! the borrowed radiotap→`CapturedFrame` decode of one mid-size data
+//! packet (`wire_decode_ns`), the allocation-free pcap replay loop over
+//! a 60 000-record in-memory capture (`replay_fps`), and the headline
+//! `replay_vs_materialized` — the same capture decoded through the old
+//! materializing path (fresh `Vec` per record, owned `Frame` with a
+//! body copy) divided by the zero-copy loop, a same-host ratio that
+//! transfers across machines.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -64,7 +73,8 @@ use wifiprint_core::{
     Signature, SimilarityMeasure,
 };
 use wifiprint_ieee80211::{Frame, FrameKind, MacAddr, Nanos, Rate};
-use wifiprint_radiotap::CapturedFrame;
+use wifiprint_pcap::{LinkType, Reader, Record, Replay, Writer};
+use wifiprint_radiotap::{CapturedFrame, RxFlags, RxInfo};
 use wifiprint_analysis::linking::{evaluate_linking_trail, metropolis_linker_config};
 use wifiprint_core::engine::linker::RotationLinker;
 use wifiprint_scenarios::{MetropolisScenario, RotationPolicy, RotationScenario};
@@ -129,7 +139,7 @@ fn read_field(json: &str, field: &str) -> Option<f64> {
 }
 
 fn main() {
-    let mut out_path = "BENCH_8.json".to_owned();
+    let mut out_path = "BENCH_9.json".to_owned();
     let mut check_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -446,6 +456,92 @@ fn main() {
         .expect("valid linker configuration");
     let linker_stats = link_point.stats;
 
+    // Zero-copy wire ingest: a 60 000-record (~35 MB) radiotap capture
+    // built in memory once, then (a) replayed through the borrowed-slice
+    // path — records viewed in place, `WireFrame` header arithmetic,
+    // zero copies and zero allocations, record bodies never read — and
+    // (b) decoded through the materialized baseline: a fresh `Vec` per
+    // record plus an owned `Frame` with its body copy, every byte
+    // touched. The headline is their same-host ratio.
+    let replay_records: u64 = 60_000;
+    let capture = {
+        let ap = MacAddr::from_index(0xA11);
+        let mut file = Vec::with_capacity(40 << 20);
+        let mut writer =
+            Writer::new(&mut file, LinkType::Ieee80211Radiotap).expect("in-memory writer");
+        for i in 0..replay_records {
+            let dev = MacAddr::from_index(i % stream_devices);
+            let frame = Frame::data_to_ds(dev, ap, ap, 200 + (i % 7) as usize * 100);
+            let info = RxInfo {
+                tsft_us: Some(25 * (i + 1)),
+                rate: Some(Rate::R54M),
+                signal_dbm: Some(-50),
+                flags: RxFlags::FCS_INCLUDED,
+                ..RxInfo::default()
+            };
+            let mut packet = info.to_radiotap();
+            packet.extend_from_slice(&frame.to_bytes());
+            writer
+                .write_record(&Record::from_micros(25 * (i + 1), packet))
+                .expect("in-memory write");
+        }
+        file
+    };
+
+    // Single-packet borrowed decode: radiotap header walk + WireFrame
+    // header arithmetic on a mid-size data frame, no copies.
+    let sample_packet = {
+        let frame =
+            Frame::data_to_ds(MacAddr::from_index(1), MacAddr::from_index(2), MacAddr::from_index(2), 500);
+        let info = RxInfo {
+            tsft_us: Some(1),
+            rate: Some(Rate::R54M),
+            signal_dbm: Some(-50),
+            flags: RxFlags::FCS_INCLUDED,
+            ..RxInfo::default()
+        };
+        let mut packet = info.to_radiotap();
+        packet.extend_from_slice(&frame.to_bytes());
+        packet
+    };
+    let wire_decode_ns = measure(15, 20_000, || {
+        std::hint::black_box(
+            CapturedFrame::from_radiotap_packet(&sample_packet, Nanos::ZERO).expect("valid packet"),
+        );
+    });
+
+    // The borrowed-slice replay path: records are subslices of the
+    // in-memory file, bodies are never touched, nothing allocates.
+    let replay_ns = measure(15, 1, || {
+        let mut replay = Replay::from_slice(&capture).expect("dlt 127");
+        let mut decoded = 0u64;
+        while let Some(frame) = replay.next_frame().expect("well-formed stream") {
+            decoded += 1;
+            std::hint::black_box(frame.size);
+        }
+        assert_eq!(decoded, replay_records);
+    }) / replay_records as f64;
+    let replay_fps = 1e9 / replay_ns;
+
+    let materialized_ns = measure(15, 1, || {
+        let mut reader = Reader::new(&capture[..]).expect("readable capture");
+        let mut decoded = 0u64;
+        while let Some(rec) = reader.next_record().expect("well-formed stream") {
+            let (info, hdr_len) = RxInfo::from_radiotap(&rec.data).expect("valid header");
+            let frame = Frame::parse(&rec.data[hdr_len..]).expect("valid frame");
+            let cap = CapturedFrame::from_frame(
+                &frame,
+                info.rate.unwrap_or(Rate::R1M),
+                info.tsft_us.map(Nanos::from_micros).unwrap_or(Nanos::from_nanos(rec.timestamp_nanos())),
+                info.signal_dbm.unwrap_or(-70),
+            );
+            decoded += 1;
+            std::hint::black_box(cap.size);
+        }
+        assert_eq!(decoded, replay_records);
+    }) / replay_records as f64;
+    let replay_vs_materialized = materialized_ns / replay_ns;
+
     let match_speedup = naive_ns / matrix_ns;
     let tile_speedup = matvec8_ns / tile_ns;
     let kernel_speedup = dot_f64_ns / dot_f32_ns;
@@ -458,7 +554,7 @@ fn main() {
     let host_kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
         .map(|s| s.trim().to_owned())
         .unwrap_or_else(|_| "unknown".to_owned());
-    let _ = writeln!(json, "  \"schema\": \"wifiprint-bench-snapshot-v8\",");
+    let _ = writeln!(json, "  \"schema\": \"wifiprint-bench-snapshot-v9\",");
     let _ = writeln!(json, "  \"cpus\": {cpus},");
     let _ = writeln!(json, "  \"host_os\": \"{}\",", std::env::consts::OS);
     let _ = writeln!(json, "  \"host_kernel\": \"{host_kernel}\",");
@@ -523,7 +619,13 @@ fn main() {
     let _ = writeln!(json, "  \"linker_recall_periodic\": {:.3},", link_point.recall());
     let _ = writeln!(json, "  \"linker_merge_rate_periodic\": {:.3},", link_point.merge_rate());
     let _ = writeln!(json, "  \"linker_identities\": {},", link_point.identities_founded);
-    let _ = writeln!(json, "  \"linker_pruned_fraction\": {:.3}", linker_stats.pruned_fraction());
+    let _ = writeln!(json, "  \"linker_pruned_fraction\": {:.3},", linker_stats.pruned_fraction());
+    let _ = writeln!(json, "  \"replay_records\": {replay_records},");
+    let _ = writeln!(json, "  \"wire_decode_ns\": {wire_decode_ns:.1},");
+    let _ = writeln!(json, "  \"replay_ns_per_record\": {replay_ns:.0},");
+    let _ = writeln!(json, "  \"replay_fps\": {replay_fps:.0},");
+    let _ = writeln!(json, "  \"materialized_ns_per_record\": {materialized_ns:.0},");
+    let _ = writeln!(json, "  \"replay_vs_materialized\": {replay_vs_materialized:.2}");
     json.push('}');
 
     std::fs::write(&out_path, &json).expect("write snapshot");
@@ -633,6 +735,43 @@ fn main() {
             println!(
                 "perf check ok: bytes_per_device_u8 {bytes_per_device_u8:.0} at or below \
                  baseline {baseline_bytes:.0}"
+            );
+        }
+        // Pre-v9 baselines carry no zero-copy replay numbers. The
+        // replay_vs_materialized ratio is two same-host measurements, so
+        // it gates the borrowed decode without pinning nanoseconds;
+        // replay_fps additionally guards the absolute loop cost on the
+        // (fixed) CI machine class.
+        if let Some(baseline_fps) = read_field(&baseline, "replay_fps") {
+            let floor = baseline_fps * (1.0 - REGRESSION_BUDGET);
+            if replay_fps < floor {
+                eprintln!(
+                    "PERF REGRESSION: replay_fps {replay_fps:.0} below {floor:.0} \
+                     (baseline {baseline_fps:.0} - {:.0}%)",
+                    REGRESSION_BUDGET * 100.0
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "perf check ok: replay_fps {replay_fps:.0} within {:.0}% of baseline \
+                 {baseline_fps:.0}",
+                REGRESSION_BUDGET * 100.0
+            );
+        }
+        if let Some(baseline_speedup) = read_field(&baseline, "replay_vs_materialized") {
+            let floor = baseline_speedup * (1.0 - REGRESSION_BUDGET);
+            if replay_vs_materialized < floor {
+                eprintln!(
+                    "PERF REGRESSION: replay_vs_materialized {replay_vs_materialized:.2} \
+                     below {floor:.2} (baseline {baseline_speedup:.2} - {:.0}%)",
+                    REGRESSION_BUDGET * 100.0
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "perf check ok: replay_vs_materialized {replay_vs_materialized:.2} within \
+                 {:.0}% of baseline {baseline_speedup:.2}",
+                REGRESSION_BUDGET * 100.0
             );
         }
         // Pre-v5 baselines carry no sharded-sweep number.

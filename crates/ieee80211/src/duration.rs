@@ -48,6 +48,7 @@ impl DurationModel {
     /// BSS.
     ///
     /// `broadcast` frames get 0 under the standard model (no ACK follows).
+    #[must_use] 
     pub fn data_frame_duration(self, rate: Rate, basic_rates: &[Rate], broadcast: bool) -> u16 {
         if broadcast && !matches!(self, DurationModel::Constant(_)) {
             return 0;
@@ -72,6 +73,7 @@ impl DurationModel {
 
     /// Computes the duration field (µs) an RTS should carry: time for
     /// `CTS + data + ACK` plus three SIFS.
+    #[must_use] 
     pub fn rts_duration(self, data_air: Nanos, ack_rate: Rate) -> u16 {
         let cts = air_time(PhyTx::erp_or_dsss(ack_rate), ACK_LEN);
         let ack = cts;
@@ -93,6 +95,7 @@ impl DurationModel {
 impl PhyTx {
     /// Chooses ERP-OFDM or long-preamble DSSS timing automatically from the
     /// rate's modulation family — the common case for control responses.
+    #[must_use] 
     pub const fn erp_or_dsss(rate: Rate) -> PhyTx {
         match rate.modulation() {
             crate::rate::Modulation::Ofdm => PhyTx::erp_ofdm(rate),
@@ -113,7 +116,7 @@ mod tests {
         // preamble = 192 + ceil(112/11) µs ≈ 203 µs; + SIFS = 213 µs.
         let d = DurationModel::Standard.data_frame_duration(Rate::R11M, &BASIC, false);
         let ack = air_time(PhyTx::dsss_long(Rate::R11M), ACK_LEN);
-        assert_eq!(d as u64, (SIFS + ack).as_micros());
+        assert_eq!(u64::from(d), (SIFS + ack).as_micros());
     }
 
     #[test]

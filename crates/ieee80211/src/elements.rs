@@ -62,6 +62,7 @@ pub enum Element {
 
 impl Element {
     /// The element's on-air ID byte.
+    #[must_use] 
     pub fn id(&self) -> u8 {
         match self {
             Element::Ssid(_) => ids::SSID,
@@ -117,6 +118,7 @@ impl Element {
     }
 
     /// Encodes a list of elements to bytes.
+    #[must_use] 
     pub fn encode_all(elements: &[Element]) -> Vec<u8> {
         let mut out = Vec::new();
         for e in elements {
@@ -126,6 +128,7 @@ impl Element {
     }
 
     /// Parses all elements from `buf`, stopping at the first malformed TLV.
+    #[must_use] 
     pub fn parse_all(buf: &[u8]) -> Vec<Element> {
         let mut out = Vec::new();
         let mut off = 0;
@@ -194,6 +197,7 @@ fn decode_rates(data: &[u8]) -> Vec<(Rate, bool)> {
 /// Builds the body of a beacon or probe-response frame: the 12-byte fixed
 /// part (timestamp, beacon interval in TU, capability info) followed by the
 /// given elements.
+#[must_use] 
 pub fn beacon_body(
     timestamp_us: u64,
     beacon_interval_tu: u16,
@@ -209,6 +213,7 @@ pub fn beacon_body(
 }
 
 /// Builds the body of a probe-request frame (SSID + supported rates).
+#[must_use] 
 pub fn probe_req_body(ssid: &str, rates: &[(Rate, bool)]) -> Vec<u8> {
     Element::encode_all(&[
         Element::Ssid(ssid.to_owned()),
@@ -255,8 +260,8 @@ mod tests {
 
     #[test]
     fn beacon_body_layout() {
-        let body = beacon_body(0x1122334455667788, 100, 0x0431, &[Element::DsParams(6)]);
-        assert_eq!(&body[..8], &0x1122334455667788u64.to_le_bytes());
+        let body = beacon_body(0x1122_3344_5566_7788, 100, 0x0431, &[Element::DsParams(6)]);
+        assert_eq!(&body[..8], &0x1122_3344_5566_7788u64.to_le_bytes());
         assert_eq!(u16::from_le_bytes([body[8], body[9]]), 100);
         assert_eq!(u16::from_le_bytes([body[10], body[11]]), 0x0431);
         let elements = Element::parse_all(&body[12..]);

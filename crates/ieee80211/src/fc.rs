@@ -10,13 +10,14 @@ pub enum FrameType {
     Management,
     /// Control frames (RTS, CTS, ACK, ...).
     Control,
-    /// Data frames (including QoS and null-function variants).
+    /// Data frames (including `QoS` and null-function variants).
     Data,
 }
 
 impl FrameType {
     /// The on-air two-bit encoding.
     #[inline]
+    #[must_use] 
     pub const fn bits(self) -> u8 {
         match self {
             FrameType::Management => 0,
@@ -27,6 +28,7 @@ impl FrameType {
 
     /// Decodes the two-bit type field; `3` is reserved and yields `None`.
     #[inline]
+    #[must_use] 
     pub const fn from_bits(bits: u8) -> Option<FrameType> {
         match bits & 0b11 {
             0 => Some(FrameType::Management),
@@ -125,19 +127,19 @@ pub enum FrameKind {
     CfPoll,
     /// CF-Ack + CF-Poll, no data (subtype 7).
     CfAckCfPoll,
-    /// QoS data (subtype 8).
+    /// `QoS` data (subtype 8).
     QosData,
-    /// QoS data + CF-Ack (subtype 9).
+    /// `QoS` data + CF-Ack (subtype 9).
     QosDataCfAck,
-    /// QoS data + CF-Poll (subtype 10).
+    /// `QoS` data + CF-Poll (subtype 10).
     QosDataCfPoll,
-    /// QoS data + CF-Ack + CF-Poll (subtype 11).
+    /// `QoS` data + CF-Ack + CF-Poll (subtype 11).
     QosDataCfAckCfPoll,
-    /// QoS null function (subtype 12).
+    /// `QoS` null function (subtype 12).
     QosNull,
-    /// QoS CF-Poll, no data (subtype 14).
+    /// `QoS` CF-Poll, no data (subtype 14).
     QosCfPoll,
-    /// QoS CF-Ack + CF-Poll, no data (subtype 15).
+    /// `QoS` CF-Ack + CF-Poll, no data (subtype 15).
     QosCfAckCfPoll,
     /// Any (type, subtype) combination not defined above.
     Reserved {
@@ -191,6 +193,7 @@ impl FrameKind {
 
     /// Decodes a raw (type, subtype) pair. Unknown combinations map to
     /// [`FrameKind::Reserved`] rather than failing.
+    #[must_use] 
     pub const fn from_type_subtype(type_bits: u8, subtype: u8) -> FrameKind {
         let type_bits = type_bits & 0b11;
         let subtype = subtype & 0b1111;
@@ -235,6 +238,7 @@ impl FrameKind {
     }
 
     /// The frame class this kind belongs to.
+    #[must_use] 
     pub const fn frame_type(self) -> FrameType {
         match self.type_subtype().0 {
             0 => FrameType::Management,
@@ -244,6 +248,7 @@ impl FrameKind {
     }
 
     /// The raw (type, subtype) encoding.
+    #[must_use] 
     pub const fn type_subtype(self) -> (u8, u8) {
         match self {
             FrameKind::AssocReq => (0, 0),
@@ -289,11 +294,13 @@ impl FrameKind {
     ///
     /// Per §IV-A of the paper, observations from these frames cannot be
     /// attributed to a sender and are dropped (`sᵢ = null`).
+    #[must_use] 
     pub const fn is_sender_anonymous(self) -> bool {
         matches!(self, FrameKind::Ack | FrameKind::Cts)
     }
 
-    /// `true` for QoS data subtypes, which carry a 2-byte QoS Control field.
+    /// `true` for `QoS` data subtypes, which carry a 2-byte `QoS` Control field.
+    #[must_use] 
     pub const fn has_qos_control(self) -> bool {
         matches!(
             self,
@@ -309,6 +316,7 @@ impl FrameKind {
 
     /// `true` for data subtypes that carry a payload (excludes the
     /// null-function family).
+    #[must_use] 
     pub const fn carries_data(self) -> bool {
         matches!(
             self,
@@ -325,11 +333,13 @@ impl FrameKind {
 
     /// `true` for the null-function family (no payload; used for power
     /// management signalling).
+    #[must_use] 
     pub const fn is_null_function(self) -> bool {
         matches!(self, FrameKind::NullFunction | FrameKind::QosNull)
     }
 
     /// Short lowercase label used in reports and persisted signatures.
+    #[must_use] 
     pub fn label(self) -> String {
         match self {
             FrameKind::Reserved { type_bits, subtype } => {
@@ -413,6 +423,7 @@ pub struct FrameControl {
 
 impl FrameControl {
     /// Creates a Frame Control field for `kind` with all flags cleared.
+    #[must_use] 
     pub const fn new(kind: FrameKind) -> Self {
         FrameControl {
             kind,
@@ -429,6 +440,7 @@ impl FrameControl {
     }
 
     /// Decodes a host-order value of the little-endian on-air field.
+    #[must_use] 
     pub const fn from_raw(raw: u16) -> Self {
         let type_bits = ((raw >> 2) & 0b11) as u8;
         let subtype = ((raw >> 4) & 0b1111) as u8;
@@ -447,6 +459,7 @@ impl FrameControl {
     }
 
     /// Encodes to the host-order value of the little-endian on-air field.
+    #[must_use] 
     pub const fn to_raw(self) -> u16 {
         let (type_bits, subtype) = self.kind.type_subtype();
         (self.protocol_version as u16 & 0b11)
@@ -463,100 +476,118 @@ impl FrameControl {
     }
 
     /// The frame kind (type + subtype).
+    #[must_use] 
     pub const fn kind(self) -> FrameKind {
         self.kind
     }
 
     /// Protocol version bits (always 0 in deployed networks).
+    #[must_use] 
     pub const fn protocol_version(self) -> u8 {
         self.protocol_version
     }
 
     /// To-DS flag.
+    #[must_use] 
     pub const fn to_ds(self) -> bool {
         self.to_ds
     }
 
     /// From-DS flag.
+    #[must_use] 
     pub const fn from_ds(self) -> bool {
         self.from_ds
     }
 
     /// More-fragments flag.
+    #[must_use] 
     pub const fn more_fragments(self) -> bool {
         self.more_fragments
     }
 
     /// Retry flag — set on retransmissions. Fig. 4 of the paper filters
     /// retries out when isolating backoff behaviour.
+    #[must_use] 
     pub const fn retry(self) -> bool {
         self.retry
     }
 
     /// Power-management flag — the station enters power save after this
     /// frame when set.
+    #[must_use] 
     pub const fn power_management(self) -> bool {
         self.power_management
     }
 
     /// More-data flag (AP has queued frames for a dozing station).
+    #[must_use] 
     pub const fn more_data(self) -> bool {
         self.more_data
     }
 
     /// Protected flag — payload is encrypted (WEP/TKIP/CCMP).
+    #[must_use] 
     pub const fn protected(self) -> bool {
         self.protected
     }
 
     /// Order flag (strictly-ordered service class).
+    #[must_use] 
     pub const fn order(self) -> bool {
         self.order
     }
 
     /// Returns a copy with the To-DS flag set to `v`.
+    #[must_use] 
     pub const fn with_to_ds(mut self, v: bool) -> Self {
         self.to_ds = v;
         self
     }
 
     /// Returns a copy with the From-DS flag set to `v`.
+    #[must_use] 
     pub const fn with_from_ds(mut self, v: bool) -> Self {
         self.from_ds = v;
         self
     }
 
     /// Returns a copy with the retry flag set to `v`.
+    #[must_use] 
     pub const fn with_retry(mut self, v: bool) -> Self {
         self.retry = v;
         self
     }
 
     /// Returns a copy with the power-management flag set to `v`.
+    #[must_use] 
     pub const fn with_power_management(mut self, v: bool) -> Self {
         self.power_management = v;
         self
     }
 
     /// Returns a copy with the more-data flag set to `v`.
+    #[must_use] 
     pub const fn with_more_data(mut self, v: bool) -> Self {
         self.more_data = v;
         self
     }
 
     /// Returns a copy with the protected flag set to `v`.
+    #[must_use] 
     pub const fn with_protected(mut self, v: bool) -> Self {
         self.protected = v;
         self
     }
 
     /// Returns a copy with the more-fragments flag set to `v`.
+    #[must_use] 
     pub const fn with_more_fragments(mut self, v: bool) -> Self {
         self.more_fragments = v;
         self
     }
 
     /// Returns a copy with the order flag set to `v`.
+    #[must_use] 
     pub const fn with_order(mut self, v: bool) -> Self {
         self.order = v;
         self

@@ -84,6 +84,7 @@ impl Frame {
     ///
     /// Addresses beyond what the frame kind carries are ignored at
     /// serialisation time.
+    #[must_use] 
     pub fn new(fc: FrameControl, addr1: MacAddr) -> Self {
         Frame {
             fc,
@@ -104,6 +105,7 @@ impl Frame {
 
     /// An uplink data frame (station → AP): ToDS=1, addr1=BSSID, addr2=SA,
     /// addr3=DA, with a zero-filled body of `payload_len` bytes.
+    #[must_use] 
     pub fn data_to_ds(sa: MacAddr, bssid: MacAddr, da: MacAddr, payload_len: usize) -> Self {
         let fc = FrameControl::new(FrameKind::Data).with_to_ds(true);
         Frame {
@@ -121,6 +123,7 @@ impl Frame {
 
     /// A downlink data frame (AP → station): FromDS=1, addr1=DA,
     /// addr2=BSSID, addr3=SA.
+    #[must_use] 
     pub fn data_from_ds(da: MacAddr, bssid: MacAddr, sa: MacAddr, payload_len: usize) -> Self {
         let fc = FrameControl::new(FrameKind::Data).with_from_ds(true);
         Frame {
@@ -138,6 +141,7 @@ impl Frame {
 
     /// An IBSS / ad-hoc data frame (ToDS=0, FromDS=0): addr1=DA, addr2=SA,
     /// addr3=BSSID.
+    #[must_use] 
     pub fn data_ibss(da: MacAddr, sa: MacAddr, bssid: MacAddr, payload_len: usize) -> Self {
         let fc = FrameControl::new(FrameKind::Data);
         Frame {
@@ -154,6 +158,7 @@ impl Frame {
     }
 
     /// A null-function frame used for power-save signalling (uplink).
+    #[must_use] 
     pub fn null_function(sa: MacAddr, bssid: MacAddr, power_save: bool) -> Self {
         let fc = FrameControl::new(FrameKind::NullFunction)
             .with_to_ds(true)
@@ -172,6 +177,7 @@ impl Frame {
     }
 
     /// A management frame: addr1=DA, addr2=SA, addr3=BSSID.
+    #[must_use] 
     pub fn management(kind: FrameKind, da: MacAddr, sa: MacAddr, bssid: MacAddr, body: Vec<u8>) -> Self {
         debug_assert_eq!(kind.frame_type(), crate::fc::FrameType::Management);
         Frame {
@@ -188,16 +194,19 @@ impl Frame {
     }
 
     /// A broadcast probe request from `sa`.
+    #[must_use] 
     pub fn probe_req(sa: MacAddr, body: Vec<u8>) -> Self {
         Self::management(FrameKind::ProbeReq, MacAddr::BROADCAST, sa, MacAddr::BROADCAST, body)
     }
 
     /// A beacon from `bssid`.
+    #[must_use] 
     pub fn beacon(bssid: MacAddr, body: Vec<u8>) -> Self {
         Self::management(FrameKind::Beacon, MacAddr::BROADCAST, bssid, bssid, body)
     }
 
     /// An RTS: addr1=RA, addr2=TA.
+    #[must_use] 
     pub fn rts(ra: MacAddr, ta: MacAddr, duration: u16) -> Self {
         Frame {
             fc: FrameControl::new(FrameKind::Rts),
@@ -213,6 +222,7 @@ impl Frame {
     }
 
     /// A CTS: addr1=RA only; no transmitter address on air.
+    #[must_use] 
     pub fn cts(ra: MacAddr, duration: u16) -> Self {
         Frame {
             fc: FrameControl::new(FrameKind::Cts),
@@ -228,6 +238,7 @@ impl Frame {
     }
 
     /// An ACK: addr1=RA only; no transmitter address on air.
+    #[must_use] 
     pub fn ack(ra: MacAddr) -> Self {
         Frame {
             fc: FrameControl::new(FrameKind::Ack),
@@ -243,6 +254,7 @@ impl Frame {
     }
 
     /// A PS-Poll: the duration field carries the association ID.
+    #[must_use] 
     pub fn ps_poll(bssid: MacAddr, ta: MacAddr, aid: u16) -> Self {
         Frame {
             fc: FrameControl::new(FrameKind::PsPoll),
@@ -260,6 +272,7 @@ impl Frame {
     // ----- builder-style modifiers ----------------------------------------
 
     /// Sets the NAV duration field (or AID for PS-Poll) and returns `self`.
+    #[must_use] 
     pub fn with_duration(mut self, duration: u16) -> Self {
         self.duration = duration;
         self
@@ -267,6 +280,7 @@ impl Frame {
 
     /// Sets the sequence number (0..=4095), fragment 0, and returns `self`.
     /// No-op for control frames, which carry no sequence control field.
+    #[must_use] 
     pub fn with_sequence(mut self, seq: u16) -> Self {
         if self.seq_ctrl.is_some() {
             self.seq_ctrl = Some((seq & 0x0fff) << 4);
@@ -277,13 +291,15 @@ impl Frame {
     /// Replaces the frame control field and returns `self`. The kind must
     /// stay compatible with the stored addresses; this is intended for flag
     /// tweaks (retry, protected, power management).
+    #[must_use] 
     pub fn with_fc(mut self, fc: FrameControl) -> Self {
         self.fc = fc;
         self
     }
 
-    /// Upgrades a plain data frame to QoS data with the given QoS Control
+    /// Upgrades a plain data frame to `QoS` data with the given `QoS` Control
     /// field, adjusting the subtype, and returns `self`.
+    #[must_use] 
     pub fn with_qos(mut self, qos_ctrl: u16) -> Self {
         let kind = match self.fc.kind() {
             FrameKind::Data => FrameKind::QosData,
@@ -304,6 +320,7 @@ impl Frame {
     }
 
     /// Replaces the body bytes and returns `self`.
+    #[must_use] 
     pub fn with_body(mut self, body: Vec<u8>) -> Self {
         self.body = body;
         self
@@ -312,21 +329,25 @@ impl Frame {
     // ----- accessors -------------------------------------------------------
 
     /// The frame control field.
+    #[must_use] 
     pub fn frame_control(&self) -> FrameControl {
         self.fc
     }
 
     /// The frame kind (type + subtype).
+    #[must_use] 
     pub fn kind(&self) -> FrameKind {
         self.fc.kind()
     }
 
     /// The raw duration/ID field.
+    #[must_use] 
     pub fn duration(&self) -> u16 {
         self.duration
     }
 
     /// Receiver address (addr1), present on every frame.
+    #[must_use] 
     pub fn receiver(&self) -> MacAddr {
         self.addr1
     }
@@ -335,16 +356,19 @@ impl Frame {
     ///
     /// This is the address the fingerprinting pipeline attributes
     /// observations to; `None` corresponds to the paper's `sᵢ = null`.
+    #[must_use] 
     pub fn transmitter(&self) -> Option<MacAddr> {
         self.addr2
     }
 
     /// The third address, when the kind carries one.
+    #[must_use] 
     pub fn addr3(&self) -> Option<MacAddr> {
         self.addr3
     }
 
     /// Logical destination address per the ToDS/FromDS rules.
+    #[must_use] 
     pub fn destination(&self) -> Option<MacAddr> {
         match self.kind().frame_type() {
             crate::fc::FrameType::Management => Some(self.addr1),
@@ -358,6 +382,7 @@ impl Frame {
     }
 
     /// Logical source address per the ToDS/FromDS rules.
+    #[must_use] 
     pub fn source(&self) -> Option<MacAddr> {
         match self.kind().frame_type() {
             crate::fc::FrameType::Management => self.addr2,
@@ -372,6 +397,7 @@ impl Frame {
     }
 
     /// BSSID per the ToDS/FromDS rules, when determinable.
+    #[must_use] 
     pub fn bssid(&self) -> Option<MacAddr> {
         match self.kind().frame_type() {
             crate::fc::FrameType::Management => self.addr3,
@@ -389,21 +415,25 @@ impl Frame {
     }
 
     /// Sequence number (0..=4095) when the frame carries one.
+    #[must_use] 
     pub fn sequence(&self) -> Option<u16> {
         self.seq_ctrl.map(|sc| sc >> 4)
     }
 
-    /// QoS control field for QoS subtypes.
+    /// `QoS` control field for `QoS` subtypes.
+    #[must_use] 
     pub fn qos_control(&self) -> Option<u16> {
         self.qos_ctrl
     }
 
     /// Frame body (payload after the MAC header, before the FCS).
+    #[must_use] 
     pub fn body(&self) -> &[u8] {
         &self.body
     }
 
     /// Header length in bytes for this frame's kind and flags (no FCS).
+    #[must_use] 
     pub fn header_len(&self) -> usize {
         match self.kind() {
             FrameKind::Cts | FrameKind::Ack => 10,
@@ -423,6 +453,7 @@ impl Frame {
     }
 
     /// Total on-air length in bytes, including the 4-byte FCS.
+    #[must_use] 
     pub fn wire_len(&self) -> usize {
         self.header_len() + self.body.len() + FCS_LEN
     }
@@ -431,6 +462,7 @@ impl Frame {
 
     /// Serialises the frame to its on-air byte representation, including a
     /// valid FCS.
+    #[must_use] 
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_len());
         out.extend_from_slice(&self.fc.to_raw().to_le_bytes());
@@ -564,6 +596,7 @@ impl Frame {
     /// Verifies the trailing FCS of an on-air byte buffer.
     ///
     /// Returns `false` for buffers too short to hold an FCS.
+    #[must_use] 
     pub fn verify_fcs(buf: &[u8]) -> bool {
         if buf.len() < FCS_LEN {
             return false;
@@ -579,7 +612,7 @@ pub fn crc32(data: &[u8]) -> u32 {
     const POLY: u32 = 0xEDB8_8320;
     let mut crc = 0xFFFF_FFFFu32;
     for &byte in data {
-        crc ^= byte as u32;
+        crc ^= u32::from(byte);
         for _ in 0..8 {
             let mask = (crc & 1).wrapping_neg();
             crc = (crc >> 1) ^ (POLY & mask);
@@ -761,7 +794,7 @@ mod tests {
     #[test]
     fn sequence_is_masked_to_12_bits() {
         let f = Frame::data_to_ds(sta(), ap(), peer(), 0).with_sequence(5000);
-        assert_eq!(f.sequence(), Some(5000 & 0x0fff));
+        assert_eq!(f.sequence(), Some(0x0388)); // 5000 mod 4096
         // Control frames silently ignore sequence numbers.
         let ack = Frame::ack(sta()).with_sequence(7);
         assert_eq!(ack.sequence(), None);

@@ -40,6 +40,36 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::pedantic)]
+// Pedantic lints this crate opts out of, mirroring wifiprint-core:
+#![allow(
+    // Wire codecs narrow u64/usize into header fields whose widths the
+    // 802.11 standard fixes; the bounds are checked where they matter.
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss,
+    // Exact float compares pin deliberate sentinel values in tests.
+    clippy::float_cmp,
+    // Getter-heavy API: #[must_use] on every accessor is noise.
+    clippy::must_use_candidate,
+    clippy::return_self_not_must_use,
+    // Public items are re-exported from the crate root, so
+    // module-qualified names repeat the module name.
+    clippy::module_name_repetitions,
+    // Frame parsing keeps one match arm per 802.11 subtype even when
+    // neighbouring subtypes currently decode identically — the standard's
+    // table structure is the point.
+    clippy::match_same_arms,
+    // The flagged `expect`s are fixed-size slice conversions
+    // (`[u8; N]` from a length-checked slice) that cannot fail.
+    clippy::missing_panics_doc,
+    // FrameControl mirrors the standard's flag bits; each bool is one
+    // wire bit, an enum would obscure the mapping.
+    clippy::struct_excessive_bools,
+    // 802.11 jargon (DSSS/CCK, Duration/ID, …) trips the identifier
+    // heuristic on prose that is not code.
+    clippy::doc_markdown
+)]
 
 pub mod duration;
 pub mod elements;
@@ -50,6 +80,7 @@ mod rate;
 mod seq;
 mod time;
 pub mod timing;
+pub mod wire;
 
 pub use fc::{FrameControl, FrameKind, FrameType};
 pub use frame::{Frame, FrameError};
@@ -57,3 +88,4 @@ pub use mac::{MacAddr, ParseMacAddrError};
 pub use rate::{Modulation, Rate};
 pub use seq::SequenceCounter;
 pub use time::Nanos;
+pub use wire::WireFrame;

@@ -28,6 +28,7 @@ impl MacAddr {
 
     /// Creates an address from its six octets.
     #[inline]
+    #[must_use] 
     pub const fn new(octets: [u8; 6]) -> Self {
         MacAddr(octets)
     }
@@ -37,6 +38,7 @@ impl MacAddr {
     /// Handy for simulations that need many distinct stable addresses: the
     /// first octet is fixed to `0x02` (locally administered, unicast).
     #[inline]
+    #[must_use] 
     pub const fn from_index(index: u64) -> Self {
         MacAddr([
             0x02,
@@ -56,6 +58,7 @@ impl MacAddr {
     /// address — a MAC-randomization linker's pre-gate can tell it apart
     /// from a randomized one by the U/L bit alone.
     #[inline]
+    #[must_use] 
     pub const fn universal_from_index(index: u64) -> Self {
         MacAddr([
             0x00,
@@ -69,12 +72,13 @@ impl MacAddr {
 
     /// Derives a randomized locally-administered unicast address from a
     /// 64-bit seed, the shape OS MAC randomization emits: the seed is
-    /// bit-mixed (SplitMix64 finalizer) across all six octets, then the
+    /// bit-mixed (`SplitMix64` finalizer) across all six octets, then the
     /// U/L bit is forced on and the I/G bit forced off.
     ///
     /// Deterministic in the seed; distinct seeds collide only with the
     /// usual 46-bit birthday probability.
     #[inline]
+    #[must_use] 
     pub const fn randomized(seed: u64) -> Self {
         let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -92,18 +96,21 @@ impl MacAddr {
 
     /// The six octets of the address.
     #[inline]
+    #[must_use] 
     pub const fn octets(self) -> [u8; 6] {
         self.0
     }
 
     /// The 24-bit organisationally-unique identifier (first three octets).
     #[inline]
+    #[must_use] 
     pub const fn oui(self) -> [u8; 3] {
         [self.0[0], self.0[1], self.0[2]]
     }
 
     /// `true` for `ff:ff:ff:ff:ff:ff`.
     #[inline]
+    #[must_use] 
     pub fn is_broadcast(self) -> bool {
         self == Self::BROADCAST
     }
@@ -111,6 +118,7 @@ impl MacAddr {
     /// `true` if the group bit (I/G, lowest bit of the first octet) is set.
     /// Broadcast is also a group address.
     #[inline]
+    #[must_use] 
     pub const fn is_multicast(self) -> bool {
         self.0[0] & 0x01 != 0
     }
@@ -121,6 +129,7 @@ impl MacAddr {
     /// bit, so it is the cheap first gate of a MAC-randomization linker:
     /// an address with the bit *clear* is burned-in and cannot rotate.
     #[inline]
+    #[must_use] 
     pub const fn is_locally_administered(self) -> bool {
         self.0[0] & 0x02 != 0
     }
@@ -129,6 +138,7 @@ impl MacAddr {
     /// (vendor burned-in) address. The complement of
     /// [`MacAddr::is_locally_administered`].
     #[inline]
+    #[must_use] 
     pub const fn is_universally_administered(self) -> bool {
         !self.is_locally_administered()
     }
@@ -136,6 +146,7 @@ impl MacAddr {
     /// `true` for an individual (non-group) address — the I/G bit is
     /// clear.
     #[inline]
+    #[must_use] 
     pub const fn is_unicast(self) -> bool {
         !self.is_multicast()
     }
@@ -143,6 +154,7 @@ impl MacAddr {
     /// `true` if the address carries the given 24-bit vendor OUI prefix
     /// (first three octets).
     #[inline]
+    #[must_use] 
     pub fn oui_matches(self, prefix: [u8; 3]) -> bool {
         self.oui() == prefix
     }
@@ -150,6 +162,7 @@ impl MacAddr {
     /// Returns a copy with the OUI (first three octets) replaced,
     /// keeping the device-specific low 24 bits.
     #[inline]
+    #[must_use] 
     pub const fn with_oui(self, oui: [u8; 3]) -> Self {
         MacAddr([oui[0], oui[1], oui[2], self.0[3], self.0[4], self.0[5]])
     }
@@ -158,6 +171,7 @@ impl MacAddr {
     ///
     /// Returns `None` if `buf` is shorter than six bytes.
     #[inline]
+    #[must_use] 
     pub fn from_slice(buf: &[u8]) -> Option<Self> {
         let octets: [u8; 6] = buf.get(..6)?.try_into().ok()?;
         Some(MacAddr(octets))
@@ -215,7 +229,7 @@ impl FromStr for MacAddr {
         let sep = if s.contains('-') { '-' } else { ':' };
         let mut octets = [0u8; 6];
         let mut parts = s.split(sep);
-        for octet in octets.iter_mut() {
+        for octet in &mut octets {
             let part = parts.next().ok_or_else(err)?;
             if part.len() != 2 {
                 return Err(err());
@@ -270,7 +284,7 @@ mod tests {
 
     #[test]
     fn from_index_is_unique_and_stable() {
-        let a = MacAddr::from_index(0x0102030405);
+        let a = MacAddr::from_index(0x01_0203_0405);
         assert_eq!(a.octets(), [0x02, 0x01, 0x02, 0x03, 0x04, 0x05]);
         assert_ne!(MacAddr::from_index(1), MacAddr::from_index(2));
     }
@@ -297,8 +311,8 @@ mod tests {
     #[test]
     fn administration_bits() {
         // from_index is locally administered; universal_from_index is not.
-        let local = MacAddr::from_index(0x0102030405);
-        let universal = MacAddr::universal_from_index(0x0102030405);
+        let local = MacAddr::from_index(0x01_0203_0405);
+        let universal = MacAddr::universal_from_index(0x01_0203_0405);
         assert!(local.is_locally_administered());
         assert!(!local.is_universally_administered());
         assert!(universal.is_universally_administered());

@@ -92,6 +92,7 @@ impl Rate {
     ///
     /// Returns `None` for zero, which Radiotap uses for "unknown".
     #[inline]
+    #[must_use] 
     pub const fn from_raw(half_mbps: u8) -> Option<Rate> {
         if half_mbps == 0 {
             None
@@ -102,18 +103,21 @@ impl Rate {
 
     /// The raw Radiotap encoding (units of 500 kb/s).
     #[inline]
+    #[must_use] 
     pub const fn to_raw(self) -> u8 {
         self.0
     }
 
     /// The rate in megabits per second.
     #[inline]
+    #[must_use] 
     pub fn mbps(self) -> f64 {
-        self.0 as f64 / 2.0
+        f64::from(self.0) / 2.0
     }
 
     /// The rate in bits per microsecond (equals Mb/s numerically).
     #[inline]
+    #[must_use] 
     pub fn bits_per_micro(self) -> f64 {
         self.mbps()
     }
@@ -121,6 +125,7 @@ impl Rate {
     /// Which modulation family this rate uses.
     ///
     /// Note 11 Mb/s (raw 22) is CCK while 12 Mb/s (raw 24) is OFDM.
+    #[must_use] 
     pub const fn modulation(self) -> Modulation {
         match self.0 {
             2 | 4 | 11 | 22 => Modulation::Dsss,
@@ -129,27 +134,28 @@ impl Rate {
     }
 
     /// Data bits per 4 µs OFDM symbol. Zero for DSSS/CCK rates.
+    ///
+    /// For any OFDM rate — standard or not — this is `raw × 2`
+    /// (`Mb/s × 4 µs`); computing it instead of table-lookup keeps
+    /// nonstandard rates from corrupt capture headers out of the
+    /// divide-by-zero path in `air_time`.
+    #[must_use] 
     pub const fn bits_per_ofdm_symbol(self) -> u32 {
-        match self.0 {
-            12 => 24,
-            18 => 36,
-            24 => 48,
-            36 => 72,
-            48 => 96,
-            72 => 144,
-            96 => 192,
-            108 => 216,
-            _ => 0,
+        match self.modulation() {
+            Modulation::Dsss => 0,
+            Modulation::Ofdm => self.0 as u32 * 2,
         }
     }
 
     /// `true` if this is one of the twelve standard 802.11b/g rates.
+    #[must_use] 
     pub fn is_standard_bg(self) -> bool {
         Rate::ALL_BG.contains(&self)
     }
 
     /// The highest standard rate less than or equal to `self` in the given
     /// set, falling back to the set's lowest rate.
+    #[must_use] 
     pub fn clamp_to_set(self, set: &[Rate]) -> Rate {
         let mut best: Option<Rate> = None;
         for &r in set {

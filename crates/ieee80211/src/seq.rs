@@ -18,11 +18,13 @@ pub struct SequenceCounter {
 
 impl SequenceCounter {
     /// A counter starting at sequence number 0.
+    #[must_use] 
     pub const fn new() -> Self {
         SequenceCounter { next: 0 }
     }
 
     /// A counter starting at an arbitrary point (wrapped into range).
+    #[must_use] 
     pub const fn starting_at(seq: u16) -> Self {
         SequenceCounter { next: seq & 0x0fff }
     }
@@ -37,6 +39,7 @@ impl SequenceCounter {
     }
 
     /// The value `next()` would return, without advancing.
+    #[must_use] 
     pub const fn peek(&self) -> u16 {
         self.next
     }
@@ -58,6 +61,6 @@ mod tests {
     #[test]
     fn starting_at_masks() {
         let mut c = SequenceCounter::starting_at(5000);
-        assert_eq!(c.next(), 5000 & 0x0fff);
+        assert_eq!(c.next(), 0x0388); // 5000 mod 4096
     }
 }

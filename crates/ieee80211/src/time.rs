@@ -33,31 +33,40 @@ impl Nanos {
 
     /// Creates a quantity from raw nanoseconds.
     #[inline]
+    #[must_use] 
     pub const fn from_nanos(ns: u64) -> Self {
         Nanos(ns)
     }
 
-    /// Creates a quantity from whole microseconds.
+    /// Creates a quantity from whole microseconds, saturating at
+    /// [`Nanos::MAX`] (a hostile capture header can carry a TSFT near
+    /// `u64::MAX` µs).
     #[inline]
+    #[must_use] 
     pub const fn from_micros(us: u64) -> Self {
-        Nanos(us * 1_000)
+        Nanos(us.saturating_mul(1_000))
     }
 
-    /// Creates a quantity from whole milliseconds.
+    /// Creates a quantity from whole milliseconds, saturating at
+    /// [`Nanos::MAX`].
     #[inline]
+    #[must_use] 
     pub const fn from_millis(ms: u64) -> Self {
-        Nanos(ms * 1_000_000)
+        Nanos(ms.saturating_mul(1_000_000))
     }
 
-    /// Creates a quantity from whole seconds.
+    /// Creates a quantity from whole seconds, saturating at
+    /// [`Nanos::MAX`].
     #[inline]
+    #[must_use] 
     pub const fn from_secs(s: u64) -> Self {
-        Nanos(s * 1_000_000_000)
+        Nanos(s.saturating_mul(1_000_000_000))
     }
 
     /// Creates a quantity from fractional seconds, rounding to the nearest
     /// nanosecond. Negative inputs saturate to zero.
     #[inline]
+    #[must_use] 
     pub fn from_secs_f64(s: f64) -> Self {
         if s <= 0.0 {
             Nanos::ZERO
@@ -68,42 +77,49 @@ impl Nanos {
 
     /// Raw nanosecond count.
     #[inline]
+    #[must_use] 
     pub const fn as_nanos(self) -> u64 {
         self.0
     }
 
     /// Whole microseconds (truncating).
     #[inline]
+    #[must_use] 
     pub const fn as_micros(self) -> u64 {
         self.0 / 1_000
     }
 
     /// Fractional microseconds.
     #[inline]
+    #[must_use] 
     pub fn as_micros_f64(self) -> f64 {
         self.0 as f64 / 1e3
     }
 
     /// Whole milliseconds (truncating).
     #[inline]
+    #[must_use] 
     pub const fn as_millis(self) -> u64 {
         self.0 / 1_000_000
     }
 
     /// Fractional seconds.
     #[inline]
+    #[must_use] 
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9
     }
 
     /// Saturating subtraction: returns zero instead of wrapping.
     #[inline]
+    #[must_use] 
     pub const fn saturating_sub(self, rhs: Nanos) -> Nanos {
         Nanos(self.0.saturating_sub(rhs.0))
     }
 
     /// Checked subtraction.
     #[inline]
+    #[must_use] 
     pub const fn checked_sub(self, rhs: Nanos) -> Option<Nanos> {
         match self.0.checked_sub(rhs.0) {
             Some(v) => Some(Nanos(v)),
@@ -113,18 +129,21 @@ impl Nanos {
 
     /// Saturating addition: returns [`Nanos::MAX`] instead of wrapping.
     #[inline]
+    #[must_use] 
     pub const fn saturating_add(self, rhs: Nanos) -> Nanos {
         Nanos(self.0.saturating_add(rhs.0))
     }
 
     /// `true` if this quantity is zero.
     #[inline]
+    #[must_use] 
     pub const fn is_zero(self) -> bool {
         self.0 == 0
     }
 
     /// The smaller of two quantities.
     #[inline]
+    #[must_use] 
     pub fn min(self, other: Nanos) -> Nanos {
         if self <= other {
             self
@@ -135,6 +154,7 @@ impl Nanos {
 
     /// The larger of two quantities.
     #[inline]
+    #[must_use] 
     pub fn max(self, other: Nanos) -> Nanos {
         if self >= other {
             self

@@ -35,6 +35,7 @@ pub enum SlotTime {
 impl SlotTime {
     /// The slot duration.
     #[inline]
+    #[must_use] 
     pub const fn duration(self) -> Nanos {
         match self {
             SlotTime::Long => Nanos::from_micros(20),
@@ -72,6 +73,7 @@ pub const CW_MAX: u32 = 1023;
 
 /// DCF interframe space: `SIFS + 2 × slot`.
 #[inline]
+#[must_use] 
 pub const fn difs(slot: SlotTime) -> Nanos {
     Nanos::from_nanos(SIFS.as_nanos() + 2 * slot.duration().as_nanos())
 }
@@ -79,6 +81,7 @@ pub const fn difs(slot: SlotTime) -> Nanos {
 /// Extended interframe space used after a reception error:
 /// `SIFS + DIFS + ACK-time at the lowest basic rate`.
 #[inline]
+#[must_use] 
 pub fn eifs(slot: SlotTime, lowest_basic: Rate, preamble: Preamble) -> Nanos {
     let ack_time = air_time(PhyTx::new(lowest_basic, preamble), ACK_LEN);
     SIFS + difs(slot) + ack_time
@@ -104,21 +107,25 @@ pub struct PhyTx {
 impl PhyTx {
     /// A transmission at `rate` with the given DSSS preamble and the ERP
     /// signal extension enabled for OFDM rates.
+    #[must_use] 
     pub const fn new(rate: Rate, preamble: Preamble) -> Self {
         PhyTx { rate, preamble, signal_extension: true }
     }
 
     /// An ERP-OFDM transmission (802.11g) with signal extension.
+    #[must_use] 
     pub const fn erp_ofdm(rate: Rate) -> Self {
         PhyTx { rate, preamble: Preamble::Long, signal_extension: true }
     }
 
     /// A DSSS/CCK transmission with a long preamble.
+    #[must_use] 
     pub const fn dsss_long(rate: Rate) -> Self {
         PhyTx { rate, preamble: Preamble::Long, signal_extension: false }
     }
 
     /// A DSSS/CCK transmission with a short preamble.
+    #[must_use] 
     pub const fn dsss_short(rate: Rate) -> Self {
         PhyTx { rate, preamble: Preamble::Short, signal_extension: false }
     }
@@ -144,6 +151,8 @@ impl PhyTx {
 /// let t = air_time(PhyTx::dsss_long(Rate::R1M), 14);
 /// assert_eq!(t.as_micros(), 304);
 /// ```
+#[inline]
+#[must_use] 
 pub fn air_time(tx: PhyTx, len: usize) -> Nanos {
     let bits = 8 * len as u64;
     match tx.rate.modulation() {
@@ -161,8 +170,26 @@ pub fn air_time(tx: PhyTx, len: usize) -> Nanos {
         }
         Modulation::Ofdm => {
             // 16 service bits + 6 tail bits + payload, in 4 µs symbols.
-            let n_dbps = tx.rate.bits_per_ofdm_symbol() as u64;
-            let symbols = (16 + 6 + bits).div_ceil(n_dbps);
+            // `.max(1)` guards the unreachable-but-fatal zero-width
+            // symbol (a `Rate` of 0 cannot come out of the header
+            // decoders, but a division by zero must not be possible).
+            let n_dbps = u64::from(tx.rate.bits_per_ofdm_symbol().max(1));
+            let total = 16 + 6 + bits;
+            // Spelling out the standard divisors lets the compiler
+            // strength-reduce each to a multiply — replay decodes
+            // millions of frames per second, and a hardware divide per
+            // frame is the single costliest instruction on that path.
+            let symbols = match n_dbps {
+                24 => total.div_ceil(24),
+                36 => total.div_ceil(36),
+                48 => total.div_ceil(48),
+                72 => total.div_ceil(72),
+                96 => total.div_ceil(96),
+                144 => total.div_ceil(144),
+                192 => total.div_ceil(192),
+                216 => total.div_ceil(216),
+                d => total.div_ceil(d),
+            };
             let ext = if tx.signal_extension { SIGNAL_EXTENSION } else { Nanos::ZERO };
             OFDM_PLCP + OFDM_SYMBOL * symbols + ext
         }
@@ -176,6 +203,7 @@ pub fn air_time(tx: PhyTx, len: usize) -> Nanos {
 /// computes from Radiotap's size and rate fields alone, and is the quantity
 /// the "transmission time" fingerprint histograms bin.
 #[inline]
+#[must_use] 
 pub fn estimated_tx_time_micros(len: usize, rate: Rate) -> f64 {
     8.0 * len as f64 / rate.mbps()
 }

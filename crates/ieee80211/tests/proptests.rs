@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use wifiprint_ieee80211::elements::Element;
 use wifiprint_ieee80211::timing::{air_time, estimated_tx_time_micros, PhyTx, Preamble};
-use wifiprint_ieee80211::{Frame, FrameControl, FrameKind, MacAddr, Nanos, Rate};
+use wifiprint_ieee80211::{Frame, FrameControl, FrameKind, MacAddr, Nanos, Rate, WireFrame};
 
 fn arb_mac() -> impl Strategy<Value = MacAddr> {
     any::<[u8; 6]>().prop_map(MacAddr::new)
@@ -112,5 +112,97 @@ proptest! {
     #[test]
     fn element_parse_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
         let _ = Element::parse_all(&bytes);
+    }
+}
+
+/// An arbitrary well-formed frame covering every address layout the wire
+/// format has: anonymous control frames, 16-byte control frames,
+/// management, plain and QoS data in all DS directions.
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        (arb_mac(), arb_mac(), arb_mac()),
+        (0usize..600, 0u16..4096, any::<u16>()),
+        (any::<bool>(), any::<bool>(), 0usize..12),
+    )
+        .prop_map(|((a, b, c), (len, seq, qos), (retry, pm, pick))| {
+            let frame = match pick {
+                0 => Frame::ack(a),
+                1 => Frame::cts(a, seq),
+                2 => Frame::rts(a, b, seq),
+                3 => Frame::ps_poll(a, b, seq & 0x3fff),
+                4 => Frame::beacon(a, vec![7; len]),
+                5 => Frame::probe_req(a, vec![3; len]),
+                6 => Frame::management(FrameKind::Auth, a, b, c, vec![1; len]),
+                7 => Frame::null_function(a, b, pm),
+                8 => Frame::data_from_ds(a, b, c, len),
+                9 => Frame::data_ibss(a, b, c, len),
+                10 => Frame::data_to_ds(a, b, c, len).with_qos(qos),
+                _ => Frame::data_to_ds(a, b, c, len),
+            };
+            let fc = frame.frame_control().with_retry(retry);
+            frame.with_fc(fc).with_sequence(seq)
+        })
+}
+
+/// Every `WireFrame` accessor must agree with the materializing parser.
+fn assert_wire_parity(bytes: &[u8], has_fcs: bool) {
+    let (view, frame) = if has_fcs {
+        (WireFrame::parse(bytes).unwrap(), Frame::parse(bytes).unwrap())
+    } else {
+        (WireFrame::parse_without_fcs(bytes).unwrap(), Frame::parse_without_fcs(bytes).unwrap())
+    };
+    assert_eq!(view.frame_control(), frame.frame_control());
+    assert_eq!(view.kind(), frame.kind());
+    assert_eq!(view.duration(), frame.duration());
+    assert_eq!(view.receiver(), frame.receiver());
+    assert_eq!(view.transmitter(), frame.transmitter());
+    assert_eq!(view.addr3(), frame.addr3());
+    assert_eq!(view.sequence(), frame.sequence());
+    assert_eq!(view.qos_control(), frame.qos_control());
+    assert_eq!(view.destination(), frame.destination());
+    assert_eq!(view.source(), frame.source());
+    assert_eq!(view.bssid(), frame.bssid());
+    assert_eq!(view.body(), frame.body());
+    assert_eq!(view.header_len(), frame.header_len());
+    assert_eq!(view.wire_len(), frame.wire_len());
+    assert_eq!(view.retry(), frame.frame_control().retry());
+}
+
+proptest! {
+    // Tentpole contract: the borrowed view is field-for-field equal to
+    // `Frame::parse` / `parse_without_fcs` on every valid frame.
+    #[test]
+    fn wire_view_matches_owned_parse(frame in arb_frame()) {
+        let bytes = frame.to_bytes();
+        assert_wire_parity(&bytes, true);
+        let stripped = &bytes[..bytes.len() - 4];
+        assert_wire_parity(stripped, false);
+    }
+
+    // The borrowed parser is as total as the owned one: identical
+    // accept/reject decisions and identical typed errors on garbage.
+    #[test]
+    fn wire_view_never_panics_and_errors_match(
+        bytes in prop::collection::vec(any::<u8>(), 0..96),
+    ) {
+        match (WireFrame::parse(&bytes), Frame::parse(&bytes)) {
+            (Ok(_), Ok(_)) => {}
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "decision mismatch: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+        let _ = WireFrame::parse_without_fcs(&bytes);
+    }
+
+    // Truncating a valid frame anywhere yields the same truncation error
+    // from both parsers.
+    #[test]
+    fn wire_view_truncation_parity(frame in arb_frame(), cut_seed in any::<u64>()) {
+        let bytes = frame.to_bytes();
+        let cut = (cut_seed as usize) % bytes.len();
+        match (WireFrame::parse(&bytes[..cut]), Frame::parse(&bytes[..cut])) {
+            (Ok(_), Ok(_)) => {}
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "decision mismatch: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
     }
 }

@@ -37,6 +37,7 @@ pub enum LinkType {
 
 impl LinkType {
     /// The registry number for this link type.
+    #[must_use] 
     pub const fn to_raw(self) -> u32 {
         match self {
             LinkType::Ethernet => 1,
@@ -48,6 +49,7 @@ impl LinkType {
     }
 
     /// Decodes a registry number.
+    #[must_use] 
     pub const fn from_raw(raw: u32) -> LinkType {
         match raw {
             1 => LinkType::Ethernet,
@@ -87,34 +89,67 @@ pub struct Record {
 
 impl Record {
     /// A record whose captured data is the complete packet.
+    #[must_use] 
     pub fn new(ts_sec: u32, ts_nanos: u32, data: Vec<u8>) -> Self {
         let orig_len = data.len() as u32;
         Record { ts_sec, ts_nanos, orig_len, data }
     }
 
     /// A record truncated by a snapshot length.
+    #[must_use] 
     pub fn truncated(ts_sec: u32, ts_nanos: u32, orig_len: u32, data: Vec<u8>) -> Self {
         Record { ts_sec, ts_nanos, orig_len, data }
     }
 
     /// Creates a record from an absolute microsecond timestamp.
+    #[must_use] 
     pub fn from_micros(ts_micros: u64, data: Vec<u8>) -> Self {
         Record::new((ts_micros / 1_000_000) as u32, ((ts_micros % 1_000_000) * 1000) as u32, data)
     }
 
     /// Absolute timestamp in microseconds since the epoch.
+    #[must_use] 
     pub fn timestamp_micros(&self) -> u64 {
-        self.ts_sec as u64 * 1_000_000 + (self.ts_nanos / 1000) as u64
+        u64::from(self.ts_sec) * 1_000_000 + u64::from(self.ts_nanos / 1000)
     }
 
     /// Absolute timestamp in nanoseconds since the epoch.
+    #[must_use] 
     pub fn timestamp_nanos(&self) -> u64 {
-        self.ts_sec as u64 * 1_000_000_000 + self.ts_nanos as u64
+        u64::from(self.ts_sec) * 1_000_000_000 + u64::from(self.ts_nanos)
     }
 
     /// `true` if snaplen truncated this record.
+    #[must_use] 
     pub fn is_truncated(&self) -> bool {
         (self.data.len() as u32) < self.orig_len
+    }
+}
+
+/// Header fields of one record, as returned by the buffer-reusing
+/// [`Reader::read_record_into`](crate::Reader::read_record_into) —
+/// everything a [`Record`] carries except the owned payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordMeta {
+    /// Seconds since the Unix epoch.
+    pub ts_sec: u32,
+    /// Sub-second part, in nanoseconds regardless of file precision.
+    pub ts_nanos: u32,
+    /// Original on-air length of the packet in bytes.
+    pub orig_len: u32,
+}
+
+impl RecordMeta {
+    /// Absolute timestamp in microseconds since the epoch.
+    #[must_use] 
+    pub fn timestamp_micros(&self) -> u64 {
+        u64::from(self.ts_sec) * 1_000_000 + u64::from(self.ts_nanos / 1000)
+    }
+
+    /// Absolute timestamp in nanoseconds since the epoch.
+    #[must_use] 
+    pub fn timestamp_nanos(&self) -> u64 {
+        u64::from(self.ts_sec) * 1_000_000_000 + u64::from(self.ts_nanos)
     }
 }
 
@@ -204,7 +239,7 @@ mod tests {
     fn display_of_errors_and_linktypes() {
         assert_eq!(LinkType::Ieee80211Radiotap.to_string(), "IEEE802_11_RADIO");
         assert_eq!(LinkType::Other(9).to_string(), "DLT(9)");
-        let e = PcapError::BadMagic(0xdeadbeef);
+        let e = PcapError::BadMagic(0xdead_beef);
         assert!(e.to_string().contains("0xdeadbeef"));
     }
 }

@@ -8,7 +8,9 @@
 //! addresses, retry flag) — and nothing else.
 
 use wifiprint_ieee80211::timing::{air_time, PhyTx, Preamble};
-use wifiprint_ieee80211::{Frame, FrameError, FrameKind, MacAddr, Modulation, Nanos, Rate};
+use wifiprint_ieee80211::{
+    Frame, FrameError, FrameKind, MacAddr, Modulation, Nanos, Rate, WireFrame,
+};
 
 use crate::{HeaderError, RxInfo};
 
@@ -31,7 +33,7 @@ pub struct CapturedFrame {
     /// Receiver address (addr1).
     pub receiver: MacAddr,
     /// `true` if the logical destination (DA) is group-addressed. For
-    /// uplink (ToDS) frames the DA is addr3, not the receiver — this flag
+    /// uplink (`ToDS`) frames the DA is addr3, not the receiver — this flag
     /// is what "broadcast frames" means in Fig. 7 and the Pang baseline.
     pub dest_group: bool,
     /// Retry flag from Frame Control.
@@ -63,6 +65,29 @@ impl CapturedFrame {
         }
     }
 
+    /// Assembles a captured frame from a borrowed wire view plus reception
+    /// metadata — the zero-copy analogue of [`CapturedFrame::from_frame`].
+    #[inline]
+    pub fn from_wire(view: &WireFrame<'_>, rate: Rate, t_end: Nanos, signal_dbm: i8) -> Self {
+        let size = view.wire_len();
+        let tx = match rate.modulation() {
+            Modulation::Ofdm => PhyTx::erp_ofdm(rate),
+            Modulation::Dsss => PhyTx::new(rate, Preamble::Long),
+        };
+        CapturedFrame {
+            t_end,
+            air_time: air_time(tx, size),
+            rate,
+            size,
+            kind: view.kind(),
+            transmitter: view.transmitter(),
+            receiver: view.receiver(),
+            dest_group: view.destination().is_some_and(MacAddr::is_multicast),
+            retry: view.retry(),
+            signal_dbm,
+        }
+    }
+
     /// Decodes a Radiotap-prefixed packet (as stored in a DLT 127 pcap
     /// record) into a captured frame.
     ///
@@ -76,12 +101,28 @@ impl CapturedFrame {
     ///
     /// Returns a [`DecodeError`] when either the capture header or the MAC
     /// frame cannot be parsed.
+    #[inline]
     pub fn from_radiotap_packet(
         bytes: &[u8],
         fallback_t_end: Nanos,
     ) -> Result<CapturedFrame, DecodeError> {
+        Self::from_radiotap_packet_counted(bytes, fallback_t_end).map(|(cap, _)| cap)
+    }
+
+    /// Like [`CapturedFrame::from_radiotap_packet`], but also reports which
+    /// capture-metadata fields were absent and had to be defaulted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when either the capture header or the MAC
+    /// frame cannot be parsed.
+    #[inline]
+    pub fn from_radiotap_packet_counted(
+        bytes: &[u8],
+        fallback_t_end: Nanos,
+    ) -> Result<(CapturedFrame, DefaultedFields), DecodeError> {
         let (info, hdr_len) = RxInfo::from_radiotap(bytes)?;
-        Self::from_decoded(info, &bytes[hdr_len..], fallback_t_end)
+        Self::from_decoded(&info, &bytes[hdr_len..], fallback_t_end)
     }
 
     /// Decodes a Prism-prefixed packet (DLT 119 pcap record).
@@ -90,50 +131,105 @@ impl CapturedFrame {
     ///
     /// Returns a [`DecodeError`] when either the capture header or the MAC
     /// frame cannot be parsed.
+    #[inline]
     pub fn from_prism_packet(
         bytes: &[u8],
         fallback_t_end: Nanos,
     ) -> Result<CapturedFrame, DecodeError> {
-        let (info, hdr_len) = RxInfo::from_prism(bytes)?;
-        Self::from_decoded(info, &bytes[hdr_len..], fallback_t_end)
+        Self::from_prism_packet_counted(bytes, fallback_t_end).map(|(cap, _)| cap)
     }
 
+    /// Like [`CapturedFrame::from_prism_packet`], but also reports which
+    /// capture-metadata fields were absent and had to be defaulted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when either the capture header or the MAC
+    /// frame cannot be parsed.
+    #[inline]
+    pub fn from_prism_packet_counted(
+        bytes: &[u8],
+        fallback_t_end: Nanos,
+    ) -> Result<(CapturedFrame, DefaultedFields), DecodeError> {
+        let (info, hdr_len) = RxInfo::from_prism(bytes)?;
+        Self::from_decoded(&info, &bytes[hdr_len..], fallback_t_end)
+    }
+
+    #[inline]
     fn from_decoded(
-        info: RxInfo,
+        info: &RxInfo,
         frame_bytes: &[u8],
         fallback_t_end: Nanos,
-    ) -> Result<CapturedFrame, DecodeError> {
+    ) -> Result<(CapturedFrame, DefaultedFields), DecodeError> {
         let fcs_included = info.flags.contains(crate::RxFlags::FCS_INCLUDED);
-        let frame = if fcs_included {
-            Frame::parse(frame_bytes)?
+        // Borrowed view: no body copy, no `Frame` materialization. The
+        // parity proptests pin this to `Frame::parse` field for field.
+        let view = if fcs_included {
+            WireFrame::parse(frame_bytes)?
         } else {
-            Frame::parse_without_fcs(frame_bytes)?
+            WireFrame::parse_without_fcs(frame_bytes)?
+        };
+        let defaulted = DefaultedFields {
+            rate: info.rate.is_none(),
+            signal: info.signal_dbm.is_none(),
+            timestamp: info.tsft_us.is_none(),
         };
         let rate = info.rate.unwrap_or(Rate::R1M);
-        let t_end = info.tsft_us.map(Nanos::from_micros).unwrap_or(fallback_t_end);
+        let t_end = info.tsft_us.map_or(fallback_t_end, Nanos::from_micros);
         let signal = info.signal_dbm.unwrap_or(-70);
-        let mut captured = CapturedFrame::from_frame(&frame, rate, t_end, signal);
         // `wire_len` already includes the FCS, so the size is on-air
         // regardless of whether the capture stored those 4 bytes.
-        debug_assert_eq!(captured.size, frame.wire_len());
-        captured.retry = frame.frame_control().retry();
-        Ok(captured)
+        Ok((CapturedFrame::from_wire(&view, rate, t_end, signal), defaulted))
     }
 
     /// Start-of-reception time (`t_end - air_time`).
+    #[must_use] 
     pub fn t_start(&self) -> Nanos {
         self.t_end.saturating_sub(self.air_time)
     }
 
     /// `true` if the frame's logical destination is group-addressed
     /// (broadcast or multicast), regardless of the addr1 receiver.
+    #[must_use] 
     pub fn is_group_destined(&self) -> bool {
         self.dest_group
     }
 
     /// `true` if the frame is addressed (addr1) to the broadcast address.
+    #[must_use] 
     pub fn is_broadcast(&self) -> bool {
         self.receiver.is_broadcast()
+    }
+}
+
+/// Which capture-metadata fields were missing from the Radiotap/Prism
+/// header and were filled with defaults during decode.
+///
+/// Replay consumers aggregate these to judge capture quality: a monitor
+/// that never reports rate skews every derived `air_time` toward the
+/// 1 Mb/s worst case, and a missing TSFT falls back to the (coarser) pcap
+/// record timestamp.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DefaultedFields {
+    /// No rate field: `Rate::R1M` was assumed.
+    pub rate: bool,
+    /// No signal field: `-70` dBm was assumed.
+    pub signal: bool,
+    /// No TSFT field: the caller-supplied fallback timestamp was used.
+    pub timestamp: bool,
+}
+
+impl DefaultedFields {
+    /// `true` if any field had to be defaulted.
+    #[must_use] 
+    pub fn any(self) -> bool {
+        self.rate || self.signal || self.timestamp
+    }
+
+    /// Number of defaulted fields (0–3).
+    #[must_use] 
+    pub fn count(self) -> usize {
+        usize::from(self.rate) + usize::from(self.signal) + usize::from(self.timestamp)
     }
 }
 
@@ -260,6 +356,47 @@ mod tests {
         assert_eq!(cap.kind, FrameKind::NullFunction);
         assert_eq!(cap.rate, Rate::R2M);
         assert_eq!(cap.t_end, Nanos::from_micros(42));
+    }
+
+    #[test]
+    fn counted_decode_reports_defaulted_fields() {
+        let frame = Frame::ack(sta());
+        // Only a rate: signal and TSFT must be reported as defaulted.
+        let info = RxInfo { rate: Some(Rate::R1M), ..RxInfo::default() };
+        let mut packet = info.to_radiotap();
+        packet.extend_from_slice(&frame.to_bytes());
+        let (cap, defaulted) =
+            CapturedFrame::from_radiotap_packet_counted(&packet, Nanos::from_micros(9)).unwrap();
+        assert_eq!(cap.t_end, Nanos::from_micros(9));
+        assert!(!defaulted.rate);
+        assert!(defaulted.signal);
+        assert!(defaulted.timestamp);
+        assert_eq!(defaulted.count(), 2);
+        assert!(defaulted.any());
+
+        // A fully-populated header defaults nothing.
+        let full = RxInfo {
+            tsft_us: Some(1),
+            rate: Some(Rate::R11M),
+            signal_dbm: Some(-40),
+            ..RxInfo::default()
+        };
+        let mut packet = full.to_radiotap();
+        packet.extend_from_slice(&frame.to_bytes());
+        let (_, defaulted) =
+            CapturedFrame::from_radiotap_packet_counted(&packet, Nanos::ZERO).unwrap();
+        assert_eq!(defaulted, DefaultedFields::default());
+        assert_eq!(defaulted.count(), 0);
+    }
+
+    #[test]
+    fn from_wire_matches_from_frame() {
+        let frame = Frame::data_to_ds(sta(), ap(), MacAddr::BROADCAST, 200).with_sequence(17);
+        let bytes = frame.to_bytes();
+        let view = WireFrame::parse(&bytes).unwrap();
+        let a = CapturedFrame::from_frame(&frame, Rate::R24M, Nanos::from_micros(33), -48);
+        let b = CapturedFrame::from_wire(&view, Rate::R24M, Nanos::from_micros(33), -48);
+        assert_eq!(a, b);
     }
 
     #[test]

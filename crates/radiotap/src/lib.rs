@@ -34,10 +34,72 @@
 //! assert_eq!(parsed, info);
 //! # Ok::<(), wifiprint_radiotap::HeaderError>(())
 //! ```
+//!
+//! # Real-capture replay
+//!
+//! [`CapturedFrame`] is the interchange type between raw capture bytes and
+//! the fingerprinting engines, and its packet decoders are the zero-copy
+//! hot path of that pipeline: [`CapturedFrame::from_radiotap_packet`] /
+//! [`CapturedFrame::from_prism_packet`] read a whole monitor-mode packet
+//! (capture header + 802.11 frame) through the borrowed
+//! [`WireFrame`](wifiprint_ieee80211::WireFrame) view — pure header
+//! arithmetic over the input slice, no frame body copy, no heap
+//! allocation. Missing metadata (rate, signal, TSFT) falls back to
+//! defaults, and the `_counted` variants report which fields were
+//! defaulted ([`DefaultedFields`]) so a replay can account for capture
+//! quality. The `wifiprint-pcap` crate's `Replay` drives whole capture
+//! files through these decoders into an engine; see its "Real-capture
+//! replay" docs for the end-to-end example.
+//!
+//! ```
+//! use wifiprint_ieee80211::{Frame, MacAddr, Nanos, Rate};
+//! use wifiprint_radiotap::{CapturedFrame, RxFlags, RxInfo};
+//!
+//! # fn main() -> Result<(), wifiprint_radiotap::DecodeError> {
+//! let sta = MacAddr::from_index(1);
+//! let ap = MacAddr::from_index(2);
+//! let info = RxInfo {
+//!     tsft_us: Some(1_000),
+//!     rate: Some(Rate::R54M),
+//!     signal_dbm: Some(-47),
+//!     flags: RxFlags::FCS_INCLUDED,
+//!     ..RxInfo::default()
+//! };
+//! let mut packet = info.to_radiotap();
+//! packet.extend_from_slice(&Frame::data_to_ds(sta, ap, ap, 100).to_bytes());
+//!
+//! let frame = CapturedFrame::from_radiotap_packet(&packet, Nanos::ZERO)?;
+//! assert_eq!(frame.transmitter, Some(sta));
+//! assert_eq!(frame.rate, Rate::R54M);
+//! assert_eq!(frame.signal_dbm, -47);
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::pedantic)]
+// Pedantic lints this crate opts out of, mirroring wifiprint-core:
+#![allow(
+    // Header codecs narrow into fixed-width wire fields and reinterpret
+    // sign bytes (dBm values travel as raw u8) by design.
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_possible_wrap,
+    // The flagged `expect`s are fixed-size slice conversions
+    // (`[u8; N]` from a length-checked slice) that cannot fail.
+    clippy::missing_panics_doc,
+    // Getter-heavy API: #[must_use] on every accessor is noise.
+    clippy::must_use_candidate,
+    clippy::return_self_not_must_use,
+    // Public items are re-exported from the crate root, so
+    // module-qualified names repeat the module name.
+    clippy::module_name_repetitions,
+    // Capture-format jargon (wlan-ng, TSFT, …) trips the identifier
+    // heuristic on prose that is not code.
+    clippy::doc_markdown
+)]
 
 pub mod captured;
 pub mod prism;
@@ -47,7 +109,7 @@ use core::fmt;
 
 use wifiprint_ieee80211::Rate;
 
-pub use captured::{CapturedFrame, DecodeError};
+pub use captured::{CapturedFrame, DecodeError, DefaultedFields};
 
 /// Flags describing how a frame was received (subset of Radiotap's `Flags`
 /// field relevant to passive fingerprinting).
@@ -65,16 +127,19 @@ impl RxFlags {
     pub const BAD_FCS: RxFlags = RxFlags(0x40);
 
     /// Creates flags from the raw Radiotap `Flags` byte.
+    #[must_use] 
     pub const fn from_raw(raw: u8) -> RxFlags {
         RxFlags(raw)
     }
 
     /// The raw Radiotap `Flags` byte.
+    #[must_use] 
     pub const fn to_raw(self) -> u8 {
         self.0
     }
 
     /// `true` if every flag in `other` is set in `self`.
+    #[must_use] 
     pub const fn contains(self, other: RxFlags) -> bool {
         self.0 & other.0 == other.0
     }
@@ -138,6 +203,7 @@ pub struct RxInfo {
 
 impl RxInfo {
     /// Encodes as a Radiotap header (version 0).
+    #[must_use] 
     pub fn to_radiotap(&self) -> Vec<u8> {
         radiotap::encode(self)
     }
@@ -149,11 +215,13 @@ impl RxInfo {
     ///
     /// Returns [`HeaderError`] if the buffer is too short, the version is
     /// unsupported, or the declared length is inconsistent.
+    #[inline]
     pub fn from_radiotap(buf: &[u8]) -> Result<(RxInfo, usize), HeaderError> {
         radiotap::parse(buf)
     }
 
     /// Encodes as a 144-byte Prism (wlan-ng) header.
+    #[must_use] 
     pub fn to_prism(&self, frame_len: u32) -> Vec<u8> {
         prism::encode(self, frame_len)
     }
@@ -165,20 +233,23 @@ impl RxInfo {
     ///
     /// Returns [`HeaderError`] if the buffer is too short or the message
     /// code is not the wlan-ng monitor code.
+    #[inline]
     pub fn from_prism(buf: &[u8]) -> Result<(RxInfo, usize), HeaderError> {
         prism::parse(buf)
     }
 
     /// Converts a 2.4 GHz channel number (1–14) to its centre frequency.
+    #[must_use] 
     pub fn channel_to_mhz(channel: u8) -> u16 {
         match channel {
             14 => 2484,
-            c => 2407 + 5 * c as u16,
+            c => 2407 + 5 * u16::from(c),
         }
     }
 
     /// Converts a 2.4 GHz centre frequency back to its channel number,
     /// if it is one.
+    #[must_use] 
     pub fn mhz_to_channel(mhz: u16) -> Option<u8> {
         match mhz {
             2484 => Some(14),

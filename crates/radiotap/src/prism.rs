@@ -50,7 +50,7 @@ const ITEM_DIDS: [u32; 10] = [
 
 fn push_item(out: &mut Vec<u8>, did: u32, value: Option<u32>) {
     out.extend_from_slice(&did.to_le_bytes());
-    let status: u16 = if value.is_some() { 0 } else { 1 };
+    let status: u16 = u16::from(value.is_none());
     out.extend_from_slice(&status.to_le_bytes());
     out.extend_from_slice(&4u16.to_le_bytes());
     out.extend_from_slice(&value.unwrap_or(0).to_le_bytes());
@@ -73,10 +73,10 @@ pub fn encode(info: &RxInfo, frame_len: u32) -> Vec<u8> {
     push_item(&mut out, DID_HOSTTIME, info.tsft_us.map(|t| (t / 10_000) as u32));
     push_item(&mut out, DID_MACTIME, info.tsft_us.map(|t| t as u32));
     push_item(&mut out, DID_CHANNEL, channel);
-    push_item(&mut out, DID_RSSI, info.signal_dbm.map(|s| (s as i32 + 100).max(0) as u32));
+    push_item(&mut out, DID_RSSI, info.signal_dbm.map(|s| (i32::from(s) + 100).max(0) as u32));
     push_item(&mut out, DID_SQ, None);
-    push_item(&mut out, DID_SIGNAL, info.signal_dbm.map(|s| s as i32 as u32));
-    push_item(&mut out, DID_NOISE, info.noise_dbm.map(|n| n as i32 as u32));
+    push_item(&mut out, DID_SIGNAL, info.signal_dbm.map(|s| i32::from(s) as u32));
+    push_item(&mut out, DID_NOISE, info.noise_dbm.map(|n| i32::from(n) as u32));
     push_item(&mut out, DID_RATE, info.rate.map(|r| u32::from(r.to_raw())));
     push_item(&mut out, DID_ISTX, Some(0));
     push_item(&mut out, DID_FRMLEN, Some(frame_len));

@@ -63,10 +63,14 @@ pub const CHAN_OFDM: u16 = 0x0040;
 pub const CHAN_CCK: u16 = 0x0020;
 
 fn align_to(offset: usize, align: usize) -> usize {
-    offset.div_ceil(align) * align
+    // Every radiotap field alignment is a power of two (1, 2, 4 or 8);
+    // the mask form avoids a hardware division in the per-record decode.
+    debug_assert!(align.is_power_of_two());
+    (offset + align - 1) & !(align - 1)
 }
 
 /// Encodes `info` as a Radiotap header.
+#[must_use] 
 pub fn encode(info: &RxInfo) -> Vec<u8> {
     let mut present: u32 = 0;
     // Body is assembled relative to offset 8 (after the fixed header +
@@ -93,7 +97,7 @@ pub fn encode(info: &RxInfo) -> Vec<u8> {
     if let Some(mhz) = info.channel_mhz {
         present |= 1 << bit::CHANNEL;
         let chan_flags = CHAN_2GHZ
-            | match info.rate.map(|r| r.modulation()) {
+            | match info.rate.map(wifiprint_ieee80211::Rate::modulation) {
                 Some(wifiprint_ieee80211::Modulation::Ofdm) => CHAN_OFDM,
                 _ => CHAN_CCK,
             };
@@ -139,6 +143,7 @@ pub fn encode(info: &RxInfo) -> Vec<u8> {
 /// [`HeaderError::Truncated`] if `buf` is shorter than `it_len` or 8 bytes;
 /// [`HeaderError::BadVersion`] for a nonzero version byte;
 /// [`HeaderError::BadLength`] if `it_len` is smaller than the fixed header.
+#[inline]
 pub fn parse(buf: &[u8]) -> Result<(RxInfo, usize), HeaderError> {
     if buf.len() < 8 {
         return Err(HeaderError::Truncated { needed: 8, available: buf.len() });
@@ -154,15 +159,22 @@ pub fn parse(buf: &[u8]) -> Result<(RxInfo, usize), HeaderError> {
         return Err(HeaderError::Truncated { needed: it_len, available: buf.len() });
     }
 
-    // Collect chained present words.
-    let mut present_words = Vec::new();
+    // Walk the chained present words. Only the first word's standard
+    // fields are decoded — extension words describe vendor namespaces
+    // whose sizes we cannot know — so nothing is collected, which keeps
+    // this parse allocation-free (the replay hot path depends on that).
+    let mut present = 0u32;
+    let mut is_first = true;
     let mut off = 4;
     loop {
         if off + 4 > it_len {
             return Err(HeaderError::BadLength(it_len));
         }
         let word = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"));
-        present_words.push(word);
+        if is_first {
+            present = word;
+            is_first = false;
+        }
         off += 4;
         if word & (1 << bit::EXT) == 0 {
             break;
@@ -170,9 +182,6 @@ pub fn parse(buf: &[u8]) -> Result<(RxInfo, usize), HeaderError> {
     }
 
     let mut info = RxInfo::default();
-    let present = present_words[0];
-    // Only the first word's standard fields are decoded; extension words
-    // describe vendor namespaces whose sizes we cannot know.
     let take = |off: &mut usize, align: usize, size: usize| -> Option<usize> {
         let pos = align_to(*off, align);
         if pos + size > it_len {
@@ -182,39 +191,56 @@ pub fn parse(buf: &[u8]) -> Result<(RxInfo, usize), HeaderError> {
         Some(pos)
     };
 
-    for bit_idx in 0..=bit::RX_FLAGS {
-        if present & (1 << bit_idx) == 0 {
-            continue;
-        }
-        let (align, size) = match bit_idx {
-            bit::TSFT => (8, 8),
-            bit::FLAGS | bit::RATE | bit::ANTENNA | bit::DB_ANT_SIGNAL | bit::DB_ANT_NOISE => {
-                (1, 1)
-            }
-            bit::ANT_SIGNAL | bit::ANT_NOISE | bit::DBM_TX_POWER => (1, 1),
-            bit::CHANNEL => (2, 4),
-            bit::FHSS
-            | bit::LOCK_QUALITY
-            | bit::TX_ATTENUATION
-            | bit::DB_TX_ATTENUATION
-            | bit::RX_FLAGS => (2, 2),
-            _ => unreachable!("loop bounded by RX_FLAGS"),
-        };
-        let Some(pos) = take(&mut off, align, size) else { break };
+    // Visit only the set bits, lowest first (radiotap field order). One
+    // match per field does both the align/size step and the store — this
+    // loop runs per captured record, so every branch counts.
+    let mut remaining = present & ((1u32 << (bit::RX_FLAGS + 1)) - 1);
+    while remaining != 0 {
+        let bit_idx = remaining.trailing_zeros();
+        remaining &= remaining - 1;
         match bit_idx {
             bit::TSFT => {
+                let Some(pos) = take(&mut off, 8, 8) else { break };
                 info.tsft_us =
                     Some(u64::from_le_bytes(buf[pos..pos + 8].try_into().expect("8 bytes")));
             }
-            bit::FLAGS => info.flags = RxFlags::from_raw(buf[pos]),
-            bit::RATE => info.rate = Rate::from_raw(buf[pos]),
+            bit::FLAGS => {
+                let Some(pos) = take(&mut off, 1, 1) else { break };
+                info.flags = RxFlags::from_raw(buf[pos]);
+            }
+            bit::RATE => {
+                let Some(pos) = take(&mut off, 1, 1) else { break };
+                info.rate = Rate::from_raw(buf[pos]);
+            }
             bit::CHANNEL => {
+                let Some(pos) = take(&mut off, 2, 4) else { break };
                 info.channel_mhz = Some(u16::from_le_bytes([buf[pos], buf[pos + 1]]));
             }
-            bit::ANT_SIGNAL => info.signal_dbm = Some(buf[pos] as i8),
-            bit::ANT_NOISE => info.noise_dbm = Some(buf[pos] as i8),
-            bit::ANTENNA => info.antenna = Some(buf[pos]),
-            _ => {} // parsed for alignment only
+            bit::ANT_SIGNAL => {
+                let Some(pos) = take(&mut off, 1, 1) else { break };
+                info.signal_dbm = Some(buf[pos] as i8);
+            }
+            bit::ANT_NOISE => {
+                let Some(pos) = take(&mut off, 1, 1) else { break };
+                info.noise_dbm = Some(buf[pos] as i8);
+            }
+            bit::ANTENNA => {
+                let Some(pos) = take(&mut off, 1, 1) else { break };
+                info.antenna = Some(buf[pos]);
+            }
+            // Known-size fields we expose nothing from: step over them
+            // so later fields stay correctly positioned.
+            bit::DBM_TX_POWER | bit::DB_ANT_SIGNAL | bit::DB_ANT_NOISE => {
+                if take(&mut off, 1, 1).is_none() {
+                    break;
+                }
+            }
+            _ => {
+                // FHSS, lock quality, TX attenuations, RX flags: u16 @ 2.
+                if take(&mut off, 2, 2).is_none() {
+                    break;
+                }
+            }
         }
     }
 

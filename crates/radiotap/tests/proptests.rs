@@ -1,8 +1,8 @@
 //! Property tests for the capture-header codecs.
 
 use proptest::prelude::*;
-use wifiprint_ieee80211::Rate;
-use wifiprint_radiotap::{RxFlags, RxInfo};
+use wifiprint_ieee80211::{Frame, MacAddr, Nanos, Rate};
+use wifiprint_radiotap::{CapturedFrame, DecodeError, RxFlags, RxInfo};
 
 fn arb_info() -> impl Strategy<Value = RxInfo> {
     (
@@ -67,5 +67,100 @@ proptest! {
         prop_assert_eq!(len, hdr_len);
         prop_assert_eq!(parsed, info);
         prop_assert_eq!(&buf[len..], &frame[..]);
+    }
+}
+
+/// A small pool of valid frames, one per wire layout.
+fn mk_frame(pick: usize, len: usize) -> Frame {
+    let a = MacAddr::from_index(1);
+    let b = MacAddr::from_index(2);
+    match pick % 4 {
+        0 => Frame::ack(a),
+        1 => Frame::rts(a, b, 44),
+        2 => Frame::beacon(a, vec![7; len]),
+        _ => Frame::data_to_ds(a, b, b, len),
+    }
+}
+
+/// Exhaustively matching the error proves every decode failure surfaces
+/// as a typed [`DecodeError`] — and the call itself proves no panic.
+fn assert_total(result: Result<CapturedFrame, DecodeError>) {
+    match result {
+        Ok(_) | Err(DecodeError::Header(_)) | Err(DecodeError::Frame(_)) => {}
+    }
+}
+
+proptest! {
+    // Satellite: arbitrary truncations of valid radiotap packets never
+    // panic anywhere in the WireFrame/RxInfo/CapturedFrame decode stack.
+    #[test]
+    fn truncated_radiotap_packets_never_panic(
+        info in arb_info(),
+        pick in 0usize..4,
+        len in 0usize..200,
+        cut_seed in any::<u64>(),
+    ) {
+        let mut packet = info.to_radiotap();
+        packet.extend_from_slice(&mk_frame(pick, len).to_bytes());
+        let cut = (cut_seed as usize) % (packet.len() + 1);
+        assert_total(CapturedFrame::from_radiotap_packet(&packet[..cut], Nanos::ZERO));
+    }
+
+    // Satellite: arbitrary single-byte mutations never panic either —
+    // a flipped presence bitmap or frame-control word is survivable.
+    #[test]
+    fn mutated_radiotap_packets_never_panic(
+        info in arb_info(),
+        pick in 0usize..4,
+        len in 0usize..200,
+        idx_seed in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        let mut packet = info.to_radiotap();
+        packet.extend_from_slice(&mk_frame(pick, len).to_bytes());
+        let idx = (idx_seed as usize) % packet.len();
+        packet[idx] ^= xor;
+        assert_total(CapturedFrame::from_radiotap_packet(&packet, Nanos::ZERO));
+        let counted = CapturedFrame::from_radiotap_packet_counted(&packet, Nanos::ZERO);
+        assert_total(counted.map(|(cap, _)| cap));
+    }
+
+    #[test]
+    fn truncated_prism_packets_never_panic(
+        info in arb_info(),
+        pick in 0usize..4,
+        len in 0usize..200,
+        cut_seed in any::<u64>(),
+    ) {
+        let frame_bytes = mk_frame(pick, len).to_bytes();
+        let mut packet = info.to_prism(frame_bytes.len() as u32);
+        packet.extend_from_slice(&frame_bytes);
+        let cut = (cut_seed as usize) % (packet.len() + 1);
+        assert_total(CapturedFrame::from_prism_packet(&packet[..cut], Nanos::ZERO));
+    }
+
+    #[test]
+    fn mutated_prism_packets_never_panic(
+        info in arb_info(),
+        pick in 0usize..4,
+        len in 0usize..200,
+        idx_seed in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        let frame_bytes = mk_frame(pick, len).to_bytes();
+        let mut packet = info.to_prism(frame_bytes.len() as u32);
+        packet.extend_from_slice(&frame_bytes);
+        let idx = (idx_seed as usize) % packet.len();
+        packet[idx] ^= xor;
+        assert_total(CapturedFrame::from_prism_packet(&packet, Nanos::ZERO));
+        let counted = CapturedFrame::from_prism_packet_counted(&packet, Nanos::ZERO);
+        assert_total(counted.map(|(cap, _)| cap));
+    }
+
+    // Pure garbage front to back.
+    #[test]
+    fn garbage_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        assert_total(CapturedFrame::from_radiotap_packet(&bytes, Nanos::ZERO));
+        assert_total(CapturedFrame::from_prism_packet(&bytes, Nanos::ZERO));
     }
 }

@@ -169,6 +169,72 @@
 //! println!("{}", sweep.table());
 //! ```
 //!
+//! # Real-capture replay
+//!
+//! Everything above consumed simulated traffic; real deployments start
+//! from a capture file. [`pcap::Replay`] is the zero-copy bridge: raw
+//! DLT-127/119/105 pcap bytes are decoded straight into
+//! [`radiotap::CapturedFrame`] observations through the borrowed
+//! [`ieee80211::WireFrame`] header view — **zero heap allocations per
+//! record** in steady state (allocation-counter-tested), with
+//! [`pcap::Replay::from_slice`] going further for in-memory files by
+//! borrowing records in place and never touching frame bodies at all.
+//! [`pcap::replay_into_engine`] / [`pcap::replay_into_multi`] drive a
+//! whole file into an engine in one call and return per-file
+//! [`pcap::ReplayStats`]: decode-error counts per layer, plus how often
+//! the monitor omitted rate/signal/TSFT so decode fell back to defaults
+//! — silently-defaulted fields skew derived air times, and the stats
+//! make that visible.
+//!
+//! ```
+//! use wifiprint::core::{FusionSpec, MultiConfig, MultiEngine, MultiEvent};
+//! use wifiprint::ieee80211::{Frame, MacAddr, Nanos, Rate};
+//! use wifiprint::pcap::{replay_into_multi, LinkType, Record, Replay, Writer};
+//! use wifiprint::radiotap::{RxFlags, RxInfo};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Stand-in for a real monitor-mode capture: two stations, one AP.
+//! let ap = MacAddr::from_index(0xA0);
+//! let stations = [MacAddr::from_index(1), MacAddr::from_index(2)];
+//! let mut file = Vec::new();
+//! let mut writer = Writer::new(&mut file, LinkType::Ieee80211Radiotap)?;
+//! for i in 0..2_000u64 {
+//!     let sta = stations[(i % 2) as usize];
+//!     let frame = Frame::data_to_ds(sta, ap, ap, 200 + (i % 2) as usize * 600);
+//!     let ts_us = 2_000 * (i + 1);
+//!     let info = RxInfo {
+//!         tsft_us: Some(ts_us),
+//!         rate: Some(Rate::R54M),
+//!         signal_dbm: Some(if i % 2 == 0 { -48 } else { -61 }),
+//!         flags: RxFlags::FCS_INCLUDED,
+//!         ..RxInfo::default()
+//!     };
+//!     let mut packet = info.to_radiotap();
+//!     packet.extend_from_slice(&frame.to_bytes());
+//!     writer.write_record(&Record::from_micros(ts_us, packet))?;
+//! }
+//!
+//! // Replay the capture into the fused engine.
+//! let mut cfg = MultiConfig::default().with_min_observations(20);
+//! cfg.window = Nanos::from_secs(1);
+//! let mut engine = MultiEngine::builder()
+//!     .spec(FusionSpec::all_equal())
+//!     .config(cfg)
+//!     .train_for(Nanos::from_secs(2))
+//!     .build()?;
+//! let mut replay = Replay::from_slice(&file)?;
+//! let (mut events, stats) = replay_into_multi(&mut replay, &mut engine)?;
+//! events.extend(engine.finish()?);
+//!
+//! assert_eq!((stats.decoded, stats.decode_errors()), (2_000, 0));
+//! assert_eq!(
+//!     events.iter().filter(|e| matches!(e, MultiEvent::Enrolled { .. })).count(),
+//!     2,
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Workspace map
 //!
 //! This facade crate re-exports the workspace members:
@@ -181,7 +247,8 @@
 //! * [`ieee80211`] — MAC frames, rates and PHY timing,
 //! * [`radiotap`] — capture headers and the [`radiotap::CapturedFrame`]
 //!   interchange type,
-//! * [`pcap`] — capture-file I/O,
+//! * [`pcap`] — capture-file I/O and the zero-copy
+//!   [`pcap::Replay`] path from raw capture bytes into either engine,
 //! * [`netsim`] — the discrete-event 802.11 channel simulator,
 //! * [`devices`] — chipset/driver/service profiles,
 //! * [`scenarios`] — the office/conference/Faraday trace generators
@@ -195,8 +262,10 @@
 //!
 //! See the `examples/` directory for runnable walkthroughs (start with
 //! `quickstart.rs`; `rotation_linking.rs` runs the MAC-randomization
-//! linking sweep) and `crates/bench/src/bin/repro.rs` for the
-//! table/figure reproduction harness.
+//! linking sweep; `crates/bench/examples/pcap_replay.rs` replays a pcap
+//! capture — yours or a synthetic one — through the zero-copy ingest
+//! path) and `crates/bench/src/bin/repro.rs` for the table/figure
+//! reproduction harness.
 
 #![forbid(unsafe_code)]
 
